@@ -1,0 +1,393 @@
+package blockpar_test
+
+// The benchmark harness regenerates every figure of the paper's
+// evaluation (see EXPERIMENTS.md for the measured-vs-paper record):
+//
+//	Figure 3   buffer + inset insertion          BenchmarkFig3_BufferAndAlign
+//	Figure 4   automatic parallelization         BenchmarkFig4_Parallelize
+//	Figure 5   windowed reuse via line buffers   BenchmarkFig5_BufferedConvThroughput
+//	Figure 9   buffer-striping reuse ablation    BenchmarkFig9_Striped / _SharedBuffer
+//	Figure 10  column-split buffer FSMs          BenchmarkFig10_ColumnSplit
+//	Figure 11  size/rate parallelization matrix  BenchmarkFig11_<preset>
+//	Figure 12  1:1 vs greedy mapping             BenchmarkFig12_<mapping>
+//	Figure 13  benchmark-suite utilization       BenchmarkFig13_<id>_<mapping>
+//
+// Each benchmark reports the figure's headline quantity via
+// b.ReportMetric (PE counts, mean utilization, improvement factors), so
+// `go test -bench . -benchmem` prints the paper's series alongside the
+// harness cost. The bpfig command renders the same data as tables.
+
+import (
+	"testing"
+
+	"blockpar"
+	"blockpar/internal/apps"
+	"blockpar/internal/core"
+	"blockpar/internal/geom"
+	"blockpar/internal/machine"
+	"blockpar/internal/mapping"
+	"blockpar/internal/report"
+	"blockpar/internal/sim"
+	"blockpar/internal/transform"
+)
+
+func fastImageApp() *apps.App {
+	return apps.ImagePipeline("bench-image", apps.ImageCfg{
+		W: apps.SmallW, H: apps.SmallH,
+		Rate: geom.F(apps.FastRate, int64(apps.SmallW*apps.SmallH)),
+		Bins: 32,
+	})
+}
+
+// BenchmarkFig3_BufferAndAlign measures the Figure 3 transformation:
+// automatic buffer insertion and trim alignment on the image pipeline.
+func BenchmarkFig3_BufferAndAlign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		app := fastImageApp()
+		if err := transform.InsertBuffers(app.Graph); err != nil {
+			b.Fatal(err)
+		}
+		if err := transform.Align(app.Graph, transform.Trim); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4_Parallelize measures the full Figure 4 compilation:
+// buffering, alignment, and parallelization of the running example at
+// the fast rate, reporting the conv degree the compiler chose.
+func BenchmarkFig4_Parallelize(b *testing.B) {
+	var degree int
+	for i := 0; i < b.N; i++ {
+		app := fastImageApp()
+		c, err := core.Compile(app.Graph, core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		degree = c.Report.Degrees["5x5 Conv"]
+	}
+	b.ReportMetric(float64(degree), "conv-instances")
+}
+
+// BenchmarkFig5_BufferedConvThroughput measures the functional runtime
+// on the buffered 5×5 convolution — the data path whose 24/25 reuse
+// Figure 5 illustrates — in samples processed per second.
+func BenchmarkFig5_BufferedConvThroughput(b *testing.B) {
+	const w, h = 64, 48
+	coeff := blockpar.LCG(7, 5, 5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := blockpar.NewApp("fig5")
+		in := g.AddInput("Input", blockpar.Sz(w, h), blockpar.Sz(1, 1), blockpar.FInt(100))
+		conv := g.Add(blockpar.Convolution("Conv", 5))
+		cIn := g.AddInput("Coeff", blockpar.Sz(5, 5), blockpar.Sz(5, 5), blockpar.FInt(100))
+		out := g.AddOutput("Output", blockpar.Sz(1, 1))
+		g.Connect(in, "out", conv, "in")
+		g.Connect(cIn, "out", conv, "coeff")
+		g.Connect(conv, "out", out, "in")
+		cfg := blockpar.DefaultConfig()
+		cfg.Parallelize = false
+		if _, err := blockpar.Compile(g, cfg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := blockpar.Run(g, blockpar.RunOptions{
+			Frames: 1,
+			Sources: map[string]blockpar.Generator{
+				"Coeff": blockpar.FixedWindow(coeff),
+			},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(w*h*b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// benchStriping runs the Figure 9 ablation: striped per-instance
+// buffers (reuse-optimized) vs one shared buffer with round-robin
+// window distribution. Striping keeps the split traffic at raw-sample
+// rate (plus replicated overlap) and every buffer within PE memory;
+// the shared buffer pushes whole windows through its split (~window-
+// area times more words) and concentrates all storage on one PE.
+func benchStriping(b *testing.B, striped bool) {
+	var splitWrite, maxBufMem int64
+	for i := 0; i < b.N; i++ {
+		app := fastImageApp()
+		cfg := core.DefaultConfig()
+		cfg.BufferStriping = striped
+		c, err := core.Compile(app.Graph, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		splitWrite, maxBufMem = 0, 0
+		for _, n := range c.Graph.Nodes() {
+			switch n.Kind {
+			case blockpar.KindSplit:
+				splitWrite += c.Analysis.Nodes[n].WriteWordsPerFrame
+			case blockpar.KindBuffer:
+				if mem := c.Analysis.Nodes[n].MemoryWords; mem > maxBufMem {
+					maxBufMem = mem
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(splitWrite), "split-words/frame")
+	b.ReportMetric(float64(maxBufMem), "max-buffer-words")
+}
+
+func BenchmarkFig9_Striped(b *testing.B)      { benchStriping(b, true) }
+func BenchmarkFig9_SharedBuffer(b *testing.B) { benchStriping(b, false) }
+
+// BenchmarkFig10_ColumnSplit measures the memory-bound buffer split of
+// the parallel-buffer test (benchmark 3), reporting the stripes the
+// wide line buffer was divided into.
+func BenchmarkFig10_ColumnSplit(b *testing.B) {
+	var stripes int
+	for i := 0; i < b.N; i++ {
+		app := apps.ParallelBufferTest("bench-parbuf", apps.BufferCfg{
+			W: 256, H: 32, Rate: geom.F(apps.SlowRate, 256*32),
+		})
+		c, err := core.Compile(app.Graph, core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		stripes = 0
+		for _, n := range c.Graph.Nodes() {
+			if n.Kind == blockpar.KindBuffer {
+				stripes++
+			}
+		}
+	}
+	b.ReportMetric(float64(stripes), "buffer-stripes")
+}
+
+// benchFig11 compiles one Figure 11 preset, reporting the PE count the
+// automatic parallelization provisions.
+func benchFig11(b *testing.B, preset apps.Preset) {
+	var pes int
+	for i := 0; i < b.N; i++ {
+		app := apps.ImagePreset(preset)
+		c, err := core.Compile(app.Graph, core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		pes = mapping.OneToOne(c.Graph).NumPEs
+	}
+	b.ReportMetric(float64(pes), "PEs")
+}
+
+func BenchmarkFig11_SmallSlow(b *testing.B) {
+	benchFig11(b, apps.Preset{ID: "SS", W: apps.SmallW, H: apps.SmallH, Samples: apps.SlowRate})
+}
+func BenchmarkFig11_BigSlow(b *testing.B) {
+	benchFig11(b, apps.Preset{ID: "BS", W: apps.BigW, H: apps.BigH, Samples: apps.SlowRate})
+}
+func BenchmarkFig11_SmallFast(b *testing.B) {
+	benchFig11(b, apps.Preset{ID: "SF", W: apps.SmallW, H: apps.SmallH, Samples: apps.FastRate})
+}
+func BenchmarkFig11_BigFast(b *testing.B) {
+	benchFig11(b, apps.Preset{ID: "BF", W: apps.BigW, H: apps.BigH, Samples: apps.FastRate})
+}
+
+// benchFig12 simulates the Figure 4 application under one mapping,
+// reporting mean PE utilization.
+func benchFig12(b *testing.B, greedy bool) {
+	m := machine.Embedded()
+	app := fastImageApp()
+	c, err := core.Compile(app.Graph, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var assign *mapping.Assignment
+	if greedy {
+		assign, err = mapping.Greedy(c.Graph, c.Analysis, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+	} else {
+		assign = mapping.OneToOne(c.Graph)
+	}
+	var util float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Simulate(c.Graph, assign, sim.Options{Machine: m, Frames: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		util = res.MeanUtilization()
+	}
+	b.ReportMetric(100*util, "util-%")
+	b.ReportMetric(float64(assign.NumPEs), "PEs")
+}
+
+func BenchmarkFig12_OneToOne(b *testing.B) { benchFig12(b, false) }
+func BenchmarkFig12_Greedy(b *testing.B)   { benchFig12(b, true) }
+
+// benchFig13 runs one suite benchmark under one mapping.
+func benchFig13(b *testing.B, id string, greedy bool) {
+	m := machine.Embedded()
+	app, err := apps.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := core.Compile(app.Graph, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var assign *mapping.Assignment
+	if greedy {
+		assign, err = mapping.Greedy(c.Graph, c.Analysis, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+	} else {
+		assign = mapping.OneToOne(c.Graph)
+	}
+	var util float64
+	var rt bool
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Simulate(c.Graph, assign, sim.Options{Machine: m, Frames: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		util = res.MeanUtilization()
+		rt = res.RealTimeMet()
+	}
+	if !rt {
+		b.Fatalf("benchmark %s missed real time", id)
+	}
+	b.ReportMetric(100*util, "util-%")
+	b.ReportMetric(float64(assign.NumPEs), "PEs")
+}
+
+func BenchmarkFig13_1_OneToOne(b *testing.B)  { benchFig13(b, "1", false) }
+func BenchmarkFig13_1_Greedy(b *testing.B)    { benchFig13(b, "1", true) }
+func BenchmarkFig13_1F_OneToOne(b *testing.B) { benchFig13(b, "1F", false) }
+func BenchmarkFig13_1F_Greedy(b *testing.B)   { benchFig13(b, "1F", true) }
+func BenchmarkFig13_2_OneToOne(b *testing.B)  { benchFig13(b, "2", false) }
+func BenchmarkFig13_2_Greedy(b *testing.B)    { benchFig13(b, "2", true) }
+func BenchmarkFig13_2F_OneToOne(b *testing.B) { benchFig13(b, "2F", false) }
+func BenchmarkFig13_2F_Greedy(b *testing.B)   { benchFig13(b, "2F", true) }
+func BenchmarkFig13_3_OneToOne(b *testing.B)  { benchFig13(b, "3", false) }
+func BenchmarkFig13_3_Greedy(b *testing.B)    { benchFig13(b, "3", true) }
+func BenchmarkFig13_4_OneToOne(b *testing.B)  { benchFig13(b, "4", false) }
+func BenchmarkFig13_4_Greedy(b *testing.B)    { benchFig13(b, "4", true) }
+func BenchmarkFig13_SS_OneToOne(b *testing.B) { benchFig13(b, "SS", false) }
+func BenchmarkFig13_SS_Greedy(b *testing.B)   { benchFig13(b, "SS", true) }
+func BenchmarkFig13_SF_OneToOne(b *testing.B) { benchFig13(b, "SF", false) }
+func BenchmarkFig13_SF_Greedy(b *testing.B)   { benchFig13(b, "SF", true) }
+func BenchmarkFig13_BS_OneToOne(b *testing.B) { benchFig13(b, "BS", false) }
+func BenchmarkFig13_BS_Greedy(b *testing.B)   { benchFig13(b, "BS", true) }
+func BenchmarkFig13_BF_OneToOne(b *testing.B) { benchFig13(b, "BF", false) }
+func BenchmarkFig13_BF_Greedy(b *testing.B)   { benchFig13(b, "BF", true) }
+func BenchmarkFig13_5_OneToOne(b *testing.B)  { benchFig13(b, "5", false) }
+func BenchmarkFig13_5_Greedy(b *testing.B)    { benchFig13(b, "5", true) }
+
+// BenchmarkFig13_Average runs the whole suite under both mappings and
+// reports the paper's headline: the mean greedy-over-1:1 utilization
+// improvement (paper: 1.5x).
+func BenchmarkFig13_Average(b *testing.B) {
+	var improvement float64
+	for i := 0; i < b.N; i++ {
+		rows, err := report.Figure13(machine.Embedded(), 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		improvement = report.AverageImprovement(rows)
+	}
+	b.ReportMetric(improvement, "greedy/1:1")
+}
+
+// BenchmarkAnnealPlacement measures the simulated-annealing placement
+// pass, reporting the communication-cost reduction it achieves.
+func BenchmarkAnnealPlacement(b *testing.B) {
+	app := fastImageApp()
+	c, err := core.Compile(app.Graph, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	gm, err := mapping.Greedy(c.Graph, c.Analysis, machine.Embedded())
+	if err != nil {
+		b.Fatal(err)
+	}
+	side := 1
+	for side*side < gm.NumPEs {
+		side++
+	}
+	ident := &mapping.Placement{GridW: side, GridH: side, At: make([]int, gm.NumPEs)}
+	for i := range ident.At {
+		ident.At[i] = i
+	}
+	before := mapping.CommCost(c.Graph, gm, ident)
+	var after float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := mapping.Anneal(c.Graph, gm, 42)
+		after = mapping.CommCost(c.Graph, gm, p)
+	}
+	b.ReportMetric(before/after, "cost-reduction")
+}
+
+// benchMappingAblation compares the paper's neighbor-merging greedy
+// multiplexer against locality-blind first-fit-decreasing bin packing:
+// similar PE counts, very different on-processor stream locality.
+func benchMappingAblation(b *testing.B, kind string) {
+	m := machine.Embedded()
+	app := fastImageApp()
+	c, err := core.Compile(app.Graph, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var assign *mapping.Assignment
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		switch kind {
+		case "greedy":
+			assign, err = mapping.Greedy(c.Graph, c.Analysis, m)
+		case "binpack":
+			assign, err = mapping.BinPack(c.Graph, c.Analysis, m)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(assign.NumPEs), "PEs")
+	b.ReportMetric(float64(mapping.CrossPEWords(c.Graph, c.Analysis, assign)), "cross-PE-words/frame")
+}
+
+func BenchmarkMappingAblation_Greedy(b *testing.B)  { benchMappingAblation(b, "greedy") }
+func BenchmarkMappingAblation_BinPack(b *testing.B) { benchMappingAblation(b, "binpack") }
+
+// BenchmarkRateSweep runs the processors-vs-rate tradeoff sweep (the
+// dual of StreamIt's objective, §VI), reporting the PE range covered.
+func BenchmarkRateSweep(b *testing.B) {
+	var minPE, maxPE int
+	for i := 0; i < b.N; i++ {
+		points, err := report.RateSweep(machine.Embedded(),
+			[]int64{100_000, apps.SlowRate, apps.FastRate}, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		minPE, maxPE = points[0].PEsGreedy, points[len(points)-1].PEsGreedy
+	}
+	b.ReportMetric(float64(minPE), "PEs-at-100k")
+	b.ReportMetric(float64(maxPE), "PEs-at-1.5M")
+}
+
+// BenchmarkRuntime_ImagePipeline measures end-to-end functional
+// execution of the fully parallelized image pipeline on the goroutine
+// runtime.
+func BenchmarkRuntime_ImagePipeline(b *testing.B) {
+	app := fastImageApp()
+	c, err := core.Compile(app.Graph, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := blockpar.Run(c.Graph, blockpar.RunOptions{Frames: 1, Sources: app.Sources}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(apps.SmallW*apps.SmallH*b.N)/b.Elapsed().Seconds(), "samples/s")
+}

@@ -1,0 +1,134 @@
+package blockpar_test
+
+import (
+	"strings"
+	"testing"
+
+	"blockpar"
+)
+
+// TestPublicAPIEndToEnd exercises the whole public surface the way a
+// downstream user would: describe, compile, run, map, simulate, place.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	app := blockpar.NewApp("api")
+	in := app.AddInput("Input", blockpar.Sz(24, 16), blockpar.Sz(1, 1), blockpar.FInt(500))
+	med := app.Add(blockpar.Median("Median", 3))
+	out := app.AddOutput("Output", blockpar.Sz(1, 1))
+	app.Connect(in, "out", med, "in")
+	app.Connect(med, "out", out, "in")
+
+	cfg := blockpar.DefaultConfig()
+	compiled, err := blockpar.Compile(app, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compiled.Report == nil || compiled.Analysis == nil {
+		t.Fatal("compiled missing report/analysis")
+	}
+
+	res, err := blockpar.Run(compiled.Graph, blockpar.RunOptions{Frames: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := blockpar.GoldenMedian(blockpar.Gradient(0, 24, 16), 3)
+	frames := res.FrameSlices("Output")
+	if len(frames) != 2 || len(frames[0]) != golden.W*golden.H {
+		t.Fatalf("output shape wrong: %d frames of %d", len(frames), len(frames[0]))
+	}
+	for i, w := range frames[0] {
+		if w.Value() != golden.Pix[i] {
+			t.Fatalf("sample %d = %v, want %v", i, w.Value(), golden.Pix[i])
+		}
+	}
+
+	assign, err := blockpar.MapGreedy(compiled.Graph, compiled.Analysis, cfg.Machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := blockpar.Simulate(compiled.Graph, assign, blockpar.SimOptions{
+		Machine: cfg.Machine, Frames: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sr.RealTimeMet() {
+		t.Error("real time missed")
+	}
+	p := blockpar.Place(compiled.Graph, assign, 1)
+	if p.GridW*p.GridH < assign.NumPEs {
+		t.Error("placement grid too small")
+	}
+}
+
+func TestPublicCustomKernel(t *testing.T) {
+	// A custom kernel via NewKernel: out = in squared.
+	sq := blockpar.NewKernel("Square")
+	sq.CreateInput("in", blockpar.Sz(1, 1), blockpar.St(1, 1), blockpar.Off(0, 0))
+	sq.CreateOutput("out", blockpar.Sz(1, 1), blockpar.St(1, 1))
+	sq.RegisterMethod("run", 5, 1)
+	sq.RegisterMethodInput("run", "in")
+	sq.RegisterMethodOutput("run", "out")
+	sq.Behavior = squareBehavior{}
+
+	app := blockpar.NewApp("custom")
+	in := app.AddInput("Input", blockpar.Sz(6, 1), blockpar.Sz(1, 1), blockpar.FInt(10))
+	app.Add(sq)
+	out := app.AddOutput("Output", blockpar.Sz(1, 1))
+	app.Connect(in, "out", sq, "in")
+	app.Connect(sq, "out", out, "in")
+
+	res, err := blockpar.Run(app, blockpar.RunOptions{Frames: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := res.DataWindows("Output")
+	for i, w := range ws {
+		want := blockpar.Gradient(0, 6, 1).Pix[i]
+		if w.Value() != want*want {
+			t.Fatalf("sample %d = %v, want %v", i, w.Value(), want*want)
+		}
+	}
+}
+
+type squareBehavior struct{}
+
+func (squareBehavior) Clone() blockpar.Behavior { return squareBehavior{} }
+
+func (squareBehavior) Invoke(method string, ctx blockpar.ExecContext) error {
+	v := ctx.Input("in").Value()
+	ctx.Emit("out", blockpar.Scalar(v*v))
+	return nil
+}
+
+func TestPublicAnalyzeAndDot(t *testing.T) {
+	app := blockpar.NewApp("dot")
+	in := app.AddInput("Input", blockpar.Sz(100, 100), blockpar.Sz(1, 1), blockpar.FInt(50))
+	conv := app.Add(blockpar.Convolution("5x5 Conv", 5))
+	coeff := app.AddInput("Coeff", blockpar.Sz(5, 5), blockpar.Sz(5, 5), blockpar.FInt(50))
+	out := app.AddOutput("Output", blockpar.Sz(1, 1))
+	app.Connect(in, "out", conv, "in")
+	app.Connect(coeff, "out", conv, "coeff")
+	app.Connect(conv, "out", out, "in")
+
+	r, err := blockpar.Analyze(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ni := r.NodeInfoOf(conv)
+	if ni.IterX != 96 || ni.IterY != 96 {
+		t.Errorf("§III-A example via public API: %dx%d", ni.IterX, ni.IterY)
+	}
+	if !strings.Contains(app.Dot(), "digraph") {
+		t.Error("Dot output malformed")
+	}
+}
+
+func TestPublicAlignPolicies(t *testing.T) {
+	if blockpar.AlignTrim == blockpar.AlignPad {
+		t.Fatal("alignment policies must differ")
+	}
+	cfg := blockpar.DefaultConfig()
+	if cfg.Align != blockpar.AlignTrim {
+		t.Error("default policy should be trim (the Figure 3 solution)")
+	}
+}

@@ -1,0 +1,133 @@
+// Command bpc is the block-parallel compiler driver: it builds one of
+// the benchmark applications, runs the selected compilation stages
+// (analysis, buffering, alignment, parallelization), and prints the
+// resulting graph, analysis tables, or Graphviz DOT.
+//
+// Usage:
+//
+//	bpc -app SF -stage parallel -dot > sf.dot
+//	bpc -app 5 -stage buffered
+//	bpc -app 1F -analysis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"blockpar/internal/analysis"
+	"blockpar/internal/apps"
+	"blockpar/internal/core"
+	"blockpar/internal/desc"
+	"blockpar/internal/graph"
+	"blockpar/internal/machine"
+	"blockpar/internal/transform"
+)
+
+func main() {
+	appID := flag.String("app", "5", "benchmark id: "+strings.Join(apps.IDs(), ", "))
+	file := flag.String("file", "", "load the application from a JSON description instead of -app")
+	stage := flag.String("stage", "parallel", "compilation stage: raw, buffered, parallel")
+	align := flag.String("align", "trim", "alignment policy: trim, pad")
+	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of a summary")
+	encode := flag.Bool("encode", false, "emit the raw application as a JSON description and exit")
+	showAnalysis := flag.Bool("analysis", false, "print the per-kernel analysis table")
+	flag.Parse()
+
+	if err := run(*appID, *file, *stage, *align, *dot, *encode, *showAnalysis); err != nil {
+		fmt.Fprintln(os.Stderr, "bpc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(appID, file, stage, align string, dot, encode, showAnalysis bool) error {
+	var g *graph.Graph
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		g, err = desc.Parse(data)
+		if err != nil {
+			return err
+		}
+	} else {
+		app, err := apps.ByID(appID)
+		if err != nil {
+			return err
+		}
+		g = app.Graph
+	}
+	if encode {
+		data, err := desc.Encode(g)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	cfg := core.Config{Machine: machine.Embedded(), BufferStriping: true}
+	switch align {
+	case "trim":
+		cfg.Align = transform.Trim
+	case "pad":
+		cfg.Align = transform.PadInputs
+	default:
+		return fmt.Errorf("unknown alignment policy %q", align)
+	}
+	switch stage {
+	case "raw":
+		// Leave the graph as the programmer wrote it.
+	case "buffered":
+		cfg.Parallelize = false
+		if _, err := core.Compile(g, cfg); err != nil {
+			return err
+		}
+	case "parallel":
+		cfg.Parallelize = true
+		c, err := core.Compile(g, cfg)
+		if err != nil {
+			return err
+		}
+		if !dot && !showAnalysis {
+			fmt.Println("parallelization degrees:")
+			for base, deg := range c.Report.Degrees {
+				fmt.Printf("  %-24s %d\n", base, deg)
+			}
+			fmt.Println()
+		}
+	default:
+		return fmt.Errorf("unknown stage %q", stage)
+	}
+
+	if dot {
+		fmt.Print(g.Dot())
+		return nil
+	}
+	if showAnalysis {
+		r, err := analysis.Analyze(g)
+		if err != nil {
+			return err
+		}
+		m := machine.Embedded()
+		fmt.Printf("%-36s %-10s %12s %10s %8s %8s\n",
+			"kernel", "iter", "cycles/frame", "mem", "util", "degree")
+		for _, n := range g.Nodes() {
+			ni := r.NodeInfoOf(n)
+			l := r.LoadOf(n, m)
+			fmt.Printf("%-36s %4dx%-5d %12d %10d %7.2f%% %8d\n",
+				n.Name(), ni.IterX, ni.IterY, ni.CyclesPerFrame,
+				ni.MemoryWords, 100*l.Utilization, r.DegreeFor(n, m))
+		}
+		if r.HasProblems() {
+			fmt.Println("\nproblems:")
+			for _, p := range r.Problems {
+				fmt.Println("  " + p.String())
+			}
+		}
+		return nil
+	}
+	fmt.Println(g.Summary())
+	return nil
+}

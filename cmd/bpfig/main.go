@@ -1,0 +1,66 @@
+// Command bpfig regenerates the paper's experimental figures: the
+// Figure 11 parallelization matrix, the Figure 12 mapping comparison,
+// and the Figure 13 benchmark-suite utilization chart.
+//
+// Usage:
+//
+//	bpfig            # all figures
+//	bpfig -fig 13    # just Figure 13
+//	bpfig -frames 4  # longer simulations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"blockpar/internal/machine"
+	"blockpar/internal/report"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate: 11, 12, 13 (0 = all)")
+	frames := flag.Int("frames", 2, "frames to simulate per benchmark")
+	sweep := flag.Bool("sweep", false, "also run the processors-vs-rate sweep (§VI tradeoff)")
+	flag.Parse()
+
+	if err := run(*fig, *frames, *sweep); err != nil {
+		fmt.Fprintln(os.Stderr, "bpfig:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig, frames int, sweep bool) error {
+	m := machine.Embedded()
+	if fig == 0 || fig == 11 {
+		rows, err := report.Figure11(m)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.RenderFigure11(rows))
+	}
+	if fig == 0 || fig == 12 {
+		r, err := report.Figure12(m, frames)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.RenderFigure12(r))
+	}
+	if sweep {
+		points, err := report.RateSweep(m, []int64{100_000, 400_000, 800_000, 1_500_000, 3_000_000}, frames)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.RenderRateSweep(points))
+	}
+	if fig == 0 || fig == 13 {
+		rows, err := report.Figure13(m, frames)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 13: processor utilization, 1:1 vs greedy mapping (run/read/write)")
+		fmt.Println()
+		fmt.Println(report.RenderFigure13(rows))
+	}
+	return nil
+}

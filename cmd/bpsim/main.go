@@ -1,0 +1,140 @@
+// Command bpsim compiles a benchmark application, maps it to PEs, and
+// runs the timing simulation, reporting throughput, real-time status,
+// and per-PE utilization broken into run/read/write time.
+//
+// Usage:
+//
+//	bpsim -app SF -mapping greedy -frames 4
+//	bpsim -app 3 -mapping 1:1 -per-pe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"blockpar/internal/apps"
+	"blockpar/internal/core"
+	"blockpar/internal/machine"
+	"blockpar/internal/mapping"
+	"blockpar/internal/sim"
+)
+
+func main() {
+	appID := flag.String("app", "5", "benchmark id: "+strings.Join(apps.IDs(), ", "))
+	mapKind := flag.String("mapping", "greedy", "kernel-to-PE mapping: 1:1, greedy")
+	frames := flag.Int("frames", 2, "input frames to simulate")
+	perPE := flag.Bool("per-pe", false, "print per-PE utilization")
+	place := flag.Bool("place", false, "run simulated-annealing placement and report comm cost")
+	dot := flag.Bool("dot", false, "emit the Figure 12-style clustered DOT instead of simulating")
+	traceFile := flag.String("trace", "", "write a CSV firing trace to this file")
+	gantt := flag.Bool("gantt", false, "print an ASCII Gantt chart of PE occupancy")
+	flag.Parse()
+
+	if err := run(*appID, *mapKind, *frames, *perPE, *place, *dot, *traceFile, *gantt); err != nil {
+		fmt.Fprintln(os.Stderr, "bpsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(appID, mapKind string, frames int, perPE, place, dot bool, traceFile string, gantt bool) error {
+	app, err := apps.ByID(appID)
+	if err != nil {
+		return err
+	}
+	m := machine.Embedded()
+	c, err := core.Compile(app.Graph, core.Config{
+		Machine: m, Parallelize: true, BufferStriping: true,
+	})
+	if err != nil {
+		return err
+	}
+
+	var assign *mapping.Assignment
+	switch mapKind {
+	case "1:1", "one-to-one":
+		assign = mapping.OneToOne(c.Graph)
+	case "greedy", "gm":
+		assign, err = mapping.Greedy(c.Graph, c.Analysis, m)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown mapping %q", mapKind)
+	}
+
+	if dot {
+		fmt.Print(mapping.Dot(c.Graph, assign))
+		return nil
+	}
+
+	opts := sim.Options{Machine: m, Frames: frames}
+	if traceFile != "" || gantt {
+		opts.TraceLimit = 1 << 20
+	}
+	res, err := sim.Simulate(c.Graph, assign, opts)
+	if err != nil {
+		return err
+	}
+
+	rt := "met"
+	if !res.RealTimeMet() {
+		rt = fmt.Sprintf("MISSED (%d stalls, %.3g s late)", res.InputStalls, res.StallTime)
+	}
+	run, read, write := res.Breakdown()
+	fmt.Printf("app %s on %s, %s mapping\n", app.Name, m.Name, mapKind)
+	fmt.Printf("  PEs:         %d\n", assign.NumPEs)
+	fmt.Printf("  makespan:    %.6f s for %d frames (%.1f frames/s)\n", res.Time, frames, res.Throughput)
+	fmt.Printf("  real-time:   %s\n", rt)
+	fmt.Printf("  utilization: %.1f%% mean (run %.1f%% + read %.1f%% + write %.1f%%)\n",
+		100*res.MeanUtilization(), 100*run, 100*read, 100*write)
+	fmt.Printf("  latency:     %.6f s worst frame\n", res.MaxLatency())
+	if n := res.TotalExceptions(); n > 0 {
+		fmt.Printf("  exceptions:  %d dynamic-kernel bound violations\n", n)
+	}
+
+	if perPE {
+		fmt.Println("  per-PE:")
+		for i, pe := range res.PEs {
+			names := []string{}
+			for _, n := range assign.NodesOn(c.Graph, i) {
+				names = append(names, n.Name())
+			}
+			fmt.Printf("    PE%-3d %5.1f%%  %s\n", i, 100*pe.Busy()/res.Time, strings.Join(names, " + "))
+		}
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.Trace.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("  trace:       %d firings written to %s\n", len(res.Trace.Events), traceFile)
+	}
+	if gantt {
+		fmt.Println("  PE occupancy (time left to right):")
+		fmt.Print(indent(res.Trace.Gantt(assign.NumPEs, res.Time, 72), "    "))
+	}
+	if place {
+		p := mapping.Anneal(c.Graph, assign, 42)
+		em := mapping.DefaultEnergy()
+		fmt.Printf("  placement:   %dx%d grid, comm cost %.0f word-hops/frame-set\n",
+			p.GridW, p.GridH, mapping.CommCost(c.Graph, assign, p))
+		fmt.Printf("  energy:      %.0f units/frame (placed), model %v\n",
+			mapping.EnergyPerFrame(c.Graph, c.Analysis, m, assign, p, em), em)
+	}
+	return nil
+}
+
+// indent prefixes every line of s.
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = prefix + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

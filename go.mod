@@ -1,0 +1,3 @@
+module blockpar
+
+go 1.22

@@ -1,0 +1,293 @@
+// Package analysis implements the paper's data-flow analyses (§III):
+// propagation of the application inputs' sizes and rates through the
+// graph to compute per-kernel iteration sizes and rates, per-port data
+// regions and item grids, and insets relative to the application
+// inputs. The results drive the automatic transformations (buffer
+// insertion, trimming/padding, parallelization) and the load model used
+// by mapping and simulation.
+//
+// The analysis works in logical sample space. Every stream edge carries,
+// per frame, a rectangular Region of samples, chunked into an item grid
+// (Items of ItemSize each), at a frame Rate, displaced by Inset from
+// the application input's origin. A windowed consumer reading a raw
+// 1×1-sample stream slides its window over the Region (and the analysis
+// flags that edge as needing a buffer); an item-aligned consumer fires
+// once per item.
+package analysis
+
+import (
+	"fmt"
+
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+)
+
+// PortInfo describes the stream produced by an output port or arriving
+// at an input port.
+type PortInfo struct {
+	// Region is the logical sample extent per frame.
+	Region geom.Size
+	// Items is the item grid per frame (columns × rows of items).
+	Items geom.Size
+	// ItemSize is the shape of each item.
+	ItemSize geom.Size
+	// Inset displaces the region's origin from the application input's
+	// origin (paper §III-C).
+	Inset geom.Offset
+	// Rate is the frame rate in Hz.
+	Rate geom.Frac
+	// Flat marks streams whose two-dimensional grid structure was lost
+	// by round-robin distribution (SplitRR/JoinRR flatten the item
+	// grid to a row). Totals remain exact; shape and inset comparisons
+	// are skipped for flat streams.
+	Flat bool
+}
+
+// ItemsPerFrame returns the total items per frame.
+func (p PortInfo) ItemsPerFrame() int64 {
+	return int64(p.Items.W) * int64(p.Items.H)
+}
+
+// WordsPerFrame returns the total words per frame.
+func (p PortInfo) WordsPerFrame() int64 {
+	return p.ItemsPerFrame() * int64(p.ItemSize.Area())
+}
+
+func (p PortInfo) String() string {
+	return fmt.Sprintf("region%v items%v of %v inset%v @%vHz",
+		p.Region, p.Items, p.ItemSize, p.Inset, p.Rate)
+}
+
+// MethodInfo describes one method's computed execution requirements.
+type MethodInfo struct {
+	// IterX, IterY is the iteration grid per frame (1×1 for
+	// token-triggered methods firing once per frame).
+	IterX, IterY int64
+	// Rate is the frame rate driving the method.
+	Rate geom.Frac
+	// ReadWords and WriteWords are per-frame channel word counts.
+	ReadWords, WriteWords int64
+}
+
+// Invocations returns iterations per frame.
+func (m MethodInfo) Invocations() int64 { return m.IterX * m.IterY }
+
+// NodeInfo aggregates a node's requirements (paper §III-A: "the
+// iteration size and rate at each kernel").
+type NodeInfo struct {
+	// IterX, IterY is the data-method iteration grid (the paper's
+	// iteration size), zero if the node has no data methods.
+	IterX, IterY int64
+	// Rate is the node's driving frame rate.
+	Rate    geom.Frac
+	Methods map[string]MethodInfo
+	// CyclesPerFrame is Σ method invocations × cycles.
+	CyclesPerFrame int64
+	// ReadWordsPerFrame and WriteWordsPerFrame count channel traffic.
+	ReadWordsPerFrame  int64
+	WriteWordsPerFrame int64
+	// MemoryWords is the node's private state plus port buffers.
+	MemoryWords int64
+}
+
+// ProblemKind classifies issues the transformations must fix.
+type ProblemKind int
+
+const (
+	// NeedsBuffer marks an edge whose consumer slides a window over a
+	// raw sample stream: a buffer kernel must be inserted (§III-B).
+	NeedsBuffer ProblemKind = iota
+	// Misaligned marks a method whose data inputs disagree in region
+	// or inset: an inset or pad kernel must be inserted (§III-C).
+	Misaligned
+	// RateMismatch marks a method whose data inputs arrive at
+	// different frame rates.
+	RateMismatch
+	// Incompatible marks an edge whose chunking cannot feed the
+	// consumer at all.
+	Incompatible
+)
+
+func (k ProblemKind) String() string {
+	switch k {
+	case NeedsBuffer:
+		return "needs-buffer"
+	case Misaligned:
+		return "misaligned"
+	case RateMismatch:
+		return "rate-mismatch"
+	case Incompatible:
+		return "incompatible"
+	default:
+		return fmt.Sprintf("ProblemKind(%d)", int(k))
+	}
+}
+
+// Problem is one issue found during propagation.
+type Problem struct {
+	Kind   ProblemKind
+	Node   *graph.Node
+	Method string
+	// Edge is set for NeedsBuffer/Incompatible.
+	Edge *graph.Edge
+	Note string
+}
+
+func (p Problem) String() string {
+	s := fmt.Sprintf("%s at %s", p.Kind, p.Node.Name())
+	if p.Method != "" {
+		s += "." + p.Method
+	}
+	if p.Edge != nil {
+		s += " on " + p.Edge.String()
+	}
+	if p.Note != "" {
+		s += ": " + p.Note
+	}
+	return s
+}
+
+// Result is the full analysis output.
+type Result struct {
+	// Out maps every output port to what it produces; In maps every
+	// input port to what arrives on it.
+	Out      map[*graph.Port]PortInfo
+	In       map[*graph.Port]PortInfo
+	Nodes    map[*graph.Node]NodeInfo
+	Problems []Problem
+}
+
+// NodeInfoOf returns the node's info (zero value if absent).
+func (r *Result) NodeInfoOf(n *graph.Node) NodeInfo { return r.Nodes[n] }
+
+// HasProblems reports whether any problems were found.
+func (r *Result) HasProblems() bool { return len(r.Problems) > 0 }
+
+// ProblemsOfKind filters problems by kind.
+func (r *Result) ProblemsOfKind(k ProblemKind) []Problem {
+	var out []Problem
+	for _, p := range r.Problems {
+		if p.Kind == k {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Analyze propagates sizes, rates, and insets through the graph. The
+// graph must validate. Feedback loops are handled with a second
+// propagation pass once the loop-closing edges have produced info
+// (§III-D "using a work-list to traverse the graph").
+func Analyze(g *graph.Graph) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	order, err := g.Topological()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+
+	r := &Result{
+		Out:   make(map[*graph.Port]PortInfo),
+		In:    make(map[*graph.Port]PortInfo),
+		Nodes: make(map[*graph.Node]NodeInfo),
+	}
+	a := &analyzer{g: g, r: r}
+
+	passes := 1
+	for _, n := range g.Nodes() {
+		if n.Kind == graph.KindFeedback {
+			passes = 2
+			break
+		}
+	}
+	for pass := 0; pass < passes; pass++ {
+		r.Problems = r.Problems[:0]
+		for _, n := range order {
+			a.visit(n, pass)
+		}
+	}
+	return r, nil
+}
+
+type analyzer struct {
+	g *graph.Graph
+	r *Result
+}
+
+func (a *analyzer) problem(p Problem) {
+	a.r.Problems = append(a.r.Problems, p)
+}
+
+// arriving resolves what reaches each input port from its feeding edge.
+func (a *analyzer) arriving(n *graph.Node) map[string]PortInfo {
+	in := make(map[string]PortInfo)
+	for _, p := range n.Inputs() {
+		e := a.g.EdgeTo(p)
+		if e == nil {
+			continue
+		}
+		info, ok := a.r.Out[e.From]
+		if !ok {
+			continue // unresolved (feedback first pass)
+		}
+		in[p.Name] = info
+		a.r.In[p] = info
+	}
+	return in
+}
+
+func (a *analyzer) visit(n *graph.Node, pass int) {
+	switch n.Kind {
+	case graph.KindInput:
+		a.visitInput(n)
+	case graph.KindOutput:
+		a.visitOutput(n)
+	case graph.KindBuffer:
+		a.visitBuffer(n)
+	case graph.KindSplit:
+		a.visitSplit(n)
+	case graph.KindJoin:
+		a.visitJoin(n)
+	case graph.KindReplicate:
+		a.visitReplicate(n)
+	case graph.KindInset:
+		a.visitInset(n)
+	case graph.KindPad:
+		a.visitPad(n)
+	case graph.KindFeedback:
+		a.visitFeedback(n, pass)
+	default:
+		a.visitKernel(n)
+	}
+}
+
+func (a *analyzer) visitInput(n *graph.Node) {
+	out := n.Output("out")
+	chunk := out.Size
+	info := PortInfo{
+		Region:   n.FrameSize,
+		Items:    geom.Sz(n.FrameSize.W/chunk.W, n.FrameSize.H/chunk.H),
+		ItemSize: chunk,
+		Rate:     n.Rate,
+	}
+	a.r.Out[out] = info
+	items := info.ItemsPerFrame()
+	a.r.Nodes[n] = NodeInfo{
+		IterX: int64(info.Items.W), IterY: int64(info.Items.H),
+		Rate:               n.Rate,
+		Methods:            map[string]MethodInfo{},
+		WriteWordsPerFrame: items * int64(chunk.Area()),
+	}
+}
+
+func (a *analyzer) visitOutput(n *graph.Node) {
+	in := a.arriving(n)
+	info := in["in"]
+	a.r.Nodes[n] = NodeInfo{
+		IterX: int64(info.Items.W), IterY: int64(info.Items.H),
+		Rate:              info.Rate,
+		Methods:           map[string]MethodInfo{},
+		ReadWordsPerFrame: info.WordsPerFrame(),
+	}
+}

@@ -1,0 +1,353 @@
+package analysis
+
+import (
+	"testing"
+
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+	"blockpar/internal/kernel"
+	"blockpar/internal/machine"
+)
+
+// buildConvApp builds Input(WxH @rate) -> 5x5 Conv <- Coeff, -> Output,
+// without buffers (raw sample stream), as the programmer writes it.
+func buildConvApp(w, h int, rate int64) (*graph.Graph, *graph.Node) {
+	g := graph.New("conv-app")
+	in := g.AddInput("Input", geom.Sz(w, h), geom.Sz(1, 1), geom.FInt(rate))
+	conv := g.Add(kernel.Convolution("5x5 Conv", 5))
+	coeff := g.AddInput("Coeff", geom.Sz(5, 5), geom.Sz(5, 5), geom.FInt(rate))
+	out := g.AddOutput("Output", geom.Sz(1, 1))
+	g.Connect(in, "out", conv, "in")
+	g.Connect(coeff, "out", conv, "coeff")
+	g.Connect(conv, "out", out, "in")
+	return g, conv
+}
+
+// TestPaperSection3AExample reproduces the worked example of §III-A:
+// a 5x5 convolution fed a 100x100 image at 50 Hz has iteration size
+// 96x96 at 50 Hz, and its output is 96x96 at 50 Hz.
+func TestPaperSection3AExample(t *testing.T) {
+	g, conv := buildConvApp(100, 100, 50)
+	r, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ni := r.NodeInfoOf(conv)
+	if ni.IterX != 96 || ni.IterY != 96 {
+		t.Errorf("iteration size = %dx%d, want 96x96", ni.IterX, ni.IterY)
+	}
+	if !ni.Rate.Equal(geom.FInt(50)) {
+		t.Errorf("rate = %v, want 50", ni.Rate)
+	}
+	out := r.Out[conv.Output("out")]
+	if out.Region != geom.Sz(96, 96) || out.Items != geom.Sz(96, 96) {
+		t.Errorf("output = %v, want 96x96 region and items", out)
+	}
+	if !out.Rate.Equal(geom.FInt(50)) {
+		t.Errorf("output rate = %v", out.Rate)
+	}
+	// The halo is 4x4: size (5,5) minus step (1,1) (paper text).
+	if geom.Halo(geom.Sz(5, 5), geom.St(1, 1)) != geom.Sz(4, 4) {
+		t.Error("halo formula broken")
+	}
+}
+
+func TestNeedsBufferFlagged(t *testing.T) {
+	g, conv := buildConvApp(20, 16, 50)
+	r, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := r.ProblemsOfKind(NeedsBuffer)
+	if len(probs) != 1 {
+		t.Fatalf("NeedsBuffer problems = %d, want 1 (%v)", len(probs), r.Problems)
+	}
+	if probs[0].Node != conv || probs[0].Method != "runConvolve" {
+		t.Errorf("problem at %v.%s", probs[0].Node, probs[0].Method)
+	}
+}
+
+func TestBufferedEdgeIsClean(t *testing.T) {
+	const W, H = 20, 16
+	g := graph.New("buffered")
+	in := g.AddInput("Input", geom.Sz(W, H), geom.Sz(1, 1), geom.FInt(50))
+	buf := g.Add(kernel.Buffer("Buf", kernel.BufferPlan{DataW: W, DataH: H, WinW: 5, WinH: 5, StepX: 1, StepY: 1}))
+	conv := g.Add(kernel.Convolution("Conv", 5))
+	coeff := g.AddInput("Coeff", geom.Sz(5, 5), geom.Sz(5, 5), geom.FInt(50))
+	out := g.AddOutput("Output", geom.Sz(1, 1))
+	g.Connect(in, "out", buf, "in")
+	g.Connect(buf, "out", conv, "in")
+	g.Connect(coeff, "out", conv, "coeff")
+	g.Connect(conv, "out", out, "in")
+
+	r, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.ProblemsOfKind(NeedsBuffer)) != 0 {
+		t.Errorf("buffered edge still flagged: %v", r.Problems)
+	}
+	// Buffer: region passes through; items become window positions.
+	bout := r.Out[buf.Output("out")]
+	if bout.Region != geom.Sz(W, H) {
+		t.Errorf("buffer region = %v, want (20x16)", bout.Region)
+	}
+	if bout.Items != geom.Sz(16, 12) {
+		t.Errorf("buffer items = %v, want (16x12)", bout.Items)
+	}
+	// Conv fires once per item.
+	ni := r.NodeInfoOf(conv)
+	if ni.IterX != 16 || ni.IterY != 12 {
+		t.Errorf("conv iterations = %dx%d, want 16x12", ni.IterX, ni.IterY)
+	}
+	// Conv output inset = 0 + (2,2).
+	cout := r.Out[conv.Output("out")]
+	if !cout.Inset.Equal(geom.Off(2, 2)) {
+		t.Errorf("conv inset = %v, want [2,2]", cout.Inset)
+	}
+}
+
+// TestFigure8Insets reproduces the misalignment of Figure 8: the 3x3
+// median (inset 1,1) and 5x5 convolution (inset 2,2) feed a subtract,
+// whose inputs disagree in both size and inset.
+func TestFigure8Insets(t *testing.T) {
+	const W, H = 20, 16
+	g := graph.New("fig8")
+	in := g.AddInput("Input", geom.Sz(W, H), geom.Sz(1, 1), geom.FInt(50))
+	med := g.Add(kernel.Median("3x3 Median", 3))
+	conv := g.Add(kernel.Convolution("5x5 Conv", 5))
+	coeff := g.AddInput("Coeff", geom.Sz(5, 5), geom.Sz(5, 5), geom.FInt(50))
+	sub := g.Add(kernel.Subtract("Subtract"))
+	out := g.AddOutput("Output", geom.Sz(1, 1))
+	g.Connect(in, "out", med, "in")
+	g.Connect(in, "out", conv, "in")
+	g.Connect(coeff, "out", conv, "coeff")
+	g.Connect(med, "out", sub, "in0")
+	g.Connect(conv, "out", sub, "in1")
+	g.Connect(sub, "out", out, "in")
+
+	r, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mo := r.Out[med.Output("out")]
+	co := r.Out[conv.Output("out")]
+	if !mo.Inset.Equal(geom.Off(1, 1)) || mo.Region != geom.Sz(W-2, H-2) {
+		t.Errorf("median out = %v, want inset [1,1], region (18x14)", mo)
+	}
+	if !co.Inset.Equal(geom.Off(2, 2)) || co.Region != geom.Sz(W-4, H-4) {
+		t.Errorf("conv out = %v, want inset [2,2], region (16x12)", co)
+	}
+	if len(r.ProblemsOfKind(Misaligned)) == 0 {
+		t.Errorf("subtract misalignment not detected: %v", r.Problems)
+	}
+}
+
+func TestHistogramRates(t *testing.T) {
+	const W, H, bins = 16, 12, 8
+	g := graph.New("hist")
+	in := g.AddInput("Input", geom.Sz(W, H), geom.Sz(1, 1), geom.FInt(30))
+	binsIn := g.AddInput("Bins", geom.Sz(bins, 1), geom.Sz(bins, 1), geom.FInt(30))
+	hist := g.Add(kernel.Histogram("Hist", bins))
+	merge := g.Add(kernel.Merge("Merge", bins))
+	out := g.AddOutput("Output", geom.Sz(bins, 1))
+	g.Connect(in, "out", hist, "in")
+	g.Connect(binsIn, "out", hist, "bins")
+	g.Connect(hist, "out", merge, "in")
+	g.Connect(merge, "out", out, "in")
+	g.AddDep(in, merge)
+
+	r, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ni := r.NodeInfoOf(hist)
+	// count fires once per sample.
+	if got := ni.Methods["count"].Invocations(); got != W*H {
+		t.Errorf("count invocations = %d, want %d", got, W*H)
+	}
+	// finishCount fires once per frame on the EOF token.
+	if got := ni.Methods["finishCount"].Invocations(); got != 1 {
+		t.Errorf("finishCount invocations = %d, want 1", got)
+	}
+	// configureBins fires once per frame.
+	if got := ni.Methods["configureBins"].Invocations(); got != 1 {
+		t.Errorf("configureBins invocations = %d, want 1", got)
+	}
+	// Histogram output: one 8x1 item per frame.
+	ho := r.Out[hist.Output("out")]
+	if ho.Items != geom.Sz(1, 1) || ho.ItemSize != geom.Sz(bins, 1) {
+		t.Errorf("hist out = %v", ho)
+	}
+	// Merge accumulates once per frame and emits once per frame.
+	mi := r.NodeInfoOf(merge)
+	if mi.Methods["accumulate"].Invocations() != 1 || mi.Methods["finishMerge"].Invocations() != 1 {
+		t.Errorf("merge methods = %+v", mi.Methods)
+	}
+}
+
+func TestRateMismatchDetected(t *testing.T) {
+	g := graph.New("rates")
+	a := g.AddInput("A", geom.Sz(4, 1), geom.Sz(1, 1), geom.FInt(10))
+	b := g.AddInput("B", geom.Sz(4, 1), geom.Sz(1, 1), geom.FInt(20))
+	sub := g.Add(kernel.Subtract("Sub"))
+	out := g.AddOutput("Output", geom.Sz(1, 1))
+	g.Connect(a, "out", sub, "in0")
+	g.Connect(b, "out", sub, "in1")
+	g.Connect(sub, "out", out, "in")
+
+	r, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.ProblemsOfKind(RateMismatch)) == 0 {
+		t.Errorf("rate mismatch not detected: %v", r.Problems)
+	}
+}
+
+func TestSplitJoinItemAccounting(t *testing.T) {
+	const W, H, N = 9, 4, 2
+	g := graph.New("rr")
+	in := g.AddInput("Input", geom.Sz(W, H), geom.Sz(1, 1), geom.FInt(10))
+	split := g.Add(kernel.SplitRR("Split", N, geom.Sz(1, 1)))
+	join := g.Add(kernel.JoinRR("Join", N, geom.Sz(1, 1)))
+	out := g.AddOutput("Output", geom.Sz(1, 1))
+	g.Connect(in, "out", split, "in")
+	for i := 0; i < N; i++ {
+		k := g.Add(kernel.Gain("Gain"+string(rune('0'+i)), 2))
+		g.Connect(split, "out"+string(rune('0'+i)), k, "in")
+		g.Connect(k, "out", join, "in"+string(rune('0'+i)))
+	}
+	g.Connect(join, "out", out, "in")
+
+	r, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 36 samples split 18/18.
+	b0 := r.Out[split.Output("out0")]
+	b1 := r.Out[split.Output("out1")]
+	if b0.ItemsPerFrame() != 18 || b1.ItemsPerFrame() != 18 {
+		t.Errorf("branch items = %d, %d; want 18, 18", b0.ItemsPerFrame(), b1.ItemsPerFrame())
+	}
+	jo := r.Out[join.Output("out")]
+	if jo.ItemsPerFrame() != 36 {
+		t.Errorf("join out items = %d, want 36", jo.ItemsPerFrame())
+	}
+}
+
+func TestColumnSplitRegions(t *testing.T) {
+	const W, H = 12, 8
+	stripes := kernel.ColumnStripes(W, 3, 1, 2)
+	g := graph.New("cols")
+	in := g.AddInput("Input", geom.Sz(W, H), geom.Sz(1, 1), geom.FInt(10))
+	split := g.Add(kernel.SplitColumns("Split", stripes, W))
+	out0 := g.AddOutput("O0", geom.Sz(1, 1))
+	out1 := g.AddOutput("O1", geom.Sz(1, 1))
+	g.Connect(in, "out", split, "in")
+	g.Connect(split, "out0", out0, "in")
+	g.Connect(split, "out1", out1, "in")
+
+	r, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0 := r.Out[split.Output("out0")]
+	b1 := r.Out[split.Output("out1")]
+	if b0.Region != geom.Sz(stripes[0].InWidth(), H) {
+		t.Errorf("stripe0 region = %v, want (%dx%d)", b0.Region, stripes[0].InWidth(), H)
+	}
+	if !b1.Inset.Equal(geom.Off(int64(stripes[1].InStart), 0)) {
+		t.Errorf("stripe1 inset = %v, want [%d,0]", b1.Inset, stripes[1].InStart)
+	}
+}
+
+func TestFeedbackTwoPassAnalysis(t *testing.T) {
+	g := graph.New("fb")
+	in := g.AddInput("Input", geom.Sz(6, 1), geom.Sz(1, 1), geom.FInt(10))
+	acc := g.Add(kernel.Accumulator("Acc"))
+	fb := g.Add(kernel.Feedback("FB", geom.Sz(1, 1), nil))
+	out := g.AddOutput("Output", geom.Sz(1, 1))
+	g.Connect(in, "out", acc, "in")
+	g.Connect(fb, "out", acc, "state")
+	g.Connect(acc, "loop", fb, "in")
+	g.Connect(acc, "out", out, "in")
+
+	r, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ni := r.NodeInfoOf(acc)
+	if ni.Methods["accumulate"].Invocations() != 6 {
+		t.Errorf("accumulate invocations = %d, want 6", ni.Methods["accumulate"].Invocations())
+	}
+	// After the second pass the feedback node's throughput is known.
+	fi := r.NodeInfoOf(fb)
+	if fi.CyclesPerFrame == 0 {
+		t.Error("feedback node load not resolved on second pass")
+	}
+}
+
+func TestLoadAndDegree(t *testing.T) {
+	g, conv := buildConvApp(100, 100, 50)
+	r, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.Default()
+	l := r.LoadOf(conv, m)
+	// runConvolve: 96*96*85 cycles/frame (+ loadCoeff 60) at 50 Hz
+	// ≈ 39.2 Mcycles/s of compute.
+	if l.CyclesPerSec <= 0 {
+		t.Fatal("zero load")
+	}
+	if l.RunFrac <= 0 || l.ReadFrac <= 0 || l.WriteFrac <= 0 {
+		t.Errorf("load breakdown missing: %+v", l)
+	}
+	wantRun := float64(96*96*(10+3*25)+(10+2*25)) * 50 / float64(m.PE.CyclesPerSec)
+	if diff := l.RunFrac - wantRun; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("RunFrac = %v, want %v", l.RunFrac, wantRun)
+	}
+	deg := r.DegreeFor(conv, m)
+	// Total load ≈ (39.2M run + 11.5M read + 0.46M write) / 200M ≈ 0.26.
+	if deg != 1 {
+		t.Errorf("degree on default machine = %d, want 1", deg)
+	}
+	// On the small machine the same kernel needs many PEs.
+	if degSmall := r.DegreeFor(conv, machine.Small()); degSmall < 10 {
+		t.Errorf("degree on small machine = %d, want >= 10", degSmall)
+	}
+}
+
+func TestDegreeMemoryBound(t *testing.T) {
+	const W, H = 64, 32
+	g := graph.New("membound")
+	in := g.AddInput("Input", geom.Sz(W, H), geom.Sz(1, 1), geom.FInt(1))
+	buf := g.Add(kernel.Buffer("Buf", kernel.BufferPlan{DataW: W, DataH: H, WinW: 5, WinH: 5, StepX: 1, StepY: 1}))
+	conv := g.Add(kernel.Convolution("Conv", 5))
+	coeff := g.AddInput("Coeff", geom.Sz(5, 5), geom.Sz(5, 5), geom.FInt(1))
+	out := g.AddOutput("Output", geom.Sz(1, 1))
+	g.Connect(in, "out", buf, "in")
+	g.Connect(buf, "out", conv, "in")
+	g.Connect(coeff, "out", conv, "coeff")
+	g.Connect(conv, "out", out, "in")
+
+	r, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Buffer memory = 2*64*5 = 640 words > Small's 256: memory-bound
+	// split required even though the rate is trivial.
+	deg := r.DegreeFor(buf, machine.Small())
+	if deg < 3 {
+		t.Errorf("buffer degree = %d, want >= 3 (640 words / 256)", deg)
+	}
+}
+
+func TestAnalyzeRejectsInvalidGraph(t *testing.T) {
+	g := graph.New("bad")
+	g.AddOutput("Output", geom.Sz(1, 1))
+	if _, err := Analyze(g); err == nil {
+		t.Fatal("invalid graph accepted")
+	}
+}

@@ -1,0 +1,247 @@
+package analysis
+
+import (
+	"fmt"
+
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+	"blockpar/internal/token"
+)
+
+// visitKernel applies the generic rules of §III-A to a programmer
+// kernel: each data method's iteration grid comes from sliding (or
+// item-counting) its trigger inputs; token methods fire at token rates;
+// outputs produce one item per invocation of their method.
+func (a *analyzer) visitKernel(n *graph.Node) {
+	in := a.arriving(n)
+	ni := NodeInfo{Methods: map[string]MethodInfo{}, MemoryWords: n.Memory()}
+
+	for _, m := range n.Methods() {
+		mi, ok, flat := a.methodInfo(n, m, in)
+		if !ok {
+			continue
+		}
+		ni.Methods[m.Name] = mi
+		// Dynamic methods are budgeted at their declared worst case
+		// (§VII extension).
+		ni.CyclesPerFrame += mi.Invocations() * m.AllocCycles()
+		ni.ReadWordsPerFrame += mi.ReadWords
+		ni.WriteWordsPerFrame += mi.WriteWords
+		if isPrimaryDataMethod(n, m) {
+			ni.IterX, ni.IterY = mi.IterX, mi.IterY
+			ni.Rate = mi.Rate
+		}
+		if ni.Rate.IsZero() {
+			ni.Rate = mi.Rate
+		}
+
+		// Publish output port info.
+		for _, outName := range m.Outputs {
+			op := n.Output(outName)
+			inset, insetOK := a.methodOutputInset(n, m, in)
+			items := geom.Sz(int(mi.IterX), int(mi.IterY))
+			info := PortInfo{
+				Region:   geom.Sz(items.W*op.Size.W, items.H*op.Size.H),
+				Items:    items,
+				ItemSize: op.Size,
+				Rate:     mi.Rate,
+				Flat:     flat,
+			}
+			if insetOK {
+				info.Inset = inset
+			}
+			a.r.Out[op] = info
+		}
+	}
+	a.r.Nodes[n] = ni
+}
+
+// isPrimaryDataMethod picks the method whose iteration grid defines the
+// node's iteration size: the first method with a non-replicated data
+// trigger.
+func isPrimaryDataMethod(n *graph.Node, m *graph.Method) bool {
+	for _, t := range m.DataTriggers() {
+		p := n.Input(t.Input)
+		if p != nil && !p.Replicated {
+			// It must be the first such method.
+			for _, other := range n.Methods() {
+				if other == m {
+					return true
+				}
+				for _, ot := range other.DataTriggers() {
+					op := n.Input(ot.Input)
+					if op != nil && !op.Replicated {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// methodInfo computes a method's iteration grid, rate, and IO words.
+func (a *analyzer) methodInfo(n *graph.Node, m *graph.Method, in map[string]PortInfo) (MethodInfo, bool, bool) {
+	var mi MethodInfo
+	resolved := false
+	flat := false
+
+	for _, t := range m.Triggers {
+		info, ok := in[t.Input]
+		if !ok {
+			return mi, false, flat // unresolved input (feedback first pass)
+		}
+		p := n.Input(t.Input)
+		var ix, iy int64
+		switch {
+		case !t.IsData():
+			// Token-triggered: EOF once per frame, EOL once per item
+			// row, custom at its declared per-frame rate.
+			switch t.Token {
+			case token.EndOfFrame:
+				ix, iy = 1, 1
+			case token.EndOfLine:
+				ix, iy = 1, int64(info.Items.H)
+			case token.Custom:
+				ix, iy = a.customTokenRate(t.TokenName), 1
+			}
+			mi.ReadWords += ix * iy // token costs one word
+		case info.ItemSize == p.Size:
+			// Item-aligned: one item per iteration.
+			ix, iy = int64(info.Items.W), int64(info.Items.H)
+			mi.ReadWords += ix * iy * int64(p.Size.Area())
+		case info.ItemSize == geom.Sz(1, 1) && p.Size != geom.Sz(1, 1):
+			// Windowed access over a raw sample stream: iteration grid
+			// slides the window over the region; flag for buffering.
+			nx, ny := geom.Iterations(info.Region, p.Size, p.Step)
+			ix, iy = int64(nx), int64(ny)
+			mi.ReadWords += ix * iy * int64(p.Size.Area())
+			a.problem(Problem{
+				Kind: NeedsBuffer, Node: n, Method: m.Name,
+				Edge: a.g.EdgeTo(p),
+				Note: fmt.Sprintf("window %v%v over %v samples", p.Size, p.Step, info.Region),
+			})
+		default:
+			a.problem(Problem{
+				Kind: Incompatible, Node: n, Method: m.Name,
+				Edge: a.g.EdgeTo(p),
+				Note: fmt.Sprintf("items of %v cannot feed window %v", info.ItemSize, p.Size),
+			})
+			continue
+		}
+
+		if info.Flat {
+			flat = true
+		}
+		if !resolved {
+			mi.IterX, mi.IterY, mi.Rate = ix, iy, info.Rate
+			resolved = true
+			continue
+		}
+		// Subsequent triggers must agree: on the exact grid for 2-D
+		// streams, on the total for flattened (round-robin) streams.
+		gridMismatch := ix != mi.IterX || iy != mi.IterY
+		if flat || info.Flat {
+			gridMismatch = ix*iy != mi.IterX*mi.IterY
+		}
+		if t.IsData() && gridMismatch {
+			a.problem(Problem{
+				Kind: Misaligned, Node: n, Method: m.Name,
+				Note: fmt.Sprintf("iteration grids differ: %dx%d vs %dx%d", mi.IterX, mi.IterY, ix, iy),
+			})
+		}
+		if !info.Rate.Equal(mi.Rate) && !info.Rate.IsZero() && !mi.Rate.IsZero() {
+			a.problem(Problem{
+				Kind: RateMismatch, Node: n, Method: m.Name,
+				Note: fmt.Sprintf("rates differ: %v vs %v", mi.Rate, info.Rate),
+			})
+		}
+	}
+	if !resolved {
+		return mi, false, flat
+	}
+
+	// Inset agreement across data triggers (per §III-C, detected here,
+	// fixed by the alignment transformation). Flattened streams carry
+	// no usable inset.
+	if !flat {
+		a.checkInsetAgreement(n, m, in)
+	}
+
+	for _, outName := range m.Outputs {
+		op := n.Output(outName)
+		mi.WriteWords += mi.Invocations() * int64(op.Size.Area())
+	}
+	return mi, true, flat
+}
+
+// checkInsetAgreement flags methods whose data inputs' aligned insets
+// disagree (e.g. the subtract kernel fed by differently-haloed
+// filters, Figure 8).
+func (a *analyzer) checkInsetAgreement(n *graph.Node, m *graph.Method, in map[string]PortInfo) {
+	var have bool
+	var ref geom.Offset
+	for _, t := range m.DataTriggers() {
+		p := n.Input(t.Input)
+		if p == nil || p.Replicated {
+			continue
+		}
+		info, ok := in[t.Input]
+		if !ok {
+			continue
+		}
+		aligned := info.Inset.Add(p.Offset)
+		if !have {
+			ref, have = aligned, true
+			continue
+		}
+		if !aligned.Equal(ref) {
+			a.problem(Problem{
+				Kind: Misaligned, Node: n, Method: m.Name,
+				Note: fmt.Sprintf("insets differ: %v vs %v", ref, aligned),
+			})
+			return
+		}
+	}
+}
+
+// methodOutputInset computes the output inset: input inset plus the
+// input's declared offset (§III-C), from the method's first
+// non-replicated data trigger.
+func (a *analyzer) methodOutputInset(n *graph.Node, m *graph.Method, in map[string]PortInfo) (geom.Offset, bool) {
+	for _, t := range m.DataTriggers() {
+		p := n.Input(t.Input)
+		if p == nil || p.Replicated {
+			continue
+		}
+		info, ok := in[t.Input]
+		if !ok {
+			continue
+		}
+		return info.Inset.Add(p.Offset), true
+	}
+	// Token-only methods (e.g. finishCount) anchor to the node's first
+	// data input if any.
+	for _, t := range m.Triggers {
+		info, ok := in[t.Input]
+		if ok {
+			return info.Inset, true
+		}
+	}
+	return geom.Offset{}, false
+}
+
+// customTokenRate returns the declared per-frame bound for a custom
+// token, defaulting to 1.
+func (a *analyzer) customTokenRate(name string) int64 {
+	for _, n := range a.g.Nodes() {
+		if r, ok := n.TokenRates[name]; ok {
+			v := r.Ceil()
+			if v < 1 {
+				v = 1
+			}
+			return v
+		}
+	}
+	return 1
+}

@@ -1,0 +1,269 @@
+package analysis
+
+import (
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+	"blockpar/internal/kernel"
+)
+
+// visitBuffer applies the buffer rule: the region flows through
+// unchanged (the consumer's window determines its own halo), but the
+// chunking becomes one item per window position.
+func (a *analyzer) visitBuffer(n *graph.Node) {
+	in := a.arriving(n)
+	info := in["in"]
+	out := n.Output("out")
+	nx, ny := geom.Iterations(info.Region, out.Size, out.Step)
+	outInfo := PortInfo{
+		Region:   info.Region,
+		Items:    geom.Sz(nx, ny),
+		ItemSize: out.Size,
+		Inset:    info.Inset,
+		Rate:     info.Rate,
+	}
+	a.r.Out[out] = outInfo
+
+	samples := info.ItemsPerFrame()
+	m := n.Method("buffer")
+	mi := MethodInfo{
+		IterX: int64(info.Items.W), IterY: int64(info.Items.H),
+		Rate:       info.Rate,
+		ReadWords:  info.WordsPerFrame(),
+		WriteWords: outInfo.WordsPerFrame(),
+	}
+	a.r.Nodes[n] = NodeInfo{
+		IterX: mi.IterX, IterY: mi.IterY,
+		Rate:               info.Rate,
+		Methods:            map[string]MethodInfo{m.Name: mi},
+		CyclesPerFrame:     samples * m.Cycles,
+		ReadWordsPerFrame:  mi.ReadWords,
+		WriteWordsPerFrame: mi.WriteWords,
+		MemoryWords:        n.Memory(),
+	}
+}
+
+// visitSplit handles both round-robin splits (items divided evenly
+// across branches) and column splits (per-stripe sample regions with
+// replicated overlap).
+func (a *analyzer) visitSplit(n *graph.Node) {
+	in := a.arriving(n)
+	info := in["in"]
+	outs := n.Outputs()
+
+	var writeWords int64
+	if stripes, ok := kernel.SplitColumnsStripes(n); ok {
+		for i, op := range outs {
+			s := stripes[i]
+			branch := PortInfo{
+				Region:   geom.Sz(s.InWidth(), info.Region.H),
+				Items:    geom.Sz(s.InWidth(), info.Items.H),
+				ItemSize: info.ItemSize,
+				Inset:    info.Inset.Add(geom.Off(int64(s.InStart), 0)),
+				Rate:     info.Rate,
+			}
+			a.r.Out[op] = branch
+			writeWords += branch.WordsPerFrame()
+		}
+	} else {
+		total := info.ItemsPerFrame()
+		nb := int64(len(outs))
+		for i, op := range outs {
+			items := total / nb
+			if int64(i) < total%nb {
+				items++
+			}
+			branch := PortInfo{
+				Region:   geom.Sz(int(items)*info.ItemSize.W, info.ItemSize.H),
+				Items:    geom.Sz(int(items), 1),
+				ItemSize: info.ItemSize,
+				Inset:    info.Inset,
+				Rate:     info.Rate,
+				Flat:     true,
+			}
+			a.r.Out[op] = branch
+			writeWords += branch.WordsPerFrame()
+		}
+	}
+
+	m := n.Methods()[0]
+	samples := info.ItemsPerFrame()
+	a.r.Nodes[n] = NodeInfo{
+		IterX: int64(info.Items.W), IterY: int64(info.Items.H),
+		Rate: info.Rate,
+		Methods: map[string]MethodInfo{m.Name: {
+			IterX: int64(info.Items.W), IterY: int64(info.Items.H),
+			Rate:      info.Rate,
+			ReadWords: info.WordsPerFrame(), WriteWords: writeWords,
+		}},
+		CyclesPerFrame:     samples * m.Cycles,
+		ReadWordsPerFrame:  info.WordsPerFrame(),
+		WriteWordsPerFrame: writeWords,
+		MemoryWords:        n.Memory(),
+	}
+}
+
+// visitJoin merges branch streams back into one.
+func (a *analyzer) visitJoin(n *graph.Node) {
+	in := a.arriving(n)
+	out := n.Output("out")
+
+	var totalItems, readWords int64
+	var rate geom.Frac
+	itemSize := out.Size
+	inset := geom.Offset{}
+	region := geom.Size{}
+	if counts, ok := kernel.JoinColumnsCounts(n); ok {
+		// Column join: branches carry per-row segments; rows come from
+		// the first branch.
+		rows := 0
+		var width int
+		for i, p := range n.Inputs() {
+			info := in[p.Name]
+			readWords += info.WordsPerFrame()
+			if i == 0 {
+				rows = info.Items.H
+				rate = info.Rate
+				inset = info.Inset
+			}
+			width += counts[i]
+		}
+		region = geom.Sz(width*itemSize.W, rows*itemSize.H)
+		totalItems = int64(width) * int64(rows)
+		a.r.Out[out] = PortInfo{
+			Region: region, Items: geom.Sz(width, rows),
+			ItemSize: itemSize, Inset: inset, Rate: rate,
+		}
+	} else {
+		for i, p := range n.Inputs() {
+			info := in[p.Name]
+			readWords += info.WordsPerFrame()
+			totalItems += info.ItemsPerFrame()
+			if i == 0 {
+				rate = info.Rate
+				inset = info.Inset
+				itemSize = info.ItemSize
+			}
+		}
+		region = geom.Sz(int(totalItems)*itemSize.W, itemSize.H)
+		a.r.Out[out] = PortInfo{
+			Region: region, Items: geom.Sz(int(totalItems), 1),
+			ItemSize: itemSize, Inset: inset, Rate: rate,
+			Flat: true,
+		}
+	}
+
+	m := n.Methods()[0]
+	writeWords := totalItems * int64(itemSize.Area())
+	a.r.Nodes[n] = NodeInfo{
+		IterX: totalItems, IterY: 1,
+		Rate: rate,
+		Methods: map[string]MethodInfo{m.Name: {
+			IterX: totalItems, IterY: 1, Rate: rate,
+			ReadWords: readWords, WriteWords: writeWords,
+		}},
+		CyclesPerFrame:     totalItems * m.Cycles,
+		ReadWordsPerFrame:  readWords,
+		WriteWordsPerFrame: writeWords,
+		MemoryWords:        n.Memory(),
+	}
+}
+
+// visitReplicate broadcasts the input stream to every branch.
+func (a *analyzer) visitReplicate(n *graph.Node) {
+	in := a.arriving(n)
+	info := in["in"]
+	var writeWords int64
+	for _, op := range n.Outputs() {
+		a.r.Out[op] = info
+		writeWords += info.WordsPerFrame()
+	}
+	m := n.Methods()[0]
+	items := info.ItemsPerFrame()
+	a.r.Nodes[n] = NodeInfo{
+		IterX: items, IterY: 1,
+		Rate: info.Rate,
+		Methods: map[string]MethodInfo{m.Name: {
+			IterX: items, IterY: 1, Rate: info.Rate,
+			ReadWords: info.WordsPerFrame(), WriteWords: writeWords,
+		}},
+		CyclesPerFrame:     items * m.Cycles,
+		ReadWordsPerFrame:  info.WordsPerFrame(),
+		WriteWordsPerFrame: writeWords,
+		MemoryWords:        n.Memory(),
+	}
+}
+
+// visitInset shrinks the item grid and advances the inset (§III-C).
+func (a *analyzer) visitInset(n *graph.Node) {
+	in := a.arriving(n)
+	info := in["in"]
+	plan, _ := kernel.InsetPlanOf(n)
+	out := n.Output("out")
+	items := geom.Sz(plan.OutW(), plan.OutH())
+	outInfo := PortInfo{
+		Region:   geom.Sz(items.W*info.ItemSize.W, items.H*info.ItemSize.H),
+		Items:    items,
+		ItemSize: info.ItemSize,
+		Inset:    info.Inset.Add(geom.Off(int64(plan.L), int64(plan.T))),
+		Rate:     info.Rate,
+	}
+	a.r.Out[out] = outInfo
+	a.fsmNodeInfo(n, info, outInfo)
+}
+
+// visitPad grows the item grid and retreats the inset.
+func (a *analyzer) visitPad(n *graph.Node) {
+	in := a.arriving(n)
+	info := in["in"]
+	plan, _ := kernel.PadPlanOf(n)
+	out := n.Output("out")
+	items := geom.Sz(plan.OutW(), plan.OutH())
+	outInfo := PortInfo{
+		Region:   geom.Sz(items.W*info.ItemSize.W, items.H*info.ItemSize.H),
+		Items:    items,
+		ItemSize: info.ItemSize,
+		Inset:    info.Inset.Sub(geom.Off(int64(plan.L), int64(plan.T))),
+		Rate:     info.Rate,
+	}
+	a.r.Out[out] = outInfo
+	a.fsmNodeInfo(n, info, outInfo)
+}
+
+// visitFeedback copies the loop edge's info once it is known (second
+// pass); before that the output carries the port's item shape with an
+// empty grid so downstream methods can still resolve.
+func (a *analyzer) visitFeedback(n *graph.Node, pass int) {
+	out := n.Output("out")
+	in := a.arriving(n)
+	info, ok := in["in"]
+	if !ok && pass == 0 {
+		// Seed: same shape as the port, grid filled in next pass.
+		a.r.Out[out] = PortInfo{
+			Region:   out.Size,
+			Items:    geom.Sz(1, 1),
+			ItemSize: out.Size,
+		}
+		return
+	}
+	a.r.Out[out] = info
+	a.fsmNodeInfo(n, info, info)
+}
+
+// fsmNodeInfo fills NodeInfo for single-method FSM kernels.
+func (a *analyzer) fsmNodeInfo(n *graph.Node, in, out PortInfo) {
+	m := n.Methods()[0]
+	items := in.ItemsPerFrame()
+	a.r.Nodes[n] = NodeInfo{
+		IterX: int64(in.Items.W), IterY: int64(in.Items.H),
+		Rate: in.Rate,
+		Methods: map[string]MethodInfo{m.Name: {
+			IterX: int64(in.Items.W), IterY: int64(in.Items.H),
+			Rate:      in.Rate,
+			ReadWords: in.WordsPerFrame(), WriteWords: out.WordsPerFrame(),
+		}},
+		CyclesPerFrame:     items * m.Cycles,
+		ReadWordsPerFrame:  in.WordsPerFrame(),
+		WriteWordsPerFrame: out.WordsPerFrame(),
+		MemoryWords:        n.Memory(),
+	}
+}

@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+	"blockpar/internal/kernel"
+	"blockpar/internal/token"
+)
+
+// TestInsetPadReplicateInfo covers the compiler-kernel analysis rules
+// directly: an inset shrinks the grid and advances the inset, a pad
+// grows it and retreats, a replicate broadcasts unchanged.
+func TestInsetPadReplicateInfo(t *testing.T) {
+	const W, H = 10, 8
+	g := graph.New("kinds")
+	in := g.AddInput("Input", geom.Sz(W, H), geom.Sz(1, 1), geom.FInt(10))
+	pad := g.Add(kernel.Pad("Pad", kernel.PadPlan{InW: W, InH: H, L: 1, R: 1, T: 2, B: 0}))
+	inset := g.Add(kernel.Inset("Inset", kernel.InsetPlan{InW: W + 2, InH: H + 2, L: 2, R: 2, T: 1, B: 1}, geom.Sz(1, 1)))
+	rep := g.Add(kernel.Replicate("Rep", 2, geom.Sz(1, 1)))
+	o1 := g.AddOutput("O1", geom.Sz(1, 1))
+	o2 := g.AddOutput("O2", geom.Sz(1, 1))
+	g.Connect(in, "out", pad, "in")
+	g.Connect(pad, "out", inset, "in")
+	g.Connect(inset, "out", rep, "in")
+	g.Connect(rep, "out0", o1, "in")
+	g.Connect(rep, "out1", o2, "in")
+
+	r, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinfo := r.Out[pad.Output("out")]
+	if pinfo.Items != geom.Sz(W+2, H+2) {
+		t.Errorf("pad items = %v, want (12x10)", pinfo.Items)
+	}
+	if !pinfo.Inset.Equal(geom.Off(-1, -2)) {
+		t.Errorf("pad inset = %v, want [-1,-2]", pinfo.Inset)
+	}
+	iinfo := r.Out[inset.Output("out")]
+	if iinfo.Items != geom.Sz(W-2, H) {
+		t.Errorf("inset items = %v, want (8x8)", iinfo.Items)
+	}
+	if !iinfo.Inset.Equal(geom.Off(1, -1)) {
+		t.Errorf("inset inset = %v, want [1,-1]", iinfo.Inset)
+	}
+	for _, out := range []string{"out0", "out1"} {
+		if got := r.Out[rep.Output(out)]; got != iinfo {
+			t.Errorf("replicate %s = %v, want %v", out, got, iinfo)
+		}
+	}
+	// Replicate node accounting: reads once, writes twice.
+	ni := r.NodeInfoOf(rep)
+	if ni.WriteWordsPerFrame != 2*ni.ReadWordsPerFrame {
+		t.Errorf("replicate words: read %d write %d", ni.ReadWordsPerFrame, ni.WriteWordsPerFrame)
+	}
+}
+
+func TestCustomTokenRateUsedForMethodInvocations(t *testing.T) {
+	g := graph.New("tokrate")
+	in := g.AddInput("Input", geom.Sz(8, 1), geom.Sz(1, 1), geom.FInt(10))
+	in.TokenRates = map[string]geom.Frac{"mark": geom.FInt(3)}
+	k := graph.NewNode("K", graph.KindKernel)
+	k.CreateInput("in", geom.Sz(1, 1), geom.St(1, 1), geom.Off(0, 0))
+	k.CreateOutput("out", geom.Sz(1, 1), geom.St(1, 1))
+	k.RegisterMethod("run", 4, 0)
+	k.RegisterMethodInput("run", "in")
+	k.RegisterMethodOutput("run", "out")
+	k.RegisterMethod("onMark", 50, 0)
+	k.RegisterMethodInputToken("onMark", "in", token.Custom, "mark")
+	g.Add(k)
+	out := g.AddOutput("Output", geom.Sz(1, 1))
+	g.Connect(in, "out", k, "in")
+	g.Connect(k, "out", out, "in")
+
+	r, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ni := r.NodeInfoOf(k)
+	if got := ni.Methods["onMark"].Invocations(); got != 3 {
+		t.Errorf("onMark invocations = %d, want 3 (declared rate)", got)
+	}
+	// Undeclared custom tokens default to 1/frame: drop the rate and
+	// declare it on another node to pass validation.
+	in.TokenRates = nil
+	out2 := g.Node("Output")
+	out2.TokenRates = map[string]geom.Frac{"mark": geom.Frac{}}
+	r2, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.NodeInfoOf(k).Methods["onMark"].Invocations(); got != 1 {
+		t.Errorf("zero-rate custom token invocations = %d, want clamped 1", got)
+	}
+}
+
+func TestProblemStrings(t *testing.T) {
+	g := graph.New("strings")
+	in := g.AddInput("Input", geom.Sz(8, 8), geom.Sz(1, 1), geom.FInt(10))
+	conv := g.Add(kernel.Convolution("Conv", 3))
+	coeff := g.AddInput("Coeff", geom.Sz(3, 3), geom.Sz(3, 3), geom.FInt(10))
+	out := g.AddOutput("Output", geom.Sz(1, 1))
+	g.Connect(in, "out", conv, "in")
+	g.Connect(coeff, "out", conv, "coeff")
+	g.Connect(conv, "out", out, "in")
+	r, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.HasProblems() {
+		t.Fatal("expected a needs-buffer problem")
+	}
+	s := r.Problems[0].String()
+	for _, want := range []string{"needs-buffer", "Conv", "runConvolve", "window"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("problem string %q missing %q", s, want)
+		}
+	}
+	// PortInfo and kind strings render.
+	info := r.Out[conv.Output("out")]
+	if !strings.Contains(info.String(), "region") {
+		t.Errorf("PortInfo.String = %q", info.String())
+	}
+	for _, k := range []ProblemKind{NeedsBuffer, Misaligned, RateMismatch, Incompatible, ProblemKind(99)} {
+		if k.String() == "" {
+			t.Error("empty kind string")
+		}
+	}
+}
+
+func TestJoinRRInfoFlattens(t *testing.T) {
+	g := graph.New("joinflat")
+	in := g.AddInput("Input", geom.Sz(6, 2), geom.Sz(1, 1), geom.FInt(10))
+	split := g.Add(kernel.SplitRR("S", 2, geom.Sz(1, 1)))
+	join := g.Add(kernel.JoinRR("J", 2, geom.Sz(1, 1)))
+	out := g.AddOutput("Output", geom.Sz(1, 1))
+	g.Connect(in, "out", split, "in")
+	g.Connect(split, "out0", join, "in0")
+	g.Connect(split, "out1", join, "in1")
+	g.Connect(join, "out", out, "in")
+
+	r, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ji := r.Out[join.Output("out")]
+	if !ji.Flat {
+		t.Error("join output should be flat")
+	}
+	if ji.ItemsPerFrame() != 12 {
+		t.Errorf("join items = %d, want 12", ji.ItemsPerFrame())
+	}
+}
+
+func TestIncompatibleChunking(t *testing.T) {
+	// A 2x2-chunk input feeding a 3x3-window kernel cannot be re-
+	// chunked by a buffer (buffers take raw 1x1 streams).
+	g := graph.New("incompat")
+	in := g.AddInput("Input", geom.Sz(8, 8), geom.Sz(2, 2), geom.FInt(10))
+	med := g.Add(kernel.Median("Med", 3))
+	out := g.AddOutput("Output", geom.Sz(1, 1))
+	g.Connect(in, "out", med, "in")
+	g.Connect(med, "out", out, "in")
+	r, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.ProblemsOfKind(Incompatible)) == 0 {
+		t.Errorf("incompatible chunking not flagged: %v", r.Problems)
+	}
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"blockpar/internal/graph"
+	"blockpar/internal/machine"
+)
+
+// Load is a node's demand expressed against a machine's PE: the
+// fraction of one PE's cycles it needs (including port access costs)
+// and the memory it requires.
+type Load struct {
+	// CyclesPerSec is the total demand: compute plus read/write cost.
+	CyclesPerSec float64
+	// Utilization is CyclesPerSec / PE.CyclesPerSec.
+	Utilization float64
+	// RunFrac, ReadFrac, WriteFrac decompose Utilization (the paper's
+	// Figure 13 breakdown).
+	RunFrac, ReadFrac, WriteFrac float64
+	// MemWords is the node's storage demand.
+	MemWords int64
+}
+
+// LoadOf computes a node's load on the given machine from the analysis.
+func (r *Result) LoadOf(n *graph.Node, m machine.Machine) Load {
+	ni, ok := r.Nodes[n]
+	if !ok {
+		return Load{}
+	}
+	rate := ni.Rate.Float()
+	run := float64(ni.CyclesPerFrame) * rate
+	read := float64(ni.ReadWordsPerFrame*m.PE.ReadCost) * rate
+	write := float64(ni.WriteWordsPerFrame*m.PE.WriteCost) * rate
+	total := run + read + write
+	clock := float64(m.PE.CyclesPerSec)
+	return Load{
+		CyclesPerSec: total,
+		Utilization:  total / clock,
+		RunFrac:      run / clock,
+		ReadFrac:     read / clock,
+		WriteFrac:    write / clock,
+		MemWords:     ni.MemoryWords,
+	}
+}
+
+// degreeHeadroom is the fraction of a PE the degree calculation
+// budgets for: 10% headroom absorbs the unevenness of column striping
+// (stripes differ by up to one window per row) and scheduling slack, so
+// no single instance lands marginally above one PE.
+const degreeHeadroom = 0.9
+
+// DegreeFor returns the parallelism a node needs to meet its rate on
+// the machine (§IV: required rate × resources per iteration ÷ PE
+// resources, rounded up), considering both cycles and memory. The
+// result is at least 1.
+func (r *Result) DegreeFor(n *graph.Node, m machine.Machine) int {
+	l := r.LoadOf(n, m)
+	deg := 1
+	if cyc := int(ceilDiv(l.CyclesPerSec, degreeHeadroom*float64(m.PE.CyclesPerSec))); cyc > deg {
+		deg = cyc
+	}
+	if l.MemWords > m.PE.MemWords {
+		memDeg := int((l.MemWords + m.PE.MemWords - 1) / m.PE.MemWords)
+		if memDeg > deg {
+			deg = memDeg
+		}
+	}
+	return deg
+}
+
+func ceilDiv(a, b float64) float64 {
+	q := a / b
+	if q != float64(int64(q)) {
+		return float64(int64(q) + 1)
+	}
+	if q < 1 {
+		return 1
+	}
+	return q
+}

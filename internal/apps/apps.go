@@ -1,0 +1,325 @@
+// Package apps builds the paper's benchmark applications (Figure 13):
+//
+//	1 / 1F   Bayer demosaicing at baseline and faster input rates
+//	2 / 2F   Image histogram at baseline and faster input rates
+//	3        Parallel buffer test
+//	4        Multiple convolutions test
+//	SS SF BS BF  The running image-processing example (Figure 1(b)) at
+//	             small/big input sizes and slow/fast input rates
+//	5        The Figure 1(b) application at its baseline configuration
+//
+// Every App carries deterministic input generators and a golden
+// function computing the expected per-frame outputs with the sequential
+// reference implementations, so any compiled/transformed variant can be
+// verified bit-exactly.
+package apps
+
+import (
+	"fmt"
+
+	"blockpar/internal/frame"
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+	"blockpar/internal/kernel"
+)
+
+// App is a benchmark application: the programmer-level graph (no
+// compiler kernels), its input generators, and its golden outputs.
+type App struct {
+	Name  string
+	Graph *graph.Graph
+	// Sources maps input node names to generators.
+	Sources map[string]frame.Generator
+	// Golden returns, per output node, the expected data windows of
+	// frame seq (in stream order).
+	Golden func(seq int64) map[string][]frame.Window
+}
+
+// fixedWin adapts a constant window to a Generator.
+func fixedWin(w frame.Window) frame.Generator {
+	return func(seq int64, fw, fh int) frame.Window {
+		return w.Clone()
+	}
+}
+
+// splitQuads slices a full plane into the 2×2 quad windows the Bayer
+// kernel emits, in scan order.
+func splitQuads(plane frame.Window) []frame.Window {
+	var out []frame.Window
+	for y := 0; y+2 <= plane.H; y += 2 {
+		for x := 0; x+2 <= plane.W; x += 2 {
+			out = append(out, plane.Sub(x, y, 2, 2))
+		}
+	}
+	return out
+}
+
+// scalarsOf slices a plane into 1×1 windows in scan order.
+func scalarsOf(plane frame.Window) []frame.Window {
+	out := make([]frame.Window, 0, plane.W*plane.H)
+	for y := 0; y < plane.H; y++ {
+		for x := 0; x < plane.W; x++ {
+			out = append(out, frame.Scalar(plane.At(x, y)))
+		}
+	}
+	return out
+}
+
+// ImageCoeff returns the 5×5 convolution coefficients of the image
+// pipeline: a deterministic pseudo-random window normalized so the
+// filtered values stay within the histogram's bin range.
+func ImageCoeff() frame.Window {
+	c := frame.LCG(7, 5, 5)
+	for i := range c.Pix {
+		c.Pix[i] /= 256
+	}
+	return c
+}
+
+// ImageEdges returns the image pipeline's histogram bin edges, sized to
+// spread the median-minus-convolution differences across many bins so
+// functional verification is value-sensitive.
+func ImageEdges(bins int) []float64 {
+	return frame.UniformBins(bins, -6400, 320)
+}
+
+// ImageCfg parameterizes the Figure 1(b) image-processing example.
+type ImageCfg struct {
+	W, H int
+	// Rate is the input frame rate in Hz (use geom.F(samples, W*H) to
+	// specify a sample rate, as the paper's inputs do).
+	Rate geom.Frac
+	Bins int
+}
+
+// ImagePipeline builds the paper's running example (Figure 1(b)): a
+// 3×3 median and a 5×5 convolution over the same input, per-pixel
+// subtraction, and a histogram whose serial merge is limited by a data
+// dependency edge from the input. The golden output assumes the Trim
+// alignment policy (the Figure 3 inset).
+func ImagePipeline(name string, cfg ImageCfg) *App {
+	if cfg.Bins <= 0 {
+		cfg.Bins = 32
+	}
+	coeff := ImageCoeff()
+	edges := ImageEdges(cfg.Bins)
+	edgeWin := frame.NewWindow(cfg.Bins, 1)
+	copy(edgeWin.Pix, edges)
+
+	g := graph.New(name)
+	in := g.AddInput("Input", geom.Sz(cfg.W, cfg.H), geom.Sz(1, 1), cfg.Rate)
+	coeffIn := g.AddInput("5x5 Coeff", geom.Sz(5, 5), geom.Sz(5, 5), cfg.Rate)
+	binsIn := g.AddInput("Hist Bins", geom.Sz(cfg.Bins, 1), geom.Sz(cfg.Bins, 1), cfg.Rate)
+
+	med := g.Add(kernel.Median("3x3 Median", 3))
+	conv := g.Add(kernel.Convolution("5x5 Conv", 5))
+	sub := g.Add(kernel.Subtract("Subtract"))
+	hist := g.Add(kernel.Histogram("Histogram", cfg.Bins))
+	merge := g.Add(kernel.Merge("Merge", cfg.Bins))
+	out := g.AddOutput("result", geom.Sz(cfg.Bins, 1))
+
+	g.Connect(in, "out", med, "in")
+	g.Connect(in, "out", conv, "in")
+	g.Connect(coeffIn, "out", conv, "coeff")
+	g.Connect(med, "out", sub, "in0")
+	g.Connect(conv, "out", sub, "in1")
+	g.Connect(sub, "out", hist, "in")
+	g.Connect(binsIn, "out", hist, "bins")
+	g.Connect(hist, "out", merge, "in")
+	g.Connect(merge, "out", out, "in")
+	g.AddDep(in, merge)
+
+	return &App{
+		Name:  name,
+		Graph: g,
+		Sources: map[string]frame.Generator{
+			"Input":     frame.LCG,
+			"5x5 Coeff": fixedWin(coeff),
+			"Hist Bins": fixedWin(edgeWin),
+		},
+		Golden: func(seq int64) map[string][]frame.Window {
+			img := frame.LCG(seq, cfg.W, cfg.H)
+			medOut := frame.Trim(frame.Median(img, 3), 1, 1, 1, 1)
+			convOut := frame.Convolve(img, coeff)
+			diff := frame.Subtract(medOut, convOut)
+			counts := frame.Histogram(diff, edges)
+			w := frame.NewWindow(cfg.Bins, 1)
+			copy(w.Pix, counts)
+			return map[string][]frame.Window{"result": {w}}
+		},
+	}
+}
+
+// BayerCfg parameterizes the demosaicing benchmark.
+type BayerCfg struct {
+	W, H int
+	Rate geom.Frac
+}
+
+// Bayer builds benchmark 1/1F: RGGB demosaicing with three output
+// planes.
+func Bayer(name string, cfg BayerCfg) *App {
+	if cfg.W%2 != 0 || cfg.H%2 != 0 {
+		panic("apps: Bayer frame dimensions must be even")
+	}
+	g := graph.New(name)
+	in := g.AddInput("Input", geom.Sz(cfg.W, cfg.H), geom.Sz(1, 1), cfg.Rate)
+	bay := g.Add(kernel.BayerDemosaic("Demosaic"))
+	outR := g.AddOutput("R", geom.Sz(2, 2))
+	outG := g.AddOutput("G", geom.Sz(2, 2))
+	outB := g.AddOutput("B", geom.Sz(2, 2))
+	g.Connect(in, "out", bay, "in")
+	g.Connect(bay, "r", outR, "in")
+	g.Connect(bay, "g", outG, "in")
+	g.Connect(bay, "b", outB, "in")
+
+	return &App{
+		Name:    name,
+		Graph:   g,
+		Sources: map[string]frame.Generator{"Input": frame.Bayer},
+		Golden: func(seq int64) map[string][]frame.Window {
+			img := frame.Bayer(seq, cfg.W, cfg.H)
+			r, gg, b := frame.BayerDemosaic(img)
+			return map[string][]frame.Window{
+				"R": splitQuads(r), "G": splitQuads(gg), "B": splitQuads(b),
+			}
+		},
+	}
+}
+
+// HistCfg parameterizes the histogram benchmark.
+type HistCfg struct {
+	W, H int
+	Rate geom.Frac
+	Bins int
+}
+
+// HistogramApp builds benchmark 2/2F: a whole-image histogram with a
+// serial merge.
+func HistogramApp(name string, cfg HistCfg) *App {
+	if cfg.Bins <= 0 {
+		cfg.Bins = 32
+	}
+	edges := frame.UniformBins(cfg.Bins, 0, 256)
+	edgeWin := frame.NewWindow(cfg.Bins, 1)
+	copy(edgeWin.Pix, edges)
+
+	g := graph.New(name)
+	in := g.AddInput("Input", geom.Sz(cfg.W, cfg.H), geom.Sz(1, 1), cfg.Rate)
+	binsIn := g.AddInput("Hist Bins", geom.Sz(cfg.Bins, 1), geom.Sz(cfg.Bins, 1), cfg.Rate)
+	hist := g.Add(kernel.Histogram("Histogram", cfg.Bins))
+	merge := g.Add(kernel.Merge("Merge", cfg.Bins))
+	out := g.AddOutput("result", geom.Sz(cfg.Bins, 1))
+	g.Connect(in, "out", hist, "in")
+	g.Connect(binsIn, "out", hist, "bins")
+	g.Connect(hist, "out", merge, "in")
+	g.Connect(merge, "out", out, "in")
+	g.AddDep(in, merge)
+
+	return &App{
+		Name:  name,
+		Graph: g,
+		Sources: map[string]frame.Generator{
+			"Input":     frame.LCG,
+			"Hist Bins": fixedWin(edgeWin),
+		},
+		Golden: func(seq int64) map[string][]frame.Window {
+			counts := frame.Histogram(frame.LCG(seq, cfg.W, cfg.H), edges)
+			w := frame.NewWindow(cfg.Bins, 1)
+			copy(w.Pix, counts)
+			return map[string][]frame.Window{"result": {w}}
+		},
+	}
+}
+
+// BufferCfg parameterizes the parallel buffer test.
+type BufferCfg struct {
+	W, H int
+	Rate geom.Frac
+}
+
+// ParallelBufferTest builds benchmark 3: a wide frame through a cheap
+// 3×3 convolution — the compute is trivial, but the line buffer exceeds
+// one PE's storage and must be split column-wise (Figure 10).
+func ParallelBufferTest(name string, cfg BufferCfg) *App {
+	coeff := frame.LCG(11, 3, 3)
+	g := graph.New(name)
+	in := g.AddInput("Input", geom.Sz(cfg.W, cfg.H), geom.Sz(1, 1), cfg.Rate)
+	coeffIn := g.AddInput("3x3 Coeff", geom.Sz(3, 3), geom.Sz(3, 3), cfg.Rate)
+	conv := g.Add(kernel.Convolution("3x3 Conv", 3))
+	out := g.AddOutput("result", geom.Sz(1, 1))
+	g.Connect(in, "out", conv, "in")
+	g.Connect(coeffIn, "out", conv, "coeff")
+	g.Connect(conv, "out", out, "in")
+
+	return &App{
+		Name:  name,
+		Graph: g,
+		Sources: map[string]frame.Generator{
+			"Input":     frame.Gradient,
+			"3x3 Coeff": fixedWin(coeff),
+		},
+		Golden: func(seq int64) map[string][]frame.Window {
+			img := frame.Gradient(seq, cfg.W, cfg.H)
+			return map[string][]frame.Window{"result": scalarsOf(frame.Convolve(img, coeff))}
+		},
+	}
+}
+
+// MultiConvCfg parameterizes the convolution chain.
+type MultiConvCfg struct {
+	W, H int
+	Rate geom.Frac
+	// Sizes are the kernel sizes in pipeline order (default 3, 5).
+	Sizes []int
+}
+
+// MultiConv builds benchmark 4: a pipeline of convolutions, each with
+// its own coefficients, exercising repeated buffering and pipeline
+// parallelism.
+func MultiConv(name string, cfg MultiConvCfg) *App {
+	if len(cfg.Sizes) == 0 {
+		cfg.Sizes = []int{3, 5}
+	}
+	coeffs := make([]frame.Window, len(cfg.Sizes))
+	for i, k := range cfg.Sizes {
+		coeffs[i] = frame.LCG(int64(20+i), k, k)
+		// Normalize so magnitudes stay reasonable along the chain.
+		for j := range coeffs[i].Pix {
+			coeffs[i].Pix[j] /= 256
+		}
+	}
+
+	g := graph.New(name)
+	in := g.AddInput("Input", geom.Sz(cfg.W, cfg.H), geom.Sz(1, 1), cfg.Rate)
+	srcs := map[string]frame.Generator{"Input": frame.LCG}
+	prev, prevPort := in, "out"
+	for i, k := range cfg.Sizes {
+		convName := fmt.Sprintf("%dx%d Conv", k, k)
+		if g.Node(convName) != nil {
+			convName = fmt.Sprintf("%s#%d", convName, i)
+		}
+		conv := g.Add(kernel.Convolution(convName, k))
+		coeffName := fmt.Sprintf("Coeff%d", i)
+		coeffIn := g.AddInput(coeffName, geom.Sz(k, k), geom.Sz(k, k), cfg.Rate)
+		srcs[coeffName] = fixedWin(coeffs[i])
+		g.Connect(prev, prevPort, conv, "in")
+		g.Connect(coeffIn, "out", conv, "coeff")
+		prev, prevPort = conv, "out"
+	}
+	out := g.AddOutput("result", geom.Sz(1, 1))
+	g.Connect(prev, prevPort, out, "in")
+
+	return &App{
+		Name:    name,
+		Graph:   g,
+		Sources: srcs,
+		Golden: func(seq int64) map[string][]frame.Window {
+			img := frame.LCG(seq, cfg.W, cfg.H)
+			for _, c := range coeffs {
+				img = frame.Convolve(img, c)
+			}
+			return map[string][]frame.Window{"result": scalarsOf(img)}
+		},
+	}
+}

@@ -1,0 +1,167 @@
+package apps
+
+import (
+	"testing"
+
+	"blockpar/internal/analysis"
+	"blockpar/internal/frame"
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+)
+
+func TestSuiteHasElevenBenchmarks(t *testing.T) {
+	suite := Figure13Suite()
+	want := []string{"1", "1F", "2", "2F", "3", "4", "SS", "BS", "SF", "BF", "5"}
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d benchmarks, want %d", len(suite), len(want))
+	}
+	for i, b := range suite {
+		if b.ID != want[i] {
+			t.Errorf("bench %d = %q, want %q", i, b.ID, want[i])
+		}
+	}
+}
+
+func TestEveryAppValidatesAndAnalyzes(t *testing.T) {
+	for _, b := range Figure13Suite() {
+		b := b
+		t.Run(b.ID, func(t *testing.T) {
+			if err := b.App.Graph.Validate(); err != nil {
+				t.Fatalf("%s invalid: %v", b.App.Name, err)
+			}
+			if _, err := analysis.Analyze(b.App.Graph); err != nil {
+				t.Fatalf("%s analysis: %v", b.App.Name, err)
+			}
+		})
+	}
+}
+
+func TestEveryAppHasSourcesForAllInputs(t *testing.T) {
+	for _, b := range Figure13Suite() {
+		for _, in := range b.App.Graph.Inputs() {
+			if _, ok := b.App.Sources[in.Name()]; !ok {
+				t.Errorf("%s: input %q has no source generator", b.App.Name, in.Name())
+			}
+		}
+	}
+}
+
+func TestGoldenCoversAllOutputs(t *testing.T) {
+	for _, b := range Figure13Suite() {
+		golden := b.App.Golden(0)
+		for _, out := range b.App.Graph.Outputs() {
+			ws, ok := golden[out.Name()]
+			if !ok || len(ws) == 0 {
+				t.Errorf("%s: golden missing output %q", b.App.Name, out.Name())
+			}
+		}
+	}
+}
+
+func TestGoldenIsFrameDependent(t *testing.T) {
+	// The golden outputs must change across frames (otherwise the
+	// multi-frame equivalence tests prove nothing).
+	for _, b := range Figure13Suite() {
+		g0 := b.App.Golden(0)
+		g1 := b.App.Golden(1)
+		changed := false
+		for name, ws0 := range g0 {
+			ws1 := g1[name]
+			if len(ws0) != len(ws1) {
+				t.Fatalf("%s: golden output %q length varies by frame", b.App.Name, name)
+			}
+			for i := range ws0 {
+				if !ws0[i].Equal(ws1[i]) {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			t.Errorf("%s: golden identical for frames 0 and 1", b.App.Name)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	app, err := ByID("SF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Name != "image-SF" {
+		t.Errorf("ByID(SF) = %q", app.Name)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if got := len(IDs()); got != 11 {
+		t.Errorf("IDs() returned %d entries", got)
+	}
+	if got := len(Names()); got != 11 {
+		t.Errorf("Names() returned %d entries", got)
+	}
+}
+
+func TestByIDReturnsFreshGraphs(t *testing.T) {
+	a, err := ByID("2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ByID("2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph == b.Graph {
+		t.Fatal("ByID must build a fresh graph per call (compilation mutates in place)")
+	}
+}
+
+func TestSampleRate(t *testing.T) {
+	r := sampleRate(400_000, 32, 24)
+	// 400000/768 frames per second.
+	if !r.Equal(geom.F(400_000, 768)) {
+		t.Errorf("sampleRate = %v", r)
+	}
+}
+
+func TestImagePipelineDepEdge(t *testing.T) {
+	app := ImagePipeline("dep", ImageCfg{W: 16, H: 12, Rate: geom.FInt(10), Bins: 8})
+	deps := app.Graph.Deps()
+	if len(deps) != 1 {
+		t.Fatalf("deps = %d, want 1", len(deps))
+	}
+	if deps[0].From.Kind != graph.KindInput || deps[0].To.Name() != "Merge" {
+		t.Errorf("dep edge %s -> %s", deps[0].From.Name(), deps[0].To.Name())
+	}
+}
+
+func TestBayerRequiresEvenDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd Bayer dims accepted")
+		}
+	}()
+	Bayer("odd", BayerCfg{W: 9, H: 8, Rate: geom.FInt(1)})
+}
+
+func TestMultiConvDefaultSizes(t *testing.T) {
+	app := MultiConv("default", MultiConvCfg{W: 20, H: 16, Rate: geom.FInt(10)})
+	if app.Graph.Node("3x3 Conv") == nil || app.Graph.Node("5x5 Conv") == nil {
+		t.Error("default sizes 3,5 not built")
+	}
+	// Golden chain applies the same number of convolutions.
+	golden := app.Golden(0)["result"]
+	// 20x16 -> conv3 -> 18x14 -> conv5 -> 14x10 = 140 scalars.
+	if len(golden) != 140 {
+		t.Errorf("golden chain length = %d, want 140", len(golden))
+	}
+}
+
+func TestFixedWinGeneratorClones(t *testing.T) {
+	w := frame.Scalar(5)
+	gen := fixedWin(w)
+	out := gen(0, 1, 1)
+	out.Set(0, 0, 99)
+	if w.Value() != 5 {
+		t.Error("fixedWin shares storage with the template")
+	}
+}

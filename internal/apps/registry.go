@@ -1,0 +1,37 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ByID returns the suite benchmark with the given Figure 13 label
+// (1, 1F, 2, 2F, 3, 4, SS, SF, BS, BF, 5). Each call builds a fresh
+// graph.
+func ByID(id string) (*App, error) {
+	for _, b := range Figure13Suite() {
+		if b.ID == id {
+			return b.App, nil
+		}
+	}
+	return nil, fmt.Errorf("apps: unknown benchmark %q (have %v)", id, IDs())
+}
+
+// IDs lists the suite labels in order.
+func IDs() []string {
+	var out []string
+	for _, b := range Figure13Suite() {
+		out = append(out, b.ID)
+	}
+	return out
+}
+
+// Names lists application names across the suite, sorted.
+func Names() []string {
+	var out []string
+	for _, b := range Figure13Suite() {
+		out = append(out, b.App.Name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,79 @@
+package apps
+
+import "blockpar/internal/geom"
+
+// Sample rates used by the suite: the paper parameterizes inputs by the
+// rate data arrives ("the input data arrives one pixel at a time"), so
+// frame rate = sample rate / frame area and growing the frame at a
+// fixed sample rate grows buffering but not compute — exactly the
+// Small/Slow → Big/Slow axis of Figure 11.
+const (
+	SlowRate int64 = 400_000   // samples per second
+	FastRate int64 = 1_500_000 // samples per second
+)
+
+// sampleRate converts a samples/sec budget into a frame rate.
+func sampleRate(samples int64, w, h int) geom.Frac {
+	return geom.F(samples, int64(w)*int64(h))
+}
+
+// Small/Big frame dimensions for the image-processing example.
+const (
+	SmallW, SmallH = 32, 24
+	BigW, BigH     = 96, 64
+)
+
+// Preset identifies one Figure 11 configuration of the running example.
+type Preset struct {
+	ID   string
+	W, H int
+	// Samples is the input sample rate in samples/sec.
+	Samples int64
+}
+
+// Figure11Presets returns the four size/rate corners of Figure 11.
+func Figure11Presets() []Preset {
+	return []Preset{
+		{ID: "SS", W: SmallW, H: SmallH, Samples: SlowRate},
+		{ID: "BS", W: BigW, H: BigH, Samples: SlowRate},
+		{ID: "SF", W: SmallW, H: SmallH, Samples: FastRate},
+		{ID: "BF", W: BigW, H: BigH, Samples: FastRate},
+	}
+}
+
+// ImagePreset builds the running example for one Figure 11 preset.
+func ImagePreset(p Preset) *App {
+	return ImagePipeline("image-"+p.ID, ImageCfg{
+		W: p.W, H: p.H, Rate: sampleRate(p.Samples, p.W, p.H), Bins: 32,
+	})
+}
+
+// Bench is one entry of the Figure 13 suite.
+type Bench struct {
+	// ID is the paper's benchmark label (1, 1F, 2, 2F, 3, 4, SS, SF,
+	// BS, BF, 5).
+	ID  string
+	App *App
+}
+
+// Figure13Suite builds the full benchmark suite of Figure 13.
+func Figure13Suite() []Bench {
+	benches := []Bench{
+		{ID: "1", App: Bayer("bayer", BayerCfg{W: 64, H: 48, Rate: sampleRate(SlowRate, 64, 48)})},
+		{ID: "1F", App: Bayer("bayer-fast", BayerCfg{W: 64, H: 48, Rate: sampleRate(FastRate, 64, 48)})},
+		{ID: "2", App: HistogramApp("hist", HistCfg{W: 64, H: 48, Rate: sampleRate(SlowRate, 64, 48), Bins: 32})},
+		{ID: "2F", App: HistogramApp("hist-fast", HistCfg{W: 64, H: 48, Rate: sampleRate(FastRate, 64, 48), Bins: 32})},
+		{ID: "3", App: ParallelBufferTest("parbuf", BufferCfg{W: 256, H: 32, Rate: sampleRate(SlowRate, 256, 32)})},
+		{ID: "4", App: MultiConv("multiconv", MultiConvCfg{W: 48, H: 32, Rate: sampleRate(SlowRate, 48, 32), Sizes: []int{3, 5, 7}})},
+	}
+	for _, p := range Figure11Presets() {
+		benches = append(benches, Bench{ID: p.ID, App: ImagePreset(p)})
+	}
+	benches = append(benches, Bench{
+		ID: "5",
+		App: ImagePipeline("image-baseline", ImageCfg{
+			W: 48, H: 32, Rate: sampleRate(SlowRate, 48, 32), Bins: 32,
+		}),
+	})
+	return benches
+}

@@ -1,0 +1,93 @@
+// Package core is the compiler driver: it sequences the paper's
+// analyses and transformations — pad-alignment (if selected), buffer
+// insertion, trim-alignment, parallelization — and re-verifies the
+// result, turning a programmer-level application description into a
+// deployable graph (the Figure 1(b) → Figure 4 journey).
+package core
+
+import (
+	"fmt"
+
+	"blockpar/internal/analysis"
+	"blockpar/internal/graph"
+	"blockpar/internal/machine"
+	"blockpar/internal/transform"
+)
+
+// Config selects the compilation pipeline's options.
+type Config struct {
+	Machine machine.Machine
+	// Align picks trim vs pad for halo misalignment (§III-C); the
+	// choice changes results, so it belongs to the programmer.
+	Align transform.AlignPolicy
+	// Parallelize enables §IV (off: the graph is only buffered and
+	// aligned, like Figure 3).
+	Parallelize bool
+	// BufferStriping controls the Figure 9 reuse optimization; see
+	// transform.Options.
+	BufferStriping bool
+}
+
+// DefaultConfig compiles like the paper: trim alignment, striped
+// buffers, full parallelization on the embedded machine.
+func DefaultConfig() Config {
+	return Config{
+		Machine:        machine.Embedded(),
+		Align:          transform.Trim,
+		Parallelize:    true,
+		BufferStriping: true,
+	}
+}
+
+// Compiled is the result of a compilation.
+type Compiled struct {
+	// Graph is the transformed application (the input graph mutated in
+	// place).
+	Graph *graph.Graph
+	// Analysis is the final post-transformation analysis.
+	Analysis *analysis.Result
+	// Report describes the parallelization (nil if disabled).
+	Report *transform.Report
+}
+
+// Compile runs the transformation pipeline on g, mutating it in place.
+func Compile(g *graph.Graph, cfg Config) (*Compiled, error) {
+	if err := cfg.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("core: input graph invalid: %w", err)
+	}
+	if cfg.Align == transform.PadInputs {
+		if err := transform.Align(g, transform.PadInputs); err != nil {
+			return nil, fmt.Errorf("core: pad alignment: %w", err)
+		}
+	}
+	if err := transform.InsertBuffers(g); err != nil {
+		return nil, fmt.Errorf("core: buffering: %w", err)
+	}
+	if cfg.Align == transform.Trim {
+		if err := transform.Align(g, transform.Trim); err != nil {
+			return nil, fmt.Errorf("core: trim alignment: %w", err)
+		}
+	}
+	var rep *transform.Report
+	if cfg.Parallelize {
+		var err error
+		rep, err = transform.Parallelize(g, transform.Options{
+			Machine:        cfg.Machine,
+			BufferStriping: cfg.BufferStriping,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: parallelization: %w", err)
+		}
+	}
+	r, err := analysis.Analyze(g)
+	if err != nil {
+		return nil, fmt.Errorf("core: final analysis: %w", err)
+	}
+	if r.HasProblems() {
+		return nil, fmt.Errorf("core: transformed graph still has problems: %v", r.Problems[0])
+	}
+	return &Compiled{Graph: g, Analysis: r, Report: rep}, nil
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"testing"
+
+	"blockpar/internal/apps"
+	"blockpar/internal/frame"
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+	"blockpar/internal/machine"
+	"blockpar/internal/runtime"
+	"blockpar/internal/transform"
+)
+
+// verifyAgainstGolden compiles the app with cfg, runs the transformed
+// graph functionally, and compares every output stream with the app's
+// golden reference, frame by frame.
+func verifyAgainstGolden(t *testing.T, app *apps.App, cfg Config, frames int) *Compiled {
+	t.Helper()
+	c, err := Compile(app.Graph, cfg)
+	if err != nil {
+		t.Fatalf("compile %s: %v", app.Name, err)
+	}
+	res, err := runtime.Run(c.Graph, runtime.Options{Frames: frames, Sources: app.Sources})
+	if err != nil {
+		t.Fatalf("run %s: %v", app.Name, err)
+	}
+	for _, out := range c.Graph.Outputs() {
+		got := res.FrameSlices(out.Name())
+		if len(got) != frames {
+			t.Fatalf("%s output %q: %d frames, want %d", app.Name, out.Name(), len(got), frames)
+		}
+		for f := 0; f < frames; f++ {
+			want := app.Golden(int64(f))[out.Name()]
+			if len(got[f]) != len(want) {
+				t.Fatalf("%s output %q frame %d: %d windows, want %d",
+					app.Name, out.Name(), f, len(got[f]), len(want))
+			}
+			for i := range want {
+				if !got[f][i].AlmostEqual(want[i], 1e-9) {
+					t.Fatalf("%s output %q frame %d window %d differs:\n got %v\nwant %v",
+						app.Name, out.Name(), f, i, got[f][i].Pix, want[i].Pix)
+				}
+			}
+		}
+	}
+	return c
+}
+
+func TestCompileImagePipelineMatchesGolden(t *testing.T) {
+	app := apps.ImagePipeline("e2e-image", apps.ImageCfg{
+		W: apps.SmallW, H: apps.SmallH,
+		Rate: geom.F(apps.FastRate, int64(apps.SmallW*apps.SmallH)),
+		Bins: 32,
+	})
+	c := verifyAgainstGolden(t, app, DefaultConfig(), 2)
+	if c.Report.Degrees["5x5 Conv"] < 2 {
+		t.Errorf("conv not parallelized: %v", c.Report.Degrees)
+	}
+	if c.Report.Degrees["Merge"] != 1 {
+		t.Errorf("merge degree = %d", c.Report.Degrees["Merge"])
+	}
+}
+
+func TestCompileFullSuiteMatchesGolden(t *testing.T) {
+	for _, b := range apps.Figure13Suite() {
+		b := b
+		t.Run(b.ID, func(t *testing.T) {
+			verifyAgainstGolden(t, b.App, DefaultConfig(), 2)
+		})
+	}
+}
+
+func TestCompileWithoutParallelizationMatchesGolden(t *testing.T) {
+	app := apps.ImagePipeline("e2e-nopar", apps.ImageCfg{
+		W: 20, H: 16, Rate: geom.FInt(50), Bins: 16,
+	})
+	cfg := DefaultConfig()
+	cfg.Parallelize = false
+	c := verifyAgainstGolden(t, app, cfg, 3)
+	if c.Report != nil {
+		t.Error("report should be nil without parallelization")
+	}
+	// This is the Figure 3 structure: buffers and an inset, no splits.
+	counts := c.Graph.CountByKind()
+	if counts[graph.KindSplit] != 0 || counts[graph.KindJoin] != 0 {
+		t.Error("unexpected split/join kernels")
+	}
+}
+
+func TestCompileSharedBufferVariantMatchesGolden(t *testing.T) {
+	app := apps.ImagePipeline("e2e-shared", apps.ImageCfg{
+		W: apps.SmallW, H: apps.SmallH,
+		Rate: geom.F(apps.FastRate, int64(apps.SmallW*apps.SmallH)),
+		Bins: 32,
+	})
+	cfg := DefaultConfig()
+	cfg.BufferStriping = false
+	verifyAgainstGolden(t, app, cfg, 2)
+}
+
+func TestCompilePadPolicy(t *testing.T) {
+	// With PadInputs the convolution input is zero-padded, so the
+	// subtract covers the median's grid; build the matching golden
+	// here rather than in the app.
+	const W, H, bins = 20, 16, 16
+	app := apps.ImagePipeline("e2e-pad", apps.ImageCfg{W: W, H: H, Rate: geom.FInt(50), Bins: bins})
+	cfg := DefaultConfig()
+	cfg.Align = transform.PadInputs
+	cfg.Parallelize = false
+
+	c, err := Compile(app.Graph, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runtime.Run(c.Graph, runtime.Options{Frames: 2, Sources: app.Sources})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coeff := apps.ImageCoeff()
+	edges := apps.ImageEdges(bins)
+	frames := res.FrameSlices("result")
+	if len(frames) != 2 {
+		t.Fatalf("frames = %d", len(frames))
+	}
+	for f, ws := range frames {
+		img := frame.LCG(int64(f), W, H)
+		medOut := frame.Median(img, 3)
+		convOut := frame.Convolve(frame.Pad(img, 1, 1, 1, 1), coeff)
+		diff := frame.Subtract(medOut, convOut)
+		want := frame.Histogram(diff, edges)
+		if len(ws) != 1 {
+			t.Fatalf("frame %d outputs = %d", f, len(ws))
+		}
+		for i := range want {
+			if ws[0].At(i, 0) != want[i] {
+				t.Fatalf("frame %d bin %d = %v, want %v", f, i, ws[0].At(i, 0), want[i])
+			}
+		}
+	}
+}
+
+func TestCompileRejectsInvalidMachine(t *testing.T) {
+	app := apps.HistogramApp("bad-machine", apps.HistCfg{W: 8, H: 8, Rate: geom.FInt(1), Bins: 4})
+	cfg := DefaultConfig()
+	cfg.Machine = machine.Machine{}
+	if _, err := Compile(app.Graph, cfg); err == nil {
+		t.Fatal("invalid machine accepted")
+	}
+}
+
+func TestCompileErrorPaths(t *testing.T) {
+	// Invalid input graph.
+	bad := graph.New("bad")
+	bad.AddOutput("Output", geom.Sz(1, 1))
+	if _, err := Compile(bad, DefaultConfig()); err == nil {
+		t.Error("invalid graph accepted")
+	}
+
+	// Pad alignment on a graph whose misaligned producer has no raw
+	// windowed input fails cleanly (already-buffered input).
+	app := apps.ImagePipeline("pad-too-late", apps.ImageCfg{W: 20, H: 16, Rate: geom.FInt(50), Bins: 16})
+	if err := transform.InsertBuffers(app.Graph); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Align = transform.PadInputs
+	cfg.Parallelize = false
+	if _, err := Compile(app.Graph, cfg); err == nil {
+		t.Error("pad alignment after buffering accepted")
+	}
+}
+
+func TestCompileLeavesProblemFreeGraphsUntouched(t *testing.T) {
+	// A pure item pipeline compiles to itself (plus nothing) when no
+	// parallelism is needed.
+	g := graph.New("identity")
+	in := g.AddInput("Input", geom.Sz(8, 8), geom.Sz(1, 1), geom.FInt(10))
+	k := g.Add(kernelGain())
+	out := g.AddOutput("Output", geom.Sz(1, 1))
+	g.Connect(in, "out", k, "in")
+	g.Connect(k, "out", out, "in")
+	before := len(g.Nodes())
+	c, err := Compile(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Graph.Nodes()) != before {
+		t.Errorf("idle compile changed the graph: %d -> %d nodes", before, len(c.Graph.Nodes()))
+	}
+}
+
+// kernelGain builds a trivial gain kernel without importing the kernel
+// package under a clashing name.
+func kernelGain() *graph.Node {
+	n := graph.NewNode("Gain", graph.KindKernel)
+	n.CreateInput("in", geom.Sz(1, 1), geom.St(1, 1), geom.Off(0, 0))
+	n.CreateOutput("out", geom.Sz(1, 1), geom.St(1, 1))
+	n.RegisterMethod("run", 4, 1)
+	n.RegisterMethodInput("run", "in")
+	n.RegisterMethodOutput("run", "out")
+	n.Behavior = gainB{}
+	return n
+}
+
+type gainB struct{}
+
+func (gainB) Clone() graph.Behavior { return gainB{} }
+func (gainB) Invoke(m string, ctx graph.ExecContext) error {
+	ctx.Emit("out", ctx.Input("in"))
+	return nil
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"blockpar/internal/frame"
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+	"blockpar/internal/kernel"
+	"blockpar/internal/machine"
+	"blockpar/internal/runtime"
+	"blockpar/internal/transform"
+)
+
+// TestCompiledConvEquivalenceQuick is the system-level property test:
+// for random frame sizes, kernel sizes, and rates, the fully compiled
+// (buffered + parallelized) convolution application produces exactly
+// the golden result.
+func TestCompiledConvEquivalenceQuick(t *testing.T) {
+	prop := func(w8, h8, k1, rate8, seed uint8) bool {
+		k := 3
+		if k1%2 == 1 {
+			k = 5
+		}
+		w := k + 4 + int(w8%24)
+		h := k + 2 + int(h8%16)
+		rate := geom.F(int64(rate8%100)*20_000+100_000, int64(w*h))
+		coeff := frame.LCG(int64(seed), k, k)
+
+		g := graph.New("prop-conv")
+		in := g.AddInput("Input", geom.Sz(w, h), geom.Sz(1, 1), rate)
+		conv := g.Add(kernel.Convolution("Conv", k))
+		coeffIn := g.AddInput("Coeff", geom.Sz(k, k), geom.Sz(k, k), rate)
+		out := g.AddOutput("Output", geom.Sz(1, 1))
+		g.Connect(in, "out", conv, "in")
+		g.Connect(coeffIn, "out", conv, "coeff")
+		g.Connect(conv, "out", out, "in")
+
+		if _, err := Compile(g, DefaultConfig()); err != nil {
+			t.Logf("compile(%dx%d k=%d): %v", w, h, k, err)
+			return false
+		}
+		res, err := runtime.Run(g, runtime.Options{
+			Frames: 1,
+			Sources: map[string]frame.Generator{
+				"Input": frame.LCG,
+				"Coeff": func(seq int64, fw, fh int) frame.Window { return coeff.Clone() },
+			},
+		})
+		if err != nil {
+			t.Logf("run(%dx%d k=%d): %v", w, h, k, err)
+			return false
+		}
+		want := frame.Convolve(frame.LCG(0, w, h), coeff)
+		got := res.DataWindows("Output")
+		if len(got) != len(want.Pix) {
+			t.Logf("%dx%d k=%d: %d outputs, want %d", w, h, k, len(got), len(want.Pix))
+			return false
+		}
+		for i, ww := range got {
+			if ww.Value() != want.Pix[i] {
+				t.Logf("%dx%d k=%d: sample %d = %v, want %v", w, h, k, i, ww.Value(), want.Pix[i])
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 12}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompiledMedianSubtractEquivalenceQuick fuzzes the two-branch
+// diamond (median vs conv into subtract) with both alignment policies.
+func TestCompiledMedianSubtractEquivalenceQuick(t *testing.T) {
+	prop := func(w8, h8, pol, seed uint8) bool {
+		w := 12 + int(w8%16)
+		h := 10 + int(h8%12)
+		rate := geom.F(400_000, int64(w*h))
+		coeff := frame.LCG(int64(seed), 5, 5)
+		for i := range coeff.Pix {
+			coeff.Pix[i] /= 256
+		}
+
+		g := graph.New("prop-diamond")
+		in := g.AddInput("Input", geom.Sz(w, h), geom.Sz(1, 1), rate)
+		med := g.Add(kernel.Median("Med", 3))
+		conv := g.Add(kernel.Convolution("Conv", 5))
+		coeffIn := g.AddInput("Coeff", geom.Sz(5, 5), geom.Sz(5, 5), rate)
+		sub := g.Add(kernel.Subtract("Sub"))
+		out := g.AddOutput("Output", geom.Sz(1, 1))
+		g.Connect(in, "out", med, "in")
+		g.Connect(in, "out", conv, "in")
+		g.Connect(coeffIn, "out", conv, "coeff")
+		g.Connect(med, "out", sub, "in0")
+		g.Connect(conv, "out", sub, "in1")
+		g.Connect(sub, "out", out, "in")
+
+		cfg := DefaultConfig()
+		usePad := pol%2 == 1
+		if usePad {
+			cfg.Align = transform.PadInputs
+		}
+		cfg.Machine = machine.Embedded()
+		if _, err := Compile(g, cfg); err != nil {
+			t.Logf("compile %dx%d pad=%v: %v", w, h, usePad, err)
+			return false
+		}
+		res, err := runtime.Run(g, runtime.Options{
+			Frames: 1,
+			Sources: map[string]frame.Generator{
+				"Input": frame.LCG,
+				"Coeff": func(seq int64, fw, fh int) frame.Window { return coeff.Clone() },
+			},
+		})
+		if err != nil {
+			t.Logf("run %dx%d pad=%v: %v", w, h, usePad, err)
+			return false
+		}
+		img := frame.LCG(0, w, h)
+		var want frame.Window
+		if usePad {
+			want = frame.Subtract(frame.Median(img, 3),
+				frame.Convolve(frame.Pad(img, 1, 1, 1, 1), coeff))
+		} else {
+			want = frame.Subtract(frame.Trim(frame.Median(img, 3), 1, 1, 1, 1),
+				frame.Convolve(img, coeff))
+		}
+		got := res.DataWindows("Output")
+		if len(got) != len(want.Pix) {
+			t.Logf("%dx%d pad=%v: %d outputs, want %d", w, h, usePad, len(got), len(want.Pix))
+			return false
+		}
+		for i, ww := range got {
+			if d := ww.Value() - want.Pix[i]; d > 1e-9 || d < -1e-9 {
+				t.Logf("%dx%d pad=%v: sample %d = %v, want %v", w, h, usePad, i, ww.Value(), want.Pix[i])
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 10}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

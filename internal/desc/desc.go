@@ -1,0 +1,395 @@
+// Package desc is the textual surface of the block-parallel language:
+// a JSON application description that names inputs (with frame sizes
+// and real-time rates), outputs, kernels from the library (by type and
+// parameters), stream edges, and data-dependency edges. It parses to a
+// graph.Graph ready for compilation, and graphs built from library
+// constructors encode back losslessly (kernel constructors tag their
+// nodes with ktype/kparams attributes).
+//
+// Example:
+//
+//	{
+//	  "name": "edges",
+//	  "inputs":  [{"name": "Input", "frame": [64, 48], "chunk": [1, 1], "rate": "300"}],
+//	  "outputs": [{"name": "Output", "chunk": [1, 1]}],
+//	  "kernels": [{"name": "5x5 Conv", "type": "convolution", "params": "5"}],
+//	  "edges":   [{"from": "Input.out", "to": "5x5 Conv.in"}],
+//	  "deps":    []
+//	}
+package desc
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+	"blockpar/internal/kernel"
+)
+
+// File is the JSON document shape.
+type File struct {
+	Name    string       `json:"name"`
+	Inputs  []InputDesc  `json:"inputs"`
+	Outputs []OutputDesc `json:"outputs"`
+	Kernels []KernelDesc `json:"kernels"`
+	Edges   []EdgeDesc   `json:"edges"`
+	Deps    []DepDesc    `json:"deps,omitempty"`
+}
+
+// InputDesc describes an application input.
+type InputDesc struct {
+	Name  string `json:"name"`
+	Frame [2]int `json:"frame"`
+	Chunk [2]int `json:"chunk"`
+	// Rate is an exact rational frame rate: "30" or "1500000/768".
+	Rate string `json:"rate"`
+	// TokenRates optionally declares custom-token bounds (per frame).
+	TokenRates map[string]string `json:"tokenRates,omitempty"`
+}
+
+// OutputDesc describes an application output.
+type OutputDesc struct {
+	Name  string `json:"name"`
+	Chunk [2]int `json:"chunk"`
+}
+
+// KernelDesc instantiates a library kernel by type.
+type KernelDesc struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+	// Params is the kernel's compact parameter string (e.g. "5" for a
+	// 5×5 convolution, "2.5,0,255" for a threshold).
+	Params string `json:"params,omitempty"`
+}
+
+// EdgeDesc connects "node.port" to "node.port".
+type EdgeDesc struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// DepDesc is a data-dependency edge between node names.
+type DepDesc struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// ParseRate parses "30" or "1500000/768" into an exact rational.
+func ParseRate(s string) (geom.Frac, error) {
+	num, den := s, "1"
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		num, den = s[:i], s[i+1:]
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(num), 10, 64)
+	if err != nil {
+		return geom.Frac{}, fmt.Errorf("desc: bad rate %q: %w", s, err)
+	}
+	d, err := strconv.ParseInt(strings.TrimSpace(den), 10, 64)
+	if err != nil || d == 0 {
+		return geom.Frac{}, fmt.Errorf("desc: bad rate denominator in %q", s)
+	}
+	return geom.F(n, d), nil
+}
+
+// FormatRate renders a rational as ParseRate's input.
+func FormatRate(f geom.Frac) string {
+	if f.IsInt() {
+		return strconv.FormatInt(f.Int(), 10)
+	}
+	return fmt.Sprintf("%d/%d", f.Num, f.Den)
+}
+
+// Parse builds an application graph from a JSON description.
+func Parse(data []byte) (*graph.Graph, error) {
+	var f File
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("desc: %w", err)
+	}
+	return Build(&f)
+}
+
+// Build constructs the graph from a decoded File.
+func Build(f *File) (*graph.Graph, error) {
+	if f.Name == "" {
+		return nil, fmt.Errorf("desc: application needs a name")
+	}
+	g := graph.New(f.Name)
+	for _, in := range f.Inputs {
+		rate, err := ParseRate(in.Rate)
+		if err != nil {
+			return nil, err
+		}
+		n := g.AddInput(in.Name, geom.Sz(in.Frame[0], in.Frame[1]),
+			geom.Sz(in.Chunk[0], in.Chunk[1]), rate)
+		if len(in.TokenRates) > 0 {
+			n.TokenRates = make(map[string]geom.Frac, len(in.TokenRates))
+			for tok, rs := range in.TokenRates {
+				r, err := ParseRate(rs)
+				if err != nil {
+					return nil, err
+				}
+				n.TokenRates[tok] = r
+			}
+		}
+	}
+	for _, out := range f.Outputs {
+		g.AddOutput(out.Name, geom.Sz(out.Chunk[0], out.Chunk[1]))
+	}
+	for _, k := range f.Kernels {
+		n, err := Instantiate(k.Name, k.Type, k.Params)
+		if err != nil {
+			return nil, err
+		}
+		g.Add(n)
+	}
+	for _, e := range f.Edges {
+		fn, fp, err := splitRef(e.From)
+		if err != nil {
+			return nil, err
+		}
+		tn, tp, err := splitRef(e.To)
+		if err != nil {
+			return nil, err
+		}
+		from, to := g.Node(fn), g.Node(tn)
+		if from == nil || to == nil {
+			return nil, fmt.Errorf("desc: edge %s -> %s references unknown node", e.From, e.To)
+		}
+		g.Connect(from, fp, to, tp)
+	}
+	for _, d := range f.Deps {
+		from, to := g.Node(d.From), g.Node(d.To)
+		if from == nil || to == nil {
+			return nil, fmt.Errorf("desc: dep %s -> %s references unknown node", d.From, d.To)
+		}
+		g.AddDep(from, to)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("desc: %w", err)
+	}
+	return g, nil
+}
+
+func splitRef(s string) (node, port string, err error) {
+	i := strings.LastIndexByte(s, '.')
+	if i <= 0 || i == len(s)-1 {
+		return "", "", fmt.Errorf("desc: port reference %q must be \"node.port\"", s)
+	}
+	return s[:i], s[i+1:], nil
+}
+
+// Builder constructs a kernel node from its name and compact params.
+type Builder func(name, params string) (*graph.Node, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Builder{}
+)
+
+// RegisterType adds (or replaces) a custom kernel type in the
+// description registry, so applications using custom kernels can still
+// be loaded from JSON (§IV-C lets the programmer supply their own
+// kernels and parallelizations). Builders should set the node's
+// ktype/kparams attributes if the graph must encode back.
+func RegisterType(ktype string, b Builder) {
+	regMu.Lock()
+	registry[ktype] = b
+	regMu.Unlock()
+}
+
+// Instantiate builds a library kernel by type name and compact params.
+// Custom registered types take precedence over the built-in library.
+func Instantiate(name, ktype, params string) (*graph.Node, error) {
+	regMu.RLock()
+	custom := registry[ktype]
+	regMu.RUnlock()
+	if custom != nil {
+		return custom(name, params)
+	}
+	return instantiateBuiltin(name, ktype, params)
+}
+
+func instantiateBuiltin(name, ktype, params string) (*graph.Node, error) {
+	ints := func(n int) ([]int, error) {
+		parts := splitParams(params, n)
+		if parts == nil {
+			return nil, fmt.Errorf("desc: kernel %q type %q wants %d params, got %q", name, ktype, n, params)
+		}
+		out := make([]int, n)
+		for i, p := range parts {
+			v, err := strconv.Atoi(p)
+			if err != nil {
+				return nil, fmt.Errorf("desc: kernel %q param %q: %w", name, p, err)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	floats := func(n int) ([]float64, error) {
+		parts := splitParams(params, n)
+		if parts == nil {
+			return nil, fmt.Errorf("desc: kernel %q type %q wants %d params, got %q", name, ktype, n, params)
+		}
+		out := make([]float64, n)
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(p, 64)
+			if err != nil {
+				return nil, fmt.Errorf("desc: kernel %q param %q: %w", name, p, err)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	switch ktype {
+	case "convolution":
+		v, err := ints(1)
+		if err != nil {
+			return nil, err
+		}
+		return kernel.Convolution(name, v[0]), nil
+	case "median":
+		v, err := ints(1)
+		if err != nil {
+			return nil, err
+		}
+		return kernel.Median(name, v[0]), nil
+	case "subtract":
+		return kernel.Subtract(name), nil
+	case "histogram":
+		v, err := ints(1)
+		if err != nil {
+			return nil, err
+		}
+		return kernel.Histogram(name, v[0]), nil
+	case "merge":
+		v, err := ints(1)
+		if err != nil {
+			return nil, err
+		}
+		return kernel.Merge(name, v[0]), nil
+	case "bayer":
+		return kernel.BayerDemosaic(name), nil
+	case "gain":
+		v, err := floats(1)
+		if err != nil {
+			return nil, err
+		}
+		return kernel.Gain(name, v[0]), nil
+	case "downsample":
+		v, err := ints(1)
+		if err != nil {
+			return nil, err
+		}
+		return kernel.Downsample(name, v[0]), nil
+	case "fir":
+		v, err := ints(1)
+		if err != nil {
+			return nil, err
+		}
+		return kernel.FIR(name, v[0]), nil
+	case "upsample":
+		v, err := ints(1)
+		if err != nil {
+			return nil, err
+		}
+		return kernel.Upsample(name, v[0]), nil
+	case "magnitude":
+		return kernel.Magnitude(name), nil
+	case "threshold":
+		v, err := floats(3)
+		if err != nil {
+			return nil, err
+		}
+		return kernel.Threshold(name, v[0], v[1], v[2]), nil
+	case "motion":
+		v, err := ints(2)
+		if err != nil {
+			return nil, err
+		}
+		return kernel.MotionSearch(name, v[0], v[1]), nil
+	case "accumulator":
+		return kernel.Accumulator(name), nil
+	case "morphology":
+		v, err := ints(2)
+		if err != nil {
+			return nil, err
+		}
+		return kernel.Morphology(name, v[0], kernel.MorphOp(v[1])), nil
+	default:
+		return nil, fmt.Errorf("desc: unknown kernel type %q", ktype)
+	}
+}
+
+func splitParams(params string, n int) []string {
+	if n == 0 {
+		return []string{}
+	}
+	parts := strings.Split(params, ",")
+	if len(parts) != n {
+		return nil
+	}
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// Encode renders a programmer-level graph back into its description.
+// Every kernel must carry the ktype attribute the library constructors
+// set; compiler-inserted kinds (buffers, splits, ...) are rejected —
+// encode before compiling.
+func Encode(g *graph.Graph) ([]byte, error) {
+	f := File{Name: g.Name}
+	for _, n := range g.Nodes() {
+		switch n.Kind {
+		case graph.KindInput:
+			chunk := n.Output("out").Size
+			in := InputDesc{
+				Name:  n.Name(),
+				Frame: [2]int{n.FrameSize.W, n.FrameSize.H},
+				Chunk: [2]int{chunk.W, chunk.H},
+				Rate:  FormatRate(n.Rate),
+			}
+			if len(n.TokenRates) > 0 {
+				in.TokenRates = make(map[string]string, len(n.TokenRates))
+				for tok, r := range n.TokenRates {
+					in.TokenRates[tok] = FormatRate(r)
+				}
+			}
+			f.Inputs = append(f.Inputs, in)
+		case graph.KindOutput:
+			chunk := n.Input("in").Size
+			f.Outputs = append(f.Outputs, OutputDesc{
+				Name: n.Name(), Chunk: [2]int{chunk.W, chunk.H},
+			})
+		case graph.KindKernel:
+			ktype := n.Attrs["ktype"]
+			if ktype == "" {
+				return nil, fmt.Errorf("desc: kernel %q has no ktype attribute (custom kernel?)", n.Name())
+			}
+			f.Kernels = append(f.Kernels, KernelDesc{
+				Name: n.Name(), Type: ktype, Params: n.Attrs["kparams"],
+			})
+		default:
+			return nil, fmt.Errorf("desc: cannot encode compiler kernel %q (%s); encode before compiling",
+				n.Name(), n.Kind)
+		}
+	}
+	for _, e := range g.Edges() {
+		f.Edges = append(f.Edges, EdgeDesc{
+			From: e.From.Node().Name() + "." + e.From.Name,
+			To:   e.To.Node().Name() + "." + e.To.Name,
+		})
+	}
+	for _, d := range g.Deps() {
+		f.Deps = append(f.Deps, DepDesc{From: d.From.Name(), To: d.To.Name()})
+	}
+	return json.MarshalIndent(&f, "", "  ")
+}

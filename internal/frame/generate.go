@@ -1,0 +1,85 @@
+package frame
+
+// Generators produce deterministic synthetic frames. The paper's inputs
+// are live camera/sensor streams; the analyses only depend on sizes and
+// rates, so deterministic patterns are sufficient and make the
+// functional-equivalence tests exact (see DESIGN.md §2).
+
+// Generator produces the frame with the given sequence number.
+type Generator func(seq int64, w, h int) Frame
+
+// Gradient produces a diagonal gradient that also varies per frame, so
+// consecutive frames are distinguishable: pix = x + 2y + 3*seq.
+func Gradient(seq int64, w, h int) Frame {
+	f := NewWindow(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			f.Set(x, y, float64(x)+2*float64(y)+3*float64(seq))
+		}
+	}
+	return f
+}
+
+// Checker produces a two-level checkerboard with per-frame offset,
+// exercising median filters with genuine order statistics.
+func Checker(seq int64, w, h int) Frame {
+	f := NewWindow(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := float64((x + y + int(seq)) % 2 * 100)
+			f.Set(x, y, v+float64(x%5))
+		}
+	}
+	return f
+}
+
+// LCG produces pseudo-random but fully deterministic frames using a
+// linear congruential generator seeded by the frame number. Values are
+// in [0, 256).
+func LCG(seq int64, w, h int) Frame {
+	f := NewWindow(w, h)
+	state := uint64(seq)*2862933555777941757 + 3037000493
+	for i := range f.Pix {
+		state = state*6364136223846793005 + 1442695040888963407
+		f.Pix[i] = float64((state >> 33) % 256)
+	}
+	return f
+}
+
+// Constant produces a flat frame of value v.
+func Constant(v float64) Generator {
+	return func(seq int64, w, h int) Frame {
+		f := NewWindow(w, h)
+		for i := range f.Pix {
+			f.Pix[i] = v
+		}
+		return f
+	}
+}
+
+// Bayer produces a synthetic Bayer-mosaic frame in RGGB layout: each
+// pixel holds only the color channel its filter position admits,
+// derived from a smooth underlying scene so demosaicing is meaningful.
+func Bayer(seq int64, w, h int) Frame {
+	f := NewWindow(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			r := float64(x) + float64(seq)
+			g := float64(y) * 2
+			b := float64(x+y) / 2
+			var v float64
+			switch {
+			case y%2 == 0 && x%2 == 0:
+				v = r
+			case y%2 == 0 && x%2 == 1:
+				v = g
+			case y%2 == 1 && x%2 == 0:
+				v = g
+			default:
+				v = b
+			}
+			f.Set(x, y, v)
+		}
+	}
+	return f
+}

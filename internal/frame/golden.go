@@ -1,0 +1,250 @@
+package frame
+
+import "sort"
+
+// Golden sequential implementations of the paper's kernels. Every
+// transformed application graph is verified against these (see
+// internal/runtime tests): the parallelized, buffered, split/joined
+// graph must produce bit-identical output.
+
+// Convolve computes a valid-region convolution of f with the kw×kh
+// kernel coeff (row-major, already in application order: the kernel
+// code in the paper indexes coeff reversed; the golden and kernel
+// implementations agree on the same convention). Output size is
+// (W-kw+1)×(H-kh+1).
+func Convolve(f Frame, coeff Window) Frame {
+	kw, kh := coeff.W, coeff.H
+	ow, oh := f.W-kw+1, f.H-kh+1
+	if ow < 1 || oh < 1 {
+		return Window{}
+	}
+	out := NewWindow(ow, oh)
+	Windows(f, kw, kh, 1, 1, func(x, y int) {
+		var acc float64
+		for dy := 0; dy < kh; dy++ {
+			for dx := 0; dx < kw; dx++ {
+				acc += f.At(x+dx, y+dy) * coeff.At(kw-dx-1, kh-dy-1)
+			}
+		}
+		out.Set(x, y, acc)
+	})
+	return out
+}
+
+// Median computes a k×k median filter over the valid region.
+func Median(f Frame, k int) Frame {
+	ow, oh := f.W-k+1, f.H-k+1
+	if ow < 1 || oh < 1 {
+		return Window{}
+	}
+	out := NewWindow(ow, oh)
+	buf := make([]float64, 0, k*k)
+	Windows(f, k, k, 1, 1, func(x, y int) {
+		buf = buf[:0]
+		for dy := 0; dy < k; dy++ {
+			for dx := 0; dx < k; dx++ {
+				buf = append(buf, f.At(x+dx, y+dy))
+			}
+		}
+		sort.Float64s(buf)
+		out.Set(x, y, buf[len(buf)/2])
+	})
+	return out
+}
+
+// Subtract computes the per-pixel difference a - b. The frames must be
+// the same size (the compiler's trim/pad pass guarantees this before
+// the Subtract kernel ever runs).
+func Subtract(a, b Frame) Frame {
+	if a.W != b.W || a.H != b.H {
+		panic("frame: Subtract size mismatch")
+	}
+	out := NewWindow(a.W, a.H)
+	for i := range a.Pix {
+		out.Pix[i] = a.Pix[i] - b.Pix[i]
+	}
+	return out
+}
+
+// Histogram counts samples of f into len(binEdges) bins: bin i counts
+// values v with binEdges[i] <= v, choosing the highest such bin
+// (searched from the top as the paper's findBin does by linear search).
+// Values below binEdges[0] fall into bin 0.
+func Histogram(f Frame, binEdges []float64) []float64 {
+	counts := make([]float64, len(binEdges))
+	for _, v := range f.Pix {
+		counts[FindBin(v, binEdges)]++
+	}
+	return counts
+}
+
+// FindBin returns the histogram bin index for value v under the edge
+// convention of Histogram.
+func FindBin(v float64, binEdges []float64) int {
+	for i := len(binEdges) - 1; i > 0; i-- {
+		if v >= binEdges[i] {
+			return i
+		}
+	}
+	return 0
+}
+
+// UniformBins returns n bin edges evenly spaced over [lo, hi).
+func UniformBins(n int, lo, hi float64) []float64 {
+	edges := make([]float64, n)
+	step := (hi - lo) / float64(n)
+	for i := range edges {
+		edges[i] = lo + float64(i)*step
+	}
+	return edges
+}
+
+// Trim removes l, r columns and t, b rows from the edges of f.
+func Trim(f Frame, l, r, t, b int) Frame {
+	ow, oh := f.W-l-r, f.H-t-b
+	if ow < 1 || oh < 1 {
+		return Window{}
+	}
+	return f.Sub(l, t, ow, oh)
+}
+
+// Pad surrounds f with zeros: l, r columns and t, b rows.
+func Pad(f Frame, l, r, t, b int) Frame {
+	out := NewWindow(f.W+l+r, f.H+t+b)
+	for y := 0; y < f.H; y++ {
+		copy(out.Pix[(y+t)*out.W+l:(y+t)*out.W+l+f.W], f.Pix[y*f.W:(y+1)*f.W])
+	}
+	return out
+}
+
+// Morph computes a k×k windowed min (erode=true) or max over the
+// valid region.
+func Morph(f Frame, k int, erode bool) Frame {
+	ow, oh := f.W-k+1, f.H-k+1
+	if ow < 1 || oh < 1 {
+		return Window{}
+	}
+	out := NewWindow(ow, oh)
+	Windows(f, k, k, 1, 1, func(x, y int) {
+		best := f.At(x, y)
+		for dy := 0; dy < k; dy++ {
+			for dx := 0; dx < k; dx++ {
+				v := f.At(x+dx, y+dy)
+				if (erode && v < best) || (!erode && v > best) {
+					best = v
+				}
+			}
+		}
+		out.Set(x, y, best)
+	})
+	return out
+}
+
+// FIR applies a taps-wide 1-D convolution along each row over the
+// valid region; output is (W-len(taps)+1)×H.
+func FIR(f Frame, taps []float64) Frame {
+	k := len(taps)
+	ow := f.W - k + 1
+	if ow < 1 {
+		return Window{}
+	}
+	out := NewWindow(ow, f.H)
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < ow; x++ {
+			var acc float64
+			for i := 0; i < k; i++ {
+				acc += f.At(x+i, y) * taps[k-i-1]
+			}
+			out.Set(x, y, acc)
+		}
+	}
+	return out
+}
+
+// UpsampleNN enlarges f k-fold with nearest-neighbor replication.
+func UpsampleNN(f Frame, k int) Frame {
+	out := NewWindow(f.W*k, f.H*k)
+	for y := 0; y < out.H; y++ {
+		for x := 0; x < out.W; x++ {
+			out.Set(x, y, f.At(x/k, y/k))
+		}
+	}
+	return out
+}
+
+// Gain scales every sample by g.
+func Gain(f Frame, g float64) Frame {
+	out := NewWindow(f.W, f.H)
+	for i := range f.Pix {
+		out.Pix[i] = f.Pix[i] * g
+	}
+	return out
+}
+
+// Downsample keeps one sample per k×k block (the top-left one),
+// producing a floor(W/k)×floor(H/k) frame.
+func Downsample(f Frame, k int) Frame {
+	ow, oh := f.W/k, f.H/k
+	if ow < 1 || oh < 1 {
+		return Window{}
+	}
+	out := NewWindow(ow, oh)
+	for y := 0; y < oh; y++ {
+		for x := 0; x < ow; x++ {
+			out.Set(x, y, f.At(x*k, y*k))
+		}
+	}
+	return out
+}
+
+// BayerDemosaic performs bilinear demosaicing of an RGGB-mosaic frame
+// over the valid 3x3 region, returning R, G, B planes each of size
+// (W-2)×(H-2). Output pixel (x,y) corresponds to mosaic pixel
+// (x+1, y+1).
+func BayerDemosaic(f Frame) (r, g, b Frame) {
+	ow, oh := f.W-2, f.H-2
+	if ow < 1 || oh < 1 {
+		return Window{}, Window{}, Window{}
+	}
+	r, g, b = NewWindow(ow, oh), NewWindow(ow, oh), NewWindow(ow, oh)
+	Windows(f, 3, 3, 1, 1, func(x, y int) {
+		cx, cy := x+1, y+1
+		rv, gv, bv := demosaicAt(f, cx, cy)
+		r.Set(x, y, rv)
+		g.Set(x, y, gv)
+		b.Set(x, y, bv)
+	})
+	return r, g, b
+}
+
+// demosaicAt reconstructs RGB at mosaic position (cx, cy), which must
+// have a full 3x3 neighborhood. RGGB layout: even row/even col = R,
+// even row/odd col = G, odd row/even col = G, odd row/odd col = B.
+func demosaicAt(f Frame, cx, cy int) (r, g, b float64) {
+	avg4 := func(dx1, dy1, dx2, dy2, dx3, dy3, dx4, dy4 int) float64 {
+		return (f.At(cx+dx1, cy+dy1) + f.At(cx+dx2, cy+dy2) +
+			f.At(cx+dx3, cy+dy3) + f.At(cx+dx4, cy+dy4)) / 4
+	}
+	avg2 := func(dx1, dy1, dx2, dy2 int) float64 {
+		return (f.At(cx+dx1, cy+dy1) + f.At(cx+dx2, cy+dy2)) / 2
+	}
+	switch {
+	case cy%2 == 0 && cx%2 == 0: // red site
+		r = f.At(cx, cy)
+		g = avg4(-1, 0, 1, 0, 0, -1, 0, 1)
+		b = avg4(-1, -1, 1, -1, -1, 1, 1, 1)
+	case cy%2 == 0 && cx%2 == 1: // green site on red row
+		g = f.At(cx, cy)
+		r = avg2(-1, 0, 1, 0)
+		b = avg2(0, -1, 0, 1)
+	case cy%2 == 1 && cx%2 == 0: // green site on blue row
+		g = f.At(cx, cy)
+		r = avg2(0, -1, 0, 1)
+		b = avg2(-1, 0, 1, 0)
+	default: // blue site
+		b = f.At(cx, cy)
+		g = avg4(-1, 0, 1, 0, 0, -1, 0, 1)
+		r = avg4(-1, -1, 1, -1, -1, 1, 1, 1)
+	}
+	return r, g, b
+}

@@ -1,0 +1,317 @@
+package frame
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConvolveIdentityKernel(t *testing.T) {
+	f := Gradient(0, 8, 6)
+	// 3x3 kernel with a single 1 at the center is identity over the
+	// valid region: out(x,y) == f(x+1, y+1).
+	id := NewWindow(3, 3)
+	id.Set(1, 1, 1)
+	out := Convolve(f, id)
+	if out.W != 6 || out.H != 4 {
+		t.Fatalf("output size %dx%d, want 6x4", out.W, out.H)
+	}
+	for y := 0; y < out.H; y++ {
+		for x := 0; x < out.W; x++ {
+			if out.At(x, y) != f.At(x+1, y+1) {
+				t.Fatalf("identity convolution wrong at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestConvolveBoxSum(t *testing.T) {
+	f := Constant(2)(0, 5, 5)
+	box := NewWindow(3, 3)
+	for i := range box.Pix {
+		box.Pix[i] = 1
+	}
+	out := Convolve(f, box)
+	if out.W != 3 || out.H != 3 {
+		t.Fatalf("output size %dx%d", out.W, out.H)
+	}
+	for _, v := range out.Pix {
+		if v != 18 {
+			t.Fatalf("box sum = %v, want 18", v)
+		}
+	}
+}
+
+func TestConvolveTooSmall(t *testing.T) {
+	out := Convolve(NewWindow(2, 2), NewWindow(3, 3))
+	if out.W != 0 || out.H != 0 {
+		t.Errorf("undersized convolution should return empty, got %v", out)
+	}
+}
+
+func TestConvolveAsymmetricKernelOrientation(t *testing.T) {
+	// f has a single impulse; convolution with an asymmetric kernel
+	// must produce the flipped kernel around it (true convolution, the
+	// convention of the paper's runConvolve loop).
+	f := NewWindow(5, 5)
+	f.Set(2, 2, 1)
+	k := FromRows([][]float64{
+		{1, 2, 3},
+		{4, 5, 6},
+		{7, 8, 9},
+	})
+	out := Convolve(f, k)
+	// out(x,y) = sum f(x+dx, y+dy) * k(2-dx, 2-dy). Impulse at (2,2):
+	// out(x,y) = k(2-(2-x), 2-(2-y)) = k(x, y) for x,y in [0,3).
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 3; x++ {
+			if out.At(x, y) != k.At(x, y) {
+				t.Fatalf("impulse response at (%d,%d) = %v, want %v", x, y, out.At(x, y), k.At(x, y))
+			}
+		}
+	}
+}
+
+func TestMedianConstantRegions(t *testing.T) {
+	f := Constant(7)(0, 6, 6)
+	out := Median(f, 3)
+	if out.W != 4 || out.H != 4 {
+		t.Fatalf("median size %dx%d", out.W, out.H)
+	}
+	for _, v := range out.Pix {
+		if v != 7 {
+			t.Fatalf("median of constant = %v", v)
+		}
+	}
+}
+
+func TestMedianRemovesImpulse(t *testing.T) {
+	f := Constant(10)(0, 5, 5)
+	f.Set(2, 2, 1000) // salt noise
+	out := Median(f, 3)
+	for _, v := range out.Pix {
+		if v != 10 {
+			t.Fatalf("median failed to reject impulse: %v", out.Pix)
+		}
+	}
+}
+
+func TestMedianKnownWindow(t *testing.T) {
+	f := FromRows([][]float64{
+		{1, 9, 2},
+		{8, 5, 7},
+		{3, 6, 4},
+	})
+	out := Median(f, 3)
+	if out.W != 1 || out.H != 1 || out.Value() != 5 {
+		t.Fatalf("median = %v, want 5", out.Pix)
+	}
+}
+
+func TestSubtract(t *testing.T) {
+	a := FromRows([][]float64{{5, 7}})
+	b := FromRows([][]float64{{2, 10}})
+	out := Subtract(a, b)
+	if out.At(0, 0) != 3 || out.At(1, 0) != -3 {
+		t.Errorf("Subtract = %v", out.Pix)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("size mismatch did not panic")
+		}
+	}()
+	Subtract(a, NewWindow(3, 1))
+}
+
+func TestHistogramUniform(t *testing.T) {
+	edges := UniformBins(4, 0, 8) // edges 0,2,4,6
+	f := FromRows([][]float64{{0, 1, 2, 3, 4, 5, 6, 7}})
+	counts := Histogram(f, edges)
+	want := []float64{2, 2, 2, 2}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", counts, want)
+		}
+	}
+}
+
+func TestHistogramUnderflowGoesToBinZero(t *testing.T) {
+	edges := []float64{10, 20, 30}
+	counts := Histogram(FromRows([][]float64{{-5, 25, 35}}), edges)
+	// -5 underflows into bin 0; 25 lands in [20,30); 35 overflows into
+	// the last bin.
+	if counts[0] != 1 || counts[1] != 1 || counts[2] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestFindBinEdgeConvention(t *testing.T) {
+	edges := []float64{0, 10, 20}
+	cases := map[float64]int{-1: 0, 0: 0, 9.99: 0, 10: 1, 19: 1, 20: 2, 1e9: 2}
+	for v, want := range cases {
+		if got := FindBin(v, edges); got != want {
+			t.Errorf("FindBin(%v) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestTrimPadInverse(t *testing.T) {
+	f := LCG(3, 7, 5)
+	p := Pad(f, 1, 2, 3, 4)
+	if p.W != 10 || p.H != 12 {
+		t.Fatalf("pad size %dx%d", p.W, p.H)
+	}
+	back := Trim(p, 1, 2, 3, 4)
+	if !back.Equal(f) {
+		t.Error("Trim(Pad(f)) != f")
+	}
+}
+
+func TestPadZerosBorder(t *testing.T) {
+	f := Constant(9)(0, 2, 2)
+	p := Pad(f, 1, 1, 1, 1)
+	if p.At(0, 0) != 0 || p.At(3, 3) != 0 || p.At(1, 1) != 9 {
+		t.Errorf("pad contents wrong: %v", p.Pix)
+	}
+}
+
+func TestTrimTooMuchReturnsEmpty(t *testing.T) {
+	if got := Trim(NewWindow(3, 3), 2, 2, 0, 0); got.W != 0 {
+		t.Errorf("over-trim should be empty, got %v", got)
+	}
+}
+
+func TestGain(t *testing.T) {
+	f := FromRows([][]float64{{1, -2}})
+	out := Gain(f, 2.5)
+	if out.At(0, 0) != 2.5 || out.At(1, 0) != -5 {
+		t.Errorf("Gain = %v", out.Pix)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	f := Gradient(0, 6, 4)
+	out := Downsample(f, 2)
+	if out.W != 3 || out.H != 2 {
+		t.Fatalf("downsample size %dx%d", out.W, out.H)
+	}
+	for y := 0; y < 2; y++ {
+		for x := 0; x < 3; x++ {
+			if out.At(x, y) != f.At(2*x, 2*y) {
+				t.Fatal("downsample picks wrong samples")
+			}
+		}
+	}
+}
+
+func TestBayerDemosaicFlatField(t *testing.T) {
+	// A mosaic where every site has the same value reconstructs to
+	// that value in every channel.
+	f := Constant(50)(0, 8, 8)
+	r, g, b := BayerDemosaic(f)
+	if r.W != 6 || r.H != 6 {
+		t.Fatalf("demosaic size %dx%d", r.W, r.H)
+	}
+	for i := range r.Pix {
+		if r.Pix[i] != 50 || g.Pix[i] != 50 || b.Pix[i] != 50 {
+			t.Fatalf("flat field broke: r=%v g=%v b=%v", r.Pix[i], g.Pix[i], b.Pix[i])
+		}
+	}
+}
+
+func TestBayerDemosaicSiteExactness(t *testing.T) {
+	f := Bayer(0, 10, 10)
+	r, g, b := BayerDemosaic(f)
+	// At a red mosaic site (even,even), output (x,y) maps to mosaic
+	// (x+1,y+1); check exact channels at each site type.
+	for y := 0; y < r.H; y++ {
+		for x := 0; x < r.W; x++ {
+			cx, cy := x+1, y+1
+			switch {
+			case cy%2 == 0 && cx%2 == 0:
+				if r.At(x, y) != f.At(cx, cy) {
+					t.Fatalf("R not exact at red site (%d,%d)", cx, cy)
+				}
+			case cy%2 == 1 && cx%2 == 1:
+				if b.At(x, y) != f.At(cx, cy) {
+					t.Fatalf("B not exact at blue site (%d,%d)", cx, cy)
+				}
+			default:
+				if g.At(x, y) != f.At(cx, cy) {
+					t.Fatalf("G not exact at green site (%d,%d)", cx, cy)
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	gens := map[string]Generator{
+		"gradient": Gradient, "checker": Checker, "lcg": LCG, "bayer": Bayer,
+	}
+	for name, g := range gens {
+		a, b := g(5, 9, 7), g(5, 9, 7)
+		if !a.Equal(b) {
+			t.Errorf("%s generator not deterministic", name)
+		}
+		c := g(6, 9, 7)
+		if a.Equal(c) {
+			t.Errorf("%s generator ignores frame seq", name)
+		}
+	}
+}
+
+func TestConvolveLinearityQuick(t *testing.T) {
+	// Convolve(a+b, k) == Convolve(a,k) + Convolve(b,k).
+	prop := func(seedA, seedB uint8) bool {
+		a := LCG(int64(seedA), 7, 6)
+		b := LCG(int64(seedB)+1000, 7, 6)
+		k := LCG(int64(seedA)+int64(seedB), 3, 3)
+		sum := NewWindow(7, 6)
+		for i := range sum.Pix {
+			sum.Pix[i] = a.Pix[i] + b.Pix[i]
+		}
+		lhs := Convolve(sum, k)
+		ca, cb := Convolve(a, k), Convolve(b, k)
+		rhs := NewWindow(lhs.W, lhs.H)
+		for i := range rhs.Pix {
+			rhs.Pix[i] = ca.Pix[i] + cb.Pix[i]
+		}
+		return lhs.AlmostEqual(rhs, 1e-6)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedianIdempotentOnConstantQuick(t *testing.T) {
+	prop := func(v int16, w8, h8 uint8) bool {
+		w, h := int(w8%6)+3, int(h8%6)+3
+		f := Constant(float64(v))(0, w, h)
+		out := Median(f, 3)
+		for _, p := range out.Pix {
+			if p != float64(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramTotalMassQuick(t *testing.T) {
+	prop := func(seed uint8, w8, h8 uint8) bool {
+		w, h := int(w8%10)+1, int(h8%10)+1
+		f := LCG(int64(seed), w, h)
+		counts := Histogram(f, UniformBins(8, 0, 256))
+		var total float64
+		for _, c := range counts {
+			total += c
+		}
+		return total == float64(w*h)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package frame provides the two-dimensional data carried on stream
+// channels: windows (the unit item moved per kernel iteration), whole
+// frames, deterministic synthetic frame generators, and golden
+// sequential implementations of the paper's filters used to verify the
+// transformed applications functionally.
+package frame
+
+import (
+	"fmt"
+	"math"
+)
+
+// Window is a dense, row-major 2-D block of samples. It is the value a
+// channel carries per kernel iteration: a (1x1) window for pixel
+// streams, a (5x5) window for a buffered convolution input, a (32x1)
+// window for histogram bins, and so on.
+type Window struct {
+	W, H int
+	Pix  []float64
+}
+
+// NewWindow allocates a zeroed w×h window.
+func NewWindow(w, h int) Window {
+	if w < 0 || h < 0 {
+		panic(fmt.Sprintf("frame: invalid window size %dx%d", w, h))
+	}
+	return Window{W: w, H: h, Pix: make([]float64, w*h)}
+}
+
+// Scalar returns a 1x1 window holding v.
+func Scalar(v float64) Window {
+	return Window{W: 1, H: 1, Pix: []float64{v}}
+}
+
+// FromRows builds a window from row-major rows; all rows must have the
+// same length.
+func FromRows(rows [][]float64) Window {
+	h := len(rows)
+	if h == 0 {
+		return Window{}
+	}
+	w := len(rows[0])
+	win := NewWindow(w, h)
+	for y, row := range rows {
+		if len(row) != w {
+			panic("frame: ragged rows")
+		}
+		copy(win.Pix[y*w:(y+1)*w], row)
+	}
+	return win
+}
+
+// At returns the sample at (x, y). It panics on out-of-range access.
+func (w Window) At(x, y int) float64 {
+	if x < 0 || x >= w.W || y < 0 || y >= w.H {
+		panic(fmt.Sprintf("frame: At(%d,%d) outside %dx%d", x, y, w.W, w.H))
+	}
+	return w.Pix[y*w.W+x]
+}
+
+// Set stores v at (x, y). It panics on out-of-range access.
+func (w Window) Set(x, y int, v float64) {
+	if x < 0 || x >= w.W || y < 0 || y >= w.H {
+		panic(fmt.Sprintf("frame: Set(%d,%d) outside %dx%d", x, y, w.W, w.H))
+	}
+	w.Pix[y*w.W+x] = v
+}
+
+// Value returns the single sample of a 1x1 window.
+func (w Window) Value() float64 {
+	if w.W != 1 || w.H != 1 {
+		panic(fmt.Sprintf("frame: Value() on %dx%d window", w.W, w.H))
+	}
+	return w.Pix[0]
+}
+
+// Clone returns a deep copy of the window.
+func (w Window) Clone() Window {
+	out := Window{W: w.W, H: w.H, Pix: make([]float64, len(w.Pix))}
+	copy(out.Pix, w.Pix)
+	return out
+}
+
+// Sub returns a copy of the sub-window of size sw×sh anchored at (x, y).
+func (w Window) Sub(x, y, sw, sh int) Window {
+	out := NewWindow(sw, sh)
+	for dy := 0; dy < sh; dy++ {
+		srcOff := (y+dy)*w.W + x
+		copy(out.Pix[dy*sw:(dy+1)*sw], w.Pix[srcOff:srcOff+sw])
+	}
+	return out
+}
+
+// Equal reports whether two windows have identical shape and samples.
+func (w Window) Equal(o Window) bool {
+	if w.W != o.W || w.H != o.H {
+		return false
+	}
+	for i := range w.Pix {
+		if w.Pix[i] != o.Pix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AlmostEqual reports shape equality and element-wise |a-b| <= tol.
+func (w Window) AlmostEqual(o Window, tol float64) bool {
+	if w.W != o.W || w.H != o.H {
+		return false
+	}
+	for i := range w.Pix {
+		if math.Abs(w.Pix[i]-o.Pix[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func (w Window) String() string {
+	return fmt.Sprintf("Window(%dx%d)", w.W, w.H)
+}
+
+// Frame is a whole image: a Window with frame-level helpers. Frames are
+// what generators produce and what golden reference filters consume.
+type Frame = Window
+
+// Windows enumerates, in scan-line order (left-to-right, top-to-bottom),
+// every ww×wh window position of f advanced by (sx, sy), calling fn with
+// the window's top-left coordinate. It is the canonical iteration-space
+// walk shared by golden implementations and tests.
+func Windows(f Frame, ww, wh, sx, sy int, fn func(x, y int)) {
+	if ww > f.W || wh > f.H || ww < 1 || wh < 1 || sx < 1 || sy < 1 {
+		return
+	}
+	for y := 0; y+wh <= f.H; y += sy {
+		for x := 0; x+ww <= f.W; x += sx {
+			fn(x, y)
+		}
+	}
+}

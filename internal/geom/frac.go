@@ -1,0 +1,173 @@
+// Package geom provides the exact-arithmetic geometry primitives used by
+// the block-parallel compiler: rational numbers for offsets and rates,
+// 2-D sizes, steps, offsets, and rectangles.
+//
+// The paper's data-flow analyses (iteration sizes and rates, inset
+// propagation) require exact arithmetic: input rates are hard real-time
+// constraints and offsets may be fractional for downsampling kernels
+// (paper §II-A, footnote 2). All of that is represented with Frac, a
+// normalized int64 rational.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Frac is an exact rational number Num/Den. The zero value is 0/1.
+// Fracs are always kept normalized: Den > 0 and gcd(|Num|, Den) == 1.
+type Frac struct {
+	Num int64
+	Den int64
+}
+
+// F returns the normalized fraction num/den. It panics if den == 0.
+func F(num, den int64) Frac {
+	if den == 0 {
+		panic("geom: fraction with zero denominator")
+	}
+	if den < 0 {
+		num, den = -num, -den
+	}
+	g := gcd64(abs64(num), den)
+	if g > 1 {
+		num /= g
+		den /= g
+	}
+	return Frac{Num: num, Den: den}
+}
+
+// FInt returns the fraction n/1.
+func FInt(n int64) Frac { return Frac{Num: n, Den: 1} }
+
+func abs64(a int64) int64 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+// norm re-normalizes a possibly denormal fraction.
+func (f Frac) norm() Frac { return F(f.Num, f.Den) }
+
+// den returns the denominator, treating the zero value Frac{} as 0/1.
+func (f Frac) den() int64 {
+	if f.Den == 0 {
+		return 1
+	}
+	return f.Den
+}
+
+// Add returns f + g.
+func (f Frac) Add(g Frac) Frac { return F(f.Num*g.den()+g.Num*f.den(), f.den()*g.den()) }
+
+// Sub returns f - g.
+func (f Frac) Sub(g Frac) Frac { return F(f.Num*g.den()-g.Num*f.den(), f.den()*g.den()) }
+
+// Mul returns f * g.
+func (f Frac) Mul(g Frac) Frac { return F(f.Num*g.Num, f.den()*g.den()) }
+
+// Div returns f / g. It panics if g is zero.
+func (f Frac) Div(g Frac) Frac {
+	if g.Num == 0 {
+		panic("geom: division by zero fraction")
+	}
+	return F(f.Num*g.den(), f.den()*g.Num)
+}
+
+// MulInt returns f * n.
+func (f Frac) MulInt(n int64) Frac { return F(f.Num*n, f.den()) }
+
+// Neg returns -f.
+func (f Frac) Neg() Frac { return Frac{Num: -f.Num, Den: f.den()} }
+
+// Cmp compares f and g, returning -1, 0, or +1.
+func (f Frac) Cmp(g Frac) int {
+	lhs := f.Num * g.den()
+	rhs := g.Num * f.den()
+	switch {
+	case lhs < rhs:
+		return -1
+	case lhs > rhs:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Less reports whether f < g.
+func (f Frac) Less(g Frac) bool { return f.Cmp(g) < 0 }
+
+// Equal reports whether f == g as rationals.
+func (f Frac) Equal(g Frac) bool { return f.Cmp(g) == 0 }
+
+// IsZero reports whether f == 0.
+func (f Frac) IsZero() bool { return f.Num == 0 }
+
+// IsInt reports whether f is an integer.
+func (f Frac) IsInt() bool { return f.den() == 1 || f.Num == 0 }
+
+// Int returns the integer value of f, truncating toward zero.
+func (f Frac) Int() int64 { return f.Num / f.den() }
+
+// Floor returns the greatest integer <= f.
+func (f Frac) Floor() int64 {
+	d := f.den()
+	q := f.Num / d
+	if f.Num%d != 0 && f.Num < 0 {
+		q--
+	}
+	return q
+}
+
+// Ceil returns the least integer >= f.
+func (f Frac) Ceil() int64 {
+	d := f.den()
+	q := f.Num / d
+	if f.Num%d != 0 && f.Num > 0 {
+		q++
+	}
+	return q
+}
+
+// Float returns f as a float64 (for reporting only; analyses stay exact).
+func (f Frac) Float() float64 { return float64(f.Num) / float64(f.den()) }
+
+// String renders f as "n" for integers or "n/d" otherwise.
+func (f Frac) String() string {
+	if f.IsInt() {
+		return fmt.Sprintf("%d", f.Int())
+	}
+	return fmt.Sprintf("%d/%d", f.Num, f.den())
+}
+
+// FracFromFloat converts a float to the nearest fraction with denominator
+// up to maxDen, for ingesting user-supplied offsets such as 2.5.
+func FracFromFloat(v float64, maxDen int64) Frac {
+	if maxDen < 1 {
+		maxDen = 1
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		panic("geom: cannot convert non-finite float to Frac")
+	}
+	best := F(int64(math.Round(v)), 1)
+	bestErr := math.Abs(v - best.Float())
+	for den := int64(2); den <= maxDen; den++ {
+		num := int64(math.Round(v * float64(den)))
+		cand := F(num, den)
+		if err := math.Abs(v - cand.Float()); err < bestErr {
+			best, bestErr = cand, err
+		}
+	}
+	return best
+}

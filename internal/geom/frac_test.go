@@ -1,0 +1,229 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFracNormalization(t *testing.T) {
+	cases := []struct {
+		num, den int64
+		wantN    int64
+		wantD    int64
+	}{
+		{1, 2, 1, 2},
+		{2, 4, 1, 2},
+		{-2, 4, -1, 2},
+		{2, -4, -1, 2},
+		{-2, -4, 1, 2},
+		{0, 5, 0, 1},
+		{6, 3, 2, 1},
+		{7, 1, 7, 1},
+	}
+	for _, c := range cases {
+		got := F(c.num, c.den)
+		if got.Num != c.wantN || got.Den != c.wantD {
+			t.Errorf("F(%d,%d) = %d/%d, want %d/%d", c.num, c.den, got.Num, got.Den, c.wantN, c.wantD)
+		}
+	}
+}
+
+func TestFracZeroDenominatorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("F(1,0) did not panic")
+		}
+	}()
+	F(1, 0)
+}
+
+func TestFracDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero did not panic")
+		}
+	}()
+	F(1, 2).Div(Frac{})
+}
+
+func TestFracArithmetic(t *testing.T) {
+	half := F(1, 2)
+	third := F(1, 3)
+	if got := half.Add(third); !got.Equal(F(5, 6)) {
+		t.Errorf("1/2 + 1/3 = %v, want 5/6", got)
+	}
+	if got := half.Sub(third); !got.Equal(F(1, 6)) {
+		t.Errorf("1/2 - 1/3 = %v, want 1/6", got)
+	}
+	if got := half.Mul(third); !got.Equal(F(1, 6)) {
+		t.Errorf("1/2 * 1/3 = %v, want 1/6", got)
+	}
+	if got := half.Div(third); !got.Equal(F(3, 2)) {
+		t.Errorf("(1/2)/(1/3) = %v, want 3/2", got)
+	}
+	if got := half.MulInt(4); !got.Equal(FInt(2)) {
+		t.Errorf("1/2 * 4 = %v, want 2", got)
+	}
+	if got := half.Neg(); !got.Equal(F(-1, 2)) {
+		t.Errorf("-(1/2) = %v, want -1/2", got)
+	}
+}
+
+func TestFracZeroValueIsUsable(t *testing.T) {
+	// The zero value Frac{} must behave as 0/1 in every operation.
+	var z Frac
+	if !z.IsZero() || !z.IsInt() {
+		t.Fatalf("zero value not recognized as zero integer: %+v", z)
+	}
+	if got := z.Add(F(1, 2)); !got.Equal(F(1, 2)) {
+		t.Errorf("0 + 1/2 = %v", got)
+	}
+	if got := F(1, 2).Mul(z); !got.IsZero() {
+		t.Errorf("1/2 * 0 = %v", got)
+	}
+	if z.String() != "0" {
+		t.Errorf("zero String() = %q", z.String())
+	}
+	if z.Cmp(FInt(0)) != 0 {
+		t.Errorf("zero Cmp(0) != 0")
+	}
+}
+
+func TestFracFloorCeil(t *testing.T) {
+	cases := []struct {
+		f           Frac
+		floor, ceil int64
+	}{
+		{F(7, 2), 3, 4},
+		{F(-7, 2), -4, -3},
+		{F(4, 2), 2, 2},
+		{F(0, 3), 0, 0},
+		{F(-4, 2), -2, -2},
+		{F(1, 3), 0, 1},
+		{F(-1, 3), -1, 0},
+	}
+	for _, c := range cases {
+		if got := c.f.Floor(); got != c.floor {
+			t.Errorf("%v.Floor() = %d, want %d", c.f, got, c.floor)
+		}
+		if got := c.f.Ceil(); got != c.ceil {
+			t.Errorf("%v.Ceil() = %d, want %d", c.f, got, c.ceil)
+		}
+	}
+}
+
+func TestFracCmp(t *testing.T) {
+	if F(1, 3).Cmp(F(1, 2)) != -1 {
+		t.Error("1/3 should be < 1/2")
+	}
+	if F(2, 4).Cmp(F(1, 2)) != 0 {
+		t.Error("2/4 should equal 1/2")
+	}
+	if !F(1, 3).Less(F(1, 2)) {
+		t.Error("Less(1/3, 1/2) should be true")
+	}
+	if F(-1, 2).Cmp(F(1, 2)) != -1 {
+		t.Error("-1/2 should be < 1/2")
+	}
+}
+
+func TestFracString(t *testing.T) {
+	if got := F(5, 2).String(); got != "5/2" {
+		t.Errorf("String(5/2) = %q", got)
+	}
+	if got := F(4, 2).String(); got != "2" {
+		t.Errorf("String(4/2) = %q", got)
+	}
+	if got := F(-3, 6).String(); got != "-1/2" {
+		t.Errorf("String(-3/6) = %q", got)
+	}
+}
+
+func TestFracFromFloat(t *testing.T) {
+	if got := FracFromFloat(2.5, 16); !got.Equal(F(5, 2)) {
+		t.Errorf("FracFromFloat(2.5) = %v, want 5/2", got)
+	}
+	if got := FracFromFloat(2.0, 16); !got.Equal(FInt(2)) {
+		t.Errorf("FracFromFloat(2.0) = %v, want 2", got)
+	}
+	if got := FracFromFloat(1.0/3.0, 16); !got.Equal(F(1, 3)) {
+		t.Errorf("FracFromFloat(1/3) = %v, want 1/3", got)
+	}
+	if got := FracFromFloat(-0.75, 4); !got.Equal(F(-3, 4)) {
+		t.Errorf("FracFromFloat(-0.75) = %v, want -3/4", got)
+	}
+}
+
+func TestFracFromFloatNonFinitePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FracFromFloat(NaN) did not panic")
+		}
+	}()
+	FracFromFloat(math.NaN(), 8)
+}
+
+// clampFrac maps arbitrary quick-generated integers into a valid Frac
+// with small components so products cannot overflow int64.
+func clampFrac(n, d int64) Frac {
+	n %= 1000
+	d %= 1000
+	if d == 0 {
+		d = 1
+	}
+	return F(n, d)
+}
+
+func TestFracAddCommutesQuick(t *testing.T) {
+	prop := func(an, ad, bn, bd int64) bool {
+		a, b := clampFrac(an, ad), clampFrac(bn, bd)
+		return a.Add(b).Equal(b.Add(a))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFracMulDistributesQuick(t *testing.T) {
+	prop := func(an, ad, bn, bd, cn, cd int64) bool {
+		a, b, c := clampFrac(an, ad), clampFrac(bn, bd), clampFrac(cn, cd)
+		lhs := a.Mul(b.Add(c))
+		rhs := a.Mul(b).Add(a.Mul(c))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFracAlwaysNormalizedQuick(t *testing.T) {
+	prop := func(an, ad, bn, bd int64) bool {
+		a, b := clampFrac(an, ad), clampFrac(bn, bd)
+		s := a.Add(b)
+		if s.Den <= 0 {
+			return false
+		}
+		return gcd64(abs64(s.Num), s.Den) == 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFracFloorCeilOrderingQuick(t *testing.T) {
+	prop := func(an, ad int64) bool {
+		a := clampFrac(an, ad)
+		fl, cl := a.Floor(), a.Ceil()
+		if fl > cl {
+			return false
+		}
+		if FInt(fl).Cmp(a) > 0 || FInt(cl).Cmp(a) < 0 {
+			return false
+		}
+		return cl-fl <= 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,198 @@
+package geom
+
+import "fmt"
+
+// Size is a two-dimensional extent in samples (width × height).
+type Size struct {
+	W int
+	H int
+}
+
+// Sz is shorthand for Size{w, h}.
+func Sz(w, h int) Size { return Size{W: w, H: h} }
+
+// Area returns W*H.
+func (s Size) Area() int { return s.W * s.H }
+
+// IsPositive reports whether both dimensions are >= 1.
+func (s Size) IsPositive() bool { return s.W >= 1 && s.H >= 1 }
+
+// Contains reports whether o fits inside s.
+func (s Size) Contains(o Size) bool { return o.W <= s.W && o.H <= s.H }
+
+// Max returns the element-wise maximum of s and o.
+func (s Size) Max(o Size) Size {
+	if o.W > s.W {
+		s.W = o.W
+	}
+	if o.H > s.H {
+		s.H = o.H
+	}
+	return s
+}
+
+func (s Size) String() string { return fmt.Sprintf("(%dx%d)", s.W, s.H) }
+
+// Step is the per-iteration window advance in X and Y.
+type Step struct {
+	X int
+	Y int
+}
+
+// St is shorthand for Step{x, y}.
+func St(x, y int) Step { return Step{X: x, Y: y} }
+
+// IsPositive reports whether both components are >= 1.
+func (st Step) IsPositive() bool { return st.X >= 1 && st.Y >= 1 }
+
+func (st Step) String() string { return fmt.Sprintf("[%d,%d]", st.X, st.Y) }
+
+// Offset is an exact 2-D displacement; fractional components arise for
+// downsampling kernels (paper §II-A footnote 2).
+type Offset struct {
+	X Frac
+	Y Frac
+}
+
+// Off is shorthand for an integer offset.
+func Off(x, y int64) Offset { return Offset{X: FInt(x), Y: FInt(y)} }
+
+// OffF is shorthand for a fractional offset.
+func OffF(x, y Frac) Offset { return Offset{X: x, Y: y} }
+
+// Add returns o + p.
+func (o Offset) Add(p Offset) Offset { return Offset{X: o.X.Add(p.X), Y: o.Y.Add(p.Y)} }
+
+// Sub returns o - p.
+func (o Offset) Sub(p Offset) Offset { return Offset{X: o.X.Sub(p.X), Y: o.Y.Sub(p.Y)} }
+
+// Equal reports whether both components match exactly.
+func (o Offset) Equal(p Offset) bool { return o.X.Equal(p.X) && o.Y.Equal(p.Y) }
+
+// IsZero reports whether both components are zero.
+func (o Offset) IsZero() bool { return o.X.IsZero() && o.Y.IsZero() }
+
+func (o Offset) String() string { return fmt.Sprintf("[%s,%s]", o.X, o.Y) }
+
+// Rect is a half-open rectangle [X0,X1) × [Y0,Y1) in sample coordinates.
+type Rect struct {
+	X0, Y0, X1, Y1 int
+}
+
+// R constructs a rectangle.
+func R(x0, y0, x1, y1 int) Rect { return Rect{X0: x0, Y0: y0, X1: x1, Y1: y1} }
+
+// RectFromSize returns the rectangle [0,W)×[0,H).
+func RectFromSize(s Size) Rect { return Rect{X1: s.W, Y1: s.H} }
+
+// W returns the width of r (0 if degenerate).
+func (r Rect) W() int {
+	if r.X1 <= r.X0 {
+		return 0
+	}
+	return r.X1 - r.X0
+}
+
+// H returns the height of r (0 if degenerate).
+func (r Rect) H() int {
+	if r.Y1 <= r.Y0 {
+		return 0
+	}
+	return r.Y1 - r.Y0
+}
+
+// Empty reports whether r has zero area.
+func (r Rect) Empty() bool { return r.W() == 0 || r.H() == 0 }
+
+// Size returns the extent of r.
+func (r Rect) Size() Size { return Size{W: r.W(), H: r.H()} }
+
+// Intersect returns the intersection of r and o.
+func (r Rect) Intersect(o Rect) Rect {
+	if o.X0 > r.X0 {
+		r.X0 = o.X0
+	}
+	if o.Y0 > r.Y0 {
+		r.Y0 = o.Y0
+	}
+	if o.X1 < r.X1 {
+		r.X1 = o.X1
+	}
+	if o.Y1 < r.Y1 {
+		r.Y1 = o.Y1
+	}
+	if r.X1 < r.X0 {
+		r.X1 = r.X0
+	}
+	if r.Y1 < r.Y0 {
+		r.Y1 = r.Y0
+	}
+	return r
+}
+
+// Union returns the bounding rectangle of r and o.
+func (r Rect) Union(o Rect) Rect {
+	if o.Empty() {
+		return r
+	}
+	if r.Empty() {
+		return o
+	}
+	if o.X0 < r.X0 {
+		r.X0 = o.X0
+	}
+	if o.Y0 < r.Y0 {
+		r.Y0 = o.Y0
+	}
+	if o.X1 > r.X1 {
+		r.X1 = o.X1
+	}
+	if o.Y1 > r.Y1 {
+		r.Y1 = o.Y1
+	}
+	return r
+}
+
+// Shift translates r by (dx, dy).
+func (r Rect) Shift(dx, dy int) Rect {
+	return Rect{X0: r.X0 + dx, Y0: r.Y0 + dy, X1: r.X1 + dx, Y1: r.Y1 + dy}
+}
+
+// Contains reports whether o lies fully within r.
+func (r Rect) Contains(o Rect) bool {
+	if o.Empty() {
+		return true
+	}
+	return o.X0 >= r.X0 && o.Y0 >= r.Y0 && o.X1 <= r.X1 && o.Y1 <= r.Y1
+}
+
+func (r Rect) String() string { return fmt.Sprintf("[%d,%d)x[%d,%d)", r.X0, r.X1, r.Y0, r.Y1) }
+
+// Iterations returns how many window positions fit when sliding a window
+// of size win with the given step across data of size data, in each
+// dimension. It returns (0,0) if the window does not fit at all.
+func Iterations(data, win Size, step Step) (nx, ny int) {
+	if !data.IsPositive() || !win.IsPositive() || !step.IsPositive() {
+		return 0, 0
+	}
+	if win.W > data.W || win.H > data.H {
+		return 0, 0
+	}
+	nx = (data.W-win.W)/step.X + 1
+	ny = (data.H-win.H)/step.Y + 1
+	return nx, ny
+}
+
+// Halo returns the border lost when sliding win with step across data:
+// size - step in each dimension (paper §III-A), clamped at zero.
+func Halo(win Size, step Step) Size {
+	w := win.W - step.X
+	h := win.H - step.Y
+	if w < 0 {
+		w = 0
+	}
+	if h < 0 {
+		h = 0
+	}
+	return Size{W: w, H: h}
+}

@@ -1,0 +1,168 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIterations(t *testing.T) {
+	cases := []struct {
+		data, win Size
+		step      Step
+		nx, ny    int
+	}{
+		// Paper §III-A: 5x5 conv on 100x100 image -> 96x96 iterations.
+		{Sz(100, 100), Sz(5, 5), St(1, 1), 96, 96},
+		// 3x3 median on 100x100 -> 98x98.
+		{Sz(100, 100), Sz(3, 3), St(1, 1), 98, 98},
+		// Non-overlapping 2x2 blocks on 8x6.
+		{Sz(8, 6), Sz(2, 2), St(2, 2), 4, 3},
+		// Window exactly the data size.
+		{Sz(7, 7), Sz(7, 7), St(1, 1), 1, 1},
+		// Window larger than data: no iterations.
+		{Sz(4, 4), Sz(5, 5), St(1, 1), 0, 0},
+		// Degenerate inputs.
+		{Sz(0, 10), Sz(1, 1), St(1, 1), 0, 0},
+		{Sz(10, 10), Sz(1, 1), St(0, 1), 0, 0},
+		// Step larger than window (data skipped between windows).
+		{Sz(10, 1), Sz(2, 1), St(4, 1), 3, 1},
+	}
+	for _, c := range cases {
+		nx, ny := Iterations(c.data, c.win, c.step)
+		if nx != c.nx || ny != c.ny {
+			t.Errorf("Iterations(%v,%v,%v) = (%d,%d), want (%d,%d)",
+				c.data, c.win, c.step, nx, ny, c.nx, c.ny)
+		}
+	}
+}
+
+func TestHalo(t *testing.T) {
+	// Paper: 5x5 window, step (1,1) -> 4x4 halo; 3x3 -> 2x2.
+	if got := Halo(Sz(5, 5), St(1, 1)); got != Sz(4, 4) {
+		t.Errorf("Halo(5x5) = %v, want (4x4)", got)
+	}
+	if got := Halo(Sz(3, 3), St(1, 1)); got != Sz(2, 2) {
+		t.Errorf("Halo(3x3) = %v, want (2x2)", got)
+	}
+	// Non-overlapping windows have no halo.
+	if got := Halo(Sz(2, 2), St(2, 2)); got != Sz(0, 0) {
+		t.Errorf("Halo(2x2 step 2) = %v, want (0x0)", got)
+	}
+	// Step beyond window clamps at zero rather than going negative.
+	if got := Halo(Sz(2, 2), St(3, 3)); got != Sz(0, 0) {
+		t.Errorf("Halo(2x2 step 3) = %v, want (0x0)", got)
+	}
+}
+
+func TestSizeHelpers(t *testing.T) {
+	if !Sz(3, 4).IsPositive() || Sz(0, 4).IsPositive() {
+		t.Error("IsPositive misbehaves")
+	}
+	if Sz(3, 4).Area() != 12 {
+		t.Error("Area misbehaves")
+	}
+	if !Sz(5, 5).Contains(Sz(3, 4)) || Sz(2, 9).Contains(Sz(3, 4)) {
+		t.Error("Contains misbehaves")
+	}
+	if Sz(3, 4).Max(Sz(5, 2)) != Sz(5, 4) {
+		t.Error("Max misbehaves")
+	}
+	if Sz(3, 4).String() != "(3x4)" {
+		t.Errorf("String = %q", Sz(3, 4).String())
+	}
+}
+
+func TestOffsetArithmetic(t *testing.T) {
+	a := Off(2, 2)
+	b := OffF(F(1, 2), F(3, 2))
+	sum := a.Add(b)
+	if !sum.Equal(OffF(F(5, 2), F(7, 2))) {
+		t.Errorf("offset add = %v", sum)
+	}
+	diff := sum.Sub(b)
+	if !diff.Equal(a) {
+		t.Errorf("offset sub = %v", diff)
+	}
+	if !Off(0, 0).IsZero() || Off(1, 0).IsZero() {
+		t.Error("IsZero misbehaves")
+	}
+	if Off(2, 2).String() != "[2,2]" {
+		t.Errorf("String = %q", Off(2, 2).String())
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := R(1, 2, 5, 7)
+	if r.W() != 4 || r.H() != 5 || r.Empty() {
+		t.Errorf("rect dims wrong: %v", r)
+	}
+	if r.Size() != Sz(4, 5) {
+		t.Errorf("rect size wrong: %v", r.Size())
+	}
+	if RectFromSize(Sz(3, 2)) != R(0, 0, 3, 2) {
+		t.Error("RectFromSize wrong")
+	}
+	if !R(5, 5, 5, 9).Empty() {
+		t.Error("degenerate rect should be empty")
+	}
+	if got := R(0, 0, 4, 4).Intersect(R(2, 2, 6, 6)); got != R(2, 2, 4, 4) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := R(0, 0, 2, 2).Intersect(R(3, 3, 5, 5)); !got.Empty() {
+		t.Errorf("disjoint Intersect = %v not empty", got)
+	}
+	if got := R(0, 0, 2, 2).Union(R(3, 3, 5, 5)); got != R(0, 0, 5, 5) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := R(1, 1, 2, 2).Shift(3, -1); got != R(4, 0, 5, 1) {
+		t.Errorf("Shift = %v", got)
+	}
+	if !R(0, 0, 5, 5).Contains(R(1, 1, 4, 4)) || R(0, 0, 5, 5).Contains(R(1, 1, 6, 4)) {
+		t.Error("Contains misbehaves")
+	}
+}
+
+func TestRectUnionWithEmpty(t *testing.T) {
+	r := R(1, 1, 3, 3)
+	if got := r.Union(Rect{}); got != r {
+		t.Errorf("Union with empty = %v, want %v", got, r)
+	}
+	if got := (Rect{}).Union(r); got != r {
+		t.Errorf("empty Union r = %v, want %v", got, r)
+	}
+}
+
+func TestIterationsCoverageQuick(t *testing.T) {
+	// Property: the last window in each dimension must fit inside data,
+	// and one more step would overflow.
+	prop := func(dw, dh, ww, wh, sx, sy uint8) bool {
+		data := Sz(int(dw%64)+1, int(dh%64)+1)
+		win := Sz(int(ww%8)+1, int(wh%8)+1)
+		step := St(int(sx%4)+1, int(sy%4)+1)
+		nx, ny := Iterations(data, win, step)
+		if win.W > data.W || win.H > data.H {
+			return nx == 0 && ny == 0
+		}
+		lastX := (nx-1)*step.X + win.W
+		lastY := (ny-1)*step.Y + win.H
+		if lastX > data.W || lastY > data.H {
+			return false
+		}
+		return lastX+step.X > data.W && lastY+step.Y > data.H
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectIntersectWithinQuick(t *testing.T) {
+	prop := func(ax0, ay0, aw, ah, bx0, by0, bw, bh uint8) bool {
+		a := R(int(ax0), int(ay0), int(ax0)+int(aw%32), int(ay0)+int(ah%32))
+		b := R(int(bx0), int(by0), int(bx0)+int(bw%32), int(by0)+int(bh%32))
+		got := a.Intersect(b)
+		return a.Contains(got) && b.Contains(got)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,49 @@
+package graph
+
+import "blockpar/internal/geom"
+
+// CloneNode returns a deep copy of n named name, with the given
+// parallel-instance index. Ports, methods, attrs, and token rates are
+// copied; the Behavior is cloned so the instance has fresh private
+// state. The clone is not added to any graph.
+func CloneNode(n *Node, name string, instance int) *Node {
+	c := NewNode(name, n.Kind)
+	c.Base = n.Base
+	c.Instance = instance
+	c.FrameSize = n.FrameSize
+	c.Rate = n.Rate
+	c.NoMultiplex = n.NoMultiplex
+	for _, p := range n.Inputs() {
+		np := c.CreateInput(p.Name, p.Size, p.Step, p.Offset)
+		np.Replicated = p.Replicated
+	}
+	for _, p := range n.Outputs() {
+		c.CreateOutput(p.Name, p.Size, p.Step)
+	}
+	for _, m := range n.Methods() {
+		nm := c.RegisterMethod(m.Name, m.Cycles, m.Memory)
+		nm.Bound = m.Bound
+		nm.Triggers = append(nm.Triggers, m.Triggers...)
+		nm.Outputs = append(nm.Outputs, m.Outputs...)
+		nm.ForwardOnly = append(nm.ForwardOnly, m.ForwardOnly...)
+	}
+	if n.Costs != nil {
+		c.Costs = make(map[string]CostModel, len(n.Costs))
+		for k, v := range n.Costs {
+			c.Costs[k] = v
+		}
+	}
+	if n.TokenRates != nil {
+		c.TokenRates = make(map[string]geom.Frac, len(n.TokenRates))
+		for k, v := range n.TokenRates {
+			c.TokenRates[k] = v
+		}
+	}
+	for k, v := range n.Attrs {
+		c.Attrs[k] = v
+	}
+	if n.Behavior != nil {
+		c.Behavior = n.Behavior.Clone()
+	}
+	return c
+}

@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dot renders the application graph in Graphviz DOT format, using the
+// paper's visual conventions: parallelograms for buffers, diamonds for
+// split/join, inverted houses for inset/pad, dashed edges for
+// replicated inputs, and dotted edges for data dependencies.
+func (g *Graph) Dot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
+	b.WriteString("  rankdir=LR;\n  node [fontsize=10];\n")
+
+	for _, n := range g.nodes {
+		shape, style := "box", "rounded"
+		switch n.Kind {
+		case KindInput, KindOutput:
+			shape, style = "oval", "solid"
+		case KindBuffer:
+			shape, style = "parallelogram", "solid"
+		case KindSplit, KindJoin:
+			shape, style = "diamond", "filled"
+		case KindReplicate:
+			shape, style = "diamond", "solid"
+		case KindInset, KindPad:
+			shape, style = "invhouse", "solid"
+		case KindFeedback:
+			shape, style = "cds", "solid"
+		}
+		label := n.Name()
+		if extra := n.Attrs["label"]; extra != "" {
+			label += "\\n" + extra
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s, style=%q, label=%q];\n", n.Name(), shape, style, label)
+	}
+
+	for _, e := range g.edges {
+		attrs := []string{fmt.Sprintf("label=%q", e.From.Name+"->"+e.To.Name)}
+		if e.To.Replicated {
+			attrs = append(attrs, "style=dashed")
+		}
+		fmt.Fprintf(&b, "  %q -> %q [%s];\n", e.From.node.Name(), e.To.node.Name(), strings.Join(attrs, ", "))
+	}
+	for _, d := range g.deps {
+		fmt.Fprintf(&b, "  %q -> %q [style=dotted, constraint=false];\n", d.From.Name(), d.To.Name())
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Summary returns a one-line-per-node description of the graph used by
+// the CLI tools and tests: node kind, name, and port parameterization.
+func (g *Graph) Summary() string {
+	var lines []string
+	for _, n := range g.nodes {
+		var ports []string
+		for _, p := range n.Inputs() {
+			s := fmt.Sprintf("%s%v%v%v", p.Name, p.Size, p.Step, p.Offset)
+			if p.Replicated {
+				s += "*"
+			}
+			ports = append(ports, s)
+		}
+		for _, p := range n.Outputs() {
+			ports = append(ports, fmt.Sprintf("->%s%v%v", p.Name, p.Size, p.Step))
+		}
+		lines = append(lines, fmt.Sprintf("%-10s %-24s %s", n.Kind, n.Name(), strings.Join(ports, " ")))
+	}
+	return strings.Join(lines, "\n")
+}
+
+// CountByKind tallies nodes per kind, for the Figure 11 comparisons.
+func (g *Graph) CountByKind() map[NodeKind]int {
+	out := make(map[NodeKind]int)
+	for _, n := range g.nodes {
+		out[n.Kind]++
+	}
+	return out
+}
+
+// InstancesOf returns the parallel instances that share the given base
+// name, sorted by instance index.
+func (g *Graph) InstancesOf(base string) []*Node {
+	var out []*Node
+	for _, n := range g.nodes {
+		if n.Base == base {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Instance < out[j].Instance })
+	return out
+}

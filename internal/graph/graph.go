@@ -1,0 +1,247 @@
+package graph
+
+import (
+	"fmt"
+
+	"blockpar/internal/geom"
+)
+
+// Edge is a stream channel from an output port to an input port. An
+// output port may fan out to several edges (the data is duplicated);
+// an input port is fed by exactly one edge.
+type Edge struct {
+	From *Port
+	To   *Port
+}
+
+func (e *Edge) String() string {
+	return fmt.Sprintf("%s -> %s", e.From, e.To)
+}
+
+// DepEdge is a data-dependency edge (paper §IV-B): it limits the
+// parallelism of To to the parallelism of From without moving data.
+type DepEdge struct {
+	From *Node
+	To   *Node
+}
+
+// Graph is a block-parallel application description.
+type Graph struct {
+	Name string
+
+	nodes       []*Node
+	nodesByName map[string]*Node
+	edges       []*Edge
+	deps        []*DepEdge
+}
+
+// New creates an empty application graph.
+func New(name string) *Graph {
+	return &Graph{Name: name, nodesByName: make(map[string]*Node)}
+}
+
+// Add inserts a node; node names must be unique within the graph.
+func (g *Graph) Add(n *Node) *Node {
+	if _, dup := g.nodesByName[n.Name()]; dup {
+		panic(fmt.Sprintf("graph: duplicate node name %q", n.Name()))
+	}
+	g.nodes = append(g.nodes, n)
+	g.nodesByName[n.Name()] = n
+	return n
+}
+
+// AddInput declares an application input: frame size, chunk emitted per
+// tick (usually 1×1 scan-order pixels), and frame rate in Hz.
+func (g *Graph) AddInput(name string, frameSize geom.Size, chunk geom.Size, rate geom.Frac) *Node {
+	n := NewNode(name, KindInput)
+	n.FrameSize = frameSize
+	n.Rate = rate
+	n.CreateOutput("out", chunk, geom.St(chunk.W, chunk.H))
+	return g.Add(n)
+}
+
+// AddOutput declares an application output sink accepting items of the
+// given size.
+func (g *Graph) AddOutput(name string, chunk geom.Size) *Node {
+	n := NewNode(name, KindOutput)
+	n.CreateInput("in", chunk, geom.St(chunk.W, chunk.H), geom.Off(0, 0))
+	return g.Add(n)
+}
+
+// Remove deletes a node and all edges touching it. Dependency edges
+// touching it are dropped as well.
+func (g *Graph) Remove(n *Node) {
+	delete(g.nodesByName, n.Name())
+	nodes := g.nodes[:0]
+	for _, o := range g.nodes {
+		if o != n {
+			nodes = append(nodes, o)
+		}
+	}
+	g.nodes = nodes
+	edges := g.edges[:0]
+	for _, e := range g.edges {
+		if e.From.node != n && e.To.node != n {
+			edges = append(edges, e)
+		}
+	}
+	g.edges = edges
+	deps := g.deps[:0]
+	for _, d := range g.deps {
+		if d.From != n && d.To != n {
+			deps = append(deps, d)
+		}
+	}
+	g.deps = deps
+}
+
+// Rename changes a node's name, keeping the index consistent.
+func (g *Graph) Rename(n *Node, name string) {
+	if g.nodesByName[n.Name()] != n {
+		panic(fmt.Sprintf("graph: node %q not in graph", n.Name()))
+	}
+	if _, dup := g.nodesByName[name]; dup {
+		panic(fmt.Sprintf("graph: duplicate node name %q", name))
+	}
+	delete(g.nodesByName, n.Name())
+	n.SetName(name)
+	g.nodesByName[name] = n
+}
+
+// Connect adds a stream channel from node from's output port out to
+// node to's input port in.
+func (g *Graph) Connect(from *Node, out string, to *Node, in string) *Edge {
+	fp := from.Output(out)
+	if fp == nil {
+		panic(fmt.Sprintf("graph: %q has no output %q", from.Name(), out))
+	}
+	tp := to.Input(in)
+	if tp == nil {
+		panic(fmt.Sprintf("graph: %q has no input %q", to.Name(), in))
+	}
+	if g.nodesByName[from.Name()] != from || g.nodesByName[to.Name()] != to {
+		panic("graph: connecting nodes that are not in the graph")
+	}
+	if g.EdgeTo(tp) != nil {
+		panic(fmt.Sprintf("graph: input %s already connected", tp))
+	}
+	e := &Edge{From: fp, To: tp}
+	g.edges = append(g.edges, e)
+	return e
+}
+
+// Disconnect removes the given edge.
+func (g *Graph) Disconnect(e *Edge) {
+	edges := g.edges[:0]
+	for _, o := range g.edges {
+		if o != e {
+			edges = append(edges, o)
+		}
+	}
+	g.edges = edges
+}
+
+// AddDep adds a data-dependency edge limiting to's parallelism to
+// from's (paper §IV-B, Figure 1(b)).
+func (g *Graph) AddDep(from, to *Node) *DepEdge {
+	d := &DepEdge{From: from, To: to}
+	g.deps = append(g.deps, d)
+	return d
+}
+
+// Nodes returns the nodes in insertion order.
+func (g *Graph) Nodes() []*Node { return g.nodes }
+
+// Edges returns the stream edges in insertion order.
+func (g *Graph) Edges() []*Edge { return g.edges }
+
+// Deps returns the data-dependency edges.
+func (g *Graph) Deps() []*DepEdge { return g.deps }
+
+// Node returns the named node, or nil.
+func (g *Graph) Node(name string) *Node { return g.nodesByName[name] }
+
+// EdgeTo returns the edge feeding the given input port, or nil.
+func (g *Graph) EdgeTo(p *Port) *Edge {
+	for _, e := range g.edges {
+		if e.To == p {
+			return e
+		}
+	}
+	return nil
+}
+
+// EdgesFrom returns all edges leaving the given output port.
+func (g *Graph) EdgesFrom(p *Port) []*Edge {
+	var out []*Edge
+	for _, e := range g.edges {
+		if e.From == p {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// InEdges returns the edges feeding any input of n, in input order.
+func (g *Graph) InEdges(n *Node) []*Edge {
+	var out []*Edge
+	for _, p := range n.Inputs() {
+		if e := g.EdgeTo(p); e != nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// OutEdges returns the edges leaving any output of n, in output order.
+func (g *Graph) OutEdges(n *Node) []*Edge {
+	var out []*Edge
+	for _, p := range n.Outputs() {
+		out = append(out, g.EdgesFrom(p)...)
+	}
+	return out
+}
+
+// Inputs returns the application input nodes in insertion order.
+func (g *Graph) Inputs() []*Node {
+	var out []*Node
+	for _, n := range g.nodes {
+		if n.Kind == KindInput {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Outputs returns the application output nodes in insertion order.
+func (g *Graph) Outputs() []*Node {
+	var out []*Node
+	for _, n := range g.nodes {
+		if n.Kind == KindOutput {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Neighbors returns the distinct nodes connected to n by stream edges
+// (either direction), in deterministic order.
+func (g *Graph) Neighbors(n *Node) []*Node {
+	seen := make(map[*Node]bool)
+	var out []*Node
+	add := func(o *Node) {
+		if o != n && !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
+	for _, e := range g.edges {
+		if e.From.node == n {
+			add(e.To.node)
+		}
+		if e.To.node == n {
+			add(e.From.node)
+		}
+	}
+	return out
+}

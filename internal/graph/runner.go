@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"fmt"
+
+	"blockpar/internal/frame"
+	"blockpar/internal/token"
+)
+
+// Item is one element of a stream channel: either a data window or a
+// control token (paper §II-C: control tokens travel in-band, in order,
+// on the same streams as the data).
+type Item struct {
+	IsToken bool
+	Tok     token.Token
+	Win     frame.Window
+}
+
+// DataItem wraps a window as a stream item.
+func DataItem(w frame.Window) Item { return Item{Win: w} }
+
+// TokenItem wraps a control token as a stream item.
+func TokenItem(t token.Token) Item { return Item{IsToken: true, Tok: t} }
+
+// Words returns the channel words this item occupies (tokens cost one
+// word of signalling).
+func (it Item) Words() int64 {
+	if it.IsToken {
+		return 1
+	}
+	return int64(it.Win.W * it.Win.H)
+}
+
+func (it Item) String() string {
+	if it.IsToken {
+		return it.Tok.String()
+	}
+	return it.Win.String()
+}
+
+// RunContext is the channel-level execution interface handed to Runner
+// kernels (buffers, splits, joins, insets, pads, replicates): kernels
+// whose firing rules are a finite state machine over the stream rather
+// than the simple "all trigger inputs have an item" rule. Recv blocks;
+// Send blocks on a full downstream channel.
+type RunContext interface {
+	// Recv returns the next item on the named input; ok is false once
+	// the channel is closed and drained.
+	Recv(input string) (it Item, ok bool)
+	// Send writes an item to the named output, fanning out to every
+	// connected consumer.
+	Send(output string, it Item)
+	// Node returns the node being executed.
+	Node() *Node
+}
+
+// Runner is implemented by Behaviors that drive their own stream FSM
+// instead of the generic method-trigger loop. The runtime calls Run
+// once; Run returns when its inputs are exhausted.
+type Runner interface {
+	Behavior
+	Run(ctx RunContext) error
+}
+
+// RunnerBehavior reports whether the node's behavior wants FSM-style
+// execution.
+func RunnerBehavior(n *Node) (Runner, bool) {
+	r, ok := n.Behavior.(Runner)
+	return r, ok
+}
+
+// ErrHalt can be returned by a Runner to stop cleanly before input
+// exhaustion (used by sinks with a frame budget).
+var ErrHalt = fmt.Errorf("graph: runner halted")

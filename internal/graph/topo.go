@@ -1,0 +1,71 @@
+package graph
+
+import "fmt"
+
+// Topological returns the nodes in a topological order of the stream
+// graph. Edges into feedback kernels are ignored for ordering (they
+// are the loop-breakers of §III-D), so graphs whose only cycles pass
+// through feedback nodes still order. It returns an error if a
+// feedback-free cycle remains.
+func (g *Graph) Topological() ([]*Node, error) {
+	indeg := make(map[*Node]int, len(g.nodes))
+	for _, n := range g.nodes {
+		indeg[n] = 0
+	}
+	for _, e := range g.edges {
+		if e.To.node.Kind == KindFeedback {
+			continue
+		}
+		indeg[e.To.node]++
+	}
+
+	// Deterministic Kahn's algorithm: scan in insertion order.
+	var order []*Node
+	ready := make([]*Node, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		if indeg[n] == 0 {
+			ready = append(ready, n)
+		}
+	}
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		order = append(order, n)
+		for _, e := range g.OutEdges(n) {
+			next := e.To.node
+			if next.Kind == KindFeedback {
+				continue
+			}
+			indeg[next]--
+			if indeg[next] == 0 {
+				ready = append(ready, next)
+			}
+		}
+	}
+	if len(order) != len(g.nodes) {
+		for _, n := range g.nodes {
+			if indeg[n] > 0 {
+				return nil, fmt.Errorf("graph: cycle without feedback kernel involving %q", n.Name())
+			}
+		}
+	}
+	return order, nil
+}
+
+// Upstream returns the set of nodes from which n is reachable
+// (n excluded), following stream edges backwards.
+func (g *Graph) Upstream(n *Node) map[*Node]bool {
+	seen := make(map[*Node]bool)
+	var walk func(m *Node)
+	walk = func(m *Node) {
+		for _, e := range g.InEdges(m) {
+			p := e.From.node
+			if !seen[p] {
+				seen[p] = true
+				walk(p)
+			}
+		}
+	}
+	walk(n)
+	return seen
+}

@@ -1,0 +1,179 @@
+package kernel
+
+import (
+	"fmt"
+
+	"blockpar/internal/frame"
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+	"blockpar/internal/token"
+)
+
+// Inset builds the trim kernel inserted by the alignment pass (paper
+// §III-C, the "inverted house" of Figure 3): it discards plan.L/R
+// columns and plan.T/B rows of its item grid so two differently-haloed
+// streams line up. Row structure is regenerated: end-of-line is emitted
+// after the last kept item of each kept row, end-of-frame forwarded.
+func Inset(name string, plan InsetPlan, item geom.Size) *graph.Node {
+	if plan.OutW() < 1 || plan.OutH() < 1 {
+		panic(fmt.Sprintf("kernel: inset %+v trims everything", plan))
+	}
+	n := graph.NewNode(name, graph.KindInset)
+	n.CreateInput("in", item, geom.St(item.W, item.H), geom.Off(0, 0))
+	n.CreateOutput("out", item, geom.St(item.W, item.H))
+	n.RegisterMethod("inset", fsmPerItem, 4)
+	n.RegisterMethodInput("inset", "in")
+	n.RegisterMethodOutput("inset", "out")
+	n.Attrs["label"] = plan.Label()
+	n.Behavior = &insetBehavior{plan: plan}
+	return n
+}
+
+type insetBehavior struct {
+	plan BufferlessPlan
+	x, y int
+	row  int64
+}
+
+// BufferlessPlan is the interface shared by inset plans; declared to
+// keep insetBehavior testable with alternative plans.
+type BufferlessPlan interface {
+	Keep(x, y int) (keep, rowEnd bool)
+}
+
+func (b *insetBehavior) Clone() graph.Behavior {
+	return &insetBehavior{plan: b.plan}
+}
+
+func (b *insetBehavior) Run(ctx graph.RunContext) error {
+	for {
+		it, ok := ctx.Recv("in")
+		if !ok {
+			return nil
+		}
+		if it.IsToken {
+			switch it.Tok.Kind {
+			case token.EndOfLine:
+				b.x = 0
+				b.y++
+			case token.EndOfFrame:
+				b.x, b.y, b.row = 0, 0, 0
+				ctx.Send("out", it)
+			default:
+				ctx.Send("out", it)
+			}
+			continue
+		}
+		keep, rowEnd := b.plan.Keep(b.x, b.y)
+		if keep {
+			ctx.Send("out", it)
+			if rowEnd {
+				ctx.Send("out", graph.TokenItem(token.EOL(b.row)))
+				b.row++
+			}
+		}
+		b.x++
+	}
+}
+
+// InsetPlanOf exposes the plan of an Inset node.
+func InsetPlanOf(n *graph.Node) (InsetPlan, bool) {
+	b, ok := n.Behavior.(*insetBehavior)
+	if !ok {
+		return InsetPlan{}, false
+	}
+	p, ok := b.plan.(InsetPlan)
+	return p, ok
+}
+
+// Pad builds the zero-padding kernel, the alignment pass's alternative
+// to trimming (§III-C: "the compiler can either pad evenly around the
+// input to the convolution filter ... or trim"). It works on 1×1 sample
+// streams: plan.T full zero rows first, then each input row wrapped in
+// plan.L and plan.R zeros, then plan.B zero rows, with regenerated
+// end-of-line structure.
+func Pad(name string, plan PadPlan) *graph.Node {
+	n := graph.NewNode(name, graph.KindPad)
+	n.CreateInput("in", geom.Sz(1, 1), geom.St(1, 1), geom.Off(0, 0))
+	n.CreateOutput("out", geom.Sz(1, 1), geom.St(1, 1))
+	n.RegisterMethod("pad", fsmPerItem, 4)
+	n.RegisterMethodInput("pad", "in")
+	n.RegisterMethodOutput("pad", "out")
+	n.Attrs["label"] = plan.Label()
+	n.Behavior = &padBehavior{plan: plan}
+	return n
+}
+
+type padBehavior struct {
+	plan    PadPlan
+	x, y    int
+	row     int64
+	topDone bool
+}
+
+func (b *padBehavior) Clone() graph.Behavior { return &padBehavior{plan: b.plan} }
+
+// PadPlanOf exposes the plan of a Pad node.
+func PadPlanOf(n *graph.Node) (PadPlan, bool) {
+	b, ok := n.Behavior.(*padBehavior)
+	if !ok {
+		return PadPlan{}, false
+	}
+	return b.plan, true
+}
+
+func (b *padBehavior) emitZeroRow(ctx graph.RunContext) {
+	for i := 0; i < b.plan.OutW(); i++ {
+		ctx.Send("out", graph.DataItem(frame.Scalar(0)))
+	}
+	ctx.Send("out", graph.TokenItem(token.EOL(b.row)))
+	b.row++
+}
+
+func (b *padBehavior) Run(ctx graph.RunContext) error {
+	p := b.plan
+	for {
+		it, ok := ctx.Recv("in")
+		if !ok {
+			return nil
+		}
+		if it.IsToken {
+			switch it.Tok.Kind {
+			case token.EndOfLine:
+				if b.x != p.InW {
+					return fmt.Errorf("kernel: pad %q EOL after %d of %d samples",
+						ctx.Node().Name(), b.x, p.InW)
+				}
+				for i := 0; i < p.R; i++ {
+					ctx.Send("out", graph.DataItem(frame.Scalar(0)))
+				}
+				ctx.Send("out", graph.TokenItem(token.EOL(b.row)))
+				b.row++
+				b.x = 0
+				b.y++
+			case token.EndOfFrame:
+				for i := 0; i < p.B; i++ {
+					b.emitZeroRow(ctx)
+				}
+				ctx.Send("out", it)
+				b.x, b.y, b.row, b.topDone = 0, 0, 0, false
+			default:
+				ctx.Send("out", it)
+			}
+			continue
+		}
+		if !b.topDone {
+			for i := 0; i < p.T; i++ {
+				b.emitZeroRow(ctx)
+			}
+			b.topDone = true
+		}
+		if b.x == 0 {
+			for i := 0; i < p.L; i++ {
+				ctx.Send("out", graph.DataItem(frame.Scalar(0)))
+			}
+		}
+		ctx.Send("out", it)
+		b.x++
+	}
+}

@@ -1,0 +1,92 @@
+package kernel
+
+import (
+	"fmt"
+
+	"blockpar/internal/frame"
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+)
+
+// BayerDemosaic builds a bilinear demosaicing kernel for RGGB mosaics
+// (Figure 13 benchmarks 1 and 1F). To stay data-parallel the kernel
+// consumes a 4×4 window advanced by (2,2) and reconstructs the interior
+// 2×2 quad, which contains exactly one pixel of each Bayer parity class
+// regardless of the window's absolute position; it demonstrates the
+// model's multiple outputs with separate R, G, and B planes.
+func BayerDemosaic(name string) *graph.Node {
+	n := graph.NewNode(name, graph.KindKernel)
+	n.CreateInput("in", geom.Sz(4, 4), geom.St(2, 2), geom.Off(1, 1))
+	n.CreateOutput("r", geom.Sz(2, 2), geom.St(2, 2))
+	n.CreateOutput("g", geom.Sz(2, 2), geom.St(2, 2))
+	n.CreateOutput("b", geom.Sz(2, 2), geom.St(2, 2))
+	n.RegisterMethod("demosaic", bayerCycles, 16)
+	n.RegisterMethodInput("demosaic", "in")
+	n.RegisterMethodOutput("demosaic", "r")
+	n.RegisterMethodOutput("demosaic", "g")
+	n.RegisterMethodOutput("demosaic", "b")
+	n.Attrs["ktype"] = "bayer"
+	n.Behavior = bayerBehavior{}
+	return n
+}
+
+type bayerBehavior struct{}
+
+func (bayerBehavior) Clone() graph.Behavior { return bayerBehavior{} }
+
+func (bayerBehavior) Invoke(method string, ctx graph.ExecContext) error {
+	if method != "demosaic" {
+		return fmt.Errorf("kernel: bayer has no method %q", method)
+	}
+	in := ctx.Input("in")
+	// The window's top-left is at even absolute coordinates (step 2,2
+	// from an even origin), so within-window position (1,1) has odd-odd
+	// absolute parity, (2,2) even-even, matching RGGB via quadParity.
+	r := frame.NewWindow(2, 2)
+	g := frame.NewWindow(2, 2)
+	b := frame.NewWindow(2, 2)
+	for qy := 0; qy < 2; qy++ {
+		for qx := 0; qx < 2; qx++ {
+			rv, gv, bv := demosaicQuad(in, 1+qx, 1+qy)
+			r.Set(qx, qy, rv)
+			g.Set(qx, qy, gv)
+			b.Set(qx, qy, bv)
+		}
+	}
+	ctx.Emit("r", r)
+	ctx.Emit("g", g)
+	ctx.Emit("b", b)
+	return nil
+}
+
+// demosaicQuad reconstructs RGB at window position (cx, cy); the window
+// is anchored at even absolute coordinates so absolute parity equals
+// (cx%2, cy%2).
+func demosaicQuad(w frame.Window, cx, cy int) (r, g, b float64) {
+	avg4 := func(dx1, dy1, dx2, dy2, dx3, dy3, dx4, dy4 int) float64 {
+		return (w.At(cx+dx1, cy+dy1) + w.At(cx+dx2, cy+dy2) +
+			w.At(cx+dx3, cy+dy3) + w.At(cx+dx4, cy+dy4)) / 4
+	}
+	avg2 := func(dx1, dy1, dx2, dy2 int) float64 {
+		return (w.At(cx+dx1, cy+dy1) + w.At(cx+dx2, cy+dy2)) / 2
+	}
+	switch {
+	case cy%2 == 0 && cx%2 == 0: // red site
+		r = w.At(cx, cy)
+		g = avg4(-1, 0, 1, 0, 0, -1, 0, 1)
+		b = avg4(-1, -1, 1, -1, -1, 1, 1, 1)
+	case cy%2 == 0 && cx%2 == 1: // green on red row
+		g = w.At(cx, cy)
+		r = avg2(-1, 0, 1, 0)
+		b = avg2(0, -1, 0, 1)
+	case cy%2 == 1 && cx%2 == 0: // green on blue row
+		g = w.At(cx, cy)
+		r = avg2(0, -1, 0, 1)
+		b = avg2(-1, 0, 1, 0)
+	default: // blue site
+		b = w.At(cx, cy)
+		g = avg4(-1, 0, 1, 0, 0, -1, 0, 1)
+		r = avg4(-1, -1, 1, -1, -1, 1, 1, 1)
+	}
+	return r, g, b
+}

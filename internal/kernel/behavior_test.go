@@ -1,0 +1,327 @@
+package kernel
+
+import (
+	"testing"
+
+	"blockpar/internal/frame"
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+	"blockpar/internal/token"
+)
+
+func geomSz11() geom.Size { return geom.Sz(1, 1) }
+
+// mockCtx is a minimal graph.ExecContext for driving behaviors
+// directly, without the runtime.
+type mockCtx struct {
+	inputs map[string]frame.Window
+	tokens map[string]token.Token
+	emits  map[string][]frame.Window
+	toks   map[string][]token.Token
+}
+
+func newMockCtx() *mockCtx {
+	return &mockCtx{
+		inputs: make(map[string]frame.Window),
+		tokens: make(map[string]token.Token),
+		emits:  make(map[string][]frame.Window),
+		toks:   make(map[string][]token.Token),
+	}
+}
+
+func (c *mockCtx) Input(name string) frame.Window { return c.inputs[name] }
+func (c *mockCtx) Token(name string) token.Token  { return c.tokens[name] }
+func (c *mockCtx) Emit(out string, w frame.Window) {
+	c.emits[out] = append(c.emits[out], w)
+}
+func (c *mockCtx) EmitToken(out string, t token.Token) {
+	c.toks[out] = append(c.toks[out], t)
+}
+
+var _ graph.ExecContext = (*mockCtx)(nil)
+
+func invoker(t *testing.T, n *graph.Node) graph.Invoker {
+	t.Helper()
+	inv, ok := n.Behavior.(graph.Invoker)
+	if !ok {
+		t.Fatalf("%s behavior is not an Invoker", n.Name())
+	}
+	return inv
+}
+
+func TestConvolutionBehaviorDirect(t *testing.T) {
+	n := Convolution("C", 3)
+	inv := invoker(t, n)
+
+	// Firing before loadCoeff is a hard error (the runtime's config
+	// barrier prevents it; the behavior defends anyway).
+	ctx := newMockCtx()
+	ctx.inputs["in"] = frame.NewWindow(3, 3)
+	if err := inv.Invoke("runConvolve", ctx); err == nil {
+		t.Error("convolve before loadCoeff accepted")
+	}
+
+	// Load identity coefficients and convolve.
+	id := frame.NewWindow(3, 3)
+	id.Set(1, 1, 1)
+	ctx = newMockCtx()
+	ctx.inputs["coeff"] = id
+	if err := inv.Invoke("loadCoeff", ctx); err != nil {
+		t.Fatal(err)
+	}
+	ctx = newMockCtx()
+	ctx.inputs["in"] = frame.FromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	if err := inv.Invoke("runConvolve", ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctx.emits["out"][0].Value(); got != 5 {
+		t.Errorf("identity convolve = %v, want 5 (center)", got)
+	}
+	if err := inv.Invoke("nope", newMockCtx()); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestConvolutionCloneIsolatesCoefficients(t *testing.T) {
+	n := Convolution("C", 3)
+	a := invoker(t, n)
+	b := n.Behavior.Clone().(graph.Invoker)
+
+	ctx := newMockCtx()
+	ctx.inputs["coeff"] = frame.Constant(1)(0, 3, 3)
+	if err := a.Invoke("loadCoeff", ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The clone must not have inherited a's coefficients.
+	ctx = newMockCtx()
+	ctx.inputs["in"] = frame.NewWindow(3, 3)
+	if err := b.Invoke("runConvolve", ctx); err == nil {
+		t.Error("clone shares coefficient state with original")
+	}
+}
+
+func TestMedianBehaviorDirect(t *testing.T) {
+	n := Median("M", 3)
+	inv := invoker(t, n)
+	ctx := newMockCtx()
+	ctx.inputs["in"] = frame.FromRows([][]float64{{9, 1, 8}, {2, 7, 3}, {6, 4, 5}})
+	if err := inv.Invoke("runMedian", ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctx.emits["out"][0].Value(); got != 5 {
+		t.Errorf("median = %v, want 5", got)
+	}
+}
+
+func TestHistogramBehaviorResetAndPartials(t *testing.T) {
+	n := Histogram("H", 4)
+	inv := invoker(t, n)
+
+	// Counting before configuration errors.
+	ctx := newMockCtx()
+	ctx.inputs["in"] = frame.Scalar(1)
+	if err := inv.Invoke("count", ctx); err == nil {
+		t.Error("count before configureBins accepted")
+	}
+
+	edges := frame.NewWindow(4, 1)
+	copy(edges.Pix, []float64{0, 10, 20, 30})
+	ctx = newMockCtx()
+	ctx.inputs["bins"] = edges
+	if err := inv.Invoke("configureBins", ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{5, 15, 15, 35} {
+		ctx = newMockCtx()
+		ctx.inputs["in"] = frame.Scalar(v)
+		if err := inv.Invoke("count", ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx = newMockCtx()
+	if err := inv.Invoke("finishCount", ctx); err != nil {
+		t.Fatal(err)
+	}
+	got := ctx.emits["out"][0]
+	want := []float64{1, 2, 0, 1}
+	for i := range want {
+		if got.At(i, 0) != want[i] {
+			t.Fatalf("bin %d = %v, want %v", i, got.At(i, 0), want[i])
+		}
+	}
+	// finishCount must have reset: a second finish emits zeros.
+	ctx = newMockCtx()
+	if err := inv.Invoke("finishCount", ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range ctx.emits["out"][0].Pix {
+		if v != 0 {
+			t.Fatalf("bin %d not reset: %v", i, v)
+		}
+	}
+}
+
+func TestMergeBehaviorAccumulates(t *testing.T) {
+	n := Merge("M", 3)
+	inv := invoker(t, n)
+	for _, part := range [][]float64{{1, 2, 3}, {4, 5, 6}} {
+		w := frame.NewWindow(3, 1)
+		copy(w.Pix, part)
+		ctx := newMockCtx()
+		ctx.inputs["in"] = w
+		if err := inv.Invoke("accumulate", ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := newMockCtx()
+	if err := inv.Invoke("finishMerge", ctx); err != nil {
+		t.Fatal(err)
+	}
+	got := ctx.emits["out"][0]
+	for i, want := range []float64{5, 7, 9} {
+		if got.At(i, 0) != want {
+			t.Fatalf("merged bin %d = %v, want %v", i, got.At(i, 0), want)
+		}
+	}
+	// Merge with no partials emits zeros (not a crash).
+	fresh := n.Behavior.Clone().(graph.Invoker)
+	ctx = newMockCtx()
+	if err := fresh.Invoke("finishMerge", ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.emits["out"][0].At(0, 0) != 0 {
+		t.Error("empty merge not zero")
+	}
+}
+
+func TestBayerBehaviorEmitsThreePlanes(t *testing.T) {
+	n := BayerDemosaic("B")
+	inv := invoker(t, n)
+	ctx := newMockCtx()
+	ctx.inputs["in"] = frame.Constant(42)(0, 4, 4)
+	if err := inv.Invoke("demosaic", ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, plane := range []string{"r", "g", "b"} {
+		ws := ctx.emits[plane]
+		if len(ws) != 1 || ws[0].W != 2 || ws[0].H != 2 {
+			t.Fatalf("plane %s shape wrong", plane)
+		}
+		for _, v := range ws[0].Pix {
+			if v != 42 {
+				t.Fatalf("flat field broke on %s: %v", plane, v)
+			}
+		}
+	}
+}
+
+func TestFIRBehaviorDirect(t *testing.T) {
+	n := FIR("F", 3)
+	inv := invoker(t, n)
+	taps := frame.NewWindow(3, 1)
+	copy(taps.Pix, []float64{0.5, 1, 0.25})
+	ctx := newMockCtx()
+	ctx.inputs["taps"] = taps
+	if err := inv.Invoke("loadTaps", ctx); err != nil {
+		t.Fatal(err)
+	}
+	in := frame.NewWindow(3, 1)
+	copy(in.Pix, []float64{4, 8, 12})
+	ctx = newMockCtx()
+	ctx.inputs["in"] = in
+	if err := inv.Invoke("runFIR", ctx); err != nil {
+		t.Fatal(err)
+	}
+	// out = in[0]*taps[2] + in[1]*taps[1] + in[2]*taps[0] = 1+8+6 = 15.
+	if got := ctx.emits["out"][0].Value(); got != 15 {
+		t.Errorf("FIR = %v, want 15", got)
+	}
+}
+
+func TestMotionBehaviorDeterministicIterations(t *testing.T) {
+	n := MotionSearch("MS", 4, 8)
+	inv := invoker(t, n)
+	run := func() []float64 {
+		b := n.Behavior.Clone().(graph.Invoker)
+		var iters []float64
+		for i := 0; i < 4; i++ {
+			ctx := newMockCtx()
+			ctx.inputs["in"] = frame.LCG(int64(i), 4, 4)
+			if err := b.Invoke("search", ctx); err != nil {
+				t.Fatal(err)
+			}
+			iters = append(iters, ctx.emits["mv"][0].At(1, 0))
+		}
+		return iters
+	}
+	a, bb := run(), run()
+	for i := range a {
+		if a[i] != bb[i] {
+			t.Fatal("motion search not deterministic")
+		}
+	}
+	_ = inv
+}
+
+func TestDownsampleAndGainAndThreshold(t *testing.T) {
+	ds := invoker(t, Downsample("D", 2))
+	ctx := newMockCtx()
+	ctx.inputs["in"] = frame.FromRows([][]float64{{7, 1}, {2, 3}})
+	if err := ds.Invoke("runDownsample", ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.emits["out"][0].Value() != 7 {
+		t.Error("downsample keeps wrong sample")
+	}
+
+	gb := invoker(t, Gain("G", -0.5))
+	ctx = newMockCtx()
+	ctx.inputs["in"] = frame.Scalar(8)
+	if err := gb.Invoke("runGain", ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.emits["out"][0].Value() != -4 {
+		t.Error("gain wrong")
+	}
+
+	tb := invoker(t, Threshold("T", 5, 0, 1))
+	for v, want := range map[float64]float64{4.9: 0, 5: 1, 9: 1} {
+		ctx = newMockCtx()
+		ctx.inputs["in"] = frame.Scalar(v)
+		if err := tb.Invoke("runThreshold", ctx); err != nil {
+			t.Fatal(err)
+		}
+		if got := ctx.emits["out"][0].Value(); got != want {
+			t.Errorf("threshold(%v) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestKernelConstructorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"even conv":    func() { Convolution("x", 4) },
+		"even median":  func() { Median("x", 2) },
+		"zero hist":    func() { Histogram("x", 0) },
+		"zero merge":   func() { Merge("x", 0) },
+		"bad motion":   func() { MotionSearch("x", 1, 0) },
+		"zero FIR":     func() { FIR("x", 0) },
+		"zero up":      func() { Upsample("x", 0) },
+		"zero down":    func() { Downsample("x", 0) },
+		"empty split":  func() { SplitRR("x", 0, geomSz11()) },
+		"empty join":   func() { JoinRR("x", 0, geomSz11()) },
+		"empty repl":   func() { Replicate("x", 0, geomSz11()) },
+		"bad buffer":   func() { Buffer("x", BufferPlan{}) },
+		"full inset":   func() { Inset("x", InsetPlan{InW: 2, InH: 2, L: 1, R: 1}, geomSz11()) },
+		"bad colsplit": func() { SplitColumns("x", nil, 4) },
+		"bad coljoin":  func() { JoinColumns("x", nil, geomSz11()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,130 @@
+package kernel
+
+import (
+	"fmt"
+
+	"blockpar/internal/frame"
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+	"blockpar/internal/token"
+)
+
+// Buffer builds the compiler-inserted 2-D circular buffer kernel
+// (paper §III-B): it converts a scan-order stream of 1×1 samples
+// covering a plan.DataW×plan.DataH region into the scan-order stream
+// of plan-sized windows. The buffer emits its own end-of-line token
+// after the last window of each output row and forwards the
+// end-of-frame token after the frame completes, so downstream token
+// structure always matches downstream data structure.
+//
+// Memory is sized to double-buffer the larger of input and output
+// (plan.MemoryWords), which is what makes buffers the memory-bound
+// kernels that the buffer-splitting transformation targets (§IV-C).
+func Buffer(name string, plan BufferPlan) *graph.Node {
+	if plan.WinW < 1 || plan.WinH < 1 || plan.StepX < 1 || plan.StepY < 1 {
+		panic(fmt.Sprintf("kernel: invalid buffer plan %+v", plan))
+	}
+	n := graph.NewNode(name, graph.KindBuffer)
+	n.CreateInput("in", geom.Sz(1, 1), geom.St(1, 1), geom.Off(0, 0))
+	n.CreateOutput("out", geom.Sz(plan.WinW, plan.WinH), geom.St(plan.StepX, plan.StepY))
+	n.RegisterMethod("buffer", fsmPerItem, plan.MemoryWords())
+	n.RegisterMethodInput("buffer", "in")
+	n.RegisterMethodOutput("buffer", "out")
+	n.Attrs["label"] = plan.Label()
+	n.Behavior = &bufferBehavior{plan: plan}
+	return n
+}
+
+type bufferBehavior struct {
+	plan BufferPlan
+	// rows is a ring of the last WinH rows of samples.
+	rows [][]float64
+	x, y int
+}
+
+func (b *bufferBehavior) Clone() graph.Behavior { return &bufferBehavior{plan: b.plan} }
+
+// Plan exposes the buffer parameterization to the transformer and the
+// simulator.
+func (b *bufferBehavior) Plan() BufferPlan { return b.plan }
+
+func (b *bufferBehavior) reset() {
+	b.x, b.y = 0, 0
+	for i := range b.rows {
+		for j := range b.rows[i] {
+			b.rows[i][j] = 0
+		}
+	}
+}
+
+func (b *bufferBehavior) Run(ctx graph.RunContext) error {
+	p := b.plan
+	if b.rows == nil {
+		b.rows = make([][]float64, p.WinH)
+		for i := range b.rows {
+			b.rows[i] = make([]float64, p.DataW)
+		}
+	}
+	for {
+		it, ok := ctx.Recv("in")
+		if !ok {
+			return nil
+		}
+		if it.IsToken {
+			switch it.Tok.Kind {
+			case token.EndOfLine:
+				// Input row boundary: consumed silently; the buffer
+				// regenerates EOL at its own output-row boundaries.
+				if b.x != p.DataW {
+					return fmt.Errorf("kernel: buffer %q got EOL after %d of %d samples",
+						ctx.Node().Name(), b.x, p.DataW)
+				}
+				b.x = 0
+				b.y++
+			case token.EndOfFrame:
+				if b.y != p.DataH {
+					return fmt.Errorf("kernel: buffer %q got EOF after %d of %d rows",
+						ctx.Node().Name(), b.y, p.DataH)
+				}
+				b.reset()
+				ctx.Send("out", graph.TokenItem(it.Tok))
+			default:
+				// Custom tokens pass through in order.
+				ctx.Send("out", it)
+			}
+			continue
+		}
+		if it.Win.W != 1 || it.Win.H != 1 {
+			return fmt.Errorf("kernel: buffer %q expects 1x1 samples, got %dx%d",
+				ctx.Node().Name(), it.Win.W, it.Win.H)
+		}
+		if b.x >= p.DataW || b.y >= p.DataH {
+			return fmt.Errorf("kernel: buffer %q overflow at (%d,%d) for %dx%d region",
+				ctx.Node().Name(), b.x, b.y, p.DataW, p.DataH)
+		}
+		b.rows[b.y%p.WinH][b.x] = it.Win.Value()
+		emit, wx, wy, rowEnd := p.OnSample(b.x, b.y)
+		if emit {
+			win := frame.NewWindow(p.WinW, p.WinH)
+			for dy := 0; dy < p.WinH; dy++ {
+				src := b.rows[(wy+dy)%p.WinH]
+				copy(win.Pix[dy*p.WinW:(dy+1)*p.WinW], src[wx:wx+p.WinW])
+			}
+			ctx.Send("out", graph.DataItem(win))
+			if rowEnd {
+				ctx.Send("out", graph.TokenItem(token.EOL(int64(wy/p.StepY))))
+			}
+		}
+		b.x++
+	}
+}
+
+// BufferPlanOf returns the plan of a buffer node built by Buffer, for
+// transform and simulator introspection.
+func BufferPlanOf(n *graph.Node) (BufferPlan, bool) {
+	b, ok := n.Behavior.(*bufferBehavior)
+	if !ok {
+		return BufferPlan{}, false
+	}
+	return b.plan, true
+}

@@ -1,0 +1,82 @@
+package kernel
+
+import (
+	"fmt"
+
+	"blockpar/internal/frame"
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+)
+
+// Cost model constants shared by the kernel library. Cycle counts
+// follow the shapes the paper registers in its examples (Figures 6, 7):
+// a fixed method overhead plus a per-element term.
+const (
+	methodOverhead = 10
+	convPerElem    = 3
+	medianPerElem  = 6
+	subtractCycles = 8
+	gainCycles     = 4
+	bayerCycles    = 60
+	fsmPerItem     = 2
+)
+
+// Convolution builds a k×k convolution kernel following the paper's
+// Figure 6: a windowed data input "in", a replicated coefficient input
+// "coeff" with its own loadCoeff method, and a 1×1 output "out". The
+// two methods share the kernel-private coefficient state.
+func Convolution(name string, k int) *graph.Node {
+	if k < 1 || k%2 == 0 {
+		panic(fmt.Sprintf("kernel: convolution size %d must be odd and positive", k))
+	}
+	n := graph.NewNode(name, graph.KindKernel)
+	half := int64(k / 2)
+	n.CreateInput("in", geom.Sz(k, k), geom.St(1, 1), geom.Off(half, half))
+	coeff := n.CreateInput("coeff", geom.Sz(k, k), geom.St(k, k), geom.Off(half, half))
+	coeff.Replicated = true
+	n.CreateOutput("out", geom.Sz(1, 1), geom.St(1, 1))
+
+	n.RegisterMethod("runConvolve", int64(methodOverhead+convPerElem*k*k), int64(2*k*k))
+	n.RegisterMethodInput("runConvolve", "in")
+	n.RegisterMethodOutput("runConvolve", "out")
+
+	n.RegisterMethod("loadCoeff", int64(methodOverhead+2*k*k), int64(k*k))
+	n.RegisterMethodInput("loadCoeff", "coeff")
+
+	n.Attrs["ktype"] = "convolution"
+	n.Attrs["kparams"] = fmt.Sprintf("%d", k)
+	n.Behavior = &convBehavior{k: k}
+	return n
+}
+
+type convBehavior struct {
+	k     int
+	coeff frame.Window
+}
+
+func (b *convBehavior) Clone() graph.Behavior { return &convBehavior{k: b.k} }
+
+func (b *convBehavior) Invoke(method string, ctx graph.ExecContext) error {
+	switch method {
+	case "loadCoeff":
+		b.coeff = ctx.Input("coeff").Clone()
+		return nil
+	case "runConvolve":
+		in := ctx.Input("in")
+		if b.coeff.W != b.k {
+			// Coefficients not loaded yet; the runtime's configuration
+			// barrier prevents this, so reaching here is a bug.
+			return fmt.Errorf("kernel: %dx%d convolution fired before loadCoeff", b.k, b.k)
+		}
+		var acc float64
+		for y := 0; y < b.k; y++ {
+			for x := 0; x < b.k; x++ {
+				acc += in.At(x, y) * b.coeff.At(b.k-x-1, b.k-y-1)
+			}
+		}
+		ctx.Emit("out", frame.Scalar(acc))
+		return nil
+	default:
+		return fmt.Errorf("kernel: convolution has no method %q", method)
+	}
+}

@@ -1,0 +1,93 @@
+package kernel
+
+import (
+	"fmt"
+
+	"blockpar/internal/frame"
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+)
+
+// Feedback builds the loop-breaking kernel of §III-D: it outputs the
+// given initial values once, before consuming anything, and thereafter
+// passes its input through unchanged. Placing one on a cycle gives the
+// data-flow analysis a starting point and gives the loop its initial
+// state.
+func Feedback(name string, item geom.Size, initial []frame.Window) *graph.Node {
+	for _, w := range initial {
+		if w.W != item.W || w.H != item.H {
+			panic(fmt.Sprintf("kernel: feedback initial value %dx%d does not match item %v",
+				w.W, w.H, item))
+		}
+	}
+	n := graph.NewNode(name, graph.KindFeedback)
+	n.CreateInput("in", item, geom.St(item.W, item.H), geom.Off(0, 0))
+	n.CreateOutput("out", item, geom.St(item.W, item.H))
+	n.RegisterMethod("pass", fsmPerItem, int64(len(initial))*int64(item.Area()))
+	n.RegisterMethodInput("pass", "in")
+	n.RegisterMethodOutput("pass", "out")
+	n.Behavior = &feedbackBehavior{initial: initial}
+	return n
+}
+
+type feedbackBehavior struct {
+	initial []frame.Window
+}
+
+func (b *feedbackBehavior) Clone() graph.Behavior {
+	return &feedbackBehavior{initial: b.initial}
+}
+
+// FeedbackInitial exposes the initial values of a Feedback node.
+func FeedbackInitial(n *graph.Node) ([]frame.Window, bool) {
+	b, ok := n.Behavior.(*feedbackBehavior)
+	if !ok {
+		return nil, false
+	}
+	return b.initial, true
+}
+
+func (b *feedbackBehavior) Run(ctx graph.RunContext) error {
+	for _, w := range b.initial {
+		ctx.Send("out", graph.DataItem(w.Clone()))
+	}
+	for {
+		it, ok := ctx.Recv("in")
+		if !ok {
+			return nil
+		}
+		ctx.Send("out", it)
+	}
+}
+
+// Accumulator builds a 1×1 running-sum kernel with a state input, used
+// by the feedback example: out = in + state, and the new sum is also
+// emitted on the "loop" output that closes the feedback cycle.
+func Accumulator(name string) *graph.Node {
+	n := graph.NewNode(name, graph.KindKernel)
+	n.CreateInput("in", geom.Sz(1, 1), geom.St(1, 1), geom.Off(0, 0))
+	n.CreateInput("state", geom.Sz(1, 1), geom.St(1, 1), geom.Off(0, 0))
+	n.CreateOutput("out", geom.Sz(1, 1), geom.St(1, 1))
+	n.CreateOutput("loop", geom.Sz(1, 1), geom.St(1, 1))
+	n.RegisterMethod("accumulate", subtractCycles, 2)
+	n.RegisterMethodInput("accumulate", "in")
+	n.RegisterMethodInput("accumulate", "state")
+	n.RegisterMethodOutput("accumulate", "out")
+	n.RegisterMethodOutput("accumulate", "loop")
+	n.Behavior = accumulatorBehavior{}
+	return n
+}
+
+type accumulatorBehavior struct{}
+
+func (accumulatorBehavior) Clone() graph.Behavior { return accumulatorBehavior{} }
+
+func (accumulatorBehavior) Invoke(method string, ctx graph.ExecContext) error {
+	if method != "accumulate" {
+		return fmt.Errorf("kernel: accumulator has no method %q", method)
+	}
+	sum := ctx.Input("in").Value() + ctx.Input("state").Value()
+	ctx.Emit("out", frame.Scalar(sum))
+	ctx.Emit("loop", frame.Scalar(sum))
+	return nil
+}

@@ -1,0 +1,134 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+
+	"blockpar/internal/frame"
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+)
+
+// Median builds a k×k median filter kernel: windowed input "in",
+// 1×1 output "out".
+func Median(name string, k int) *graph.Node {
+	if k < 1 || k%2 == 0 {
+		panic(fmt.Sprintf("kernel: median size %d must be odd and positive", k))
+	}
+	n := graph.NewNode(name, graph.KindKernel)
+	half := int64(k / 2)
+	n.CreateInput("in", geom.Sz(k, k), geom.St(1, 1), geom.Off(half, half))
+	n.CreateOutput("out", geom.Sz(1, 1), geom.St(1, 1))
+	n.RegisterMethod("runMedian", int64(methodOverhead+medianPerElem*k*k), int64(k*k))
+	n.RegisterMethodInput("runMedian", "in")
+	n.RegisterMethodOutput("runMedian", "out")
+	n.Attrs["ktype"] = "median"
+	n.Attrs["kparams"] = fmt.Sprintf("%d", k)
+	n.Behavior = &medianBehavior{k: k}
+	return n
+}
+
+type medianBehavior struct {
+	k   int
+	buf []float64
+}
+
+func (b *medianBehavior) Clone() graph.Behavior { return &medianBehavior{k: b.k} }
+
+func (b *medianBehavior) Invoke(method string, ctx graph.ExecContext) error {
+	if method != "runMedian" {
+		return fmt.Errorf("kernel: median has no method %q", method)
+	}
+	in := ctx.Input("in")
+	b.buf = append(b.buf[:0], in.Pix...)
+	sort.Float64s(b.buf)
+	ctx.Emit("out", frame.Scalar(b.buf[len(b.buf)/2]))
+	return nil
+}
+
+// Subtract builds the per-pixel difference kernel of Figure 1: two 1×1
+// inputs "in0", "in1" triggering one method, and output out = in0-in1.
+func Subtract(name string) *graph.Node {
+	n := graph.NewNode(name, graph.KindKernel)
+	n.CreateInput("in0", geom.Sz(1, 1), geom.St(1, 1), geom.Off(0, 0))
+	n.CreateInput("in1", geom.Sz(1, 1), geom.St(1, 1), geom.Off(0, 0))
+	n.CreateOutput("out", geom.Sz(1, 1), geom.St(1, 1))
+	n.RegisterMethod("subtract", subtractCycles, 1)
+	n.RegisterMethodInput("subtract", "in0")
+	n.RegisterMethodInput("subtract", "in1")
+	n.RegisterMethodOutput("subtract", "out")
+	n.Attrs["ktype"] = "subtract"
+	n.Behavior = subtractBehavior{}
+	return n
+}
+
+type subtractBehavior struct{}
+
+func (subtractBehavior) Clone() graph.Behavior { return subtractBehavior{} }
+
+func (subtractBehavior) Invoke(method string, ctx graph.ExecContext) error {
+	if method != "subtract" {
+		return fmt.Errorf("kernel: subtract has no method %q", method)
+	}
+	ctx.Emit("out", frame.Scalar(ctx.Input("in0").Value()-ctx.Input("in1").Value()))
+	return nil
+}
+
+// Gain builds a 1×1 scale-by-constant kernel, the simplest possible
+// data-parallel kernel; used by tests and the quickstart example.
+func Gain(name string, factor float64) *graph.Node {
+	n := graph.NewNode(name, graph.KindKernel)
+	n.CreateInput("in", geom.Sz(1, 1), geom.St(1, 1), geom.Off(0, 0))
+	n.CreateOutput("out", geom.Sz(1, 1), geom.St(1, 1))
+	n.RegisterMethod("runGain", gainCycles, 1)
+	n.RegisterMethodInput("runGain", "in")
+	n.RegisterMethodOutput("runGain", "out")
+	n.Attrs["ktype"] = "gain"
+	n.Attrs["kparams"] = fmt.Sprintf("%g", factor)
+	n.Behavior = gainBehavior{factor: factor}
+	return n
+}
+
+type gainBehavior struct{ factor float64 }
+
+func (b gainBehavior) Clone() graph.Behavior { return b }
+
+func (b gainBehavior) Invoke(method string, ctx graph.ExecContext) error {
+	if method != "runGain" {
+		return fmt.Errorf("kernel: gain has no method %q", method)
+	}
+	ctx.Emit("out", frame.Scalar(ctx.Input("in").Value()*b.factor))
+	return nil
+}
+
+// Downsample builds a k×k decimation kernel keeping the top-left sample
+// of each block. Its offset is fractional for even k, exercising the
+// paper's fractional-offset parameterization (§II-A footnote 2).
+func Downsample(name string, k int) *graph.Node {
+	if k < 1 {
+		panic("kernel: downsample factor must be positive")
+	}
+	n := graph.NewNode(name, graph.KindKernel)
+	off := geom.OffF(geom.F(int64(k-1), 2), geom.F(int64(k-1), 2))
+	n.CreateInput("in", geom.Sz(k, k), geom.St(k, k), off)
+	n.CreateOutput("out", geom.Sz(1, 1), geom.St(1, 1))
+	n.RegisterMethod("runDownsample", gainCycles, int64(k*k))
+	n.RegisterMethodInput("runDownsample", "in")
+	n.RegisterMethodOutput("runDownsample", "out")
+	n.Attrs["ktype"] = "downsample"
+	n.Attrs["kparams"] = fmt.Sprintf("%d", k)
+	n.Behavior = downsampleBehavior{}
+	return n
+}
+
+type downsampleBehavior struct{}
+
+func (downsampleBehavior) Clone() graph.Behavior { return downsampleBehavior{} }
+
+func (downsampleBehavior) Invoke(method string, ctx graph.ExecContext) error {
+	if method != "runDownsample" {
+		return fmt.Errorf("kernel: downsample has no method %q", method)
+	}
+	ctx.Emit("out", frame.Scalar(ctx.Input("in").At(0, 0)))
+	return nil
+}

@@ -1,0 +1,65 @@
+package kernel
+
+import (
+	"fmt"
+
+	"blockpar/internal/frame"
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+)
+
+// MorphOp selects the order statistic a morphology kernel computes.
+type MorphOp int
+
+const (
+	// Erode takes the window minimum.
+	Erode MorphOp = iota
+	// Dilate takes the window maximum.
+	Dilate
+)
+
+func (op MorphOp) String() string {
+	if op == Erode {
+		return "erode"
+	}
+	return "dilate"
+}
+
+// Morphology builds a k×k grayscale erosion or dilation kernel — the
+// other classic windowed non-linear filters beside the median, rounding
+// out the image-processing kernel library.
+func Morphology(name string, k int, op MorphOp) *graph.Node {
+	if k < 1 || k%2 == 0 {
+		panic(fmt.Sprintf("kernel: morphology size %d must be odd and positive", k))
+	}
+	n := graph.NewNode(name, graph.KindKernel)
+	half := int64(k / 2)
+	n.CreateInput("in", geom.Sz(k, k), geom.St(1, 1), geom.Off(half, half))
+	n.CreateOutput("out", geom.Sz(1, 1), geom.St(1, 1))
+	n.RegisterMethod("runMorph", int64(methodOverhead+2*k*k), int64(k*k))
+	n.RegisterMethodInput("runMorph", "in")
+	n.RegisterMethodOutput("runMorph", "out")
+	n.Attrs["ktype"] = "morphology"
+	n.Attrs["kparams"] = fmt.Sprintf("%d,%d", k, int(op))
+	n.Behavior = morphBehavior{op: op}
+	return n
+}
+
+type morphBehavior struct{ op MorphOp }
+
+func (b morphBehavior) Clone() graph.Behavior { return b }
+
+func (b morphBehavior) Invoke(method string, ctx graph.ExecContext) error {
+	if method != "runMorph" {
+		return fmt.Errorf("kernel: morphology has no method %q", method)
+	}
+	in := ctx.Input("in")
+	best := in.Pix[0]
+	for _, v := range in.Pix[1:] {
+		if (b.op == Erode && v < best) || (b.op == Dilate && v > best) {
+			best = v
+		}
+	}
+	ctx.Emit("out", frame.Scalar(best))
+	return nil
+}

@@ -1,0 +1,140 @@
+package kernel
+
+import (
+	"fmt"
+	"math"
+
+	"blockpar/internal/frame"
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+	"blockpar/internal/token"
+)
+
+// MotionSearch builds the paper's canonical *dynamic* kernel (§VII):
+// a block-matching motion estimator whose per-block work varies with
+// the data. For each k×k block of the current frame it runs a
+// diamond-style refinement against the previous frame held in kernel
+// state, stopping when the residual stops improving — so the iteration
+// count, and with it the compute time, is data-dependent.
+//
+// The method declares a typical cost and a worst-case Bound; the
+// compiler allocates the bound (analysis.AllocCycles) and the timing
+// simulator draws actual costs from the node's cost model, raising a
+// runtime resource exception whenever an invocation would exceed the
+// bound. searchRange bounds the refinement and determines the bound:
+// each refinement step costs ~3·k² cycles and at most searchRange steps
+// run.
+func MotionSearch(name string, k, searchRange int) *graph.Node {
+	if k < 2 || searchRange < 1 {
+		panic(fmt.Sprintf("kernel: invalid motion search k=%d range=%d", k, searchRange))
+	}
+	n := graph.NewNode(name, graph.KindKernel)
+	n.CreateInput("in", geom.Sz(k, k), geom.St(k, k), geom.Off(0, 0))
+	n.CreateOutput("mv", geom.Sz(2, 1), geom.St(2, 1))
+
+	stepCost := int64(3 * k * k)
+	typical := methodOverhead + stepCost*int64(searchRange)/2
+	bound := methodOverhead + stepCost*int64(searchRange)
+	m := n.RegisterMethod("search", typical, int64(2*k*k))
+	m.Bound = bound
+	n.RegisterMethodInput("search", "in")
+	n.RegisterMethodOutput("search", "mv")
+
+	// The end-of-frame token rolls the reference frame over; the token
+	// then forwards on "mv" to keep downstream framing intact.
+	n.RegisterMethod("endFrame", methodOverhead, 0)
+	n.RegisterMethodInputToken("endFrame", "in", token.EndOfFrame, "")
+	n.RegisterMethodForward("endFrame", "mv")
+
+	// The default cost model mirrors the behavior's data-dependent
+	// iteration count with a deterministic pseudo-random walk over the
+	// same range; callers may override Costs["search"].
+	n.Costs = map[string]graph.CostModel{
+		"search": DefaultMotionCost(stepCost, searchRange),
+	}
+
+	n.Attrs["ktype"] = "motion"
+	n.Attrs["kparams"] = fmt.Sprintf("%d,%d", k, searchRange)
+	n.Behavior = &motionBehavior{k: k, searchRange: searchRange}
+	return n
+}
+
+// DefaultMotionCost returns a deterministic per-invocation cost model:
+// overhead plus between 1 and maxSteps refinement steps.
+func DefaultMotionCost(stepCost int64, maxSteps int) graph.CostModel {
+	return func(inv int64) int64 {
+		x := uint64(inv)*6364136223846793005 + 1442695040888963407
+		x ^= x >> 29
+		steps := int64(x%uint64(maxSteps)) + 1
+		return methodOverhead + stepCost*steps
+	}
+}
+
+type motionBehavior struct {
+	k           int
+	searchRange int
+	prev        []frame.Window // previous frame's blocks in scan order
+	cur         []frame.Window
+}
+
+func (b *motionBehavior) Clone() graph.Behavior {
+	return &motionBehavior{k: b.k, searchRange: b.searchRange}
+}
+
+func (b *motionBehavior) Invoke(method string, ctx graph.ExecContext) error {
+	switch method {
+	case "endFrame":
+		b.prev, b.cur = b.cur, nil
+		return nil
+	case "search":
+		// handled below
+	default:
+		return fmt.Errorf("kernel: motion search has no method %q", method)
+	}
+	block := ctx.Input("in").Clone()
+	idx := len(b.cur)
+	b.cur = append(b.cur, block)
+
+	// Against the co-located block of the previous frame (zero if this
+	// is the first frame), refine an offset estimate: a 1-D surrogate
+	// of diamond search where the "offset" is a brightness shift and
+	// iterations continue while the residual improves.
+	var ref frame.Window
+	if idx < len(b.prev) {
+		ref = b.prev[idx]
+	} else {
+		ref = frame.NewWindow(b.k, b.k)
+	}
+	offset := 0.0
+	best := residual(block, ref, offset)
+	iters := 0
+	for step := 0; step < b.searchRange; step++ {
+		iters++
+		improved := false
+		for _, d := range []float64{1, -1} {
+			if r := residual(block, ref, offset+d); r < best {
+				best, offset = r, offset+d
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	mv := frame.NewWindow(2, 1)
+	mv.Set(0, 0, offset)
+	mv.Set(1, 0, float64(iters))
+	ctx.Emit("mv", mv)
+	return nil
+}
+
+// residual is the sum of absolute differences between block and
+// ref+shift.
+func residual(block, ref frame.Window, shift float64) float64 {
+	var sum float64
+	for i := range block.Pix {
+		sum += math.Abs(block.Pix[i] - (ref.Pix[i] + shift))
+	}
+	return sum
+}

@@ -1,0 +1,316 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"blockpar/internal/frame"
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+	"blockpar/internal/token"
+)
+
+// scriptCtx is a graph.RunContext with pre-scripted input streams and
+// recorded sends, for driving Runner FSMs in isolation.
+type scriptCtx struct {
+	node *graph.Node
+	in   map[string][]graph.Item
+	out  map[string][]graph.Item
+}
+
+func newScriptCtx(n *graph.Node) *scriptCtx {
+	return &scriptCtx{
+		node: n,
+		in:   make(map[string][]graph.Item),
+		out:  make(map[string][]graph.Item),
+	}
+}
+
+func (c *scriptCtx) Node() *graph.Node { return c.node }
+
+func (c *scriptCtx) Recv(input string) (graph.Item, bool) {
+	q := c.in[input]
+	if len(q) == 0 {
+		return graph.Item{}, false
+	}
+	it := q[0]
+	c.in[input] = q[1:]
+	return it, true
+}
+
+func (c *scriptCtx) Send(output string, it graph.Item) {
+	c.out[output] = append(c.out[output], it)
+}
+
+// feedFrame scripts a scan-order frame of 1×1 samples with EOL/EOF.
+func (c *scriptCtx) feedFrame(input string, f frame.Window, seq int64) {
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			c.in[input] = append(c.in[input], graph.DataItem(frame.Scalar(f.At(x, y))))
+		}
+		c.in[input] = append(c.in[input], graph.TokenItem(token.EOL(int64(y))))
+	}
+	c.in[input] = append(c.in[input], graph.TokenItem(token.EOF(seq)))
+}
+
+func runner(t *testing.T, n *graph.Node) graph.Runner {
+	t.Helper()
+	r, ok := graph.RunnerBehavior(n)
+	if !ok {
+		t.Fatalf("%s is not a Runner", n.Name())
+	}
+	return r
+}
+
+func dataOf(items []graph.Item) []frame.Window {
+	var out []frame.Window
+	for _, it := range items {
+		if !it.IsToken {
+			out = append(out, it.Win)
+		}
+	}
+	return out
+}
+
+func TestBufferRunnerProducesWindows(t *testing.T) {
+	const W, H, K = 6, 5, 3
+	n := Buffer("B", BufferPlan{DataW: W, DataH: H, WinW: K, WinH: K, StepX: 1, StepY: 1})
+	ctx := newScriptCtx(n)
+	img := frame.LCG(1, W, H)
+	ctx.feedFrame("in", img, 0)
+	if err := runner(t, n).Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	wins := dataOf(ctx.out["out"])
+	nX, nY := W-K+1, H-K+1
+	if len(wins) != nX*nY {
+		t.Fatalf("windows = %d, want %d", len(wins), nX*nY)
+	}
+	for i, w := range wins {
+		x, y := i%nX, i/nX
+		if !w.Equal(img.Sub(x, y, K, K)) {
+			t.Fatalf("window %d contents wrong", i)
+		}
+	}
+}
+
+func TestBufferRunnerRejectsShortRow(t *testing.T) {
+	n := Buffer("B", BufferPlan{DataW: 4, DataH: 2, WinW: 2, WinH: 2, StepX: 1, StepY: 1})
+	ctx := newScriptCtx(n)
+	// Only 3 samples before the EOL (row should have 4).
+	for i := 0; i < 3; i++ {
+		ctx.in["in"] = append(ctx.in["in"], graph.DataItem(frame.Scalar(1)))
+	}
+	ctx.in["in"] = append(ctx.in["in"], graph.TokenItem(token.EOL(0)))
+	err := runner(t, n).Run(ctx)
+	if err == nil || !strings.Contains(err.Error(), "EOL after 3 of 4") {
+		t.Fatalf("short row not rejected: %v", err)
+	}
+}
+
+func TestBufferRunnerRejectsOversizedItems(t *testing.T) {
+	n := Buffer("B", BufferPlan{DataW: 4, DataH: 2, WinW: 2, WinH: 2, StepX: 1, StepY: 1})
+	ctx := newScriptCtx(n)
+	ctx.in["in"] = append(ctx.in["in"], graph.DataItem(frame.NewWindow(2, 2)))
+	if err := runner(t, n).Run(ctx); err == nil {
+		t.Fatal("oversized item accepted")
+	}
+}
+
+func TestBufferRunnerRejectsOverflow(t *testing.T) {
+	n := Buffer("B", BufferPlan{DataW: 2, DataH: 1, WinW: 1, WinH: 1, StepX: 1, StepY: 1})
+	ctx := newScriptCtx(n)
+	for i := 0; i < 3; i++ { // one sample too many before EOL
+		ctx.in["in"] = append(ctx.in["in"], graph.DataItem(frame.Scalar(1)))
+	}
+	if err := runner(t, n).Run(ctx); err == nil {
+		t.Fatal("row overflow accepted")
+	}
+}
+
+func TestJoinRRRunnerTokenSkew(t *testing.T) {
+	n := JoinRR("J", 2, geom.Sz(1, 1))
+	ctx := newScriptCtx(n)
+	// Branch 0 delivers EOF; branch 1 delivers a mismatched token.
+	ctx.in["in0"] = append(ctx.in["in0"], graph.TokenItem(token.EOF(0)))
+	ctx.in["in1"] = append(ctx.in["in1"], graph.TokenItem(token.EOL(0)))
+	err := runner(t, n).Run(ctx)
+	if err == nil || !strings.Contains(err.Error(), "token skew") {
+		t.Fatalf("token skew not detected: %v", err)
+	}
+}
+
+func TestJoinRRRunnerBranchClosedMidToken(t *testing.T) {
+	n := JoinRR("J", 2, geom.Sz(1, 1))
+	ctx := newScriptCtx(n)
+	ctx.in["in0"] = append(ctx.in["in0"], graph.TokenItem(token.EOF(0)))
+	// in1 empty: closed.
+	err := runner(t, n).Run(ctx)
+	if err == nil || !strings.Contains(err.Error(), "closed mid-token") {
+		t.Fatalf("mid-token close not detected: %v", err)
+	}
+}
+
+func TestSplitColumnsRunnerShortRow(t *testing.T) {
+	stripes := ColumnStripes(6, 3, 1, 2)
+	n := SplitColumns("S", stripes, 6)
+	ctx := newScriptCtx(n)
+	for i := 0; i < 5; i++ {
+		ctx.in["in"] = append(ctx.in["in"], graph.DataItem(frame.Scalar(1)))
+	}
+	ctx.in["in"] = append(ctx.in["in"], graph.TokenItem(token.EOL(0)))
+	err := runner(t, n).Run(ctx)
+	if err == nil || !strings.Contains(err.Error(), "EOL after 5 of 6") {
+		t.Fatalf("short row not detected: %v", err)
+	}
+}
+
+func TestJoinColumnsRunnerMissingEOL(t *testing.T) {
+	n := JoinColumns("J", []int{2, 2}, geom.Sz(1, 1))
+	ctx := newScriptCtx(n)
+	// Branch 0 delivers its two items but then data instead of EOL.
+	for i := 0; i < 3; i++ {
+		ctx.in["in0"] = append(ctx.in["in0"], graph.DataItem(frame.Scalar(1)))
+	}
+	err := runner(t, n).Run(ctx)
+	if err == nil || !strings.Contains(err.Error(), "missing EOL") {
+		t.Fatalf("missing EOL not detected: %v", err)
+	}
+}
+
+func TestJoinColumnsRunnerEOFSkew(t *testing.T) {
+	n := JoinColumns("J", []int{1, 1}, geom.Sz(1, 1))
+	ctx := newScriptCtx(n)
+	ctx.in["in0"] = append(ctx.in["in0"], graph.TokenItem(token.EOF(0)))
+	// Branch 1 has data where EOF is required.
+	ctx.in["in1"] = append(ctx.in["in1"], graph.DataItem(frame.Scalar(1)))
+	err := runner(t, n).Run(ctx)
+	if err == nil || !strings.Contains(err.Error(), "EOF skew") {
+		t.Fatalf("EOF skew not detected: %v", err)
+	}
+}
+
+func TestInsetRunnerRegeneratesRows(t *testing.T) {
+	n := Inset("I", InsetPlan{InW: 4, InH: 3, L: 1, R: 1, T: 1, B: 1}, geom.Sz(1, 1))
+	ctx := newScriptCtx(n)
+	img := frame.Gradient(0, 4, 3)
+	ctx.feedFrame("in", img, 0)
+	if err := runner(t, n).Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	data := dataOf(ctx.out["out"])
+	if len(data) != 2 {
+		t.Fatalf("kept = %d, want 2", len(data))
+	}
+	if data[0].Value() != img.At(1, 1) || data[1].Value() != img.At(2, 1) {
+		t.Error("inset kept wrong samples")
+	}
+	// EOL regenerated once, EOF forwarded once.
+	var eols, eofs int
+	for _, it := range ctx.out["out"] {
+		if it.IsToken {
+			switch it.Tok.Kind {
+			case token.EndOfLine:
+				eols++
+			case token.EndOfFrame:
+				eofs++
+			}
+		}
+	}
+	if eols != 1 || eofs != 1 {
+		t.Errorf("tokens = %d EOL, %d EOF", eols, eofs)
+	}
+}
+
+func TestPadRunnerShortRow(t *testing.T) {
+	n := Pad("P", PadPlan{InW: 3, InH: 2, L: 1, R: 1, T: 0, B: 0})
+	ctx := newScriptCtx(n)
+	ctx.in["in"] = append(ctx.in["in"],
+		graph.DataItem(frame.Scalar(1)),
+		graph.TokenItem(token.EOL(0)))
+	err := runner(t, n).Run(ctx)
+	if err == nil || !strings.Contains(err.Error(), "EOL after 1 of 3") {
+		t.Fatalf("short row not detected: %v", err)
+	}
+}
+
+func TestReplicateRunnerCopiesEverything(t *testing.T) {
+	n := Replicate("R", 2, geom.Sz(2, 2))
+	ctx := newScriptCtx(n)
+	ctx.in["in"] = append(ctx.in["in"],
+		graph.DataItem(frame.NewWindow(2, 2)),
+		graph.TokenItem(token.EOF(0)))
+	if err := runner(t, n).Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, out := range []string{"out0", "out1"} {
+		if len(ctx.out[out]) != 2 {
+			t.Errorf("%s got %d items, want 2", out, len(ctx.out[out]))
+		}
+	}
+}
+
+func TestSplitRRRunnerRoundRobin(t *testing.T) {
+	n := SplitRR("S", 3, geom.Sz(1, 1))
+	ctx := newScriptCtx(n)
+	for i := 0; i < 7; i++ {
+		ctx.in["in"] = append(ctx.in["in"], graph.DataItem(frame.Scalar(float64(i))))
+	}
+	if err := runner(t, n).Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Items 0,3,6 to out0; 1,4 to out1; 2,5 to out2.
+	if len(ctx.out["out0"]) != 3 || len(ctx.out["out1"]) != 2 || len(ctx.out["out2"]) != 2 {
+		t.Fatalf("distribution wrong: %d/%d/%d",
+			len(ctx.out["out0"]), len(ctx.out["out1"]), len(ctx.out["out2"]))
+	}
+	if ctx.out["out0"][1].Win.Value() != 3 {
+		t.Error("round-robin order wrong")
+	}
+}
+
+func TestFeedbackRunnerInitialValues(t *testing.T) {
+	n := Feedback("F", geom.Sz(1, 1), []frame.Window{frame.Scalar(7), frame.Scalar(8)})
+	ctx := newScriptCtx(n)
+	ctx.in["in"] = append(ctx.in["in"], graph.DataItem(frame.Scalar(9)))
+	if err := runner(t, n).Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got := dataOf(ctx.out["out"])
+	if len(got) != 3 || got[0].Value() != 7 || got[1].Value() != 8 || got[2].Value() != 9 {
+		t.Fatalf("feedback emissions wrong: %v", got)
+	}
+}
+
+func TestFeedbackInitialSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched initial window accepted")
+		}
+	}()
+	Feedback("F", geom.Sz(1, 1), []frame.Window{frame.NewWindow(2, 2)})
+}
+
+func TestBufferCustomTokenPassThrough(t *testing.T) {
+	n := Buffer("B", BufferPlan{DataW: 2, DataH: 1, WinW: 1, WinH: 1, StepX: 1, StepY: 1})
+	ctx := newScriptCtx(n)
+	ctx.in["in"] = append(ctx.in["in"],
+		graph.DataItem(frame.Scalar(1)),
+		graph.TokenItem(token.NewCustom("mark", 0)),
+		graph.DataItem(frame.Scalar(2)),
+		graph.TokenItem(token.EOL(0)),
+		graph.TokenItem(token.EOF(0)))
+	if err := runner(t, n).Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Custom token passes through in order between the two windows.
+	var sawCustom bool
+	for _, it := range ctx.out["out"] {
+		if it.IsToken && it.Tok.Kind == token.Custom {
+			sawCustom = true
+		}
+	}
+	if !sawCustom {
+		t.Error("custom token dropped by buffer")
+	}
+}

@@ -1,0 +1,164 @@
+package kernel
+
+import (
+	"fmt"
+	"math"
+
+	"blockpar/internal/frame"
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+)
+
+// FIR builds a 1-D finite-impulse-response filter: a taps-wide window
+// sliding along each row (the paper's parameterization covers
+// one-dimensional signal handling with h=1 windows, §II-A). Taps load
+// on a replicated input like convolution coefficients.
+func FIR(name string, taps int) *graph.Node {
+	if taps < 1 {
+		panic(fmt.Sprintf("kernel: FIR needs at least one tap, got %d", taps))
+	}
+	n := graph.NewNode(name, graph.KindKernel)
+	half := int64(taps / 2)
+	n.CreateInput("in", geom.Sz(taps, 1), geom.St(1, 1), geom.OffF(geom.FInt(half), geom.FInt(0)))
+	tp := n.CreateInput("taps", geom.Sz(taps, 1), geom.St(taps, 1), geom.Off(half, 0))
+	tp.Replicated = true
+	n.CreateOutput("out", geom.Sz(1, 1), geom.St(1, 1))
+
+	n.RegisterMethod("runFIR", int64(methodOverhead+2*taps), int64(2*taps))
+	n.RegisterMethodInput("runFIR", "in")
+	n.RegisterMethodOutput("runFIR", "out")
+
+	n.RegisterMethod("loadTaps", int64(methodOverhead+taps), int64(taps))
+	n.RegisterMethodInput("loadTaps", "taps")
+
+	n.Attrs["ktype"] = "fir"
+	n.Attrs["kparams"] = fmt.Sprintf("%d", taps)
+	n.Behavior = &firBehavior{taps: taps}
+	return n
+}
+
+type firBehavior struct {
+	taps  int
+	coefs frame.Window
+}
+
+func (b *firBehavior) Clone() graph.Behavior { return &firBehavior{taps: b.taps} }
+
+func (b *firBehavior) Invoke(method string, ctx graph.ExecContext) error {
+	switch method {
+	case "loadTaps":
+		b.coefs = ctx.Input("taps").Clone()
+		return nil
+	case "runFIR":
+		if b.coefs.W != b.taps {
+			return fmt.Errorf("kernel: FIR fired before loadTaps")
+		}
+		in := ctx.Input("in")
+		var acc float64
+		for i := 0; i < b.taps; i++ {
+			acc += in.At(i, 0) * b.coefs.At(b.taps-i-1, 0)
+		}
+		ctx.Emit("out", frame.Scalar(acc))
+		return nil
+	default:
+		return fmt.Errorf("kernel: FIR has no method %q", method)
+	}
+}
+
+// Upsample builds a k×k nearest-neighbor upsampler: each input sample
+// produces a k×k block, demonstrating outputs larger than inputs (the
+// item grid stays the input's; the region grows k-fold).
+func Upsample(name string, k int) *graph.Node {
+	if k < 1 {
+		panic("kernel: upsample factor must be positive")
+	}
+	n := graph.NewNode(name, graph.KindKernel)
+	n.CreateInput("in", geom.Sz(1, 1), geom.St(1, 1), geom.Off(0, 0))
+	n.CreateOutput("out", geom.Sz(k, k), geom.St(k, k))
+	n.RegisterMethod("runUpsample", int64(gainCycles+k*k), int64(k*k))
+	n.RegisterMethodInput("runUpsample", "in")
+	n.RegisterMethodOutput("runUpsample", "out")
+	n.Attrs["ktype"] = "upsample"
+	n.Attrs["kparams"] = fmt.Sprintf("%d", k)
+	n.Behavior = upsampleBehavior{k: k}
+	return n
+}
+
+type upsampleBehavior struct{ k int }
+
+func (b upsampleBehavior) Clone() graph.Behavior { return b }
+
+func (b upsampleBehavior) Invoke(method string, ctx graph.ExecContext) error {
+	if method != "runUpsample" {
+		return fmt.Errorf("kernel: upsample has no method %q", method)
+	}
+	v := ctx.Input("in").Value()
+	out := frame.NewWindow(b.k, b.k)
+	for i := range out.Pix {
+		out.Pix[i] = v
+	}
+	ctx.Emit("out", out)
+	return nil
+}
+
+// Magnitude builds the two-input gradient-magnitude kernel
+// out = sqrt(gx² + gy²), a second multi-input example beyond Subtract.
+func Magnitude(name string) *graph.Node {
+	n := graph.NewNode(name, graph.KindKernel)
+	n.CreateInput("gx", geom.Sz(1, 1), geom.St(1, 1), geom.Off(0, 0))
+	n.CreateInput("gy", geom.Sz(1, 1), geom.St(1, 1), geom.Off(0, 0))
+	n.CreateOutput("out", geom.Sz(1, 1), geom.St(1, 1))
+	n.RegisterMethod("magnitude", 24, 2)
+	n.RegisterMethodInput("magnitude", "gx")
+	n.RegisterMethodInput("magnitude", "gy")
+	n.RegisterMethodOutput("magnitude", "out")
+	n.Attrs["ktype"] = "magnitude"
+	n.Behavior = magnitudeBehavior{}
+	return n
+}
+
+type magnitudeBehavior struct{}
+
+func (magnitudeBehavior) Clone() graph.Behavior { return magnitudeBehavior{} }
+
+func (magnitudeBehavior) Invoke(method string, ctx graph.ExecContext) error {
+	if method != "magnitude" {
+		return fmt.Errorf("kernel: magnitude has no method %q", method)
+	}
+	gx := ctx.Input("gx").Value()
+	gy := ctx.Input("gy").Value()
+	ctx.Emit("out", frame.Scalar(math.Hypot(gx, gy)))
+	return nil
+}
+
+// Threshold builds a 1×1 binarization kernel: out = high if in >= t,
+// else low.
+func Threshold(name string, t, low, high float64) *graph.Node {
+	n := graph.NewNode(name, graph.KindKernel)
+	n.CreateInput("in", geom.Sz(1, 1), geom.St(1, 1), geom.Off(0, 0))
+	n.CreateOutput("out", geom.Sz(1, 1), geom.St(1, 1))
+	n.RegisterMethod("runThreshold", 6, 1)
+	n.RegisterMethodInput("runThreshold", "in")
+	n.RegisterMethodOutput("runThreshold", "out")
+	n.Attrs["ktype"] = "threshold"
+	n.Attrs["kparams"] = fmt.Sprintf("%g,%g,%g", t, low, high)
+	n.Behavior = thresholdBehavior{t: t, low: low, high: high}
+	return n
+}
+
+type thresholdBehavior struct{ t, low, high float64 }
+
+func (b thresholdBehavior) Clone() graph.Behavior { return b }
+
+func (b thresholdBehavior) Invoke(method string, ctx graph.ExecContext) error {
+	if method != "runThreshold" {
+		return fmt.Errorf("kernel: threshold has no method %q", method)
+	}
+	v := ctx.Input("in").Value()
+	out := b.low
+	if v >= b.t {
+		out = b.high
+	}
+	ctx.Emit("out", frame.Scalar(out))
+	return nil
+}

@@ -1,0 +1,94 @@
+// Package machine models the target many-core architecture: an array
+// of identical processing elements (PEs), each with a clock rate, local
+// memory, and per-word costs for reading and writing kernel inputs and
+// outputs. The paper's analyses need exactly this much — the degree of
+// parallelism is the required cycles/sec divided by what one PE
+// provides (§IV), and buffers split when they exceed a PE's storage
+// (§IV-C).
+package machine
+
+import "fmt"
+
+// PE describes one processing element.
+type PE struct {
+	// CyclesPerSec is the PE clock rate.
+	CyclesPerSec int64
+	// MemWords is the local storage in data words.
+	MemWords int64
+	// ReadCost and WriteCost are cycles per word moved through kernel
+	// inputs/outputs (the paper's simulator accounts "data access
+	// time" and "buffer transfer time" separately from execution).
+	ReadCost  int64
+	WriteCost int64
+}
+
+// Machine is a pool of identical PEs. MaxPEs of zero means unbounded
+// (the paper sizes the application first and counts how many PEs it
+// needs).
+type Machine struct {
+	Name   string
+	PE     PE
+	MaxPEs int
+}
+
+// Validate checks the machine description.
+func (m Machine) Validate() error {
+	if m.PE.CyclesPerSec <= 0 {
+		return fmt.Errorf("machine: PE clock must be positive, got %d", m.PE.CyclesPerSec)
+	}
+	if m.PE.MemWords <= 0 {
+		return fmt.Errorf("machine: PE memory must be positive, got %d", m.PE.MemWords)
+	}
+	if m.PE.ReadCost < 0 || m.PE.WriteCost < 0 {
+		return fmt.Errorf("machine: negative access costs")
+	}
+	return nil
+}
+
+// Default returns the reference machine used by the experiments: a
+// 200 MHz PE with 4K words of local store and 1-cycle-per-word port
+// access, loosely shaped like the tiled embedded many-cores the paper
+// targets.
+func Default() Machine {
+	return Machine{
+		Name: "ref-200mhz-4kw",
+		PE: PE{
+			CyclesPerSec: 200_000_000,
+			MemWords:     4096,
+			ReadCost:     1,
+			WriteCost:    1,
+		},
+	}
+}
+
+// Embedded returns the machine the paper-style experiments run on: a
+// 20 MHz PE with 768 words of local store, calibrated so the benchmark
+// suite's compute kernels parallelize a few ways at "fast" sample rates
+// and its wide-frame line buffers exceed one PE's storage (DESIGN.md
+// §4, Figures 11-13).
+func Embedded() Machine {
+	return Machine{
+		Name: "embedded-20mhz-768w",
+		PE: PE{
+			CyclesPerSec: 20_000_000,
+			MemWords:     768,
+			ReadCost:     1,
+			WriteCost:    1,
+		},
+	}
+}
+
+// Small returns a deliberately weak machine (low clock, little memory)
+// used by tests to force high degrees of parallelism and buffer
+// splitting at tiny problem sizes.
+func Small() Machine {
+	return Machine{
+		Name: "small-1mhz-256w",
+		PE: PE{
+			CyclesPerSec: 1_000_000,
+			MemWords:     256,
+			ReadCost:     1,
+			WriteCost:    1,
+		},
+	}
+}

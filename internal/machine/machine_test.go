@@ -1,0 +1,38 @@
+package machine
+
+import "testing"
+
+func TestPresetsValidate(t *testing.T) {
+	for _, m := range []Machine{Default(), Embedded(), Small()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadMachines(t *testing.T) {
+	cases := []Machine{
+		{},
+		{PE: PE{CyclesPerSec: 0, MemWords: 100}},
+		{PE: PE{CyclesPerSec: 100, MemWords: 0}},
+		{PE: PE{CyclesPerSec: 100, MemWords: 100, ReadCost: -1}},
+		{PE: PE{CyclesPerSec: 100, MemWords: 100, WriteCost: -2}},
+	}
+	for i, m := range cases {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, m)
+		}
+	}
+}
+
+func TestPresetOrdering(t *testing.T) {
+	// The presets exist to be meaningfully different: Default is the
+	// strongest, Small the weakest.
+	d, e, s := Default(), Embedded(), Small()
+	if !(d.PE.CyclesPerSec > e.PE.CyclesPerSec && e.PE.CyclesPerSec > s.PE.CyclesPerSec) {
+		t.Error("clock ordering broken")
+	}
+	if !(d.PE.MemWords > e.PE.MemWords && e.PE.MemWords > s.PE.MemWords) {
+		t.Error("memory ordering broken")
+	}
+}

@@ -1,0 +1,98 @@
+package mapping
+
+import (
+	"math"
+
+	"blockpar/internal/graph"
+)
+
+// Placement positions PEs on a 2-D grid. The paper mentions a
+// simulated-annealing placement "implemented, but not integrated within
+// the simulator"; here it is integrated as an optional post-pass that
+// minimizes the traffic-weighted Manhattan distance between
+// communicating PEs.
+type Placement struct {
+	// GridW, GridH are the grid dimensions.
+	GridW, GridH int
+	// At maps PE index to grid slot (y*GridW + x).
+	At []int
+}
+
+// Coord returns the grid coordinates of a PE.
+func (p *Placement) Coord(pe int) (x, y int) {
+	slot := p.At[pe]
+	return slot % p.GridW, slot / p.GridW
+}
+
+// CommCost is the traffic-weighted Manhattan distance of all inter-PE
+// edges under the placement.
+func CommCost(g *graph.Graph, a *Assignment, p *Placement) float64 {
+	var cost float64
+	for _, e := range g.Edges() {
+		fromPE, ok1 := a.PEOf[e.From.Node()]
+		toPE, ok2 := a.PEOf[e.To.Node()]
+		if !ok1 || !ok2 || fromPE == toPE {
+			continue
+		}
+		x1, y1 := p.Coord(fromPE)
+		x2, y2 := p.Coord(toPE)
+		dist := math.Abs(float64(x1-x2)) + math.Abs(float64(y1-y2))
+		cost += dist * float64(e.From.Words())
+	}
+	return cost
+}
+
+// annealRNG is a small deterministic xorshift generator so placement is
+// reproducible without math/rand seeding ceremony.
+type annealRNG uint64
+
+func (r *annealRNG) next() uint64 {
+	x := uint64(*r)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*r = annealRNG(x)
+	return x
+}
+
+func (r *annealRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *annealRNG) float() float64 { return float64(r.next()%(1<<53)) / (1 << 53) }
+
+// Anneal places the assignment's PEs on the smallest square grid that
+// fits, then improves the placement by simulated annealing over slot
+// swaps. It is deterministic for a given seed.
+func Anneal(g *graph.Graph, a *Assignment, seed uint64) *Placement {
+	side := 1
+	for side*side < a.NumPEs {
+		side++
+	}
+	p := &Placement{GridW: side, GridH: side, At: make([]int, a.NumPEs)}
+	for i := range p.At {
+		p.At[i] = i
+	}
+	if a.NumPEs < 2 {
+		return p
+	}
+
+	rng := annealRNG(seed | 1)
+	cost := CommCost(g, a, p)
+	temp := cost/float64(a.NumPEs) + 1
+	const iters = 4000
+	for i := 0; i < iters; i++ {
+		pe1 := rng.intn(a.NumPEs)
+		pe2 := rng.intn(a.NumPEs)
+		if pe1 == pe2 {
+			continue
+		}
+		p.At[pe1], p.At[pe2] = p.At[pe2], p.At[pe1]
+		next := CommCost(g, a, p)
+		if next <= cost || rng.float() < math.Exp((cost-next)/temp) {
+			cost = next
+		} else {
+			p.At[pe1], p.At[pe2] = p.At[pe2], p.At[pe1] // revert
+		}
+		temp *= 0.999
+	}
+	return p
+}

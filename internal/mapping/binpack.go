@@ -1,0 +1,87 @@
+package mapping
+
+import (
+	"sort"
+
+	"blockpar/internal/analysis"
+	"blockpar/internal/graph"
+	"blockpar/internal/machine"
+)
+
+// BinPack is the locality-blind alternative to Greedy: first-fit-
+// decreasing bin packing of kernels onto PEs by utilization and memory,
+// ignoring the graph's adjacency entirely. It typically provisions as
+// few or fewer PEs than Greedy, but scatters communicating kernels
+// across PEs — the ablation in DESIGN.md for the paper's choice to
+// merge *neighboring* kernels (§V), which keeps streams on-processor
+// and placement-friendly.
+func BinPack(g *graph.Graph, r *analysis.Result, m machine.Machine) (*Assignment, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	type bin struct {
+		util float64
+		mem  int64
+	}
+	a := &Assignment{PEOf: make(map[*graph.Node]int)}
+	var bins []bin
+
+	var nodes []*graph.Node
+	for _, n := range g.Nodes() {
+		if mappable(n) {
+			nodes = append(nodes, n)
+		}
+	}
+	sort.SliceStable(nodes, func(i, j int) bool {
+		ui := r.LoadOf(nodes[i], m).Utilization
+		uj := r.LoadOf(nodes[j], m).Utilization
+		if ui != uj {
+			return ui > uj
+		}
+		return nodes[i].Name() < nodes[j].Name()
+	})
+
+	for _, n := range nodes {
+		l := r.LoadOf(n, m)
+		if n.NoMultiplex {
+			a.PEOf[n] = len(bins)
+			bins = append(bins, bin{util: 2, mem: m.PE.MemWords}) // never reused
+			continue
+		}
+		placed := false
+		for i := range bins {
+			if bins[i].util+l.Utilization <= 1 && bins[i].mem+l.MemWords <= m.PE.MemWords {
+				a.PEOf[n] = i
+				bins[i].util += l.Utilization
+				bins[i].mem += l.MemWords
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			a.PEOf[n] = len(bins)
+			bins = append(bins, bin{util: l.Utilization, mem: l.MemWords})
+		}
+	}
+	a.NumPEs = len(bins)
+	return a, nil
+}
+
+// CrossPEWords counts the channel words per frame that cross PE
+// boundaries under an assignment, using the analysis' per-edge traffic.
+// Greedy's adjacency-driven merging should keep this lower than
+// BinPack's at comparable PE counts.
+func CrossPEWords(g *graph.Graph, r *analysis.Result, a *Assignment) int64 {
+	var total int64
+	for _, e := range g.Edges() {
+		fromPE, okF := a.PEOf[e.From.Node()]
+		toPE, okT := a.PEOf[e.To.Node()]
+		if okF && okT && fromPE == toPE {
+			continue // on-processor stream
+		}
+		if info, ok := r.Out[e.From]; ok {
+			total += info.WordsPerFrame()
+		}
+	}
+	return total
+}

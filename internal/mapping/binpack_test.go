@@ -1,0 +1,69 @@
+package mapping
+
+import (
+	"testing"
+
+	"blockpar/internal/machine"
+)
+
+func TestBinPackRespectsCapacity(t *testing.T) {
+	g, r := compiledImageApp(t)
+	m := machine.Embedded()
+	bp, err := BinPack(g, r, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pe := 0; pe < bp.NumPEs; pe++ {
+		var util float64
+		var mem int64
+		nodes := bp.NodesOn(g, pe)
+		for _, n := range nodes {
+			l := r.LoadOf(n, m)
+			util += l.Utilization
+			mem += l.MemWords
+		}
+		if len(nodes) > 1 && (util > 1 || mem > m.PE.MemWords) {
+			t.Errorf("PE %d over capacity: util %.2f mem %d", pe, util, mem)
+		}
+	}
+	// NoMultiplex kernels stay alone.
+	for _, n := range g.Nodes() {
+		if n.NoMultiplex {
+			if got := len(bp.NodesOn(g, bp.PEOf[n])); got != 1 {
+				t.Errorf("NoMultiplex %q shares a PE", n.Name())
+			}
+		}
+	}
+}
+
+// TestGreedyKeepsStreamsLocal is the mapping ablation: locality-blind
+// bin packing may use as few PEs, but the paper's neighbor-merging
+// greedy keeps far more stream traffic on-processor.
+func TestGreedyKeepsStreamsLocal(t *testing.T) {
+	g, r := compiledImageApp(t)
+	m := machine.Embedded()
+	gm, err := Greedy(g, r, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := BinPack(g, r, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := OneToOne(g)
+
+	crossGM := CrossPEWords(g, r, gm)
+	crossBP := CrossPEWords(g, r, bp)
+	crossOne := CrossPEWords(g, r, one)
+
+	// 1:1 is the worst case: everything crosses.
+	if crossGM >= crossOne {
+		t.Errorf("greedy cross-PE words %d not below 1:1's %d", crossGM, crossOne)
+	}
+	// Greedy must beat locality-blind packing on locality.
+	if crossGM >= crossBP {
+		t.Errorf("greedy cross-PE words %d not below bin packing's %d", crossGM, crossBP)
+	}
+	t.Logf("cross-PE words/frame: 1:1 %d, binpack %d (PEs %d), greedy %d (PEs %d)",
+		crossOne, crossBP, bp.NumPEs, crossGM, gm.NumPEs)
+}

@@ -1,0 +1,51 @@
+package mapping
+
+import (
+	"fmt"
+	"strings"
+
+	"blockpar/internal/graph"
+)
+
+// Dot renders the graph with kernels grouped into their assigned PEs as
+// Graphviz clusters — the visual form of the paper's Figure 12, where
+// "each box encloses the kernels that will run on a single processor
+// core".
+func Dot(g *graph.Graph, a *Assignment) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
+	b.WriteString("  rankdir=LR;\n  node [fontsize=10, shape=box, style=rounded];\n")
+
+	// IO nodes sit outside any cluster.
+	for _, n := range g.Nodes() {
+		if _, mapped := a.PEOf[n]; !mapped {
+			fmt.Fprintf(&b, "  %q [shape=oval];\n", n.Name())
+		}
+	}
+	for pe := 0; pe < a.NumPEs; pe++ {
+		nodes := a.NodesOn(g, pe)
+		if len(nodes) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  subgraph cluster_pe%d {\n    label=\"PE%d\";\n    style=rounded;\n", pe, pe)
+		for _, n := range nodes {
+			attrs := ""
+			if n.Kind == graph.KindKernel {
+				// High-utilization computation kernels get the dark
+				// background of Figure 12(a).
+				attrs = ", style=filled, fillcolor=gray80"
+			}
+			fmt.Fprintf(&b, "    %q [label=%q%s];\n", n.Name(), n.Name(), attrs)
+		}
+		b.WriteString("  }\n")
+	}
+	for _, e := range g.Edges() {
+		style := ""
+		if e.To.Replicated {
+			style = " [style=dashed]"
+		}
+		fmt.Fprintf(&b, "  %q -> %q%s;\n", e.From.Node().Name(), e.To.Node().Name(), style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

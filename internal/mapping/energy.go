@@ -1,0 +1,88 @@
+package mapping
+
+import (
+	"blockpar/internal/analysis"
+	"blockpar/internal/graph"
+	"blockpar/internal/machine"
+)
+
+// EnergyModel prices the two things the mapping and placement control:
+// cycles executed on PEs and words moved between PEs (distance-weighted
+// when a placement is given). The paper motivates placement exactly
+// this way ("increasing the number of kernels beyond what is required
+// ... may allow a more optimal placement, resulting in a lower overall
+// energy consumption", §IV-D).
+type EnergyModel struct {
+	// PJPerCycle is the energy per executed PE cycle.
+	PJPerCycle float64
+	// PJPerWordHop is the energy per word per Manhattan grid hop; words
+	// moved between co-located kernels cost nothing, words between PEs
+	// without a placement are charged one hop.
+	PJPerWordHop float64
+	// PJPerIdleCycle charges leakage for provisioned-but-idle capacity,
+	// which is what greedy multiplexing reduces by using fewer PEs.
+	PJPerIdleCycle float64
+}
+
+// DefaultEnergy returns a generic embedded-SRAM-era model: compute
+// cheap, communication ~4x a cycle per hop, idle leakage 10% of active.
+func DefaultEnergy() EnergyModel {
+	return EnergyModel{PJPerCycle: 1, PJPerWordHop: 4, PJPerIdleCycle: 0.1}
+}
+
+// EnergyPerFrame estimates the energy one frame costs under the given
+// assignment and optional placement (nil = every inter-PE word moves
+// one hop).
+func EnergyPerFrame(g *graph.Graph, r *analysis.Result, m machine.Machine,
+	a *Assignment, p *Placement, em EnergyModel) float64 {
+
+	var active float64
+	var frameSec float64
+	for n, pe := range a.PEOf {
+		_ = pe
+		ni := r.Nodes[n]
+		cycles := float64(ni.CyclesPerFrame +
+			ni.ReadWordsPerFrame*m.PE.ReadCost +
+			ni.WriteWordsPerFrame*m.PE.WriteCost)
+		active += cycles
+		if fs := ni.Rate.Float(); fs > 0 {
+			frameSec = 1 / fs
+		}
+	}
+
+	var comm float64
+	for _, e := range g.Edges() {
+		fromPE, okF := a.PEOf[e.From.Node()]
+		toPE, okT := a.PEOf[e.To.Node()]
+		if !okF || !okT || fromPE == toPE {
+			continue
+		}
+		hops := 1.0
+		if p != nil {
+			x1, y1 := p.Coord(fromPE)
+			x2, y2 := p.Coord(toPE)
+			hops = float64(abs(x1-x2) + abs(y1-y2))
+		}
+		if info, ok := r.Out[e.From]; ok {
+			comm += hops * float64(info.WordsPerFrame())
+		}
+	}
+
+	// Idle capacity: provisioned cycles per frame minus active ones.
+	idle := 0.0
+	if frameSec > 0 {
+		provisioned := float64(a.NumPEs) * float64(m.PE.CyclesPerSec) * frameSec
+		if provisioned > active {
+			idle = provisioned - active
+		}
+	}
+
+	return em.PJPerCycle*active + em.PJPerWordHop*comm + em.PJPerIdleCycle*idle
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,68 @@
+package mapping
+
+import (
+	"testing"
+
+	"blockpar/internal/machine"
+)
+
+// TestEnergyOrdering ties the paper's energy argument together: greedy
+// multiplexing beats 1:1 (less idle leakage and less inter-PE
+// traffic), and annealed placement beats identity placement under the
+// same assignment (fewer word-hops).
+func TestEnergyOrdering(t *testing.T) {
+	g, r := compiledImageApp(t)
+	m := machine.Embedded()
+	em := DefaultEnergy()
+
+	one := OneToOne(g)
+	gm, err := Greedy(g, r, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eOne := EnergyPerFrame(g, r, m, one, nil, em)
+	eGM := EnergyPerFrame(g, r, m, gm, nil, em)
+	if eGM >= eOne {
+		t.Errorf("greedy energy %.0f not below 1:1's %.0f", eGM, eOne)
+	}
+
+	ident := identityPlacement(gm.NumPEs)
+	placed := Anneal(g, gm, 42)
+	eIdent := EnergyPerFrame(g, r, m, gm, ident, em)
+	ePlaced := EnergyPerFrame(g, r, m, gm, placed, em)
+	if ePlaced > eIdent {
+		t.Errorf("annealed placement energy %.0f above identity's %.0f", ePlaced, eIdent)
+	}
+	t.Logf("energy/frame: 1:1 %.0f, greedy %.0f, greedy+anneal %.0f (arb. units)",
+		eOne, eGM, ePlaced)
+}
+
+func identityPlacement(numPEs int) *Placement {
+	side := 1
+	for side*side < numPEs {
+		side++
+	}
+	p := &Placement{GridW: side, GridH: side, At: make([]int, numPEs)}
+	for i := range p.At {
+		p.At[i] = i
+	}
+	return p
+}
+
+func TestEnergyComponentsPositive(t *testing.T) {
+	g, r := compiledImageApp(t)
+	m := machine.Embedded()
+	gm, err := Greedy(g, r, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zeroing a component must lower the estimate: each term
+	// contributes.
+	full := EnergyPerFrame(g, r, m, gm, nil, DefaultEnergy())
+	noComm := EnergyPerFrame(g, r, m, gm, nil, EnergyModel{PJPerCycle: 1, PJPerIdleCycle: 0.1})
+	noIdle := EnergyPerFrame(g, r, m, gm, nil, EnergyModel{PJPerCycle: 1, PJPerWordHop: 4})
+	if !(noComm < full && noIdle < full) {
+		t.Errorf("components missing: full %.0f, noComm %.0f, noIdle %.0f", full, noComm, noIdle)
+	}
+}

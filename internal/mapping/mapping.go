@@ -1,0 +1,144 @@
+// Package mapping assigns kernels to processing elements. It provides
+// the paper's two mappings (Figure 12): the naive 1:1
+// kernel-to-processor mapping, and the greedy multiplexing algorithm of
+// §V that merges neighboring low-utilization kernels onto shared PEs
+// while their combined CPU and memory demand fits, raising average
+// utilization ~1.5×. A simulated-annealing placement of PEs onto a 2-D
+// grid (mentioned but not integrated in the paper) is in anneal.go.
+package mapping
+
+import (
+	"fmt"
+	"sort"
+
+	"blockpar/internal/analysis"
+	"blockpar/internal/graph"
+	"blockpar/internal/machine"
+)
+
+// Assignment maps kernel nodes to PE indices. Application inputs and
+// outputs are external devices and are not assigned.
+type Assignment struct {
+	PEOf   map[*graph.Node]int
+	NumPEs int
+}
+
+// NodesOn returns the nodes assigned to the given PE, in graph order.
+func (a *Assignment) NodesOn(g *graph.Graph, pe int) []*graph.Node {
+	var out []*graph.Node
+	for _, n := range g.Nodes() {
+		if p, ok := a.PEOf[n]; ok && p == pe {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// mappable reports whether the node occupies a PE.
+func mappable(n *graph.Node) bool {
+	return n.Kind != graph.KindInput && n.Kind != graph.KindOutput
+}
+
+// OneToOne assigns every kernel its own PE (Figure 12(a)).
+func OneToOne(g *graph.Graph) *Assignment {
+	a := &Assignment{PEOf: make(map[*graph.Node]int)}
+	for _, n := range g.Nodes() {
+		if !mappable(n) {
+			continue
+		}
+		a.PEOf[n] = a.NumPEs
+		a.NumPEs++
+	}
+	return a
+}
+
+// Greedy implements §V: walk the kernels and greedily merge each
+// unassigned kernel with neighboring kernels while the group's combined
+// CPU utilization stays below one PE and its memory fits. Kernels
+// marked NoMultiplex (the initial input buffers) always get their own
+// PE.
+func Greedy(g *graph.Graph, r *analysis.Result, m machine.Machine) (*Assignment, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Assignment{PEOf: make(map[*graph.Node]int)}
+
+	utilOf := func(n *graph.Node) float64 { return r.LoadOf(n, m).Utilization }
+	memOf := func(n *graph.Node) int64 { return r.LoadOf(n, m).MemWords }
+
+	for _, n := range g.Nodes() {
+		if !mappable(n) {
+			continue
+		}
+		if _, done := a.PEOf[n]; done {
+			continue
+		}
+		pe := a.NumPEs
+		a.NumPEs++
+		a.PEOf[n] = pe
+		if n.NoMultiplex {
+			continue
+		}
+		groupUtil := utilOf(n)
+		groupMem := memOf(n)
+		if groupUtil > 1 {
+			return nil, fmt.Errorf("mapping: %q alone exceeds one PE (%.2f); parallelize first",
+				n.Name(), groupUtil)
+		}
+		// Grow the group through unassigned, multiplexable neighbors,
+		// cheapest first, as long as the sum fits one PE.
+		frontier := neighborsOf(g, n)
+		for len(frontier) > 0 {
+			sort.Slice(frontier, func(i, j int) bool {
+				ui, uj := utilOf(frontier[i]), utilOf(frontier[j])
+				if ui != uj {
+					return ui < uj
+				}
+				return frontier[i].Name() < frontier[j].Name()
+			})
+			cand := frontier[0]
+			frontier = frontier[1:]
+			if _, done := a.PEOf[cand]; done {
+				continue
+			}
+			if !mappable(cand) || cand.NoMultiplex {
+				continue
+			}
+			if groupUtil+utilOf(cand) > 1 || groupMem+memOf(cand) > m.PE.MemWords {
+				continue
+			}
+			a.PEOf[cand] = pe
+			groupUtil += utilOf(cand)
+			groupMem += memOf(cand)
+			frontier = append(frontier, neighborsOf(g, cand)...)
+		}
+	}
+	return a, nil
+}
+
+func neighborsOf(g *graph.Graph, n *graph.Node) []*graph.Node {
+	var out []*graph.Node
+	for _, nb := range g.Neighbors(n) {
+		if mappable(nb) {
+			out = append(out, nb)
+		}
+	}
+	return out
+}
+
+// EstimatedUtilization returns the analysis-based mean PE utilization
+// of an assignment: total demand divided by PEs provisioned.
+func EstimatedUtilization(g *graph.Graph, r *analysis.Result, m machine.Machine, a *Assignment) float64 {
+	if a.NumPEs == 0 {
+		return 0
+	}
+	var total float64
+	for n := range a.PEOf {
+		u := r.LoadOf(n, m).Utilization
+		if u > 1 {
+			u = 1
+		}
+		total += u
+	}
+	return total / float64(a.NumPEs)
+}

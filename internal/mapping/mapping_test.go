@@ -1,0 +1,189 @@
+package mapping
+
+import (
+	"testing"
+
+	"blockpar/internal/analysis"
+	"blockpar/internal/apps"
+	"blockpar/internal/core"
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+	"blockpar/internal/machine"
+)
+
+func compiledImageApp(t *testing.T) (*graph.Graph, *analysis.Result) {
+	t.Helper()
+	app := apps.ImagePipeline("map-test", apps.ImageCfg{
+		W: apps.SmallW, H: apps.SmallH,
+		Rate: geom.F(apps.FastRate, int64(apps.SmallW*apps.SmallH)),
+		Bins: 32,
+	})
+	c, err := core.Compile(app.Graph, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Graph, c.Analysis
+}
+
+func TestOneToOneAssignsEveryKernel(t *testing.T) {
+	g, _ := compiledImageApp(t)
+	a := OneToOne(g)
+	kernels := 0
+	for _, n := range g.Nodes() {
+		if n.Kind == graph.KindInput || n.Kind == graph.KindOutput {
+			if _, ok := a.PEOf[n]; ok {
+				t.Errorf("IO node %q assigned a PE", n.Name())
+			}
+			continue
+		}
+		kernels++
+		if _, ok := a.PEOf[n]; !ok {
+			t.Errorf("kernel %q unassigned", n.Name())
+		}
+	}
+	if a.NumPEs != kernels {
+		t.Errorf("NumPEs = %d, want %d", a.NumPEs, kernels)
+	}
+	// All PE indices distinct.
+	seen := make(map[int]bool)
+	for _, pe := range a.PEOf {
+		if seen[pe] {
+			t.Fatal("1:1 mapping shares a PE")
+		}
+		seen[pe] = true
+	}
+}
+
+// TestGreedyReducesPEs reproduces the §V result qualitatively: greedy
+// multiplexing uses fewer PEs than 1:1 and raises estimated average
+// utilization by well over the paper's 1.5x on this application.
+func TestGreedyReducesPEs(t *testing.T) {
+	g, r := compiledImageApp(t)
+	m := machine.Embedded()
+	one := OneToOne(g)
+	gm, err := Greedy(g, r, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm.NumPEs >= one.NumPEs {
+		t.Fatalf("greedy PEs = %d, not fewer than 1:1's %d", gm.NumPEs, one.NumPEs)
+	}
+	u1 := EstimatedUtilization(g, r, m, one)
+	u2 := EstimatedUtilization(g, r, m, gm)
+	if u2 <= u1 {
+		t.Fatalf("greedy utilization %.3f not above 1:1's %.3f", u2, u1)
+	}
+	t.Logf("PEs: %d -> %d, estimated utilization: %.2f -> %.2f (%.2fx)",
+		one.NumPEs, gm.NumPEs, u1, u2, u2/u1)
+}
+
+func TestGreedyRespectsCapacity(t *testing.T) {
+	g, r := compiledImageApp(t)
+	m := machine.Embedded()
+	gm, err := Greedy(g, r, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pe := 0; pe < gm.NumPEs; pe++ {
+		var util float64
+		var mem int64
+		multi := 0
+		for _, n := range gm.NodesOn(g, pe) {
+			l := r.LoadOf(n, m)
+			util += l.Utilization
+			mem += l.MemWords
+			multi++
+		}
+		if multi > 1 {
+			if util > 1 {
+				t.Errorf("PE %d multiplexed beyond capacity: %.2f", pe, util)
+			}
+			if mem > m.PE.MemWords {
+				t.Errorf("PE %d memory over budget: %d > %d", pe, mem, m.PE.MemWords)
+			}
+		}
+	}
+}
+
+func TestGreedyKeepsInputBuffersAlone(t *testing.T) {
+	g, r := compiledImageApp(t)
+	gm, err := Greedy(g, r, machine.Embedded())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range g.Nodes() {
+		if !n.NoMultiplex {
+			continue
+		}
+		pe := gm.PEOf[n]
+		if got := len(gm.NodesOn(g, pe)); got != 1 {
+			t.Errorf("NoMultiplex node %q shares PE %d with %d nodes", n.Name(), pe, got-1)
+		}
+	}
+}
+
+func TestGreedyRejectsOverloadedKernel(t *testing.T) {
+	// Without parallelization, the fast-rate conv exceeds one PE and
+	// Greedy must refuse.
+	app := apps.ImagePipeline("overload", apps.ImageCfg{
+		W: apps.SmallW, H: apps.SmallH,
+		Rate: geom.F(apps.FastRate, int64(apps.SmallW*apps.SmallH)),
+		Bins: 32,
+	})
+	cfg := core.DefaultConfig()
+	cfg.Parallelize = false
+	c, err := core.Compile(app.Graph, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Greedy(c.Graph, c.Analysis, machine.Embedded()); err == nil {
+		t.Fatal("greedy accepted an overloaded kernel")
+	}
+}
+
+func TestAnnealImprovesPlacement(t *testing.T) {
+	g, r := compiledImageApp(t)
+	gm, err := Greedy(g, r, machine.Embedded())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identity placement cost vs annealed.
+	side := 1
+	for side*side < gm.NumPEs {
+		side++
+	}
+	ident := &Placement{GridW: side, GridH: side, At: make([]int, gm.NumPEs)}
+	for i := range ident.At {
+		ident.At[i] = i
+	}
+	before := CommCost(g, gm, ident)
+	placed := Anneal(g, gm, 42)
+	after := CommCost(g, gm, placed)
+	if after > before {
+		t.Errorf("annealing worsened placement: %.0f -> %.0f", before, after)
+	}
+	t.Logf("comm cost: %.0f -> %.0f", before, after)
+	// Placement must be a permutation of slots.
+	seen := make(map[int]bool)
+	for _, slot := range placed.At {
+		if seen[slot] {
+			t.Fatal("duplicate grid slot")
+		}
+		seen[slot] = true
+	}
+}
+
+func TestAnnealDeterministic(t *testing.T) {
+	g, r := compiledImageApp(t)
+	gm, err := Greedy(g, r, machine.Embedded())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Anneal(g, gm, 7)
+	b := Anneal(g, gm, 7)
+	for i := range a.At {
+		if a.At[i] != b.At[i] {
+			t.Fatal("annealing not deterministic for equal seeds")
+		}
+	}
+}

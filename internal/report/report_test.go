@@ -1,0 +1,153 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"blockpar/internal/apps"
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+	"blockpar/internal/machine"
+)
+
+func TestRunBenchmarkProducesSaneRow(t *testing.T) {
+	app := apps.HistogramApp("report-hist", apps.HistCfg{
+		W: 32, H: 24, Rate: geom.F(apps.SlowRate, 32*24), Bins: 16,
+	})
+	row, err := RunBenchmark(app, machine.Embedded(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.OneToOne.PEs < 1 || row.Greedy.PEs < 1 {
+		t.Errorf("PE counts: %d / %d", row.OneToOne.PEs, row.Greedy.PEs)
+	}
+	if row.Greedy.PEs > row.OneToOne.PEs {
+		t.Errorf("greedy uses more PEs (%d) than 1:1 (%d)", row.Greedy.PEs, row.OneToOne.PEs)
+	}
+	if !row.OneToOne.RealTimeMet || !row.Greedy.RealTimeMet {
+		t.Error("real time missed")
+	}
+	if row.Improvement() < 1 {
+		t.Errorf("improvement = %.2f, want >= 1", row.Improvement())
+	}
+	u := row.OneToOne.Util
+	if u.Total() <= 0 || u.Run <= 0 {
+		t.Errorf("utilization breakdown empty: %+v", u)
+	}
+}
+
+// TestFigure12Shape verifies the §V claim end to end: on the running
+// example, greedy multiplexing raises simulated mean utilization while
+// both mappings keep real time.
+func TestFigure12Shape(t *testing.T) {
+	r, err := Figure12(machine.Embedded(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Row.OneToOne.RealTimeMet || !r.Row.Greedy.RealTimeMet {
+		t.Error("real time missed")
+	}
+	if imp := r.Row.Improvement(); imp < 1.2 {
+		t.Errorf("greedy improvement = %.2fx, want >= 1.2x", imp)
+	}
+	// At least one PE group must actually multiplex several kernels.
+	multiplexed := false
+	for _, g := range r.Groups {
+		if len(g) > 1 {
+			multiplexed = true
+		}
+	}
+	if !multiplexed {
+		t.Error("no PE multiplexes more than one kernel")
+	}
+	out := RenderFigure12(r)
+	for _, want := range []string{"1:1 mapping", "greedy mapping", "PE0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+// TestFigure11Shape verifies the two axes of Figure 11: buffers grow
+// with input size at fixed sample rate; compute degrees grow with
+// sample rate at fixed size; the merge stays serial everywhere.
+func TestFigure11Shape(t *testing.T) {
+	rows, err := Figure11(machine.Embedded())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]Figure11Row{}
+	for _, r := range rows {
+		byID[r.Preset.ID] = r
+	}
+	ss, bs, sf, bf := byID["SS"], byID["BS"], byID["SF"], byID["BF"]
+
+	// Size axis: more/larger buffering, similar compute.
+	if bs.Counts[graph.KindBuffer] < ss.Counts[graph.KindBuffer] {
+		t.Errorf("BS buffers (%d) < SS buffers (%d)", bs.Counts[graph.KindBuffer], ss.Counts[graph.KindBuffer])
+	}
+	// Rate axis: strictly more compute parallelism.
+	if sf.Degrees["5x5 Conv"] <= ss.Degrees["5x5 Conv"] {
+		t.Errorf("SF conv degree (%d) not above SS (%d)", sf.Degrees["5x5 Conv"], ss.Degrees["5x5 Conv"])
+	}
+	if sf.Degrees["3x3 Median"] <= ss.Degrees["3x3 Median"] {
+		t.Errorf("SF median degree not above SS")
+	}
+	// Both axes: BF has the most PEs.
+	if !(bf.PEs >= sf.PEs && bf.PEs >= bs.PEs && bs.PEs >= ss.PEs) {
+		t.Errorf("PE ordering violated: SS=%d BS=%d SF=%d BF=%d", ss.PEs, bs.PEs, sf.PEs, bf.PEs)
+	}
+	// Serial merge everywhere.
+	for id, r := range byID {
+		if r.Degrees["Merge"] != 1 {
+			t.Errorf("%s: merge degree %d", id, r.Degrees["Merge"])
+		}
+	}
+	out := RenderFigure11(rows)
+	if !strings.Contains(out, "SS") || !strings.Contains(out, "BF") {
+		t.Error("render missing presets")
+	}
+}
+
+// TestFigure13Headline runs the full suite and asserts the paper's
+// headline numbers hold in shape: every benchmark meets real time under
+// both mappings, greedy never loses, and the average improvement is in
+// the paper's neighborhood (paper: 1.5x; accept 1.2-2.5x).
+func TestFigure13Headline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite simulation is slow")
+	}
+	rows, err := Figure13(machine.Embedded(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 {
+		t.Fatalf("rows = %d, want 11", len(rows))
+	}
+	for _, r := range rows {
+		if !r.OneToOne.RealTimeMet || !r.Greedy.RealTimeMet {
+			t.Errorf("%s: real time missed", r.ID)
+		}
+		if r.Improvement() < 0.999 {
+			t.Errorf("%s: greedy lost: %.2fx", r.ID, r.Improvement())
+		}
+		if r.Greedy.PEs > r.OneToOne.PEs {
+			t.Errorf("%s: greedy uses more PEs", r.ID)
+		}
+	}
+	avg := AverageImprovement(rows)
+	if avg < 1.2 || avg > 2.5 {
+		t.Errorf("average improvement = %.2fx, want within [1.2, 2.5] around the paper's 1.5x", avg)
+	}
+	out := RenderFigure13(rows)
+	if !strings.Contains(out, "average utilization improvement") {
+		t.Error("render missing summary line")
+	}
+	t.Logf("average improvement: %.2fx", avg)
+}
+
+func TestAverageImprovementEmpty(t *testing.T) {
+	if AverageImprovement(nil) != 0 {
+		t.Error("empty rows should average 0")
+	}
+}

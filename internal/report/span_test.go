@@ -1,0 +1,61 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"blockpar/internal/apps"
+	"blockpar/internal/core"
+	"blockpar/internal/machine"
+	"blockpar/internal/mapping"
+)
+
+// TestSuiteSpansPaperSizeRange checks the §V sentence: the greedy
+// algorithm was evaluated "across a variety of test programs ranging in
+// size from fewer than 10 kernels to more than 50" — our compiled suite
+// must span that range too.
+func TestSuiteSpansPaperSizeRange(t *testing.T) {
+	minKernels, maxKernels := 1<<30, 0
+	for _, b := range apps.Figure13Suite() {
+		c, err := core.Compile(b.App.Graph, core.DefaultConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", b.ID, err)
+		}
+		n := mapping.OneToOne(c.Graph).NumPEs
+		if n < minKernels {
+			minKernels = n
+		}
+		if n > maxKernels {
+			maxKernels = n
+		}
+	}
+	if minKernels >= 10 {
+		t.Errorf("smallest program has %d kernels, want < 10", minKernels)
+	}
+	if maxKernels <= 40 {
+		t.Errorf("largest program has %d kernels, want > 40", maxKernels)
+	}
+	t.Logf("suite spans %d..%d kernels (paper: <10 to >50)", minKernels, maxKernels)
+}
+
+func TestMappingDotClusters(t *testing.T) {
+	app := apps.ImagePreset(apps.Preset{ID: "SS", W: apps.SmallW, H: apps.SmallH, Samples: apps.SlowRate})
+	c, err := core.Compile(app.Graph, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm, err := mapping.Greedy(c.Graph, c.Analysis, machine.Embedded())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := mapping.Dot(c.Graph, gm)
+	for _, want := range []string{"digraph", "cluster_pe0", "label=\"PE0\"", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("clustered dot missing %q", want)
+		}
+	}
+	// Every PE with kernels appears as a cluster.
+	if got := strings.Count(dot, "subgraph cluster_pe"); got != gm.NumPEs {
+		t.Errorf("clusters = %d, want %d", got, gm.NumPEs)
+	}
+}

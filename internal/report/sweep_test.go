@@ -1,0 +1,44 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"blockpar/internal/apps"
+	"blockpar/internal/machine"
+)
+
+// TestRateSweepMonotonic verifies the §VI tradeoff curve: the minimum
+// provisioning never shrinks as the hard real-time rate grows, and
+// every point keeps real time.
+func TestRateSweepMonotonic(t *testing.T) {
+	rates := []int64{100_000, apps.SlowRate, 800_000, apps.FastRate}
+	points, err := RateSweep(machine.Embedded(), rates, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(rates) {
+		t.Fatalf("points = %d", len(points))
+	}
+	for i, p := range points {
+		if !p.RealTimeMet {
+			t.Errorf("rate %d missed real time", p.Samples)
+		}
+		if i > 0 {
+			prev := points[i-1]
+			if p.PEsGreedy < prev.PEsGreedy || p.PEsOneToOne < prev.PEsOneToOne {
+				t.Errorf("provisioning shrank from %d to %d samples/s: %d->%d PEs",
+					prev.Samples, p.Samples, prev.PEsGreedy, p.PEsGreedy)
+			}
+		}
+	}
+	// The curve must actually grow across the sweep.
+	if points[len(points)-1].PEsGreedy <= points[0].PEsGreedy {
+		t.Errorf("PE curve flat: %d..%d", points[0].PEsGreedy, points[len(points)-1].PEsGreedy)
+	}
+	out := RenderRateSweep(points)
+	if !strings.Contains(out, "samples/s") || !strings.Contains(out, "#") {
+		t.Errorf("render malformed:\n%s", out)
+	}
+	t.Logf("\n%s", out)
+}

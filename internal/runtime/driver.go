@@ -1,0 +1,380 @@
+package runtime
+
+import (
+	"fmt"
+
+	"blockpar/internal/frame"
+	"blockpar/internal/graph"
+	"blockpar/internal/token"
+)
+
+// driver runs an Invoker kernel with the generic method-trigger rules
+// described in the package comment.
+type driver struct {
+	ex   *executor
+	node *graph.Node
+	inv  graph.Invoker
+
+	queues map[string][]graph.Item
+
+	// Configuration methods (all triggers on replicated inputs) are
+	// frame-synchronized: each fires exactly once per frame, before
+	// the frame's data methods. frameIdx counts end-of-frame tokens
+	// consumed from non-replicated inputs; configFired counts firings
+	// per config method. A config method is ready only while
+	// configFired == frameIdx, and data methods wait until every
+	// config method has fired for the current frame. This makes
+	// coefficient/bin reloads deterministic: the frame-f configuration
+	// applies to frame f exactly.
+	frameIdx    int64
+	configFired map[*graph.Method]int64
+
+	// configMethods fire with priority; dataMethods wait for config.
+	configMethods []*graph.Method
+	otherMethods  []*graph.Method
+
+	// feedbackFed marks inputs fed directly by a feedback kernel, and
+	// loopOutputs outputs that feed one. Control tokens cannot travel
+	// around a feedback loop (the loop's first token would have to
+	// produce itself), so loop inputs are excluded from token-forward
+	// groups and loop outputs never receive forwarded tokens (§III-D).
+	feedbackFed map[string]bool
+	loopOutputs map[string]bool
+}
+
+func newDriver(ex *executor, n *graph.Node, inv graph.Invoker) *driver {
+	d := &driver{
+		ex:          ex,
+		node:        n,
+		inv:         inv,
+		queues:      make(map[string][]graph.Item),
+		configFired: make(map[*graph.Method]int64),
+		feedbackFed: make(map[string]bool),
+		loopOutputs: make(map[string]bool),
+	}
+	for _, m := range n.Methods() {
+		if isConfigMethod(n, m) {
+			d.configMethods = append(d.configMethods, m)
+		} else {
+			d.otherMethods = append(d.otherMethods, m)
+		}
+	}
+	for _, p := range n.Inputs() {
+		if e := ex.g.EdgeTo(p); e != nil && e.From.Node().Kind == graph.KindFeedback {
+			d.feedbackFed[p.Name] = true
+		}
+	}
+	for _, p := range n.Outputs() {
+		for _, e := range ex.g.EdgesFrom(p) {
+			if e.To.Node().Kind == graph.KindFeedback {
+				d.loopOutputs[p.Name] = true
+			}
+		}
+	}
+	return d
+}
+
+// isConfigMethod reports whether every trigger of m is on a replicated
+// input: such methods load configuration (coefficients, bin edges) and
+// run before data methods.
+func isConfigMethod(n *graph.Node, m *graph.Method) bool {
+	if len(m.Triggers) == 0 {
+		return false
+	}
+	for _, t := range m.Triggers {
+		p := n.Input(t.Input)
+		if p == nil || !p.Replicated {
+			return false
+		}
+	}
+	return true
+}
+
+// configReady reports whether every config method has fired for the
+// current frame, unblocking the frame's data methods.
+func (d *driver) configReady() bool {
+	for _, m := range d.configMethods {
+		if d.configFired[m] <= d.frameIdx {
+			return false
+		}
+	}
+	return true
+}
+
+func (d *driver) loop() error {
+	for {
+		for {
+			fired, err := d.tryFire()
+			if err != nil {
+				return err
+			}
+			if !fired {
+				break
+			}
+		}
+		msg, ok := d.ex.recv(d.node)
+		if !ok {
+			// Inputs exhausted: fire whatever remains, then stop.
+			for {
+				fired, err := d.tryFire()
+				if err != nil {
+					return err
+				}
+				if !fired {
+					return nil
+				}
+			}
+		}
+		d.queues[msg.input] = append(d.queues[msg.input], msg.item)
+	}
+}
+
+func (d *driver) head(input string) (graph.Item, bool) {
+	q := d.queues[input]
+	if len(q) == 0 {
+		return graph.Item{}, false
+	}
+	return q[0], true
+}
+
+func (d *driver) pop(input string) graph.Item {
+	q := d.queues[input]
+	it := q[0]
+	d.queues[input] = q[1:]
+	return it
+}
+
+// tryFire attempts, in priority order: configuration methods,
+// token-triggered and data methods, then unhandled-token forwarding.
+// It reports whether anything consumed input.
+func (d *driver) tryFire() (bool, error) {
+	for _, m := range d.configMethods {
+		if d.configFired[m] == d.frameIdx && d.methodReady(m) {
+			d.configFired[m]++
+			return true, d.fire(m)
+		}
+	}
+	ready := d.configReady()
+	for _, m := range d.otherMethods {
+		if !d.methodReady(m) {
+			continue
+		}
+		if isDataMethod(m) && !ready {
+			continue
+		}
+		return true, d.fire(m)
+	}
+	if d.forwardUnhandledToken() {
+		return true, nil
+	}
+	return false, nil
+}
+
+func isDataMethod(m *graph.Method) bool {
+	return len(m.DataTriggers()) > 0
+}
+
+// methodReady reports whether every trigger input's queue head matches.
+func (d *driver) methodReady(m *graph.Method) bool {
+	for _, t := range m.Triggers {
+		it, ok := d.head(t.Input)
+		if !ok {
+			return false
+		}
+		if t.IsData() {
+			if it.IsToken {
+				return false
+			}
+		} else {
+			if !it.IsToken || !it.Tok.Matches(t.Token, t.TokenName) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// fire consumes the trigger heads, invokes the method, and forwards any
+// consumed control tokens to the method's outputs so frame structure
+// follows the results downstream (e.g. the end-of-frame token follows
+// the histogram's final counts to the merge kernel).
+func (d *driver) fire(m *graph.Method) error {
+	ctx := &invokeCtx{ex: d.ex, node: d.node, inputs: make(map[string]graph.Item)}
+	var tokens []token.Token
+	bumpFrame := false
+	for _, t := range m.Triggers {
+		it := d.pop(t.Input)
+		ctx.inputs[t.Input] = it
+		if it.IsToken {
+			tokens = append(tokens, it.Tok)
+			if it.Tok.Kind == token.EndOfFrame {
+				if p := d.node.Input(t.Input); p != nil && !p.Replicated {
+					bumpFrame = true
+				}
+			}
+		}
+	}
+	if bumpFrame {
+		d.frameIdx++
+	}
+	d.ex.recordFiring(d.node.Name(), m.Name)
+	if err := d.inv.Invoke(m.Name, ctx); err != nil {
+		return err
+	}
+	for _, tok := range dedupeTokens(tokens) {
+		for _, out := range m.Outputs {
+			d.ex.send(d.node.Output(out), graph.TokenItem(tok))
+		}
+		for _, out := range m.ForwardOnly {
+			d.ex.send(d.node.Output(out), graph.TokenItem(tok))
+		}
+	}
+	return nil
+}
+
+func dedupeTokens(ts []token.Token) []token.Token {
+	var out []token.Token
+	for _, t := range ts {
+		dup := false
+		for _, o := range out {
+			if o == t {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// forwardUnhandledToken handles control tokens no method consumes
+// (paper §II-C): the token is forwarded to the outputs of the methods
+// data-triggered by that input, once the same token heads every data
+// input of those methods ("in the case where two inputs trigger the
+// same method, the same control token must arrive on both inputs for
+// it to be passed to the output"). Tokens on inputs whose methods have
+// no outputs are absorbed.
+func (d *driver) forwardUnhandledToken() bool {
+	for _, p := range d.node.Inputs() {
+		it, ok := d.head(p.Name)
+		if !ok || !it.IsToken {
+			continue
+		}
+		// A token-triggered method will consume it; leave it alone.
+		if d.node.MethodForTrigger(p.Name, it.Tok.Kind, it.Tok.Name) != nil {
+			continue
+		}
+		// Tokens arriving through a feedback loop have no defined
+		// forwarding position; absorb them.
+		if d.feedbackFed[p.Name] {
+			d.pop(p.Name)
+			return true
+		}
+		// Gather the forwarding group: every data input of every
+		// method that is data-triggered by p. Feedback-fed inputs are
+		// excluded — their tokens would have to travel around the loop.
+		group := map[string]bool{p.Name: true}
+		outputs := map[string]bool{}
+		for _, m := range d.node.Methods() {
+			if !methodDataTriggered(m, p.Name) {
+				continue
+			}
+			for _, t := range m.DataTriggers() {
+				if !d.feedbackFed[t.Input] {
+					group[t.Input] = true
+				}
+			}
+			for _, o := range m.Outputs {
+				if !d.loopOutputs[o] {
+					outputs[o] = true
+				}
+			}
+		}
+		// The same token must head every input of the group.
+		all := true
+		for in := range group {
+			h, ok := d.head(in)
+			if !ok || !h.IsToken || h.Tok != it.Tok {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		bumpFrame := false
+		for in := range group {
+			d.pop(in)
+			if it.Tok.Kind == token.EndOfFrame {
+				if p := d.node.Input(in); p != nil && !p.Replicated {
+					bumpFrame = true
+				}
+			}
+		}
+		if bumpFrame {
+			d.frameIdx++
+		}
+		for _, out := range d.node.Outputs() {
+			if outputs[out.Name] {
+				d.ex.send(out, graph.TokenItem(it.Tok))
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func methodDataTriggered(m *graph.Method, input string) bool {
+	for _, t := range m.DataTriggers() {
+		if t.Input == input {
+			return true
+		}
+	}
+	return false
+}
+
+// invokeCtx implements graph.ExecContext for one method invocation.
+type invokeCtx struct {
+	ex     *executor
+	node   *graph.Node
+	inputs map[string]graph.Item
+}
+
+func (c *invokeCtx) Input(name string) frame.Window {
+	it, ok := c.inputs[name]
+	if !ok {
+		panic(fmt.Sprintf("runtime: method on %q read input %q it was not triggered by",
+			c.node.Name(), name))
+	}
+	if it.IsToken {
+		panic(fmt.Sprintf("runtime: method on %q read data from token-triggered input %q",
+			c.node.Name(), name))
+	}
+	return it.Win
+}
+
+func (c *invokeCtx) Token(name string) token.Token {
+	it, ok := c.inputs[name]
+	if !ok || !it.IsToken {
+		return token.Token{}
+	}
+	return it.Tok
+}
+
+func (c *invokeCtx) Emit(output string, w frame.Window) {
+	p := c.node.Output(output)
+	if p == nil {
+		panic(fmt.Sprintf("runtime: node %q has no output %q", c.node.Name(), output))
+	}
+	c.ex.send(p, graph.DataItem(w))
+}
+
+func (c *invokeCtx) EmitToken(output string, t token.Token) {
+	p := c.node.Output(output)
+	if p == nil {
+		panic(fmt.Sprintf("runtime: node %q has no output %q", c.node.Name(), output))
+	}
+	c.ex.send(p, graph.TokenItem(t))
+}

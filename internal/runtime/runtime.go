@@ -1,0 +1,424 @@
+// Package runtime executes block-parallel application graphs
+// functionally: one goroutine per kernel instance, channels as the
+// stream FIFOs, control tokens in-band. It is the semantic reference
+// for the system — every compiler transformation is verified by running
+// the transformed graph here and comparing with the untransformed
+// golden output (DESIGN.md §5).
+//
+// Two execution styles exist, mirroring graph.Behavior:
+//
+//   - Invoker kernels are driven by the generic method-trigger loop:
+//     a method fires when every trigger input's queue head matches
+//     (data for data triggers, the right token for token triggers).
+//     Unhandled control tokens are forwarded in order to the outputs of
+//     the methods fed by that input, once the token has arrived on all
+//     of those methods' data inputs (paper §II-C).
+//   - Runner kernels (buffers, splits, joins, insets, pads, feedback)
+//     drive their own stream FSM.
+//
+// Replicated inputs act as a configuration barrier: a kernel's data
+// methods do not fire until every replicated input has delivered at
+// least one item, making coefficient/bin loading deterministic.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"blockpar/internal/frame"
+	"blockpar/internal/graph"
+	"blockpar/internal/token"
+)
+
+// Options configures a functional run.
+type Options struct {
+	// Frames is how many input frames to generate (default 1).
+	Frames int
+	// Timeout aborts the run if the outputs have not completed within
+	// this wall-clock duration — a watchdog against misbehaving custom
+	// kernels deadlocking the pipeline. Zero means no watchdog.
+	Timeout time.Duration
+	// ChannelCap overrides the per-node inbox capacity. Zero means
+	// automatic: generous enough to absorb the pipeline skew of
+	// windowed diamonds (several input rows).
+	ChannelCap int
+	// Sources maps application input node names to frame generators.
+	// Inputs without an entry produce frame.Gradient frames.
+	Sources map[string]frame.Generator
+}
+
+// Result holds everything the application outputs produced.
+type Result struct {
+	// Outputs maps output node name to the full item stream received,
+	// tokens included, in arrival order.
+	Outputs map[string][]graph.Item
+	// Firings counts method invocations per kernel (generic Invoker
+	// kernels only; FSM runners drive their own loops). Used to
+	// cross-check the data-flow analysis' predicted iteration counts
+	// against actual execution.
+	Firings map[string]map[string]int64
+}
+
+// DataWindows returns just the data windows received by the named
+// output, in order.
+func (r *Result) DataWindows(output string) []frame.Window {
+	var out []frame.Window
+	for _, it := range r.Outputs[output] {
+		if !it.IsToken {
+			out = append(out, it.Win)
+		}
+	}
+	return out
+}
+
+// FrameSlices splits the named output's data windows into per-frame
+// groups using the end-of-frame tokens.
+func (r *Result) FrameSlices(output string) [][]frame.Window {
+	var frames [][]frame.Window
+	var cur []frame.Window
+	for _, it := range r.Outputs[output] {
+		if it.IsToken {
+			if it.Tok.Kind == token.EndOfFrame {
+				frames = append(frames, cur)
+				cur = nil
+			}
+			continue
+		}
+		cur = append(cur, it.Win)
+	}
+	if len(cur) > 0 {
+		frames = append(frames, cur)
+	}
+	return frames
+}
+
+// inMsg is one delivery into a node's inbox.
+type inMsg struct {
+	input string
+	item  graph.Item
+}
+
+// executor wires the graph into channels and goroutines.
+type executor struct {
+	g    *graph.Graph
+	opts Options
+
+	inboxes map[*graph.Node]chan inMsg
+	// producersLeft counts open producers per consumer node; the inbox
+	// closes when it reaches zero.
+	mu            sync.Mutex
+	producersLeft map[*graph.Node]int
+
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	errMu sync.Mutex
+	err   error
+
+	fireMu  sync.Mutex
+	firings map[string]map[string]int64
+
+	// output collection
+	outMu   sync.Mutex
+	outputs map[string][]graph.Item
+	// eofSeen tracks per-output EOF counts for termination.
+	eofSeen map[string]int
+
+	wg sync.WaitGroup
+}
+
+// Run executes the graph for opts.Frames frames and returns the
+// collected outputs. The graph must Validate cleanly.
+func Run(g *graph.Graph, opts Options) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("runtime: invalid graph: %w", err)
+	}
+	if opts.Frames <= 0 {
+		opts.Frames = 1
+	}
+	if opts.ChannelCap <= 0 {
+		maxW := 64
+		for _, in := range g.Inputs() {
+			if in.FrameSize.W > maxW {
+				maxW = in.FrameSize.W
+			}
+		}
+		opts.ChannelCap = 16 * maxW
+	}
+
+	ex := &executor{
+		g:             g,
+		opts:          opts,
+		inboxes:       make(map[*graph.Node]chan inMsg),
+		producersLeft: make(map[*graph.Node]int),
+		stop:          make(chan struct{}),
+		outputs:       make(map[string][]graph.Item),
+		eofSeen:       make(map[string]int),
+		firings:       make(map[string]map[string]int64),
+	}
+	for _, n := range g.Nodes() {
+		if n.Kind == graph.KindInput {
+			continue
+		}
+		ex.inboxes[n] = make(chan inMsg, opts.ChannelCap)
+		producers := make(map[*graph.Node]bool)
+		for _, e := range g.InEdges(n) {
+			producers[e.From.Node()] = true
+		}
+		ex.producersLeft[n] = len(producers)
+	}
+
+	for _, n := range g.Nodes() {
+		n := n
+		ex.wg.Add(1)
+		go func() {
+			defer ex.wg.Done()
+			if err := ex.runNode(n); err != nil && err != graph.ErrHalt {
+				ex.fail(fmt.Errorf("node %q: %w", n.Name(), err))
+			}
+			// This node will produce nothing more: release consumers.
+			for _, consumer := range ex.downstreamConsumers(n) {
+				ex.producerDone(consumer)
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		ex.wg.Wait()
+		close(done)
+	}()
+	if opts.Timeout > 0 {
+		select {
+		case <-done:
+		case <-time.After(opts.Timeout):
+			ex.fail(fmt.Errorf("runtime: watchdog: outputs incomplete after %v", opts.Timeout))
+			// Give unblocked goroutines a moment to notice the stop
+			// signal; a kernel stuck outside Recv/Send is leaked.
+			select {
+			case <-done:
+			case <-time.After(time.Second):
+			}
+		}
+	} else {
+		<-done
+	}
+	if ex.err != nil {
+		return nil, ex.err
+	}
+	// The run only succeeded if every output saw its full frame budget
+	// (a kernel that silently swallows its stream must not pass).
+	for _, o := range g.Outputs() {
+		if ex.eofSeen[o.Name()] < opts.Frames {
+			return nil, fmt.Errorf("runtime: output %q completed %d of %d frames",
+				o.Name(), ex.eofSeen[o.Name()], opts.Frames)
+		}
+	}
+	return &Result{Outputs: ex.outputs, Firings: ex.firings}, nil
+}
+
+// recordFiring counts one method invocation for consistency checks.
+func (ex *executor) recordFiring(node, method string) {
+	ex.fireMu.Lock()
+	m := ex.firings[node]
+	if m == nil {
+		m = make(map[string]int64)
+		ex.firings[node] = m
+	}
+	m[method]++
+	ex.fireMu.Unlock()
+}
+
+func (ex *executor) downstreamConsumers(n *graph.Node) []*graph.Node {
+	seen := make(map[*graph.Node]bool)
+	var out []*graph.Node
+	for _, e := range ex.g.OutEdges(n) {
+		c := e.To.Node()
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (ex *executor) fail(err error) {
+	ex.errMu.Lock()
+	if ex.err == nil {
+		ex.err = err
+	}
+	ex.errMu.Unlock()
+	ex.stopAll()
+}
+
+func (ex *executor) stopAll() {
+	ex.stopOnce.Do(func() { close(ex.stop) })
+}
+
+// producerDone decrements the consumer's open-producer count. Each
+// producer node calls it once per distinct consumer; a consumer node
+// may be fed by several edges from the same producer, so the count is
+// by edges collapsed to distinct producers at wiring time — instead we
+// count distinct producers here.
+func (ex *executor) producerDone(consumer *graph.Node) {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	ex.producersLeft[consumer]--
+	if ex.producersLeft[consumer] == 0 {
+		close(ex.inboxes[consumer])
+	}
+}
+
+// send delivers an item to every consumer of the given output port.
+// It aborts silently once the run is stopping.
+func (ex *executor) send(from *graph.Port, it graph.Item) {
+	for _, e := range ex.g.EdgesFrom(from) {
+		inbox := ex.inboxes[e.To.Node()]
+		select {
+		case inbox <- inMsg{input: e.To.Name, item: it}:
+		case <-ex.stop:
+			return
+		}
+	}
+}
+
+// recv pulls the next delivery for node n; ok is false when the inbox
+// is closed and drained or the run is stopping.
+func (ex *executor) recv(n *graph.Node) (inMsg, bool) {
+	select {
+	case msg, ok := <-ex.inboxes[n]:
+		return msg, ok
+	case <-ex.stop:
+		// Drain without blocking so producers can finish.
+		select {
+		case msg, ok := <-ex.inboxes[n]:
+			return msg, ok
+		default:
+			return inMsg{}, false
+		}
+	}
+}
+
+func (ex *executor) runNode(n *graph.Node) error {
+	switch n.Kind {
+	case graph.KindInput:
+		return ex.runInput(n)
+	case graph.KindOutput:
+		return ex.runOutput(n)
+	}
+	if r, ok := graph.RunnerBehavior(n); ok {
+		ctx := &runCtx{ex: ex, node: n}
+		return r.Run(ctx)
+	}
+	if n.Behavior == nil {
+		return fmt.Errorf("runtime: node %q has no behavior", n.Name())
+	}
+	inv, ok := n.Behavior.(graph.Invoker)
+	if !ok {
+		return fmt.Errorf("runtime: node %q behavior implements neither Invoker nor Runner", n.Name())
+	}
+	d := newDriver(ex, n, inv)
+	return d.loop()
+}
+
+// runCtx adapts the executor to graph.RunContext for Runner kernels.
+type runCtx struct {
+	ex      *executor
+	node    *graph.Node
+	pending map[string][]graph.Item
+}
+
+func (c *runCtx) Node() *graph.Node { return c.node }
+
+func (c *runCtx) Send(output string, it graph.Item) {
+	p := c.node.Output(output)
+	if p == nil {
+		panic(fmt.Sprintf("runtime: node %q has no output %q", c.node.Name(), output))
+	}
+	c.ex.send(p, it)
+}
+
+func (c *runCtx) Recv(input string) (graph.Item, bool) {
+	if c.pending == nil {
+		c.pending = make(map[string][]graph.Item)
+	}
+	if q := c.pending[input]; len(q) > 0 {
+		it := q[0]
+		c.pending[input] = q[1:]
+		return it, true
+	}
+	for {
+		msg, ok := c.ex.recv(c.node)
+		if !ok {
+			return graph.Item{}, false
+		}
+		if msg.input == input {
+			return msg.item, true
+		}
+		c.pending[msg.input] = append(c.pending[msg.input], msg.item)
+	}
+}
+
+// runInput generates opts.Frames frames of scan-order chunks with
+// end-of-line and end-of-frame tokens (paper §II-C: these two tokens
+// are generated automatically by the data inputs).
+func (ex *executor) runInput(n *graph.Node) error {
+	gen := ex.opts.Sources[n.Name()]
+	if gen == nil {
+		gen = frame.Gradient
+	}
+	out := n.Output("out")
+	chunk := out.Size
+	fs := n.FrameSize
+	if fs.W%chunk.W != 0 || fs.H%chunk.H != 0 {
+		return fmt.Errorf("runtime: input %q frame %v not divisible by chunk %v", n.Name(), fs, chunk)
+	}
+	for f := 0; f < ex.opts.Frames; f++ {
+		select {
+		case <-ex.stop:
+			return nil
+		default:
+		}
+		img := gen(int64(f), fs.W, fs.H)
+		row := int64(f) * int64(fs.H/chunk.H)
+		for y := 0; y+chunk.H <= fs.H; y += chunk.H {
+			for x := 0; x+chunk.W <= fs.W; x += chunk.W {
+				ex.send(out, graph.DataItem(img.Sub(x, y, chunk.W, chunk.H)))
+			}
+			ex.send(out, graph.TokenItem(token.EOL(row)))
+			row++
+		}
+		ex.send(out, graph.TokenItem(token.EOF(int64(f))))
+	}
+	return nil
+}
+
+// runOutput collects the stream and stops the run once every output
+// has seen the full frame budget.
+func (ex *executor) runOutput(n *graph.Node) error {
+	for {
+		msg, ok := ex.recv(n)
+		if !ok {
+			return nil
+		}
+		ex.outMu.Lock()
+		ex.outputs[n.Name()] = append(ex.outputs[n.Name()], msg.item)
+		if msg.item.IsToken && msg.item.Tok.Kind == token.EndOfFrame {
+			ex.eofSeen[n.Name()]++
+			done := true
+			for _, o := range ex.g.Outputs() {
+				if ex.eofSeen[o.Name()] < ex.opts.Frames {
+					done = false
+					break
+				}
+			}
+			if done {
+				ex.outMu.Unlock()
+				ex.stopAll()
+				return nil
+			}
+		}
+		ex.outMu.Unlock()
+	}
+}

@@ -1,0 +1,166 @@
+package runtime
+
+import (
+	"fmt"
+	"testing"
+
+	"blockpar/internal/frame"
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+	"blockpar/internal/token"
+)
+
+// markerBehavior emits its input and, every markEvery samples, a custom
+// "scene-cut" token after it (paper §II-C: kernels may define their own
+// control tokens with a declared maximum rate).
+type markerBehavior struct {
+	markEvery int
+	count     int
+}
+
+func (b *markerBehavior) Clone() graph.Behavior { return &markerBehavior{markEvery: b.markEvery} }
+
+func (b *markerBehavior) Invoke(method string, ctx graph.ExecContext) error {
+	if method != "mark" {
+		return fmt.Errorf("marker has no method %q", method)
+	}
+	ctx.Emit("out", ctx.Input("in"))
+	b.count++
+	if b.count%b.markEvery == 0 {
+		ctx.EmitToken("out", token.NewCustom("scene-cut", int64(b.count/b.markEvery-1)))
+	}
+	return nil
+}
+
+// cutCounterBehavior counts data and scene-cut tokens; on end-of-frame
+// it emits (data, cuts).
+type cutCounterBehavior struct {
+	data, cuts float64
+}
+
+func (b *cutCounterBehavior) Clone() graph.Behavior { return &cutCounterBehavior{} }
+
+func (b *cutCounterBehavior) Invoke(method string, ctx graph.ExecContext) error {
+	switch method {
+	case "onData":
+		b.data++
+	case "onCut":
+		b.cuts++
+	case "finish":
+		out := frame.NewWindow(2, 1)
+		out.Set(0, 0, b.data)
+		out.Set(1, 0, b.cuts)
+		b.data, b.cuts = 0, 0
+		ctx.Emit("out", out)
+	default:
+		return fmt.Errorf("cut counter has no method %q", method)
+	}
+	return nil
+}
+
+func buildMarker(markEvery int) *graph.Node {
+	n := graph.NewNode("Marker", graph.KindKernel)
+	n.CreateInput("in", geom.Sz(1, 1), geom.St(1, 1), geom.Off(0, 0))
+	n.CreateOutput("out", geom.Sz(1, 1), geom.St(1, 1))
+	n.RegisterMethod("mark", 6, 1)
+	n.RegisterMethodInput("mark", "in")
+	n.RegisterMethodOutput("mark", "out")
+	// Declare the custom token's maximum per-frame rate (§II-C).
+	n.TokenRates = map[string]geom.Frac{"scene-cut": geom.FInt(8)}
+	n.Behavior = &markerBehavior{markEvery: markEvery}
+	return n
+}
+
+func buildCutCounter() *graph.Node {
+	n := graph.NewNode("CutCounter", graph.KindKernel)
+	n.CreateInput("in", geom.Sz(1, 1), geom.St(1, 1), geom.Off(0, 0))
+	n.CreateOutput("out", geom.Sz(2, 1), geom.St(2, 1))
+	n.RegisterMethod("onData", 4, 2)
+	n.RegisterMethodInput("onData", "in")
+	n.RegisterMethod("onCut", 4, 2)
+	n.RegisterMethodInputToken("onCut", "in", token.Custom, "scene-cut")
+	n.RegisterMethod("finish", 8, 2)
+	n.RegisterMethodInputToken("finish", "in", token.EndOfFrame, "")
+	n.RegisterMethodOutput("finish", "out")
+	n.Behavior = &cutCounterBehavior{}
+	return n
+}
+
+// TestCustomTokensEndToEnd runs a custom control token through a
+// pipeline: the marker injects "scene-cut" tokens in-band; a gain
+// kernel in between has no handler and must forward them in order; the
+// counter consumes them with a Custom-token method.
+func TestCustomTokensEndToEnd(t *testing.T) {
+	const W, H, markEvery = 8, 4, 5
+	g := graph.New("custom-tokens")
+	in := g.AddInput("Input", geom.Sz(W, H), geom.Sz(1, 1), geom.FInt(10))
+	marker := g.Add(buildMarker(markEvery))
+	mid := g.Add(makeSourceKernel("Mid"))
+	counter := g.Add(buildCutCounter())
+	out := g.AddOutput("Output", geom.Sz(2, 1))
+	g.Connect(in, "out", marker, "in")
+	g.Connect(marker, "out", mid, "in")
+	g.Connect(mid, "out", counter, "in")
+	g.Connect(counter, "out", out, "in")
+
+	res, err := Run(g, Options{Frames: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := res.FrameSlices("Output")
+	if len(frames) != 3 {
+		t.Fatalf("frames = %d", len(frames))
+	}
+	for f, ws := range frames {
+		if len(ws) != 1 {
+			t.Fatalf("frame %d outputs = %d", f, len(ws))
+		}
+		data, cuts := ws[0].At(0, 0), ws[0].At(1, 0)
+		if data != W*H {
+			t.Errorf("frame %d data count = %v, want %d", f, data, W*H)
+		}
+		// 32 samples per frame, marker counts persist across frames:
+		// cuts per frame = floor count in that frame's range.
+		if cuts < 6 || cuts > 7 {
+			t.Errorf("frame %d cuts = %v, want 6-7 (32 samples / every 5)", f, cuts)
+		}
+	}
+}
+
+// makeSourceKernel is a pass-through kernel with no token handlers, so
+// all tokens (EOL, EOF, and custom) forward through it automatically.
+func makeSourceKernel(name string) *graph.Node {
+	n := graph.NewNode(name, graph.KindKernel)
+	n.CreateInput("in", geom.Sz(1, 1), geom.St(1, 1), geom.Off(0, 0))
+	n.CreateOutput("out", geom.Sz(1, 1), geom.St(1, 1))
+	n.RegisterMethod("pass", 2, 0)
+	n.RegisterMethodInput("pass", "in")
+	n.RegisterMethodOutput("pass", "out")
+	n.Behavior = passBehavior{}
+	return n
+}
+
+type passBehavior struct{}
+
+func (passBehavior) Clone() graph.Behavior { return passBehavior{} }
+
+func (passBehavior) Invoke(method string, ctx graph.ExecContext) error {
+	ctx.Emit("out", ctx.Input("in"))
+	return nil
+}
+
+// TestCustomTokenValidationRequiresRate re-checks §II-C's requirement
+// at the graph level from the runtime's perspective: an undeclared
+// custom token fails validation before the run starts.
+func TestCustomTokenValidationRequiresRate(t *testing.T) {
+	g := graph.New("undeclared")
+	in := g.AddInput("Input", geom.Sz(4, 1), geom.Sz(1, 1), geom.FInt(10))
+	counter := g.Add(buildCutCounter())
+	out := g.AddOutput("Output", geom.Sz(2, 1))
+	g.Connect(in, "out", counter, "in")
+	g.Connect(counter, "out", out, "in")
+	// No node declares "scene-cut" here.
+	if _, err := Run(g, Options{Frames: 1}); err == nil {
+		t.Fatal("undeclared custom token accepted")
+	}
+}

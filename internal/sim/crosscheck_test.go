@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"testing"
+
+	"blockpar/internal/apps"
+	"blockpar/internal/core"
+	"blockpar/internal/machine"
+	"blockpar/internal/mapping"
+	"blockpar/internal/runtime"
+	"blockpar/internal/token"
+)
+
+// TestSimMatchesRuntimeStreamStructure is the engine-consistency
+// property: for every compiled suite benchmark, the value-free timing
+// simulation and the value-carrying functional runtime must deliver
+// exactly the same number of data items, end-of-line, and end-of-frame
+// tokens at every application output. A divergence means one engine's
+// firing rules drifted from the other's.
+func TestSimMatchesRuntimeStreamStructure(t *testing.T) {
+	const frames = 2
+	for _, b := range apps.Figure13Suite() {
+		b := b
+		t.Run(b.ID, func(t *testing.T) {
+			c, err := core.Compile(b.App.Graph, core.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			simRes, err := Simulate(c.Graph, mapping.OneToOne(c.Graph),
+				Options{Machine: machine.Embedded(), Frames: frames})
+			if err != nil {
+				t.Fatal(err)
+			}
+			runRes, err := runtime.Run(c.Graph, runtime.Options{Frames: frames, Sources: b.App.Sources})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, out := range c.Graph.Outputs() {
+				var rt OutputCount
+				for _, it := range runRes.Outputs[out.Name()] {
+					switch {
+					case !it.IsToken:
+						rt.Data++
+					case it.Tok.Kind == token.EndOfLine:
+						rt.EOL++
+					case it.Tok.Kind == token.EndOfFrame:
+						rt.EOF++
+					}
+				}
+				sm := simRes.OutputCounts[out.Name()]
+				if sm != rt {
+					t.Errorf("%s output %q: sim %+v vs runtime %+v",
+						b.ID, out.Name(), sm, rt)
+				}
+			}
+		})
+	}
+}
+
+// TestSimMatchesRuntimeSharedBufferVariant repeats the cross-check for
+// the Figure 9(a) structure, which exercises the round-robin split and
+// join automata on whole-window streams.
+func TestSimMatchesRuntimeSharedBufferVariant(t *testing.T) {
+	app := apps.ImagePreset(apps.Preset{ID: "SF", W: apps.SmallW, H: apps.SmallH, Samples: apps.FastRate})
+	cfg := core.DefaultConfig()
+	cfg.BufferStriping = false
+	c, err := core.Compile(app.Graph, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRes, err := Simulate(c.Graph, mapping.OneToOne(c.Graph),
+		Options{Machine: machine.Embedded(), Frames: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !simRes.RealTimeMet() {
+		t.Error("shared-buffer variant missed real time")
+	}
+	runRes, err := runtime.Run(c.Graph, runtime.Options{Frames: 2, Sources: app.Sources})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rt OutputCount
+	for _, it := range runRes.Outputs["result"] {
+		switch {
+		case !it.IsToken:
+			rt.Data++
+		case it.Tok.Kind == token.EndOfLine:
+			rt.EOL++
+		case it.Tok.Kind == token.EndOfFrame:
+			rt.EOF++
+		}
+	}
+	if sm := simRes.OutputCounts["result"]; sm != rt {
+		t.Errorf("sim %+v vs runtime %+v", sm, rt)
+	}
+}
+
+// TestBinPackMappingMeetsRealTime checks the locality-blind bin-packed
+// mapping (the §V ablation) still honors capacity: the packed
+// application keeps real time in simulation.
+func TestBinPackMappingMeetsRealTime(t *testing.T) {
+	app := apps.ImagePreset(apps.Preset{ID: "SF", W: apps.SmallW, H: apps.SmallH, Samples: apps.FastRate})
+	c, err := core.Compile(app.Graph, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := mapping.BinPack(c.Graph, c.Analysis, machine.Embedded())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(c.Graph, bp, Options{Machine: machine.Embedded(), Frames: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.RealTimeMet() {
+		t.Errorf("bin-packed mapping missed real time: %d stalls", res.InputStalls)
+	}
+}

@@ -1,0 +1,709 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"blockpar/internal/graph"
+	"blockpar/internal/machine"
+	"blockpar/internal/mapping"
+	"blockpar/internal/token"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	Machine machine.Machine
+	// Frames is how many input frames to simulate (default 2).
+	Frames int
+	// QueueCap bounds each input port's FIFO. Zero selects an
+	// analysis-free default generous enough for the pipeline skew of
+	// windowed diamonds (a few input rows).
+	QueueCap int
+	// MaxEvents aborts runaway simulations (default 50M).
+	MaxEvents int64
+	// TraceLimit, when positive, records up to that many firings into
+	// Result.Trace for inspection (CSV export, Gantt rendering).
+	TraceLimit int
+	// WarmupFrames excludes the first N frames from the utilization
+	// statistics, measuring steady state only. Latencies and output
+	// counts still cover the whole run.
+	WarmupFrames int
+}
+
+// PEStats aggregates one PE's busy time, split the way Figure 13
+// reports it.
+type PEStats struct {
+	Run, Read, Write float64 // seconds busy
+	Firings          int64
+}
+
+// Busy returns total busy seconds.
+func (s PEStats) Busy() float64 { return s.Run + s.Read + s.Write }
+
+// Result is the outcome of a simulation.
+type Result struct {
+	// Time is the simulated makespan in seconds.
+	Time float64
+	PEs  []PEStats
+	// FramesOut counts frames delivered at every output.
+	FramesOut int
+	// InputStalls counts samples that could not be accepted on time;
+	// StallTime is their cumulative lateness in seconds.
+	InputStalls int64
+	StallTime   float64
+	// Throughput is output frames per second.
+	Throughput float64
+	// Exceptions counts runtime resource exceptions per kernel:
+	// dynamic-method invocations whose actual cost exceeded their
+	// declared bound and were truncated (§VII extension).
+	Exceptions map[string]int64
+	// Nodes aggregates busy time per kernel (across its PE's share),
+	// for identifying which kernels dominate a mapping.
+	Nodes map[string]PEStats
+	// Latencies records, per output node, each frame's completion
+	// latency: the time between the frame's first input sample being
+	// due and its end-of-frame token reaching the output. The paper
+	// notes communication delay "will only increase the latency for
+	// the first output, but will not impact the throughput" — this is
+	// the quantity it refers to.
+	Latencies map[string][]float64
+	// OutputCounts tallies the items each output received, used to
+	// cross-check the timing simulation against the functional runtime
+	// (both engines must agree on stream structure exactly).
+	OutputCounts map[string]OutputCount
+	// Trace holds the recorded firings when Options.TraceLimit > 0.
+	Trace *Trace
+	// MeasuredFrom is the simulated time utilization statistics start
+	// (0 unless WarmupFrames was set).
+	MeasuredFrom float64
+}
+
+// OutputCount is the item tally of one application output.
+type OutputCount struct {
+	Data, EOL, EOF int64
+}
+
+// MaxLatency returns the worst frame latency across outputs.
+func (r *Result) MaxLatency() float64 {
+	var max float64
+	for _, ls := range r.Latencies {
+		for _, l := range ls {
+			if l > max {
+				max = l
+			}
+		}
+	}
+	return max
+}
+
+// TotalExceptions sums resource exceptions across kernels.
+func (r *Result) TotalExceptions() int64 {
+	var total int64
+	for _, c := range r.Exceptions {
+		total += c
+	}
+	return total
+}
+
+// RealTimeMet reports whether the inputs were always accepted on time
+// (the paper's criterion: the application keeps up with the input
+// rate).
+func (r *Result) RealTimeMet() bool { return r.InputStalls == 0 }
+
+// measuredSpan is the window utilization statistics cover: the whole
+// run, or the post-warmup steady state when WarmupFrames was set.
+func (r *Result) measuredSpan() float64 { return r.Time - r.MeasuredFrom }
+
+// MeanUtilization returns the mean PE busy fraction over the measured
+// window.
+func (r *Result) MeanUtilization() float64 {
+	span := r.measuredSpan()
+	if len(r.PEs) == 0 || span <= 0 {
+		return 0
+	}
+	var sum float64
+	for _, pe := range r.PEs {
+		sum += pe.Busy() / span
+	}
+	return sum / float64(len(r.PEs))
+}
+
+// Breakdown returns the mean run/read/write utilization fractions
+// across PEs (the Figure 13 stack) over the measured window.
+func (r *Result) Breakdown() (run, read, write float64) {
+	span := r.measuredSpan()
+	if len(r.PEs) == 0 || span <= 0 {
+		return 0, 0, 0
+	}
+	for _, pe := range r.PEs {
+		run += pe.Run / span
+		read += pe.Read / span
+		write += pe.Write / span
+	}
+	n := float64(len(r.PEs))
+	return run / n, read / n, write / n
+}
+
+// event is a heap entry.
+type event struct {
+	t    float64
+	seq  int64
+	kind int // 0 = input emission, 1 = PE completion
+	idx  int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+type dest struct {
+	node  *graph.Node
+	input string
+}
+
+type nodeState struct {
+	node *graph.Node
+	auto automaton
+	qs   map[string]*queue
+	// outs maps output port name to destinations.
+	outs map[string][]dest
+	pe   int
+}
+
+type peState struct {
+	kernels []*nodeState
+	rr      int
+	busy    bool
+	// pending is the firing in flight and its source node.
+	pending     *firing
+	pendingNode *nodeState
+	stats       PEStats
+}
+
+type inputState struct {
+	node *graph.Node
+	// cursor
+	x, y, frame int
+	chunkW      int
+	chunkH      int
+	interval    float64 // seconds per chunk
+	due         float64
+	stalled     bool
+	done        bool
+}
+
+type engine struct {
+	g     *graph.Graph
+	opts  Options
+	nodes map[*graph.Node]*nodeState
+	pes   []*peState
+	ins   []*inputState
+	outs  map[*graph.Node]int // EOFs seen per output
+
+	events eventHeap
+	seq    int64
+	now    float64
+
+	stalls     int64
+	stallTime  float64
+	processed  int64
+	exceptions map[string]int64
+	nodeStats  map[string]*PEStats
+	latencies  map[string][]float64
+	outCounts  map[string]*OutputCount
+	// frameStart is when each frame's first input sample is due (from
+	// the first application input).
+	frameStart []float64
+
+	trace *Trace
+	// measuring turns on statistics accumulation; warmupLeft counts
+	// frames still to complete at the outputs before it flips on.
+	measuring    bool
+	measuredFrom float64
+	warmupLeft   int
+}
+
+// Simulate runs the mapped application for opts.Frames frames.
+func Simulate(g *graph.Graph, assign *mapping.Assignment, opts Options) (*Result, error) {
+	if err := opts.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if opts.Frames <= 0 {
+		opts.Frames = 2
+	}
+	if opts.MaxEvents <= 0 {
+		opts.MaxEvents = 50_000_000
+	}
+	if opts.QueueCap <= 0 {
+		maxW := 64
+		for _, in := range g.Inputs() {
+			if in.FrameSize.W > maxW {
+				maxW = in.FrameSize.W
+			}
+		}
+		opts.QueueCap = 8 * maxW
+	}
+
+	e := &engine{
+		g:          g,
+		opts:       opts,
+		nodes:      make(map[*graph.Node]*nodeState),
+		outs:       make(map[*graph.Node]int),
+		exceptions: make(map[string]int64),
+		nodeStats:  make(map[string]*PEStats),
+		latencies:  make(map[string][]float64),
+		outCounts:  make(map[string]*OutputCount),
+		measuring:  opts.WarmupFrames <= 0,
+		warmupLeft: opts.WarmupFrames,
+	}
+	if opts.TraceLimit > 0 {
+		e.trace = &Trace{}
+	}
+	if opts.WarmupFrames >= opts.Frames {
+		return nil, fmt.Errorf("sim: warmup %d must be below frames %d", opts.WarmupFrames, opts.Frames)
+	}
+	e.pes = make([]*peState, assign.NumPEs)
+	for i := range e.pes {
+		e.pes[i] = &peState{}
+	}
+
+	for _, n := range g.Nodes() {
+		ns := &nodeState{
+			node: n,
+			qs:   make(map[string]*queue),
+			outs: make(map[string][]dest),
+			pe:   -1,
+		}
+		for _, p := range n.Inputs() {
+			ns.qs[p.Name] = &queue{cap: opts.QueueCap}
+		}
+		for _, p := range n.Outputs() {
+			for _, edge := range g.EdgesFrom(p) {
+				ns.outs[p.Name] = append(ns.outs[p.Name],
+					dest{node: edge.To.Node(), input: edge.To.Name})
+			}
+		}
+		e.nodes[n] = ns
+		switch n.Kind {
+		case graph.KindInput:
+			chunk := n.Output("out").Size
+			chunksPerFrame := float64((n.FrameSize.W / chunk.W) * (n.FrameSize.H / chunk.H))
+			ins := &inputState{
+				node: n, chunkW: chunk.W, chunkH: chunk.H,
+				interval: 1 / (n.Rate.Float() * chunksPerFrame),
+			}
+			e.ins = append(e.ins, ins)
+		case graph.KindOutput:
+			e.outs[n] = 0
+		default:
+			auto, err := newAutomaton(n)
+			if err != nil {
+				return nil, err
+			}
+			ns.auto = auto
+			pe, ok := assign.PEOf[n]
+			if !ok {
+				return nil, fmt.Errorf("sim: node %q has no PE assignment", n.Name())
+			}
+			ns.pe = pe
+			e.pes[pe].kernels = append(e.pes[pe].kernels, ns)
+		}
+	}
+	// Frame start times from the first input's schedule, for latency
+	// accounting.
+	if len(e.ins) > 0 {
+		first := e.ins[0]
+		chunksPerFrame := float64((first.node.FrameSize.W / first.chunkW) *
+			(first.node.FrameSize.H / first.chunkH))
+		period := first.interval * chunksPerFrame
+		for f := 0; f < opts.Frames; f++ {
+			e.frameStart = append(e.frameStart, float64(f)*period)
+		}
+	}
+
+	// Keep per-PE kernel order deterministic.
+	for _, pe := range e.pes {
+		sort.Slice(pe.kernels, func(i, j int) bool {
+			return pe.kernels[i].node.Name() < pe.kernels[j].node.Name()
+		})
+	}
+
+	for i := range e.ins {
+		e.push(event{t: 0, kind: 0, idx: i})
+	}
+
+	if err := e.run(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Time:         e.now,
+		FramesOut:    opts.Frames,
+		InputStalls:  e.stalls,
+		StallTime:    e.stallTime,
+		Exceptions:   e.exceptions,
+		Nodes:        make(map[string]PEStats, len(e.nodeStats)),
+		Latencies:    e.latencies,
+		OutputCounts: make(map[string]OutputCount, len(e.outCounts)),
+		Trace:        e.trace,
+		MeasuredFrom: e.measuredFrom,
+	}
+	for name, st := range e.nodeStats {
+		res.Nodes[name] = *st
+	}
+	for name, oc := range e.outCounts {
+		res.OutputCounts[name] = *oc
+	}
+	for _, pe := range e.pes {
+		res.PEs = append(res.PEs, pe.stats)
+	}
+	if e.now > 0 {
+		res.Throughput = float64(opts.Frames) / e.now
+	}
+	return res, nil
+}
+
+func (e *engine) push(ev event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.events, ev)
+}
+
+func (e *engine) done() bool {
+	for _, n := range e.g.Outputs() {
+		if e.outs[n] < e.opts.Frames {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *engine) run() error {
+	heap.Init(&e.events)
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.t
+		e.processed++
+		if e.processed > e.opts.MaxEvents {
+			return fmt.Errorf("sim: exceeded %d events at t=%g", e.opts.MaxEvents, e.now)
+		}
+		switch ev.kind {
+		case 0:
+			e.tryEmit(e.ins[ev.idx])
+		case 1:
+			e.complete(e.pes[ev.idx], ev.idx)
+		}
+		e.sweep()
+		if e.done() {
+			return nil
+		}
+	}
+	if e.done() {
+		return nil
+	}
+	return fmt.Errorf("sim: deadlock at t=%g: outputs saw %v of %d frames\n%s",
+		e.now, e.outFrames(), e.opts.Frames, e.queueDump())
+}
+
+// queueDump renders the non-empty input queues for deadlock diagnosis.
+func (e *engine) queueDump() string {
+	s := "stuck queues:\n"
+	for _, n := range e.g.Nodes() {
+		ns := e.nodes[n]
+		for _, p := range n.Inputs() {
+			q := ns.qs[p.Name]
+			if q.len() == 0 {
+				continue
+			}
+			head, _ := q.head()
+			s += fmt.Sprintf("  %s.%s: %d queued, head %v\n", n.Name(), p.Name, q.len(), head)
+		}
+	}
+	return s
+}
+
+func (e *engine) outFrames() []int {
+	var out []int
+	for _, n := range e.g.Outputs() {
+		out = append(out, e.outs[n])
+	}
+	return out
+}
+
+// sweep drains outputs, retries stalled inputs, and starts work on idle
+// PEs until nothing changes at the current timestamp.
+func (e *engine) sweep() {
+	for {
+		progress := false
+		for _, n := range e.g.Outputs() {
+			if e.drainOutput(n) {
+				progress = true
+			}
+		}
+		for _, in := range e.ins {
+			if in.stalled {
+				if e.tryEmit(in) {
+					progress = true
+				}
+			}
+		}
+		for idx, pe := range e.pes {
+			if !pe.busy && e.startWork(pe, idx) {
+				progress = true
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+func (e *engine) drainOutput(n *graph.Node) bool {
+	ns := e.nodes[n]
+	q := ns.qs["in"]
+	progress := false
+	oc := e.outCounts[n.Name()]
+	if oc == nil {
+		oc = &OutputCount{}
+		e.outCounts[n.Name()] = oc
+	}
+	for q.len() > 0 {
+		it := q.pop()
+		switch {
+		case !it.isTok:
+			oc.Data++
+		case it.tok.Kind == token.EndOfLine:
+			oc.EOL++
+		case it.tok.Kind == token.EndOfFrame:
+			oc.EOF++
+			frameIdx := e.outs[n]
+			e.outs[n]++
+			start := 0.0
+			if frameIdx < len(e.frameStart) {
+				start = e.frameStart[frameIdx]
+			}
+			e.latencies[n.Name()] = append(e.latencies[n.Name()], e.now-start)
+			if !e.measuring {
+				done := true
+				for _, o := range e.g.Outputs() {
+					if e.outs[o] < e.warmupLeft {
+						done = false
+						break
+					}
+				}
+				if done {
+					e.measuring = true
+					e.measuredFrom = e.now
+				}
+			}
+		}
+		progress = true
+	}
+	return progress
+}
+
+// emission is what one input step delivers: the chunk plus any tokens.
+func (in *inputState) emission() []item {
+	chunkWords := int64(in.chunkW) * int64(in.chunkH)
+	items := []item{dataItem(chunkWords)}
+	fs := in.node.FrameSize
+	lastX := in.x+in.chunkW >= fs.W
+	lastY := in.y+in.chunkH >= fs.H
+	if lastX {
+		items = append(items, tokenItem(token.EOL(int64(in.frame*(fs.H/in.chunkH)+in.y/in.chunkH))))
+		if lastY {
+			items = append(items, tokenItem(token.EOF(int64(in.frame))))
+		}
+	}
+	return items
+}
+
+func (in *inputState) advance() {
+	fs := in.node.FrameSize
+	in.x += in.chunkW
+	if in.x+in.chunkW > fs.W {
+		in.x = 0
+		in.y += in.chunkH
+		if in.y+in.chunkH > fs.H {
+			in.y = 0
+			in.frame++
+		}
+	}
+}
+
+// tryEmit delivers the input's due chunk if every fan-out destination
+// has room; otherwise it records the stall and waits for a delivery to
+// retry. Returns whether it emitted.
+func (e *engine) tryEmit(in *inputState) bool {
+	if in.done {
+		return false
+	}
+	ns := e.nodes[in.node]
+	items := in.emission()
+	for _, d := range ns.outs["out"] {
+		dq := e.nodes[d.node].qs[d.input]
+		if dq.space() < len(items) {
+			if !in.stalled {
+				in.stalled = true
+			}
+			return false
+		}
+	}
+	if in.stalled {
+		e.stalls++
+		e.stallTime += e.now - in.due
+		in.stalled = false
+	}
+	for _, d := range ns.outs["out"] {
+		dq := e.nodes[d.node].qs[d.input]
+		for _, it := range items {
+			dq.push(it)
+		}
+	}
+	in.advance()
+	if in.frame >= e.opts.Frames {
+		in.done = true
+		return true
+	}
+	in.due += in.interval
+	next := in.due
+	if next < e.now {
+		next = e.now
+	}
+	e.push(event{t: next, kind: 0, idx: indexOfInput(e.ins, in)})
+	return true
+}
+
+func indexOfInput(ins []*inputState, in *inputState) int {
+	for i, x := range ins {
+		if x == in {
+			return i
+		}
+	}
+	panic("sim: unknown input")
+}
+
+// startWork picks the PE's next runnable kernel round-robin and starts
+// its firing: inputs are consumed and the automaton committed at start;
+// outputs are delivered at completion.
+func (e *engine) startWork(pe *peState, peIdx int) bool {
+	n := len(pe.kernels)
+	for off := 0; off < n; off++ {
+		ns := pe.kernels[(pe.rr+off)%n]
+		f := ns.auto.next(ns.qs)
+		if f == nil {
+			continue
+		}
+		if !e.hasSpace(ns, f) {
+			continue
+		}
+		// Consume inputs and commit state now.
+		for in, cnt := range f.consume {
+			q := ns.qs[in]
+			for i := 0; i < cnt; i++ {
+				q.pop()
+			}
+		}
+		readW := readWordsOf(f)
+		ns.auto.commit(f)
+		if f.exceeded {
+			e.exceptions[ns.node.Name()]++
+		}
+		m := e.opts.Machine.PE
+		dur := float64(readW*m.ReadCost+f.cycles+f.writeWords()*m.WriteCost) / float64(m.CyclesPerSec)
+		pe.busy = true
+		pe.pending = f
+		pe.pendingNode = ns
+		pe.rr = (pe.rr + off + 1) % n
+		if e.measuring {
+			pe.stats.Firings++
+			pe.stats.Read += float64(readW*m.ReadCost) / float64(m.CyclesPerSec)
+			pe.stats.Run += float64(f.cycles) / float64(m.CyclesPerSec)
+			pe.stats.Write += float64(f.writeWords()*m.WriteCost) / float64(m.CyclesPerSec)
+			nst := e.nodeStats[ns.node.Name()]
+			if nst == nil {
+				nst = &PEStats{}
+				e.nodeStats[ns.node.Name()] = nst
+			}
+			nst.Firings++
+			nst.Read += float64(readW*m.ReadCost) / float64(m.CyclesPerSec)
+			nst.Run += float64(f.cycles) / float64(m.CyclesPerSec)
+			nst.Write += float64(f.writeWords()*m.WriteCost) / float64(m.CyclesPerSec)
+		}
+		if e.trace != nil {
+			const traceHardCap = 1 << 22
+			if len(e.trace.Events) < e.opts.TraceLimit && len(e.trace.Events) < traceHardCap {
+				e.trace.Events = append(e.trace.Events, TraceEvent{
+					Start: e.now, Duration: dur, PE: peIdx,
+					Node: ns.node.Name(), Label: f.label,
+				})
+			} else {
+				e.trace.Dropped++
+			}
+		}
+		e.push(event{t: e.now + dur, kind: 1, idx: peIdx})
+		return true
+	}
+	return false
+}
+
+// readWordsOf sums the words a firing consumes. Called after next() but
+// before the queues are popped it could use the queue contents; to keep
+// it simple the firing records only counts, so we approximate token
+// reads as one word and data reads by the consumed queue heads — which
+// startWork captures by summing before popping.
+func readWordsOf(f *firing) int64 {
+	// Set by hasSpace/startWork path via closure below; see note.
+	return f.readWordsCache
+}
+
+func (e *engine) hasSpace(ns *nodeState, f *firing) bool {
+	// Compute read words while heads are still queued.
+	var readW int64
+	for in, cnt := range f.consume {
+		q := ns.qs[in]
+		for i := 0; i < cnt; i++ {
+			readW += q.items[i].words
+		}
+	}
+	f.readWordsCache = readW
+
+	for out, items := range f.produce {
+		for _, d := range ns.outs[out] {
+			dq := e.nodes[d.node].qs[d.input]
+			if dq.space() < len(items) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// complete delivers the finished firing's outputs.
+func (e *engine) complete(pe *peState, peIdx int) {
+	f, ns := pe.pending, pe.pendingNode
+	pe.busy = false
+	pe.pending, pe.pendingNode = nil, nil
+	for out, items := range f.produce {
+		for _, d := range ns.outs[out] {
+			dq := e.nodes[d.node].qs[d.input]
+			for _, it := range items {
+				dq.push(it)
+			}
+		}
+	}
+	_ = peIdx
+}

@@ -1,0 +1,514 @@
+package sim
+
+import (
+	"fmt"
+
+	"blockpar/internal/graph"
+	"blockpar/internal/kernel"
+	"blockpar/internal/token"
+)
+
+// fsmCycles is the per-item cost of the compiler-inserted FSM kernels,
+// matching the kernel library's registration.
+const fsmCycles = 2
+
+// bufferAuto is the count-only twin of the buffer kernel, driven by the
+// same BufferPlan.
+type bufferAuto struct {
+	node *graph.Node
+	plan kernel.BufferPlan
+	x, y int
+
+	pendX, pendY int
+}
+
+func newBufferAuto(n *graph.Node) (*bufferAuto, error) {
+	plan, ok := kernel.BufferPlanOf(n)
+	if !ok {
+		return nil, fmt.Errorf("sim: %q has no buffer plan", n.Name())
+	}
+	return &bufferAuto{node: n, plan: plan}, nil
+}
+
+func (a *bufferAuto) next(qs map[string]*queue) *firing {
+	it, ok := qs["in"].head()
+	if !ok {
+		return nil
+	}
+	a.pendX, a.pendY = a.x, a.y
+	f := &firing{
+		consume: map[string]int{"in": 1},
+		produce: make(map[string][]item),
+		cycles:  fsmCycles,
+	}
+	if it.isTok {
+		switch it.tok.Kind {
+		case token.EndOfLine:
+			f.label = "eol"
+			a.pendX, a.pendY = 0, a.y+1
+		case token.EndOfFrame:
+			f.label = "eof"
+			f.produce["out"] = append(f.produce["out"], tokenItem(it.tok))
+			a.pendX, a.pendY = 0, 0
+		default:
+			f.label = "tok"
+			f.produce["out"] = append(f.produce["out"], it)
+		}
+		return f
+	}
+	f.label = "sample"
+	emit, _, wy, rowEnd := a.plan.OnSample(a.x, a.y)
+	if emit {
+		f.produce["out"] = append(f.produce["out"],
+			dataItem(int64(a.plan.WinW)*int64(a.plan.WinH)))
+		if rowEnd {
+			f.produce["out"] = append(f.produce["out"],
+				tokenItem(token.EOL(int64(wy/a.plan.StepY))))
+		}
+	}
+	a.pendX = a.x + 1
+	return f
+}
+
+func (a *bufferAuto) commit(*firing) { a.x, a.y = a.pendX, a.pendY }
+
+// splitRRAuto distributes data round-robin, broadcasts tokens.
+type splitRRAuto struct {
+	node     *graph.Node
+	n        int
+	next_    int
+	pendNext int
+}
+
+func (a *splitRRAuto) next(qs map[string]*queue) *firing {
+	it, ok := qs["in"].head()
+	if !ok {
+		return nil
+	}
+	f := &firing{
+		consume: map[string]int{"in": 1},
+		produce: make(map[string][]item),
+		cycles:  fsmCycles,
+	}
+	a.pendNext = a.next_
+	if it.isTok {
+		f.label = "broadcast"
+		for i := 0; i < a.n; i++ {
+			out := fmt.Sprintf("out%d", i)
+			f.produce[out] = append(f.produce[out], it)
+		}
+		return f
+	}
+	f.label = "split"
+	out := fmt.Sprintf("out%d", a.next_)
+	f.produce[out] = append(f.produce[out], it)
+	a.pendNext = (a.next_ + 1) % a.n
+	return f
+}
+
+func (a *splitRRAuto) commit(*firing) { a.next_ = a.pendNext }
+
+// joinRRAuto collects data round-robin; a token must head every branch
+// before it forwards once.
+type joinRRAuto struct {
+	node     *graph.Node
+	n        int
+	next_    int
+	pendNext int
+}
+
+func (a *joinRRAuto) next(qs map[string]*queue) *firing {
+	cur := fmt.Sprintf("in%d", a.next_)
+	it, ok := qs[cur].head()
+	if !ok {
+		return nil
+	}
+	a.pendNext = a.next_
+	f := &firing{
+		consume: map[string]int{},
+		produce: make(map[string][]item),
+		cycles:  fsmCycles,
+	}
+	if !it.isTok {
+		f.label = "join"
+		f.consume[cur] = 1
+		f.produce["out"] = append(f.produce["out"], it)
+		a.pendNext = (a.next_ + 1) % a.n
+		return f
+	}
+	// Token: require the same token at every branch head.
+	for i := 0; i < a.n; i++ {
+		in := fmt.Sprintf("in%d", i)
+		h, ok := qs[in].head()
+		if !ok || !h.isTok || h.tok != it.tok {
+			return nil
+		}
+		f.consume[in] = 1
+	}
+	f.label = "token"
+	f.produce["out"] = append(f.produce["out"], it)
+	return f
+}
+
+func (a *joinRRAuto) commit(*firing) { a.next_ = a.pendNext }
+
+// splitColumnsAuto routes each sample of a row to the stripes covering
+// its column, replicating overlap (Figure 10).
+type splitColumnsAuto struct {
+	node    *graph.Node
+	stripes []kernel.Stripe
+	dataW   int
+	x       int
+	pendX   int
+}
+
+func (a *splitColumnsAuto) next(qs map[string]*queue) *firing {
+	it, ok := qs["in"].head()
+	if !ok {
+		return nil
+	}
+	f := &firing{
+		consume: map[string]int{"in": 1},
+		produce: make(map[string][]item),
+		cycles:  fsmCycles,
+	}
+	a.pendX = a.x
+	if it.isTok {
+		f.label = "broadcast"
+		if it.tok.Kind == token.EndOfLine || it.tok.Kind == token.EndOfFrame {
+			a.pendX = 0
+		}
+		for i := range a.stripes {
+			out := fmt.Sprintf("out%d", i)
+			f.produce[out] = append(f.produce[out], it)
+		}
+		return f
+	}
+	f.label = "route"
+	for i, s := range a.stripes {
+		if a.x >= s.InStart && a.x < s.InEnd {
+			out := fmt.Sprintf("out%d", i)
+			f.produce[out] = append(f.produce[out], it)
+		}
+	}
+	a.pendX = a.x + 1
+	return f
+}
+
+func (a *splitColumnsAuto) commit(*firing) { a.x = a.pendX }
+
+// joinColumnsAuto drains each branch's row segment (counts[i] data then
+// that branch's EOL) in branch order, emitting scan-order data with one
+// regenerated EOL per row; EOF forwards once collected from every
+// branch.
+type joinColumnsAuto struct {
+	node   *graph.Node
+	counts []int
+	branch int
+	got    int
+	row    int64
+
+	pendBranch int
+	pendGot    int
+	pendRow    int64
+}
+
+func (a *joinColumnsAuto) next(qs map[string]*queue) *firing {
+	cur := fmt.Sprintf("in%d", a.branch)
+	it, ok := qs[cur].head()
+	if !ok {
+		return nil
+	}
+	a.pendBranch, a.pendGot, a.pendRow = a.branch, a.got, a.row
+	f := &firing{
+		consume: map[string]int{},
+		produce: make(map[string][]item),
+		cycles:  fsmCycles,
+	}
+	if it.isTok {
+		switch it.tok.Kind {
+		case token.EndOfLine:
+			if a.got != a.counts[a.branch] {
+				return nil // malformed stream; stall visibly
+			}
+			f.label = "eol"
+			f.consume[cur] = 1
+			if a.branch == len(a.counts)-1 {
+				f.produce["out"] = append(f.produce["out"], tokenItem(token.EOL(a.row)))
+				a.pendRow = a.row + 1
+			}
+			a.pendBranch = (a.branch + 1) % len(a.counts)
+			a.pendGot = 0
+			return f
+		case token.EndOfFrame:
+			if a.branch != 0 || a.got != 0 {
+				return nil
+			}
+			// Need EOF at every branch head.
+			for i := range a.counts {
+				in := fmt.Sprintf("in%d", i)
+				h, ok := qs[in].head()
+				if !ok || !h.isTok || h.tok.Kind != token.EndOfFrame {
+					return nil
+				}
+				f.consume[in] = 1
+			}
+			f.label = "eof"
+			f.produce["out"] = append(f.produce["out"], it)
+			a.pendRow = 0
+			return f
+		default:
+			f.label = "tok"
+			f.consume[cur] = 1
+			f.produce["out"] = append(f.produce["out"], it)
+			return f
+		}
+	}
+	if a.got >= a.counts[a.branch] {
+		return nil // waiting for the branch's EOL
+	}
+	f.label = "join"
+	f.consume[cur] = 1
+	f.produce["out"] = append(f.produce["out"], it)
+	a.pendGot = a.got + 1
+	return f
+}
+
+func (a *joinColumnsAuto) commit(*firing) {
+	a.branch, a.got, a.row = a.pendBranch, a.pendGot, a.pendRow
+}
+
+// replicateAuto broadcasts everything to every branch.
+type replicateAuto struct {
+	node *graph.Node
+	n    int
+}
+
+func (a *replicateAuto) next(qs map[string]*queue) *firing {
+	it, ok := qs["in"].head()
+	if !ok {
+		return nil
+	}
+	f := &firing{
+		label:   "replicate",
+		consume: map[string]int{"in": 1},
+		produce: make(map[string][]item),
+		cycles:  fsmCycles,
+	}
+	for i := 0; i < a.n; i++ {
+		out := fmt.Sprintf("out%d", i)
+		f.produce[out] = append(f.produce[out], it)
+	}
+	return f
+}
+
+func (a *replicateAuto) commit(*firing) {}
+
+// insetAuto trims the item grid per its plan.
+type insetAuto struct {
+	node *graph.Node
+	plan kernel.InsetPlan
+	x, y int
+	row  int64
+
+	pendX, pendY int
+	pendRow      int64
+}
+
+func (a *insetAuto) next(qs map[string]*queue) *firing {
+	it, ok := qs["in"].head()
+	if !ok {
+		return nil
+	}
+	a.pendX, a.pendY, a.pendRow = a.x, a.y, a.row
+	f := &firing{
+		consume: map[string]int{"in": 1},
+		produce: make(map[string][]item),
+		cycles:  fsmCycles,
+	}
+	if it.isTok {
+		switch it.tok.Kind {
+		case token.EndOfLine:
+			f.label = "eol"
+			a.pendX, a.pendY = 0, a.y+1
+		case token.EndOfFrame:
+			f.label = "eof"
+			f.produce["out"] = append(f.produce["out"], it)
+			a.pendX, a.pendY, a.pendRow = 0, 0, 0
+		default:
+			f.label = "tok"
+			f.produce["out"] = append(f.produce["out"], it)
+		}
+		return f
+	}
+	f.label = "inset"
+	if keep, rowEnd := a.plan.Keep(a.x, a.y); keep {
+		f.produce["out"] = append(f.produce["out"], it)
+		if rowEnd {
+			f.produce["out"] = append(f.produce["out"], tokenItem(token.EOL(a.row)))
+			a.pendRow = a.row + 1
+		}
+	}
+	a.pendX = a.x + 1
+	return f
+}
+
+func (a *insetAuto) commit(*firing) { a.x, a.y, a.row = a.pendX, a.pendY, a.pendRow }
+
+// padAuto grows the stream with zero items per its plan.
+type padAuto struct {
+	node    *graph.Node
+	plan    kernel.PadPlan
+	x, y    int
+	row     int64
+	topDone bool
+
+	pendX, pendY int
+	pendRow      int64
+	pendTop      bool
+}
+
+func (a *padAuto) next(qs map[string]*queue) *firing {
+	it, ok := qs["in"].head()
+	if !ok {
+		return nil
+	}
+	p := a.plan
+	a.pendX, a.pendY, a.pendRow, a.pendTop = a.x, a.y, a.row, a.topDone
+	f := &firing{
+		consume: map[string]int{"in": 1},
+		produce: make(map[string][]item),
+		cycles:  fsmCycles,
+	}
+	zeroRow := func() {
+		for i := 0; i < p.OutW(); i++ {
+			f.produce["out"] = append(f.produce["out"], dataItem(1))
+		}
+		f.produce["out"] = append(f.produce["out"], tokenItem(token.EOL(a.pendRow)))
+		a.pendRow++
+	}
+	if it.isTok {
+		switch it.tok.Kind {
+		case token.EndOfLine:
+			f.label = "eol"
+			for i := 0; i < p.R; i++ {
+				f.produce["out"] = append(f.produce["out"], dataItem(1))
+			}
+			f.produce["out"] = append(f.produce["out"], tokenItem(token.EOL(a.pendRow)))
+			a.pendRow++
+			a.pendX, a.pendY = 0, a.y+1
+		case token.EndOfFrame:
+			f.label = "eof"
+			for i := 0; i < p.B; i++ {
+				zeroRow()
+			}
+			f.produce["out"] = append(f.produce["out"], it)
+			a.pendX, a.pendY, a.pendRow, a.pendTop = 0, 0, 0, false
+		default:
+			f.label = "tok"
+			f.produce["out"] = append(f.produce["out"], it)
+		}
+		return f
+	}
+	f.label = "pad"
+	if !a.topDone {
+		for i := 0; i < p.T; i++ {
+			zeroRow()
+		}
+		a.pendTop = true
+	}
+	if a.x == 0 {
+		for i := 0; i < p.L; i++ {
+			f.produce["out"] = append(f.produce["out"], dataItem(1))
+		}
+	}
+	f.produce["out"] = append(f.produce["out"], it)
+	a.pendX = a.x + 1
+	return f
+}
+
+func (a *padAuto) commit(*firing) {
+	a.x, a.y, a.row, a.topDone = a.pendX, a.pendY, a.pendRow, a.pendTop
+}
+
+// feedbackAuto emits its initial items once, then passes through.
+type feedbackAuto struct {
+	node    *graph.Node
+	initial int
+	words   int64
+	emitted bool
+}
+
+func (a *feedbackAuto) next(qs map[string]*queue) *firing {
+	if !a.emitted {
+		f := &firing{
+			label:   "init",
+			consume: map[string]int{},
+			produce: make(map[string][]item),
+			cycles:  fsmCycles,
+		}
+		for i := 0; i < a.initial; i++ {
+			f.produce["out"] = append(f.produce["out"], dataItem(a.words))
+		}
+		return f
+	}
+	it, ok := qs["in"].head()
+	if !ok {
+		return nil
+	}
+	return &firing{
+		label:   "pass",
+		consume: map[string]int{"in": 1},
+		produce: map[string][]item{"out": {it}},
+		cycles:  fsmCycles,
+	}
+}
+
+func (a *feedbackAuto) commit(*firing) { a.emitted = true }
+
+// newAutomaton builds the automaton for a node.
+func newAutomaton(n *graph.Node) (automaton, error) {
+	switch n.Kind {
+	case graph.KindBuffer:
+		return newBufferAuto(n)
+	case graph.KindSplit:
+		if stripes, ok := kernel.SplitColumnsStripes(n); ok {
+			return &splitColumnsAuto{node: n, stripes: stripes, dataW: stripesWidth(stripes)}, nil
+		}
+		return &splitRRAuto{node: n, n: len(n.Outputs())}, nil
+	case graph.KindJoin:
+		if counts, ok := kernel.JoinColumnsCounts(n); ok {
+			return &joinColumnsAuto{node: n, counts: counts}, nil
+		}
+		return &joinRRAuto{node: n, n: len(n.Inputs())}, nil
+	case graph.KindReplicate:
+		return &replicateAuto{node: n, n: len(n.Outputs())}, nil
+	case graph.KindInset:
+		plan, ok := kernel.InsetPlanOf(n)
+		if !ok {
+			return nil, fmt.Errorf("sim: %q has no inset plan", n.Name())
+		}
+		return &insetAuto{node: n, plan: plan}, nil
+	case graph.KindPad:
+		plan, ok := kernel.PadPlanOf(n)
+		if !ok {
+			return nil, fmt.Errorf("sim: %q has no pad plan", n.Name())
+		}
+		return &padAuto{node: n, plan: plan}, nil
+	case graph.KindFeedback:
+		init, _ := kernel.FeedbackInitial(n)
+		return &feedbackAuto{node: n, initial: len(init), words: n.Output("out").Words()}, nil
+	default:
+		return newGenericAuto(n), nil
+	}
+}
+
+func stripesWidth(stripes []kernel.Stripe) int {
+	w := 0
+	for _, s := range stripes {
+		if s.InEnd > w {
+			w = s.InEnd
+		}
+	}
+	return w
+}

@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"blockpar/internal/graph"
+	"blockpar/internal/token"
+)
+
+// genericAuto mirrors the runtime's method-trigger driver (see
+// internal/runtime/driver.go) without values: configuration methods are
+// frame-synchronized, data methods fire when every trigger head
+// matches, unhandled tokens forward to the trigger methods' outputs
+// once present on every grouped input.
+type genericAuto struct {
+	node *graph.Node
+
+	frameIdx    int64
+	configFired map[*graph.Method]int64
+	// invocations counts firings per method, feeding dynamic cost
+	// models (§VII extension).
+	invocations map[*graph.Method]int64
+	pendingInv  *graph.Method
+
+	configMethods []*graph.Method
+	otherMethods  []*graph.Method
+
+	// commit bookkeeping: the frame bump and config increment implied
+	// by the last proposed firing.
+	pendingFrameBump bool
+	pendingConfig    *graph.Method
+}
+
+func newGenericAuto(n *graph.Node) *genericAuto {
+	a := &genericAuto{
+		node:        n,
+		configFired: make(map[*graph.Method]int64),
+		invocations: make(map[*graph.Method]int64),
+	}
+	for _, m := range n.Methods() {
+		if isConfigMethod(n, m) {
+			a.configMethods = append(a.configMethods, m)
+		} else {
+			a.otherMethods = append(a.otherMethods, m)
+		}
+	}
+	return a
+}
+
+func isConfigMethod(n *graph.Node, m *graph.Method) bool {
+	if len(m.Triggers) == 0 {
+		return false
+	}
+	for _, t := range m.Triggers {
+		p := n.Input(t.Input)
+		if p == nil || !p.Replicated {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *genericAuto) configReady() bool {
+	for _, m := range a.configMethods {
+		if a.configFired[m] <= a.frameIdx {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *genericAuto) methodReady(m *graph.Method, qs map[string]*queue) bool {
+	for _, t := range m.Triggers {
+		it, ok := qs[t.Input].head()
+		if !ok {
+			return false
+		}
+		if t.IsData() {
+			if it.isTok {
+				return false
+			}
+		} else if !it.isTok || !it.tok.Matches(t.Token, t.TokenName) {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *genericAuto) next(qs map[string]*queue) *firing {
+	// Clear bookkeeping from any previously rejected proposal; commit
+	// must follow the accepted next() immediately (engine contract).
+	a.pendingConfig = nil
+	a.pendingFrameBump = false
+	a.pendingInv = nil
+	for _, m := range a.configMethods {
+		if a.configFired[m] == a.frameIdx && a.methodReady(m, qs) {
+			f := a.methodFiring(m, qs)
+			a.pendingConfig = m
+			return f
+		}
+	}
+	ready := a.configReady()
+	for _, m := range a.otherMethods {
+		if !a.methodReady(m, qs) {
+			continue
+		}
+		if len(m.DataTriggers()) > 0 && !ready {
+			continue
+		}
+		return a.methodFiring(m, qs)
+	}
+	return a.forwardToken(qs)
+}
+
+func (a *genericAuto) methodFiring(m *graph.Method, qs map[string]*queue) *firing {
+	cycles := m.Cycles
+	exceeded := false
+	if m.Dynamic() {
+		// Dynamic method (§VII): actual cost comes from the node's
+		// deterministic cost model; invocations beyond the declared
+		// bound are truncated and raise a resource exception.
+		if model := a.node.Costs[m.Name]; model != nil {
+			cycles = model(a.invocations[m])
+		}
+		if cycles > m.Bound {
+			cycles = m.Bound
+			exceeded = true
+		}
+	}
+	a.pendingInv = m
+	f := &firing{
+		label:    m.Name,
+		consume:  make(map[string]int),
+		produce:  make(map[string][]item),
+		cycles:   cycles,
+		exceeded: exceeded,
+	}
+	var toks []token.Token
+	for _, t := range m.Triggers {
+		f.consume[t.Input]++
+		it, _ := qs[t.Input].head()
+		if it.isTok {
+			toks = append(toks, it.tok)
+			if it.tok.Kind == token.EndOfFrame {
+				if p := a.node.Input(t.Input); p != nil && !p.Replicated {
+					a.pendingFrameBump = true
+				}
+			}
+		}
+	}
+	for _, out := range m.Outputs {
+		op := a.node.Output(out)
+		f.produce[out] = append(f.produce[out], dataItem(op.Words()))
+	}
+	seen := map[token.Token]bool{}
+	for _, tk := range toks {
+		if seen[tk] {
+			continue
+		}
+		seen[tk] = true
+		for _, out := range m.Outputs {
+			f.produce[out] = append(f.produce[out], tokenItem(tk))
+		}
+		for _, out := range m.ForwardOnly {
+			f.produce[out] = append(f.produce[out], tokenItem(tk))
+		}
+	}
+	return f
+}
+
+func (a *genericAuto) forwardToken(qs map[string]*queue) *firing {
+	for _, p := range a.node.Inputs() {
+		it, ok := qs[p.Name].head()
+		if !ok || !it.isTok {
+			continue
+		}
+		if a.node.MethodForTrigger(p.Name, it.tok.Kind, it.tok.Name) != nil {
+			continue
+		}
+		group := map[string]bool{p.Name: true}
+		outputs := map[string]bool{}
+		for _, m := range a.node.Methods() {
+			triggered := false
+			for _, t := range m.DataTriggers() {
+				if t.Input == p.Name {
+					triggered = true
+				}
+			}
+			if !triggered {
+				continue
+			}
+			for _, t := range m.DataTriggers() {
+				group[t.Input] = true
+			}
+			for _, o := range m.Outputs {
+				outputs[o] = true
+			}
+		}
+		all := true
+		for in := range group {
+			h, ok := qs[in].head()
+			if !ok || !h.isTok || h.tok != it.tok {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		f := &firing{
+			label:   "forward:" + it.tok.String(),
+			consume: make(map[string]int),
+			produce: make(map[string][]item),
+			cycles:  1,
+		}
+		for in := range group {
+			f.consume[in]++
+			if it.tok.Kind == token.EndOfFrame {
+				if ip := a.node.Input(in); ip != nil && !ip.Replicated {
+					a.pendingFrameBump = true
+				}
+			}
+		}
+		for _, op := range a.node.Outputs() {
+			if outputs[op.Name] {
+				f.produce[op.Name] = append(f.produce[op.Name], tokenItem(it.tok))
+			}
+		}
+		return f
+	}
+	return nil
+}
+
+func (a *genericAuto) commit(f *firing) {
+	if a.pendingConfig != nil {
+		a.configFired[a.pendingConfig]++
+		a.pendingConfig = nil
+	}
+	if a.pendingFrameBump {
+		a.frameIdx++
+		a.pendingFrameBump = false
+	}
+	if a.pendingInv != nil {
+		a.invocations[a.pendingInv]++
+		a.pendingInv = nil
+	}
+}

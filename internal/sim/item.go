@@ -1,0 +1,116 @@
+// Package sim is the timing simulator: a deterministic discrete-event
+// simulation of a mapped application that accounts for kernel execution
+// time, input/output access time, buffer transfer time, and PE
+// scheduling — and, like the paper's simulator, deliberately not
+// placement or communication delays ("a reasonable simplification for a
+// throughput-based application", §IV-D).
+//
+// The simulation is value-free: items carry only their shape (token or
+// data, word count), and each node runs a count-only automaton that
+// mirrors the functional runtime's firing rules — the generic
+// method-trigger rules for ordinary kernels and the plan-driven FSMs
+// for buffers, splits, joins, insets, and pads. The functional runtime
+// (internal/runtime) verifies values; the simulator verifies time.
+package sim
+
+import (
+	"fmt"
+
+	"blockpar/internal/token"
+)
+
+// item is a value-free stream element.
+type item struct {
+	isTok bool
+	tok   token.Token
+	words int64
+}
+
+func dataItem(words int64) item { return item{words: words} }
+
+func tokenItem(t token.Token) item { return item{isTok: true, tok: t, words: 1} }
+
+func (it item) String() string {
+	if it.isTok {
+		return it.tok.String()
+	}
+	return fmt.Sprintf("data[%dw]", it.words)
+}
+
+// queue is a bounded FIFO on one input port.
+type queue struct {
+	items []item
+	cap   int
+}
+
+func (q *queue) len() int { return len(q.items) }
+
+func (q *queue) space() int { return q.cap - len(q.items) }
+
+func (q *queue) head() (item, bool) {
+	if len(q.items) == 0 {
+		return item{}, false
+	}
+	return q.items[0], true
+}
+
+func (q *queue) push(it item) {
+	if q.space() <= 0 {
+		panic("sim: queue overflow (space must be checked before push)")
+	}
+	q.items = append(q.items, it)
+}
+
+func (q *queue) pop() item {
+	it := q.items[0]
+	q.items = q.items[1:]
+	return it
+}
+
+// firing is one schedulable unit of work on a node: the items it will
+// consume from each input (in FIFO order from the head) and produce on
+// each output, plus its compute cycles. Read/write costs are derived
+// from the consumed/produced words by the engine.
+type firing struct {
+	label   string
+	consume map[string]int
+	produce map[string][]item
+	cycles  int64
+	// exceeded marks a dynamic invocation whose actual cost hit its
+	// declared bound: the engine records a resource exception (§VII).
+	exceeded bool
+	// readWordsCache is filled by the engine while the consumed heads
+	// are still queued.
+	readWordsCache int64
+}
+
+func (f *firing) readWords(qs map[string]*queue) int64 {
+	var w int64
+	for in, cnt := range f.consume {
+		for i := 0; i < cnt; i++ {
+			w += qs[in].items[i].words
+		}
+	}
+	return w
+}
+
+func (f *firing) writeWords() int64 {
+	var w int64
+	for _, items := range f.produce {
+		for _, it := range items {
+			w += it.words
+		}
+	}
+	return w
+}
+
+// automaton decides a node's next firing from its input queue heads.
+// Implementations must be pure with respect to the queues (no
+// mutation); state advances in commit, called when the engine starts
+// the firing.
+type automaton interface {
+	// next returns the next firing, or nil if the node cannot fire.
+	next(qs map[string]*queue) *firing
+	// commit informs the automaton its proposed firing was started.
+	commit(f *firing)
+}

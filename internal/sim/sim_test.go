@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"testing"
+
+	"blockpar/internal/apps"
+	"blockpar/internal/core"
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+	"blockpar/internal/kernel"
+	"blockpar/internal/machine"
+	"blockpar/internal/mapping"
+)
+
+func simpleGainApp(rate geom.Frac) *graph.Graph {
+	g := graph.New("sim-gain")
+	in := g.AddInput("Input", geom.Sz(8, 4), geom.Sz(1, 1), rate)
+	k := g.Add(kernel.Gain("Gain", 2))
+	out := g.AddOutput("Output", geom.Sz(1, 1))
+	g.Connect(in, "out", k, "in")
+	g.Connect(k, "out", out, "in")
+	return g
+}
+
+func TestSimulateGainMeetsRealTime(t *testing.T) {
+	m := machine.Embedded()
+	// 32 samples per frame at 1000 Hz = 32k samples/s; gain needs
+	// (1 read + 4 run + 1 write) cycles per sample = 192k cycles/s,
+	// far below 20 MHz.
+	g := simpleGainApp(geom.FInt(1000))
+	res, err := Simulate(g, mapping.OneToOne(g), Options{Machine: m, Frames: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.RealTimeMet() {
+		t.Errorf("real time missed: %d stalls", res.InputStalls)
+	}
+	if res.FramesOut != 3 {
+		t.Errorf("frames out = %d", res.FramesOut)
+	}
+	// 3 frames at 1000 Hz take just under 3 ms of input; the makespan
+	// must be in that ballpark (last sample arrives at ~2.997 ms).
+	if res.Time < 0.002 || res.Time > 0.004 {
+		t.Errorf("makespan = %v s, expected ~3 ms", res.Time)
+	}
+	// Utilization must be low and the breakdown populated.
+	if u := res.MeanUtilization(); u <= 0 || u > 0.2 {
+		t.Errorf("utilization = %v, expected small but positive", u)
+	}
+	run, read, write := res.Breakdown()
+	if run <= 0 || read <= 0 || write <= 0 {
+		t.Errorf("breakdown = %v/%v/%v, all must be positive", run, read, write)
+	}
+}
+
+func TestSimulateDetectsOverload(t *testing.T) {
+	// Drive the gain far beyond one PE: 8x4 frames at a rate where
+	// per-sample work exceeds the sample interval.
+	m := machine.Machine{Name: "tiny", PE: machine.PE{CyclesPerSec: 100_000, MemWords: 512, ReadCost: 1, WriteCost: 1}}
+	// 32 samples/frame * 1000 Hz = 32k samples/s * 6 cycles = 192k > 100k.
+	g := simpleGainApp(geom.FInt(1000))
+	res, err := Simulate(g, mapping.OneToOne(g), Options{Machine: m, Frames: 2, QueueCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RealTimeMet() {
+		t.Error("overloaded kernel reported as real-time")
+	}
+	if res.StallTime <= 0 {
+		t.Error("no stall time recorded")
+	}
+}
+
+// compiledApp compiles a benchmark and returns its graph and analysis.
+func compiledApp(t *testing.T, b apps.Bench) *core.Compiled {
+	t.Helper()
+	c, err := core.Compile(b.App.Graph, core.DefaultConfig())
+	if err != nil {
+		t.Fatalf("%s: %v", b.ID, err)
+	}
+	return c
+}
+
+// TestSimulateCompiledImagePipeline verifies the paper's central claim
+// for the running example: after automatic buffering, alignment, and
+// parallelization, the application meets its real-time input rate on
+// the simulator under both mappings.
+func TestSimulateCompiledImagePipeline(t *testing.T) {
+	app := apps.ImagePipeline("sim-image", apps.ImageCfg{
+		W: apps.SmallW, H: apps.SmallH,
+		Rate: geom.F(apps.FastRate, int64(apps.SmallW*apps.SmallH)),
+		Bins: 32,
+	})
+	c, err := core.Compile(app.Graph, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.Embedded()
+
+	one := mapping.OneToOne(c.Graph)
+	resOne, err := Simulate(c.Graph, one, Options{Machine: m, Frames: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resOne.RealTimeMet() {
+		t.Errorf("1:1 mapping missed real time: %d stalls, %.2g s late",
+			resOne.InputStalls, resOne.StallTime)
+	}
+
+	gm, err := mapping.Greedy(c.Graph, c.Analysis, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resGM, err := Simulate(c.Graph, gm, Options{Machine: m, Frames: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resGM.RealTimeMet() {
+		t.Errorf("greedy mapping missed real time: %d stalls", resGM.InputStalls)
+	}
+
+	// Figure 12's point: greedy multiplexing raises mean utilization.
+	u1, u2 := resOne.MeanUtilization(), resGM.MeanUtilization()
+	if u2 <= u1 {
+		t.Errorf("greedy utilization %.3f not above 1:1's %.3f", u2, u1)
+	}
+	t.Logf("PEs %d -> %d, utilization %.3f -> %.3f (%.2fx)",
+		one.NumPEs, gm.NumPEs, u1, u2, u2/u1)
+}
+
+func TestSimulateFullSuite(t *testing.T) {
+	m := machine.Embedded()
+	for _, b := range apps.Figure13Suite() {
+		b := b
+		t.Run(b.ID, func(t *testing.T) {
+			c := compiledApp(t, b)
+			one := mapping.OneToOne(c.Graph)
+			res, err := Simulate(c.Graph, one, Options{Machine: m, Frames: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.RealTimeMet() {
+				t.Errorf("%s: real time missed under 1:1 (%d stalls, %.3g s)",
+					b.ID, res.InputStalls, res.StallTime)
+			}
+			gm, err := mapping.Greedy(c.Graph, c.Analysis, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resGM, err := Simulate(c.Graph, gm, Options{Machine: m, Frames: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !resGM.RealTimeMet() {
+				t.Errorf("%s: real time missed under greedy (%d stalls)", b.ID, resGM.InputStalls)
+			}
+		})
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	build := func() *Result {
+		app := apps.HistogramApp("det", apps.HistCfg{W: 32, H: 16, Rate: geom.FInt(100), Bins: 8})
+		c, err := core.Compile(app.Graph, core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Simulate(c.Graph, mapping.OneToOne(c.Graph), Options{Machine: machine.Embedded(), Frames: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := build(), build()
+	if a.Time != b.Time || a.InputStalls != b.InputStalls {
+		t.Fatalf("simulation not deterministic: %+v vs %+v", a, b)
+	}
+	for i := range a.PEs {
+		if a.PEs[i] != b.PEs[i] {
+			t.Fatalf("PE %d stats differ", i)
+		}
+	}
+}
+
+func TestSimulateRejectsUnassignedNode(t *testing.T) {
+	g := simpleGainApp(geom.FInt(10))
+	a := &mapping.Assignment{PEOf: map[*graph.Node]int{}, NumPEs: 0}
+	if _, err := Simulate(g, a, Options{Machine: machine.Embedded()}); err == nil {
+		t.Fatal("unassigned node accepted")
+	}
+}

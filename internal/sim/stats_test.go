@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+	"blockpar/internal/kernel"
+	"blockpar/internal/machine"
+	"blockpar/internal/mapping"
+)
+
+// convApp builds a buffered 3x3 convolution over the same 8x4 frame as
+// simpleGainApp, so latency comparisons isolate pipeline depth.
+func convApp(t *testing.T, rate geom.Frac) *graph.Graph {
+	t.Helper()
+	g := graph.New("sim-conv")
+	in := g.AddInput("Input", geom.Sz(8, 4), geom.Sz(1, 1), rate)
+	buf := g.Add(kernel.Buffer("Buf", kernel.BufferPlan{
+		DataW: 8, DataH: 4, WinW: 3, WinH: 3, StepX: 1, StepY: 1,
+	}))
+	conv := g.Add(kernel.Convolution("Conv", 3))
+	coeff := g.AddInput("Coeff", geom.Sz(3, 3), geom.Sz(3, 3), rate)
+	out := g.AddOutput("Output", geom.Sz(1, 1))
+	g.Connect(in, "out", buf, "in")
+	g.Connect(buf, "out", conv, "in")
+	g.Connect(coeff, "out", conv, "coeff")
+	g.Connect(conv, "out", out, "in")
+	return g
+}
+
+func TestNodeStatsAndLatency(t *testing.T) {
+	g := simpleGainApp(geom.FInt(1000))
+	res, err := Simulate(g, mapping.OneToOne(g), Options{Machine: machine.Embedded(), Frames: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-node stats exist for the gain kernel only (IO nodes are
+	// external devices).
+	gain, ok := res.Nodes["Gain"]
+	if !ok {
+		t.Fatalf("no node stats for Gain: %v", res.Nodes)
+	}
+	// 32 samples + 4 EOL + 1 EOF per frame; EOL/EOF forward as firings
+	// too, so firings >= 32*3.
+	if gain.Firings < 96 {
+		t.Errorf("gain firings = %d, want >= 96", gain.Firings)
+	}
+	if gain.Busy() <= 0 {
+		t.Error("gain busy time zero")
+	}
+	for name := range res.Nodes {
+		if strings.Contains(name, "Input") || strings.Contains(name, "Output") {
+			t.Errorf("IO node %q has kernel stats", name)
+		}
+	}
+
+	// Latency: 3 frames recorded, each positive and bounded by a frame
+	// period (the pipeline is shallow), and roughly equal in steady
+	// state.
+	ls := res.Latencies["Output"]
+	if len(ls) != 3 {
+		t.Fatalf("latencies = %v", ls)
+	}
+	period := 1.0 / 1000
+	for f, l := range ls {
+		if l <= 0 || l > 2*period {
+			t.Errorf("frame %d latency = %v, want (0, %v]", f, l, 2*period)
+		}
+	}
+	if res.MaxLatency() < ls[0] {
+		t.Error("MaxLatency below a recorded latency")
+	}
+}
+
+func TestLatencyGrowsWithPipelineDepth(t *testing.T) {
+	// A windowed pipeline (buffer holds rows before the first output)
+	// must show more latency than the shallow gain pipeline at the
+	// same rate.
+	shallow := simpleGainApp(geom.FInt(500))
+	resShallow, err := Simulate(shallow, mapping.OneToOne(shallow), Options{Machine: machine.Embedded(), Frames: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deep := convApp(t, geom.FInt(500))
+	resDeep, err := Simulate(deep, mapping.OneToOne(deep), Options{Machine: machine.Embedded(), Frames: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resDeep.MaxLatency() <= resShallow.MaxLatency() {
+		t.Errorf("windowed pipeline latency %v not above shallow %v",
+			resDeep.MaxLatency(), resShallow.MaxLatency())
+	}
+}

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// TraceEvent records one kernel firing in the timing simulation.
+type TraceEvent struct {
+	// Start and Duration are in simulated seconds.
+	Start    float64
+	Duration float64
+	PE       int
+	Node     string
+	// Label is the fired method or FSM action ("runConvolve",
+	// "forward:EOF#0", "split", ...).
+	Label string
+}
+
+// Trace is a bounded recording of firings, oldest first.
+type Trace struct {
+	Events []TraceEvent
+	// Dropped counts firings beyond the bound.
+	Dropped int64
+}
+
+// WriteCSV renders the trace as CSV (start,duration,pe,node,label).
+func (t *Trace) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "start_s,duration_s,pe,node,label"); err != nil {
+		return err
+	}
+	for _, ev := range t.Events {
+		label := strings.ReplaceAll(ev.Label, ",", ";")
+		node := strings.ReplaceAll(ev.Node, ",", ";")
+		if _, err := fmt.Fprintf(w, "%.9f,%.9f,%d,%s,%s\n",
+			ev.Start, ev.Duration, ev.PE, node, label); err != nil {
+			return err
+		}
+	}
+	if t.Dropped > 0 {
+		_, err := fmt.Fprintf(w, "# dropped %d further events\n", t.Dropped)
+		return err
+	}
+	return nil
+}
+
+// Gantt renders a coarse ASCII Gantt chart of PE occupancy: one row per
+// PE, the time axis split into cols buckets, each cell showing how busy
+// the PE was in that bucket (space, '.', ':', '#').
+func (t *Trace) Gantt(numPEs int, makespan float64, cols int) string {
+	if cols < 1 || makespan <= 0 {
+		return ""
+	}
+	busy := make([][]float64, numPEs)
+	for i := range busy {
+		busy[i] = make([]float64, cols)
+	}
+	bucket := makespan / float64(cols)
+	for _, ev := range t.Events {
+		if ev.PE < 0 || ev.PE >= numPEs {
+			continue
+		}
+		// Spread the event's duration across the buckets it overlaps.
+		start, end := ev.Start, ev.Start+ev.Duration
+		for b := int(start / bucket); b < cols && float64(b)*bucket < end; b++ {
+			lo := float64(b) * bucket
+			hi := lo + bucket
+			if start > lo {
+				lo = start
+			}
+			if end < hi {
+				hi = end
+			}
+			if hi > lo {
+				busy[ev.PE][b] += hi - lo
+			}
+		}
+	}
+	var sb strings.Builder
+	for pe := 0; pe < numPEs; pe++ {
+		fmt.Fprintf(&sb, "PE%-3d |", pe)
+		for _, b := range busy[pe] {
+			frac := b / bucket
+			switch {
+			case frac > 0.75:
+				sb.WriteByte('#')
+			case frac > 0.4:
+				sb.WriteByte(':')
+			case frac > 0.05:
+				sb.WriteByte('.')
+			default:
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteString("|\n")
+	}
+	return sb.String()
+}
+
+// TopNodes returns the busiest nodes in the trace, most expensive
+// first, at most n entries.
+func (t *Trace) TopNodes(n int) []struct {
+	Node string
+	Busy float64
+} {
+	byNode := make(map[string]float64)
+	for _, ev := range t.Events {
+		byNode[ev.Node] += ev.Duration
+	}
+	type entry struct {
+		Node string
+		Busy float64
+	}
+	var entries []entry
+	for name, busy := range byNode {
+		entries = append(entries, entry{name, busy})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Busy != entries[j].Busy {
+			return entries[i].Busy > entries[j].Busy
+		}
+		return entries[i].Node < entries[j].Node
+	})
+	if n < len(entries) {
+		entries = entries[:n]
+	}
+	out := make([]struct {
+		Node string
+		Busy float64
+	}, len(entries))
+	for i, e := range entries {
+		out[i] = struct {
+			Node string
+			Busy float64
+		}{e.Node, e.Busy}
+	}
+	return out
+}

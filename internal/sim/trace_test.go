@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"blockpar/internal/geom"
+	"blockpar/internal/machine"
+	"blockpar/internal/mapping"
+)
+
+func TestTraceRecordsFirings(t *testing.T) {
+	g := simpleGainApp(geom.FInt(1000))
+	res, err := Simulate(g, mapping.OneToOne(g), Options{
+		Machine: machine.Embedded(), Frames: 1, TraceLimit: 10_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || len(res.Trace.Events) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	// 32 samples + 4 EOL + 1 EOF firings on the gain kernel.
+	if got := len(res.Trace.Events); got != 37 {
+		t.Errorf("trace events = %d, want 37", got)
+	}
+	// Events are in start order with positive durations on PE 0.
+	prev := -1.0
+	for i, ev := range res.Trace.Events {
+		if ev.Start < prev {
+			t.Fatalf("event %d out of order", i)
+		}
+		prev = ev.Start
+		if ev.Duration <= 0 || ev.Node != "Gain" || ev.PE != 0 {
+			t.Fatalf("bad event %+v", ev)
+		}
+	}
+	if res.Trace.Dropped != 0 {
+		t.Errorf("dropped = %d", res.Trace.Dropped)
+	}
+}
+
+func TestTraceLimitDrops(t *testing.T) {
+	g := simpleGainApp(geom.FInt(1000))
+	res, err := Simulate(g, mapping.OneToOne(g), Options{
+		Machine: machine.Embedded(), Frames: 1, TraceLimit: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace.Events) != 5 || res.Trace.Dropped != 32 {
+		t.Errorf("events=%d dropped=%d, want 5, 32", len(res.Trace.Events), res.Trace.Dropped)
+	}
+}
+
+func TestTraceCSVAndGanttAndTop(t *testing.T) {
+	g := simpleGainApp(geom.FInt(1000))
+	res, err := Simulate(g, mapping.OneToOne(g), Options{
+		Machine: machine.Embedded(), Frames: 1, TraceLimit: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.Trace.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	csv := sb.String()
+	if !strings.HasPrefix(csv, "start_s,duration_s,pe,node,label\n") {
+		t.Error("CSV header missing")
+	}
+	if !strings.Contains(csv, "Gain,runGain") {
+		t.Errorf("CSV missing firing rows:\n%s", csv[:200])
+	}
+
+	gantt := res.Trace.Gantt(1, res.Time, 20)
+	if !strings.HasPrefix(gantt, "PE0") || !strings.Contains(gantt, "|") {
+		t.Errorf("Gantt malformed:\n%s", gantt)
+	}
+
+	top := res.Trace.TopNodes(3)
+	if len(top) != 1 || top[0].Node != "Gain" || top[0].Busy <= 0 {
+		t.Errorf("TopNodes = %+v", top)
+	}
+}
+
+func TestWarmupExcludesFirstFrame(t *testing.T) {
+	g := simpleGainApp(geom.FInt(1000))
+	full, err := Simulate(g, mapping.OneToOne(g), Options{Machine: machine.Embedded(), Frames: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := simpleGainApp(geom.FInt(1000))
+	warm, err := Simulate(g2, mapping.OneToOne(g2), Options{
+		Machine: machine.Embedded(), Frames: 3, WarmupFrames: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.MeasuredFrom <= 0 {
+		t.Fatal("warmup did not record a measurement start")
+	}
+	// Steady-state firings cover ~2 of 3 frames.
+	fullF := full.Nodes["Gain"].Firings
+	warmF := warm.Nodes["Gain"].Firings
+	if warmF >= fullF || warmF < fullF/2 {
+		t.Errorf("warm firings = %d vs full %d; expected about two thirds", warmF, fullF)
+	}
+	// Utilizations should be in the same ballpark (steady pipeline).
+	uf, uw := full.MeanUtilization(), warm.MeanUtilization()
+	if uw <= 0 || uw > 3*uf {
+		t.Errorf("warm utilization %v vs full %v", uw, uf)
+	}
+}
+
+func TestWarmupMustBeBelowFrames(t *testing.T) {
+	g := simpleGainApp(geom.FInt(1000))
+	if _, err := Simulate(g, mapping.OneToOne(g), Options{
+		Machine: machine.Embedded(), Frames: 2, WarmupFrames: 2,
+	}); err == nil {
+		t.Fatal("warmup == frames accepted")
+	}
+}

@@ -1,0 +1,85 @@
+// Package token defines the control tokens of the block-parallel
+// programming model (paper §II-C).
+//
+// Control tokens travel in-band with data on the stream channels, in
+// order. Two kinds are generated automatically by every application
+// input: end-of-line (after the last sample of each row) and
+// end-of-frame (after the last sample of each frame). Kernels may also
+// define custom tokens, provided they declare the maximum rate at which
+// they can be generated so the compiler can budget resources for the
+// methods that handle them.
+package token
+
+import "fmt"
+
+// Kind identifies a class of control token.
+type Kind int
+
+const (
+	// None means "not a control token" (plain data); it is the zero
+	// value so that unset trigger fields mean data-triggered methods.
+	None Kind = iota
+	// EndOfLine is emitted by application inputs after each row.
+	EndOfLine
+	// EndOfFrame is emitted by application inputs after each frame.
+	EndOfFrame
+	// Custom is a kernel-defined token, distinguished by name.
+	Custom
+)
+
+// String returns the conventional short name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "data"
+	case EndOfLine:
+		return "EOL"
+	case EndOfFrame:
+		return "EOF"
+	case Custom:
+		return "custom"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Token is a control token instance.
+type Token struct {
+	Kind Kind
+	// Name distinguishes custom tokens; empty for EOL/EOF.
+	Name string
+	// Seq is the index of the line/frame the token terminates,
+	// counted from zero within the stream. It is informational and
+	// used by tests and the runtime for cross-checking ordering.
+	Seq int64
+}
+
+// EOL returns an end-of-line token for row seq.
+func EOL(seq int64) Token { return Token{Kind: EndOfLine, Seq: seq} }
+
+// EOF returns an end-of-frame token for frame seq.
+func EOF(seq int64) Token { return Token{Kind: EndOfFrame, Seq: seq} }
+
+// NewCustom returns a custom token with the given name.
+func NewCustom(name string, seq int64) Token {
+	return Token{Kind: Custom, Name: name, Seq: seq}
+}
+
+// Matches reports whether the token triggers a method registered for
+// kind k and (for custom tokens) name.
+func (t Token) Matches(k Kind, name string) bool {
+	if t.Kind != k {
+		return false
+	}
+	if t.Kind == Custom {
+		return t.Name == name
+	}
+	return true
+}
+
+func (t Token) String() string {
+	if t.Kind == Custom {
+		return fmt.Sprintf("%s(%s)#%d", t.Kind, t.Name, t.Seq)
+	}
+	return fmt.Sprintf("%s#%d", t.Kind, t.Seq)
+}

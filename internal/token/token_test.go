@@ -1,0 +1,61 @@
+package token
+
+import "testing"
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		None:       "data",
+		EndOfLine:  "EOL",
+		EndOfFrame: "EOF",
+		Custom:     "custom",
+		Kind(99):   "Kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	if tok := EOL(3); tok.Kind != EndOfLine || tok.Seq != 3 {
+		t.Errorf("EOL(3) = %+v", tok)
+	}
+	if tok := EOF(7); tok.Kind != EndOfFrame || tok.Seq != 7 {
+		t.Errorf("EOF(7) = %+v", tok)
+	}
+	if tok := NewCustom("reload", 1); tok.Kind != Custom || tok.Name != "reload" {
+		t.Errorf("NewCustom = %+v", tok)
+	}
+}
+
+func TestMatches(t *testing.T) {
+	if !EOF(0).Matches(EndOfFrame, "") {
+		t.Error("EOF should match EndOfFrame")
+	}
+	if EOF(0).Matches(EndOfLine, "") {
+		t.Error("EOF should not match EndOfLine")
+	}
+	if !NewCustom("x", 0).Matches(Custom, "x") {
+		t.Error("custom token should match its own name")
+	}
+	if NewCustom("x", 0).Matches(Custom, "y") {
+		t.Error("custom token should not match a different name")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := EOL(2).String(); got != "EOL#2" {
+		t.Errorf("EOL String = %q", got)
+	}
+	if got := NewCustom("reload", 5).String(); got != "custom(reload)#5" {
+		t.Errorf("custom String = %q", got)
+	}
+}
+
+func TestZeroValueIsData(t *testing.T) {
+	var tok Token
+	if tok.Kind != None {
+		t.Error("zero token should have Kind None (data)")
+	}
+}

@@ -1,0 +1,218 @@
+package transform
+
+import (
+	"fmt"
+
+	"blockpar/internal/analysis"
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+	"blockpar/internal/kernel"
+)
+
+// AlignPolicy selects how misaligned multi-input kernels are fixed
+// (§III-C: "The choice as to whether to pad or trim must be made by the
+// programmer as it effects the final result, but the details can be
+// handled automatically by the compiler").
+type AlignPolicy int
+
+const (
+	// Trim inserts inset kernels that discard the excess border of the
+	// larger streams (the Figure 3 solution).
+	Trim AlignPolicy = iota
+	// PadInputs zero-pads the raw input of the kernels with the larger
+	// halo so their outputs grow to match.
+	PadInputs
+)
+
+func (p AlignPolicy) String() string {
+	if p == Trim {
+		return "trim"
+	}
+	return "pad"
+}
+
+// Align repairs every Misaligned problem under the given policy,
+// re-analyzing after each fix until the graph is clean. With Trim it
+// must run after InsertBuffers (it interposes on item streams); with
+// PadInputs it must run before (it interposes on raw sample streams).
+func Align(g *graph.Graph, policy AlignPolicy) error {
+	for iter := 0; iter < 32; iter++ {
+		r, err := analysis.Analyze(g)
+		if err != nil {
+			return err
+		}
+		probs := r.ProblemsOfKind(analysis.Misaligned)
+		if len(probs) == 0 {
+			return nil
+		}
+		p := probs[0]
+		var fixErr error
+		if policy == Trim {
+			fixErr = fixByTrimming(g, r, p)
+		} else {
+			fixErr = fixByPadding(g, r, p)
+		}
+		if fixErr != nil {
+			return fixErr
+		}
+	}
+	return fmt.Errorf("transform: alignment did not converge after 32 passes")
+}
+
+// coverage describes one misaligned input's item grid in application
+// coordinates.
+type coverage struct {
+	port  *graph.Port
+	info  analysis.PortInfo
+	start geom.Offset // aligned inset (info.Inset + port.Offset)
+	rect  geom.Rect   // item coverage in aligned item coordinates
+}
+
+// gatherCoverages collects the data-trigger inputs of the misaligned
+// method with integer aligned insets.
+func gatherCoverages(g *graph.Graph, r *analysis.Result, p analysis.Problem) ([]coverage, error) {
+	m := p.Node.Method(p.Method)
+	if m == nil {
+		return nil, fmt.Errorf("transform: method %q missing on %q", p.Method, p.Node.Name())
+	}
+	var cov []coverage
+	for _, t := range m.DataTriggers() {
+		port := p.Node.Input(t.Input)
+		if port == nil || port.Replicated {
+			continue
+		}
+		info, ok := r.In[port]
+		if !ok {
+			return nil, fmt.Errorf("transform: no analysis info for %s", port)
+		}
+		start := info.Inset.Add(port.Offset)
+		if !start.X.IsInt() || !start.Y.IsInt() {
+			return nil, fmt.Errorf("transform: fractional inset %v at %s cannot be aligned by whole items",
+				start, port)
+		}
+		sx, sy := int(start.X.Int()), int(start.Y.Int())
+		cov = append(cov, coverage{
+			port:  port,
+			info:  info,
+			start: start,
+			rect:  geom.R(sx, sy, sx+info.Items.W, sy+info.Items.H),
+		})
+	}
+	if len(cov) < 2 {
+		return nil, fmt.Errorf("transform: misaligned method %s.%s has fewer than two data inputs",
+			p.Node.Name(), p.Method)
+	}
+	return cov, nil
+}
+
+// fixByTrimming inserts Inset kernels so every input covers the
+// intersection of all inputs (Figure 8's alignment).
+func fixByTrimming(g *graph.Graph, r *analysis.Result, p analysis.Problem) error {
+	cov, err := gatherCoverages(g, r, p)
+	if err != nil {
+		return err
+	}
+	target := cov[0].rect
+	for _, c := range cov[1:] {
+		target = target.Intersect(c.rect)
+	}
+	if target.Empty() {
+		return fmt.Errorf("transform: inputs of %s.%s do not overlap", p.Node.Name(), p.Method)
+	}
+	fixed := false
+	for _, c := range cov {
+		l := target.X0 - c.rect.X0
+		rr := c.rect.X1 - target.X1
+		t := target.Y0 - c.rect.Y0
+		b := c.rect.Y1 - target.Y1
+		if l == 0 && rr == 0 && t == 0 && b == 0 {
+			continue
+		}
+		plan := kernel.InsetPlan{InW: c.info.Items.W, InH: c.info.Items.H, L: l, R: rr, T: t, B: b}
+		name := uniqueName(g, fmt.Sprintf("Inset(%s.%s)", c.port.Node().Name(), c.port.Name))
+		inset := kernel.Inset(name, plan, c.info.ItemSize)
+		g.Add(inset)
+		e := g.EdgeTo(c.port)
+		from := e.From.Node()
+		g.Disconnect(e)
+		g.Connect(from, e.From.Name, inset, "in")
+		g.Connect(inset, "out", c.port.Node(), c.port.Name)
+		fixed = true
+	}
+	if !fixed {
+		return fmt.Errorf("transform: trim pass could not fix %s.%s", p.Node.Name(), p.Method)
+	}
+	return nil
+}
+
+// fixByPadding grows the smaller streams: it walks back to the raw
+// sample input of the kernel that produced each too-small stream and
+// zero-pads it so the output covers the union of all inputs.
+func fixByPadding(g *graph.Graph, r *analysis.Result, p analysis.Problem) error {
+	cov, err := gatherCoverages(g, r, p)
+	if err != nil {
+		return err
+	}
+	target := cov[0].rect
+	for _, c := range cov[1:] {
+		target = target.Union(c.rect)
+	}
+	fixed := false
+	for _, c := range cov {
+		l := c.rect.X0 - target.X0
+		rr := target.X1 - c.rect.X1
+		t := c.rect.Y0 - target.Y0
+		b := target.Y1 - c.rect.Y1
+		if l == 0 && rr == 0 && t == 0 && b == 0 {
+			continue
+		}
+		// Find the producing kernel's windowed raw input edge.
+		producer := g.EdgeTo(c.port).From.Node()
+		rawEdge, rawInfo, err := windowedRawInput(g, r, producer)
+		if err != nil {
+			return fmt.Errorf("transform: cannot pad for %s: %w", c.port, err)
+		}
+		plan := kernel.PadPlan{InW: rawInfo.Region.W, InH: rawInfo.Region.H, L: l, R: rr, T: t, B: b}
+		name := uniqueName(g, fmt.Sprintf("Pad(%s)", producer.Name()))
+		pad := kernel.Pad(name, plan)
+		g.Add(pad)
+		from := rawEdge.From.Node()
+		toPort := rawEdge.To
+		g.Disconnect(rawEdge)
+		g.Connect(from, rawEdge.From.Name, pad, "in")
+		g.Connect(pad, "out", toPort.Node(), toPort.Name)
+		fixed = true
+	}
+	if !fixed {
+		return fmt.Errorf("transform: pad pass could not fix %s.%s", p.Node.Name(), p.Method)
+	}
+	return nil
+}
+
+// windowedRawInput returns the edge feeding the producer's windowed
+// data input, which must carry raw 1×1 samples (PadInputs runs before
+// buffering).
+func windowedRawInput(g *graph.Graph, r *analysis.Result, producer *graph.Node) (*graph.Edge, analysis.PortInfo, error) {
+	for _, port := range producer.Inputs() {
+		if port.Replicated {
+			continue
+		}
+		if port.Size.W <= 1 && port.Size.H <= 1 {
+			continue
+		}
+		e := g.EdgeTo(port)
+		if e == nil {
+			continue
+		}
+		info, ok := r.In[port]
+		if !ok {
+			continue
+		}
+		if info.ItemSize != geom.Sz(1, 1) {
+			return nil, analysis.PortInfo{}, fmt.Errorf(
+				"input %s already buffered; run PadInputs alignment before buffering", port)
+		}
+		return e, info, nil
+	}
+	return nil, analysis.PortInfo{}, fmt.Errorf("no windowed raw input on %q", producer.Name())
+}

@@ -1,0 +1,70 @@
+// Package transform implements the paper's automatic program
+// transformations: buffer insertion (§III-B), trimming/padding for
+// alignment (§III-C), and parallelization with split/join/replicate
+// kernels under data-dependency constraints (§IV), including the
+// column-wise splitting of memory-bound buffers (§IV-C, Figure 10).
+package transform
+
+import (
+	"fmt"
+
+	"blockpar/internal/analysis"
+	"blockpar/internal/graph"
+	"blockpar/internal/kernel"
+)
+
+// InsertBuffers analyzes the graph and inserts a parameterized buffer
+// kernel on every edge where a windowed consumer reads a raw sample
+// stream (the NeedsBuffer problems), exactly as Figure 3 shows for the
+// image-processing example. Buffers directly fed by application inputs
+// are marked NoMultiplex (Figure 12: "the initial input buffers are not
+// multiplexed because they may block the input").
+func InsertBuffers(g *graph.Graph) error {
+	r, err := analysis.Analyze(g)
+	if err != nil {
+		return err
+	}
+	probs := r.ProblemsOfKind(analysis.NeedsBuffer)
+	for _, p := range probs {
+		e := p.Edge
+		if e == nil {
+			return fmt.Errorf("transform: needs-buffer problem without edge at %s", p.Node.Name())
+		}
+		info := r.Out[e.From]
+		consumer := e.To
+		if info.ItemSize.W != 1 || info.ItemSize.H != 1 {
+			return fmt.Errorf("transform: cannot buffer %s: items are %v, not raw samples",
+				e, info.ItemSize)
+		}
+		plan := kernel.BufferPlan{
+			DataW: info.Region.W, DataH: info.Region.H,
+			WinW: consumer.Size.W, WinH: consumer.Size.H,
+			StepX: consumer.Step.X, StepY: consumer.Step.Y,
+		}
+		name := uniqueName(g, fmt.Sprintf("Buffer(%s.%s)", consumer.Node().Name(), consumer.Name))
+		buf := kernel.Buffer(name, plan)
+		if e.From.Node().Kind == graph.KindInput {
+			buf.NoMultiplex = true
+		}
+		g.Add(buf)
+		from := e.From.Node()
+		to := consumer.Node()
+		g.Disconnect(e)
+		g.Connect(from, e.From.Name, buf, "in")
+		g.Connect(buf, "out", to, consumer.Name)
+	}
+	return nil
+}
+
+// uniqueName returns name, or name#2, #3... if taken.
+func uniqueName(g *graph.Graph, name string) string {
+	if g.Node(name) == nil {
+		return name
+	}
+	for i := 2; ; i++ {
+		cand := fmt.Sprintf("%s#%d", name, i)
+		if g.Node(cand) == nil {
+			return cand
+		}
+	}
+}

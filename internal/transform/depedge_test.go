@@ -1,0 +1,112 @@
+package transform
+
+import (
+	"testing"
+
+	"blockpar/internal/analysis"
+	"blockpar/internal/frame"
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+	"blockpar/internal/kernel"
+	"blockpar/internal/machine"
+	"blockpar/internal/runtime"
+)
+
+// buildGainChain makes Input -> GainA -> GainB -> Output at a rate that
+// would parallelize both kernels many ways on the small machine.
+func buildGainChain(rate geom.Frac) (*graph.Graph, *graph.Node, *graph.Node) {
+	g := graph.New("chain")
+	in := g.AddInput("Input", geom.Sz(16, 8), geom.Sz(1, 1), rate)
+	a := g.Add(kernel.Gain("GainA", 2))
+	b := g.Add(kernel.Gain("GainB", 3))
+	out := g.AddOutput("Output", geom.Sz(1, 1))
+	g.Connect(in, "out", a, "in")
+	g.Connect(a, "out", b, "in")
+	g.Connect(b, "out", out, "in")
+	return g, a, b
+}
+
+// TestDepEdgeFromInputSerializes reproduces the Figure 1(b) use: a
+// dependency edge from the application input pins the sink to one
+// instance regardless of its load.
+func TestDepEdgeFromInputSerializes(t *testing.T) {
+	g, _, b := buildGainChain(geom.F(2_000_000, 128))
+	g.AddDep(g.Node("Input"), b)
+	rep, err := Parallelize(g, Options{Machine: machine.Small(), BufferStriping: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Degrees["GainA"] < 2 {
+		t.Errorf("GainA degree = %d, want >= 2", rep.Degrees["GainA"])
+	}
+	if rep.Degrees["GainB"] != 1 {
+		t.Errorf("GainB degree = %d, want 1 (dep edge from input)", rep.Degrees["GainB"])
+	}
+}
+
+// TestDepEdgeBetweenKernelsLimits implements §IV-B's pipeline use: a
+// dependency edge between two kernels limits the sink's parallelism to
+// the source's degree (here both would naturally exceed it).
+func TestDepEdgeBetweenKernelsLimits(t *testing.T) {
+	// First find GainA's natural degree without any dep edge.
+	g0, _, _ := buildGainChain(geom.F(2_000_000, 128))
+	rep0, err := Parallelize(g0, Options{Machine: machine.Small(), BufferStriping: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	natural := rep0.Degrees["GainA"]
+	if natural < 2 {
+		t.Skipf("rate too low to parallelize (degree %d)", natural)
+	}
+
+	// Now bound GainA to 2 via a dep edge from the input... the paper
+	// uses dep edges only to LIMIT; to pin GainA at a degree, hang it
+	// off a kernel with that degree. Build In -> Limiter(2 needed) ->
+	// GainA with dep Limiter -> GainA is the natural shape, but a
+	// simpler equivalent: dep from the input to GainA gives 1, and dep
+	// from GainA to GainB gives degree(GainB) == degree(GainA).
+	g, a, b := buildGainChain(geom.F(2_000_000, 128))
+	g.AddDep(a, b)
+	rep, err := Parallelize(g, Options{Machine: machine.Small(), BufferStriping: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Degrees["GainB"] > rep.Degrees["GainA"] {
+		t.Errorf("GainB degree %d exceeds GainA's %d despite dep edge",
+			rep.Degrees["GainB"], rep.Degrees["GainA"])
+	}
+	_ = b
+}
+
+// TestDepEdgeLimitedGraphStillCorrect verifies the dep-edge-limited
+// parallelization still computes the right answer.
+func TestDepEdgeLimitedGraphStillCorrect(t *testing.T) {
+	g, a, b := buildGainChain(geom.F(2_000_000, 128))
+	g.AddDep(a, b)
+	if _, err := Parallelize(g, Options{Machine: machine.Small(), BufferStriping: true}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := runtime.Run(g, runtime.Options{Frames: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f, ws := range res.FrameSlices("Output") {
+		want := frame.Gain(frame.Gradient(int64(f), 16, 8), 6)
+		if len(ws) != len(want.Pix) {
+			t.Fatalf("frame %d: %d samples", f, len(ws))
+		}
+		for i, w := range ws {
+			if w.Value() != want.Pix[i] {
+				t.Fatalf("frame %d sample %d = %v, want %v", f, i, w.Value(), want.Pix[i])
+			}
+		}
+	}
+	// Final analysis still clean.
+	r, err := analysis.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HasProblems() {
+		t.Errorf("problems: %v", r.Problems)
+	}
+}

@@ -1,0 +1,174 @@
+package transform
+
+import (
+	"fmt"
+
+	"blockpar/internal/analysis"
+	"blockpar/internal/graph"
+	"blockpar/internal/kernel"
+	"blockpar/internal/machine"
+)
+
+// Options configures parallelization.
+type Options struct {
+	Machine machine.Machine
+	// BufferStriping replicates a kernel's input buffer per parallel
+	// instance, splitting the sample stream column-wise with overlap
+	// (the reuse-optimized structure of Figure 9(b/c) and the buffer
+	// split of Figure 10). When false, the buffer stays shared and its
+	// window stream is distributed round-robin (Figure 9(a)), which
+	// moves every window across a channel and forgoes in-buffer reuse —
+	// kept as the ablation baseline.
+	BufferStriping bool
+}
+
+// DefaultOptions returns the paper's configuration: striped buffers on
+// the reference machine.
+func DefaultOptions() Options {
+	return Options{Machine: machine.Default(), BufferStriping: true}
+}
+
+// Report records what the parallelizer did.
+type Report struct {
+	// Degrees maps base kernel names to the parallel degree chosen.
+	Degrees map[string]int
+	// StripedBuffers lists base buffer names split column-wise.
+	StripedBuffers []string
+}
+
+// Parallelize replicates kernels to meet the real-time input rates on
+// the target machine (§IV): the degree is the required cycles/sec
+// (compute plus port access) divided by one PE's cycles/sec, and
+// buffers additionally split when they exceed one PE's memory.
+// Data-dependency edges limit a sink's degree to its source's (§IV-B).
+func Parallelize(g *graph.Graph, opts Options) (*Report, error) {
+	if err := opts.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	r, err := analysis.Analyze(g)
+	if err != nil {
+		return nil, err
+	}
+	if r.HasProblems() {
+		return nil, fmt.Errorf("transform: graph must be buffered and aligned before parallelization: %v",
+			r.Problems[0])
+	}
+	order, err := g.Topological()
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{Degrees: make(map[string]int)}
+	degrees := make(map[*graph.Node]int)
+	for _, in := range g.Inputs() {
+		degrees[in] = 1
+	}
+	// pairedBuffers are consumed by a (buffer, kernel) stripe pair and
+	// must not be split again on their own.
+	paired := make(map[*graph.Node]bool)
+
+	for _, n := range order {
+		switch n.Kind {
+		case graph.KindKernel:
+			deg := r.DegreeFor(n, opts.Machine)
+			for _, d := range g.Deps() {
+				if d.To == n {
+					if lim, ok := degrees[d.From]; ok && lim < deg {
+						deg = lim
+					}
+				}
+			}
+			degrees[n] = deg
+			rep.Degrees[n.Base] = deg
+
+			buf := pairableBuffer(g, n, opts)
+			if buf != nil {
+				stripeDeg := deg
+				if bd := r.DegreeFor(buf, opts.Machine); bd > stripeDeg {
+					stripeDeg = bd
+				}
+				plan, _ := kernel.BufferPlanOf(buf)
+				if wpr := plan.WindowsPerRow(); stripeDeg > wpr {
+					stripeDeg = wpr
+				}
+				if stripeDeg > 1 {
+					degrees[n] = stripeDeg
+					rep.Degrees[n.Base] = stripeDeg
+					rep.StripedBuffers = append(rep.StripedBuffers, buf.Base)
+					paired[buf] = true
+					if err := stripePair(g, buf, n, stripeDeg); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				paired[buf] = true // degree 1: leave both alone
+				continue
+			}
+			if deg > 1 {
+				if err := rrParallelize(g, n, deg); err != nil {
+					return nil, err
+				}
+			}
+		case graph.KindBuffer:
+			// Handled when its paired kernel is visited; standalone
+			// memory-bound buffers are split below after the pass.
+		}
+	}
+
+	// Second pass: standalone buffers that exceed PE memory (§IV-C).
+	for _, n := range order {
+		if n.Kind != graph.KindBuffer || paired[n] {
+			continue
+		}
+		if g.Node(n.Name()) != n {
+			continue // replaced meanwhile
+		}
+		memDeg := r.DegreeFor(n, opts.Machine)
+		plan, ok := kernel.BufferPlanOf(n)
+		if !ok {
+			continue
+		}
+		if wpr := plan.WindowsPerRow(); memDeg > wpr {
+			memDeg = wpr
+		}
+		if memDeg <= 1 {
+			continue
+		}
+		rep.StripedBuffers = append(rep.StripedBuffers, n.Base)
+		if err := stripeBufferAlone(g, n, memDeg); err != nil {
+			return nil, err
+		}
+	}
+
+	return rep, nil
+}
+
+// pairableBuffer returns the buffer feeding n's only non-replicated
+// data input when striping applies: the buffer must feed n exclusively.
+func pairableBuffer(g *graph.Graph, n *graph.Node, opts Options) *graph.Node {
+	if !opts.BufferStriping {
+		return nil
+	}
+	var dataIn *graph.Port
+	for _, p := range n.Inputs() {
+		if p.Replicated {
+			continue
+		}
+		if dataIn != nil {
+			return nil // multiple data inputs: no pairing
+		}
+		dataIn = p
+	}
+	if dataIn == nil {
+		return nil
+	}
+	e := g.EdgeTo(dataIn)
+	if e == nil || e.From.Node().Kind != graph.KindBuffer {
+		return nil
+	}
+	buf := e.From.Node()
+	if len(g.EdgesFrom(buf.Output("out"))) != 1 {
+		return nil // buffer fans out: cannot stripe for one consumer
+	}
+	return buf
+}

@@ -1,0 +1,250 @@
+package transform
+
+import (
+	"fmt"
+
+	"blockpar/internal/graph"
+	"blockpar/internal/kernel"
+)
+
+// portConsumers snapshots the consumers of an output port before
+// rewiring.
+type portConsumer struct {
+	node  *graph.Node
+	input string
+}
+
+func consumersOf(g *graph.Graph, p *graph.Port) []portConsumer {
+	var out []portConsumer
+	for _, e := range g.EdgesFrom(p) {
+		out = append(out, portConsumer{node: e.To.Node(), input: e.To.Name})
+	}
+	return out
+}
+
+// makeInstances renames n to Base_0 and adds deg-1 clones, returning
+// all instances in index order (paper Figure 4's "5x5 Conv_0..2").
+func makeInstances(g *graph.Graph, n *graph.Node, deg int) []*graph.Node {
+	instances := make([]*graph.Node, deg)
+	base := n.Base
+	g.Rename(n, fmt.Sprintf("%s_0", base))
+	n.Instance = 0
+	instances[0] = n
+	for i := 1; i < deg; i++ {
+		c := graph.CloneNode(n, fmt.Sprintf("%s_%d", base, i), i)
+		g.Add(c)
+		instances[i] = c
+	}
+	return instances
+}
+
+// rrParallelize replicates a data-parallel kernel deg ways with
+// round-robin split/join kernels (§IV-A) and Replicate kernels on
+// replicated inputs.
+func rrParallelize(g *graph.Graph, n *graph.Node, deg int) error {
+	type feeder struct {
+		input string
+		dist  *graph.Node // split or replicate
+	}
+	var feeders []feeder
+	for _, p := range n.Inputs() {
+		e := g.EdgeTo(p)
+		if e == nil {
+			return fmt.Errorf("transform: input %s unconnected", p)
+		}
+		src, srcPort := e.From.Node(), e.From.Name
+		g.Disconnect(e)
+		var dist *graph.Node
+		if p.Replicated {
+			dist = kernel.Replicate(uniqueName(g, fmt.Sprintf("Replicate(%s.%s)", n.Base, p.Name)), deg, p.Size)
+		} else {
+			dist = kernel.SplitRR(uniqueName(g, fmt.Sprintf("Split(%s.%s)", n.Base, p.Name)), deg, p.Size)
+		}
+		g.Add(dist)
+		g.Connect(src, srcPort, dist, "in")
+		feeders = append(feeders, feeder{input: p.Name, dist: dist})
+	}
+
+	type collector struct {
+		output string
+		join   *graph.Node
+	}
+	var collectors []collector
+	for _, p := range n.Outputs() {
+		cons := consumersOf(g, p)
+		for _, e := range g.EdgesFrom(p) {
+			g.Disconnect(e)
+		}
+		join := kernel.JoinRR(uniqueName(g, fmt.Sprintf("Join(%s.%s)", n.Base, p.Name)), deg, p.Size)
+		g.Add(join)
+		for _, c := range cons {
+			g.Connect(join, "out", c.node, c.input)
+		}
+		collectors = append(collectors, collector{output: p.Name, join: join})
+	}
+
+	instances := makeInstances(g, n, deg)
+	for i, inst := range instances {
+		for _, f := range feeders {
+			g.Connect(f.dist, fmt.Sprintf("out%d", i), inst, f.input)
+		}
+		for _, c := range collectors {
+			g.Connect(inst, c.output, c.join, fmt.Sprintf("in%d", i))
+		}
+	}
+	return nil
+}
+
+// stripePair parallelizes a (buffer → kernel) pair deg ways by columns:
+// a SplitColumns kernel distributes the raw sample stream (overlap
+// replicated, Figure 10) to per-stripe buffers, each feeding one kernel
+// instance, and each kernel output is collected in column order by a
+// JoinColumns kernel.
+func stripePair(g *graph.Graph, buf, n *graph.Node, deg int) error {
+	plan, ok := kernel.BufferPlanOf(buf)
+	if !ok {
+		return fmt.Errorf("transform: %q is not a buffer", buf.Name())
+	}
+	stripes := kernel.ColumnStripes(plan.DataW, plan.WinW, plan.StepX, deg)
+
+	// The raw stream feeding the buffer.
+	srcEdge := g.EdgeTo(buf.Input("in"))
+	if srcEdge == nil {
+		return fmt.Errorf("transform: buffer %q has no producer", buf.Name())
+	}
+	src, srcPort := srcEdge.From.Node(), srcEdge.From.Name
+
+	// Kernel data input being fed by the buffer.
+	var dataInput string
+	for _, p := range n.Inputs() {
+		if !p.Replicated {
+			dataInput = p.Name
+		}
+	}
+
+	split := kernel.SplitColumns(uniqueName(g, fmt.Sprintf("Split(%s)", buf.Base)), stripes, plan.DataW)
+	// After striping, the split faces the application input, so it
+	// inherits the no-multiplex rule; the stripe buffers behind it are
+	// one hop removed and may share PEs (Figure 12).
+	split.NoMultiplex = buf.NoMultiplex
+	g.Add(split)
+	g.Disconnect(srcEdge)
+	g.Connect(src, srcPort, split, "in")
+
+	// Replicated inputs.
+	type feeder struct {
+		input string
+		repl  *graph.Node
+	}
+	var feeders []feeder
+	for _, p := range n.Inputs() {
+		if !p.Replicated {
+			continue
+		}
+		e := g.EdgeTo(p)
+		rsrc, rport := e.From.Node(), e.From.Name
+		g.Disconnect(e)
+		repl := kernel.Replicate(uniqueName(g, fmt.Sprintf("Replicate(%s.%s)", n.Base, p.Name)), deg, p.Size)
+		g.Add(repl)
+		g.Connect(rsrc, rport, repl, "in")
+		feeders = append(feeders, feeder{input: p.Name, repl: repl})
+	}
+
+	// Output joins (one per kernel output port).
+	counts := make([]int, deg)
+	for i, s := range stripes {
+		counts[i] = s.OutCount()
+	}
+	type collector struct {
+		output string
+		join   *graph.Node
+	}
+	var collectors []collector
+	for _, p := range n.Outputs() {
+		cons := consumersOf(g, p)
+		for _, e := range g.EdgesFrom(p) {
+			g.Disconnect(e)
+		}
+		join := kernel.JoinColumns(uniqueName(g, fmt.Sprintf("Join(%s.%s)", n.Base, p.Name)), counts, p.Size)
+		g.Add(join)
+		for _, c := range cons {
+			g.Connect(join, "out", c.node, c.input)
+		}
+		collectors = append(collectors, collector{output: p.Name, join: join})
+	}
+
+	// Remove the shared buffer; build per-stripe buffers and instances.
+	bufBase := buf.Base
+	g.Disconnect(g.EdgeTo(n.Input(dataInput)))
+	g.Remove(buf)
+
+	instances := makeInstances(g, n, deg)
+	for i, inst := range instances {
+		sp := kernel.BufferPlan{
+			DataW: stripes[i].InWidth(), DataH: plan.DataH,
+			WinW: plan.WinW, WinH: plan.WinH,
+			StepX: plan.StepX, StepY: plan.StepY,
+		}
+		sb := kernel.Buffer(uniqueName(g, fmt.Sprintf("%s_%d", bufBase, i)), sp)
+		sb.Base = bufBase
+		sb.Instance = i
+		g.Add(sb)
+		g.Connect(split, fmt.Sprintf("out%d", i), sb, "in")
+		g.Connect(sb, "out", inst, dataInput)
+		for _, f := range feeders {
+			g.Connect(f.repl, fmt.Sprintf("out%d", i), inst, f.input)
+		}
+		for _, c := range collectors {
+			g.Connect(inst, c.output, c.join, fmt.Sprintf("in%d", i))
+		}
+	}
+	return nil
+}
+
+// stripeBufferAlone splits a memory-bound buffer column-wise without
+// replicating its consumer: SplitColumns → per-stripe buffers →
+// JoinColumns → original consumer (§IV-C: buffers "likely to be limited
+// by the available storage at a processor element").
+func stripeBufferAlone(g *graph.Graph, buf *graph.Node, deg int) error {
+	plan, ok := kernel.BufferPlanOf(buf)
+	if !ok {
+		return fmt.Errorf("transform: %q is not a buffer", buf.Name())
+	}
+	stripes := kernel.ColumnStripes(plan.DataW, plan.WinW, plan.StepX, deg)
+
+	srcEdge := g.EdgeTo(buf.Input("in"))
+	src, srcPort := srcEdge.From.Node(), srcEdge.From.Name
+	out := buf.Output("out")
+	cons := consumersOf(g, out)
+
+	split := kernel.SplitColumns(uniqueName(g, fmt.Sprintf("Split(%s)", buf.Base)), stripes, plan.DataW)
+	split.NoMultiplex = buf.NoMultiplex
+	g.Add(split)
+	counts := make([]int, deg)
+	for i, s := range stripes {
+		counts[i] = s.OutCount()
+	}
+	join := kernel.JoinColumns(uniqueName(g, fmt.Sprintf("Join(%s)", buf.Base)), counts, out.Size)
+	g.Add(join)
+
+	bufBase := buf.Base
+	g.Remove(buf)
+	g.Connect(src, srcPort, split, "in")
+	for _, c := range cons {
+		g.Connect(join, "out", c.node, c.input)
+	}
+	for i := range stripes {
+		sp := kernel.BufferPlan{
+			DataW: stripes[i].InWidth(), DataH: plan.DataH,
+			WinW: plan.WinW, WinH: plan.WinH,
+			StepX: plan.StepX, StepY: plan.StepY,
+		}
+		sb := kernel.Buffer(uniqueName(g, fmt.Sprintf("%s_%d", bufBase, i)), sp)
+		sb.Base = bufBase
+		sb.Instance = i
+		g.Add(sb)
+		g.Connect(split, fmt.Sprintf("out%d", i), sb, "in")
+		g.Connect(sb, "out", join, fmt.Sprintf("in%d", i))
+	}
+	return nil
+}

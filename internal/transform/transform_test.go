@@ -1,0 +1,326 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"blockpar/internal/analysis"
+	"blockpar/internal/apps"
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+	"blockpar/internal/kernel"
+	"blockpar/internal/machine"
+)
+
+func mustAnalyze(t *testing.T, g *graph.Graph) *analysis.Result {
+	t.Helper()
+	r, err := analysis.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestFigure3BufferAndInsetInsertion reproduces Figure 3: after
+// buffering and trim alignment, the image pipeline has three buffers
+// (two for the median/conv data paths... the 5x5 conv and 3x3 median
+// each get one, the histogram path needs none) and one inset kernel on
+// the median branch.
+func TestFigure3BufferAndInsetInsertion(t *testing.T) {
+	app := apps.ImagePipeline("fig3", apps.ImageCfg{W: 20, H: 16, Rate: geom.FInt(50), Bins: 16})
+	g := app.Graph
+	if err := InsertBuffers(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := Align(g, Trim); err != nil {
+		t.Fatal(err)
+	}
+	counts := g.CountByKind()
+	if counts[graph.KindBuffer] != 2 {
+		t.Errorf("buffers = %d, want 2 (median and conv paths)", counts[graph.KindBuffer])
+	}
+	if counts[graph.KindInset] != 1 {
+		t.Errorf("insets = %d, want 1 (median branch)", counts[graph.KindInset])
+	}
+	// The inset trims one item on each side (Figure 3's (0,0)[1,1,1,1]).
+	for _, n := range g.Nodes() {
+		if n.Kind != graph.KindInset {
+			continue
+		}
+		plan, ok := kernel.InsetPlanOf(n)
+		if !ok {
+			t.Fatal("inset node without plan")
+		}
+		if plan.L != 1 || plan.R != 1 || plan.T != 1 || plan.B != 1 {
+			t.Errorf("inset plan = %+v, want 1 on each side", plan)
+		}
+	}
+	// After the fixes the analysis is clean.
+	r := mustAnalyze(t, g)
+	if r.HasProblems() {
+		t.Errorf("problems remain: %v", r.Problems)
+	}
+	// And the subtract kernel sees 14x10 items on both inputs
+	// (region 20x16 minus the 5x5 halo plus insets).
+	sub := g.Node("Subtract")
+	i0 := r.In[sub.Input("in0")]
+	i1 := r.In[sub.Input("in1")]
+	if i0.Items != geom.Sz(16, 12) || i1.Items != geom.Sz(16, 12) {
+		t.Errorf("subtract inputs = %v / %v, want 16x12 items", i0.Items, i1.Items)
+	}
+	if !i0.Inset.Add(sub.Input("in0").Offset).Equal(i1.Inset.Add(sub.Input("in1").Offset)) {
+		t.Errorf("subtract insets still differ: %v vs %v", i0.Inset, i1.Inset)
+	}
+}
+
+func TestPadAlignmentGrowsConvOutput(t *testing.T) {
+	app := apps.ImagePipeline("pad-align", apps.ImageCfg{W: 20, H: 16, Rate: geom.FInt(50), Bins: 16})
+	g := app.Graph
+	if err := Align(g, PadInputs); err != nil {
+		t.Fatal(err)
+	}
+	counts := g.CountByKind()
+	if counts[graph.KindPad] != 1 {
+		t.Fatalf("pads = %d, want 1 (conv branch)", counts[graph.KindPad])
+	}
+	var pad *graph.Node
+	for _, n := range g.Nodes() {
+		if n.Kind == graph.KindPad {
+			pad = n
+		}
+	}
+	plan, _ := kernel.PadPlanOf(pad)
+	if plan.L != 1 || plan.R != 1 || plan.T != 1 || plan.B != 1 {
+		t.Errorf("pad plan = %+v, want 1 on each side", plan)
+	}
+	// The pad feeds the conv branch (upstream of the conv kernel).
+	if err := InsertBuffers(g); err != nil {
+		t.Fatal(err)
+	}
+	r := mustAnalyze(t, g)
+	if r.HasProblems() {
+		t.Errorf("problems remain after pad+buffer: %v", r.Problems)
+	}
+	// Both subtract inputs now cover the median's grid (18x14).
+	sub := g.Node("Subtract")
+	if got := r.In[sub.Input("in1")].Items; got != geom.Sz(18, 14) {
+		t.Errorf("conv branch items = %v, want 18x14", got)
+	}
+}
+
+func TestBuffersNotInsertedWhenAligned(t *testing.T) {
+	// A pure item pipeline (gain) needs no buffers.
+	g := graph.New("nobuf")
+	in := g.AddInput("Input", geom.Sz(8, 8), geom.Sz(1, 1), geom.FInt(10))
+	k := g.Add(kernel.Gain("Gain", 2))
+	out := g.AddOutput("Output", geom.Sz(1, 1))
+	g.Connect(in, "out", k, "in")
+	g.Connect(k, "out", out, "in")
+	if err := InsertBuffers(g); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.CountByKind()[graph.KindBuffer]; got != 0 {
+		t.Errorf("buffers = %d, want 0", got)
+	}
+}
+
+func TestInputBuffersMarkedNoMultiplex(t *testing.T) {
+	app := apps.ImagePipeline("nomux", apps.ImageCfg{W: 20, H: 16, Rate: geom.FInt(50), Bins: 16})
+	g := app.Graph
+	if err := InsertBuffers(g); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range g.Nodes() {
+		if n.Kind == graph.KindBuffer && !n.NoMultiplex {
+			t.Errorf("input buffer %q not marked NoMultiplex", n.Name())
+		}
+	}
+}
+
+// TestFigure4Parallelization drives the running example at a rate that
+// forces the compute kernels to replicate, and checks the structure the
+// paper shows in Figure 4: parallel conv and median instances behind
+// split/column buffers, a replicated coefficient input, a parallelized
+// histogram, and a Merge held serial by the data-dependency edge.
+func TestFigure4Parallelization(t *testing.T) {
+	app := apps.ImagePipeline("fig4", apps.ImageCfg{
+		W: apps.SmallW, H: apps.SmallH,
+		Rate: geom.F(apps.FastRate, int64(apps.SmallW*apps.SmallH)),
+		Bins: 32,
+	})
+	g := app.Graph
+	if err := InsertBuffers(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := Align(g, Trim); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Parallelize(g, Options{Machine: machine.Embedded(), BufferStriping: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := rep.Degrees["5x5 Conv"]; d < 2 {
+		t.Errorf("conv degree = %d, want >= 2", d)
+	}
+	if d := rep.Degrees["3x3 Median"]; d < 2 {
+		t.Errorf("median degree = %d, want >= 2", d)
+	}
+	if d := rep.Degrees["Histogram"]; d < 2 {
+		t.Errorf("histogram degree = %d, want >= 2", d)
+	}
+	if d := rep.Degrees["Merge"]; d != 1 {
+		t.Errorf("merge degree = %d, want 1 (data-dependency edge)", d)
+	}
+	// Structure: replicate node for the coefficients, split/join pairs.
+	counts := g.CountByKind()
+	if counts[graph.KindReplicate] < 1 {
+		t.Error("no Replicate kernel for the replicated coeff input")
+	}
+	if counts[graph.KindSplit] < 3 || counts[graph.KindJoin] < 3 {
+		t.Errorf("split/join = %d/%d, want >= 3 each", counts[graph.KindSplit], counts[graph.KindJoin])
+	}
+	if len(g.InstancesOf("5x5 Conv")) != rep.Degrees["5x5 Conv"] {
+		t.Errorf("conv instances = %d, want %d", len(g.InstancesOf("5x5 Conv")), rep.Degrees["5x5 Conv"])
+	}
+	// Per-stripe buffers replaced the shared ones.
+	for _, n := range g.Nodes() {
+		if n.Kind == graph.KindBuffer {
+			if plan, ok := kernel.BufferPlanOf(n); ok && plan.DataW >= apps.SmallW {
+				t.Errorf("buffer %q still spans the full width %d", n.Name(), plan.DataW)
+			}
+		}
+	}
+	// The transformed graph still validates and analyzes cleanly.
+	r := mustAnalyze(t, g)
+	if r.HasProblems() {
+		t.Errorf("problems after parallelization: %v", r.Problems)
+	}
+}
+
+func TestParallelizeRequiresCleanGraph(t *testing.T) {
+	app := apps.ImagePipeline("dirty", apps.ImageCfg{W: 20, H: 16, Rate: geom.FInt(50), Bins: 16})
+	_, err := Parallelize(app.Graph, Options{Machine: machine.Embedded(), BufferStriping: true})
+	if err == nil || !strings.Contains(err.Error(), "buffered and aligned") {
+		t.Fatalf("unbuffered graph accepted: %v", err)
+	}
+}
+
+// TestFigure10BufferOnlySplit checks the memory-bound buffer split: a
+// wide frame at a trivial rate forces the line buffer across PEs while
+// the paired convolution also stripes (stripe degree = max of both
+// constraints).
+func TestFigure10BufferOnlySplit(t *testing.T) {
+	app := apps.ParallelBufferTest("parbuf", apps.BufferCfg{
+		W: 256, H: 32, Rate: geom.F(apps.SlowRate, 256*32),
+	})
+	g := app.Graph
+	if err := InsertBuffers(g); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Parallelize(g, Options{Machine: machine.Embedded(), BufferStriping: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.StripedBuffers) == 0 {
+		t.Fatal("wide buffer not striped")
+	}
+	// Every stripe buffer now fits in PE memory.
+	m := machine.Embedded()
+	for _, n := range g.Nodes() {
+		if n.Kind != graph.KindBuffer {
+			continue
+		}
+		if plan, ok := kernel.BufferPlanOf(n); ok {
+			if plan.MemoryWords() > m.PE.MemWords {
+				t.Errorf("stripe buffer %q needs %d words > PE %d",
+					n.Name(), plan.MemoryWords(), m.PE.MemWords)
+			}
+		}
+	}
+	// Column split kernels replicate the overlap (Figure 10).
+	for _, n := range g.Nodes() {
+		if n.Kind != graph.KindSplit {
+			continue
+		}
+		stripes, ok := kernel.SplitColumnsStripes(n)
+		if !ok {
+			continue
+		}
+		for i := 1; i < len(stripes); i++ {
+			overlap := stripes[i-1].InEnd - stripes[i].InStart
+			if overlap != 2 { // winW - stepX = 3 - 1
+				t.Errorf("stripe overlap = %d, want 2", overlap)
+			}
+		}
+	}
+}
+
+// TestFigure9StripingAblation compares the reuse-optimized striped
+// buffers against the shared-buffer round-robin alternative: striping
+// moves far fewer words per frame out of the buffers (in-buffer reuse),
+// at the cost of replicating the overlap columns on the way in.
+func TestFigure9StripingAblation(t *testing.T) {
+	build := func(striping bool) (int64, int64) {
+		app := apps.ImagePipeline("fig9", apps.ImageCfg{
+			W: apps.SmallW, H: apps.SmallH,
+			Rate: geom.F(apps.FastRate, int64(apps.SmallW*apps.SmallH)),
+			Bins: 32,
+		})
+		g := app.Graph
+		if err := InsertBuffers(g); err != nil {
+			t.Fatal(err)
+		}
+		if err := Align(g, Trim); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Parallelize(g, Options{Machine: machine.Embedded(), BufferStriping: striping}); err != nil {
+			t.Fatal(err)
+		}
+		r := mustAnalyze(t, g)
+		var bufWrite, bufMem int64
+		for _, n := range g.Nodes() {
+			if n.Kind == graph.KindBuffer {
+				bufWrite += r.Nodes[n].WriteWordsPerFrame
+				bufMem += r.Nodes[n].MemoryWords
+			}
+		}
+		return bufWrite, bufMem
+	}
+	stripedWrite, _ := build(true)
+	sharedWrite, _ := build(false)
+	if stripedWrite <= 0 || sharedWrite <= 0 {
+		t.Fatal("no buffer traffic measured")
+	}
+	// Both configurations move the same window data out of buffers
+	// (one window per kernel iteration); the striped layout only adds
+	// the replicated overlap columns on the way in. What striping buys
+	// is per-instance buffers that fit PE memory; the traffic should
+	// stay within ~25% of the shared-buffer layout.
+	if stripedWrite > sharedWrite*5/4 {
+		t.Errorf("striped buffers write %d words vs shared %d; overhead too high",
+			stripedWrite, sharedWrite)
+	}
+}
+
+func TestRRParallelizeGainStructure(t *testing.T) {
+	g := graph.New("rr-gain")
+	in := g.AddInput("Input", geom.Sz(16, 16), geom.Sz(1, 1), geom.F(apps.FastRate, 256))
+	k := g.Add(kernel.Gain("Gain", 2))
+	out := g.AddOutput("Output", geom.Sz(1, 1))
+	g.Connect(in, "out", k, "in")
+	g.Connect(k, "out", out, "in")
+	rep, err := Parallelize(g, Options{Machine: machine.Small(), BufferStriping: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := rep.Degrees["Gain"]
+	if deg < 2 {
+		t.Fatalf("gain degree = %d, want >= 2", deg)
+	}
+	if got := len(g.InstancesOf("Gain")); got != deg {
+		t.Errorf("instances = %d, want %d", got, deg)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

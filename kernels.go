@@ -1,0 +1,134 @@
+package blockpar
+
+import (
+	"blockpar/internal/frame"
+	"blockpar/internal/kernel"
+)
+
+// Kernel library: the programmer-facing kernels of the paper's
+// applications plus the compiler-inserted kernels, re-exported for
+// building applications and custom parallelizations by hand.
+
+// Programmer kernels.
+var (
+	// Convolution builds a k×k convolution with a replicated "coeff"
+	// input and loadCoeff method (paper Figure 6).
+	Convolution = kernel.Convolution
+	// Median builds a k×k median filter.
+	Median = kernel.Median
+	// Subtract builds the two-input per-pixel difference kernel.
+	Subtract = kernel.Subtract
+	// Histogram builds the data+token histogram kernel of Figure 7.
+	Histogram = kernel.Histogram
+	// MergeKernel builds the serial partial-histogram reducer of
+	// Figure 1(b).
+	MergeKernel = kernel.Merge
+	// BayerDemosaic builds the RGGB demosaic kernel with R, G, B
+	// output planes.
+	BayerDemosaic = kernel.BayerDemosaic
+	// Gain builds a 1×1 scale kernel.
+	Gain = kernel.Gain
+	// Downsample builds a k×k decimator with a fractional offset.
+	Downsample = kernel.Downsample
+	// Accumulator builds the feedback example's running-sum kernel.
+	Accumulator = kernel.Accumulator
+	// FIR builds a 1-D finite-impulse-response filter with a
+	// replicated taps input.
+	FIR = kernel.FIR
+	// Upsample builds a k×k nearest-neighbor upsampler (outputs larger
+	// than inputs).
+	Upsample = kernel.Upsample
+	// Magnitude builds the two-input gradient-magnitude kernel.
+	Magnitude = kernel.Magnitude
+	// Threshold builds a 1×1 binarization kernel.
+	Threshold = kernel.Threshold
+	// MotionSearch builds the dynamic (bounded, data-dependent-cost)
+	// block-matching kernel of the §VII extension.
+	MotionSearch = kernel.MotionSearch
+	// Morphology builds a k×k grayscale erosion or dilation.
+	Morphology = kernel.Morphology
+)
+
+// Morphology operations.
+const (
+	MorphErode  = kernel.Erode
+	MorphDilate = kernel.Dilate
+)
+
+// Compiler kernels, exposed for manual/programmatic parallelization
+// (§IV-C allows the programmer to supply their own structure).
+var (
+	// Buffer builds a 2-D circular windowing buffer.
+	Buffer = kernel.Buffer
+	// SplitRR and JoinRR are the round-robin distributors (§IV-A).
+	SplitRR = kernel.SplitRR
+	JoinRR  = kernel.JoinRR
+	// SplitColumns and JoinColumns stripe a sample stream by columns
+	// with overlap replication (§IV-C, Figure 10).
+	SplitColumns = kernel.SplitColumns
+	JoinColumns  = kernel.JoinColumns
+	// Replicate broadcasts replicated inputs to every instance.
+	Replicate = kernel.Replicate
+	// Inset trims an item grid; Pad zero-pads a sample stream (§III-C).
+	Inset = kernel.Inset
+	Pad   = kernel.Pad
+	// Feedback breaks loops and supplies initial values (§III-D).
+	Feedback = kernel.Feedback
+	// ColumnStripes computes balanced overlap stripes for manual
+	// buffer splitting.
+	ColumnStripes = kernel.ColumnStripes
+)
+
+// Plan types for the compiler kernels.
+type (
+	// BufferPlan parameterizes a windowing buffer.
+	BufferPlan = kernel.BufferPlan
+	// InsetPlan parameterizes a trim kernel.
+	InsetPlan = kernel.InsetPlan
+	// PadPlan parameterizes a padding kernel.
+	PadPlan = kernel.PadPlan
+	// Stripe is one column range of a split buffer.
+	Stripe = kernel.Stripe
+)
+
+// Deterministic frame generators for application inputs.
+var (
+	// Gradient produces diagonal gradients varying per frame.
+	Gradient = frame.Gradient
+	// Checker produces checkerboards (exercises order statistics).
+	Checker = frame.Checker
+	// LCG produces pseudo-random frames in [0, 256).
+	LCG = frame.LCG
+	// BayerMosaic produces RGGB mosaic frames.
+	BayerMosaic = frame.Bayer
+	// Constant produces flat frames.
+	Constant = frame.Constant
+)
+
+// FixedWindow adapts a constant window (e.g. convolution coefficients)
+// to a Generator for configuration inputs.
+func FixedWindow(w Window) Generator {
+	return func(seq int64, fw, fh int) Window {
+		return w.Clone()
+	}
+}
+
+// NewWindow allocates a zeroed w×h window; Scalar wraps one value.
+var (
+	NewWindow = frame.NewWindow
+	Scalar    = frame.Scalar
+	FromRows  = frame.FromRows
+)
+
+// Golden sequential references, handy for verifying custom pipelines.
+var (
+	GoldenConvolve  = frame.Convolve
+	GoldenMedian    = frame.Median
+	GoldenSubtract  = frame.Subtract
+	GoldenHistogram = frame.Histogram
+	GoldenDemosaic  = frame.BayerDemosaic
+	GoldenFIR       = frame.FIR
+	GoldenUpsample  = frame.UpsampleNN
+	GoldenMorph     = frame.Morph
+	UniformBins     = frame.UniformBins
+)
