@@ -1,0 +1,114 @@
+// Command bpserve hosts compiled block-parallel pipelines as a
+// streaming-ingest HTTP server: benchmark applications (and arbitrary
+// JSON descriptions) are compiled once at startup, clients open
+// concurrent sessions, stream frames in, and collect per-frame outputs
+// that are byte-identical to the batch runtime. See docs/serving.md
+// for the API.
+//
+// Usage:
+//
+//	bpserve -addr :8080 -apps 1,2,5
+//	bpserve -apps all -desc edges.json -queue 16
+//
+// Endpoints: GET /healthz, GET /pipelines, POST /pipelines,
+// GET /metrics, POST /sessions, GET /sessions, DELETE /sessions/{id},
+// POST /sessions/{id}/frames, /collect, /process.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"blockpar/internal/apps"
+	"blockpar/internal/machine"
+	"blockpar/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	appIDs := flag.String("apps", "all", "comma-separated benchmark ids to compile at startup ("+strings.Join(apps.IDs(), ", ")+"), or \"all\", or \"none\"")
+	var descFiles stringList
+	flag.Var(&descFiles, "desc", "JSON application description to compile and serve (repeatable)")
+	queue := flag.Int("queue", 8, "default per-session bounded frame queue (HTTP 429 beyond it)")
+	maxSessions := flag.Int("max-sessions", 64, "concurrent session cap")
+	collectTimeout := flag.Duration("collect-timeout", 30*time.Second, "maximum per-request frame-collect deadline")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
+	flag.Parse()
+
+	if err := run(*addr, *appIDs, descFiles, *queue, *maxSessions, *collectTimeout, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "bpserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, appIDs string, descFiles []string, queue, maxSessions int, collectTimeout, drainTimeout time.Duration) error {
+	reg := serve.NewRegistry(machine.Embedded())
+	switch appIDs {
+	case "none":
+	case "all", "":
+		if err := reg.AddSuite(); err != nil {
+			return err
+		}
+	default:
+		if err := reg.AddSuite(strings.Split(appIDs, ",")...); err != nil {
+			return err
+		}
+	}
+	for _, f := range descFiles {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		if _, err := reg.AddJSON(data); err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+	}
+	for _, p := range reg.List() {
+		fmt.Printf("compiled %-14s %-16s %3d nodes in %v\n", p.ID, p.Name, p.Nodes, p.CompileTime.Round(time.Millisecond))
+	}
+
+	srv := serve.NewServer(reg, serve.Options{
+		MaxInFlight:    queue,
+		CollectTimeout: collectTimeout,
+		MaxSessions:    maxSessions,
+	})
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Printf("bpserve listening on %s (%d pipelines)\n", addr, len(reg.List()))
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("bpserve: %v: draining sessions...\n", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	// Stop accepting requests first, then drain every session's
+	// in-flight frames before the process exits.
+	if err := hs.Shutdown(ctx); err != nil {
+		return err
+	}
+	return srv.Shutdown(ctx)
+}
+
+// stringList is a repeatable string flag.
+type stringList []string
+
+func (l *stringList) String() string { return strings.Join(*l, ",") }
+func (l *stringList) Set(s string) error {
+	*l = append(*l, s)
+	return nil
+}

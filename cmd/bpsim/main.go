@@ -29,16 +29,17 @@ func main() {
 	place := flag.Bool("place", false, "run simulated-annealing placement and report comm cost")
 	dot := flag.Bool("dot", false, "emit the Figure 12-style clustered DOT instead of simulating")
 	traceFile := flag.String("trace", "", "write a CSV firing trace to this file")
+	traceJSON := flag.String("trace-json", "", "write a Chrome trace_event JSON firing trace to this file (chrome://tracing, Perfetto)")
 	gantt := flag.Bool("gantt", false, "print an ASCII Gantt chart of PE occupancy")
 	flag.Parse()
 
-	if err := run(*appID, *mapKind, *frames, *perPE, *place, *dot, *traceFile, *gantt); err != nil {
+	if err := run(*appID, *mapKind, *frames, *perPE, *place, *dot, *traceFile, *traceJSON, *gantt); err != nil {
 		fmt.Fprintln(os.Stderr, "bpsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(appID, mapKind string, frames int, perPE, place, dot bool, traceFile string, gantt bool) error {
+func run(appID, mapKind string, frames int, perPE, place, dot bool, traceFile, traceJSON string, gantt bool) error {
 	app, err := apps.ByID(appID)
 	if err != nil {
 		return err
@@ -70,7 +71,7 @@ func run(appID, mapKind string, frames int, perPE, place, dot bool, traceFile st
 	}
 
 	opts := sim.Options{Machine: m, Frames: frames}
-	if traceFile != "" || gantt {
+	if traceFile != "" || traceJSON != "" || gantt {
 		opts.TraceLimit = 1 << 20
 	}
 	res, err := sim.Simulate(c.Graph, assign, opts)
@@ -114,6 +115,21 @@ func run(appID, mapKind string, frames int, perPE, place, dot bool, traceFile st
 			return err
 		}
 		fmt.Printf("  trace:       %d firings written to %s\n", len(res.Trace.Events), traceFile)
+	}
+	if traceJSON != "" {
+		f, err := os.Create(traceJSON)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.Trace.WriteTraceJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("  trace-json:  %d firings written to %s\n", len(res.Trace.Events), traceJSON)
+	}
+	if res.Trace != nil && res.Trace.Dropped > 0 {
+		fmt.Fprintf(os.Stderr, "bpsim: warning: firing trace truncated, %d events dropped beyond the %d-event limit\n",
+			res.Trace.Dropped, opts.TraceLimit)
 	}
 	if gantt {
 		fmt.Println("  PE occupancy (time left to right):")

@@ -47,3 +47,24 @@ func CloneNode(n *Node, name string, instance int) *Node {
 	}
 	return c
 }
+
+// Clone returns a deep copy of the whole graph: every node (with fresh
+// behavior state), every stream edge, and every dependency edge.
+// Behaviors carry private per-run state, so a graph instance must not
+// be executed twice or shared between concurrent runs — cloning a
+// compiled template gives each execution its own state while paying
+// the compilation cost only once.
+func (g *Graph) Clone() *Graph {
+	c := New(g.Name)
+	for _, n := range g.nodes {
+		c.Add(CloneNode(n, n.Name(), n.Instance))
+	}
+	for _, e := range g.edges {
+		c.Connect(c.Node(e.From.node.Name()), e.From.Name,
+			c.Node(e.To.node.Name()), e.To.Name)
+	}
+	for _, d := range g.deps {
+		c.AddDep(c.Node(d.From.Name()), c.Node(d.To.Name()))
+	}
+	return c
+}

@@ -1,0 +1,69 @@
+package graph
+
+import (
+	"testing"
+
+	"blockpar/internal/geom"
+)
+
+type cloneStateBehavior struct{ count int }
+
+func (b *cloneStateBehavior) Clone() Behavior { return &cloneStateBehavior{} }
+func (b *cloneStateBehavior) Invoke(method string, ctx ExecContext) error {
+	b.count++
+	return nil
+}
+
+func TestGraphClone(t *testing.T) {
+	g := New("app")
+	in := g.AddInput("Input", geom.Sz(8, 6), geom.Sz(1, 1), geom.FInt(30))
+	k := NewNode("K", KindKernel)
+	k.CreateInput("in", geom.Sz(1, 1), geom.St(1, 1), geom.Off(0, 0))
+	k.CreateOutput("out", geom.Sz(1, 1), geom.St(1, 1))
+	k.RegisterMethod("run", 3, 2)
+	k.RegisterMethodInput("run", "in")
+	k.RegisterMethodOutput("run", "out")
+	k.Attrs["ktype"] = "custom"
+	b := &cloneStateBehavior{count: 7}
+	k.Behavior = b
+	g.Add(k)
+	out := g.AddOutput("Output", geom.Sz(1, 1))
+	g.Connect(in, "out", k, "in")
+	g.Connect(k, "out", out, "in")
+	g.AddDep(in, k)
+
+	c := g.Clone()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clone does not validate: %v", err)
+	}
+	if len(c.Nodes()) != len(g.Nodes()) || len(c.Edges()) != len(g.Edges()) || len(c.Deps()) != len(g.Deps()) {
+		t.Fatalf("clone shape %d/%d/%d, want %d/%d/%d",
+			len(c.Nodes()), len(c.Edges()), len(c.Deps()),
+			len(g.Nodes()), len(g.Edges()), len(g.Deps()))
+	}
+	ck := c.Node("K")
+	if ck == k {
+		t.Fatal("clone shares node pointers with the original")
+	}
+	cb, ok := ck.Behavior.(*cloneStateBehavior)
+	if !ok || cb == b {
+		t.Fatal("clone shares behavior state with the original")
+	}
+	if cb.count != 0 {
+		t.Fatalf("cloned behavior state = %d, want fresh", cb.count)
+	}
+	// Edges must reference the clone's own ports.
+	for _, e := range c.Edges() {
+		if c.Node(e.From.Node().Name()) != e.From.Node() || c.Node(e.To.Node().Name()) != e.To.Node() {
+			t.Fatalf("edge %v references nodes outside the clone", e)
+		}
+	}
+	if c.Deps()[0].From != c.Node("Input") || c.Deps()[0].To != ck {
+		t.Fatal("dependency edge not remapped onto clone nodes")
+	}
+	// Mutating the clone must not leak into the original.
+	c.Remove(ck)
+	if g.Node("K") == nil || len(g.Edges()) != 2 {
+		t.Fatal("mutating the clone affected the original graph")
+	}
+}

@@ -125,17 +125,27 @@ type executor struct {
 	// eofSeen tracks per-output EOF counts for termination.
 	eofSeen map[string]int
 
+	// Streaming mode (sessions): inputs read frames from feeds instead
+	// of generating them, outputs assemble per-frame results onto ready
+	// instead of accumulating the raw item stream, and node panics are
+	// converted to errors so a bad kernel cannot take down the process.
+	stream bool
+	feeds  map[*graph.Node]chan frame.Window
+	ready  chan StreamResult
+	// curFrame and doneFrames hold the per-output frame assembly
+	// (guarded by outMu); assembled counts completed frame sets.
+	curFrame   map[string][]frame.Window
+	doneFrames map[string][][]frame.Window
+	assembled  int64
+
 	wg sync.WaitGroup
 }
 
-// Run executes the graph for opts.Frames frames and returns the
-// collected outputs. The graph must Validate cleanly.
-func Run(g *graph.Graph, opts Options) (*Result, error) {
+// newExecutor validates the graph and wires inboxes; readyCap > 0
+// selects streaming mode with that many buffered frame results.
+func newExecutor(g *graph.Graph, opts Options, readyCap int) (*executor, error) {
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("runtime: invalid graph: %w", err)
-	}
-	if opts.Frames <= 0 {
-		opts.Frames = 1
 	}
 	if opts.ChannelCap <= 0 {
 		maxW := 64
@@ -157,6 +167,16 @@ func Run(g *graph.Graph, opts Options) (*Result, error) {
 		eofSeen:       make(map[string]int),
 		firings:       make(map[string]map[string]int64),
 	}
+	if readyCap > 0 {
+		ex.stream = true
+		ex.feeds = make(map[*graph.Node]chan frame.Window)
+		ex.ready = make(chan StreamResult, readyCap)
+		ex.curFrame = make(map[string][]frame.Window)
+		ex.doneFrames = make(map[string][][]frame.Window)
+		for _, n := range g.Inputs() {
+			ex.feeds[n] = make(chan frame.Window, readyCap)
+		}
+	}
 	for _, n := range g.Nodes() {
 		if n.Kind == graph.KindInput {
 			continue
@@ -168,27 +188,59 @@ func Run(g *graph.Graph, opts Options) (*Result, error) {
 		}
 		ex.producersLeft[n] = len(producers)
 	}
+	return ex, nil
+}
 
-	for _, n := range g.Nodes() {
+// start launches one goroutine per node and returns a channel closed
+// when all of them have exited.
+func (ex *executor) start() chan struct{} {
+	for _, n := range ex.g.Nodes() {
 		n := n
 		ex.wg.Add(1)
 		go func() {
-			defer ex.wg.Done()
+			defer func() {
+				if ex.stream {
+					if r := recover(); r != nil {
+						ex.fail(fmt.Errorf("node %q panicked: %v", n.Name(), r))
+					}
+				}
+				// This node will produce nothing more: release consumers.
+				for _, consumer := range ex.downstreamConsumers(n) {
+					ex.producerDone(consumer)
+				}
+				ex.wg.Done()
+			}()
 			if err := ex.runNode(n); err != nil && err != graph.ErrHalt {
 				ex.fail(fmt.Errorf("node %q: %w", n.Name(), err))
 			}
-			// This node will produce nothing more: release consumers.
-			for _, consumer := range ex.downstreamConsumers(n) {
-				ex.producerDone(consumer)
-			}
 		}()
 	}
-
 	done := make(chan struct{})
 	go func() {
 		ex.wg.Wait()
 		close(done)
 	}()
+	return done
+}
+
+// runErr returns the first error recorded by fail, if any.
+func (ex *executor) runErr() error {
+	ex.errMu.Lock()
+	defer ex.errMu.Unlock()
+	return ex.err
+}
+
+// Run executes the graph for opts.Frames frames and returns the
+// collected outputs. The graph must Validate cleanly.
+func Run(g *graph.Graph, opts Options) (*Result, error) {
+	if opts.Frames <= 0 {
+		opts.Frames = 1
+	}
+	ex, err := newExecutor(g, opts, 0)
+	if err != nil {
+		return nil, err
+	}
+	done := ex.start()
 	if opts.Timeout > 0 {
 		select {
 		case <-done:
@@ -204,8 +256,8 @@ func Run(g *graph.Graph, opts Options) (*Result, error) {
 	} else {
 		<-done
 	}
-	if ex.err != nil {
-		return nil, ex.err
+	if err := ex.runErr(); err != nil {
+		return nil, err
 	}
 	// The run only succeeded if every output saw its full frame budget
 	// (a kernel that silently swallows its stream must not pass).
@@ -303,8 +355,14 @@ func (ex *executor) recv(n *graph.Node) (inMsg, bool) {
 func (ex *executor) runNode(n *graph.Node) error {
 	switch n.Kind {
 	case graph.KindInput:
+		if ex.stream {
+			return ex.runInputStream(n)
+		}
 		return ex.runInput(n)
 	case graph.KindOutput:
+		if ex.stream {
+			return ex.runOutputStream(n)
+		}
 		return ex.runOutput(n)
 	}
 	if r, ok := graph.RunnerBehavior(n); ok {

@@ -1,0 +1,337 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blockpar/internal/frame"
+	"blockpar/internal/graph"
+	"blockpar/internal/token"
+)
+
+// Session errors. ErrQueueFull is the backpressure signal: the caller
+// fed more frames than MaxInFlight without collecting their results.
+var (
+	ErrSessionClosed = errors.New("runtime: session closed")
+	ErrQueueFull     = errors.New("runtime: session frame queue full")
+	// ErrBadFrame wraps caller mistakes (unknown input, wrong frame
+	// dimensions) so transports can distinguish them from execution
+	// failures.
+	ErrBadFrame = errors.New("runtime: bad frame")
+)
+
+// SessionOptions configures a streaming session.
+type SessionOptions struct {
+	// ChannelCap overrides the per-node inbox capacity (see Options).
+	ChannelCap int
+	// MaxInFlight bounds the frames fed but not yet collected; TryFeed
+	// fails with ErrQueueFull at the bound (default 4).
+	MaxInFlight int
+	// Sources provides frames for inputs the caller does not supply to
+	// Feed (coefficient and bin inputs, typically). Inputs without an
+	// entry fall back to frame.Gradient, like the batch runtime.
+	Sources map[string]frame.Generator
+}
+
+// StreamResult is the output of one completed frame: for every
+// application output, the data windows it produced for that frame, in
+// stream order.
+type StreamResult struct {
+	// Seq is the frame index, counted from zero per session.
+	Seq     int64
+	Outputs map[string][]frame.Window
+}
+
+// Session is a long-lived streaming execution instance of a graph: the
+// kernel goroutines stay resident between frames, frames are fed one at
+// a time, and each frame's outputs are flushed deterministically on its
+// end-of-frame tokens. A session over a compiled graph produces
+// byte-identical per-frame outputs to the batch Run with the same
+// sources, because inputs chunk frames with the same scan order and
+// token numbering.
+//
+// Feed and Collect may run on different goroutines (feed-ahead up to
+// MaxInFlight frames); Feed itself must not be called concurrently
+// with another Feed. Kernel panics are recovered and surface as the
+// session error instead of crashing the process.
+type Session struct {
+	g    *graph.Graph
+	ex   *executor
+	opts SessionOptions
+	done chan struct{}
+
+	mu        sync.Mutex // guards closed, fed, and the feed sends
+	closed    bool
+	fed       int64
+	collected atomic.Int64
+}
+
+// NewSession validates the graph, spins up its kernel goroutines, and
+// returns a handle ready to accept frames.
+func NewSession(g *graph.Graph, opts SessionOptions) (*Session, error) {
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = 4
+	}
+	for _, n := range g.Inputs() {
+		chunk := n.Output("out").Size
+		if n.FrameSize.W%chunk.W != 0 || n.FrameSize.H%chunk.H != 0 {
+			return nil, fmt.Errorf("runtime: input %q frame %v not divisible by chunk %v",
+				n.Name(), n.FrameSize, chunk)
+		}
+	}
+	ex, err := newExecutor(g, Options{ChannelCap: opts.ChannelCap}, opts.MaxInFlight)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{g: g, ex: ex, opts: opts}
+	s.done = ex.start()
+	return s, nil
+}
+
+// Feed enqueues one frame: the supplied window per input node, falling
+// back to the session Sources (then frame.Gradient) for absent inputs.
+// It returns the frame's index. Feed blocks while the pipeline is full;
+// use TryFeed for the non-blocking backpressure variant.
+func (s *Session) Feed(inputs map[string]frame.Window) (int64, error) {
+	return s.feed(inputs, true)
+}
+
+// TryFeed is Feed without blocking: when MaxInFlight frames are already
+// fed but uncollected it fails fast with ErrQueueFull.
+func (s *Session) TryFeed(inputs map[string]frame.Window) (int64, error) {
+	return s.feed(inputs, false)
+}
+
+func (s *Session) feed(inputs map[string]frame.Window, block bool) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrSessionClosed
+	}
+	if err := s.ex.runErr(); err != nil {
+		return 0, err
+	}
+	if !block && s.fed-s.collected.Load() >= int64(s.opts.MaxInFlight) {
+		return 0, ErrQueueFull
+	}
+	for name := range inputs {
+		if n := s.g.Node(name); n == nil || n.Kind != graph.KindInput {
+			return 0, fmt.Errorf("%w: unknown input %q", ErrBadFrame, name)
+		}
+	}
+	// Resolve and validate every window before sending anything, so a
+	// bad frame never leaves the pipeline partially fed.
+	f := s.fed
+	ins := s.g.Inputs()
+	wins := make([]frame.Window, len(ins))
+	for i, n := range ins {
+		w, ok := inputs[n.Name()]
+		if !ok {
+			gen := s.opts.Sources[n.Name()]
+			if gen == nil {
+				gen = frame.Gradient
+			}
+			w = gen(f, n.FrameSize.W, n.FrameSize.H)
+		}
+		if w.W != n.FrameSize.W || w.H != n.FrameSize.H {
+			return 0, fmt.Errorf("%w: input %q is %dx%d, want %dx%d",
+				ErrBadFrame, n.Name(), w.W, w.H, n.FrameSize.W, n.FrameSize.H)
+		}
+		wins[i] = w
+	}
+	for i, n := range ins {
+		select {
+		case s.ex.feeds[n] <- wins[i]:
+		case <-s.ex.stop:
+			return 0, s.failErr()
+		}
+	}
+	s.fed++
+	return f, nil
+}
+
+// Collect blocks until the next frame's outputs are complete and
+// returns them in frame order. A timeout of zero waits indefinitely.
+// After Close, Collect drains any remaining completed frames and then
+// fails with ErrSessionClosed.
+func (s *Session) Collect(timeout time.Duration) (*StreamResult, error) {
+	var tc <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		tc = t.C
+	}
+	select {
+	case res := <-s.ex.ready:
+		s.collected.Add(1)
+		return &res, nil
+	case <-tc:
+		return nil, fmt.Errorf("runtime: session collect timed out after %v", timeout)
+	case <-s.ex.stop:
+		// A completed frame may have raced with the failure; prefer it.
+		select {
+		case res := <-s.ex.ready:
+			s.collected.Add(1)
+			return &res, nil
+		default:
+		}
+		return nil, s.failErr()
+	case <-s.done:
+		select {
+		case res := <-s.ex.ready:
+			s.collected.Add(1)
+			return &res, nil
+		default:
+		}
+		if err := s.ex.runErr(); err != nil {
+			return nil, err
+		}
+		return nil, ErrSessionClosed
+	}
+}
+
+// Fed returns the number of frames accepted so far.
+func (s *Session) Fed() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fed
+}
+
+// Completed returns the number of frames whose outputs finished
+// (collected or still waiting in the result queue).
+func (s *Session) Completed() int64 {
+	s.ex.outMu.Lock()
+	defer s.ex.outMu.Unlock()
+	return s.ex.assembled
+}
+
+// InFlight returns the frames fed but not yet collected.
+func (s *Session) InFlight() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fed - s.collected.Load()
+}
+
+// Err returns the session's failure, or nil while it is healthy.
+func (s *Session) Err() error { return s.ex.runErr() }
+
+// Close stops the inputs and drains the pipeline: every fed frame is
+// still processed to completion (uncollected results are discarded),
+// then all kernel goroutines exit. It returns the first execution
+// error, if any. Close is idempotent.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		for _, n := range s.g.Inputs() {
+			close(s.ex.feeds[n])
+		}
+	}
+	s.mu.Unlock()
+	for {
+		select {
+		case <-s.done:
+			for {
+				select {
+				case <-s.ex.ready:
+					s.collected.Add(1)
+				default:
+					return s.ex.runErr()
+				}
+			}
+		case <-s.ex.ready:
+			s.collected.Add(1)
+		}
+	}
+}
+
+func (s *Session) failErr() error {
+	if err := s.ex.runErr(); err != nil {
+		return err
+	}
+	return errors.New("runtime: session stopped")
+}
+
+// runInputStream is the streaming replacement for runInput: frames
+// arrive from the session feed instead of a generator, but chunking and
+// EOL/EOF numbering are identical so results match the batch runtime.
+func (ex *executor) runInputStream(n *graph.Node) error {
+	out := n.Output("out")
+	chunk := out.Size
+	fs := n.FrameSize
+	for f := int64(0); ; f++ {
+		var img frame.Window
+		select {
+		case w, ok := <-ex.feeds[n]:
+			if !ok {
+				return nil
+			}
+			img = w
+		case <-ex.stop:
+			return nil
+		}
+		row := f * int64(fs.H/chunk.H)
+		for y := 0; y+chunk.H <= fs.H; y += chunk.H {
+			for x := 0; x+chunk.W <= fs.W; x += chunk.W {
+				ex.send(out, graph.DataItem(img.Sub(x, y, chunk.W, chunk.H)))
+			}
+			ex.send(out, graph.TokenItem(token.EOL(row)))
+			row++
+		}
+		ex.send(out, graph.TokenItem(token.EOF(f)))
+	}
+}
+
+// runOutputStream assembles per-frame output groups: data windows
+// accumulate until the end-of-frame token, and once every application
+// output has completed a frame the combined result is flushed to the
+// session's ready queue.
+func (ex *executor) runOutputStream(n *graph.Node) error {
+	name := n.Name()
+	for {
+		msg, ok := ex.recv(n)
+		if !ok {
+			return nil
+		}
+		if !msg.item.IsToken {
+			ex.outMu.Lock()
+			ex.curFrame[name] = append(ex.curFrame[name], msg.item.Win)
+			ex.outMu.Unlock()
+			continue
+		}
+		if msg.item.Tok.Kind != token.EndOfFrame {
+			continue
+		}
+		ex.outMu.Lock()
+		ex.doneFrames[name] = append(ex.doneFrames[name], ex.curFrame[name])
+		ex.curFrame[name] = nil
+		res := StreamResult{Outputs: make(map[string][]frame.Window)}
+		all := true
+		for _, o := range ex.g.Outputs() {
+			if len(ex.doneFrames[o.Name()]) == 0 {
+				all = false
+				break
+			}
+		}
+		if all {
+			for _, o := range ex.g.Outputs() {
+				q := ex.doneFrames[o.Name()]
+				res.Outputs[o.Name()] = q[0]
+				ex.doneFrames[o.Name()] = q[1:]
+			}
+			res.Seq = ex.assembled
+			ex.assembled++
+		}
+		ex.outMu.Unlock()
+		if all {
+			select {
+			case ex.ready <- res:
+			case <-ex.stop:
+				return nil
+			}
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencySamples bounds the per-pipeline latency reservoir: a ring of
+// the most recent frame latencies, enough for stable p50/p99 without
+// unbounded growth.
+const latencySamples = 1024
+
+// latencyRing records recent frame latencies for one pipeline.
+type latencyRing struct {
+	mu      sync.Mutex
+	samples [latencySamples]time.Duration
+	next    int
+	filled  int
+	count   int64
+}
+
+func (l *latencyRing) add(d time.Duration) {
+	l.mu.Lock()
+	l.samples[l.next] = d
+	l.next = (l.next + 1) % latencySamples
+	if l.filled < latencySamples {
+		l.filled++
+	}
+	l.count++
+	l.mu.Unlock()
+}
+
+// quantiles returns the p50 and p99 of the recorded window, plus the
+// total number of frames measured.
+func (l *latencyRing) quantiles() (p50, p99 time.Duration, count int64) {
+	l.mu.Lock()
+	buf := make([]time.Duration, l.filled)
+	copy(buf, l.samples[:l.filled])
+	count = l.count
+	l.mu.Unlock()
+	if len(buf) == 0 {
+		return 0, 0, count
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	q := func(p float64) time.Duration {
+		i := int(p * float64(len(buf)-1))
+		return buf[i]
+	}
+	return q(0.50), q(0.99), count
+}
+
+// metrics is the server's counter set, exposed by /metrics.
+type metrics struct {
+	framesIn       atomic.Int64
+	framesOut      atomic.Int64
+	rejected       atomic.Int64
+	sessionsOpened atomic.Int64
+	sessionsClosed atomic.Int64
+	panics         atomic.Int64
+	sessionErrors  atomic.Int64
+
+	mu      sync.Mutex
+	latency map[string]*latencyRing
+}
+
+func newMetrics() *metrics {
+	return &metrics{latency: make(map[string]*latencyRing)}
+}
+
+func (m *metrics) latencyFor(pipeline string) *latencyRing {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l := m.latency[pipeline]
+	if l == nil {
+		l = &latencyRing{}
+		m.latency[pipeline] = l
+	}
+	return l
+}
+
+// pipelineLatency is the JSON shape of one pipeline's latency summary.
+type pipelineLatency struct {
+	Frames int64   `json:"frames"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+func (m *metrics) latencySnapshot() map[string]pipelineLatency {
+	m.mu.Lock()
+	rings := make(map[string]*latencyRing, len(m.latency))
+	for k, v := range m.latency {
+		rings[k] = v
+	}
+	m.mu.Unlock()
+	out := make(map[string]pipelineLatency, len(rings))
+	for k, l := range rings {
+		p50, p99, count := l.quantiles()
+		out[k] = pipelineLatency{
+			Frames: count,
+			P50Ms:  float64(p50) / float64(time.Millisecond),
+			P99Ms:  float64(p99) / float64(time.Millisecond),
+		}
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+// Package serve hosts compiled block-parallel pipelines behind a
+// stdlib-only HTTP API, turning the one-shot CLI tools into a
+// long-running streaming-ingest server. Pipelines — suite benchmarks by
+// ID and arbitrary JSON application descriptions — are compiled once
+// into a Registry at startup; clients then open concurrent sessions,
+// each backed by a resident internal/runtime streaming execution
+// instance, feed frames incrementally, and collect per-frame outputs
+// that are byte-identical to the batch runtime. Per-session frame
+// queues are bounded (HTTP 429 on saturation), shutdown drains every
+// accepted frame, and /healthz, /pipelines, and /metrics expose the
+// server's state. See docs/serving.md.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"blockpar/internal/analysis"
+	"blockpar/internal/apps"
+	"blockpar/internal/core"
+	"blockpar/internal/desc"
+	"blockpar/internal/frame"
+	"blockpar/internal/graph"
+	"blockpar/internal/machine"
+	"blockpar/internal/runtime"
+	"blockpar/internal/transform"
+)
+
+// Pipeline is one compiled application in the server's inventory. The
+// compiled graph is a template: behaviors carry per-run state, so every
+// session executes its own clone while the compilation cost (analysis
+// plus all transformations) is paid exactly once.
+type Pipeline struct {
+	ID   string
+	Name string
+	// Source records where the pipeline came from: "suite" or "json".
+	Source string
+
+	graph    *graph.Graph
+	analysis *analysis.Result
+	sources  map[string]frame.Generator
+	mach     machine.Machine
+
+	// Analysis-derived summary, computed at compile time.
+	Nodes        int
+	CyclesPerSec float64
+	MemoryWords  int64
+	CompileTime  time.Duration
+}
+
+// NewSession clones the compiled template and starts a streaming
+// execution instance over it.
+func (p *Pipeline) NewSession(opts runtime.SessionOptions) (*runtime.Session, error) {
+	if opts.Sources == nil {
+		opts.Sources = p.sources
+	}
+	return runtime.NewSession(p.graph.Clone(), opts)
+}
+
+// Graph returns the compiled template graph. It must not be executed
+// directly — clone it (as NewSession does) to run it.
+func (p *Pipeline) Graph() *graph.Graph { return p.graph }
+
+// Sources returns the pipeline's default input generators.
+func (p *Pipeline) Sources() map[string]frame.Generator { return p.sources }
+
+// Registry is the server's compile cache: pipeline ID → compiled
+// template. Registration compiles; lookups are cheap.
+type Registry struct {
+	mach machine.Machine
+
+	mu   sync.RWMutex
+	byID map[string]*Pipeline
+}
+
+// NewRegistry creates an empty registry compiling for machine m.
+func NewRegistry(m machine.Machine) *Registry {
+	return &Registry{mach: m, byID: make(map[string]*Pipeline)}
+}
+
+// AddApp compiles an application and registers it under id.
+func (r *Registry) AddApp(id, source string, app *apps.App) (*Pipeline, error) {
+	if id == "" {
+		return nil, fmt.Errorf("serve: pipeline needs an id")
+	}
+	r.mu.RLock()
+	_, dup := r.byID[id]
+	r.mu.RUnlock()
+	if dup {
+		return nil, fmt.Errorf("serve: pipeline %q already registered", id)
+	}
+	start := time.Now()
+	c, err := core.Compile(app.Graph, core.Config{
+		Machine:        r.mach,
+		Align:          transform.Trim,
+		Parallelize:    true,
+		BufferStriping: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: compile %q: %w", id, err)
+	}
+	p := &Pipeline{
+		ID:          id,
+		Name:        app.Name,
+		Source:      source,
+		graph:       c.Graph,
+		analysis:    c.Analysis,
+		sources:     app.Sources,
+		mach:        r.mach,
+		Nodes:       len(c.Graph.Nodes()),
+		CompileTime: time.Since(start),
+	}
+	for _, n := range c.Graph.Nodes() {
+		l := c.Analysis.LoadOf(n, r.mach)
+		p.CyclesPerSec += l.CyclesPerSec
+		p.MemoryWords += l.MemWords
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byID[id]; dup {
+		return nil, fmt.Errorf("serve: pipeline %q already registered", id)
+	}
+	r.byID[id] = p
+	return p, nil
+}
+
+// AddSuite compiles and registers the named Figure 13 benchmarks
+// (all of them when ids is empty) under their suite IDs.
+func (r *Registry) AddSuite(ids ...string) error {
+	if len(ids) == 0 {
+		ids = apps.IDs()
+	}
+	for _, id := range ids {
+		app, err := apps.ByID(id)
+		if err != nil {
+			return err
+		}
+		if _, err := r.AddApp(id, "suite", app); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddJSON parses a JSON application description, compiles it, and
+// registers it under its own name.
+func (r *Registry) AddJSON(data []byte) (*Pipeline, error) {
+	g, err := desc.Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	return r.AddApp(g.Name, "json", &apps.App{Name: g.Name, Graph: g})
+}
+
+// Get returns the pipeline registered under id.
+func (r *Registry) Get(id string) (*Pipeline, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.byID[id]
+	return p, ok
+}
+
+// List returns every registered pipeline, sorted by ID.
+func (r *Registry) List() []*Pipeline {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Pipeline, 0, len(r.byID))
+	for _, p := range r.byID {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

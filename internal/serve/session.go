@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"blockpar/internal/frame"
+	"blockpar/internal/runtime"
+)
+
+// session is one client's streaming connection to a pipeline: a
+// resident runtime execution instance plus the bookkeeping the server
+// needs for metrics and draining.
+type session struct {
+	id          string
+	pipeline    *Pipeline
+	rt          *runtime.Session
+	maxInFlight int
+	created     time.Time
+
+	// procMu serializes /process calls so each gets the result of the
+	// frame it fed.
+	procMu sync.Mutex
+
+	// mu guards the feed-time FIFO used for frame latency.
+	mu        sync.Mutex
+	feedTimes []time.Time
+}
+
+// feed enqueues one frame without blocking; runtime.ErrQueueFull is the
+// backpressure signal the handler maps to HTTP 429.
+func (s *session) feed(inputs map[string]frame.Window) (int64, error) {
+	idx, err := s.rt.TryFeed(inputs)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	s.feedTimes = append(s.feedTimes, time.Now())
+	s.mu.Unlock()
+	return idx, nil
+}
+
+// collect returns the next completed frame and the latency since its
+// feed (zero when the pairing queue is empty, e.g. after a restart).
+func (s *session) collect(timeout time.Duration) (*runtime.StreamResult, time.Duration, error) {
+	res, err := s.rt.Collect(timeout)
+	if err != nil {
+		return nil, 0, err
+	}
+	var lat time.Duration
+	s.mu.Lock()
+	if len(s.feedTimes) > 0 {
+		lat = time.Since(s.feedTimes[0])
+		s.feedTimes = s.feedTimes[1:]
+	}
+	s.mu.Unlock()
+	return res, lat, nil
+}
+
+// WindowJSON is the wire form of a frame.Window. float64 values
+// round-trip exactly through encoding/json, so streamed outputs stay
+// byte-identical to the in-process runtime results.
+type WindowJSON struct {
+	W   int       `json:"w"`
+	H   int       `json:"h"`
+	Pix []float64 `json:"pix"`
+}
+
+// ToWindow validates the wire window and converts it.
+func (j WindowJSON) ToWindow() (frame.Window, error) {
+	if j.W < 0 || j.H < 0 || len(j.Pix) != j.W*j.H {
+		return frame.Window{}, fmt.Errorf("window %dx%d carries %d samples, want %d",
+			j.W, j.H, len(j.Pix), j.W*j.H)
+	}
+	w := frame.NewWindow(j.W, j.H)
+	copy(w.Pix, j.Pix)
+	return w, nil
+}
+
+// FromWindow converts a window to its wire form.
+func FromWindow(w frame.Window) WindowJSON {
+	return WindowJSON{W: w.W, H: w.H, Pix: w.Pix}
+}
+
+// decodeInputs converts a wire input map to runtime windows.
+func decodeInputs(in map[string]WindowJSON) (map[string]frame.Window, error) {
+	if len(in) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]frame.Window, len(in))
+	for name, jw := range in {
+		w, err := jw.ToWindow()
+		if err != nil {
+			return nil, fmt.Errorf("input %q: %w", name, err)
+		}
+		out[name] = w
+	}
+	return out, nil
+}
+
+// encodeOutputs converts a completed frame's outputs to wire form.
+func encodeOutputs(outs map[string][]frame.Window) map[string][]WindowJSON {
+	out := make(map[string][]WindowJSON, len(outs))
+	for name, ws := range outs {
+		js := make([]WindowJSON, len(ws))
+		for i, w := range ws {
+			js[i] = FromWindow(w)
+		}
+		out[name] = js
+	}
+	return out
+}

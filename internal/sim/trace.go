@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -44,6 +45,80 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 		return err
 	}
 	return nil
+}
+
+// traceEventJSON is one entry of the Chrome trace_event format.
+type traceEventJSON struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteTraceJSON renders the trace in the Chrome trace_event JSON
+// format, loadable by chrome://tracing and Perfetto. Each firing
+// becomes a complete ("ph":"X") slice on its PE's thread; simulated
+// seconds convert to the format's microseconds. Thread-name metadata
+// labels each tid as its PE, and the dropped-event count (if any) is
+// recorded under otherData.
+func (t *Trace) WriteTraceJSON(w io.Writer) error {
+	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev traceEventJSON) error {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if first {
+			sep = ""
+			first = false
+		}
+		_, err = fmt.Fprintf(w, "%s%s", sep, data)
+		return err
+	}
+	peSet := make(map[int]bool)
+	for _, ev := range t.Events {
+		peSet[ev.PE] = true
+	}
+	pes := make([]int, 0, len(peSet))
+	for pe := range peSet {
+		pes = append(pes, pe)
+	}
+	sort.Ints(pes)
+	for _, pe := range pes {
+		if err := emit(traceEventJSON{
+			Name: "thread_name",
+			Ph:   "M",
+			Tid:  pe,
+			Args: map[string]any{"name": fmt.Sprintf("PE %d", pe)},
+		}); err != nil {
+			return err
+		}
+	}
+	for _, ev := range t.Events {
+		if err := emit(traceEventJSON{
+			Name: ev.Node,
+			Cat:  "firing",
+			Ph:   "X",
+			Ts:   ev.Start * 1e6,
+			Dur:  ev.Duration * 1e6,
+			Tid:  ev.PE,
+			Args: map[string]any{"label": ev.Label},
+		}); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w,
+		"\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"droppedEvents\":%d}}\n",
+		t.Dropped)
+	return err
 }
 
 // Gantt renders a coarse ASCII Gantt chart of PE occupancy: one row per

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -81,6 +82,80 @@ func TestTraceCSVAndGanttAndTop(t *testing.T) {
 	top := res.Trace.TopNodes(3)
 	if len(top) != 1 || top[0].Node != "Gain" || top[0].Busy <= 0 {
 		t.Errorf("TopNodes = %+v", top)
+	}
+}
+
+func TestTraceJSONIsValidTraceEventFormat(t *testing.T) {
+	g := simpleGainApp(geom.FInt(1000))
+	res, err := Simulate(g, mapping.OneToOne(g), Options{
+		Machine: machine.Embedded(), Frames: 1, TraceLimit: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.Trace.WriteTraceJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		OtherData struct {
+			DroppedEvents int64 `json:"droppedEvents"`
+		} `json:"otherData"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v\n%s", err, sb.String())
+	}
+	var slices, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			slices++
+			if ev.Name != "Gain" || ev.Dur <= 0 || ev.Ts < 0 || ev.Tid != 0 {
+				t.Errorf("bad slice event %+v", ev)
+			}
+			if _, ok := ev.Args["label"]; !ok {
+				t.Errorf("slice event missing label arg: %+v", ev)
+			}
+		case "M":
+			meta++
+			if ev.Name != "thread_name" {
+				t.Errorf("bad metadata event %+v", ev)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if slices != len(res.Trace.Events) {
+		t.Errorf("JSON has %d slices, trace has %d events", slices, len(res.Trace.Events))
+	}
+	if meta != 1 {
+		t.Errorf("thread metadata events = %d, want 1 (single PE)", meta)
+	}
+	if doc.OtherData.DroppedEvents != res.Trace.Dropped {
+		t.Errorf("droppedEvents = %d, want %d", doc.OtherData.DroppedEvents, res.Trace.Dropped)
+	}
+	// Timestamps are microseconds: the first firing's ts must match the
+	// trace's simulated-seconds start scaled by 1e6.
+	if len(res.Trace.Events) > 0 && slices > 0 {
+		wantTs := res.Trace.Events[0].Start * 1e6
+		for _, ev := range doc.TraceEvents {
+			if ev.Ph != "X" {
+				continue
+			}
+			if ev.Ts != wantTs {
+				t.Errorf("first slice ts = %g, want %g", ev.Ts, wantTs)
+			}
+			break
+		}
 	}
 }
 
