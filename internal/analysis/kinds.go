@@ -144,11 +144,26 @@ func (a *analyzer) visitJoin(n *graph.Node) {
 				itemSize = info.ItemSize
 			}
 		}
-		region = geom.Sz(int(totalItems)*itemSize.W, itemSize.H)
-		a.r.Out[out] = PortInfo{
-			Region: region, Items: geom.Sz(int(totalItems), 1),
-			ItemSize: itemSize, Inset: inset, Rate: rate,
-			Flat: true,
+		// A round-robin join reassembles branch outputs in the exact
+		// order of the stream that entered the paired split, and the
+		// row tokens travel with the data. When the branches map items
+		// one to one (equal item counts in and out), the joined stream
+		// keeps the pre-split 2-D structure; modeling it as a single
+		// flat row would mispredict every windowed consumer downstream.
+		if src, ok := a.rrSourceInfo(n); ok && !src.Flat &&
+			int64(src.Items.W)*int64(src.Items.H) == totalItems {
+			region = geom.Sz(src.Items.W*itemSize.W, src.Items.H*itemSize.H)
+			a.r.Out[out] = PortInfo{
+				Region: region, Items: src.Items,
+				ItemSize: itemSize, Inset: inset, Rate: rate,
+			}
+		} else {
+			region = geom.Sz(int(totalItems)*itemSize.W, itemSize.H)
+			a.r.Out[out] = PortInfo{
+				Region: region, Items: geom.Sz(int(totalItems), 1),
+				ItemSize: itemSize, Inset: inset, Rate: rate,
+				Flat: true,
+			}
 		}
 	}
 
@@ -166,6 +181,34 @@ func (a *analyzer) visitJoin(n *graph.Node) {
 		WriteWordsPerFrame: writeWords,
 		MemoryWords:        n.Memory(),
 	}
+}
+
+// rrSourceInfo finds the stream that entered the round-robin split
+// paired with a join (join.in_i ← parallel instance ← split.out_i) and
+// returns the split's arriving info — the structure the joined stream
+// reassembles when the branches preserve item counts.
+func (a *analyzer) rrSourceInfo(n *graph.Node) (PortInfo, bool) {
+	e := a.g.EdgeTo(n.Input("in0"))
+	if e == nil {
+		return PortInfo{}, false
+	}
+	inst := e.From.Node()
+	for _, p := range inst.Inputs() {
+		if p.Replicated {
+			continue
+		}
+		fe := a.g.EdgeTo(p)
+		if fe == nil || fe.From.Node().Kind != graph.KindSplit {
+			continue
+		}
+		split := fe.From.Node()
+		if _, striped := kernel.SplitColumnsStripes(split); striped {
+			continue
+		}
+		info, ok := a.r.In[split.Input("in")]
+		return info, ok
+	}
+	return PortInfo{}, false
 }
 
 // visitReplicate broadcasts the input stream to every branch.

@@ -1,0 +1,305 @@
+package conformance
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"blockpar/internal/apps"
+	"blockpar/internal/core"
+	"blockpar/internal/desc"
+	"blockpar/internal/frame"
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+	"blockpar/internal/kernel"
+	"blockpar/internal/machine"
+	"blockpar/internal/serve"
+)
+
+var (
+	nFlag    = flag.Int("conformance.n", 200, "random graphs checked by TestDiffRandomGraphs")
+	seedFlag = flag.Uint64("conformance.seed", 1, "first generator seed (replay a failure with -conformance.seed=N -conformance.n=1)")
+)
+
+// TestDiffRandomGraphs is the differential harness entry point: every
+// seeded random graph runs through the sequential oracle, the batch
+// goroutine runtime, a streaming session, and the simulator, at every
+// PE budget in Variants(), and all outputs must be byte-identical.
+func TestDiffRandomGraphs(t *testing.T) {
+	n := *nFlag
+	if testing.Short() && n > 25 {
+		n = 25
+	}
+	for i := 0; i < n; i++ {
+		seed := *seedFlag + uint64(i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			c := Generate(seed)
+			if err := Check(c, CheckOptions{}); err != nil {
+				t.Fatalf("case %s: %v", c.Name, err)
+			}
+		})
+	}
+}
+
+// TestOracleMatchesAppGoldens anchors the oracle itself: on the suite
+// apps with hand-computed goldens, the reference interpreter must
+// reproduce the golden outputs exactly. A generator bug and a matching
+// oracle bug could hide each other; this cross-check cannot.
+func TestOracleMatchesAppGoldens(t *testing.T) {
+	cases := []*apps.App{
+		apps.ImagePipeline("image", apps.ImageCfg{W: 16, H: 12, Rate: geom.FInt(10), Bins: 8}),
+		apps.Bayer("bayer", apps.BayerCfg{W: 12, H: 8, Rate: geom.FInt(10)}),
+		apps.HistogramApp("hist", apps.HistCfg{W: 12, H: 10, Rate: geom.FInt(10), Bins: 16}),
+		apps.ParallelBufferTest("buffer", apps.BufferCfg{W: 24, H: 8, Rate: geom.FInt(10)}),
+		apps.MultiConv("multiconv", apps.MultiConvCfg{W: 20, H: 16, Rate: geom.FInt(10)}),
+	}
+	const frames = 2
+	for _, app := range cases {
+		t.Run(app.Name, func(t *testing.T) {
+			c := &Case{Name: app.Name, Graph: app.Graph, Sources: app.Sources}
+			got, err := OracleFrames(c, frames)
+			if err != nil {
+				t.Fatalf("oracle: %v", err)
+			}
+			for f := 0; f < frames; f++ {
+				want := app.Golden(int64(f))
+				for name, ws := range want {
+					if err := compareWindows(got[f][name], ws); err != nil {
+						t.Errorf("output %q frame %d: %v", name, f, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMutationJoinSwapCaught is the harness' own smoke check: a
+// deliberately broken transform must be detected. Crossing the two
+// collection edges of a join both violates the §IV ordering invariant
+// and scrambles the output stream, so the invariant checker and the
+// byte-level comparison must each catch it.
+func TestMutationJoinSwapCaught(t *testing.T) {
+	v := Variant{Name: "small-rr", Machine: machine.Small(), Striping: false}
+	var (
+		c        *Case
+		want     []map[string][]frame.Window
+		compiled *core.Compiled
+		join     *graph.Node
+	)
+	// Raise the input rate until the starved machine is forced to
+	// parallelize the convolution (inserting a round-robin join).
+	for _, rate := range []int64{30, 120, 480, 1920} {
+		app := apps.ParallelBufferTest("mutant", apps.BufferCfg{W: 24, H: 8, Rate: geom.FInt(rate)})
+		c = &Case{Name: app.Name, Graph: app.Graph, Sources: app.Sources}
+		var err error
+		if want, err = OracleFrames(c, 2); err != nil {
+			t.Fatalf("oracle: %v", err)
+		}
+		if compiled, err = compileVariant(c, v); err != nil {
+			t.Fatalf("compile at rate %d: %v", rate, err)
+		}
+		for _, n := range compiled.Graph.Nodes() {
+			if n.Kind == graph.KindJoin && len(n.Inputs()) >= 2 {
+				join = n
+				break
+			}
+		}
+		if join != nil {
+			break
+		}
+	}
+	if join == nil {
+		t.Fatal("pipeline did not parallelize: no join kernel to mutate")
+	}
+	g := compiled.Graph
+	e0, e1 := g.EdgeTo(join.Input("in0")), g.EdgeTo(join.Input("in1"))
+	n0, p0 := e0.From.Node(), e0.From.Name
+	n1, p1 := e1.From.Node(), e1.From.Name
+	g.Disconnect(e0)
+	g.Disconnect(e1)
+	g.Connect(n0, p0, join, "in1")
+	g.Connect(n1, p1, join, "in0")
+
+	if err := CheckInvariants(compiled); err == nil {
+		t.Error("CheckInvariants accepted a join with crossed collection edges")
+	} else {
+		t.Logf("invariant checker caught: %v", err)
+	}
+	if _, err := checkBatch(g, c.Sources, want); err == nil {
+		t.Error("differential run accepted a join with crossed collection edges")
+	} else {
+		t.Logf("differential comparison caught: %v", err)
+	}
+}
+
+// TestMutationBufferPlanCaught checks the §III-B invariant detects a
+// buffer that no longer double-buffers: halving its declared memory is
+// exactly the single-buffered allocation the paper rules out.
+func TestMutationBufferPlanCaught(t *testing.T) {
+	app := apps.MultiConv("mutant-buf", apps.MultiConvCfg{W: 20, H: 16, Rate: geom.FInt(10)})
+	c := &Case{Name: app.Name, Graph: app.Graph, Sources: app.Sources}
+	compiled, err := compileVariant(c, Variant{Name: "embedded", Machine: machine.Embedded(), Striping: true})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	var buf *graph.Node
+	for _, n := range compiled.Graph.Nodes() {
+		if n.Kind == graph.KindBuffer {
+			buf = n
+			break
+		}
+	}
+	if buf == nil {
+		t.Fatal("compiled pipeline has no buffer to mutate")
+	}
+	if _, ok := kernel.BufferPlanOf(buf); !ok {
+		t.Fatal("buffer carries no plan")
+	}
+	buf.Method("buffer").Memory /= 2
+	if err := CheckInvariants(compiled); err == nil {
+		t.Error("CheckInvariants accepted a buffer whose plan disagrees with its declared storage")
+	} else {
+		t.Logf("invariant checker caught: %v", err)
+	}
+}
+
+// TestDiffHTTPServe extends the differential matrix across the HTTP
+// boundary: generated pipelines are registered with a serve registry
+// and streamed frame by frame over httptest, and the wire outputs must
+// still match the oracle exactly (float64 JSON round-trips losslessly).
+func TestDiffHTTPServe(t *testing.T) {
+	const seeds, frames = 5, 2
+	reg := serve.NewRegistry(machine.Embedded())
+	srv := serve.NewServer(reg, serve.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for i := 0; i < seeds; i++ {
+		seed := *seedFlag + uint64(i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			c := Generate(seed)
+			want, err := OracleFrames(c, frames)
+			if err != nil {
+				t.Fatalf("oracle: %v", err)
+			}
+			id := fmt.Sprintf("conf-%d", seed)
+			app := &apps.App{Name: c.Name, Graph: c.Graph.Clone(), Sources: c.Sources}
+			if _, err := reg.AddApp(id, "conformance", app); err != nil {
+				t.Fatalf("register: %v", err)
+			}
+			var open struct {
+				Session string `json:"session"`
+			}
+			postJSON(t, ts, "/sessions", map[string]any{"pipeline": id}, http.StatusCreated, &open)
+			for f := 0; f < frames; f++ {
+				var rep struct {
+					Frame   int64                         `json:"frame"`
+					Outputs map[string][]serve.WindowJSON `json:"outputs"`
+				}
+				postJSON(t, ts, "/sessions/"+open.Session+"/process", nil, http.StatusOK, &rep)
+				if rep.Frame != int64(f) {
+					t.Fatalf("processed frame %d, want %d", rep.Frame, f)
+				}
+				for name, ws := range want[f] {
+					got := make([]frame.Window, len(rep.Outputs[name]))
+					for i, jw := range rep.Outputs[name] {
+						w, err := jw.ToWindow()
+						if err != nil {
+							t.Fatalf("output %q window %d: %v", name, i, err)
+						}
+						got[i] = w
+					}
+					if err := compareWindows(got, ws); err != nil {
+						t.Fatalf("output %q frame %d: %v", name, f, err)
+					}
+				}
+			}
+			req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/sessions/"+open.Session, nil)
+			if resp, err := http.DefaultClient.Do(req); err == nil {
+				resp.Body.Close()
+			}
+		})
+	}
+}
+
+// TestCorpusDescriptors replays the checked-in corpus without -fuzz:
+// bad-*.json must parse to an error (never a panic) and be rejected by
+// the registry endpoint with HTTP 400; ok-*.json must parse, register,
+// and compile.
+func TestCorpusDescriptors(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus descriptors in testdata/: %v", err)
+	}
+	reg := serve.NewRegistry(machine.Embedded())
+	srv := serve.NewServer(reg, serve.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, f := range files {
+		name := filepath.Base(f)
+		t.Run(name, func(t *testing.T) {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, parseErr := desc.Parse(data)
+			resp, err := http.Post(ts.URL+"/pipelines", "application/json", bytes.NewReader(data))
+			if err != nil {
+				t.Fatalf("POST /pipelines: %v", err)
+			}
+			defer resp.Body.Close()
+			switch {
+			case strings.HasPrefix(name, "bad-"):
+				if parseErr == nil {
+					t.Error("Parse accepted a corpus descriptor marked bad")
+				}
+				if resp.StatusCode != http.StatusBadRequest {
+					t.Errorf("registry answered %d for a bad descriptor, want 400", resp.StatusCode)
+				}
+			case strings.HasPrefix(name, "ok-"):
+				if parseErr != nil {
+					t.Errorf("Parse rejected a corpus descriptor marked ok: %v", parseErr)
+				}
+				if resp.StatusCode != http.StatusCreated {
+					t.Errorf("registry answered %d for an ok descriptor, want 201", resp.StatusCode)
+				}
+			default:
+				t.Fatalf("corpus file %q must be named ok-*.json or bad-*.json", name)
+			}
+		})
+	}
+}
+
+func postJSON(t *testing.T, ts *httptest.Server, path string, body any, wantCode int, out any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", &buf)
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		var msg bytes.Buffer
+		msg.ReadFrom(resp.Body)
+		t.Fatalf("POST %s: status %d, want %d: %s", path, resp.StatusCode, wantCode, msg.String())
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST %s: decode reply: %v", path, err)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package conformance
+
+import (
+	"testing"
+
+	"blockpar/internal/machine"
+)
+
+// FuzzDiff lets the native fuzzer drive the generator seed directly:
+// every input derives a graph and runs the full differential check at
+// one starved PE budget (the configuration that forces the most
+// parallelization, and historically the most bugs). Crashers minimize
+// to a seed that replays with
+//
+//	go test ./internal/conformance -run Diff -conformance.seed=N -conformance.n=1
+func FuzzDiff(f *testing.F) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		c := Generate(seed)
+		err := Check(c, CheckOptions{
+			Frames:   1,
+			Variants: []Variant{{Name: "small", Machine: machine.Small(), Striping: true}},
+		})
+		if err != nil {
+			t.Fatalf("case %s (seed %d): %v", c.Name, seed, err)
+		}
+	})
+}

@@ -1,0 +1,346 @@
+// Package conformance is the randomized differential-conformance
+// harness: a seeded generator of valid block-parallel applications, a
+// plain sequential oracle that executes the untransformed graph, and a
+// differential driver that runs every generated graph through all
+// execution paths (oracle, batch goroutine runtime, streaming
+// sessions, HTTP serving, timing simulator) at several PE budgets and
+// asserts byte-identical outputs, while invariant checkers validate
+// the compiler's analysis on the fly. See docs/testing.md.
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+
+	"blockpar/internal/analysis"
+	"blockpar/internal/frame"
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+	"blockpar/internal/kernel"
+	"blockpar/internal/machine"
+)
+
+// Case is one generated application: a programmer-level graph plus
+// deterministic input generators, ready for the differential driver.
+type Case struct {
+	Seed    uint64
+	Name    string
+	Graph   *graph.Graph
+	Sources map[string]frame.Generator
+}
+
+// Generate builds a random valid application from the seed. The same
+// seed always yields the same graph, sources, and frame data, so any
+// failure replays with -conformance.seed.
+//
+// The space covered: chains of windowed and pointwise kernels (valid
+// window/step/offset combinations), two-branch diamonds whose halos
+// disagree (exercising trim alignment), replicated inputs (convolution
+// coefficients, FIR taps, histogram bins), control-token-triggered
+// methods (histogram/merge on end-of-frame), multi-output kernels
+// (Bayer), fan-out taps, downsample/upsample tails, and random
+// data-dependency edges. All graphs are feedback-free DAGs.
+func Generate(seed uint64) *Case {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	b := &builder{
+		rng:     rng,
+		sources: make(map[string]frame.Generator),
+	}
+	if rng.Intn(8) == 0 {
+		return b.bayerCase(seed)
+	}
+
+	w := 8 + rng.Intn(17) // 8..24
+	h := 6 + rng.Intn(9)  // 6..14
+	b.g = graph.New(fmt.Sprintf("gen-%d", seed))
+	samples := []int64{24_000, 48_000, 96_000}[rng.Intn(3)]
+	b.in = b.g.AddInput("Input", geom.Sz(w, h), geom.Sz(1, 1),
+		geom.F(samples, int64(w*h)))
+	b.sources["Input"] = pickGen(rng)
+	b.head, b.headPort, b.rw, b.rh = b.in, "out", w, h
+
+	b.unaryChain(1 + rng.Intn(2))
+	if b.rw >= 9 && b.rh >= 9 && rng.Intn(2) == 0 {
+		b.diamond()
+	}
+	b.unaryChain(rng.Intn(2))
+
+	// A tap output observing the mid-stream exercises output fan-out.
+	if rng.Intn(3) == 0 {
+		tap := b.g.AddOutput("tap", geom.Sz(1, 1))
+		b.g.Connect(b.head, b.headPort, tap, "in")
+	}
+
+	switch {
+	case rng.Intn(4) == 0:
+		b.histogramTail()
+	case b.rw >= 6 && b.rh >= 6 && rng.Intn(4) == 0:
+		b.downsampleTail()
+	case rng.Intn(6) == 0:
+		b.upsampleTail()
+	default:
+		out := b.g.AddOutput("result", geom.Sz(1, 1))
+		b.g.Connect(b.head, b.headPort, out, "in")
+	}
+
+	b.maybeDep()
+	b.capRates()
+	return &Case{Seed: seed, Name: b.g.Name, Graph: b.g, Sources: b.sources}
+}
+
+type builder struct {
+	rng     *rand.Rand
+	g       *graph.Graph
+	sources map[string]frame.Generator
+	in      *graph.Node
+
+	// head is the current stream end; rw×rh its region in samples.
+	head     *graph.Node
+	headPort string
+	rw, rh   int
+
+	names int
+}
+
+func (b *builder) name(base string) string {
+	b.names++
+	return fmt.Sprintf("%s-%d", base, b.names)
+}
+
+func pickGen(rng *rand.Rand) frame.Generator {
+	switch rng.Intn(3) {
+	case 0:
+		return frame.Gradient
+	case 1:
+		return frame.Checker
+	default:
+		return frame.LCG
+	}
+}
+
+// push appends a kernel consuming the head stream on the named input.
+func (b *builder) push(n *graph.Node, input string) {
+	b.g.Add(n)
+	b.g.Connect(b.head, b.headPort, n, input)
+	b.head, b.headPort = n, "out"
+}
+
+func (b *builder) unaryChain(k int) {
+	for i := 0; i < k; i++ {
+		b.unaryStage()
+	}
+}
+
+func (b *builder) unaryStage() {
+	var cands []func()
+	if b.rw >= 7 && b.rh >= 7 {
+		cands = append(cands,
+			func() { b.windowed(kernel.Median(b.name("Median3"), 3), 3, 3) },
+			func() { b.morph(3) },
+			func() { b.conv(3) },
+		)
+	}
+	if b.rw >= 11 && b.rh >= 11 {
+		cands = append(cands, func() { b.conv(5) })
+	}
+	if b.rw >= 7 {
+		cands = append(cands, func() { b.fir(3) })
+	}
+	cands = append(cands, b.gain, b.threshold)
+	cands[b.rng.Intn(len(cands))]()
+}
+
+// windowed pushes a k×k (or taps×1) sliding kernel and shrinks the
+// tracked region by its halo.
+func (b *builder) windowed(n *graph.Node, hw, hh int) {
+	b.push(n, "in")
+	b.rw -= hw - 1
+	b.rh -= hh - 1
+}
+
+func (b *builder) conv(k int) {
+	n := kernel.Convolution(b.name(fmt.Sprintf("Conv%d", k)), k)
+	coeffName := b.name("Coeff")
+	coeffIn := b.g.AddInput(coeffName, geom.Sz(k, k), geom.Sz(k, k), b.in.Rate)
+	coeff := frame.LCG(b.rng.Int63n(1000), k, k)
+	b.sources[coeffName] = fixedGen(coeff)
+	b.windowed(n, k, k)
+	b.g.Connect(coeffIn, "out", n, "coeff")
+}
+
+func (b *builder) morph(k int) {
+	op := kernel.MorphOp(b.rng.Intn(2))
+	b.windowed(kernel.Morphology(b.name("Morph"), k, op), k, k)
+}
+
+func (b *builder) fir(taps int) {
+	n := kernel.FIR(b.name(fmt.Sprintf("FIR%d", taps)), taps)
+	tapsName := b.name("Taps")
+	tapsIn := b.g.AddInput(tapsName, geom.Sz(taps, 1), geom.Sz(taps, 1), b.in.Rate)
+	tw := frame.LCG(b.rng.Int63n(1000), taps, 1)
+	b.sources[tapsName] = fixedGen(tw)
+	b.windowed(n, taps, 1)
+	b.g.Connect(tapsIn, "out", n, "taps")
+}
+
+func (b *builder) gain() {
+	factor := []float64{0.25, 0.5, 1.5, 2}[b.rng.Intn(4)]
+	b.push(kernel.Gain(b.name("Gain"), factor), "in")
+}
+
+func (b *builder) threshold() {
+	t := float64(b.rng.Intn(200))
+	b.push(kernel.Threshold(b.name("Threshold"), t, 0, 255), "in")
+}
+
+// diamond splits the head stream into two branches of unary stages and
+// rejoins them with a two-input pointwise kernel. Branch halos usually
+// differ, so trim alignment must insert the Figure 3 inset kernels.
+func (b *builder) diamond() {
+	src, srcPort, rw, rh := b.head, b.headPort, b.rw, b.rh
+
+	b.head, b.headPort, b.rw, b.rh = src, srcPort, rw, rh
+	b.unaryChain(b.rng.Intn(3))
+	aNode, aPort, aw, ah := b.head, b.headPort, b.rw, b.rh
+
+	b.head, b.headPort, b.rw, b.rh = src, srcPort, rw, rh
+	b.unaryChain(b.rng.Intn(3))
+	bNode, bPort, bw, bh := b.head, b.headPort, b.rw, b.rh
+
+	var join *graph.Node
+	var in0, in1 string
+	if b.rng.Intn(2) == 0 {
+		join = kernel.Subtract(b.name("Subtract"))
+		in0, in1 = "in0", "in1"
+	} else {
+		join = kernel.Magnitude(b.name("Magnitude"))
+		in0, in1 = "gx", "gy"
+	}
+	b.g.Add(join)
+	b.g.Connect(aNode, aPort, join, in0)
+	b.g.Connect(bNode, bPort, join, in1)
+	b.head, b.headPort = join, "out"
+	// Library halos are symmetric per axis, so the trimmed
+	// intersection is just the smaller coverage in each dimension.
+	b.rw, b.rh = min(aw, bw), min(ah, bh)
+}
+
+func (b *builder) histogramTail() {
+	bins := []int{8, 16, 32}[b.rng.Intn(3)]
+	hist := kernel.Histogram(b.name("Histogram"), bins)
+	binsName := b.name("Bins")
+	binsIn := b.g.AddInput(binsName, geom.Sz(bins, 1), geom.Sz(bins, 1), b.in.Rate)
+	edges := frame.UniformBins(bins, 0, 512)
+	ew := frame.NewWindow(bins, 1)
+	copy(ew.Pix, edges)
+	b.sources[binsName] = fixedGen(ew)
+
+	b.push(hist, "in")
+	b.g.Connect(binsIn, "out", hist, "bins")
+
+	merge := kernel.Merge(b.name("Merge"), bins)
+	b.push(merge, "in")
+	// The serial reduction must stay at one instance (§IV-B).
+	b.g.AddDep(b.in, merge)
+
+	out := b.g.AddOutput("result", geom.Sz(bins, 1))
+	b.g.Connect(b.head, b.headPort, out, "in")
+}
+
+func (b *builder) downsampleTail() {
+	b.push(kernel.Downsample(b.name("Down2"), 2), "in")
+	out := b.g.AddOutput("result", geom.Sz(1, 1))
+	b.g.Connect(b.head, b.headPort, out, "in")
+}
+
+func (b *builder) upsampleTail() {
+	b.push(kernel.Upsample(b.name("Up2"), 2), "in")
+	out := b.g.AddOutput("result", geom.Sz(2, 2))
+	b.g.Connect(b.head, b.headPort, out, "in")
+}
+
+// maybeDep adds a random data-dependency edge from an earlier kernel
+// (or the input) to a later kernel, capping the sink's parallelism.
+func (b *builder) maybeDep() {
+	if b.rng.Intn(3) != 0 {
+		return
+	}
+	var kernels []*graph.Node
+	for _, n := range b.g.Nodes() {
+		if n.Kind == graph.KindKernel {
+			kernels = append(kernels, n)
+		}
+	}
+	if len(kernels) == 0 {
+		return
+	}
+	to := kernels[b.rng.Intn(len(kernels))]
+	if b.rng.Intn(2) == 0 {
+		b.g.AddDep(b.in, to)
+		return
+	}
+	order, err := b.g.Topological()
+	if err != nil {
+		return
+	}
+	for _, n := range order {
+		if n == to {
+			break
+		}
+		if n.Kind == graph.KindKernel && b.rng.Intn(2) == 0 {
+			b.g.AddDep(n, to)
+			return
+		}
+	}
+}
+
+// capRates halves the input rates until no kernel needs more than a
+// modest parallel degree on the weakest machine the driver compiles
+// for, keeping generated pipelines cheap to execute.
+func (b *builder) capRates() {
+	small := machine.Small()
+	for tries := 0; tries < 8; tries++ {
+		res, err := analysis.Analyze(b.g)
+		if err != nil {
+			return // surfaced later by the driver
+		}
+		maxDeg := 1
+		for _, n := range b.g.Nodes() {
+			if n.Kind != graph.KindKernel {
+				continue
+			}
+			if d := res.DegreeFor(n, small); d > maxDeg {
+				maxDeg = d
+			}
+		}
+		if maxDeg <= 8 {
+			return
+		}
+		for _, in := range b.g.Inputs() {
+			in.Rate = in.Rate.Div(geom.FInt(2))
+		}
+	}
+}
+
+func (b *builder) bayerCase(seed uint64) *Case {
+	w := 8 + 2*b.rng.Intn(7) // even 8..20
+	h := 6 + 2*b.rng.Intn(5) // even 6..14
+	b.g = graph.New(fmt.Sprintf("gen-%d", seed))
+	samples := []int64{24_000, 48_000}[b.rng.Intn(2)]
+	b.in = b.g.AddInput("Input", geom.Sz(w, h), geom.Sz(1, 1),
+		geom.F(samples, int64(w*h)))
+	b.sources["Input"] = frame.Bayer
+
+	bay := b.g.Add(kernel.BayerDemosaic(b.name("Demosaic")))
+	b.g.Connect(b.in, "out", bay, "in")
+	for _, plane := range []string{"r", "g", "b"} {
+		out := b.g.AddOutput(plane, geom.Sz(2, 2))
+		b.g.Connect(bay, plane, out, "in")
+	}
+	b.capRates()
+	return &Case{Seed: seed, Name: b.g.Name, Graph: b.g, Sources: b.sources}
+}
+
+func fixedGen(w frame.Window) frame.Generator {
+	return func(seq int64, fw, fh int) frame.Window { return w.Clone() }
+}

@@ -1,0 +1,186 @@
+package conformance
+
+import (
+	"fmt"
+
+	"blockpar/internal/core"
+	"blockpar/internal/graph"
+	"blockpar/internal/kernel"
+)
+
+// CheckInvariants validates structural properties of a compiled graph
+// that the paper's transformations must uphold, beyond the analysis'
+// own problem detection:
+//
+//   - every inserted buffer double-buffers the larger window (§III-B):
+//     its declared method memory equals 2·DataW·WinH, and its plan
+//     agrees with both the arriving region and the consumer-facing
+//     output port;
+//   - every multi-input method's data triggers agree on aligned inset
+//     and region after trim (§III-C);
+//   - split and join fan-out is wired in instance order (§IV): out_i
+//     feeds parallel instance i, in_i collects from instance i, and
+//     column stripes tile the buffer contiguously left to right.
+func CheckInvariants(c *core.Compiled) error {
+	g := c.Graph
+	for _, n := range g.Nodes() {
+		var err error
+		switch n.Kind {
+		case graph.KindBuffer:
+			err = checkBufferSizing(c, n)
+		case graph.KindSplit, graph.KindReplicate:
+			err = checkDistributionOrder(g, n)
+		case graph.KindJoin:
+			err = checkCollectionOrder(g, n)
+		case graph.KindKernel:
+			err = checkInsetAgreement(c, n)
+		}
+		if err != nil {
+			return fmt.Errorf("invariant: %w", err)
+		}
+	}
+	return nil
+}
+
+func checkBufferSizing(c *core.Compiled, n *graph.Node) error {
+	plan, ok := kernel.BufferPlanOf(n)
+	if !ok {
+		return fmt.Errorf("buffer %q carries no plan", n.Name())
+	}
+	m := n.Method("buffer")
+	if m == nil {
+		return fmt.Errorf("buffer %q has no buffer method", n.Name())
+	}
+	wantMem := int64(2 * plan.DataW * plan.WinH)
+	if plan.MemoryWords() != wantMem {
+		return fmt.Errorf("buffer %q plan memory %d words, want double-buffered 2·%d·%d = %d",
+			n.Name(), plan.MemoryWords(), plan.DataW, plan.WinH, wantMem)
+	}
+	if m.Memory != wantMem {
+		return fmt.Errorf("buffer %q declares %d memory words, want double-buffered %d",
+			n.Name(), m.Memory, wantMem)
+	}
+	out := n.Output("out")
+	if out.Size.W != plan.WinW || out.Size.H != plan.WinH ||
+		out.Step.X != plan.StepX || out.Step.Y != plan.StepY {
+		return fmt.Errorf("buffer %q output %v%v disagrees with plan %s",
+			n.Name(), out.Size, out.Step, plan.Label())
+	}
+	// Plans are computed before trim alignment, so a buffer may cover
+	// more than the trimmed stream that finally arrives — never less.
+	in := c.Analysis.In[n.Input("in")]
+	if !in.Flat && (in.Region.W > plan.DataW || in.Region.H > plan.DataH) {
+		return fmt.Errorf("buffer %q plan covers %dx%d samples but %v arrive",
+			n.Name(), plan.DataW, plan.DataH, in.Region)
+	}
+	return nil
+}
+
+// checkInsetAgreement verifies §III-C on the transformed graph: after
+// trim alignment, every data trigger of a multi-input method must see
+// the same region with the same aligned inset (stream inset plus the
+// port's declared offset).
+func checkInsetAgreement(c *core.Compiled, n *graph.Node) error {
+	for _, m := range n.Methods() {
+		var ports []*graph.Port
+		for _, t := range m.DataTriggers() {
+			p := n.Input(t.Input)
+			if p != nil && !p.Replicated {
+				ports = append(ports, p)
+			}
+		}
+		if len(ports) < 2 {
+			continue
+		}
+		flat := false
+		for _, p := range ports {
+			if c.Analysis.In[p].Flat {
+				flat = true
+			}
+		}
+		if flat {
+			continue
+		}
+		first := c.Analysis.In[ports[0]]
+		firstAligned := first.Inset.Add(ports[0].Offset)
+		for _, p := range ports[1:] {
+			info := c.Analysis.In[p]
+			if info.Region != first.Region {
+				return fmt.Errorf("%q.%s: input %q region %v, input %q region %v",
+					n.Name(), m.Name, ports[0].Name, first.Region, p.Name, info.Region)
+			}
+			if aligned := info.Inset.Add(p.Offset); !aligned.Equal(firstAligned) {
+				return fmt.Errorf("%q.%s: input %q aligned inset %v, input %q aligned inset %v",
+					n.Name(), m.Name, ports[0].Name, firstAligned, p.Name, aligned)
+			}
+		}
+	}
+	return nil
+}
+
+// checkDistributionOrder verifies that a split (or replicate) kernel's
+// out_i port feeds parallel instance i: round-robin reassembly and
+// column-order joining silently scramble data if the fan-out is wired
+// out of order.
+func checkDistributionOrder(g *graph.Graph, n *graph.Node) error {
+	base := ""
+	for i, p := range n.Outputs() {
+		want := fmt.Sprintf("out%d", i)
+		if p.Name != want {
+			return fmt.Errorf("%s %q output %d named %q, want %q", n.Kind, n.Name(), i, p.Name, want)
+		}
+		edges := g.EdgesFrom(p)
+		if len(edges) != 1 {
+			return fmt.Errorf("%s %q output %q has %d consumers, want 1", n.Kind, n.Name(), p.Name, len(edges))
+		}
+		to := edges[0].To.Node()
+		if to.Instance != i {
+			return fmt.Errorf("%s %q output %q feeds instance %d of %q, want instance %d",
+				n.Kind, n.Name(), p.Name, to.Instance, to.Base, i)
+		}
+		if base == "" {
+			base = to.Base
+		} else if to.Base != base {
+			return fmt.Errorf("%s %q fans out to bases %q and %q", n.Kind, n.Name(), base, to.Base)
+		}
+	}
+	if stripes, ok := kernel.SplitColumnsStripes(n); ok {
+		for i := 1; i < len(stripes); i++ {
+			if stripes[i].InStart >= stripes[i].InEnd || stripes[i].InStart <= stripes[i-1].InStart {
+				return fmt.Errorf("split %q stripes not ordered left to right: %+v", n.Name(), stripes)
+			}
+			if stripes[i].OutStart != stripes[i-1].OutEnd {
+				return fmt.Errorf("split %q stripe %d output [%d,%d) does not continue stripe %d ending at %d",
+					n.Name(), i, stripes[i].OutStart, stripes[i].OutEnd, i-1, stripes[i-1].OutEnd)
+			}
+		}
+	}
+	return nil
+}
+
+// checkCollectionOrder verifies that a join kernel's in_i port is fed
+// by parallel instance i of a single base kernel.
+func checkCollectionOrder(g *graph.Graph, n *graph.Node) error {
+	base := ""
+	for i, p := range n.Inputs() {
+		want := fmt.Sprintf("in%d", i)
+		if p.Name != want {
+			return fmt.Errorf("join %q input %d named %q, want %q", n.Name(), i, p.Name, want)
+		}
+		e := g.EdgeTo(p)
+		if e == nil {
+			return fmt.Errorf("join %q input %q unconnected", n.Name(), p.Name)
+		}
+		from := e.From.Node()
+		if from.Instance != i {
+			return fmt.Errorf("join %q input %q fed by instance %d of %q, want instance %d",
+				n.Name(), p.Name, from.Instance, from.Base, i)
+		}
+		if base == "" {
+			base = from.Base
+		} else if from.Base != base {
+			return fmt.Errorf("join %q collects from bases %q and %q", n.Name(), base, from.Base)
+		}
+	}
+	return nil
+}

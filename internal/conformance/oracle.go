@@ -1,0 +1,372 @@
+package conformance
+
+import (
+	"fmt"
+
+	"blockpar/internal/frame"
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+	"blockpar/internal/token"
+)
+
+// Oracle is the plain sequential reference interpreter: it executes
+// the *untransformed* application graph one frame at a time, walking
+// every kernel's iteration space in scan order with no buffers, splits,
+// or insets. Multi-input methods iterate over the intersection of
+// their inputs' aligned coverage (the Trim policy of §III-C), which is
+// exactly the region the compiled graph produces, so oracle outputs
+// are byte-comparable to every transformed execution path.
+//
+// Kernel math runs through the same Behavior implementations as the
+// goroutine runtime: the harness tests the compiler's transformations
+// and the execution engines, not the arithmetic.
+type Oracle struct {
+	g       *graph.Graph
+	order   []*graph.Node
+	sources map[string]frame.Generator
+	frame   int64
+}
+
+// plane is one output port's per-frame product: an item grid plus a
+// sample-coordinate origin (the §III-C inset) used to align joining
+// branches.
+type plane struct {
+	items  []frame.Window
+	nx, ny int
+	itemW  int
+	itemH  int
+	// ox, oy locate the first item in application sample coordinates
+	// (fractional for downsampling offsets).
+	ox, oy geom.Frac
+}
+
+func (p *plane) item(u, v int) frame.Window { return p.items[v*p.nx+u] }
+
+// assemble flattens a 1×1-item plane into one window for sliding
+// windows over it.
+func (p *plane) assemble() frame.Window {
+	w := frame.NewWindow(p.nx, p.ny)
+	for i, it := range p.items {
+		w.Pix[i] = it.Pix[0]
+	}
+	return w
+}
+
+// NewOracle clones the graph (behaviors carry state across frames) and
+// prepares a sequential interpreter. Frames are executed in order:
+// Frame(0), Frame(1), ... — matching how stateful kernels see the
+// stream.
+func NewOracle(g *graph.Graph, sources map[string]frame.Generator) (*Oracle, error) {
+	gc := g.Clone()
+	if err := gc.Validate(); err != nil {
+		return nil, fmt.Errorf("conformance: oracle graph: %w", err)
+	}
+	order, err := gc.Topological()
+	if err != nil {
+		return nil, fmt.Errorf("conformance: oracle order: %w", err)
+	}
+	return &Oracle{g: gc, order: order, sources: sources}, nil
+}
+
+// Frame executes the next frame (seq must advance by one from zero)
+// and returns the data windows every application output receives, in
+// stream order.
+func (o *Oracle) Frame(seq int64) (map[string][]frame.Window, error) {
+	if seq != o.frame {
+		return nil, fmt.Errorf("conformance: oracle frames must run in order: got %d, want %d", seq, o.frame)
+	}
+	o.frame++
+
+	planes := make(map[*graph.Port]*plane)
+	outs := make(map[string][]frame.Window)
+	for _, n := range o.order {
+		switch n.Kind {
+		case graph.KindInput:
+			if err := o.evalInput(n, seq, planes); err != nil {
+				return nil, err
+			}
+		case graph.KindOutput:
+			e := o.g.EdgeTo(n.Input("in"))
+			pl := planes[e.From]
+			if pl == nil {
+				return nil, fmt.Errorf("conformance: output %q has no arriving plane", n.Name())
+			}
+			outs[n.Name()] = pl.items
+		case graph.KindKernel:
+			if err := o.evalKernel(n, seq, planes); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("conformance: oracle wants an untransformed graph, found %s node %q", n.Kind, n.Name())
+		}
+	}
+	return outs, nil
+}
+
+func (o *Oracle) evalInput(n *graph.Node, seq int64, planes map[*graph.Port]*plane) error {
+	gen := o.sources[n.Name()]
+	if gen == nil {
+		gen = frame.Gradient
+	}
+	img := gen(seq, n.FrameSize.W, n.FrameSize.H)
+	out := n.Output("out")
+	chunk := out.Size
+	if n.FrameSize.W%chunk.W != 0 || n.FrameSize.H%chunk.H != 0 {
+		return fmt.Errorf("conformance: input %q frame %v not divisible by chunk %v", n.Name(), n.FrameSize, chunk)
+	}
+	pl := &plane{
+		nx: n.FrameSize.W / chunk.W, ny: n.FrameSize.H / chunk.H,
+		itemW: chunk.W, itemH: chunk.H,
+	}
+	for y := 0; y+chunk.H <= n.FrameSize.H; y += chunk.H {
+		for x := 0; x+chunk.W <= n.FrameSize.W; x += chunk.W {
+			pl.items = append(pl.items, img.Sub(x, y, chunk.W, chunk.H))
+		}
+	}
+	planes[out] = pl
+	return nil
+}
+
+// trig is one data trigger's iteration view: where its windows start
+// in aligned sample coordinates, how far each iteration advances, and
+// how many fit.
+type trig struct {
+	port     *graph.Port
+	pl       *plane
+	windowed bool // slide port.Size over an assembled 1×1-item plane
+	plane    frame.Window
+	sx, sy   geom.Frac // start (origin + port offset)
+	px, py   int       // per-iteration pitch in aligned coordinates
+	nx, ny   int
+}
+
+func (o *Oracle) evalKernel(n *graph.Node, seq int64, planes map[*graph.Port]*plane) error {
+	inv, ok := n.Behavior.(graph.Invoker)
+	if !ok {
+		return fmt.Errorf("conformance: kernel %q has no Invoker behavior", n.Name())
+	}
+	arrive := func(name string) (*plane, error) {
+		p := n.Input(name)
+		if p == nil {
+			return nil, fmt.Errorf("conformance: %q has no input %q", n.Name(), name)
+		}
+		e := o.g.EdgeTo(p)
+		if e == nil {
+			return nil, fmt.Errorf("conformance: input %s unconnected", p)
+		}
+		pl := planes[e.From]
+		if pl == nil {
+			return nil, fmt.Errorf("conformance: no plane for %s", e.From)
+		}
+		return pl, nil
+	}
+
+	// Split the methods the way the runtime driver does: config
+	// methods (all triggers on replicated inputs) fire first each
+	// frame, then data methods, then end-of-frame token methods.
+	var configs, datas, eofs []*graph.Method
+	for _, m := range n.Methods() {
+		switch {
+		case isConfig(n, m):
+			configs = append(configs, m)
+		case isEOFMethod(m):
+			eofs = append(eofs, m)
+		case len(m.DataTriggers()) == len(m.Triggers) && len(m.Triggers) > 0:
+			datas = append(datas, m)
+		default:
+			return fmt.Errorf("conformance: method %q of %q mixes trigger kinds the oracle does not model", m.Name, n.Name())
+		}
+	}
+
+	for _, m := range configs {
+		if err := o.fireGrid(n, inv, m, seq, planes, arrive); err != nil {
+			return err
+		}
+	}
+	for _, m := range datas {
+		if err := o.fireGrid(n, inv, m, seq, planes, arrive); err != nil {
+			return err
+		}
+	}
+	for _, m := range eofs {
+		ctx := &oracleCtx{
+			node: n,
+			toks: map[string]token.Token{m.Triggers[0].Input: token.EOF(seq)},
+		}
+		if err := inv.Invoke(m.Name, ctx); err != nil {
+			return fmt.Errorf("conformance: %q.%s: %w", n.Name(), m.Name, err)
+		}
+		if err := collectEmissions(n, m, ctx, 1, 1, geom.Frac{}, geom.Frac{}, planes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fireGrid fires one data (or config) method across its iteration
+// grid in scan order and installs the emitted planes.
+func (o *Oracle) fireGrid(n *graph.Node, inv graph.Invoker, m *graph.Method, seq int64,
+	planes map[*graph.Port]*plane, arrive func(string) (*plane, error)) error {
+
+	trigs := make([]*trig, len(m.Triggers))
+	for i, t := range m.Triggers {
+		pl, err := arrive(t.Input)
+		if err != nil {
+			return err
+		}
+		p := n.Input(t.Input)
+		tr := &trig{port: p, pl: pl}
+		switch {
+		case pl.itemW == p.Size.W && pl.itemH == p.Size.H:
+			// Item-aligned: one arriving item per iteration.
+			tr.px, tr.py = pl.itemW, pl.itemH
+			tr.nx, tr.ny = pl.nx, pl.ny
+		case pl.itemW == 1 && pl.itemH == 1:
+			// Windowed: slide the port's window over the raw plane.
+			tr.windowed = true
+			tr.plane = pl.assemble()
+			tr.px, tr.py = p.Step.X, p.Step.Y
+			tr.nx, tr.ny = geom.Iterations(geom.Sz(pl.nx, pl.ny), p.Size, p.Step)
+		default:
+			return fmt.Errorf("conformance: %s: %v items cannot feed a %v window", p, geom.Sz(pl.itemW, pl.itemH), p.Size)
+		}
+		tr.sx = pl.ox.Add(p.Offset.X)
+		tr.sy = pl.oy.Add(p.Offset.Y)
+		trigs[i] = tr
+	}
+
+	// The common grid: all triggers advance with the same pitch, and
+	// iteration happens over the intersection of their coverage
+	// (§III-C trim). Starts must differ by whole iterations.
+	t0 := trigs[0]
+	lox, loy := t0.sx, t0.sy
+	hix := t0.sx.Add(geom.FInt(int64(t0.nx * t0.px)))
+	hiy := t0.sy.Add(geom.FInt(int64(t0.ny * t0.py)))
+	for _, tr := range trigs[1:] {
+		if tr.px != t0.px || tr.py != t0.py {
+			return fmt.Errorf("conformance: %q.%s: trigger pitches disagree (%dx%d vs %dx%d)",
+				n.Name(), m.Name, tr.px, tr.py, t0.px, t0.py)
+		}
+		if lox.Less(tr.sx) {
+			lox = tr.sx
+		}
+		if loy.Less(tr.sy) {
+			loy = tr.sy
+		}
+		if ex := tr.sx.Add(geom.FInt(int64(tr.nx * tr.px))); ex.Less(hix) {
+			hix = ex
+		}
+		if ey := tr.sy.Add(geom.FInt(int64(tr.ny * tr.py))); ey.Less(hiy) {
+			hiy = ey
+		}
+	}
+	gnx, gny := 0, 0
+	if lox.Less(hix) && loy.Less(hiy) {
+		gnx = int(hix.Sub(lox).Int()) / t0.px
+		gny = int(hiy.Sub(loy).Int()) / t0.py
+	}
+	// Per-trigger index displacement of the grid origin.
+	offx := make([]int, len(trigs))
+	offy := make([]int, len(trigs))
+	for i, tr := range trigs {
+		dx, dy := lox.Sub(tr.sx), loy.Sub(tr.sy)
+		if !dx.IsInt() || !dy.IsInt() ||
+			dx.Int()%int64(tr.px) != 0 || dy.Int()%int64(tr.py) != 0 {
+			return fmt.Errorf("conformance: %q.%s: trigger %q misaligned by %s,%s (not whole iterations)",
+				n.Name(), m.Name, tr.port.Name, dx, dy)
+		}
+		offx[i] = int(dx.Int()) / tr.px
+		offy[i] = int(dy.Int()) / tr.py
+	}
+
+	ctx := &oracleCtx{node: n, emitted: make(map[string][]frame.Window)}
+	for v := 0; v < gny; v++ {
+		for u := 0; u < gnx; u++ {
+			ctx.ins = make(map[string]frame.Window, len(trigs))
+			for i, tr := range trigs {
+				iu, iv := u+offx[i], v+offy[i]
+				if tr.windowed {
+					ctx.ins[tr.port.Name] = tr.plane.Sub(iu*tr.px, iv*tr.py, tr.port.Size.W, tr.port.Size.H)
+				} else {
+					ctx.ins[tr.port.Name] = tr.pl.item(iu, iv)
+				}
+			}
+			if err := inv.Invoke(m.Name, ctx); err != nil {
+				return fmt.Errorf("conformance: %q.%s: %w", n.Name(), m.Name, err)
+			}
+		}
+	}
+	return collectEmissions(n, m, ctx, gnx, gny, lox, loy, planes)
+}
+
+// collectEmissions installs the method's per-output emissions as the
+// output ports' planes for this frame.
+func collectEmissions(n *graph.Node, m *graph.Method, ctx *oracleCtx, nx, ny int,
+	ox, oy geom.Frac, planes map[*graph.Port]*plane) error {
+	for _, outName := range m.Outputs {
+		p := n.Output(outName)
+		got := ctx.emitted[outName]
+		if len(got) != nx*ny {
+			return fmt.Errorf("conformance: %q.%s emitted %d items on %q, want %d",
+				n.Name(), m.Name, len(got), outName, nx*ny)
+		}
+		planes[p] = &plane{
+			items: got, nx: nx, ny: ny,
+			itemW: p.Size.W, itemH: p.Size.H,
+			ox: ox, oy: oy,
+		}
+	}
+	return nil
+}
+
+// isConfig mirrors the runtime driver's rule: every trigger is a data
+// trigger on a replicated input (fires once per frame, before data).
+func isConfig(n *graph.Node, m *graph.Method) bool {
+	if len(m.Triggers) == 0 {
+		return false
+	}
+	for _, t := range m.Triggers {
+		if !t.IsData() {
+			return false
+		}
+		p := n.Input(t.Input)
+		if p == nil || !p.Replicated {
+			return false
+		}
+	}
+	return true
+}
+
+func isEOFMethod(m *graph.Method) bool {
+	return len(m.Triggers) == 1 && m.Triggers[0].Token == token.EndOfFrame
+}
+
+// oracleCtx is the sequential ExecContext: inputs come from the
+// precomputed iteration windows, emissions accumulate per output.
+type oracleCtx struct {
+	node    *graph.Node
+	ins     map[string]frame.Window
+	toks    map[string]token.Token
+	emitted map[string][]frame.Window
+}
+
+func (c *oracleCtx) Input(name string) frame.Window {
+	w, ok := c.ins[name]
+	if !ok {
+		panic(fmt.Sprintf("conformance: method read un-triggered input %q of %q", name, c.node.Name()))
+	}
+	return w
+}
+
+func (c *oracleCtx) Token(name string) token.Token { return c.toks[name] }
+
+func (c *oracleCtx) Emit(output string, w frame.Window) {
+	if c.emitted == nil {
+		c.emitted = make(map[string][]frame.Window)
+	}
+	c.emitted[output] = append(c.emitted[output], w)
+}
+
+// EmitToken is a no-op: the oracle models framing implicitly (one
+// Frame call per frame); EOL/EOF forwarding is the runtime's concern.
+func (c *oracleCtx) EmitToken(output string, t token.Token) {}

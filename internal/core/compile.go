@@ -70,6 +70,11 @@ func Compile(g *graph.Graph, cfg Config) (*Compiled, error) {
 		if err := transform.Align(g, transform.Trim); err != nil {
 			return nil, fmt.Errorf("core: trim alignment: %w", err)
 		}
+		// Trimming can shrink a stream below what its buffer was planned
+		// for; re-derive the stale data extents.
+		if err := transform.RefreshBufferPlans(g); err != nil {
+			return nil, fmt.Errorf("core: buffer replanning: %w", err)
+		}
 	}
 	var rep *transform.Report
 	if cfg.Parallelize {

@@ -114,16 +114,53 @@ func Parse(data []byte) (*graph.Graph, error) {
 	return Build(&f)
 }
 
-// Build constructs the graph from a decoded File.
-func Build(f *File) (*graph.Graph, error) {
+// Build constructs the graph from a decoded File. Descriptions come
+// from untrusted network clients (the serve registry), so every
+// malformed shape must surface as an error: graph-layer panics are
+// pre-checked here and any remaining one is recovered into an error.
+func Build(f *File) (g *graph.Graph, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			g, err = nil, fmt.Errorf("desc: invalid description: %v", r)
+		}
+	}()
 	if f.Name == "" {
 		return nil, fmt.Errorf("desc: application needs a name")
 	}
-	g := graph.New(f.Name)
+	names := make(map[string]bool)
+	claim := func(kind, name string) error {
+		if name == "" {
+			return fmt.Errorf("desc: %s needs a name", kind)
+		}
+		if names[name] {
+			return fmt.Errorf("desc: duplicate node name %q", name)
+		}
+		names[name] = true
+		return nil
+	}
+	dims := func(what, name string, d [2]int) error {
+		if d[0] < 1 || d[1] < 1 {
+			return fmt.Errorf("desc: %s %q size %dx%d must be positive", what, name, d[0], d[1])
+		}
+		return nil
+	}
+	g = graph.New(f.Name)
 	for _, in := range f.Inputs {
+		if err := claim("input", in.Name); err != nil {
+			return nil, err
+		}
+		if err := dims("input frame", in.Name, in.Frame); err != nil {
+			return nil, err
+		}
+		if err := dims("input chunk", in.Name, in.Chunk); err != nil {
+			return nil, err
+		}
 		rate, err := ParseRate(in.Rate)
 		if err != nil {
 			return nil, err
+		}
+		if rate.Num <= 0 {
+			return nil, fmt.Errorf("desc: input %q rate %q must be positive", in.Name, in.Rate)
 		}
 		n := g.AddInput(in.Name, geom.Sz(in.Frame[0], in.Frame[1]),
 			geom.Sz(in.Chunk[0], in.Chunk[1]), rate)
@@ -139,9 +176,18 @@ func Build(f *File) (*graph.Graph, error) {
 		}
 	}
 	for _, out := range f.Outputs {
+		if err := claim("output", out.Name); err != nil {
+			return nil, err
+		}
+		if err := dims("output chunk", out.Name, out.Chunk); err != nil {
+			return nil, err
+		}
 		g.AddOutput(out.Name, geom.Sz(out.Chunk[0], out.Chunk[1]))
 	}
 	for _, k := range f.Kernels {
+		if err := claim("kernel", k.Name); err != nil {
+			return nil, err
+		}
 		n, err := Instantiate(k.Name, k.Type, k.Params)
 		if err != nil {
 			return nil, err
@@ -160,6 +206,16 @@ func Build(f *File) (*graph.Graph, error) {
 		from, to := g.Node(fn), g.Node(tn)
 		if from == nil || to == nil {
 			return nil, fmt.Errorf("desc: edge %s -> %s references unknown node", e.From, e.To)
+		}
+		if from.Output(fp) == nil {
+			return nil, fmt.Errorf("desc: edge %s -> %s: %q has no output %q", e.From, e.To, fn, fp)
+		}
+		tport := to.Input(tp)
+		if tport == nil {
+			return nil, fmt.Errorf("desc: edge %s -> %s: %q has no input %q", e.From, e.To, tn, tp)
+		}
+		if g.EdgeTo(tport) != nil {
+			return nil, fmt.Errorf("desc: input %s already connected", e.To)
 		}
 		g.Connect(from, fp, to, tp)
 	}
@@ -205,7 +261,14 @@ func RegisterType(ktype string, b Builder) {
 
 // Instantiate builds a library kernel by type name and compact params.
 // Custom registered types take precedence over the built-in library.
-func Instantiate(name, ktype, params string) (*graph.Node, error) {
+// Constructor panics (the library's contract for programmer errors) are
+// converted to errors here, since descriptions arrive from the wire.
+func Instantiate(name, ktype, params string) (n *graph.Node, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			n, err = nil, fmt.Errorf("desc: kernel %q type %q params %q: %v", name, ktype, params, r)
+		}
+	}()
 	regMu.RLock()
 	custom := registry[ktype]
 	regMu.RUnlock()
@@ -213,6 +276,22 @@ func Instantiate(name, ktype, params string) (*graph.Node, error) {
 		return custom(name, params)
 	}
 	return instantiateBuiltin(name, ktype, params)
+}
+
+// Parameter bounds for built-in kernels: the constructors only reject
+// nonsense (even window sizes, zero bins); the wire format also caps
+// magnitudes so a hostile description cannot request absurd geometry.
+const (
+	maxWindowParam = 99
+	maxBinsParam   = 4096
+	maxFactorParam = 64
+)
+
+func boundInt(name, what string, v, lo, hi int) error {
+	if v < lo || v > hi {
+		return fmt.Errorf("desc: kernel %q %s %d out of range [%d, %d]", name, what, v, lo, hi)
+	}
+	return nil
 }
 
 func instantiateBuiltin(name, ktype, params string) (*graph.Node, error) {
@@ -253,10 +332,16 @@ func instantiateBuiltin(name, ktype, params string) (*graph.Node, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := boundInt(name, "size", v[0], 1, maxWindowParam); err != nil {
+			return nil, err
+		}
 		return kernel.Convolution(name, v[0]), nil
 	case "median":
 		v, err := ints(1)
 		if err != nil {
+			return nil, err
+		}
+		if err := boundInt(name, "size", v[0], 1, maxWindowParam); err != nil {
 			return nil, err
 		}
 		return kernel.Median(name, v[0]), nil
@@ -267,10 +352,16 @@ func instantiateBuiltin(name, ktype, params string) (*graph.Node, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := boundInt(name, "bins", v[0], 1, maxBinsParam); err != nil {
+			return nil, err
+		}
 		return kernel.Histogram(name, v[0]), nil
 	case "merge":
 		v, err := ints(1)
 		if err != nil {
+			return nil, err
+		}
+		if err := boundInt(name, "bins", v[0], 1, maxBinsParam); err != nil {
 			return nil, err
 		}
 		return kernel.Merge(name, v[0]), nil
@@ -287,16 +378,25 @@ func instantiateBuiltin(name, ktype, params string) (*graph.Node, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := boundInt(name, "factor", v[0], 1, maxFactorParam); err != nil {
+			return nil, err
+		}
 		return kernel.Downsample(name, v[0]), nil
 	case "fir":
 		v, err := ints(1)
 		if err != nil {
 			return nil, err
 		}
+		if err := boundInt(name, "taps", v[0], 1, maxWindowParam); err != nil {
+			return nil, err
+		}
 		return kernel.FIR(name, v[0]), nil
 	case "upsample":
 		v, err := ints(1)
 		if err != nil {
+			return nil, err
+		}
+		if err := boundInt(name, "factor", v[0], 1, maxFactorParam); err != nil {
 			return nil, err
 		}
 		return kernel.Upsample(name, v[0]), nil
@@ -313,12 +413,24 @@ func instantiateBuiltin(name, ktype, params string) (*graph.Node, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := boundInt(name, "block size", v[0], 1, maxFactorParam); err != nil {
+			return nil, err
+		}
+		if err := boundInt(name, "search range", v[1], 1, maxFactorParam); err != nil {
+			return nil, err
+		}
 		return kernel.MotionSearch(name, v[0], v[1]), nil
 	case "accumulator":
 		return kernel.Accumulator(name), nil
 	case "morphology":
 		v, err := ints(2)
 		if err != nil {
+			return nil, err
+		}
+		if err := boundInt(name, "size", v[0], 1, maxWindowParam); err != nil {
+			return nil, err
+		}
+		if err := boundInt(name, "op", v[1], int(kernel.Erode), int(kernel.Dilate)); err != nil {
 			return nil, err
 		}
 		return kernel.Morphology(name, v[0], kernel.MorphOp(v[1])), nil

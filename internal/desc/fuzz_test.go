@@ -1,0 +1,43 @@
+package desc
+
+import (
+	"testing"
+)
+
+// FuzzParse asserts the wire-format contract the serve registry relies
+// on: Parse never panics, whatever bytes arrive, and any description it
+// accepts survives an Encode/Parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`{
+  "name": "edges",
+  "inputs":  [{"name": "Input", "frame": [16, 12], "chunk": [1, 1], "rate": "30"}],
+  "outputs": [{"name": "Output", "chunk": [1, 1]}],
+  "kernels": [{"name": "3x3 Conv", "type": "convolution", "params": "3"},
+              {"name": "Coeff", "type": "gain", "params": "1"}],
+  "edges":   [{"from": "Input.out", "to": "3x3 Conv.in"}]
+}`,
+		`{"name": "x", "inputs": [`,
+		`{"name": "", "inputs": []}`,
+		`{"name": "x", "kernels": [{"name": "m", "type": "median", "params": "4"}]}`,
+		`{"name": "x", "inputs": [{"name": "a", "frame": [0, -3], "chunk": [1, 1], "rate": "1/0"}]}`,
+		`null`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Parse(data)
+		if err != nil {
+			return
+		}
+		out, err := Encode(g)
+		if err != nil {
+			t.Fatalf("parsed description does not encode back: %v", err)
+		}
+		if _, err := Parse(out); err != nil {
+			t.Fatalf("encoded description does not re-parse: %v\n%s", err, out)
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package runtime
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"blockpar/internal/core"
+	"blockpar/internal/frame"
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+	"blockpar/internal/kernel"
+	"blockpar/internal/machine"
+	"blockpar/internal/transform"
+)
+
+// Edge cases surfaced while building the conformance generator: frame
+// shapes at the boundaries of the windowing model must stream through a
+// session exactly like any other frame.
+
+func compileEdge(t *testing.T, g *graph.Graph) *graph.Graph {
+	t.Helper()
+	c, err := core.Compile(g, core.Config{
+		Machine:     machine.Embedded(),
+		Align:       transform.Trim,
+		Parallelize: true,
+	})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return c.Graph
+}
+
+// TestSessionZeroFrames opens and closes a session without ever
+// feeding a frame: the kernel goroutines must come up and drain back
+// down cleanly, and a collect after close must report the closure, not
+// hang.
+func TestSessionZeroFrames(t *testing.T) {
+	g := graph.New("zero")
+	in := g.AddInput("Input", geom.Sz(8, 6), geom.Sz(1, 1), geom.FInt(30))
+	gain := g.Add(kernel.Gain("Gain", 2))
+	out := g.AddOutput("result", geom.Sz(1, 1))
+	g.Connect(in, "out", gain, "in")
+	g.Connect(gain, "out", out, "in")
+
+	sess, err := NewSession(compileEdge(t, g).Clone(), SessionOptions{})
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatalf("Close with zero frames: %v", err)
+	}
+	if _, err := sess.Collect(time.Second); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("Collect after close: %v, want ErrSessionClosed", err)
+	}
+	if _, err := sess.Feed(nil); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("Feed after close: %v, want ErrSessionClosed", err)
+	}
+}
+
+// TestSessionSinglePixelFrame streams 1×1 frames — the degenerate
+// frame where every token boundary (EOL, EOF) lands on the same single
+// sample.
+func TestSessionSinglePixelFrame(t *testing.T) {
+	g := graph.New("pixel")
+	in := g.AddInput("Input", geom.Sz(1, 1), geom.Sz(1, 1), geom.FInt(30))
+	gain := g.Add(kernel.Gain("Gain", 3))
+	out := g.AddOutput("result", geom.Sz(1, 1))
+	g.Connect(in, "out", gain, "in")
+	g.Connect(gain, "out", out, "in")
+
+	sess, err := NewSession(compileEdge(t, g).Clone(), SessionOptions{})
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	defer sess.Close()
+	const frames = 3
+	for f := 0; f < frames; f++ {
+		px := frame.NewWindow(1, 1)
+		px.Pix[0] = float64(10 + f)
+		if _, err := sess.Feed(map[string]frame.Window{"Input": px}); err != nil {
+			t.Fatalf("feed %d: %v", f, err)
+		}
+		res, err := sess.Collect(5 * time.Second)
+		if err != nil {
+			t.Fatalf("collect %d: %v", f, err)
+		}
+		ws := res.Outputs["result"]
+		if len(ws) != 1 || ws[0].Pix[0] != float64(3*(10+f)) {
+			t.Fatalf("frame %d: outputs %v, want one pixel %v", f, ws, 3*(10+f))
+		}
+	}
+}
+
+// TestSessionFrameNotMultipleOfStep streams a 7×5 frame through a 2×2
+// downsample: the frame size is not a multiple of the window step, so
+// the rightmost column and bottom row never complete a window and must
+// be dropped identically by the streaming session and the batch
+// runtime.
+func TestSessionFrameNotMultipleOfStep(t *testing.T) {
+	build := func() *graph.Graph {
+		g := graph.New("ragged")
+		in := g.AddInput("Input", geom.Sz(7, 5), geom.Sz(1, 1), geom.FInt(30))
+		ds := g.Add(kernel.Downsample("Down", 2))
+		out := g.AddOutput("result", geom.Sz(1, 1))
+		g.Connect(in, "out", ds, "in")
+		g.Connect(ds, "out", out, "in")
+		return g
+	}
+	const frames = 2
+	template := compileEdge(t, build())
+
+	batch, err := Run(template.Clone(), Options{Frames: frames, Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatalf("batch run: %v", err)
+	}
+	slices := batch.FrameSlices("result")
+	if len(slices) != frames {
+		t.Fatalf("batch completed %d frames, want %d", len(slices), frames)
+	}
+	// 7×5 with 2×2 step-2 windows → 3×2 grid of outputs per frame.
+	if len(slices[0]) != 6 {
+		t.Fatalf("batch emitted %d windows per frame, want 6", len(slices[0]))
+	}
+
+	sess, err := NewSession(template.Clone(), SessionOptions{MaxInFlight: frames})
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	defer sess.Close()
+	for f := 0; f < frames; f++ {
+		if _, err := sess.Feed(nil); err != nil {
+			t.Fatalf("feed %d: %v", f, err)
+		}
+	}
+	for f := 0; f < frames; f++ {
+		res, err := sess.Collect(30 * time.Second)
+		if err != nil {
+			t.Fatalf("collect %d: %v", f, err)
+		}
+		got := res.Outputs["result"]
+		want := slices[f]
+		if len(got) != len(want) {
+			t.Fatalf("frame %d: session emitted %d windows, batch %d", f, len(got), len(want))
+		}
+		for i := range got {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("frame %d window %d: session %v, batch %v", f, i, got[i], want[i])
+			}
+		}
+	}
+}

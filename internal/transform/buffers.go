@@ -56,6 +56,41 @@ func InsertBuffers(g *graph.Graph) error {
 	return nil
 }
 
+// RefreshBufferPlans re-derives every inserted buffer's data extent
+// from the current analysis. Trim alignment runs after buffer
+// insertion and may shrink the stream a buffer receives (an inset
+// upstream of the buffer cuts whole rows and columns), which leaves
+// the plan expecting more samples per frame than ever arrive — the
+// runtime buffer would then reject the early EOL/EOF. The consumer-
+// facing window geometry is the consumer's declared parameterization
+// and stays as planned; only the data extent (and with it the §III-B
+// double-buffered memory size) is recomputed.
+func RefreshBufferPlans(g *graph.Graph) error {
+	r, err := analysis.Analyze(g)
+	if err != nil {
+		return err
+	}
+	for _, n := range g.Nodes() {
+		if n.Kind != graph.KindBuffer {
+			continue
+		}
+		plan, ok := kernel.BufferPlanOf(n)
+		if !ok {
+			continue
+		}
+		info := r.In[n.Input("in")]
+		if info.Flat || (info.Region.W == plan.DataW && info.Region.H == plan.DataH) {
+			continue
+		}
+		plan.DataW, plan.DataH = info.Region.W, info.Region.H
+		fresh := kernel.Buffer(n.Name(), plan)
+		n.Behavior = fresh.Behavior
+		n.Method("buffer").Memory = plan.MemoryWords()
+		n.Attrs["label"] = plan.Label()
+	}
+	return nil
+}
+
 // uniqueName returns name, or name#2, #3... if taken.
 func uniqueName(g *graph.Graph, name string) string {
 	if g.Node(name) == nil {
