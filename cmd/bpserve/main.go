@@ -28,6 +28,7 @@ import (
 
 	"blockpar/internal/apps"
 	"blockpar/internal/machine"
+	"blockpar/internal/runtime"
 	"blockpar/internal/serve"
 )
 
@@ -40,15 +41,17 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 64, "concurrent session cap")
 	collectTimeout := flag.Duration("collect-timeout", 30*time.Second, "maximum per-request frame-collect deadline")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
+	executor := flag.String("executor", "goroutines", "session execution engine: goroutines (one per kernel) or workers (fixed pool)")
+	workers := flag.Int("workers", 0, "worker-pool size for -executor workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if err := run(*addr, *appIDs, descFiles, *queue, *maxSessions, *collectTimeout, *drainTimeout); err != nil {
+	if err := run(*addr, *appIDs, descFiles, *queue, *maxSessions, *collectTimeout, *drainTimeout, runtime.ExecutorKind(*executor), *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "bpserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, appIDs string, descFiles []string, queue, maxSessions int, collectTimeout, drainTimeout time.Duration) error {
+func run(addr, appIDs string, descFiles []string, queue, maxSessions int, collectTimeout, drainTimeout time.Duration, executor runtime.ExecutorKind, workers int) error {
 	reg := serve.NewRegistry(machine.Embedded())
 	switch appIDs {
 	case "none":
@@ -78,6 +81,8 @@ func run(addr, appIDs string, descFiles []string, queue, maxSessions int, collec
 		MaxInFlight:    queue,
 		CollectTimeout: collectTimeout,
 		MaxSessions:    maxSessions,
+		Executor:       executor,
+		Workers:        workers,
 	})
 	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
 

@@ -13,11 +13,15 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"blockpar/internal/apps"
 	"blockpar/internal/core"
+	"blockpar/internal/frame"
+	"blockpar/internal/graph"
 	"blockpar/internal/machine"
 	"blockpar/internal/mapping"
+	"blockpar/internal/runtime"
 	"blockpar/internal/sim"
 )
 
@@ -31,12 +35,65 @@ func main() {
 	traceFile := flag.String("trace", "", "write a CSV firing trace to this file")
 	traceJSON := flag.String("trace-json", "", "write a Chrome trace_event JSON firing trace to this file (chrome://tracing, Perfetto)")
 	gantt := flag.Bool("gantt", false, "print an ASCII Gantt chart of PE occupancy")
+	runExec := flag.String("run", "", "execute functionally on the given engine (goroutines, workers) and report wall time, samples/s, and pool stats instead of simulating")
 	flag.Parse()
 
+	if *runExec != "" {
+		if err := runFunctional(*appID, *runExec, *frames); err != nil {
+			fmt.Fprintln(os.Stderr, "bpsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*appID, *mapKind, *frames, *perPE, *place, *dot, *traceFile, *traceJSON, *gantt); err != nil {
 		fmt.Fprintln(os.Stderr, "bpsim:", err)
 		os.Exit(1)
 	}
+}
+
+// runFunctional executes the compiled app on the functional runtime
+// with the chosen engine and reports throughput plus window-arena
+// statistics — the quickest way to compare the executors and observe
+// the zero-copy data plane's pool behavior on a real workload.
+func runFunctional(appID, exec string, frames int) error {
+	app, err := apps.ByID(appID)
+	if err != nil {
+		return err
+	}
+	m := machine.Embedded()
+	c, err := core.Compile(app.Graph, core.Config{
+		Machine: m, Parallelize: true, BufferStriping: true,
+	})
+	if err != nil {
+		return err
+	}
+	var samples int64
+	for _, n := range c.Graph.Nodes() {
+		if n.Kind == graph.KindInput {
+			samples += int64(n.FrameSize.W) * int64(n.FrameSize.H) * int64(frames)
+		}
+	}
+	frame.ResetStats()
+	start := time.Now()
+	res, err := runtime.Run(c.Graph, runtime.Options{
+		Frames: frames, Sources: app.Sources, Executor: runtime.ExecutorKind(exec),
+	})
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	var items int
+	for _, s := range res.Outputs {
+		items += len(s)
+	}
+	ps := frame.Stats()
+	fmt.Printf("app %s, %s engine\n", app.Name, exec)
+	fmt.Printf("  wall:      %.3f ms for %d frames\n", float64(wall)/float64(time.Millisecond), frames)
+	fmt.Printf("  samples/s: %.3g (%d input samples)\n", float64(samples)/wall.Seconds(), samples)
+	fmt.Printf("  outputs:   %d stream items\n", items)
+	fmt.Printf("  pool:      %d gets, %.1f%% hit rate, %d live, %d bytes parked\n",
+		ps.Gets, 100*ps.HitRate(), ps.Live, ps.PooledBytes)
+	return nil
 }
 
 func run(appID, mapKind string, frames int, perPE, place, dot bool, traceFile, traceJSON string, gantt bool) error {

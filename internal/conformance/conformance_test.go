@@ -20,6 +20,7 @@ import (
 	"blockpar/internal/graph"
 	"blockpar/internal/kernel"
 	"blockpar/internal/machine"
+	"blockpar/internal/runtime"
 	"blockpar/internal/serve"
 )
 
@@ -133,7 +134,7 @@ func TestMutationJoinSwapCaught(t *testing.T) {
 	} else {
 		t.Logf("invariant checker caught: %v", err)
 	}
-	if _, err := checkBatch(g, c.Sources, want); err == nil {
+	if _, err := checkBatch(g, c.Sources, want, runtime.ExecGoroutines); err == nil {
 		t.Error("differential run accepted a join with crossed collection edges")
 	} else {
 		t.Logf("differential comparison caught: %v", err)

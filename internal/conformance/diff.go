@@ -72,12 +72,19 @@ func Check(c *Case, opts CheckOptions) error {
 		if err := CheckInvariants(compiled); err != nil {
 			return fmt.Errorf("%s: %w", v.Name, err)
 		}
-		res, err := checkBatch(compiled.Graph, c.Sources, want)
+		res, err := checkBatch(compiled.Graph, c.Sources, want, runtime.ExecGoroutines)
 		if err != nil {
 			return fmt.Errorf("%s: %w", v.Name, err)
 		}
 		if err := checkFirings(compiled, res, frames); err != nil {
 			return fmt.Errorf("%s: %w", v.Name, err)
+		}
+		wres, err := checkBatch(compiled.Graph, c.Sources, want, runtime.ExecWorkers)
+		if err != nil {
+			return fmt.Errorf("%s: workers: %w", v.Name, err)
+		}
+		if err := checkFirings(compiled, wres, frames); err != nil {
+			return fmt.Errorf("%s: workers: %w", v.Name, err)
 		}
 		if err := checkSession(compiled.Graph, c.Sources, want); err != nil {
 			return fmt.Errorf("%s: %w", v.Name, err)
@@ -120,17 +127,18 @@ func compileVariant(c *Case, v Variant) (*core.Compiled, error) {
 	return compiled, nil
 }
 
-// checkBatch runs the compiled graph through the batch goroutine
-// runtime and compares every frame of every output byte-for-byte with
-// the oracle. The template graph is cloned first: behaviors are
-// stateful, so a compiled graph is an execution template, never run
-// directly.
+// checkBatch runs the compiled graph through the batch runtime on the
+// given executor backend and compares every frame of every output
+// byte-for-byte with the oracle. The template graph is cloned first:
+// behaviors are stateful, so a compiled graph is an execution
+// template, never run directly.
 func checkBatch(template *graph.Graph, sources map[string]frame.Generator,
-	want []map[string][]frame.Window) (*runtime.Result, error) {
+	want []map[string][]frame.Window, exec runtime.ExecutorKind) (*runtime.Result, error) {
 
 	g := template.Clone()
 	res, err := runtime.Run(g, runtime.Options{
 		Frames: len(want), Sources: sources, Timeout: execTimeout,
+		Executor: exec,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("runtime: %w", err)

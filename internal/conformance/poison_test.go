@@ -1,0 +1,8 @@
+package conformance
+
+import "blockpar/internal/frame"
+
+// The differential suite runs with use-after-release poisoning on, so
+// any ownership-protocol violation in the zero-copy data plane shows
+// up as a NaN divergence from the sequential oracle.
+func init() { frame.SetPoison(true) }

@@ -1,0 +1,232 @@
+package frame
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the pooled backing-store arena behind zero-copy
+// windows. The paper's premise (§III-B) is that a compiled graph runs
+// in fixed, pre-sized memory regions; the software data plane mirrors
+// that with a size-bucketed arena: kernels allocate window storage with
+// Alloc, the runtime releases it at the graph edge where the item is
+// consumed, and the storage cycles back for the next window of the same
+// shape. sync.Pool backs the buckets, so a missed Release degrades to
+// ordinary garbage collection instead of a leak.
+//
+// Ownership protocol (see DESIGN.md "Memory model"):
+//
+//   - A window returned by Alloc carries one reference, owned by
+//     whoever holds the item.
+//   - Delivering the item to k consumers requires k references: the
+//     sender calls Retain(k-1) before fan-out.
+//   - A consumer must end its reference exactly once: Release it,
+//     forward the item downstream (ownership transfers), or keep it
+//     forever (batch results).
+//   - Clone always returns independent, unpooled storage; kernels use
+//     it for anything they keep across firings.
+//
+// Windows whose storage did not come from Alloc (generator frames,
+// Clone results, literals) have a nil ref and every protocol call is a
+// no-op on them, so the protocol is safe to apply uniformly.
+
+// maxBucket is the largest power-of-two class the arena recycles;
+// larger windows fall through to plain allocation.
+const maxBucket = 20 // 1<<20 floats = 8 MiB
+
+// Ref counts the live references to one pooled backing buffer.
+type Ref struct {
+	refs   atomic.Int32
+	buf    []float64
+	bucket int
+}
+
+var buckets [maxBucket + 1]sync.Pool
+
+// poolStats holds the arena's monitoring counters.
+var poolStats struct {
+	gets   atomic.Int64 // Alloc calls served by the arena
+	hits   atomic.Int64 // ... of which reused a pooled buffer
+	puts   atomic.Int64 // buffers returned by the final Release
+	live   atomic.Int64 // buffers allocated and not yet released
+	pooled atomic.Int64 // bytes sitting in the buckets (approximate:
+	// sync.Pool may drop entries under GC pressure without telling us)
+}
+
+// PoolStats is a monitoring snapshot of the window arena, exposed by
+// the serving /metrics endpoint and the bpsim -run stats output.
+type PoolStats struct {
+	// Gets counts pooled allocations; Hits of them were served from a
+	// bucket without touching the heap.
+	Gets int64 `json:"gets"`
+	Hits int64 `json:"hits"`
+	// Live is the number of pooled buffers currently retained
+	// somewhere in a pipeline or result set.
+	Live int64 `json:"live"`
+	// PooledBytes approximates the bytes parked in the buckets ready
+	// for reuse (an upper bound: the GC may evict pool entries).
+	PooledBytes int64 `json:"pooled_bytes"`
+}
+
+// HitRate returns the fraction of pooled allocations served without a
+// heap allocation.
+func (s PoolStats) HitRate() float64 {
+	if s.Gets == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Gets)
+}
+
+// Stats snapshots the arena counters.
+func Stats() PoolStats {
+	return PoolStats{
+		Gets:        poolStats.gets.Load(),
+		Hits:        poolStats.hits.Load(),
+		Live:        poolStats.live.Load(),
+		PooledBytes: poolStats.pooled.Load(),
+	}
+}
+
+// ResetStats zeroes the arena counters (benchmark harness use).
+func ResetStats() {
+	poolStats.gets.Store(0)
+	poolStats.hits.Store(0)
+	poolStats.puts.Store(0)
+	poolStats.live.Store(0)
+}
+
+// zeroCopy gates the whole zero-copy data plane: pooled allocation and
+// view-based input chunking. On by default; the copy-vs-zero-copy
+// benchmarks and any emergency fallback flip it off, restoring the
+// seed's copy-everything behavior.
+var zeroCopy atomic.Bool
+
+// poison gates the debug use-after-release detector: released buffers
+// are filled with NaN so any consumer still reading them diverges
+// loudly in the differential conformance checks instead of silently
+// reading recycled data. Tests enable it; production leaves it off.
+var poison atomic.Bool
+
+func init() { zeroCopy.Store(true) }
+
+// SetZeroCopy toggles pooled allocation and view chunking, returning
+// the previous setting. Not intended to be flipped while graphs run.
+func SetZeroCopy(on bool) bool { return zeroCopy.Swap(on) }
+
+// ZeroCopy reports whether the zero-copy data plane is enabled.
+func ZeroCopy() bool { return zeroCopy.Load() }
+
+// SetPoison toggles release-time buffer poisoning, returning the
+// previous setting.
+func SetPoison(on bool) bool { return poison.Swap(on) }
+
+// Poisoning reports whether release-time poisoning is enabled.
+func Poisoning() bool { return poison.Load() }
+
+// bucketFor returns the smallest class holding n floats, or -1 when n
+// is out of the arena's range.
+func bucketFor(n int) int {
+	if n < 1 || n > 1<<maxBucket {
+		return -1
+	}
+	b := 0
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+// Alloc returns a zeroed w×h window backed by the arena. The caller
+// owns one reference; see the ownership protocol above. With zero-copy
+// disabled (or a shape outside the arena's range) it degrades to
+// NewWindow.
+func Alloc(w, h int) Window {
+	n := w * h
+	b := -1
+	if ZeroCopy() {
+		b = bucketFor(n)
+	}
+	if b < 0 {
+		return NewWindow(w, h)
+	}
+	poolStats.gets.Add(1)
+	poolStats.live.Add(1)
+	var r *Ref
+	if v := buckets[b].Get(); v != nil {
+		r = v.(*Ref)
+		poolStats.hits.Add(1)
+		poolStats.pooled.Add(-int64(cap(r.buf)) * 8)
+	} else {
+		r = &Ref{buf: make([]float64, 1<<b), bucket: b}
+	}
+	pix := r.buf[:n]
+	for i := range pix {
+		pix[i] = 0
+	}
+	r.refs.Store(1)
+	return Window{W: w, H: h, Pix: pix, ref: r}
+}
+
+// poisonValue marks released storage: a quiet NaN, so a stale reader
+// propagates NaN into its output and the conformance differential
+// comparison fails instead of silently reading recycled samples.
+var poisonValue = math.NaN()
+
+// Retain adds n references to the window's pooled backing buffer so it
+// can be delivered to n additional consumers. It is a no-op for
+// unpooled windows. Retaining storage that has already been fully
+// released is a protocol violation and panics.
+func (w Window) Retain(n int) {
+	if w.ref == nil || n <= 0 {
+		return
+	}
+	if w.ref.refs.Add(int32(n)) <= int32(n) {
+		panic(fmt.Sprintf("frame: Retain(%d) on released pooled window %dx%d", n, w.W, w.H))
+	}
+}
+
+// Release drops one reference to the window's pooled backing buffer,
+// returning the storage to the arena when the last reference ends.
+// It is a no-op for unpooled windows. Releasing more references than
+// were retained panics.
+func (w Window) Release() {
+	r := w.ref
+	if r == nil {
+		return
+	}
+	left := r.refs.Add(-1)
+	if left < 0 {
+		panic(fmt.Sprintf("frame: Release of already-released pooled window %dx%d", w.W, w.H))
+	}
+	if left > 0 {
+		return
+	}
+	poolStats.live.Add(-1)
+	poolStats.puts.Add(1)
+	if poison.Load() {
+		buf := r.buf[:cap(r.buf)]
+		for i := range buf {
+			buf[i] = poisonValue
+		}
+	}
+	poolStats.pooled.Add(int64(cap(r.buf)) * 8)
+	buckets[r.bucket].Put(r)
+}
+
+// Pooled reports whether the window's storage is arena-backed (and so
+// participates in the retain/release protocol).
+func (w Window) Pooled() bool { return w.ref != nil }
+
+// SharesStorage reports whether two windows are views of the same
+// pooled backing buffer.
+func (w Window) SharesStorage(o Window) bool { return w.ref != nil && w.ref == o.ref }
+
+// PooledScalar returns a 1×1 pooled window holding v — the hot-path
+// variant of Scalar for per-sample kernel outputs.
+func PooledScalar(v float64) Window {
+	w := Alloc(1, 1)
+	w.Pix[0] = v
+	return w
+}

@@ -1,0 +1,183 @@
+package frame
+
+import (
+	"math"
+	"testing"
+)
+
+// fill numbers a window's samples row-major: 0, 1, 2, ...
+func fill(w Window) Window {
+	for y := 0; y < w.H; y++ {
+		row := w.Row(y)
+		for x := range row {
+			row[x] = float64(y*w.W + x)
+		}
+	}
+	return w
+}
+
+func TestAllocReleaseCycle(t *testing.T) {
+	w := Alloc(8, 4)
+	if !w.Pooled() {
+		t.Fatal("Alloc returned an unpooled window")
+	}
+	for _, v := range w.Pix {
+		if v != 0 {
+			t.Fatal("Alloc did not zero the buffer")
+		}
+	}
+	w.Release()
+	// A second release of the same reference must panic.
+	defer func() {
+		if recover() == nil {
+			t.Error("double Release did not panic")
+		}
+	}()
+	w.Release()
+}
+
+func TestRetainAfterReleasePanics(t *testing.T) {
+	w := Alloc(4, 4)
+	w.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("Retain on released storage did not panic")
+		}
+	}()
+	w.Retain(1)
+}
+
+// TestOverlappingViewsAlias checks the aliasing contract: views carved
+// from one ring share storage, and a mutation through one is visible
+// through every overlapping view.
+func TestOverlappingViewsAlias(t *testing.T) {
+	ring := fill(Alloc(8, 4))
+	a := ring.View(0, 0, 5, 3)
+	b := ring.View(2, 1, 5, 3)
+	if !a.SharesStorage(ring) || !b.SharesStorage(ring) || !a.SharesStorage(b) {
+		t.Fatal("views do not share the ring's storage")
+	}
+	if a.RowStride() != 8 || b.RowStride() != 8 {
+		t.Fatalf("view strides = %d, %d, want the ring width 8", a.RowStride(), b.RowStride())
+	}
+	// ring(3,2) lies inside both views: a(3,2) and b(1,1).
+	a.Set(3, 2, -1)
+	if got := b.At(1, 1); got != -1 {
+		t.Fatalf("mutation through view a not visible through b: got %v", got)
+	}
+	if got := ring.At(3, 2); got != -1 {
+		t.Fatalf("mutation not visible through the ring: got %v", got)
+	}
+	ring.Release()
+}
+
+// TestViewRetainOutlivesBase checks a retained view keeps the storage
+// alive after the base reference is dropped.
+func TestViewRetainOutlivesBase(t *testing.T) {
+	ring := fill(Alloc(8, 2))
+	v := ring.View(2, 0, 3, 2)
+	v.Retain(1)
+	ring.Release()
+	if got := v.At(0, 1); got != 10 {
+		t.Fatalf("view after base release: got %v, want 10", got)
+	}
+	v.Release()
+}
+
+// TestCloneOnStridedView checks Clone compacts a strided view into
+// dense, independent, unpooled storage.
+func TestCloneOnStridedView(t *testing.T) {
+	ring := fill(Alloc(8, 4))
+	v := ring.View(2, 1, 3, 2)
+	c := v.Clone()
+	if c.Pooled() {
+		t.Fatal("Clone returned pooled storage")
+	}
+	if !c.IsDense() || len(c.Pix) != 6 {
+		t.Fatalf("Clone not dense: stride %d, %d samples", c.Stride, len(c.Pix))
+	}
+	want := []float64{10, 11, 12, 18, 19, 20}
+	for i, v := range c.Pix {
+		if v != want[i] {
+			t.Fatalf("Clone.Pix[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+	// Independence: mutating the ring must not show through the clone.
+	ring.Set(2, 1, 99)
+	if c.At(0, 0) != 10 {
+		t.Fatal("Clone aliases the source ring")
+	}
+	ring.Release()
+}
+
+// TestDenseOnView compacts a strided view; the result must not share
+// storage with the ring (Dense of a strided window is a copy).
+func TestDenseOnView(t *testing.T) {
+	ring := fill(Alloc(6, 3))
+	v := ring.View(1, 0, 4, 3)
+	d := v.Dense()
+	if !d.IsDense() {
+		t.Fatal("Dense returned a strided window")
+	}
+	if d.SharesStorage(ring) {
+		t.Fatal("Dense of a strided view still aliases the ring")
+	}
+	if d.At(0, 0) != 1 || d.At(3, 2) != 16 {
+		t.Fatalf("Dense values wrong: %v, %v", d.At(0, 0), d.At(3, 2))
+	}
+	ring.Release()
+}
+
+// TestReleaseThenReusePoisoning checks the debug detector: with
+// poisoning on, storage read after its final release is NaN, so a
+// stale view diverges loudly instead of silently reading recycled
+// samples.
+func TestReleaseThenReusePoisoning(t *testing.T) {
+	prev := SetPoison(true)
+	defer SetPoison(prev)
+	ring := fill(Alloc(8, 2))
+	stale := ring.View(0, 0, 4, 2) // kept past the release: a protocol bug
+	ring.Release()
+	if got := stale.At(0, 0); !math.IsNaN(got) {
+		t.Fatalf("released storage read %v, want NaN poison", got)
+	}
+}
+
+func TestAllocFallbackWhenDisabled(t *testing.T) {
+	prev := SetZeroCopy(false)
+	defer SetZeroCopy(prev)
+	w := Alloc(4, 4)
+	if w.Pooled() {
+		t.Fatal("Alloc pooled a window with zero-copy disabled")
+	}
+	// Protocol calls must be no-ops on unpooled windows.
+	w.Retain(3)
+	w.Release()
+	w.Release()
+}
+
+func TestPooledScalar(t *testing.T) {
+	s := PooledScalar(2.5)
+	if s.Value() != 2.5 || !s.Pooled() {
+		t.Fatalf("PooledScalar = %v pooled=%v", s.Value(), s.Pooled())
+	}
+	s.Release()
+}
+
+func TestStatsTrackLiveBuffers(t *testing.T) {
+	ResetStats()
+	a := Alloc(16, 16)
+	b := Alloc(16, 16)
+	if got := Stats().Live; got != 2 {
+		t.Fatalf("Live = %d, want 2", got)
+	}
+	a.Release()
+	b.Release()
+	st := Stats()
+	if st.Live != 0 {
+		t.Fatalf("Live after release = %d, want 0", st.Live)
+	}
+	if st.Gets != 2 {
+		t.Fatalf("Gets = %d, want 2", st.Gets)
+	}
+}

@@ -10,16 +10,43 @@ import (
 	"math"
 )
 
-// Window is a dense, row-major 2-D block of samples. It is the value a
-// channel carries per kernel iteration: a (1x1) window for pixel
-// streams, a (5x5) window for a buffered convolution input, a (32x1)
-// window for histogram bins, and so on.
+// Window is a row-major 2-D block of samples. It is the value a channel
+// carries per kernel iteration: a (1x1) window for pixel streams, a
+// (5x5) window for a buffered convolution input, a (32x1) window for
+// histogram bins, and so on.
+//
+// A window is either dense (rows packed back to back, Stride zero) or a
+// strided view sharing another window's storage (Stride is the parent's
+// row pitch). Views are how the zero-copy data plane avoids per-item
+// copies; consumers that index Pix directly must either require
+// IsDense or go through At/Row. Storage may additionally be pooled
+// (see Alloc); pooled windows follow the retain/release protocol
+// described in pool.go.
 type Window struct {
 	W, H int
-	Pix  []float64
+	// Stride is the row pitch of Pix in samples; zero means dense
+	// (rows of exactly W samples, packed).
+	Stride int
+	Pix    []float64
+
+	// ref tracks pooled backing storage; nil for plain windows.
+	ref *Ref
 }
 
-// NewWindow allocates a zeroed w×h window.
+// RowStride returns the distance in Pix between vertically adjacent
+// samples.
+func (w Window) RowStride() int {
+	if w.Stride > 0 {
+		return w.Stride
+	}
+	return w.W
+}
+
+// IsDense reports whether Pix is packed row-major with no gaps, i.e.
+// Pix[y*W+x] addresses sample (x, y).
+func (w Window) IsDense() bool { return w.Stride == 0 || w.Stride == w.W }
+
+// NewWindow allocates a zeroed w×h dense window.
 func NewWindow(w, h int) Window {
 	if w < 0 || h < 0 {
 		panic(fmt.Sprintf("frame: invalid window size %dx%d", w, h))
@@ -32,8 +59,8 @@ func Scalar(v float64) Window {
 	return Window{W: 1, H: 1, Pix: []float64{v}}
 }
 
-// FromRows builds a window from row-major rows; all rows must have the
-// same length.
+// FromRows builds a dense window from row-major rows; all rows must
+// have the same length.
 func FromRows(rows [][]float64) Window {
 	h := len(rows)
 	if h == 0 {
@@ -55,7 +82,7 @@ func (w Window) At(x, y int) float64 {
 	if x < 0 || x >= w.W || y < 0 || y >= w.H {
 		panic(fmt.Sprintf("frame: At(%d,%d) outside %dx%d", x, y, w.W, w.H))
 	}
-	return w.Pix[y*w.W+x]
+	return w.Pix[y*w.RowStride()+x]
 }
 
 // Set stores v at (x, y). It panics on out-of-range access.
@@ -63,7 +90,14 @@ func (w Window) Set(x, y int, v float64) {
 	if x < 0 || x >= w.W || y < 0 || y >= w.H {
 		panic(fmt.Sprintf("frame: Set(%d,%d) outside %dx%d", x, y, w.W, w.H))
 	}
-	w.Pix[y*w.W+x] = v
+	w.Pix[y*w.RowStride()+x] = v
+}
+
+// Row returns the y-th row as a slice of exactly W samples, valid for
+// dense and strided windows alike.
+func (w Window) Row(y int) []float64 {
+	s := w.RowStride()
+	return w.Pix[y*s : y*s+w.W]
 }
 
 // Value returns the single sample of a 1x1 window.
@@ -74,21 +108,57 @@ func (w Window) Value() float64 {
 	return w.Pix[0]
 }
 
-// Clone returns a deep copy of the window.
+// Clone returns an independent dense, unpooled deep copy of the
+// window. Kernels use it for any input they keep across firings.
 func (w Window) Clone() Window {
-	out := Window{W: w.W, H: w.H, Pix: make([]float64, len(w.Pix))}
-	copy(out.Pix, w.Pix)
+	out := Window{W: w.W, H: w.H, Pix: make([]float64, w.W*w.H)}
+	s := w.RowStride()
+	for y := 0; y < w.H; y++ {
+		copy(out.Pix[y*w.W:(y+1)*w.W], w.Pix[y*s:y*s+w.W])
+	}
 	return out
 }
 
-// Sub returns a copy of the sub-window of size sw×sh anchored at (x, y).
+// Dense returns a window whose Pix is packed row-major (Pix[y*W+x]);
+// the receiver itself when it already is, a compact copy otherwise.
+func (w Window) Dense() Window {
+	if w.IsDense() {
+		if len(w.Pix) == w.W*w.H {
+			return w
+		}
+		return Window{W: w.W, H: w.H, Pix: w.Pix[:w.W*w.H], ref: w.ref}
+	}
+	return w.Clone()
+}
+
+// Sub returns a dense copy of the sub-window of size sw×sh anchored at
+// (x, y).
 func (w Window) Sub(x, y, sw, sh int) Window {
 	out := NewWindow(sw, sh)
+	s := w.RowStride()
 	for dy := 0; dy < sh; dy++ {
-		srcOff := (y+dy)*w.W + x
+		srcOff := (y+dy)*s + x
 		copy(out.Pix[dy*sw:(dy+1)*sw], w.Pix[srcOff:srcOff+sw])
 	}
 	return out
+}
+
+// View returns a vw×vh window sharing the receiver's storage, anchored
+// at (x, y) — the zero-copy counterpart of Sub. The view is valid as
+// long as the parent's storage is: it shares any pooled backing, so
+// the retain/release protocol covers both. Mutations through either
+// window are visible in the other.
+func (w Window) View(x, y, vw, vh int) Window {
+	if x < 0 || y < 0 || vw < 0 || vh < 0 || x+vw > w.W || y+vh > w.H {
+		panic(fmt.Sprintf("frame: View(%d,%d,%dx%d) outside %dx%d", x, y, vw, vh, w.W, w.H))
+	}
+	s := w.RowStride()
+	off := y*s + x
+	end := off + (vh-1)*s + vw
+	if vw == 0 || vh == 0 {
+		end = off
+	}
+	return Window{W: vw, H: vh, Stride: s, Pix: w.Pix[off:end], ref: w.ref}
 }
 
 // Equal reports whether two windows have identical shape and samples.
@@ -96,9 +166,13 @@ func (w Window) Equal(o Window) bool {
 	if w.W != o.W || w.H != o.H {
 		return false
 	}
-	for i := range w.Pix {
-		if w.Pix[i] != o.Pix[i] {
-			return false
+	ws, os := w.RowStride(), o.RowStride()
+	for y := 0; y < w.H; y++ {
+		wr, or := w.Pix[y*ws:y*ws+w.W], o.Pix[y*os:y*os+w.W]
+		for x := range wr {
+			if wr[x] != or[x] {
+				return false
+			}
 		}
 	}
 	return true
@@ -109,9 +183,13 @@ func (w Window) AlmostEqual(o Window, tol float64) bool {
 	if w.W != o.W || w.H != o.H {
 		return false
 	}
-	for i := range w.Pix {
-		if math.Abs(w.Pix[i]-o.Pix[i]) > tol {
-			return false
+	ws, os := w.RowStride(), o.RowStride()
+	for y := 0; y < w.H; y++ {
+		wr, or := w.Pix[y*ws:y*ws+w.W], o.Pix[y*os:y*os+w.W]
+		for x := range wr {
+			if math.Abs(wr[x]-or[x]) > tol {
+				return false
+			}
 		}
 	}
 	return true

@@ -71,6 +71,9 @@ func (b *insetBehavior) Run(ctx graph.RunContext) error {
 				ctx.Send("out", graph.TokenItem(token.EOL(b.row)))
 				b.row++
 			}
+		} else {
+			// Trimmed: this kernel was the item's only consumer.
+			it.Win.Release()
 		}
 		b.x++
 	}
@@ -124,7 +127,7 @@ func PadPlanOf(n *graph.Node) (PadPlan, bool) {
 
 func (b *padBehavior) emitZeroRow(ctx graph.RunContext) {
 	for i := 0; i < b.plan.OutW(); i++ {
-		ctx.Send("out", graph.DataItem(frame.Scalar(0)))
+		ctx.Send("out", graph.DataItem(frame.PooledScalar(0)))
 	}
 	ctx.Send("out", graph.TokenItem(token.EOL(b.row)))
 	b.row++
@@ -145,7 +148,7 @@ func (b *padBehavior) Run(ctx graph.RunContext) error {
 						ctx.Node().Name(), b.x, p.InW)
 				}
 				for i := 0; i < p.R; i++ {
-					ctx.Send("out", graph.DataItem(frame.Scalar(0)))
+					ctx.Send("out", graph.DataItem(frame.PooledScalar(0)))
 				}
 				ctx.Send("out", graph.TokenItem(token.EOL(b.row)))
 				b.row++
@@ -170,7 +173,7 @@ func (b *padBehavior) Run(ctx graph.RunContext) error {
 		}
 		if b.x == 0 {
 			for i := 0; i < p.L; i++ {
-				ctx.Send("out", graph.DataItem(frame.Scalar(0)))
+				ctx.Send("out", graph.DataItem(frame.PooledScalar(0)))
 			}
 		}
 		ctx.Send("out", it)

@@ -42,9 +42,9 @@ func (bayerBehavior) Invoke(method string, ctx graph.ExecContext) error {
 	// The window's top-left is at even absolute coordinates (step 2,2
 	// from an even origin), so within-window position (1,1) has odd-odd
 	// absolute parity, (2,2) even-even, matching RGGB via quadParity.
-	r := frame.NewWindow(2, 2)
-	g := frame.NewWindow(2, 2)
-	b := frame.NewWindow(2, 2)
+	r := frame.Alloc(2, 2)
+	g := frame.Alloc(2, 2)
+	b := frame.Alloc(2, 2)
 	for qy := 0; qy < 2; qy++ {
 		for qx := 0; qx < 2; qx++ {
 			rv, gv, bv := demosaicQuad(in, 1+qx, 1+qy)

@@ -103,9 +103,10 @@ func (b *bufferBehavior) Run(ctx graph.RunContext) error {
 				ctx.Node().Name(), b.x, b.y, p.DataW, p.DataH)
 		}
 		b.rows[b.y%p.WinH][b.x] = it.Win.Value()
+		it.Win.Release()
 		emit, wx, wy, rowEnd := p.OnSample(b.x, b.y)
 		if emit {
-			win := frame.NewWindow(p.WinW, p.WinH)
+			win := frame.Alloc(p.WinW, p.WinH)
 			for dy := 0; dy < p.WinH; dy++ {
 				src := b.rows[(wy+dy)%p.WinH]
 				copy(win.Pix[dy*p.WinW:(dy+1)*p.WinW], src[wx:wx+p.WinW])

@@ -74,7 +74,7 @@ func (b *convBehavior) Invoke(method string, ctx graph.ExecContext) error {
 				acc += in.At(x, y) * b.coeff.At(b.k-x-1, b.k-y-1)
 			}
 		}
-		ctx.Emit("out", frame.Scalar(acc))
+		ctx.Emit("out", frame.PooledScalar(acc))
 		return nil
 	default:
 		return fmt.Errorf("kernel: convolution has no method %q", method)

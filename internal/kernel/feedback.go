@@ -87,7 +87,7 @@ func (accumulatorBehavior) Invoke(method string, ctx graph.ExecContext) error {
 		return fmt.Errorf("kernel: accumulator has no method %q", method)
 	}
 	sum := ctx.Input("in").Value() + ctx.Input("state").Value()
-	ctx.Emit("out", frame.Scalar(sum))
-	ctx.Emit("loop", frame.Scalar(sum))
+	ctx.Emit("out", frame.PooledScalar(sum))
+	ctx.Emit("loop", frame.PooledScalar(sum))
 	return nil
 }

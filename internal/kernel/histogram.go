@@ -68,7 +68,7 @@ func (b *histogramBehavior) Invoke(method string, ctx graph.ExecContext) error {
 		b.counts[frame.FindBin(v, b.edges)]++
 		return nil
 	case "finishCount":
-		out := frame.NewWindow(b.bins, 1)
+		out := frame.Alloc(b.bins, 1)
 		copy(out.Pix, b.counts)
 		for i := range b.counts {
 			b.counts[i] = 0
@@ -124,7 +124,7 @@ func (b *mergeBehavior) Invoke(method string, ctx graph.ExecContext) error {
 		}
 		return nil
 	case "finishMerge":
-		out := frame.NewWindow(b.bins, 1)
+		out := frame.Alloc(b.bins, 1)
 		if b.acc != nil {
 			copy(out.Pix, b.acc)
 			for i := range b.acc {

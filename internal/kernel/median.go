@@ -40,9 +40,12 @@ func (b *medianBehavior) Invoke(method string, ctx graph.ExecContext) error {
 		return fmt.Errorf("kernel: median has no method %q", method)
 	}
 	in := ctx.Input("in")
-	b.buf = append(b.buf[:0], in.Pix...)
+	b.buf = b.buf[:0]
+	for y := 0; y < in.H; y++ {
+		b.buf = append(b.buf, in.Row(y)...)
+	}
 	sort.Float64s(b.buf)
-	ctx.Emit("out", frame.Scalar(b.buf[len(b.buf)/2]))
+	ctx.Emit("out", frame.PooledScalar(b.buf[len(b.buf)/2]))
 	return nil
 }
 
@@ -70,7 +73,7 @@ func (subtractBehavior) Invoke(method string, ctx graph.ExecContext) error {
 	if method != "subtract" {
 		return fmt.Errorf("kernel: subtract has no method %q", method)
 	}
-	ctx.Emit("out", frame.Scalar(ctx.Input("in0").Value()-ctx.Input("in1").Value()))
+	ctx.Emit("out", frame.PooledScalar(ctx.Input("in0").Value()-ctx.Input("in1").Value()))
 	return nil
 }
 
@@ -97,7 +100,7 @@ func (b gainBehavior) Invoke(method string, ctx graph.ExecContext) error {
 	if method != "runGain" {
 		return fmt.Errorf("kernel: gain has no method %q", method)
 	}
-	ctx.Emit("out", frame.Scalar(ctx.Input("in").Value()*b.factor))
+	ctx.Emit("out", frame.PooledScalar(ctx.Input("in").Value()*b.factor))
 	return nil
 }
 
@@ -129,6 +132,6 @@ func (downsampleBehavior) Invoke(method string, ctx graph.ExecContext) error {
 	if method != "runDownsample" {
 		return fmt.Errorf("kernel: downsample has no method %q", method)
 	}
-	ctx.Emit("out", frame.Scalar(ctx.Input("in").At(0, 0)))
+	ctx.Emit("out", frame.PooledScalar(ctx.Input("in").At(0, 0)))
 	return nil
 }

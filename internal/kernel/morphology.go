@@ -54,12 +54,14 @@ func (b morphBehavior) Invoke(method string, ctx graph.ExecContext) error {
 		return fmt.Errorf("kernel: morphology has no method %q", method)
 	}
 	in := ctx.Input("in")
-	best := in.Pix[0]
-	for _, v := range in.Pix[1:] {
-		if (b.op == Erode && v < best) || (b.op == Dilate && v > best) {
-			best = v
+	best := in.At(0, 0)
+	for y := 0; y < in.H; y++ {
+		for _, v := range in.Row(y) {
+			if (b.op == Erode && v < best) || (b.op == Dilate && v > best) {
+				best = v
+			}
 		}
 	}
-	ctx.Emit("out", frame.Scalar(best))
+	ctx.Emit("out", frame.PooledScalar(best))
 	return nil
 }

@@ -122,7 +122,7 @@ func (b *motionBehavior) Invoke(method string, ctx graph.ExecContext) error {
 			break
 		}
 	}
-	mv := frame.NewWindow(2, 1)
+	mv := frame.Alloc(2, 1)
 	mv.Set(0, 0, offset)
 	mv.Set(1, 0, float64(iters))
 	ctx.Emit("mv", mv)

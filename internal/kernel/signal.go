@@ -58,7 +58,7 @@ func (b *firBehavior) Invoke(method string, ctx graph.ExecContext) error {
 		for i := 0; i < b.taps; i++ {
 			acc += in.At(i, 0) * b.coefs.At(b.taps-i-1, 0)
 		}
-		ctx.Emit("out", frame.Scalar(acc))
+		ctx.Emit("out", frame.PooledScalar(acc))
 		return nil
 	default:
 		return fmt.Errorf("kernel: FIR has no method %q", method)
@@ -93,7 +93,7 @@ func (b upsampleBehavior) Invoke(method string, ctx graph.ExecContext) error {
 		return fmt.Errorf("kernel: upsample has no method %q", method)
 	}
 	v := ctx.Input("in").Value()
-	out := frame.NewWindow(b.k, b.k)
+	out := frame.Alloc(b.k, b.k)
 	for i := range out.Pix {
 		out.Pix[i] = v
 	}
@@ -127,7 +127,7 @@ func (magnitudeBehavior) Invoke(method string, ctx graph.ExecContext) error {
 	}
 	gx := ctx.Input("gx").Value()
 	gy := ctx.Input("gy").Value()
-	ctx.Emit("out", frame.Scalar(math.Hypot(gx, gy)))
+	ctx.Emit("out", frame.PooledScalar(math.Hypot(gx, gy)))
 	return nil
 }
 
@@ -159,6 +159,6 @@ func (b thresholdBehavior) Invoke(method string, ctx graph.ExecContext) error {
 	if v >= b.t {
 		out = b.high
 	}
-	ctx.Emit("out", frame.Scalar(out))
+	ctx.Emit("out", frame.PooledScalar(out))
 	return nil
 }

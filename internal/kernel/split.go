@@ -146,6 +146,11 @@ func (b *replicateBehavior) Run(ctx graph.RunContext) error {
 		if !ok {
 			return nil
 		}
+		if !it.IsToken {
+			// n branches consume the same item; the held reference
+			// covers the first.
+			it.Win.Retain(b.n - 1)
+		}
 		for i := 0; i < b.n; i++ {
 			ctx.Send(fmt.Sprintf("out%d", i), it)
 		}
@@ -206,6 +211,20 @@ func (b *splitColumnsBehavior) Run(ctx graph.RunContext) error {
 				ctx.Send(fmt.Sprintf("out%d", i), it)
 			}
 			continue
+		}
+		// Every stripe containing the sample is one consumer; the held
+		// reference covers the first (or is dropped if the column maps
+		// to no stripe).
+		sent := 0
+		for _, s := range b.stripes {
+			if b.x >= s.InStart && b.x < s.InEnd {
+				sent++
+			}
+		}
+		if sent == 0 {
+			it.Win.Release()
+		} else {
+			it.Win.Retain(sent - 1)
 		}
 		for i, s := range b.stripes {
 			if b.x >= s.InStart && b.x < s.InEnd {

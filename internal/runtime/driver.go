@@ -15,7 +15,12 @@ type driver struct {
 	node *graph.Node
 	inv  graph.Invoker
 
-	queues map[string][]graph.Item
+	queues map[string]*itemQueue
+
+	// ctx is reused across firings: a method invocation may not retain
+	// its ExecContext, so one scratch context (and trigger map) per
+	// driver avoids a heap allocation per firing.
+	ctx invokeCtx
 
 	// Configuration methods (all triggers on replicated inputs) are
 	// frame-synchronized: each fires exactly once per frame, before
@@ -32,6 +37,10 @@ type driver struct {
 	// configMethods fire with priority; dataMethods wait for config.
 	configMethods []*graph.Method
 	otherMethods  []*graph.Method
+	// otherIsData caches isDataMethod per otherMethods entry: the
+	// check sits on the per-item firing path and DataTriggers
+	// allocates.
+	otherIsData []bool
 
 	// feedbackFed marks inputs fed directly by a feedback kernel, and
 	// loopOutputs outputs that feed one. Control tokens cannot travel
@@ -47,16 +56,18 @@ func newDriver(ex *executor, n *graph.Node, inv graph.Invoker) *driver {
 		ex:          ex,
 		node:        n,
 		inv:         inv,
-		queues:      make(map[string][]graph.Item),
+		queues:      make(map[string]*itemQueue),
 		configFired: make(map[*graph.Method]int64),
 		feedbackFed: make(map[string]bool),
 		loopOutputs: make(map[string]bool),
 	}
+	d.ctx = invokeCtx{ex: ex, node: n, inputs: make(map[string]graph.Item)}
 	for _, m := range n.Methods() {
 		if isConfigMethod(n, m) {
 			d.configMethods = append(d.configMethods, m)
 		} else {
 			d.otherMethods = append(d.otherMethods, m)
+			d.otherIsData = append(d.otherIsData, isDataMethod(m))
 		}
 	}
 	for _, p := range n.Inputs() {
@@ -101,46 +112,75 @@ func (d *driver) configReady() bool {
 	return true
 }
 
+// loop drives the kernel on a blocking transport (chanEngine): fire
+// until quiescent, block for the next delivery, repeat.
 func (d *driver) loop() error {
 	for {
-		for {
-			fired, err := d.tryFire()
-			if err != nil {
-				return err
-			}
-			if !fired {
-				break
-			}
+		if err := d.step(nil); err != nil {
+			return err
 		}
 		msg, ok := d.ex.recv(d.node)
 		if !ok {
 			// Inputs exhausted: fire whatever remains, then stop.
-			for {
-				fired, err := d.tryFire()
-				if err != nil {
-					return err
-				}
-				if !fired {
-					return nil
-				}
-			}
+			return d.step(nil)
 		}
-		d.queues[msg.input] = append(d.queues[msg.input], msg.item)
+		d.push(msg.input, msg.item)
+	}
+}
+
+// itemQueue is a FIFO over a reused backing array: pop advances a head
+// index, and draining resets it, so steady-state push/pop cycles stop
+// reallocating (a plain items = items[1:] slide forces a grow on
+// almost every append once the backing array's tail is consumed).
+type itemQueue struct {
+	items []graph.Item
+	head  int
+}
+
+func (d *driver) push(input string, it graph.Item) {
+	q := d.queues[input]
+	if q == nil {
+		q = &itemQueue{}
+		d.queues[input] = q
+	}
+	q.items = append(q.items, it)
+}
+
+// step enqueues a batch of deliveries and fires methods until the
+// kernel is quiescent. It is the non-blocking entry point the worker
+// engine schedules.
+func (d *driver) step(msgs []inMsg) error {
+	for _, m := range msgs {
+		d.push(m.input, m.item)
+	}
+	for {
+		fired, err := d.tryFire()
+		if err != nil {
+			return err
+		}
+		if !fired {
+			return nil
+		}
 	}
 }
 
 func (d *driver) head(input string) (graph.Item, bool) {
 	q := d.queues[input]
-	if len(q) == 0 {
+	if q == nil || q.head == len(q.items) {
 		return graph.Item{}, false
 	}
-	return q[0], true
+	return q.items[q.head], true
 }
 
 func (d *driver) pop(input string) graph.Item {
 	q := d.queues[input]
-	it := q[0]
-	d.queues[input] = q[1:]
+	it := q.items[q.head]
+	q.items[q.head] = graph.Item{} // drop the window reference
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
 	return it
 }
 
@@ -155,11 +195,11 @@ func (d *driver) tryFire() (bool, error) {
 		}
 	}
 	ready := d.configReady()
-	for _, m := range d.otherMethods {
+	for i, m := range d.otherMethods {
 		if !d.methodReady(m) {
 			continue
 		}
-		if isDataMethod(m) && !ready {
+		if d.otherIsData[i] && !ready {
 			continue
 		}
 		return true, d.fire(m)
@@ -199,7 +239,8 @@ func (d *driver) methodReady(m *graph.Method) bool {
 // follows the results downstream (e.g. the end-of-frame token follows
 // the histogram's final counts to the merge kernel).
 func (d *driver) fire(m *graph.Method) error {
-	ctx := &invokeCtx{ex: d.ex, node: d.node, inputs: make(map[string]graph.Item)}
+	ctx := &d.ctx
+	clear(ctx.inputs)
 	var tokens []token.Token
 	bumpFrame := false
 	for _, t := range m.Triggers {
@@ -218,7 +259,17 @@ func (d *driver) fire(m *graph.Method) error {
 		d.frameIdx++
 	}
 	d.ex.recordFiring(d.node.Name(), m.Name)
-	if err := d.inv.Invoke(m.Name, ctx); err != nil {
+	err := d.inv.Invoke(m.Name, ctx)
+	// The firing consumed its data inputs: release their pool
+	// references. Anything the kernel emitted from shared storage was
+	// re-retained by Emit, and anything it keeps across firings it must
+	// Clone (ownership protocol, DESIGN.md "Memory model").
+	for _, it := range ctx.inputs {
+		if !it.IsToken {
+			it.Win.Release()
+		}
+	}
+	if err != nil {
 		return err
 	}
 	for _, tok := range dedupeTokens(tokens) {
@@ -367,6 +418,17 @@ func (c *invokeCtx) Emit(output string, w frame.Window) {
 	p := c.node.Output(output)
 	if p == nil {
 		panic(fmt.Sprintf("runtime: node %q has no output %q", c.node.Name(), output))
+	}
+	// Pass-through support: a window emitted from an input's pooled
+	// storage needs its own reference, because the firing's inputs are
+	// released once Invoke returns.
+	if w.Pooled() {
+		for _, it := range c.inputs {
+			if !it.IsToken && w.SharesStorage(it.Win) {
+				w.Retain(1)
+				break
+			}
+		}
 	}
 	c.ex.send(p, graph.DataItem(w))
 }

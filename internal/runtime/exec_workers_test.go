@@ -1,0 +1,248 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"blockpar/internal/apps"
+	"blockpar/internal/core"
+	"blockpar/internal/frame"
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+	"blockpar/internal/kernel"
+)
+
+// runApp compiles a fresh copy of the suite app and runs it with the
+// given executor. Each call compiles anew because behaviors carry
+// per-run state.
+func runApp(t *testing.T, id string, frames int, exec ExecutorKind, workers int) *Result {
+	t.Helper()
+	app, err := apps.ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compile(app.Graph, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(c.Graph, Options{
+		Frames:   frames,
+		Sources:  app.Sources,
+		Executor: exec,
+		Workers:  workers,
+	})
+	if err != nil {
+		t.Fatalf("run %q with executor %q: %v", id, exec, err)
+	}
+	return res
+}
+
+// TestWorkersMatchGoroutines is the correctness bar for the worker-pool
+// engine: for a spread of suite apps and pool widths, every output
+// window and every firing count must match the per-node goroutine
+// engine exactly.
+func TestWorkersMatchGoroutines(t *testing.T) {
+	const frames = 3
+	for _, id := range []string{"1", "2", "3", "4", "5"} {
+		for _, workers := range []int{1, 2, 0} { // 0 = GOMAXPROCS default
+			id, workers := id, workers
+			t.Run(id, func(t *testing.T) {
+				want := runApp(t, id, frames, ExecGoroutines, 0)
+				got := runApp(t, id, frames, ExecWorkers, workers)
+
+				for name, outs := range want.Outputs {
+					g, ok := got.Outputs[name]
+					if !ok {
+						t.Fatalf("workers=%d: output %q missing", workers, name)
+					}
+					if len(g) != len(outs) {
+						t.Fatalf("workers=%d: output %q has %d items, want %d",
+							workers, name, len(g), len(outs))
+					}
+					for i := range outs {
+						if g[i].IsToken != outs[i].IsToken {
+							t.Fatalf("workers=%d: output %q item %d token mismatch",
+								workers, name, i)
+						}
+						if !g[i].IsToken && !g[i].Win.Equal(outs[i].Win) {
+							t.Fatalf("workers=%d: output %q item %d differs",
+								workers, name, i)
+						}
+					}
+				}
+				for node, methods := range want.Firings {
+					for m, n := range methods {
+						if got.Firings[node][m] != n {
+							t.Fatalf("workers=%d: firings[%s][%s] = %d, want %d",
+								workers, node, m, got.Firings[node][m], n)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestWorkersSessionMatchesBatch streams frames through a worker-pool
+// session and checks each against the worker-pool batch run.
+func TestWorkersSessionMatchesBatch(t *testing.T) {
+	const frames = 3
+	for _, id := range []string{"1", "5"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			batch := runApp(t, id, frames, ExecWorkers, 2)
+
+			app, err := apps.ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := core.Compile(app.Graph, core.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sess, err := NewSession(c.Graph, SessionOptions{
+				Sources:  app.Sources,
+				Executor: ExecWorkers,
+				Workers:  2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sess.Close()
+
+			for f := 0; f < frames; f++ {
+				if _, err := sess.Feed(nil); err != nil {
+					t.Fatalf("feed frame %d: %v", f, err)
+				}
+				res, err := sess.Collect(10 * time.Second)
+				if err != nil {
+					t.Fatalf("collect frame %d: %v", f, err)
+				}
+				for _, out := range c.Graph.Outputs() {
+					want := batch.FrameSlices(out.Name())[f]
+					got := res.Outputs[out.Name()]
+					if len(got) != len(want) {
+						t.Fatalf("output %q frame %d: %d windows, want %d",
+							out.Name(), f, len(got), len(want))
+					}
+					for i := range want {
+						if !got[i].Equal(want[i]) {
+							t.Fatalf("output %q frame %d window %d differs",
+								out.Name(), f, i)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWorkersFeedback runs the feedback accumulator on the worker pool:
+// the cycle exercises the Runner-on-goroutine / Invoker-on-pool split.
+func TestWorkersFeedback(t *testing.T) {
+	build := func() *graph.Graph {
+		g := graph.New("fb")
+		in := g.AddInput("Input", geom.Sz(6, 1), geom.Sz(1, 1), geom.FInt(10))
+		acc := g.Add(kernel.Accumulator("Acc"))
+		fb := g.Add(kernel.Feedback("FB", geom.Sz(1, 1), []frame.Window{frame.Scalar(0)}))
+		out := g.AddOutput("Output", geom.Sz(1, 1))
+		g.Connect(in, "out", acc, "in")
+		g.Connect(fb, "out", acc, "state")
+		g.Connect(acc, "loop", fb, "in")
+		g.Connect(acc, "out", out, "in")
+		return g
+	}
+	src := map[string]frame.Generator{
+		"Input": func(seq int64, w, h int) frame.Window {
+			f := frame.NewWindow(w, h)
+			for i := range f.Pix {
+				f.Pix[i] = float64(i + 1)
+			}
+			return f
+		},
+	}
+	run := func(exec ExecutorKind) *Result {
+		res, err := Run(build(), Options{Frames: 2, Sources: src, Executor: exec})
+		if err != nil {
+			t.Fatalf("executor %q: %v", exec, err)
+		}
+		return res
+	}
+	want := run(ExecGoroutines).DataWindows("Output")
+	got := run(ExecWorkers).DataWindows("Output")
+	if len(got) != len(want) {
+		t.Fatalf("got %d windows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("window %d = %v, want %v", i, got[i].Value(), want[i].Value())
+		}
+	}
+}
+
+// TestWorkersSessionPanicRecovery checks a panicking kernel running on
+// a pool worker surfaces as a session error instead of crashing the
+// process.
+func TestWorkersSessionPanicRecovery(t *testing.T) {
+	g := graph.New("boom")
+	g.AddInput("Input", geom.Sz(4, 2), geom.Sz(1, 1), geom.FInt(50))
+	n := graph.NewNode("Boom", graph.KindKernel)
+	n.CreateInput("in", geom.Sz(1, 1), geom.St(1, 1), geom.Off(0, 0))
+	n.CreateOutput("out", geom.Sz(1, 1), geom.St(1, 1))
+	n.RegisterMethod("run", 1, 0)
+	n.RegisterMethodInput("run", "in")
+	n.RegisterMethodOutput("run", "out")
+	n.Behavior = panicBehavior{}
+	g.Add(n)
+	out := g.AddOutput("Output", geom.Sz(1, 1))
+	g.Connect(g.Node("Input"), "out", n, "in")
+	g.Connect(n, "out", out, "in")
+
+	sess, err := NewSession(g, SessionOptions{Executor: ExecWorkers, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := sess.Feed(nil); err != nil {
+		t.Fatalf("feed: %v", err)
+	}
+	_, err = sess.Collect(10 * time.Second)
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("collect err = %v, want kernel panic error", err)
+	}
+}
+
+// TestWorkersSurfaceBehaviorErrors checks a failing kernel aborts the
+// worker-pool run with its error, same as the goroutine engine.
+func TestWorkersSurfaceBehaviorErrors(t *testing.T) {
+	// A buffer with the wrong plan width errors out mid-stream; the
+	// worker-pool run must return the error rather than hang.
+	g := graph.New("bad-buffer")
+	in := g.AddInput("Input", geom.Sz(8, 4), geom.Sz(1, 1), geom.FInt(10))
+	buf := g.Add(kernel.Buffer("Buf", kernel.BufferPlan{
+		DataW: 6 /* wrong: frame is 8 wide */, DataH: 4, WinW: 3, WinH: 3, StepX: 1, StepY: 1,
+	}))
+	out := g.AddOutput("Output", geom.Sz(3, 3))
+	g.Connect(in, "out", buf, "in")
+	g.Connect(buf, "out", out, "in")
+	if _, err := Run(g, Options{Frames: 1, Executor: ExecWorkers}); err == nil {
+		t.Fatal("buffer overflow not reported")
+	}
+}
+
+// TestUnknownExecutorRejected checks Options validation.
+func TestUnknownExecutorRejected(t *testing.T) {
+	app, err := apps.ByID("1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compile(app.Graph, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(c.Graph, Options{Frames: 1, Sources: app.Sources, Executor: "bogus"})
+	if err == nil || !strings.Contains(err.Error(), "executor") {
+		t.Fatalf("err = %v, want unknown-executor error", err)
+	}
+}

@@ -1,0 +1,8 @@
+package runtime
+
+import "blockpar/internal/frame"
+
+// Every runtime test runs with use-after-release poisoning on: a stale
+// reader of recycled pool storage then sees NaN and diverges from the
+// golden outputs instead of silently passing.
+func init() { frame.SetPoison(true) }

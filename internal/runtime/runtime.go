@@ -1,9 +1,9 @@
 // Package runtime executes block-parallel application graphs
-// functionally: one goroutine per kernel instance, channels as the
-// stream FIFOs, control tokens in-band. It is the semantic reference
-// for the system — every compiler transformation is verified by running
-// the transformed graph here and comparing with the untransformed
-// golden output (DESIGN.md §5).
+// functionally: kernel instances exchange items over stream FIFOs with
+// control tokens in-band. It is the semantic reference for the system —
+// every compiler transformation is verified by running the transformed
+// graph here and comparing with the untransformed golden output
+// (DESIGN.md §5).
 //
 // Two execution styles exist, mirroring graph.Behavior:
 //
@@ -19,16 +19,42 @@
 // Replicated inputs act as a configuration barrier: a kernel's data
 // methods do not fire until every replicated input has delivered at
 // least one item, making coefficient/bin loading deterministic.
+//
+// The scheduling engine is pluggable (Options.Executor): the default
+// engine runs one goroutine per node with channels as the FIFOs; the
+// worker-pool engine runs ready kernel firings to completion on a
+// fixed set of workers, decoupling logical kernels from OS-level
+// parallelism the way the paper decouples kernels from PEs.
+//
+// Items follow the zero-copy ownership protocol of internal/frame:
+// windows travel as stride-aware views over pooled storage, the sender
+// retains one reference per consumer at fan-out, and the engine
+// releases a kernel's data inputs after each firing. Results are
+// compacted into slab storage so callers never pin pool buffers.
 package runtime
 
 import (
 	"fmt"
+	goruntime "runtime"
 	"sync"
 	"time"
 
 	"blockpar/internal/frame"
 	"blockpar/internal/graph"
 	"blockpar/internal/token"
+)
+
+// ExecutorKind selects the scheduling engine for a run or session.
+type ExecutorKind string
+
+const (
+	// ExecGoroutines is the default engine: one goroutine per node,
+	// channels as the stream FIFOs.
+	ExecGoroutines ExecutorKind = "goroutines"
+	// ExecWorkers is the worker-pool engine: a fixed set of workers
+	// (Options.Workers, default GOMAXPROCS) runs ready kernel firings
+	// to completion from a shared ready queue.
+	ExecWorkers ExecutorKind = "workers"
 )
 
 // Options configures a functional run.
@@ -46,6 +72,12 @@ type Options struct {
 	// Sources maps application input node names to frame generators.
 	// Inputs without an entry produce frame.Gradient frames.
 	Sources map[string]frame.Generator
+	// Executor selects the scheduling engine; empty means
+	// ExecGoroutines.
+	Executor ExecutorKind
+	// Workers sizes the ExecWorkers pool (default GOMAXPROCS); ignored
+	// by other engines.
+	Workers int
 }
 
 // Result holds everything the application outputs produced.
@@ -99,16 +131,36 @@ type inMsg struct {
 	item  graph.Item
 }
 
-// executor wires the graph into channels and goroutines.
+// engine is the scheduling abstraction behind a run: it owns the
+// transport between nodes and decides what executes where. The
+// executor owns the graph-level semantics (input chunking, output
+// collection, firing counts, errors) and delegates movement to the
+// engine.
+type engine interface {
+	// start launches execution and returns a channel closed when every
+	// node has finished.
+	start() chan struct{}
+	// deliver moves one item along one edge. It must not block
+	// indefinitely once the run is stopping.
+	deliver(e *graph.Edge, it graph.Item)
+	// recv blocks for the next delivery to node n; ok is false when
+	// all producers have closed and the inbox is drained, or the run
+	// is stopping.
+	recv(n *graph.Node) (inMsg, bool)
+	// stopNotify wakes anything blocked outside channel selects; it is
+	// called exactly once, after the stop channel closes.
+	stopNotify()
+}
+
+// executor holds the shared state of one run, independent of engine.
 type executor struct {
 	g    *graph.Graph
 	opts Options
+	eng  engine
 
-	inboxes map[*graph.Node]chan inMsg
-	// producersLeft counts open producers per consumer node; the inbox
-	// closes when it reaches zero.
-	mu            sync.Mutex
-	producersLeft map[*graph.Node]int
+	// edgesFrom caches the per-port fan-out so the send path does not
+	// allocate.
+	edgesFrom map[*graph.Port][]*graph.Edge
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -119,8 +171,9 @@ type executor struct {
 	fireMu  sync.Mutex
 	firings map[string]map[string]int64
 
-	// output collection
+	// output collection (guarded by outMu)
 	outMu   sync.Mutex
+	slab    slabAlloc
 	outputs map[string][]graph.Item
 	// eofSeen tracks per-output EOF counts for termination.
 	eofSeen map[string]int
@@ -141,7 +194,7 @@ type executor struct {
 	wg sync.WaitGroup
 }
 
-// newExecutor validates the graph and wires inboxes; readyCap > 0
+// newExecutor validates the graph and wires the engine; readyCap > 0
 // selects streaming mode with that many buffered frame results.
 func newExecutor(g *graph.Graph, opts Options, readyCap int) (*executor, error) {
 	if err := g.Validate(); err != nil {
@@ -156,16 +209,23 @@ func newExecutor(g *graph.Graph, opts Options, readyCap int) (*executor, error) 
 		}
 		opts.ChannelCap = 16 * maxW
 	}
+	if opts.Workers <= 0 {
+		opts.Workers = goruntime.GOMAXPROCS(0)
+	}
 
 	ex := &executor{
-		g:             g,
-		opts:          opts,
-		inboxes:       make(map[*graph.Node]chan inMsg),
-		producersLeft: make(map[*graph.Node]int),
-		stop:          make(chan struct{}),
-		outputs:       make(map[string][]graph.Item),
-		eofSeen:       make(map[string]int),
-		firings:       make(map[string]map[string]int64),
+		g:         g,
+		opts:      opts,
+		edgesFrom: make(map[*graph.Port][]*graph.Edge),
+		stop:      make(chan struct{}),
+		outputs:   make(map[string][]graph.Item),
+		eofSeen:   make(map[string]int),
+		firings:   make(map[string]map[string]int64),
+	}
+	for _, n := range g.Nodes() {
+		for _, p := range n.Outputs() {
+			ex.edgesFrom[p] = g.EdgesFrom(p)
+		}
 	}
 	if readyCap > 0 {
 		ex.stream = true
@@ -177,51 +237,18 @@ func newExecutor(g *graph.Graph, opts Options, readyCap int) (*executor, error) 
 			ex.feeds[n] = make(chan frame.Window, readyCap)
 		}
 	}
-	for _, n := range g.Nodes() {
-		if n.Kind == graph.KindInput {
-			continue
-		}
-		ex.inboxes[n] = make(chan inMsg, opts.ChannelCap)
-		producers := make(map[*graph.Node]bool)
-		for _, e := range g.InEdges(n) {
-			producers[e.From.Node()] = true
-		}
-		ex.producersLeft[n] = len(producers)
+	switch opts.Executor {
+	case "", ExecGoroutines:
+		ex.eng = newChanEngine(ex)
+	case ExecWorkers:
+		ex.eng = newWorkerEngine(ex, opts.Workers)
+	default:
+		return nil, fmt.Errorf("runtime: unknown executor %q", opts.Executor)
 	}
 	return ex, nil
 }
 
-// start launches one goroutine per node and returns a channel closed
-// when all of them have exited.
-func (ex *executor) start() chan struct{} {
-	for _, n := range ex.g.Nodes() {
-		n := n
-		ex.wg.Add(1)
-		go func() {
-			defer func() {
-				if ex.stream {
-					if r := recover(); r != nil {
-						ex.fail(fmt.Errorf("node %q panicked: %v", n.Name(), r))
-					}
-				}
-				// This node will produce nothing more: release consumers.
-				for _, consumer := range ex.downstreamConsumers(n) {
-					ex.producerDone(consumer)
-				}
-				ex.wg.Done()
-			}()
-			if err := ex.runNode(n); err != nil && err != graph.ErrHalt {
-				ex.fail(fmt.Errorf("node %q: %w", n.Name(), err))
-			}
-		}()
-	}
-	done := make(chan struct{})
-	go func() {
-		ex.wg.Wait()
-		close(done)
-	}()
-	return done
-}
+func (ex *executor) start() chan struct{} { return ex.eng.start() }
 
 // runErr returns the first error recorded by fail, if any.
 func (ex *executor) runErr() error {
@@ -305,51 +332,40 @@ func (ex *executor) fail(err error) {
 }
 
 func (ex *executor) stopAll() {
-	ex.stopOnce.Do(func() { close(ex.stop) })
+	ex.stopOnce.Do(func() {
+		close(ex.stop)
+		ex.eng.stopNotify()
+	})
 }
 
-// producerDone decrements the consumer's open-producer count. Each
-// producer node calls it once per distinct consumer; a consumer node
-// may be fed by several edges from the same producer, so the count is
-// by edges collapsed to distinct producers at wiring time — instead we
-// count distinct producers here.
-func (ex *executor) producerDone(consumer *graph.Node) {
-	ex.mu.Lock()
-	defer ex.mu.Unlock()
-	ex.producersLeft[consumer]--
-	if ex.producersLeft[consumer] == 0 {
-		close(ex.inboxes[consumer])
-	}
-}
-
-// send delivers an item to every consumer of the given output port.
-// It aborts silently once the run is stopping.
-func (ex *executor) send(from *graph.Port, it graph.Item) {
-	for _, e := range ex.g.EdgesFrom(from) {
-		inbox := ex.inboxes[e.To.Node()]
-		select {
-		case inbox <- inMsg{input: e.To.Name, item: it}:
-		case <-ex.stop:
-			return
-		}
-	}
-}
-
-// recv pulls the next delivery for node n; ok is false when the inbox
-// is closed and drained or the run is stopping.
-func (ex *executor) recv(n *graph.Node) (inMsg, bool) {
+func (ex *executor) stopping() bool {
 	select {
-	case msg, ok := <-ex.inboxes[n]:
-		return msg, ok
 	case <-ex.stop:
-		// Drain without blocking so producers can finish.
-		select {
-		case msg, ok := <-ex.inboxes[n]:
-			return msg, ok
-		default:
-			return inMsg{}, false
-		}
+		return true
+	default:
+		return false
 	}
+}
+
+// send delivers an item to every consumer of the given output port,
+// adding one pool reference per extra consumer (ownership protocol:
+// the caller's reference covers the first consumer). It aborts
+// silently once the run is stopping; undelivered references then fall
+// back to the garbage collector, which the arena tolerates.
+func (ex *executor) send(from *graph.Port, it graph.Item) {
+	edges := ex.edgesFrom[from]
+	if !it.IsToken && len(edges) > 1 {
+		it.Win.Retain(len(edges) - 1)
+	}
+	for _, e := range edges {
+		ex.eng.deliver(e, it)
+	}
+}
+
+// recv pulls the next delivery for node n; ok is false when all
+// producers are done and the inbox is drained, or the run is stopping.
+func (ex *executor) recv(n *graph.Node) (inMsg, bool) {
+	return ex.eng.recv(n)
 }
 
 func (ex *executor) runNode(n *graph.Node) error {
@@ -418,9 +434,31 @@ func (c *runCtx) Recv(input string) (graph.Item, bool) {
 	}
 }
 
-// runInput generates opts.Frames frames of scan-order chunks with
-// end-of-line and end-of-frame tokens (paper §II-C: these two tokens
-// are generated automatically by the data inputs).
+// emitFrame chunks one frame into scan-order items with end-of-line
+// and end-of-frame tokens (paper §II-C: these two tokens are generated
+// automatically by the data inputs). With zero-copy enabled the chunks
+// are stride-aware views of img — zero allocations per item — so img
+// must stay immutable while the frame is in flight.
+func (ex *executor) emitFrame(out *graph.Port, fw, fh, cw, ch int, img frame.Window, f int64) {
+	zero := frame.ZeroCopy()
+	row := f * int64(fh/ch)
+	for y := 0; y+ch <= fh; y += ch {
+		for x := 0; x+cw <= fw; x += cw {
+			var w frame.Window
+			if zero {
+				w = img.View(x, y, cw, ch)
+			} else {
+				w = img.Sub(x, y, cw, ch)
+			}
+			ex.send(out, graph.DataItem(w))
+		}
+		ex.send(out, graph.TokenItem(token.EOL(row)))
+		row++
+	}
+	ex.send(out, graph.TokenItem(token.EOF(f)))
+}
+
+// runInput generates opts.Frames frames of scan-order chunks.
 func (ex *executor) runInput(n *graph.Node) error {
 	gen := ex.opts.Sources[n.Name()]
 	if gen == nil {
@@ -433,23 +471,23 @@ func (ex *executor) runInput(n *graph.Node) error {
 		return fmt.Errorf("runtime: input %q frame %v not divisible by chunk %v", n.Name(), fs, chunk)
 	}
 	for f := 0; f < ex.opts.Frames; f++ {
-		select {
-		case <-ex.stop:
+		if ex.stopping() {
 			return nil
-		default:
 		}
 		img := gen(int64(f), fs.W, fs.H)
-		row := int64(f) * int64(fs.H/chunk.H)
-		for y := 0; y+chunk.H <= fs.H; y += chunk.H {
-			for x := 0; x+chunk.W <= fs.W; x += chunk.W {
-				ex.send(out, graph.DataItem(img.Sub(x, y, chunk.W, chunk.H)))
-			}
-			ex.send(out, graph.TokenItem(token.EOL(row)))
-			row++
-		}
-		ex.send(out, graph.TokenItem(token.EOF(int64(f))))
+		ex.emitFrame(out, fs.W, fs.H, chunk.W, chunk.H, img, int64(f))
 	}
 	return nil
+}
+
+// collectOutput ingests one data window into the result slab: the
+// samples are copied into append-only slab blocks and the original is
+// released, so the caller-visible result never pins pooled storage.
+// Must be called with outMu held.
+func (ex *executor) collectOutput(w frame.Window) frame.Window {
+	placed := ex.slab.place(w)
+	w.Release()
+	return placed
 }
 
 // runOutput collects the stream and stops the run once every output
@@ -461,6 +499,9 @@ func (ex *executor) runOutput(n *graph.Node) error {
 			return nil
 		}
 		ex.outMu.Lock()
+		if !msg.item.IsToken {
+			msg.item.Win = ex.collectOutput(msg.item.Win)
+		}
 		ex.outputs[n.Name()] = append(ex.outputs[n.Name()], msg.item)
 		if msg.item.IsToken && msg.item.Tok.Kind == token.EndOfFrame {
 			ex.eofSeen[n.Name()]++
@@ -479,4 +520,39 @@ func (ex *executor) runOutput(n *graph.Node) error {
 		}
 		ex.outMu.Unlock()
 	}
+}
+
+// slabAlloc packs output windows into append-only float64 blocks.
+// Blocks are never reallocated — when one fills, a fresh block starts
+// and the old one stays alive exactly as long as the result windows
+// placed in it — so placing is a copy plus slice arithmetic, with one
+// allocation per block instead of one per window.
+type slabAlloc struct {
+	buf []float64
+}
+
+// slabBlock is the block granularity in samples (128 KiB blocks).
+const slabBlock = 1 << 14
+
+// place copies w into slab storage and returns the dense copy.
+func (s *slabAlloc) place(w frame.Window) frame.Window {
+	n := w.W * w.H
+	if n == 0 {
+		return frame.Window{W: w.W, H: w.H}
+	}
+	if len(s.buf)+n > cap(s.buf) {
+		c := slabBlock
+		if n > c {
+			c = n
+		}
+		s.buf = make([]float64, 0, c)
+	}
+	off := len(s.buf)
+	s.buf = s.buf[:off+n]
+	dst := s.buf[off : off+n : off+n]
+	stride := w.RowStride()
+	for y := 0; y < w.H; y++ {
+		copy(dst[y*w.W:(y+1)*w.W], w.Pix[y*stride:y*stride+w.W])
+	}
+	return frame.Window{W: w.W, H: w.H, Pix: dst}
 }

@@ -34,6 +34,10 @@ type SessionOptions struct {
 	// Feed (coefficient and bin inputs, typically). Inputs without an
 	// entry fall back to frame.Gradient, like the batch runtime.
 	Sources map[string]frame.Generator
+	// Executor selects the scheduling engine (see Options.Executor).
+	Executor ExecutorKind
+	// Workers sizes the ExecWorkers pool (default GOMAXPROCS).
+	Workers int
 }
 
 // StreamResult is the output of one completed frame: for every
@@ -82,7 +86,11 @@ func NewSession(g *graph.Graph, opts SessionOptions) (*Session, error) {
 				n.Name(), n.FrameSize, chunk)
 		}
 	}
-	ex, err := newExecutor(g, Options{ChannelCap: opts.ChannelCap}, opts.MaxInFlight)
+	ex, err := newExecutor(g, Options{
+		ChannelCap: opts.ChannelCap,
+		Executor:   opts.Executor,
+		Workers:    opts.Workers,
+	}, opts.MaxInFlight)
 	if err != nil {
 		return nil, err
 	}
@@ -273,15 +281,7 @@ func (ex *executor) runInputStream(n *graph.Node) error {
 		case <-ex.stop:
 			return nil
 		}
-		row := f * int64(fs.H/chunk.H)
-		for y := 0; y+chunk.H <= fs.H; y += chunk.H {
-			for x := 0; x+chunk.W <= fs.W; x += chunk.W {
-				ex.send(out, graph.DataItem(img.Sub(x, y, chunk.W, chunk.H)))
-			}
-			ex.send(out, graph.TokenItem(token.EOL(row)))
-			row++
-		}
-		ex.send(out, graph.TokenItem(token.EOF(f)))
+		ex.emitFrame(out, fs.W, fs.H, chunk.W, chunk.H, img, f)
 	}
 }
 
@@ -298,7 +298,7 @@ func (ex *executor) runOutputStream(n *graph.Node) error {
 		}
 		if !msg.item.IsToken {
 			ex.outMu.Lock()
-			ex.curFrame[name] = append(ex.curFrame[name], msg.item.Win)
+			ex.curFrame[name] = append(ex.curFrame[name], ex.collectOutput(msg.item.Win))
 			ex.outMu.Unlock()
 			continue
 		}

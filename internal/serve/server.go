@@ -27,6 +27,11 @@ type Options struct {
 	// MaxSessions caps concurrent sessions; opening more yields HTTP
 	// 429 (default 64).
 	MaxSessions int
+	// Executor selects the runtime engine for every session the
+	// server opens (default: one goroutine per kernel); Workers sizes
+	// the worker-pool engine when ExecWorkers is selected.
+	Executor runtime.ExecutorKind
+	Workers  int
 }
 
 func (o Options) withDefaults() Options {
@@ -244,6 +249,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.mu.Unlock()
+	pool := frame.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_s":        time.Since(s.started).Seconds(),
 		"frames_in":       s.metrics.framesIn.Load(),
@@ -256,6 +262,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"handler_panics":  s.metrics.panics.Load(),
 		"session_errors":  s.metrics.sessionErrors.Load(),
 		"pipelines":       s.metrics.latencySnapshot(),
+		"pool": map[string]any{
+			"gets":         pool.Gets,
+			"hits":         pool.Hits,
+			"hit_rate":     pool.HitRate(),
+			"buffers_live": pool.Live,
+			"pooled_bytes": pool.PooledBytes,
+		},
 	})
 }
 
@@ -297,7 +310,11 @@ func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
 	s.sessions[id] = nil
 	s.mu.Unlock()
 
-	rt, err := p.NewSession(runtime.SessionOptions{MaxInFlight: maxInFlight})
+	rt, err := p.NewSession(runtime.SessionOptions{
+		MaxInFlight: maxInFlight,
+		Executor:    s.opts.Executor,
+		Workers:     s.opts.Workers,
+	})
 	if err != nil {
 		s.mu.Lock()
 		delete(s.sessions, id)

@@ -78,8 +78,10 @@ func (j WindowJSON) ToWindow() (frame.Window, error) {
 	return w, nil
 }
 
-// FromWindow converts a window to its wire form.
+// FromWindow converts a window to its wire form. Strided views are
+// compacted first: the wire format is dense row-major.
 func FromWindow(w frame.Window) WindowJSON {
+	w = w.Dense()
 	return WindowJSON{W: w.W, H: w.H, Pix: w.Pix}
 }
 
