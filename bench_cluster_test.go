@@ -1,0 +1,84 @@
+package blockpar_test
+
+// BenchmarkClusterLoopback prices the distributed execution path: the
+// same suite apps streamed through an in-process runtime session versus
+// a cluster session crossing the wire codec and a TCP loopback to a
+// worker in the same process. The delta is pure transport cost —
+// encode, kernel TCP round trip, arena decode — since both paths
+// execute the identical compiled graph. BENCH_pr4.json records a
+// snapshot.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"blockpar/internal/apps"
+	"blockpar/internal/cluster"
+	"blockpar/internal/machine"
+	"blockpar/internal/runtime"
+	"blockpar/internal/serve"
+)
+
+func streamFrames(b *testing.B, h serve.SessionHandle, frames int) {
+	b.Helper()
+	for f := 0; f < frames; f++ {
+		if _, err := h.TryFeed(nil); err != nil {
+			b.Fatalf("feed %d: %v", f, err)
+		}
+	}
+	for f := 0; f < frames; f++ {
+		res, err := h.Collect(30 * time.Second)
+		if err != nil {
+			b.Fatalf("collect %d: %v", f, err)
+		}
+		for _, ws := range res.Outputs {
+			for _, w := range ws {
+				w.Release()
+			}
+		}
+	}
+}
+
+func BenchmarkClusterLoopback(b *testing.B) {
+	const frames = 4
+	for _, id := range []string{"1", "2", "5"} {
+		if _, err := apps.ByID(id); err != nil {
+			b.Fatal(err)
+		}
+		reg := serve.NewRegistry(machine.Embedded())
+		if err := reg.AddSuite(id); err != nil {
+			b.Fatal(err)
+		}
+		p, _ := reg.Get(id)
+
+		b.Run(fmt.Sprintf("%s/inprocess", id), func(b *testing.B) {
+			h, err := p.NewSession(runtime.SessionOptions{MaxInFlight: frames})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer h.Close()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				streamFrames(b, h, frames)
+			}
+		})
+		b.Run(fmt.Sprintf("%s/cluster", id), func(b *testing.B) {
+			w := cluster.NewWorker(reg, cluster.WorkerOptions{})
+			d, stop, err := cluster.Loopback(w, cluster.DispatcherOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer stop()
+			h, err := d.Open(p, frames)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer h.Close()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				streamFrames(b, h, frames)
+			}
+		})
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"blockpar/internal/apps"
+	"blockpar/internal/cluster"
 	"blockpar/internal/machine"
 	"blockpar/internal/runtime"
 	"blockpar/internal/serve"
@@ -40,18 +41,21 @@ func main() {
 	queue := flag.Int("queue", 8, "default per-session bounded frame queue (HTTP 429 beyond it)")
 	maxSessions := flag.Int("max-sessions", 64, "concurrent session cap")
 	collectTimeout := flag.Duration("collect-timeout", 30*time.Second, "maximum per-request frame-collect deadline")
-	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
+	var drainTimeout time.Duration
+	flag.DurationVar(&drainTimeout, "drain", 30*time.Second, "graceful-shutdown drain budget: in-flight sessions finish before exit")
+	flag.DurationVar(&drainTimeout, "drain-timeout", 30*time.Second, "alias for -drain")
 	executor := flag.String("executor", "goroutines", "session execution engine: goroutines (one per kernel) or workers (fixed pool)")
 	workers := flag.Int("workers", 0, "worker-pool size for -executor workers (0 = GOMAXPROCS)")
+	clusterAddrs := flag.String("cluster", "", "comma-separated bpworker addresses; sessions execute on the cluster instead of in-process")
 	flag.Parse()
 
-	if err := run(*addr, *appIDs, descFiles, *queue, *maxSessions, *collectTimeout, *drainTimeout, runtime.ExecutorKind(*executor), *workers); err != nil {
+	if err := run(*addr, *appIDs, descFiles, *queue, *maxSessions, *collectTimeout, drainTimeout, runtime.ExecutorKind(*executor), *workers, *clusterAddrs); err != nil {
 		fmt.Fprintln(os.Stderr, "bpserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, appIDs string, descFiles []string, queue, maxSessions int, collectTimeout, drainTimeout time.Duration, executor runtime.ExecutorKind, workers int) error {
+func run(addr, appIDs string, descFiles []string, queue, maxSessions int, collectTimeout, drainTimeout time.Duration, executor runtime.ExecutorKind, workers int, clusterAddrs string) error {
 	reg := serve.NewRegistry(machine.Embedded())
 	switch appIDs {
 	case "none":
@@ -77,12 +81,27 @@ func run(addr, appIDs string, descFiles []string, queue, maxSessions int, collec
 		fmt.Printf("compiled %-14s %-16s %3d nodes in %v\n", p.ID, p.Name, p.Nodes, p.CompileTime.Round(time.Millisecond))
 	}
 
+	var backend serve.Backend
+	if clusterAddrs != "" {
+		addrs := strings.Split(clusterAddrs, ",")
+		d := cluster.NewDispatcher(addrs, cluster.DispatcherOptions{})
+		defer d.Close()
+		// Workers may still be starting; warn rather than fail, since
+		// the dispatcher reconnects in the background.
+		if err := d.WaitReady(5 * time.Second); err != nil {
+			fmt.Fprintf(os.Stderr, "bpserve: %v (continuing; sessions 503 until a worker connects)\n", err)
+		}
+		backend = d
+		fmt.Printf("bpserve placing sessions on %d cluster workers\n", len(addrs))
+	}
+
 	srv := serve.NewServer(reg, serve.Options{
 		MaxInFlight:    queue,
 		CollectTimeout: collectTimeout,
 		MaxSessions:    maxSessions,
 		Executor:       executor,
 		Workers:        workers,
+		Backend:        backend,
 	})
 	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
 

@@ -1,0 +1,112 @@
+// Command bpworker executes streaming sessions on behalf of a bpserve
+// frontend: it compiles pipelines into a local registry, listens for
+// cluster connections, and runs each placed session on the in-process
+// runtime, streaming results back over the wire protocol. Pipelines a
+// frontend asks for that are not pre-compiled are compiled on demand
+// (suite benchmarks by ID, JSON applications from the shipped
+// descriptor). See docs/cluster.md.
+//
+// Usage:
+//
+//	bpworker -addr :9090 -apps all
+//	bpworker -addr :9091 -apps none -name gpu-box -executor workers
+//
+// Pair with: bpserve -cluster host:9090,host:9091
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"blockpar/internal/apps"
+	"blockpar/internal/cluster"
+	"blockpar/internal/machine"
+	"blockpar/internal/runtime"
+	"blockpar/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":9090", "listen address for frontend connections")
+	appIDs := flag.String("apps", "all", "comma-separated benchmark ids to compile at startup ("+strings.Join(apps.IDs(), ", ")+"), or \"all\", or \"none\"")
+	var descFiles stringList
+	flag.Var(&descFiles, "desc", "JSON application description to compile at startup (repeatable)")
+	name := flag.String("name", "", "worker name reported to frontends (default worker-<pid>)")
+	executor := flag.String("executor", "goroutines", "session execution engine: goroutines (one per kernel) or workers (fixed pool)")
+	workers := flag.Int("workers", 0, "worker-pool size for -executor workers (0 = GOMAXPROCS)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget: in-flight sessions finish before exit")
+	flag.Parse()
+
+	if err := run(*addr, *appIDs, descFiles, *name, runtime.ExecutorKind(*executor), *workers, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "bpworker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, appIDs string, descFiles []string, name string, executor runtime.ExecutorKind, workers int, drain time.Duration) error {
+	reg := serve.NewRegistry(machine.Embedded())
+	switch appIDs {
+	case "none":
+	case "all", "":
+		if err := reg.AddSuite(); err != nil {
+			return err
+		}
+	default:
+		if err := reg.AddSuite(strings.Split(appIDs, ",")...); err != nil {
+			return err
+		}
+	}
+	for _, f := range descFiles {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		if _, err := reg.AddJSON(data); err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+	}
+	for _, p := range reg.List() {
+		fmt.Printf("compiled %-14s %-16s %3d nodes in %v\n", p.ID, p.Name, p.Nodes, p.CompileTime.Round(time.Millisecond))
+	}
+
+	w := cluster.NewWorker(reg, cluster.WorkerOptions{
+		Name:     name,
+		Executor: executor,
+		Workers:  workers,
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- w.Serve(ln) }()
+	fmt.Printf("bpworker %s listening on %s (%d pipelines)\n", w.Name(), addr, len(reg.List()))
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("bpworker: %v: draining sessions...\n", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	return w.Shutdown(ctx)
+}
+
+// stringList is a repeatable string flag.
+type stringList []string
+
+func (l *stringList) String() string { return strings.Join(*l, ",") }
+func (l *stringList) Set(s string) error {
+	*l = append(*l, s)
+	return nil
+}

@@ -1,0 +1,554 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"blockpar/internal/apps"
+	"blockpar/internal/core"
+	"blockpar/internal/frame"
+	"blockpar/internal/machine"
+	"blockpar/internal/runtime"
+	"blockpar/internal/serve"
+	"blockpar/internal/transform"
+)
+
+// fastOpts shrinks every interval so reconnection, health checks, and
+// breaker transitions happen within test patience.
+func fastOpts() DispatcherOptions {
+	return DispatcherOptions{
+		PingInterval:    25 * time.Millisecond,
+		PingTimeout:     3 * time.Second,
+		ReconnectMin:    10 * time.Millisecond,
+		ReconnectMax:    50 * time.Millisecond,
+		BreakerFailures: 3,
+		BreakerCooldown: 300 * time.Millisecond,
+		OpenTimeout:     30 * time.Second,
+		CloseTimeout:    30 * time.Second,
+	}
+}
+
+func suiteRegistry(t *testing.T, ids ...string) *serve.Registry {
+	t.Helper()
+	reg := serve.NewRegistry(machine.Embedded())
+	if err := reg.AddSuite(ids...); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// batchFrames computes the batch-runtime golden for an app, compiled
+// exactly like the registry compiles it.
+func batchFrames(t *testing.T, app *apps.App, frames int) map[string][][]frame.Window {
+	t.Helper()
+	c, err := core.Compile(app.Graph.Clone(), core.Config{
+		Machine:        machine.Embedded(),
+		Align:          transform.Trim,
+		Parallelize:    true,
+		BufferStriping: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runtime.Run(c.Graph, runtime.Options{Frames: frames, Sources: app.Sources})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][][]frame.Window)
+	for _, o := range c.Graph.Outputs() {
+		out[o.Name()] = res.FrameSlices(o.Name())
+	}
+	return out
+}
+
+// streamCluster runs `frames` worker-generated frames through a
+// cluster session and compares each against the batch golden.
+func streamCluster(d *Dispatcher, p *serve.Pipeline, frames int, want map[string][][]frame.Window) error {
+	h, err := d.Open(p, frames)
+	if err != nil {
+		return fmt.Errorf("open: %w", err)
+	}
+	for f := 0; f < frames; f++ {
+		if _, err := h.TryFeed(nil); err != nil {
+			h.Close()
+			return fmt.Errorf("feed %d: %w", f, err)
+		}
+	}
+	for f := 0; f < frames; f++ {
+		res, err := h.Collect(30 * time.Second)
+		if err != nil {
+			h.Close()
+			return fmt.Errorf("collect %d: %w", f, err)
+		}
+		if res.Seq != int64(f) {
+			h.Close()
+			return fmt.Errorf("collect %d: result tagged frame %d", f, res.Seq)
+		}
+		if len(res.Outputs) != len(want) {
+			h.Close()
+			return fmt.Errorf("frame %d: %d outputs, want %d", f, len(res.Outputs), len(want))
+		}
+		for name, perFrame := range want {
+			got := res.Outputs[name]
+			if len(got) != len(perFrame[f]) {
+				h.Close()
+				return fmt.Errorf("frame %d output %q: %d windows, want %d", f, name, len(got), len(perFrame[f]))
+			}
+			for i, w := range perFrame[f] {
+				if !got[i].Equal(w) {
+					h.Close()
+					return fmt.Errorf("frame %d output %q window %d differs from batch golden", f, name, i)
+				}
+			}
+		}
+		for _, ws := range res.Outputs {
+			for _, w := range ws {
+				w.Release()
+			}
+		}
+	}
+	return h.Close()
+}
+
+// TestClusterSuiteGoldens is the acceptance bar: every Figure 13 app
+// streamed through the full wire path — frontend dispatcher, TCP
+// loopback, worker-side session — produces frames byte-identical to the
+// batch runtime, with poisoning and the zero-copy plane on (see
+// poison_test.go). The worker starts with an empty registry, so the
+// test also covers EnsurePipeline's suite compilation.
+func TestClusterSuiteGoldens(t *testing.T) {
+	frontend := suiteRegistry(t)
+	worker := NewWorker(serve.NewRegistry(machine.Embedded()), WorkerOptions{Name: "golden"})
+	d, stop, err := Loopback(worker, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	const frames = 2
+	var wg sync.WaitGroup
+	errs := make(chan error, len(apps.IDs()))
+	for _, id := range apps.IDs() {
+		app, err := apps.ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := batchFrames(t, app, frames)
+		p, ok := frontend.Get(id)
+		if !ok {
+			t.Fatalf("pipeline %q missing from frontend registry", id)
+		}
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			if err := streamCluster(d, p, frames, want); err != nil {
+				errs <- fmt.Errorf("pipeline %s: %w", id, err)
+			}
+		}(id)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	stats := d.BackendStats().(map[string]any)["workers"].([]WorkerStats)
+	if len(stats) != 1 {
+		t.Fatalf("got %d worker rows, want 1", len(stats))
+	}
+	s := stats[0]
+	if s.State != "connected" || s.Breaker != "closed" {
+		t.Errorf("worker row %+v, want connected/closed", s)
+	}
+	if s.FramesRouted == 0 || s.ResultsReceived == 0 {
+		t.Errorf("worker row %+v, want nonzero traffic counters", s)
+	}
+	if s.Name != "golden" {
+		t.Errorf("worker name %q, want %q", s.Name, "golden")
+	}
+}
+
+// TestClusterExplicitInputs feeds client-supplied windows (the wire
+// codec's window path end to end) and checks against the batch golden
+// with the same explicit inputs.
+func TestClusterExplicitInputs(t *testing.T) {
+	reg := suiteRegistry(t, "5")
+	p, _ := reg.Get("5")
+	worker := NewWorker(reg, WorkerOptions{})
+	d, stop, err := Loopback(worker, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	app, err := apps.ByID("5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The explicit input replays what the app source would generate, so
+	// the batch golden (which uses the sources) stays the reference.
+	in := p.Graph().Inputs()[0]
+	gen := app.Sources[in.Name()]
+	if gen == nil {
+		gen = frame.Gradient
+	}
+	want := batchFrames(t, app, 2)
+
+	h, err := d.Open(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	for f := int64(0); f < 2; f++ {
+		win := gen(f, in.FrameSize.W, in.FrameSize.H)
+		if _, err := h.TryFeed(map[string]frame.Window{in.Name(): win}); err != nil {
+			t.Fatalf("feed %d: %v", f, err)
+		}
+		res, err := h.Collect(30 * time.Second)
+		if err != nil {
+			t.Fatalf("collect %d: %v", f, err)
+		}
+		for name, perFrame := range want {
+			for i, w := range perFrame[f] {
+				if !res.Outputs[name][i].Equal(w) {
+					t.Fatalf("frame %d output %q window %d differs", f, name, i)
+				}
+			}
+		}
+		for _, ws := range res.Outputs {
+			for _, w := range ws {
+				w.Release()
+			}
+		}
+	}
+
+	// Bad frames bounce locally with the runtime's error vocabulary.
+	if _, err := h.TryFeed(map[string]frame.Window{"nope": frame.NewWindow(1, 1)}); !errors.Is(err, runtime.ErrBadFrame) {
+		t.Errorf("unknown input: got %v, want ErrBadFrame", err)
+	}
+	if _, err := h.TryFeed(map[string]frame.Window{in.Name(): frame.NewWindow(1, 1)}); !errors.Is(err, runtime.ErrBadFrame) {
+		t.Errorf("wrong dims: got %v, want ErrBadFrame", err)
+	}
+}
+
+// TestClusterBackpressure checks the credit protocol surfaces exactly
+// the local backpressure signal: maxInFlight uncollected frames block
+// the next feed with ErrQueueFull, and collecting reopens the slot.
+func TestClusterBackpressure(t *testing.T) {
+	reg := suiteRegistry(t, "5")
+	p, _ := reg.Get("5")
+	worker := NewWorker(reg, WorkerOptions{})
+	d, stop, err := Loopback(worker, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	h, err := d.Open(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if _, err := h.TryFeed(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.TryFeed(nil); !errors.Is(err, runtime.ErrQueueFull) {
+		t.Fatalf("feed past maxInFlight=1: got %v, want ErrQueueFull", err)
+	}
+	res, err := h.Collect(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ws := range res.Outputs {
+		for _, w := range ws {
+			w.Release()
+		}
+	}
+	// The credit may still be in flight right after collect; it must
+	// arrive promptly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err = h.TryFeed(nil); err == nil {
+			break
+		}
+		if !errors.Is(err, runtime.ErrQueueFull) || time.Now().After(deadline) {
+			t.Fatalf("feed after collect: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if res, err := h.Collect(30 * time.Second); err != nil {
+		t.Fatal(err)
+	} else {
+		for _, ws := range res.Outputs {
+			for _, w := range ws {
+				w.Release()
+			}
+		}
+	}
+
+	// With nothing in flight, a bounded collect times out with the
+	// "timed out" phrasing the HTTP layer maps to 504.
+	if _, err := h.Collect(10 * time.Millisecond); err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("collect with nothing in flight: got %v, want timeout", err)
+	}
+}
+
+// waitCondition polls until ok or the deadline.
+func waitCondition(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func workerRows(d *Dispatcher) map[string]WorkerStats {
+	rows := d.BackendStats().(map[string]any)["workers"].([]WorkerStats)
+	out := make(map[string]WorkerStats, len(rows))
+	for _, r := range rows {
+		out[r.Addr] = r
+	}
+	return out
+}
+
+// TestClusterWorkerFailureIsolated is the failure-semantics acceptance
+// test: with sessions spread over two workers, killing one mid-stream
+// fails exactly its own sessions (with an error naming the worker), the
+// frontend keeps serving and placing on the survivor, the dead worker's
+// breaker opens, and a worker rejoining at the same address is accepted
+// and used again.
+func TestClusterWorkerFailureIsolated(t *testing.T) {
+	reg1 := suiteRegistry(t, "5")
+	reg2 := suiteRegistry(t, "5")
+	w1 := NewWorker(reg1, WorkerOptions{Name: "w1"})
+	w2 := NewWorker(reg2, WorkerOptions{Name: "w2"})
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr1, addr2 := ln1.Addr().String(), ln2.Addr().String()
+	go w1.Serve(ln1)
+	go w2.Serve(ln2)
+	defer w1.Close()
+	defer w2.Close()
+
+	d := NewDispatcher([]string{addr1, addr2}, fastOpts())
+	defer d.Close()
+	waitCondition(t, "both workers connected", func() bool {
+		rows := workerRows(d)
+		return rows[addr1].State == "connected" && rows[addr2].State == "connected"
+	})
+
+	frontend := suiteRegistry(t, "5")
+	p, _ := frontend.Get("5")
+
+	// Least-loaded placement spreads two sessions over the two workers.
+	hA, err := d.Open(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hB, err := d.Open(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sA, sB := hA.(*remoteSession), hB.(*remoteSession)
+	if sA.w.addr == sB.w.addr {
+		t.Fatalf("both sessions placed on %s; want them spread", sA.w.addr)
+	}
+
+	feedCollect := func(h serve.SessionHandle) error {
+		if _, err := h.TryFeed(nil); err != nil {
+			return err
+		}
+		res, err := h.Collect(30 * time.Second)
+		if err != nil {
+			return err
+		}
+		for _, ws := range res.Outputs {
+			for _, w := range ws {
+				w.Release()
+			}
+		}
+		return nil
+	}
+	if err := feedCollect(hA); err != nil {
+		t.Fatalf("session A healthy stream: %v", err)
+	}
+	if err := feedCollect(hB); err != nil {
+		t.Fatalf("session B healthy stream: %v", err)
+	}
+
+	// Kill session A's worker mid-stream.
+	victim, victimName := w1, "w1"
+	if sA.w.addr == addr2 {
+		victim, victimName = w2, "w2"
+	}
+	if _, err := hA.TryFeed(nil); err != nil {
+		t.Fatal(err)
+	}
+	victim.Close()
+
+	// A's stream fails with an error naming its worker...
+	_, err = hA.Collect(10 * time.Second)
+	if err == nil {
+		t.Fatal("collect on killed worker's session succeeded")
+	}
+	if !strings.Contains(err.Error(), sA.w.addr) && !strings.Contains(err.Error(), victimName) {
+		t.Errorf("failure error %q does not name worker %s (%s)", err, victimName, sA.w.addr)
+	}
+	if _, err := hA.TryFeed(nil); err == nil || errors.Is(err, runtime.ErrQueueFull) {
+		t.Errorf("feed on failed session: got %v, want terminal error", err)
+	}
+	hA.Close()
+
+	// ...while B and new placements keep working.
+	if err := feedCollect(hB); err != nil {
+		t.Fatalf("survivor session after kill: %v", err)
+	}
+	hC, err := d.Open(p, 2)
+	if err != nil {
+		t.Fatalf("open after worker death: %v", err)
+	}
+	if hC.(*remoteSession).w.addr != sB.w.addr {
+		t.Errorf("new session placed on dead worker %s", hC.(*remoteSession).w.addr)
+	}
+	if err := feedCollect(hC); err != nil {
+		t.Fatalf("new session after kill: %v", err)
+	}
+	hC.Close()
+
+	// The dead worker's breaker opens after repeated reconnect failures.
+	waitCondition(t, "breaker open on dead worker", func() bool {
+		return workerRows(d)[sA.w.addr].Breaker == "open"
+	})
+
+	// Rejoin at the same address: the dispatcher reconnects and places
+	// sessions there again.
+	var reg3 *serve.Registry
+	reg3 = suiteRegistry(t, "5")
+	w3 := NewWorker(reg3, WorkerOptions{Name: victimName + "-rejoined"})
+	var ln3 net.Listener
+	waitCondition(t, "rebind worker address", func() bool {
+		ln3, err = net.Listen("tcp", sA.w.addr)
+		return err == nil
+	})
+	go w3.Serve(ln3)
+	defer w3.Close()
+	waitCondition(t, "rejoined worker connected", func() bool {
+		r := workerRows(d)[sA.w.addr]
+		return r.State == "connected" && r.Breaker == "closed"
+	})
+	if rows := workerRows(d); rows[sA.w.addr].Reconnects == 0 {
+		t.Errorf("rejoined worker row %+v, want nonzero reconnects", rows[sA.w.addr])
+	}
+
+	// B still holds a session on the survivor, so the least-loaded
+	// choice is the rejoined worker.
+	hD, err := d.Open(p, 2)
+	if err != nil {
+		t.Fatalf("open after rejoin: %v", err)
+	}
+	if got := hD.(*remoteSession).w.addr; got != sA.w.addr {
+		t.Errorf("post-rejoin session placed on %s, want rejoined %s", got, sA.w.addr)
+	}
+	if err := feedCollect(hD); err != nil {
+		t.Fatalf("stream on rejoined worker: %v", err)
+	}
+	hD.Close()
+	if err := hB.Close(); err != nil {
+		t.Errorf("survivor close: %v", err)
+	}
+}
+
+// TestClusterWorkerDrain checks -drain semantics end to end: Shutdown
+// lets every fed frame finish and flush its result before sessions
+// close, and the frontend sees the drain notice, not a connection
+// error.
+func TestClusterWorkerDrain(t *testing.T) {
+	reg := suiteRegistry(t, "5")
+	p, _ := reg.Get("5")
+	worker := NewWorker(reg, WorkerOptions{})
+	d, stop, err := Loopback(worker, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	h, err := d.Open(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 3; f++ {
+		if _, err := h.TryFeed(nil); err != nil {
+			t.Fatalf("feed %d: %v", f, err)
+		}
+	}
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownErr <- worker.Shutdown(ctx)
+	}()
+
+	// All three in-flight frames must still arrive.
+	for f := int64(0); f < 3; f++ {
+		res, err := h.Collect(30 * time.Second)
+		if err != nil {
+			t.Fatalf("collect %d during drain: %v", f, err)
+		}
+		if res.Seq != f {
+			t.Fatalf("collect during drain: frame %d, want %d", res.Seq, f)
+		}
+		for _, ws := range res.Outputs {
+			for _, w := range ws {
+				w.Release()
+			}
+		}
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("drain shutdown: %v", err)
+	}
+
+	// The session ends with the drain notice and refuses further feeds.
+	waitCondition(t, "session to observe drain close", func() bool {
+		_, err := h.TryFeed(nil)
+		return err != nil && !errors.Is(err, runtime.ErrQueueFull)
+	})
+	if _, err := h.TryFeed(nil); err == nil || !strings.Contains(err.Error(), "draining") {
+		t.Errorf("feed after drain: got %v, want draining notice", err)
+	}
+	h.Close()
+}
+
+// TestDispatcherUnavailable checks placement failure maps to
+// serve.ErrUnavailable (HTTP 503) when no worker is reachable.
+func TestDispatcherUnavailable(t *testing.T) {
+	reg := suiteRegistry(t, "5")
+	p, _ := reg.Get("5")
+	opts := fastOpts()
+	opts.Dial = func(addr string) (net.Conn, error) {
+		return nil, errors.New("synthetic dial failure")
+	}
+	d := NewDispatcher([]string{"127.0.0.1:1"}, opts)
+	defer d.Close()
+	if _, err := d.Open(p, 1); !errors.Is(err, serve.ErrUnavailable) {
+		t.Fatalf("open with no workers: got %v, want ErrUnavailable", err)
+	}
+	if err := d.WaitReady(30 * time.Millisecond); err == nil {
+		t.Fatal("WaitReady succeeded with no reachable worker")
+	}
+}

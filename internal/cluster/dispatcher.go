@@ -1,0 +1,972 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blockpar/internal/frame"
+	"blockpar/internal/graph"
+	"blockpar/internal/runtime"
+	"blockpar/internal/serve"
+	"blockpar/internal/wire"
+)
+
+// DispatcherOptions tunes the frontend side of the cluster. The zero
+// value is production-ready; tests shrink the intervals.
+type DispatcherOptions struct {
+	// Dial opens a connection to a worker address (default net.Dial
+	// over TCP with a 5s timeout).
+	Dial func(addr string) (net.Conn, error)
+	// PingInterval paces worker health probes (default 2s); a worker
+	// that misses pongs for PingTimeout (default 3×PingInterval) is
+	// declared dead and reconnected.
+	PingInterval time.Duration
+	PingTimeout  time.Duration
+	// ReconnectMin/Max bound the exponential backoff between dial
+	// attempts (defaults 100ms and 5s).
+	ReconnectMin time.Duration
+	ReconnectMax time.Duration
+	// BreakerFailures consecutive connection-level failures open a
+	// worker's circuit breaker (default 3); after BreakerCooldown
+	// (default 5s) it goes half-open and one placement may probe it.
+	BreakerFailures int
+	BreakerCooldown time.Duration
+	// OpenTimeout bounds pipeline-ensure and session-open round trips,
+	// which may include a worker-side compile (default 30s).
+	OpenTimeout time.Duration
+	// CloseTimeout bounds the wait for a worker to drain and
+	// acknowledge a session close (default 10s).
+	CloseTimeout time.Duration
+}
+
+func (o *DispatcherOptions) defaults() {
+	if o.Dial == nil {
+		o.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		}
+	}
+	if o.PingInterval <= 0 {
+		o.PingInterval = 2 * time.Second
+	}
+	if o.PingTimeout <= 0 {
+		o.PingTimeout = 3 * o.PingInterval
+	}
+	if o.ReconnectMin <= 0 {
+		o.ReconnectMin = 100 * time.Millisecond
+	}
+	if o.ReconnectMax <= 0 {
+		o.ReconnectMax = 5 * time.Second
+	}
+	if o.BreakerFailures <= 0 {
+		o.BreakerFailures = 3
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 5 * time.Second
+	}
+	if o.OpenTimeout <= 0 {
+		o.OpenTimeout = 30 * time.Second
+	}
+	if o.CloseTimeout <= 0 {
+		o.CloseTimeout = 10 * time.Second
+	}
+}
+
+// Dispatcher places sessions on cluster workers and proxies their
+// frames. It implements serve.Backend, so bpserve swaps it in for the
+// in-process executor without the HTTP layer noticing.
+type Dispatcher struct {
+	opts    DispatcherOptions
+	workers []*workerRef
+	nextSID atomic.Uint64
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// NewDispatcher starts one connection manager per worker address. The
+// managers connect in the background; use WaitReady to block until the
+// cluster can place sessions.
+func NewDispatcher(addrs []string, opts DispatcherOptions) *Dispatcher {
+	opts.defaults()
+	d := &Dispatcher{opts: opts, closed: make(chan struct{})}
+	for _, addr := range addrs {
+		w := &workerRef{d: d, addr: addr}
+		d.workers = append(d.workers, w)
+		go w.manage()
+	}
+	return d
+}
+
+// WaitReady blocks until at least one worker is connected, or the
+// timeout expires.
+func (d *Dispatcher) WaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		for _, w := range d.workers {
+			if w.placeable() {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: no worker reachable within %v", timeout)
+		}
+		select {
+		case <-d.closed:
+			return errors.New("cluster: dispatcher closed")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// Open implements serve.Backend: place the session on the least-loaded
+// healthy worker, trying the next candidate when one refuses. With no
+// placeable worker it fails with serve.ErrUnavailable (HTTP 503).
+func (d *Dispatcher) Open(p *serve.Pipeline, maxInFlight int) (serve.SessionHandle, error) {
+	select {
+	case <-d.closed:
+		return nil, fmt.Errorf("%w: dispatcher closed", serve.ErrUnavailable)
+	default:
+	}
+	tried := make(map[*workerRef]bool)
+	var lastErr error
+	for {
+		w := d.pick(tried)
+		if w == nil {
+			if lastErr != nil {
+				return nil, fmt.Errorf("%w: %v", serve.ErrUnavailable, lastErr)
+			}
+			return nil, fmt.Errorf("%w: no healthy cluster worker", serve.ErrUnavailable)
+		}
+		tried[w] = true
+		h, err := w.open(p, maxInFlight)
+		if err == nil {
+			return h, nil
+		}
+		lastErr = err
+	}
+}
+
+// pick returns the placeable worker with the fewest sessions, skipping
+// already-tried candidates.
+func (d *Dispatcher) pick(tried map[*workerRef]bool) *workerRef {
+	var best *workerRef
+	bestLoad := 0
+	for _, w := range d.workers {
+		if tried[w] || !w.placeable() {
+			continue
+		}
+		load := w.sessionCount()
+		if best == nil || load < bestLoad {
+			best, bestLoad = w, load
+		}
+	}
+	return best
+}
+
+// Close tears down every worker connection; in-flight sessions fail.
+func (d *Dispatcher) Close() error {
+	d.closeOnce.Do(func() {
+		close(d.closed)
+		for _, w := range d.workers {
+			w.mu.Lock()
+			c := w.conn
+			w.mu.Unlock()
+			if c != nil {
+				c.Close()
+			}
+		}
+	})
+	return nil
+}
+
+// WorkerStats is one worker's row in /metrics.
+type WorkerStats struct {
+	Addr            string `json:"addr"`
+	Name            string `json:"name,omitempty"`
+	State           string `json:"state"`
+	Breaker         string `json:"breaker"`
+	Draining        bool   `json:"draining,omitempty"`
+	Sessions        int    `json:"sessions"`
+	FramesRouted    int64  `json:"frames_routed"`
+	ResultsReceived int64  `json:"results_received"`
+	CreditsInFlight int    `json:"credits_in_flight"`
+	Reconnects      int64  `json:"reconnects"`
+}
+
+// BackendStats implements serve.StatsReporter: the per-worker gauges
+// surfaced under "cluster" in /metrics.
+func (d *Dispatcher) BackendStats() any {
+	rows := make([]WorkerStats, 0, len(d.workers))
+	for _, w := range d.workers {
+		rows = append(rows, w.stats())
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Addr < rows[j].Addr })
+	return map[string]any{"workers": rows}
+}
+
+// workerRef is the dispatcher's view of one worker: a managed
+// connection with reconnection, health pings, and a circuit breaker,
+// plus the sessions currently placed on it.
+type workerRef struct {
+	d    *Dispatcher
+	addr string
+
+	mu       sync.Mutex
+	conn     *wire.Conn // nil while disconnected
+	epoch    uint64     // bumped per successful connect
+	name     string     // from Welcome
+	draining bool       // saw Goaway
+	known    map[string]bool
+	sessions map[uint64]*remoteSession
+	pending  map[uint64]chan *wire.SessionOpened
+	ensure   map[string][]chan *wire.PipelineReady
+
+	consecFails int
+	openUntil   time.Time // breaker open until this instant
+	lastPong    atomic.Int64
+
+	framesRouted atomic.Int64
+	resultsRecv  atomic.Int64
+	reconnects   atomic.Int64
+}
+
+// manage owns the connection lifecycle: dial + handshake with
+// exponential backoff, then read until the connection dies, failing
+// that epoch's sessions and starting over.
+func (w *workerRef) manage() {
+	backoff := w.d.opts.ReconnectMin
+	connected := false
+	for {
+		select {
+		case <-w.d.closed:
+			return
+		default:
+		}
+		conn, welcome, err := w.dial()
+		if err != nil {
+			w.recordFailure()
+			select {
+			case <-w.d.closed:
+				return
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if backoff > w.d.opts.ReconnectMax {
+				backoff = w.d.opts.ReconnectMax
+			}
+			continue
+		}
+		if connected {
+			w.reconnects.Add(1)
+		}
+		connected = true
+		backoff = w.d.opts.ReconnectMin
+		w.attach(conn, welcome)
+
+		pingStop := make(chan struct{})
+		go w.pingLoop(conn, pingStop)
+		err = w.readLoop(conn)
+		close(pingStop)
+		conn.Close()
+		w.detach(conn, err)
+		w.recordFailure()
+	}
+}
+
+func (w *workerRef) dial() (*wire.Conn, *wire.Welcome, error) {
+	nc, err := w.d.opts.Dial(w.addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	conn := wire.NewConn(nc)
+	welcome, err := conn.Handshake()
+	if err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	return conn, welcome, nil
+}
+
+func (w *workerRef) attach(conn *wire.Conn, welcome *wire.Welcome) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.conn = conn
+	w.epoch++
+	w.name = welcome.Worker
+	w.draining = false
+	w.known = make(map[string]bool, len(welcome.Pipelines))
+	for _, id := range welcome.Pipelines {
+		w.known[id] = true
+	}
+	w.sessions = make(map[uint64]*remoteSession)
+	w.pending = make(map[uint64]chan *wire.SessionOpened)
+	w.ensure = make(map[string][]chan *wire.PipelineReady)
+	// A successful handshake is the breaker's probe: it closes.
+	w.consecFails = 0
+	w.openUntil = time.Time{}
+	w.lastPong.Store(time.Now().UnixNano())
+}
+
+// detach fails everything placed over the dead connection. Each
+// session's error names the worker, so a client sees exactly why its
+// stream died while unrelated sessions keep running.
+func (w *workerRef) detach(conn *wire.Conn, cause error) {
+	w.mu.Lock()
+	if w.conn != conn {
+		w.mu.Unlock()
+		return
+	}
+	w.conn = nil
+	sessions := w.sessions
+	pending := w.pending
+	ensure := w.ensure
+	w.sessions = nil
+	w.pending = nil
+	w.ensure = nil
+	name := w.name
+	w.mu.Unlock()
+
+	err := fmt.Errorf("cluster: worker %s at %s lost: %v", name, w.addr, cause)
+	for _, rs := range sessions {
+		rs.failSession(err)
+	}
+	for _, ch := range pending {
+		close(ch)
+	}
+	for _, chs := range ensure {
+		for _, ch := range chs {
+			close(ch)
+		}
+	}
+}
+
+func (w *workerRef) recordFailure() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.consecFails++
+	if w.consecFails >= w.d.opts.BreakerFailures {
+		w.openUntil = time.Now().Add(w.d.opts.BreakerCooldown)
+	}
+}
+
+// breakerState reports "closed", "open", or "half-open". Half-open
+// means the cooldown elapsed: the next placement may probe the worker,
+// and a handshake success closes the breaker again.
+func (w *workerRef) breakerState() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.breakerStateLocked()
+}
+
+func (w *workerRef) breakerStateLocked() string {
+	if w.consecFails < w.d.opts.BreakerFailures {
+		return "closed"
+	}
+	if time.Now().Before(w.openUntil) {
+		return "open"
+	}
+	return "half-open"
+}
+
+// placeable reports whether new sessions may land here: connected, not
+// draining, breaker not open.
+func (w *workerRef) placeable() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.conn != nil && !w.draining && w.breakerStateLocked() != "open"
+}
+
+func (w *workerRef) sessionCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.sessions)
+}
+
+func (w *workerRef) pingLoop(conn *wire.Conn, stop chan struct{}) {
+	t := time.NewTicker(w.d.opts.PingInterval)
+	defer t.Stop()
+	nonce := uint64(0)
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			nonce++
+			if conn.Write(&wire.Ping{Nonce: nonce}) != nil {
+				conn.Close()
+				return
+			}
+			last := time.Unix(0, w.lastPong.Load())
+			if time.Since(last) > w.d.opts.PingTimeout {
+				// Health check failed: the worker stopped answering.
+				conn.Close()
+				return
+			}
+		}
+	}
+}
+
+func (w *workerRef) readLoop(conn *wire.Conn) error {
+	for {
+		m, err := conn.Read()
+		if err != nil {
+			return err
+		}
+		switch m := m.(type) {
+		case *wire.Pong:
+			w.lastPong.Store(time.Now().UnixNano())
+		case *wire.PipelineReady:
+			w.mu.Lock()
+			chs := w.ensure[m.ID]
+			delete(w.ensure, m.ID)
+			if m.Err == "" && w.known != nil {
+				w.known[m.ID] = true
+			}
+			w.mu.Unlock()
+			for _, ch := range chs {
+				ch <- m
+			}
+		case *wire.SessionOpened:
+			w.mu.Lock()
+			ch := w.pending[m.SID]
+			delete(w.pending, m.SID)
+			w.mu.Unlock()
+			if ch != nil {
+				ch <- m
+			}
+			if err := w.drainedHangup(); err != nil {
+				return err
+			}
+		case *wire.Result:
+			w.resultsRecv.Add(1)
+			if rs := w.session(m.SID); rs != nil {
+				rs.deliver(m)
+			} else {
+				releaseResult(m)
+			}
+		case *wire.Credit:
+			if rs := w.session(m.SID); rs != nil {
+				rs.addCredits(int(m.N))
+			}
+		case *wire.SessionClosed:
+			w.mu.Lock()
+			rs := w.sessions[m.SID]
+			delete(w.sessions, m.SID)
+			w.mu.Unlock()
+			if rs != nil {
+				rs.onClosed(m)
+			}
+			if err := w.drainedHangup(); err != nil {
+				return err
+			}
+		case *wire.Error:
+			if m.SID == 0 {
+				return fmt.Errorf("worker error: %s", m.Msg)
+			}
+			if rs := w.session(m.SID); rs != nil {
+				rs.failSession(fmt.Errorf("cluster: worker %s: %s", w.addr, m.Msg))
+			}
+		case *wire.Goaway:
+			// The worker is draining: stop placing sessions here, quiesce
+			// feeds, and close every session so its in-flight frames
+			// finish and flush before the worker exits.
+			w.mu.Lock()
+			w.draining = true
+			sessions := make([]*remoteSession, 0, len(w.sessions))
+			for _, rs := range w.sessions {
+				sessions = append(sessions, rs)
+			}
+			w.mu.Unlock()
+			for _, rs := range sessions {
+				rs.drainClose()
+			}
+			if err := w.drainedHangup(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unexpected %s frame", m.Type())
+		}
+	}
+}
+
+// errDrained ends the read loop of a fully-drained connection: the
+// frontend hangs up so the worker sees a clean EOF with nothing unread
+// (closing from the worker side could RST the final SessionClosed away).
+var errDrained = errors.New("worker drained")
+
+// drainedHangup reports errDrained once a draining worker has no
+// sessions or opens left on this connection.
+func (w *workerRef) drainedHangup() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.draining && len(w.sessions) == 0 && len(w.pending) == 0 && len(w.ensure) == 0 {
+		return errDrained
+	}
+	return nil
+}
+
+func (w *workerRef) session(sid uint64) *remoteSession {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sessions[sid]
+}
+
+// open ensures the pipeline exists on the worker, then opens a remote
+// session over the current connection.
+func (w *workerRef) open(p *serve.Pipeline, maxInFlight int) (*remoteSession, error) {
+	w.mu.Lock()
+	conn := w.conn
+	epoch := w.epoch
+	needEnsure := !w.known[p.ID]
+	w.mu.Unlock()
+	if conn == nil {
+		return nil, fmt.Errorf("cluster: worker %s not connected", w.addr)
+	}
+	if needEnsure {
+		if err := w.ensurePipeline(conn, p); err != nil {
+			return nil, err
+		}
+	}
+
+	sid := w.d.nextSID.Add(1)
+	reply := make(chan *wire.SessionOpened, 1)
+	w.mu.Lock()
+	if w.conn != conn {
+		w.mu.Unlock()
+		return nil, fmt.Errorf("cluster: worker %s reconnected during open", w.addr)
+	}
+	w.pending[sid] = reply
+	w.mu.Unlock()
+
+	if err := conn.Write(&wire.OpenSession{SID: sid, Pipeline: p.ID, MaxInFlight: uint32(maxInFlight)}); err != nil {
+		w.dropPending(sid)
+		conn.Close()
+		return nil, fmt.Errorf("cluster: open on %s: %w", w.addr, err)
+	}
+	select {
+	case m, ok := <-reply:
+		if !ok {
+			return nil, fmt.Errorf("cluster: worker %s lost during open", w.addr)
+		}
+		if m.Err != "" {
+			return nil, fmt.Errorf("cluster: worker %s refused session: %s", w.addr, m.Err)
+		}
+	case <-time.After(w.d.opts.OpenTimeout):
+		w.dropPending(sid)
+		return nil, fmt.Errorf("cluster: open on %s timed out after %v", w.addr, w.d.opts.OpenTimeout)
+	}
+
+	rs := &remoteSession{
+		w:           w,
+		p:           p,
+		sid:         sid,
+		epoch:       epoch,
+		maxInFlight: maxInFlight,
+		credits:     maxInFlight,
+		results:     make(chan *runtime.StreamResult, maxInFlight+1),
+		done:        make(chan struct{}),
+	}
+	w.mu.Lock()
+	if w.conn != conn {
+		w.mu.Unlock()
+		return nil, fmt.Errorf("cluster: worker %s reconnected during open", w.addr)
+	}
+	w.sessions[sid] = rs
+	w.mu.Unlock()
+	return rs, nil
+}
+
+func (w *workerRef) dropPending(sid uint64) {
+	w.mu.Lock()
+	delete(w.pending, sid)
+	w.mu.Unlock()
+}
+
+// ensurePipeline asks the worker to register p, shipping the JSON
+// descriptor when the pipeline has one; suite pipelines compile from
+// their ID alone.
+func (w *workerRef) ensurePipeline(conn *wire.Conn, p *serve.Pipeline) error {
+	reply := make(chan *wire.PipelineReady, 1)
+	w.mu.Lock()
+	if w.conn != conn {
+		w.mu.Unlock()
+		return fmt.Errorf("cluster: worker %s reconnected during ensure", w.addr)
+	}
+	first := len(w.ensure[p.ID]) == 0
+	w.ensure[p.ID] = append(w.ensure[p.ID], reply)
+	w.mu.Unlock()
+
+	if first {
+		m := &wire.EnsurePipeline{ID: p.ID, Source: p.Source, Desc: p.Descriptor()}
+		if err := conn.Write(m); err != nil {
+			conn.Close()
+			return fmt.Errorf("cluster: ensure %q on %s: %w", p.ID, w.addr, err)
+		}
+	}
+	select {
+	case m, ok := <-reply:
+		if !ok {
+			return fmt.Errorf("cluster: worker %s lost during ensure", w.addr)
+		}
+		if m.Err != "" {
+			return fmt.Errorf("cluster: worker %s cannot serve %q: %s", w.addr, p.ID, m.Err)
+		}
+		return nil
+	case <-time.After(w.d.opts.OpenTimeout):
+		return fmt.Errorf("cluster: ensure %q on %s timed out", p.ID, w.addr)
+	}
+}
+
+func (w *workerRef) stats() WorkerStats {
+	w.mu.Lock()
+	state := "down"
+	if w.conn != nil {
+		state = "connected"
+	}
+	credits := 0
+	for _, rs := range w.sessions {
+		credits += rs.creditsOut()
+	}
+	s := WorkerStats{
+		Addr:            w.addr,
+		Name:            w.name,
+		State:           state,
+		Breaker:         w.breakerStateLocked(),
+		Draining:        w.draining,
+		Sessions:        len(w.sessions),
+		CreditsInFlight: credits,
+	}
+	w.mu.Unlock()
+	s.FramesRouted = w.framesRouted.Load()
+	s.ResultsReceived = w.resultsRecv.Load()
+	s.Reconnects = w.reconnects.Load()
+	return s
+}
+
+func releaseResult(m *wire.Result) {
+	for _, out := range m.Outputs {
+		for _, win := range out.Wins {
+			win.Release()
+		}
+	}
+}
+
+// remoteSession proxies one streaming session to a worker. It
+// implements serve.SessionHandle with the same error vocabulary as the
+// in-process runtime: ErrQueueFull when out of credits, ErrBadFrame on
+// local input validation, a "timed out" error on Collect deadlines.
+type remoteSession struct {
+	w           *workerRef
+	p           *serve.Pipeline
+	sid         uint64
+	epoch       uint64
+	maxInFlight int
+
+	mu        sync.Mutex
+	credits   int
+	fed       int64
+	completed int64 // results received from the worker
+	collected int64 // results handed to Collect callers
+	err       error
+	noFeed    error // feeds refused (worker draining); results still flow
+	ended     bool  // done closed (failure or SessionClosed)
+	closeSent bool
+
+	results chan *runtime.StreamResult
+	done    chan struct{}
+}
+
+// failSession marks the session dead; Collect surfaces the error after
+// draining buffered results, feeds fail immediately.
+func (rs *remoteSession) failSession(err error) {
+	rs.mu.Lock()
+	if rs.ended {
+		rs.mu.Unlock()
+		return
+	}
+	rs.ended = true
+	if rs.err == nil {
+		rs.err = err
+	}
+	rs.mu.Unlock()
+	close(rs.done)
+}
+
+// onClosed handles the worker's SessionClosed notice: a clean close
+// surfaces ErrSessionClosed, a drain surfaces the draining notice, and
+// a reported failure surfaces that error.
+func (rs *remoteSession) onClosed(m *wire.SessionClosed) {
+	rs.mu.Lock()
+	noFeed := rs.noFeed
+	rs.mu.Unlock()
+	var err error
+	switch {
+	case m.Err != "":
+		err = fmt.Errorf("cluster: worker %s closed session: %s", rs.w.addr, m.Err)
+	case noFeed != nil:
+		err = noFeed
+	default:
+		err = runtime.ErrSessionClosed
+	}
+	rs.failSession(err)
+}
+
+// drainClose reacts to the worker's Goaway: refuse further feeds, then
+// close the session so everything already fed finishes and flushes.
+// The close follows the last accepted feed on the wire, so the worker
+// sees all of them before it stops the session.
+func (rs *remoteSession) drainClose() {
+	rs.mu.Lock()
+	if rs.ended || rs.closeSent {
+		rs.mu.Unlock()
+		return
+	}
+	if rs.noFeed == nil {
+		rs.noFeed = fmt.Errorf("cluster: worker %s at %s is draining", rs.w.name, rs.w.addr)
+	}
+	rs.closeSent = true
+	rs.mu.Unlock()
+	if err := rs.send(&wire.CloseSession{SID: rs.sid}); err != nil {
+		rs.failSession(fmt.Errorf("cluster: close to worker %s: %w", rs.w.addr, err))
+	}
+}
+
+// deliver queues a result for Collect. The channel is sized for the
+// credit bound, so a blocked send means the worker broke the protocol.
+func (rs *remoteSession) deliver(m *wire.Result) {
+	outputs := make(map[string][]frame.Window, len(m.Outputs))
+	for _, out := range m.Outputs {
+		outputs[out.Name] = out.Wins
+	}
+	res := &runtime.StreamResult{Seq: m.Seq, Outputs: outputs}
+	rs.mu.Lock()
+	rs.completed++
+	rs.mu.Unlock()
+	select {
+	case rs.results <- res:
+	default:
+		serveReleaseOutputs(outputs)
+		rs.failSession(fmt.Errorf("cluster: worker %s overran the result window", rs.w.addr))
+	}
+}
+
+func (rs *remoteSession) addCredits(n int) {
+	rs.mu.Lock()
+	rs.credits += n
+	if rs.credits > rs.maxInFlight {
+		rs.credits = rs.maxInFlight
+	}
+	rs.mu.Unlock()
+}
+
+func (rs *remoteSession) creditsOut() int {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	out := rs.maxInFlight - rs.credits
+	if out < 0 {
+		out = 0
+	}
+	return out
+}
+
+// TryFeed validates the frame locally (same checks and error values as
+// runtime.Session), spends a credit, and ships it. Zero credits means
+// the worker still owes maxInFlight results: ErrQueueFull, exactly the
+// local backpressure signal.
+func (rs *remoteSession) TryFeed(inputs map[string]frame.Window) (int64, error) {
+	if err := validateInputs(rs.p, inputs); err != nil {
+		return 0, err
+	}
+	rs.mu.Lock()
+	if rs.ended {
+		err := rs.err
+		rs.mu.Unlock()
+		if errors.Is(err, runtime.ErrSessionClosed) {
+			return 0, runtime.ErrSessionClosed
+		}
+		return 0, err
+	}
+	if rs.noFeed != nil {
+		err := rs.noFeed
+		rs.mu.Unlock()
+		return 0, err
+	}
+	// Two bounds, both ErrQueueFull: credits (the worker still owes
+	// results) and fed-minus-collected (the caller stopped collecting —
+	// the same bound a local session enforces, and what keeps buffered
+	// results within the channel's capacity).
+	if rs.credits <= 0 || rs.fed-rs.collected >= int64(rs.maxInFlight) {
+		rs.mu.Unlock()
+		return 0, runtime.ErrQueueFull
+	}
+	rs.credits--
+	seq := rs.fed
+	rs.fed++
+	rs.mu.Unlock()
+
+	m := &wire.Feed{SID: rs.sid, Seq: seq}
+	for name, win := range inputs {
+		m.Inputs = append(m.Inputs, wire.NamedWindow{Name: name, Win: win})
+	}
+	if err := rs.send(m); err != nil {
+		rs.failSession(fmt.Errorf("cluster: feed to worker %s: %w", rs.w.addr, err))
+		return 0, rs.sessionErr()
+	}
+	rs.w.framesRouted.Add(1)
+	return seq, nil
+}
+
+func (rs *remoteSession) send(m wire.Msg) error {
+	rs.w.mu.Lock()
+	conn := rs.w.conn
+	epoch := rs.w.epoch
+	rs.w.mu.Unlock()
+	if conn == nil || epoch != rs.epoch {
+		return errors.New("connection lost")
+	}
+	if err := conn.Write(m); err != nil {
+		conn.Close()
+		return err
+	}
+	return nil
+}
+
+func (rs *remoteSession) sessionErr() error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.err != nil {
+		return rs.err
+	}
+	return errors.New("cluster: session failed")
+}
+
+// Collect returns the next completed frame in order. Its timeout error
+// says "timed out" so the HTTP layer maps it to 504 like a local
+// session's.
+func (rs *remoteSession) Collect(timeout time.Duration) (*runtime.StreamResult, error) {
+	var tc <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		tc = t.C
+	}
+	select {
+	case res := <-rs.results:
+		rs.noteCollected()
+		return res, nil
+	case <-tc:
+		return nil, fmt.Errorf("cluster: session collect timed out after %v", timeout)
+	case <-rs.done:
+		// Results buffered before the failure are still deliverable.
+		select {
+		case res := <-rs.results:
+			rs.noteCollected()
+			return res, nil
+		default:
+		}
+		return nil, rs.sessionErr()
+	}
+}
+
+func (rs *remoteSession) noteCollected() {
+	rs.mu.Lock()
+	rs.collected++
+	rs.mu.Unlock()
+}
+
+// Fed reports frames shipped to the worker.
+func (rs *remoteSession) Fed() int64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.fed
+}
+
+// Completed reports results received back from the worker.
+func (rs *remoteSession) Completed() int64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.completed
+}
+
+// InFlight reports frames fed but not yet collected by the caller.
+func (rs *remoteSession) InFlight() int64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.fed - rs.collected
+}
+
+// Close asks the worker to drain the session and waits for its
+// SessionClosed (bounded by CloseTimeout), then releases any buffered
+// results the caller never collected. It returns the session's failure,
+// if any — a clean shutdown returns nil.
+func (rs *remoteSession) Close() error {
+	rs.mu.Lock()
+	already := rs.closeSent
+	rs.closeSent = true
+	ended := rs.ended
+	rs.mu.Unlock()
+	if !already && !ended {
+		if err := rs.send(&wire.CloseSession{SID: rs.sid}); err != nil {
+			rs.failSession(fmt.Errorf("cluster: close to worker %s: %w", rs.w.addr, err))
+		}
+	}
+	select {
+	case <-rs.done:
+	case <-time.After(rs.w.d.opts.CloseTimeout):
+		rs.failSession(fmt.Errorf("cluster: worker %s did not acknowledge close within %v",
+			rs.w.addr, rs.w.d.opts.CloseTimeout))
+	}
+	// Drop the session from the worker's table (already gone if the
+	// worker reported SessionClosed or the connection died).
+	rs.w.mu.Lock()
+	if rs.w.sessions != nil {
+		delete(rs.w.sessions, rs.sid)
+	}
+	rs.w.mu.Unlock()
+	for {
+		select {
+		case res := <-rs.results:
+			serveReleaseOutputs(res.Outputs)
+		default:
+			rs.mu.Lock()
+			err := rs.err
+			rs.mu.Unlock()
+			if errors.Is(err, runtime.ErrSessionClosed) {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// validateInputs applies the runtime's feed-time checks locally so bad
+// frames bounce at the frontend without a round trip, with the same
+// ErrBadFrame tag the HTTP layer maps to 400.
+func validateInputs(p *serve.Pipeline, inputs map[string]frame.Window) error {
+	g := p.Graph()
+	for name, w := range inputs {
+		n := g.Node(name)
+		if n == nil || n.Kind != graph.KindInput {
+			return fmt.Errorf("%w: unknown input %q", runtime.ErrBadFrame, name)
+		}
+		if w.W != n.FrameSize.W || w.H != n.FrameSize.H {
+			return fmt.Errorf("%w: input %q is %dx%d, want %dx%d",
+				runtime.ErrBadFrame, name, w.W, w.H, n.FrameSize.W, n.FrameSize.H)
+		}
+	}
+	return nil
+}
+
+// serveReleaseOutputs returns a result's pooled windows to the arena.
+func serveReleaseOutputs(outs map[string][]frame.Window) {
+	for _, ws := range outs {
+		for _, w := range ws {
+			w.Release()
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package cluster
+
+import (
+	"net"
+	"time"
+)
+
+// Loopback starts a worker on a loopback TCP listener and a
+// single-worker dispatcher connected to it — the in-process harness the
+// conformance driver, the cluster tests, and BenchmarkClusterLoopback
+// use to exercise the full wire path without spawning processes. The
+// returned stop function tears both down.
+func Loopback(w *Worker, dopts DispatcherOptions) (*Dispatcher, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	go w.Serve(ln)
+	d := NewDispatcher([]string{ln.Addr().String()}, dopts)
+	if err := d.WaitReady(5 * time.Second); err != nil {
+		d.Close()
+		w.Close()
+		return nil, nil, err
+	}
+	stop := func() {
+		d.Close()
+		w.Close()
+	}
+	return d, stop, nil
+}

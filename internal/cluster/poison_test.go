@@ -1,0 +1,8 @@
+package cluster
+
+import "blockpar/internal/frame"
+
+// The cluster tests run with use-after-release poisoning on: any
+// ownership mistake across the wire boundary turns into NaNs that the
+// golden comparisons catch immediately.
+func init() { frame.SetPoison(true) }

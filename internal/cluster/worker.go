@@ -1,0 +1,604 @@
+// Package cluster is the multi-process execution layer: a bpserve
+// frontend places streaming sessions on bpworker processes and proxies
+// frames over TCP using the internal/wire codec, with credit-based
+// backpressure mirroring the runtime's bounded frame queues.
+//
+// The two halves are Worker (this file) — owns a serve.Registry of
+// compiled pipelines and executes sessions on behalf of remote
+// frontends — and Dispatcher (dispatcher.go) — the frontend side,
+// implementing serve.Backend with least-loaded placement, health
+// checks, reconnection, and per-worker circuit breakers.
+//
+// Failure semantics: a worker that dies mid-stream fails exactly the
+// sessions placed on it (each with an explicit error naming the
+// worker); the frontend keeps serving everything else, and the worker
+// may rejoin at the same address. See docs/cluster.md.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blockpar/internal/frame"
+	"blockpar/internal/runtime"
+	"blockpar/internal/serve"
+	"blockpar/internal/wire"
+)
+
+// collectPoll is the worker collector's wake-up interval: how often a
+// blocked collect re-checks for session teardown. It bounds only
+// shutdown latency, never result latency (results unblock collect
+// immediately).
+const collectPoll = 50 * time.Millisecond
+
+// WorkerOptions configures a Worker.
+type WorkerOptions struct {
+	// Name identifies the worker in handshakes, errors, and metrics
+	// (default "worker-<pid>").
+	Name string
+	// Executor and Workers select the runtime engine for the sessions
+	// this worker executes (see runtime.SessionOptions).
+	Executor runtime.ExecutorKind
+	Workers  int
+}
+
+// Worker executes streaming sessions for remote frontends. Pipelines
+// come from its own registry — pre-compiled at startup (bpworker
+// -apps) or compiled on demand when a frontend's EnsurePipeline frame
+// names a suite benchmark or carries a JSON descriptor.
+type Worker struct {
+	opts WorkerOptions
+	reg  *serve.Registry
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*workerConn]struct{}
+	draining bool
+	closed   bool
+}
+
+// NewWorker creates a worker serving sessions over reg's pipelines.
+func NewWorker(reg *serve.Registry, opts WorkerOptions) *Worker {
+	if opts.Name == "" {
+		opts.Name = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	return &Worker{opts: opts, reg: reg, conns: make(map[*workerConn]struct{})}
+}
+
+// Name returns the worker's handshake identity.
+func (w *Worker) Name() string { return w.opts.Name }
+
+// Serve accepts frontend connections on ln until the listener closes.
+// Each connection is independent: a frontend failure tears down only
+// the sessions opened over that connection.
+func (w *Worker) Serve(ln net.Listener) error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return errors.New("cluster: worker closed")
+	}
+	w.ln = ln
+	w.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			w.mu.Lock()
+			stopped := w.draining || w.closed
+			w.mu.Unlock()
+			if stopped {
+				return nil
+			}
+			return err
+		}
+		go w.handleConn(c)
+	}
+}
+
+// Close abruptly tears the worker down: listener and every connection
+// close immediately, failing in-flight sessions (the frontend sees a
+// connection error). Tests use it to simulate a crashed worker; use
+// Shutdown for graceful drain.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	w.closed = true
+	ln := w.ln
+	conns := make([]*workerConn, 0, len(w.conns))
+	for c := range w.conns {
+		conns = append(conns, c)
+	}
+	w.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.conn.Close()
+	}
+	return nil
+}
+
+// Shutdown drains gracefully: stop accepting connections and sessions
+// and announce Goaway. The frontend reacts by quiescing its feeds and
+// closing each session, which lets every frame already on the wire
+// land, run to completion, and flush its result — the worker cannot
+// close feed intake unilaterally without racing feeds in TCP flight.
+// The context bounds the wait; on expiry remaining sessions are cut
+// off with a connection close.
+func (w *Worker) Shutdown(ctx context.Context) error {
+	w.mu.Lock()
+	w.draining = true
+	ln := w.ln
+	conns := make([]*workerConn, 0, len(w.conns))
+	for c := range w.conns {
+		conns = append(conns, c)
+	}
+	w.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.send(&wire.Goaway{Reason: "worker draining"})
+	}
+
+	// Wait for every session to finish flushing and report closed, then
+	// for the frontends to hang up. The frontend closes a drained
+	// connection once its last SessionClosed arrives; closing from this
+	// side first could RST unread pings and destroy that delivery.
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	var err error
+wait:
+	for {
+		w.mu.Lock()
+		conns := len(w.conns)
+		w.mu.Unlock()
+		if conns == 0 && w.openSessions() == 0 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			err = fmt.Errorf("cluster: worker drain interrupted: %w", ctx.Err())
+			break wait
+		case <-tick.C:
+		}
+	}
+	w.Close()
+	return err
+}
+
+func (w *Worker) openSessions() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := 0
+	for c := range w.conns {
+		n += c.sessionCount()
+	}
+	return n
+}
+
+func (w *Worker) isDraining() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.draining
+}
+
+// handleConn owns one frontend connection: handshake, then a demux
+// loop routing session frames to per-session feeder/collector
+// goroutines. Any read error tears down this connection's sessions.
+func (w *Worker) handleConn(nc net.Conn) {
+	c := &workerConn{
+		w:        w,
+		conn:     wire.NewConn(nc),
+		sessions: make(map[uint64]*workerSession),
+	}
+	var ids []string
+	for _, p := range w.reg.List() {
+		ids = append(ids, p.ID)
+	}
+	if err := c.conn.AcceptHandshake(w.opts.Name, ids); err != nil {
+		c.conn.Close()
+		return
+	}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		c.conn.Close()
+		return
+	}
+	w.conns[c] = struct{}{}
+	draining := w.draining
+	w.mu.Unlock()
+	if draining {
+		c.send(&wire.Goaway{Reason: "worker draining"})
+	}
+
+	err := c.readLoop()
+	_ = err
+	c.conn.Close()
+	c.closeAllSessions()
+	w.mu.Lock()
+	delete(w.conns, c)
+	w.mu.Unlock()
+}
+
+// workerConn is the worker-side state of one frontend connection.
+type workerConn struct {
+	w    *Worker
+	conn *wire.Conn
+
+	mu       sync.Mutex
+	sessions map[uint64]*workerSession
+}
+
+func (c *workerConn) send(m wire.Msg) {
+	// A write failure means the connection is gone; the read loop will
+	// observe it and tear the sessions down, so errors stop here.
+	if err := c.conn.Write(m); err != nil {
+		c.conn.Close()
+	}
+}
+
+func (c *workerConn) sessionCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.sessions)
+}
+
+func (c *workerConn) session(sid uint64) *workerSession {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sessions[sid]
+}
+
+func (c *workerConn) removeSession(sid uint64) {
+	c.mu.Lock()
+	delete(c.sessions, sid)
+	c.mu.Unlock()
+}
+
+func (c *workerConn) closeAllSessions() {
+	c.mu.Lock()
+	ss := make([]*workerSession, 0, len(c.sessions))
+	for _, s := range c.sessions {
+		ss = append(ss, s)
+	}
+	c.mu.Unlock()
+	for _, s := range ss {
+		s.beginAbort(errors.New("frontend connection lost"), false)
+	}
+}
+
+func (c *workerConn) readLoop() error {
+	for {
+		m, err := c.conn.Read()
+		if err != nil {
+			return err
+		}
+		switch m := m.(type) {
+		case *wire.Ping:
+			c.send(&wire.Pong{Nonce: m.Nonce})
+		case *wire.EnsurePipeline:
+			// Compiles can take a while; answer asynchronously so pings
+			// (and other sessions' frames) keep flowing. The frontend
+			// orders open-after-ensure itself.
+			go func(m *wire.EnsurePipeline) { c.send(c.ensure(m)) }(m)
+		case *wire.OpenSession:
+			c.open(m)
+		case *wire.Feed:
+			c.feed(m)
+		case *wire.CloseSession:
+			if s := c.session(m.SID); s != nil {
+				s.beginClose()
+			}
+		case *wire.Error:
+			if m.SID == 0 {
+				return fmt.Errorf("frontend error: %s", m.Msg)
+			}
+			if s := c.session(m.SID); s != nil {
+				s.beginAbort(fmt.Errorf("frontend error: %s", m.Msg), false)
+			}
+		default:
+			c.send(&wire.Error{Msg: fmt.Sprintf("unexpected %s frame", m.Type())})
+			return fmt.Errorf("protocol violation: %s", m.Type())
+		}
+	}
+}
+
+// ensure makes a pipeline available: already registered, compiled from
+// the attached JSON descriptor, or compiled as a suite benchmark.
+func (c *workerConn) ensure(m *wire.EnsurePipeline) *wire.PipelineReady {
+	if _, ok := c.w.reg.Get(m.ID); ok {
+		return &wire.PipelineReady{ID: m.ID}
+	}
+	var err error
+	switch {
+	case len(m.Desc) > 0:
+		var p *serve.Pipeline
+		if p, err = c.w.reg.AddJSON(m.Desc); err == nil && p.ID != m.ID {
+			err = fmt.Errorf("descriptor compiles to pipeline %q, not %q", p.ID, m.ID)
+		}
+	case m.Source == "suite":
+		err = c.w.reg.AddSuite(m.ID)
+	default:
+		err = fmt.Errorf("unknown pipeline %q and no descriptor attached", m.ID)
+	}
+	if err != nil {
+		// A concurrent ensure may have won the registration race.
+		if _, ok := c.w.reg.Get(m.ID); ok {
+			return &wire.PipelineReady{ID: m.ID}
+		}
+		return &wire.PipelineReady{ID: m.ID, Err: err.Error()}
+	}
+	return &wire.PipelineReady{ID: m.ID}
+}
+
+func (c *workerConn) open(m *wire.OpenSession) {
+	if c.w.isDraining() {
+		c.send(&wire.SessionOpened{SID: m.SID, Err: "worker draining"})
+		return
+	}
+	p, ok := c.w.reg.Get(m.Pipeline)
+	if !ok {
+		c.send(&wire.SessionOpened{SID: m.SID, Err: fmt.Sprintf("unknown pipeline %q", m.Pipeline)})
+		return
+	}
+	maxInFlight := int(m.MaxInFlight)
+	if maxInFlight <= 0 || maxInFlight > 1024 {
+		c.send(&wire.SessionOpened{SID: m.SID, Err: fmt.Sprintf("max-in-flight %d out of range", m.MaxInFlight)})
+		return
+	}
+	rt, err := p.NewSession(runtime.SessionOptions{
+		MaxInFlight: maxInFlight,
+		Executor:    c.w.opts.Executor,
+		Workers:     c.w.opts.Workers,
+	})
+	if err != nil {
+		c.send(&wire.SessionOpened{SID: m.SID, Err: err.Error()})
+		return
+	}
+	s := &workerSession{
+		conn:          c,
+		sid:           m.SID,
+		rt:            rt,
+		feedq:         make(chan *wire.Feed, maxInFlight+1),
+		abortc:        make(chan struct{}),
+		feederDone:    make(chan struct{}),
+		collectorDone: make(chan struct{}),
+	}
+	c.mu.Lock()
+	if _, dup := c.sessions[m.SID]; dup {
+		c.mu.Unlock()
+		rt.Close()
+		c.send(&wire.SessionOpened{SID: m.SID, Err: "session id already in use"})
+		return
+	}
+	c.sessions[m.SID] = s
+	c.mu.Unlock()
+	go s.feeder()
+	go s.collector()
+	c.send(&wire.SessionOpened{SID: m.SID})
+}
+
+func (c *workerConn) feed(m *wire.Feed) {
+	s := c.session(m.SID)
+	if s == nil {
+		releaseFeed(m)
+		return
+	}
+	s.qmu.Lock()
+	if s.closing {
+		s.qmu.Unlock()
+		releaseFeed(m)
+		return
+	}
+	select {
+	case s.feedq <- m:
+		s.qmu.Unlock()
+	default:
+		// The credit protocol bounds feeds to the queue size; overflow
+		// means the frontend broke it.
+		s.qmu.Unlock()
+		releaseFeed(m)
+		s.beginAbort(errors.New("feed credit overrun"), true)
+	}
+}
+
+func releaseFeed(m *wire.Feed) {
+	for _, in := range m.Inputs {
+		in.Win.Release()
+	}
+}
+
+// workerSession is one remote session executing locally: a resident
+// runtime session, a feeder draining the bounded feed queue into it,
+// and a collector flushing completed frames (plus their credits) back
+// to the frontend.
+type workerSession struct {
+	conn *workerConn
+	sid  uint64
+	rt   *runtime.Session
+
+	qmu     sync.Mutex
+	closing bool
+	feedq   chan *wire.Feed
+
+	abortOnce sync.Once
+	abortc    chan struct{}
+	endOnce   sync.Once
+
+	fed           atomic.Int64
+	collected     atomic.Int64
+	failErr       atomic.Pointer[string]
+	feederDone    chan struct{}
+	collectorDone chan struct{}
+}
+
+func (s *workerSession) fail(err error) {
+	msg := err.Error()
+	s.failErr.CompareAndSwap(nil, &msg)
+}
+
+func (s *workerSession) failed() (string, bool) {
+	if p := s.failErr.Load(); p != nil {
+		return *p, true
+	}
+	return "", false
+}
+
+// feeder moves frames from the wire queue into the runtime session,
+// preserving order. Feed blocks when the pipeline is momentarily full;
+// the collector keeps draining, so the block is bounded.
+func (s *workerSession) feeder() {
+	defer close(s.feederDone)
+	for {
+		select {
+		case <-s.abortc:
+			s.drainQueue()
+			return
+		case m, ok := <-s.feedq:
+			if !ok {
+				return
+			}
+			if m.Seq != s.fed.Load() {
+				releaseFeed(m)
+				s.fail(fmt.Errorf("feed sequence %d, want %d", m.Seq, s.fed.Load()))
+				s.beginAbort(errors.New("feed sequence broken"), true)
+				s.drainQueue()
+				return
+			}
+			var inputs map[string]frame.Window
+			if len(m.Inputs) > 0 {
+				inputs = make(map[string]frame.Window, len(m.Inputs))
+				for _, in := range m.Inputs {
+					inputs[in.Name] = in.Win
+				}
+			}
+			if _, err := s.rt.Feed(inputs); err != nil {
+				// Feed validated and rejected the frame without taking
+				// ownership of its windows.
+				releaseFeed(m)
+				s.fail(err)
+				s.beginAbort(err, true)
+				s.drainQueue()
+				return
+			}
+			s.fed.Add(1)
+		}
+	}
+}
+
+func (s *workerSession) drainQueue() {
+	for {
+		select {
+		case m, ok := <-s.feedq:
+			if !ok {
+				return
+			}
+			releaseFeed(m)
+		default:
+			return
+		}
+	}
+}
+
+// collector flushes completed frames to the frontend. Each result is
+// followed by a credit, so the frontend's balance tracks the session's
+// real fed-minus-delivered bound.
+func (s *workerSession) collector() {
+	defer close(s.collectorDone)
+	for {
+		res, err := s.rt.Collect(collectPoll)
+		if err != nil {
+			if errors.Is(err, runtime.ErrSessionClosed) {
+				return
+			}
+			if isTimeout(err) {
+				continue
+			}
+			s.fail(err)
+			s.beginAbort(err, true)
+			return
+		}
+		s.collected.Add(1)
+		s.conn.send(encodeResult(s.sid, res))
+		s.conn.send(&wire.Credit{SID: s.sid, N: 1})
+	}
+}
+
+// beginClose starts the graceful teardown: no further feeds, every fed
+// frame runs to completion and flushes, then SessionClosed reports the
+// outcome.
+func (s *workerSession) beginClose() {
+	s.endOnce.Do(func() { go s.drainAndClose(true) })
+}
+
+// beginAbort starts the failure teardown: queued feeds are dropped and
+// the session closes as soon as the runtime lets go.
+func (s *workerSession) beginAbort(err error, report bool) {
+	s.fail(err)
+	s.abortOnce.Do(func() { close(s.abortc) })
+	s.endOnce.Do(func() { go s.drainAndClose(report) })
+}
+
+func (s *workerSession) drainAndClose(report bool) {
+	s.qmu.Lock()
+	if !s.closing {
+		s.closing = true
+		close(s.feedq)
+	}
+	s.qmu.Unlock()
+	<-s.feederDone
+
+	// Let the collector flush every completed frame before the runtime
+	// discards uncollected results; a failed session skips the wait.
+	for s.collected.Load() < s.fed.Load() {
+		if _, bad := s.failed(); bad {
+			break
+		}
+		select {
+		case <-s.collectorDone:
+		case <-time.After(2 * time.Millisecond):
+			continue
+		}
+		break
+	}
+	s.abortOnce.Do(func() { close(s.abortc) })
+	if err := s.rt.Close(); err != nil {
+		s.fail(err)
+	}
+	<-s.collectorDone
+
+	if report {
+		msg, _ := s.failed()
+		s.conn.send(&wire.SessionClosed{SID: s.sid, Completed: s.collected.Load(), Err: msg})
+	}
+	s.conn.removeSession(s.sid)
+}
+
+// encodeResult converts a completed frame into its wire form, output
+// names sorted for a deterministic byte stream.
+func encodeResult(sid uint64, res *runtime.StreamResult) *wire.Result {
+	names := make([]string, 0, len(res.Outputs))
+	for name := range res.Outputs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	m := &wire.Result{SID: sid, Seq: res.Seq}
+	for _, name := range names {
+		m.Outputs = append(m.Outputs, wire.NamedWindows{Name: name, Wins: res.Outputs[name]})
+	}
+	return m
+}
+
+// isTimeout matches the runtime's collect-deadline error (the same
+// convention internal/serve uses).
+func isTimeout(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "timed out")
+}

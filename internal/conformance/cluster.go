@@ -1,0 +1,75 @@
+package conformance
+
+import (
+	"fmt"
+
+	"blockpar/internal/cluster"
+	"blockpar/internal/core"
+	"blockpar/internal/frame"
+	"blockpar/internal/machine"
+	"blockpar/internal/serve"
+)
+
+// checkCluster streams the case through the full distributed path — a
+// dispatcher, the TCP wire codec, and a loopback worker session — and
+// compares every frame with the oracle. The exact compiled variant
+// under test is registered directly (AddCompiled), so the worker
+// executes the same transformed graph the other backends diffed; the
+// wire round trip must not perturb a single bit.
+func checkCluster(compiled *core.Compiled, sources map[string]frame.Generator,
+	want []map[string][]frame.Window) error {
+
+	reg := serve.NewRegistry(machine.Embedded())
+	p, err := reg.AddCompiled("case", "case", compiled, sources)
+	if err != nil {
+		return err
+	}
+	w := cluster.NewWorker(reg, cluster.WorkerOptions{Name: "conformance"})
+	d, stop, err := cluster.Loopback(w, cluster.DispatcherOptions{})
+	if err != nil {
+		return err
+	}
+	defer stop()
+
+	h, err := d.Open(p, len(want))
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	for f := range want {
+		if _, err := h.TryFeed(nil); err != nil {
+			return fmt.Errorf("feed %d: %w", f, err)
+		}
+	}
+	outputs := compiled.Graph.Outputs()
+	for f := range want {
+		res, err := h.Collect(execTimeout)
+		if err != nil {
+			return fmt.Errorf("collect %d: %w", f, err)
+		}
+		if res.Seq != int64(f) {
+			return fmt.Errorf("collected frame %d, want %d", res.Seq, f)
+		}
+		cmpErr := func() error {
+			for _, out := range outputs {
+				name := out.Name()
+				if err := compareWindows(res.Outputs[name], want[f][name]); err != nil {
+					return fmt.Errorf("output %q frame %d: %w", name, f, err)
+				}
+			}
+			return nil
+		}()
+		for _, ws := range res.Outputs {
+			for _, w := range ws {
+				w.Release()
+			}
+		}
+		if cmpErr != nil {
+			return cmpErr
+		}
+	}
+	if err := h.Close(); err != nil {
+		return fmt.Errorf("close: %w", err)
+	}
+	return nil
+}

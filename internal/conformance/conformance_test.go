@@ -25,25 +25,57 @@ import (
 )
 
 var (
-	nFlag    = flag.Int("conformance.n", 200, "random graphs checked by TestDiffRandomGraphs")
-	seedFlag = flag.Uint64("conformance.seed", 1, "first generator seed (replay a failure with -conformance.seed=N -conformance.n=1)")
+	nFlag        = flag.Int("conformance.n", 200, "random graphs checked by TestDiffRandomGraphs")
+	seedFlag     = flag.Uint64("conformance.seed", 1, "first generator seed (replay a failure with -conformance.seed=N -conformance.n=1)")
+	backendsFlag = flag.String("conformance.backends", strings.Join(DefaultBackends(), ","),
+		"comma-separated execution backends to diff ("+strings.Join(Backends(), ", ")+"); the nightly sweep adds cluster")
 )
 
+func flagBackends(t *testing.T) []string {
+	t.Helper()
+	bs := strings.Split(*backendsFlag, ",")
+	if _, err := backendSet(bs); err != nil {
+		t.Fatal(err)
+	}
+	return bs
+}
+
 // TestDiffRandomGraphs is the differential harness entry point: every
-// seeded random graph runs through the sequential oracle, the batch
-// goroutine runtime, a streaming session, and the simulator, at every
-// PE budget in Variants(), and all outputs must be byte-identical.
+// seeded random graph runs through the selected backends — by default
+// the sequential oracle vs the batch goroutine runtime, the worker-pool
+// executor, a streaming session, and the simulator — at every PE budget
+// in Variants(), and all outputs must be byte-identical. The nightly
+// sweep passes -conformance.backends=batch,workers,session,sim,cluster
+// to add the TCP-loopback cluster path.
 func TestDiffRandomGraphs(t *testing.T) {
 	n := *nFlag
 	if testing.Short() && n > 25 {
 		n = 25
 	}
+	backends := flagBackends(t)
 	for i := 0; i < n; i++ {
 		seed := *seedFlag + uint64(i)
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			t.Parallel()
 			c := Generate(seed)
-			if err := Check(c, CheckOptions{}); err != nil {
+			if err := Check(c, CheckOptions{Backends: backends}); err != nil {
+				t.Fatalf("case %s: %v", c.Name, err)
+			}
+		})
+	}
+}
+
+// TestDiffClusterSmoke keeps the cluster backend honest between
+// nightly sweeps: a few seeds through the full distributed path on
+// every PR, whatever -conformance.backends says.
+func TestDiffClusterSmoke(t *testing.T) {
+	const seeds = 3
+	for i := 0; i < seeds; i++ {
+		seed := *seedFlag + uint64(i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			c := Generate(seed)
+			if err := Check(c, CheckOptions{Backends: []string{"cluster"}}); err != nil {
 				t.Fatalf("case %s: %v", c.Name, err)
 			}
 		})

@@ -42,6 +42,43 @@ type CheckOptions struct {
 	Frames int
 	// Variants defaults to Variants().
 	Variants []Variant
+	// Backends selects the execution paths to diff against the oracle,
+	// from Backends (below). Empty means every per-PR backend —
+	// "cluster" spins a TCP loopback worker per variant, so it is
+	// reserved for the nightly sweep and explicit opt-in.
+	Backends []string
+}
+
+// Backends lists every execution path the differential driver can
+// exercise: the batch goroutine runtime, the batch worker-pool
+// executor, a streaming session, the timing simulator's functional
+// stream, and a cluster session over a loopback worker.
+func Backends() []string {
+	return []string{"batch", "workers", "session", "sim", "cluster"}
+}
+
+// DefaultBackends is the per-PR subset: everything except the cluster
+// loopback.
+func DefaultBackends() []string {
+	return []string{"batch", "workers", "session", "sim"}
+}
+
+func backendSet(names []string) (map[string]bool, error) {
+	if len(names) == 0 {
+		names = DefaultBackends()
+	}
+	all := make(map[string]bool, len(Backends()))
+	for _, b := range Backends() {
+		all[b] = true
+	}
+	set := make(map[string]bool, len(names))
+	for _, b := range names {
+		if !all[b] {
+			return nil, fmt.Errorf("unknown conformance backend %q (have %v)", b, Backends())
+		}
+		set[b] = true
+	}
+	return set, nil
 }
 
 const execTimeout = 30 * time.Second
@@ -58,6 +95,10 @@ func Check(c *Case, opts CheckOptions) error {
 	if variants == nil {
 		variants = Variants()
 	}
+	backends, err := backendSet(opts.Backends)
+	if err != nil {
+		return err
+	}
 
 	want, err := OracleFrames(c, frames)
 	if err != nil {
@@ -72,25 +113,43 @@ func Check(c *Case, opts CheckOptions) error {
 		if err := CheckInvariants(compiled); err != nil {
 			return fmt.Errorf("%s: %w", v.Name, err)
 		}
-		res, err := checkBatch(compiled.Graph, c.Sources, want, runtime.ExecGoroutines)
-		if err != nil {
-			return fmt.Errorf("%s: %w", v.Name, err)
+		// The sim cross-check consumes the batch run's stream, so "sim"
+		// implies executing (but not re-judging) the batch backend.
+		var res *runtime.Result
+		if backends["batch"] || backends["sim"] {
+			res, err = checkBatch(compiled.Graph, c.Sources, want, runtime.ExecGoroutines)
+			if err != nil {
+				return fmt.Errorf("%s: %w", v.Name, err)
+			}
 		}
-		if err := checkFirings(compiled, res, frames); err != nil {
-			return fmt.Errorf("%s: %w", v.Name, err)
+		if backends["batch"] {
+			if err := checkFirings(compiled, res, frames); err != nil {
+				return fmt.Errorf("%s: %w", v.Name, err)
+			}
 		}
-		wres, err := checkBatch(compiled.Graph, c.Sources, want, runtime.ExecWorkers)
-		if err != nil {
-			return fmt.Errorf("%s: workers: %w", v.Name, err)
+		if backends["workers"] {
+			wres, err := checkBatch(compiled.Graph, c.Sources, want, runtime.ExecWorkers)
+			if err != nil {
+				return fmt.Errorf("%s: workers: %w", v.Name, err)
+			}
+			if err := checkFirings(compiled, wres, frames); err != nil {
+				return fmt.Errorf("%s: workers: %w", v.Name, err)
+			}
 		}
-		if err := checkFirings(compiled, wres, frames); err != nil {
-			return fmt.Errorf("%s: workers: %w", v.Name, err)
+		if backends["session"] {
+			if err := checkSession(compiled.Graph, c.Sources, want); err != nil {
+				return fmt.Errorf("%s: %w", v.Name, err)
+			}
 		}
-		if err := checkSession(compiled.Graph, c.Sources, want); err != nil {
-			return fmt.Errorf("%s: %w", v.Name, err)
+		if backends["sim"] {
+			if err := checkSim(compiled.Graph, v.Machine, frames, res); err != nil {
+				return fmt.Errorf("%s: %w", v.Name, err)
+			}
 		}
-		if err := checkSim(compiled.Graph, v.Machine, frames, res); err != nil {
-			return fmt.Errorf("%s: %w", v.Name, err)
+		if backends["cluster"] {
+			if err := checkCluster(compiled, c.Sources, want); err != nil {
+				return fmt.Errorf("%s: cluster: %w", v.Name, err)
+			}
 		}
 	}
 	return nil

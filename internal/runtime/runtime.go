@@ -439,8 +439,24 @@ func (c *runCtx) Recv(input string) (graph.Item, bool) {
 // automatically by the data inputs). With zero-copy enabled the chunks
 // are stride-aware views of img — zero allocations per item — so img
 // must stay immutable while the frame is in flight.
+//
+// emitFrame takes ownership of img when it is pooled (a frame decoded
+// off the cluster wire, for instance): each emitted view carries its
+// own reference to the shared backing — the chunk count minus one
+// retained here plus the caller's original — so the standard
+// release-after-consume protocol returns the storage to the arena
+// exactly when the last chunk has been consumed. In copy mode the
+// chunks are independent, and the caller's reference is released once
+// the frame has been chunked.
 func (ex *executor) emitFrame(out *graph.Port, fw, fh, cw, ch int, img frame.Window, f int64) {
 	zero := frame.ZeroCopy()
+	if zero {
+		if chunks := (fh / ch) * (fw / cw); chunks > 1 {
+			img.Retain(chunks - 1)
+		}
+	} else {
+		defer img.Release()
+	}
 	row := f * int64(fh/ch)
 	for y := 0; y+ch <= fh; y += ch {
 		for x := 0; x+cw <= fw; x += cw {

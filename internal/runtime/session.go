@@ -103,6 +103,11 @@ func NewSession(g *graph.Graph, opts SessionOptions) (*Session, error) {
 // back to the session Sources (then frame.Gradient) for absent inputs.
 // It returns the frame's index. Feed blocks while the pipeline is full;
 // use TryFeed for the non-blocking backpressure variant.
+//
+// Feed takes ownership of pooled input windows (the cluster transport
+// feeds arena-decoded frames): the pipeline releases their storage
+// once every chunk has been consumed. Fed windows must stay immutable
+// while their frame is in flight.
 func (s *Session) Feed(inputs map[string]frame.Window) (int64, error) {
 	return s.feed(inputs, true)
 }

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"errors"
+	"time"
+
+	"blockpar/internal/frame"
+	"blockpar/internal/runtime"
+)
+
+// ErrUnavailable tags backend placement failures that are capacity
+// problems, not bugs — the HTTP layer maps them to 503 so clients
+// retry elsewhere instead of treating them as server errors.
+var ErrUnavailable = errors.New("serve: no execution capacity available")
+
+// SessionHandle is the server's view of one streaming execution
+// instance, wherever it runs. *runtime.Session satisfies it directly
+// (in-process execution); the cluster dispatcher returns handles that
+// proxy the same operations to a remote worker over the wire protocol.
+//
+// Windows returned by Collect follow the frame ownership protocol: the
+// caller owns one reference per window and must Release each (a no-op
+// for unpooled storage, which is what in-process sessions return).
+type SessionHandle interface {
+	// TryFeed enqueues one frame without blocking; runtime.ErrQueueFull
+	// signals backpressure and runtime.ErrBadFrame caller mistakes.
+	TryFeed(inputs map[string]frame.Window) (int64, error)
+	// Collect blocks for the next completed frame, bounded by timeout.
+	Collect(timeout time.Duration) (*runtime.StreamResult, error)
+	// Fed, Completed, and InFlight report the session's frame counters.
+	Fed() int64
+	Completed() int64
+	InFlight() int64
+	// Close drains in-flight frames and tears the session down.
+	Close() error
+}
+
+// Backend decides where sessions execute. The default runs them
+// in-process; the cluster dispatcher places them on remote workers.
+type Backend interface {
+	// Open starts a session for the pipeline with the given bounded
+	// frame queue. Capacity failures are tagged ErrUnavailable.
+	Open(p *Pipeline, maxInFlight int) (SessionHandle, error)
+}
+
+// StatsReporter is implemented by backends with their own gauges (the
+// cluster dispatcher); /metrics inlines the report when present.
+type StatsReporter interface {
+	BackendStats() any
+}
+
+// localBackend executes sessions in-process, preserving the original
+// single-binary behavior.
+type localBackend struct {
+	executor runtime.ExecutorKind
+	workers  int
+}
+
+func (b localBackend) Open(p *Pipeline, maxInFlight int) (SessionHandle, error) {
+	return p.NewSession(runtime.SessionOptions{
+		MaxInFlight: maxInFlight,
+		Executor:    b.executor,
+		Workers:     b.workers,
+	})
+}
+
+// releaseOutputs ends the caller's reference on every collected window
+// once it has been encoded onto the response. In-process results are
+// unpooled slab copies (no-op); cluster results are arena windows that
+// return to the pool here.
+func releaseOutputs(outs map[string][]frame.Window) {
+	for _, ws := range outs {
+		for _, w := range ws {
+			w.Release()
+		}
+	}
+}
+
+var _ SessionHandle = (*runtime.Session)(nil)

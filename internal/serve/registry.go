@@ -42,6 +42,10 @@ type Pipeline struct {
 	analysis *analysis.Result
 	sources  map[string]frame.Generator
 	mach     machine.Machine
+	// raw is the original JSON descriptor for Source == "json"; the
+	// cluster dispatcher forwards it so workers can compile the same
+	// pipeline themselves.
+	raw []byte
 
 	// Analysis-derived summary, computed at compile time.
 	Nodes        int
@@ -65,6 +69,10 @@ func (p *Pipeline) Graph() *graph.Graph { return p.graph }
 
 // Sources returns the pipeline's default input generators.
 func (p *Pipeline) Sources() map[string]frame.Generator { return p.sources }
+
+// Descriptor returns the original JSON description for pipelines
+// registered via AddJSON, nil otherwise.
+func (p *Pipeline) Descriptor() []byte { return p.raw }
 
 // Registry is the server's compile cache: pipeline ID → compiled
 // template. Registration compiles; lookups are cheap.
@@ -151,7 +159,39 @@ func (r *Registry) AddJSON(data []byte) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	return r.AddApp(g.Name, "json", &apps.App{Name: g.Name, Graph: g})
+	p, err := r.AddApp(g.Name, "json", &apps.App{Name: g.Name, Graph: g})
+	if err != nil {
+		return nil, err
+	}
+	p.raw = append([]byte(nil), data...)
+	return p, nil
+}
+
+// AddCompiled registers an already-compiled graph as a pipeline,
+// bypassing compilation. The conformance cluster backend uses it to
+// serve the exact compiled variant under test; the graph is treated as
+// a template and cloned per session like every other pipeline.
+func (r *Registry) AddCompiled(id, name string, c *core.Compiled, sources map[string]frame.Generator) (*Pipeline, error) {
+	if id == "" {
+		return nil, fmt.Errorf("serve: pipeline needs an id")
+	}
+	p := &Pipeline{
+		ID:       id,
+		Name:     name,
+		Source:   "compiled",
+		graph:    c.Graph,
+		analysis: c.Analysis,
+		sources:  sources,
+		mach:     r.mach,
+		Nodes:    len(c.Graph.Nodes()),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byID[id]; dup {
+		return nil, fmt.Errorf("serve: pipeline %q already registered", id)
+	}
+	r.byID[id] = p
+	return p, nil
 }
 
 // Get returns the pipeline registered under id.

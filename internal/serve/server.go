@@ -32,6 +32,10 @@ type Options struct {
 	// the worker-pool engine when ExecWorkers is selected.
 	Executor runtime.ExecutorKind
 	Workers  int
+	// Backend decides where sessions execute: nil runs them in-process
+	// with the Executor/Workers settings above; a cluster dispatcher
+	// places them on remote bpworker processes.
+	Backend Backend
 }
 
 func (o Options) withDefaults() Options {
@@ -53,6 +57,7 @@ func (o Options) withDefaults() Options {
 type Server struct {
 	reg     *Registry
 	opts    Options
+	backend Backend
 	metrics *metrics
 	mux     *http.ServeMux
 	started time.Time
@@ -72,6 +77,10 @@ func NewServer(reg *Registry, opts Options) *Server {
 		mux:      http.NewServeMux(),
 		started:  time.Now(),
 		sessions: make(map[string]*session),
+	}
+	s.backend = s.opts.Backend
+	if s.backend == nil {
+		s.backend = localBackend{executor: s.opts.Executor, workers: s.opts.Workers}
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /pipelines", s.handlePipelines)
@@ -250,7 +259,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	pool := frame.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	payload := map[string]any{
 		"uptime_s":        time.Since(s.started).Seconds(),
 		"frames_in":       s.metrics.framesIn.Load(),
 		"frames_out":      s.metrics.framesOut.Load(),
@@ -269,7 +278,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"buffers_live": pool.Live,
 			"pooled_bytes": pool.PooledBytes,
 		},
-	})
+	}
+	if sr, ok := s.backend.(StatsReporter); ok {
+		payload["cluster"] = sr.BackendStats()
+	}
+	writeJSON(w, http.StatusOK, payload)
 }
 
 func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
@@ -310,15 +323,17 @@ func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
 	s.sessions[id] = nil
 	s.mu.Unlock()
 
-	rt, err := p.NewSession(runtime.SessionOptions{
-		MaxInFlight: maxInFlight,
-		Executor:    s.opts.Executor,
-		Workers:     s.opts.Workers,
-	})
+	rt, err := s.backend.Open(p, maxInFlight)
 	if err != nil {
 		s.mu.Lock()
 		delete(s.sessions, id)
 		s.mu.Unlock()
+		if errors.Is(err, ErrUnavailable) {
+			s.metrics.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
 		writeErr(w, http.StatusInternalServerError, err.Error())
 		return
 	}
@@ -476,6 +491,7 @@ func (s *Server) collectAndReply(w http.ResponseWriter, r *http.Request, sess *s
 		"latency_ms": float64(lat) / float64(time.Millisecond),
 		"outputs":    encodeOutputs(res.Outputs),
 	})
+	releaseOutputs(res.Outputs)
 }
 
 // feedError maps a runtime feed failure onto an HTTP status: queue

@@ -10,12 +10,12 @@ import (
 )
 
 // session is one client's streaming connection to a pipeline: a
-// resident runtime execution instance plus the bookkeeping the server
-// needs for metrics and draining.
+// resident execution instance (in-process or on a cluster worker)
+// plus the bookkeeping the server needs for metrics and draining.
 type session struct {
 	id          string
 	pipeline    *Pipeline
-	rt          *runtime.Session
+	rt          SessionHandle
 	maxInFlight int
 	created     time.Time
 

@@ -1,0 +1,134 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn frames messages over a byte stream. Reads must stay on one
+// goroutine; writes are serialized internally, so any number of
+// goroutines may send. The encode scratch buffer is reused across
+// writes, so a steady-state connection allocates only for decoded
+// windows (which come from the frame arena).
+type Conn struct {
+	c  net.Conn
+	br *bufio.Reader
+
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+	wbuf []byte
+	werr error
+}
+
+// NewConn wraps an established connection.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{
+		c:  c,
+		br: bufio.NewReaderSize(c, 1<<16),
+		bw: bufio.NewWriterSize(c, 1<<16),
+	}
+}
+
+// Write encodes and flushes one frame. After the first write error the
+// connection is poisoned and every subsequent Write fails fast.
+func (c *Conn) Write(m Msg) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.werr != nil {
+		return c.werr
+	}
+	c.wbuf = Append(c.wbuf[:0], m)
+	if len(c.wbuf) > MaxFrame {
+		return fmt.Errorf("wire: outgoing %s frame of %d bytes exceeds MaxFrame", m.Type(), len(c.wbuf))
+	}
+	if _, err := c.bw.Write(c.wbuf); err != nil {
+		c.werr = err
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.werr = err
+		return err
+	}
+	return nil
+}
+
+// Read blocks for the next frame and decodes it. An oversized or
+// undecodable frame returns an ErrCorrupt-tagged error; the caller
+// should close the connection, since framing is lost.
+func (c *Conn) Read() (Msg, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 1 || n > MaxFrame {
+		return nil, corruptf("frame length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(c.br, body); err != nil {
+		return nil, fmt.Errorf("wire: short frame body: %w", err)
+	}
+	return Decode(MsgType(body[0]), body[1:])
+}
+
+// SetReadDeadline bounds the next Read.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.c.SetReadDeadline(t) }
+
+// Close closes the underlying connection; a blocked Read unblocks with
+// an error.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// RemoteAddr names the peer, for diagnostics.
+func (c *Conn) RemoteAddr() string {
+	if a := c.c.RemoteAddr(); a != nil {
+		return a.String()
+	}
+	return "?"
+}
+
+// Handshake runs the client side: send Hello, require a matching
+// Welcome.
+func (c *Conn) Handshake() (*Welcome, error) {
+	if err := c.Write(&Hello{Version: Version}); err != nil {
+		return nil, fmt.Errorf("wire: handshake send: %w", err)
+	}
+	m, err := c.Read()
+	if err != nil {
+		return nil, fmt.Errorf("wire: handshake read: %w", err)
+	}
+	switch w := m.(type) {
+	case *Welcome:
+		if w.Version != Version {
+			return nil, fmt.Errorf("wire: peer speaks version %d, want %d", w.Version, Version)
+		}
+		return w, nil
+	case *Error:
+		return nil, fmt.Errorf("wire: handshake refused: %s", w.Msg)
+	default:
+		return nil, corruptf("handshake answered with %s", m.Type())
+	}
+}
+
+// AcceptHandshake runs the server side: require a version-matched
+// Hello, then answer with a Welcome naming the worker and its
+// pipelines.
+func (c *Conn) AcceptHandshake(worker string, pipelines []string) error {
+	m, err := c.Read()
+	if err != nil {
+		return fmt.Errorf("wire: handshake read: %w", err)
+	}
+	h, ok := m.(*Hello)
+	if !ok {
+		return corruptf("connection opened with %s, want hello", m.Type())
+	}
+	if h.Version != Version {
+		c.Write(&Error{Msg: fmt.Sprintf("protocol version %d unsupported, want %d", h.Version, Version)})
+		return fmt.Errorf("wire: peer speaks version %d, want %d", h.Version, Version)
+	}
+	return c.Write(&Welcome{Version: Version, Worker: worker, Pipelines: pipelines})
+}

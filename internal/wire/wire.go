@@ -1,0 +1,325 @@
+// Package wire is the versioned binary codec of the distributed
+// execution plane: it moves windows and control tokens between a
+// bpserve frontend and bpworker processes as length-prefixed frames
+// over any byte stream (TCP in production, loopback listeners and
+// net.Pipe in tests).
+//
+// Design rules, in order:
+//
+//   - Never trust the peer. Every decode operates on a bounded byte
+//     slice with explicit range checks and returns an error — a
+//     truncated, corrupt, or hostile frame must never panic or
+//     allocate an attacker-chosen amount of memory (FuzzWire enforces
+//     this).
+//   - Never copy a window twice. Encoding appends samples row by row
+//     straight out of the (possibly strided, possibly pooled)
+//     frame.Window into the connection's write buffer; there is no
+//     intermediate dense copy. Decoding allocates from the frame
+//     arena, so a received window is pooled storage the receiver owns
+//     one reference to, under the standard retain/release contract.
+//   - Version explicitly. The handshake carries a magic and a protocol
+//     version; everything after it is frames of [u32 length | u8 type
+//     | payload] with all integers big-endian and float64 samples as
+//     IEEE-754 bits.
+//
+// See docs/cluster.md for the full frame catalogue and the control
+// flow between frontend and worker.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"blockpar/internal/frame"
+	"blockpar/internal/token"
+)
+
+// Magic opens the Hello frame: "BPW" plus the wire format generation.
+const Magic uint32 = 0x42505701 // "BPW\x01"
+
+// Version is the protocol version spoken by this build. A peer with a
+// different version is rejected at handshake.
+const Version uint16 = 1
+
+// MaxFrame bounds a single frame's encoded size; a length prefix past
+// it is treated as corruption and kills the connection before any
+// allocation happens.
+const MaxFrame = 1 << 28 // 256 MiB
+
+// maxDim bounds a decoded window's width and height, and maxSamples
+// the total sample count, independent of the frame length check.
+const (
+	maxDim     = 1 << 20
+	maxSamples = 1 << 25 // 32M samples = 256 MiB of float64
+)
+
+// maxStr bounds any decoded string or byte blob.
+const maxStr = 1 << 20
+
+// ErrCorrupt tags every decode failure, so transports can distinguish
+// protocol corruption from I/O errors.
+var ErrCorrupt = errors.New("wire: corrupt frame")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// ---- primitive append helpers ----
+
+func appendU16(b []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+func appendI64(b []byte, v int64) []byte  { return binary.BigEndian.AppendUint64(b, uint64(v)) }
+
+func appendStr(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func appendBytes(b []byte, p []byte) []byte {
+	b = appendU32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+// reader walks a payload with sticky-error bounds checking: after the
+// first short read every subsequent accessor returns zero values and
+// the error survives to the final check.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = corruptf("truncated %s at offset %d/%d", what, r.off, len(r.b))
+	}
+}
+
+func (r *reader) take(n int, what string) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.b) {
+		r.fail(what)
+		return nil
+	}
+	p := r.b[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+func (r *reader) u8(what string) uint8 {
+	p := r.take(1, what)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (r *reader) u16(what string) uint16 {
+	p := r.take(2, what)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(p)
+}
+
+func (r *reader) u32(what string) uint32 {
+	p := r.take(4, what)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(p)
+}
+
+func (r *reader) u64(what string) uint64 {
+	p := r.take(8, what)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(p)
+}
+
+func (r *reader) i64(what string) int64 { return int64(r.u64(what)) }
+
+func (r *reader) str(what string) string {
+	n := r.u32(what)
+	if r.err == nil && n > maxStr {
+		r.err = corruptf("%s length %d exceeds limit %d", what, n, maxStr)
+		return ""
+	}
+	return string(r.take(int(n), what))
+}
+
+func (r *reader) bytes(what string) []byte {
+	n := r.u32(what)
+	if r.err == nil && n > maxStr {
+		r.err = corruptf("%s length %d exceeds limit %d", what, n, maxStr)
+		return nil
+	}
+	p := r.take(int(n), what)
+	if p == nil {
+		return nil
+	}
+	out := make([]byte, len(p))
+	copy(out, p)
+	return out
+}
+
+// finish asserts the payload was consumed exactly.
+func (r *reader) finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return corruptf("%d trailing bytes", len(r.b)-r.off)
+	}
+	return nil
+}
+
+// ---- window and token codec ----
+
+// AppendWindow appends a window's wire form: u32 W, u32 H, then W*H
+// float64 samples in row-major scan order. The samples are written
+// directly from the window's storage honoring its stride — a pooled or
+// strided view is encoded without an intermediate dense copy.
+func AppendWindow(b []byte, w frame.Window) []byte {
+	b = appendU32(b, uint32(w.W))
+	b = appendU32(b, uint32(w.H))
+	for y := 0; y < w.H; y++ {
+		for _, v := range w.Row(y) {
+			b = appendU64(b, math.Float64bits(v))
+		}
+	}
+	return b
+}
+
+// decodeWindow reads one window, allocating its storage from the frame
+// arena: the caller owns one reference and must Release it (or hand it
+// to a consumer that will) per the pool contract.
+func decodeWindow(r *reader) frame.Window {
+	w := int(r.u32("window width"))
+	h := int(r.u32("window height"))
+	if r.err != nil {
+		return frame.Window{}
+	}
+	if w < 0 || h < 0 || w > maxDim || h > maxDim || (h > 0 && w > maxSamples/h) {
+		r.err = corruptf("window size %dx%d out of range", w, h)
+		return frame.Window{}
+	}
+	// Bound before allocating: the remaining payload must actually
+	// carry W*H samples.
+	if need := w * h * 8; r.off+need > len(r.b) {
+		r.fail("window samples")
+		return frame.Window{}
+	}
+	win := frame.Alloc(w, h)
+	for i := range win.Pix {
+		win.Pix[i] = math.Float64frombits(r.u64("window sample"))
+	}
+	return win
+}
+
+// DecodeWindow decodes a standalone window payload (fuzz and test
+// entry point; messages embed windows via the same routine).
+func DecodeWindow(b []byte) (frame.Window, error) {
+	r := &reader{b: b}
+	w := decodeWindow(r)
+	if err := r.finish(); err != nil {
+		w.Release()
+		return frame.Window{}, err
+	}
+	return w, nil
+}
+
+// AppendToken appends a control token: u8 kind, i64 seq, name string.
+func AppendToken(b []byte, t token.Token) []byte {
+	b = append(b, byte(t.Kind))
+	b = appendI64(b, t.Seq)
+	return appendStr(b, t.Name)
+}
+
+func decodeToken(r *reader) token.Token {
+	k := token.Kind(r.u8("token kind"))
+	seq := r.i64("token seq")
+	name := r.str("token name")
+	if r.err != nil {
+		return token.Token{}
+	}
+	if k < token.None || k > token.Custom {
+		r.err = corruptf("unknown token kind %d", k)
+		return token.Token{}
+	}
+	if k != token.Custom && name != "" {
+		r.err = corruptf("token kind %v carries a name", k)
+		return token.Token{}
+	}
+	return token.Token{Kind: k, Seq: seq, Name: name}
+}
+
+// DecodeToken decodes a standalone control-token payload.
+func DecodeToken(b []byte) (token.Token, error) {
+	r := &reader{b: b}
+	t := decodeToken(r)
+	if err := r.finish(); err != nil {
+		return token.Token{}, err
+	}
+	return t, nil
+}
+
+// Item is the wire form of one in-band channel item: a data window or
+// a control token, mirroring graph.Item. The session plane today moves
+// whole frames (Feed) and grouped results (Result); Item is the unit a
+// future cross-node channel split transports.
+type Item struct {
+	IsToken bool
+	Win     frame.Window
+	Tok     token.Token
+}
+
+// AppendItem appends an item: u8 tag (0 data, 1 token) and the body.
+func AppendItem(b []byte, it Item) []byte {
+	if it.IsToken {
+		b = append(b, 1)
+		return AppendToken(b, it.Tok)
+	}
+	b = append(b, 0)
+	return AppendWindow(b, it.Win)
+}
+
+// DecodeItem decodes a standalone item payload. Data windows come from
+// the frame arena; the caller owns one reference.
+func DecodeItem(b []byte) (Item, error) {
+	r := &reader{b: b}
+	it := decodeItem(r)
+	if err := r.finish(); err != nil {
+		if !it.IsToken {
+			it.Win.Release()
+		}
+		return Item{}, err
+	}
+	return it, nil
+}
+
+func decodeItem(r *reader) Item {
+	switch tag := r.u8("item tag"); tag {
+	case 0:
+		return Item{Win: decodeWindow(r)}
+	case 1:
+		return Item{IsToken: true, Tok: decodeToken(r)}
+	default:
+		r.err = corruptf("unknown item tag %d", tag)
+		return Item{}
+	}
+}
+
+// releaseWindows returns decoded windows to the arena on a failed
+// decode, so corrupt frames cannot leak pool references.
+func releaseWindows(ws []NamedWindow) {
+	for _, nw := range ws {
+		nw.Win.Release()
+	}
+}

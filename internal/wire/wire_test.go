@@ -1,0 +1,252 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"reflect"
+	"testing"
+
+	"blockpar/internal/frame"
+	"blockpar/internal/token"
+)
+
+func TestWindowRoundTrip(t *testing.T) {
+	cases := []frame.Window{
+		{},
+		frame.Scalar(3.25),
+		frame.FromRows([][]float64{{1, 2, 3}, {4, 5, 6}}),
+		frame.NewWindow(7, 1),
+	}
+	// A strided view must encode identically to its dense copy.
+	parent := frame.FromRows([][]float64{
+		{0, 1, 2, 3},
+		{4, 5, 6, 7},
+		{8, 9, 10, 11},
+	})
+	cases = append(cases, parent.View(1, 1, 2, 2))
+
+	for _, w := range cases {
+		b := AppendWindow(nil, w)
+		got, err := DecodeWindow(b)
+		if err != nil {
+			t.Fatalf("decode %v: %v", w, err)
+		}
+		if !got.Equal(w) {
+			t.Errorf("round trip of %v changed samples", w)
+		}
+		if w.W*w.H > 0 && !got.Pooled() {
+			t.Errorf("decoded %v is not arena-backed", w)
+		}
+		got.Release()
+	}
+}
+
+func TestWindowDecodeRejectsCorruption(t *testing.T) {
+	good := AppendWindow(nil, frame.FromRows([][]float64{{1, 2}, {3, 4}}))
+	cases := map[string][]byte{
+		"empty":          {},
+		"truncated dims": good[:6],
+		"truncated pix":  good[:len(good)-3],
+		"trailing":       append(append([]byte{}, good...), 0),
+		"huge dims":      {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+	}
+	for name, b := range cases {
+		if _, err := DecodeWindow(b); err == nil {
+			t.Errorf("%s: decode accepted corrupt window", name)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: error %v is not tagged ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestTokenRoundTrip(t *testing.T) {
+	for _, tok := range []token.Token{
+		token.EOL(3),
+		token.EOF(0),
+		token.NewCustom("sync", 17),
+		{Kind: token.None, Seq: -1},
+	} {
+		got, err := DecodeToken(AppendToken(nil, tok))
+		if err != nil {
+			t.Fatalf("decode %v: %v", tok, err)
+		}
+		if got != tok {
+			t.Errorf("round trip changed %v into %v", tok, got)
+		}
+	}
+	if _, err := DecodeToken([]byte{99, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("decode accepted an unknown token kind")
+	}
+}
+
+func TestItemRoundTrip(t *testing.T) {
+	items := []Item{
+		{Win: frame.Scalar(1.5)},
+		{IsToken: true, Tok: token.EOF(2)},
+	}
+	for _, it := range items {
+		got, err := DecodeItem(AppendItem(nil, it))
+		if err != nil {
+			t.Fatalf("decode item: %v", err)
+		}
+		if got.IsToken != it.IsToken {
+			t.Fatalf("item tag flipped")
+		}
+		if it.IsToken {
+			if got.Tok != it.Tok {
+				t.Errorf("token changed: %v -> %v", it.Tok, got.Tok)
+			}
+		} else {
+			if !got.Win.Equal(it.Win) {
+				t.Errorf("window changed")
+			}
+			got.Win.Release()
+		}
+	}
+}
+
+// sampleMsgs is one instance of every frame type, shared by the
+// round-trip test and the fuzz corpus.
+func sampleMsgs() []Msg {
+	return []Msg{
+		&Hello{Version: Version},
+		&Welcome{Version: Version, Worker: "w0", Pipelines: []string{"1", "edges"}},
+		&EnsurePipeline{ID: "edges", Source: "json", Desc: []byte(`{"name":"edges"}`)},
+		&PipelineReady{ID: "edges"},
+		&PipelineReady{ID: "bad", Err: "compile failed"},
+		&OpenSession{SID: 7, Pipeline: "1", MaxInFlight: 8},
+		&SessionOpened{SID: 7},
+		&Feed{SID: 7, Seq: 3, Inputs: []NamedWindow{
+			{Name: "in", Win: frame.FromRows([][]float64{{1, 2}, {3, 4}})},
+		}},
+		&Result{SID: 7, Seq: 3, Outputs: []NamedWindows{
+			{Name: "out", Wins: []frame.Window{frame.Scalar(9), frame.Scalar(-1)}},
+			{Name: "hist", Wins: nil},
+		}},
+		&Credit{SID: 7, N: 1},
+		&CloseSession{SID: 7},
+		&SessionClosed{SID: 7, Completed: 4},
+		&Error{SID: 7, Msg: "kernel panic"},
+		&Ping{Nonce: 99},
+		&Pong{Nonce: 99},
+		&Goaway{Reason: "draining"},
+	}
+}
+
+func releaseMsg(m Msg) {
+	switch m := m.(type) {
+	case *Feed:
+		releaseWindows(m.Inputs)
+	case *Result:
+		for _, out := range m.Outputs {
+			for _, w := range out.Wins {
+				w.Release()
+			}
+		}
+	}
+}
+
+func TestMsgRoundTrip(t *testing.T) {
+	for _, m := range sampleMsgs() {
+		b := Append(nil, m)
+		// Re-decode through the frame layer: length, type, payload.
+		got, err := Decode(MsgType(b[4]), b[5:])
+		if err != nil {
+			t.Fatalf("%s: decode: %v", m.Type(), err)
+		}
+		if !msgEqual(m, got) {
+			t.Errorf("%s: round trip changed message:\n  sent %#v\n  got  %#v", m.Type(), m, got)
+		}
+		releaseMsg(got)
+	}
+}
+
+// msgEqual compares messages, treating windows by value.
+func msgEqual(a, b Msg) bool {
+	if a.Type() != b.Type() {
+		return false
+	}
+	switch a := a.(type) {
+	case *Feed:
+		bf := b.(*Feed)
+		if a.SID != bf.SID || a.Seq != bf.Seq || len(a.Inputs) != len(bf.Inputs) {
+			return false
+		}
+		for i := range a.Inputs {
+			if a.Inputs[i].Name != bf.Inputs[i].Name || !a.Inputs[i].Win.Equal(bf.Inputs[i].Win) {
+				return false
+			}
+		}
+		return true
+	case *Result:
+		br := b.(*Result)
+		if a.SID != br.SID || a.Seq != br.Seq || len(a.Outputs) != len(br.Outputs) {
+			return false
+		}
+		for i := range a.Outputs {
+			if a.Outputs[i].Name != br.Outputs[i].Name || len(a.Outputs[i].Wins) != len(br.Outputs[i].Wins) {
+				return false
+			}
+			for j := range a.Outputs[i].Wins {
+				if !a.Outputs[i].Wins[j].Equal(br.Outputs[i].Wins[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	default:
+		return reflect.DeepEqual(a, b)
+	}
+}
+
+func TestConnFraming(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+
+	go func() {
+		for _, m := range sampleMsgs() {
+			if err := ca.Write(m); err != nil {
+				t.Errorf("write %s: %v", m.Type(), err)
+				return
+			}
+		}
+	}()
+	for _, want := range sampleMsgs() {
+		got, err := cb.Read()
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if !msgEqual(want, got) {
+			t.Fatalf("conn delivered %s differently", want.Type())
+		}
+		releaseMsg(got)
+	}
+}
+
+func TestHandshake(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+
+	errc := make(chan error, 1)
+	go func() { errc <- cb.AcceptHandshake("w0", []string{"1", "2"}) }()
+	w, err := ca.Handshake()
+	if err != nil {
+		t.Fatalf("client handshake: %v", err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("server handshake: %v", err)
+	}
+	if w.Worker != "w0" || len(w.Pipelines) != 2 {
+		t.Fatalf("welcome carried %+v", w)
+	}
+}
+
+func TestDecodeUnknownType(t *testing.T) {
+	if _, err := Decode(MsgType(200), nil); err == nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unknown type decoded: %v", err)
+	}
+}
