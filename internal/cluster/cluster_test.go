@@ -7,6 +7,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 	"blockpar/internal/runtime"
 	"blockpar/internal/serve"
 	"blockpar/internal/transform"
+	"blockpar/internal/wire"
 )
 
 // fastOpts shrinks every interval so reconnection, health checks, and
@@ -532,6 +534,235 @@ func TestClusterWorkerDrain(t *testing.T) {
 		t.Errorf("feed after drain: got %v, want draining notice", err)
 	}
 	h.Close()
+}
+
+// TestClusterConcurrentFeeders hammers one session from several
+// goroutines, the access pattern serve's /frames handler produces. The
+// session's send lock must keep Feed frames in Seq order on the wire —
+// the worker tears the session down on any sequence gap — so every
+// frame must complete in order with no session failure.
+func TestClusterConcurrentFeeders(t *testing.T) {
+	reg := suiteRegistry(t, "5")
+	p, _ := reg.Get("5")
+	worker := NewWorker(reg, WorkerOptions{})
+	d, stop, err := Loopback(worker, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	const frames, feeders = 128, 8
+	h, err := d.Open(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var next atomic.Int64
+	errc := make(chan error, feeders)
+	var wg sync.WaitGroup
+	for i := 0; i < feeders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for next.Add(1) <= frames {
+				for {
+					if _, err := h.TryFeed(nil); err == nil {
+						break
+					} else if !errors.Is(err, runtime.ErrQueueFull) {
+						errc <- err
+						return
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}()
+	}
+	for f := int64(0); f < frames; f++ {
+		res, err := h.Collect(30 * time.Second)
+		if err != nil {
+			t.Fatalf("collect %d: %v", f, err)
+		}
+		if res.Seq != f {
+			t.Fatalf("collect %d returned frame %d", f, res.Seq)
+		}
+		for _, ws := range res.Outputs {
+			for _, w := range ws {
+				w.Release()
+			}
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Errorf("feeder: %v", err)
+	}
+	if err := h.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}
+
+// TestClusterFeedReleasesPooledInputs checks the cluster handle honors
+// the runtime Feed ownership contract: pooled input windows handed to a
+// successful TryFeed belong to the transport, which releases them once
+// their samples are encoded. Every arena reference the stream created
+// must return after the session closes.
+func TestClusterFeedReleasesPooledInputs(t *testing.T) {
+	reg := suiteRegistry(t, "5")
+	p, _ := reg.Get("5")
+	worker := NewWorker(reg, WorkerOptions{})
+	d, stop, err := Loopback(worker, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	in := p.Graph().Inputs()[0]
+	base := frame.Stats().Live
+	h, err := d.Open(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := int64(0); f < 2; f++ {
+		win := frame.Alloc(in.FrameSize.W, in.FrameSize.H)
+		if !win.Pooled() {
+			t.Skip("input shape outside the arena's bucket range")
+		}
+		if _, err := h.TryFeed(map[string]frame.Window{in.Name(): win}); err != nil {
+			t.Fatalf("feed %d: %v", f, err)
+		}
+		res, err := h.Collect(30 * time.Second)
+		if err != nil {
+			t.Fatalf("collect %d: %v", f, err)
+		}
+		for _, ws := range res.Outputs {
+			for _, w := range ws {
+				w.Release()
+			}
+		}
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitCondition(t, "arena references to return to baseline", func() bool {
+		return frame.Stats().Live <= base
+	})
+}
+
+// fakeWorker serves the wire protocol with scripted per-message
+// behavior, for failure modes the real Worker cannot produce on demand.
+// Pings are always answered so health checks stay green.
+func fakeWorker(t *testing.T, handle func(c *wire.Conn, m wire.Msg)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c := wire.NewConn(nc)
+			if err := c.AcceptHandshake("fake", nil); err != nil {
+				c.Close()
+				continue
+			}
+			go func() {
+				defer c.Close()
+				for {
+					m, err := c.Read()
+					if err != nil {
+						return
+					}
+					if p, ok := m.(*wire.Ping); ok {
+						c.Write(&wire.Pong{Nonce: p.Nonce})
+						continue
+					}
+					handle(c, m)
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestClusterEnsureRetryAfterTimeout: a worker that never answers the
+// first EnsurePipeline must not wedge later ensures of the same
+// pipeline — the timed-out waiter leaves the list, so the next open
+// sends a fresh request instead of waiting behind the dead one.
+func TestClusterEnsureRetryAfterTimeout(t *testing.T) {
+	reg := suiteRegistry(t, "5")
+	p, _ := reg.Get("5")
+	var ensures atomic.Int64
+	addr := fakeWorker(t, func(c *wire.Conn, m wire.Msg) {
+		switch m := m.(type) {
+		case *wire.EnsurePipeline:
+			if ensures.Add(1) == 1 {
+				return // swallow the first request
+			}
+			c.Write(&wire.PipelineReady{ID: m.ID})
+		case *wire.OpenSession:
+			c.Write(&wire.SessionOpened{SID: m.SID})
+		case *wire.CloseSession:
+			c.Write(&wire.SessionClosed{SID: m.SID})
+		}
+	})
+	opts := fastOpts()
+	opts.OpenTimeout = 200 * time.Millisecond
+	d := NewDispatcher([]string{addr}, opts)
+	defer d.Close()
+	if err := d.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Open(p, 1); err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("open with swallowed ensure: got %v, want ensure timeout", err)
+	}
+	h, err := d.Open(p, 1)
+	if err != nil {
+		t.Fatalf("open after ensure timeout: %v", err)
+	}
+	if n := ensures.Load(); n != 2 {
+		t.Errorf("worker saw %d ensure requests, want 2", n)
+	}
+	if err := h.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}
+
+// TestClusterUnsolicitedCloseDuringOpen: a SessionClosed racing right
+// behind the SessionOpened reply must still reach the session — it is
+// registered before OpenSession hits the wire — so Close surfaces the
+// worker's failure immediately instead of burning the full CloseTimeout.
+func TestClusterUnsolicitedCloseDuringOpen(t *testing.T) {
+	reg := suiteRegistry(t, "5")
+	p, _ := reg.Get("5")
+	addr := fakeWorker(t, func(c *wire.Conn, m wire.Msg) {
+		switch m := m.(type) {
+		case *wire.EnsurePipeline:
+			c.Write(&wire.PipelineReady{ID: m.ID})
+		case *wire.OpenSession:
+			c.Write(&wire.SessionOpened{SID: m.SID})
+			c.Write(&wire.SessionClosed{SID: m.SID, Err: "synthetic immediate failure"})
+		}
+	})
+	d := NewDispatcher([]string{addr}, fastOpts())
+	defer d.Close()
+	if err := d.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	h, err := d.Open(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err = h.Close()
+	if err == nil || !strings.Contains(err.Error(), "synthetic immediate failure") {
+		t.Fatalf("close after unsolicited SessionClosed: got %v, want the worker's failure", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("close took %v; the unsolicited SessionClosed was dropped", elapsed)
+	}
 }
 
 // TestDispatcherUnavailable checks placement failure maps to

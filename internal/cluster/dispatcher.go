@@ -535,32 +535,6 @@ func (w *workerRef) open(p *serve.Pipeline, maxInFlight int) (*remoteSession, er
 
 	sid := w.d.nextSID.Add(1)
 	reply := make(chan *wire.SessionOpened, 1)
-	w.mu.Lock()
-	if w.conn != conn {
-		w.mu.Unlock()
-		return nil, fmt.Errorf("cluster: worker %s reconnected during open", w.addr)
-	}
-	w.pending[sid] = reply
-	w.mu.Unlock()
-
-	if err := conn.Write(&wire.OpenSession{SID: sid, Pipeline: p.ID, MaxInFlight: uint32(maxInFlight)}); err != nil {
-		w.dropPending(sid)
-		conn.Close()
-		return nil, fmt.Errorf("cluster: open on %s: %w", w.addr, err)
-	}
-	select {
-	case m, ok := <-reply:
-		if !ok {
-			return nil, fmt.Errorf("cluster: worker %s lost during open", w.addr)
-		}
-		if m.Err != "" {
-			return nil, fmt.Errorf("cluster: worker %s refused session: %s", w.addr, m.Err)
-		}
-	case <-time.After(w.d.opts.OpenTimeout):
-		w.dropPending(sid)
-		return nil, fmt.Errorf("cluster: open on %s timed out after %v", w.addr, w.d.opts.OpenTimeout)
-	}
-
 	rs := &remoteSession{
 		w:           w,
 		p:           p,
@@ -571,20 +545,59 @@ func (w *workerRef) open(p *serve.Pipeline, maxInFlight int) (*remoteSession, er
 		results:     make(chan *runtime.StreamResult, maxInFlight+1),
 		done:        make(chan struct{}),
 	}
+	// Register the session before OpenSession hits the wire: any event
+	// naming this sid afterwards — an unsolicited SessionClosed, a
+	// Goaway drain — finds it in w.sessions instead of landing in an
+	// unregistered gap where it would be silently dropped (leaving the
+	// session to hang until CloseTimeout and the worker's drain to
+	// block until its context expires).
 	w.mu.Lock()
 	if w.conn != conn {
 		w.mu.Unlock()
 		return nil, fmt.Errorf("cluster: worker %s reconnected during open", w.addr)
 	}
+	w.pending[sid] = reply
 	w.sessions[sid] = rs
 	w.mu.Unlock()
+
+	if err := conn.Write(&wire.OpenSession{SID: sid, Pipeline: p.ID, MaxInFlight: uint32(maxInFlight)}); err != nil {
+		w.unregister(conn, sid)
+		conn.Close()
+		return nil, fmt.Errorf("cluster: open on %s: %w", w.addr, err)
+	}
+	select {
+	case m, ok := <-reply:
+		if !ok {
+			return nil, fmt.Errorf("cluster: worker %s lost during open", w.addr)
+		}
+		if m.Err != "" {
+			w.unregister(conn, sid)
+			return nil, fmt.Errorf("cluster: worker %s refused session: %s", w.addr, m.Err)
+		}
+	case <-time.After(w.d.opts.OpenTimeout):
+		w.unregister(conn, sid)
+		return nil, fmt.Errorf("cluster: open on %s timed out after %v", w.addr, w.d.opts.OpenTimeout)
+	}
 	return rs, nil
 }
 
-func (w *workerRef) dropPending(sid uint64) {
+// unregister drops a failed open's session and pending entries. When
+// that leaves a draining connection fully idle it hangs the connection
+// up here: the read loop's drained-hangup check only runs on frame
+// arrival, and no further frame may ever come.
+func (w *workerRef) unregister(conn *wire.Conn, sid uint64) {
 	w.mu.Lock()
+	if w.conn != conn {
+		w.mu.Unlock()
+		return
+	}
 	delete(w.pending, sid)
+	delete(w.sessions, sid)
+	hangup := w.draining && len(w.sessions) == 0 && len(w.pending) == 0 && len(w.ensure) == 0
 	w.mu.Unlock()
+	if hangup {
+		conn.Close()
+	}
 }
 
 // ensurePipeline asks the worker to register p, shipping the JSON
@@ -618,7 +631,29 @@ func (w *workerRef) ensurePipeline(conn *wire.Conn, p *serve.Pipeline) error {
 		}
 		return nil
 	case <-time.After(w.d.opts.OpenTimeout):
+		w.abandonEnsure(p.ID, reply)
 		return fmt.Errorf("cluster: ensure %q on %s timed out", p.ID, w.addr)
+	}
+}
+
+// abandonEnsure removes a timed-out waiter from the ensure list so one
+// unanswered EnsurePipeline cannot wedge every later ensure of the same
+// pipeline: once the list drains back to empty, the next caller sends a
+// fresh EnsurePipeline frame instead of waiting on the dead request.
+func (w *workerRef) abandonEnsure(id string, ch chan *wire.PipelineReady) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	chs := w.ensure[id]
+	for i, c := range chs {
+		if c == ch {
+			chs = append(chs[:i], chs[i+1:]...)
+			break
+		}
+	}
+	if len(chs) == 0 {
+		delete(w.ensure, id)
+	} else {
+		w.ensure[id] = chs
 	}
 }
 
@@ -666,6 +701,13 @@ type remoteSession struct {
 	sid         uint64
 	epoch       uint64
 	maxInFlight int
+
+	// sendMu orders this session's frames on the wire: TryFeed holds it
+	// from seq assignment through the connection write, so concurrent
+	// feeders cannot interleave Seq order (the worker tears the session
+	// down on any gap), and a CloseSession always follows the last
+	// accepted feed.
+	sendMu sync.Mutex
 
 	mu        sync.Mutex
 	credits   int
@@ -777,15 +819,20 @@ func (rs *remoteSession) creditsOut() int {
 // TryFeed validates the frame locally (same checks and error values as
 // runtime.Session), spends a credit, and ships it. Zero credits means
 // the worker still owes maxInFlight results: ErrQueueFull, exactly the
-// local backpressure signal.
+// local backpressure signal. Ownership matches the local runtime's
+// Feed: on success the transport owns the pooled inputs (the write
+// buffered their samples, so their references release here); on error
+// the caller retains them.
 func (rs *remoteSession) TryFeed(inputs map[string]frame.Window) (int64, error) {
 	if err := validateInputs(rs.p, inputs); err != nil {
 		return 0, err
 	}
+	rs.sendMu.Lock()
 	rs.mu.Lock()
 	if rs.ended {
 		err := rs.err
 		rs.mu.Unlock()
+		rs.sendMu.Unlock()
 		if errors.Is(err, runtime.ErrSessionClosed) {
 			return 0, runtime.ErrSessionClosed
 		}
@@ -794,6 +841,7 @@ func (rs *remoteSession) TryFeed(inputs map[string]frame.Window) (int64, error) 
 	if rs.noFeed != nil {
 		err := rs.noFeed
 		rs.mu.Unlock()
+		rs.sendMu.Unlock()
 		return 0, err
 	}
 	// Two bounds, both ErrQueueFull: credits (the worker still owes
@@ -802,6 +850,7 @@ func (rs *remoteSession) TryFeed(inputs map[string]frame.Window) (int64, error) 
 	// results within the channel's capacity).
 	if rs.credits <= 0 || rs.fed-rs.collected >= int64(rs.maxInFlight) {
 		rs.mu.Unlock()
+		rs.sendMu.Unlock()
 		return 0, runtime.ErrQueueFull
 	}
 	rs.credits--
@@ -813,15 +862,29 @@ func (rs *remoteSession) TryFeed(inputs map[string]frame.Window) (int64, error) 
 	for name, win := range inputs {
 		m.Inputs = append(m.Inputs, wire.NamedWindow{Name: name, Win: win})
 	}
-	if err := rs.send(m); err != nil {
+	err := rs.sendLocked(m)
+	rs.sendMu.Unlock()
+	if err != nil {
 		rs.failSession(fmt.Errorf("cluster: feed to worker %s: %w", rs.w.addr, err))
 		return 0, rs.sessionErr()
+	}
+	for _, in := range m.Inputs {
+		in.Win.Release()
 	}
 	rs.w.framesRouted.Add(1)
 	return seq, nil
 }
 
 func (rs *remoteSession) send(m wire.Msg) error {
+	rs.sendMu.Lock()
+	defer rs.sendMu.Unlock()
+	return rs.sendLocked(m)
+}
+
+// sendLocked writes one frame over the session's connection epoch. The
+// caller holds sendMu, which is what keeps this session's frames in
+// wire order.
+func (rs *remoteSession) sendLocked(m wire.Msg) error {
 	rs.w.mu.Lock()
 	conn := rs.w.conn
 	epoch := rs.w.epoch

@@ -42,6 +42,11 @@ func (c *Conn) Write(m Msg) error {
 	if c.werr != nil {
 		return c.werr
 	}
+	// An unencodable message fails its own Write with nothing on the
+	// wire; the connection stays healthy.
+	if err := checkEncodable(m); err != nil {
+		return err
+	}
 	c.wbuf = Append(c.wbuf[:0], m)
 	if len(c.wbuf) > MaxFrame {
 		return fmt.Errorf("wire: outgoing %s frame of %d bytes exceeds MaxFrame", m.Type(), len(c.wbuf))

@@ -3,6 +3,7 @@ package wire
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 
 	"blockpar/internal/frame"
 )
@@ -467,6 +468,24 @@ func releaseMsgWindows(m Msg) {
 		}
 		m.Outputs = nil
 	}
+}
+
+// checkEncodable rejects messages whose element counts overflow their
+// wire fields, before any bytes are emitted: a u16 count that silently
+// truncated would produce a frame the peer decodes as trailing garbage,
+// tearing down the whole connection instead of failing the one send.
+func checkEncodable(m Msg) error {
+	switch m := m.(type) {
+	case *Feed:
+		if len(m.Inputs) > math.MaxUint16 {
+			return fmt.Errorf("wire: feed carries %d inputs, max %d", len(m.Inputs), math.MaxUint16)
+		}
+	case *Result:
+		if len(m.Outputs) > math.MaxUint16 {
+			return fmt.Errorf("wire: result carries %d outputs, max %d", len(m.Outputs), math.MaxUint16)
+		}
+	}
+	return nil
 }
 
 // Append encodes a message as a complete frame — u32 length, u8 type,

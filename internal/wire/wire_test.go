@@ -250,3 +250,33 @@ func TestDecodeUnknownType(t *testing.T) {
 		t.Fatalf("unknown type decoded: %v", err)
 	}
 }
+
+// TestWriteRejectsOverflowingCounts checks a message whose element count
+// cannot fit its u16 wire field fails its own Write — a silent
+// truncation would corrupt the stream and kill the connection — and
+// that the connection stays usable afterwards.
+func TestWriteRejectsOverflowingCounts(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+
+	feed := &Feed{SID: 1, Inputs: make([]NamedWindow, 1<<16)}
+	if err := ca.Write(feed); err == nil {
+		t.Fatal("write accepted a feed with 65536 inputs")
+	}
+	res := &Result{SID: 1, Outputs: make([]NamedWindows, 1<<16)}
+	if err := ca.Write(res); err == nil {
+		t.Fatal("write accepted a result with 65536 outputs")
+	}
+
+	// Nothing hit the wire, so the next frame must still round-trip.
+	go func() { ca.Write(&Ping{Nonce: 5}) }()
+	m, err := cb.Read()
+	if err != nil {
+		t.Fatalf("read after rejected writes: %v", err)
+	}
+	if p, ok := m.(*Ping); !ok || p.Nonce != 5 {
+		t.Fatalf("connection delivered %#v after rejected writes", m)
+	}
+}
