@@ -70,7 +70,7 @@ func BenchmarkClusterLoopback(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer stop()
-			h, err := d.Open(p, frames)
+			h, err := d.Open(p, serve.OpenOptions{MaxInFlight: frames})
 			if err != nil {
 				b.Fatal(err)
 			}

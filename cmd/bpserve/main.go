@@ -47,15 +47,51 @@ func main() {
 	executor := flag.String("executor", "goroutines", "session execution engine: goroutines (one per kernel) or workers (fixed pool)")
 	workers := flag.Int("workers", 0, "worker-pool size for -executor workers (0 = GOMAXPROCS)")
 	clusterAddrs := flag.String("cluster", "", "comma-separated bpworker addresses; sessions execute on the cluster instead of in-process")
+	sessionDeadline := flag.Duration("session-deadline", 0, "wall-clock budget per session, propagated to cluster workers (0 = unbounded)")
+	replayBudget := flag.Int64("replay-budget", 0, "bytes of fed frames retained per session for cluster failover replay (0 = 32MiB default, negative disables failover)")
+	stallTimeout := flag.Duration("stall-timeout", 0, "no-progress window before a cluster session fails over off a wedged worker (0 = 30s default, negative disables)")
 	flag.Parse()
 
-	if err := run(*addr, *appIDs, descFiles, *queue, *maxSessions, *collectTimeout, drainTimeout, runtime.ExecutorKind(*executor), *workers, *clusterAddrs); err != nil {
+	cfg := serveConfig{
+		addr: *addr, appIDs: *appIDs, descFiles: descFiles,
+		queue: *queue, maxSessions: *maxSessions,
+		collectTimeout: *collectTimeout, drainTimeout: drainTimeout,
+		executor: runtime.ExecutorKind(*executor), workers: *workers,
+		clusterAddrs:    *clusterAddrs,
+		sessionDeadline: *sessionDeadline,
+		replayBudget:    *replayBudget,
+		stallTimeout:    *stallTimeout,
+	}
+	// A drain that abandons work exits nonzero so orchestration (and CI)
+	// can tell a clean drain from frames thrown away.
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "bpserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, appIDs string, descFiles []string, queue, maxSessions int, collectTimeout, drainTimeout time.Duration, executor runtime.ExecutorKind, workers int, clusterAddrs string) error {
+// serveConfig carries the parsed flags into run.
+type serveConfig struct {
+	addr            string
+	appIDs          string
+	descFiles       []string
+	queue           int
+	maxSessions     int
+	collectTimeout  time.Duration
+	drainTimeout    time.Duration
+	executor        runtime.ExecutorKind
+	workers         int
+	clusterAddrs    string
+	sessionDeadline time.Duration
+	replayBudget    int64
+	stallTimeout    time.Duration
+}
+
+func run(cfg serveConfig) error {
+	addr, appIDs, descFiles := cfg.addr, cfg.appIDs, cfg.descFiles
+	queue, maxSessions := cfg.queue, cfg.maxSessions
+	collectTimeout, drainTimeout := cfg.collectTimeout, cfg.drainTimeout
+	executor, workers, clusterAddrs := cfg.executor, cfg.workers, cfg.clusterAddrs
 	reg := serve.NewRegistry(machine.Embedded())
 	switch appIDs {
 	case "none":
@@ -84,7 +120,10 @@ func run(addr, appIDs string, descFiles []string, queue, maxSessions int, collec
 	var backend serve.Backend
 	if clusterAddrs != "" {
 		addrs := strings.Split(clusterAddrs, ",")
-		d := cluster.NewDispatcher(addrs, cluster.DispatcherOptions{})
+		d := cluster.NewDispatcher(addrs, cluster.DispatcherOptions{
+			ReplayBudget: cfg.replayBudget,
+			StallTimeout: cfg.stallTimeout,
+		})
 		defer d.Close()
 		// Workers may still be starting; warn rather than fail, since
 		// the dispatcher reconnects in the background.
@@ -96,12 +135,13 @@ func run(addr, appIDs string, descFiles []string, queue, maxSessions int, collec
 	}
 
 	srv := serve.NewServer(reg, serve.Options{
-		MaxInFlight:    queue,
-		CollectTimeout: collectTimeout,
-		MaxSessions:    maxSessions,
-		Executor:       executor,
-		Workers:        workers,
-		Backend:        backend,
+		MaxInFlight:     queue,
+		CollectTimeout:  collectTimeout,
+		MaxSessions:     maxSessions,
+		Executor:        executor,
+		Workers:         workers,
+		Backend:         backend,
+		SessionDeadline: cfg.sessionDeadline,
 	})
 	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
 

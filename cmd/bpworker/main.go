@@ -40,10 +40,14 @@ func main() {
 	name := flag.String("name", "", "worker name reported to frontends (default worker-<pid>)")
 	executor := flag.String("executor", "goroutines", "session execution engine: goroutines (one per kernel) or workers (fixed pool)")
 	workers := flag.Int("workers", 0, "worker-pool size for -executor workers (0 = GOMAXPROCS)")
-	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget: in-flight sessions finish before exit")
+	var drain time.Duration
+	flag.DurationVar(&drain, "drain", 30*time.Second, "graceful-shutdown drain budget: in-flight sessions finish before exit")
+	flag.DurationVar(&drain, "drain-timeout", 30*time.Second, "alias for -drain")
 	flag.Parse()
 
-	if err := run(*addr, *appIDs, descFiles, *name, runtime.ExecutorKind(*executor), *workers, *drain); err != nil {
+	// A drain that abandons work exits nonzero so orchestration (and CI)
+	// can tell a clean drain from frames thrown away.
+	if err := run(*addr, *appIDs, descFiles, *name, runtime.ExecutorKind(*executor), *workers, drain); err != nil {
 		fmt.Fprintln(os.Stderr, "bpworker:", err)
 		os.Exit(1)
 	}

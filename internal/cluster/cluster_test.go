@@ -36,6 +36,12 @@ func fastOpts() DispatcherOptions {
 	}
 }
 
+// openN opens a session with an n-frame in-flight window and no
+// deadline — the shape almost every test wants.
+func openN(d *Dispatcher, p *serve.Pipeline, n int) (serve.SessionHandle, error) {
+	return d.Open(p, serve.OpenOptions{MaxInFlight: n})
+}
+
 func suiteRegistry(t *testing.T, ids ...string) *serve.Registry {
 	t.Helper()
 	reg := serve.NewRegistry(machine.Embedded())
@@ -72,7 +78,7 @@ func batchFrames(t *testing.T, app *apps.App, frames int) map[string][][]frame.W
 // streamCluster runs `frames` worker-generated frames through a
 // cluster session and compares each against the batch golden.
 func streamCluster(d *Dispatcher, p *serve.Pipeline, frames int, want map[string][][]frame.Window) error {
-	h, err := d.Open(p, frames)
+	h, err := openN(d, p, frames)
 	if err != nil {
 		return fmt.Errorf("open: %w", err)
 	}
@@ -202,7 +208,7 @@ func TestClusterExplicitInputs(t *testing.T) {
 	}
 	want := batchFrames(t, app, 2)
 
-	h, err := d.Open(p, 2)
+	h, err := openN(d, p, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +258,7 @@ func TestClusterBackpressure(t *testing.T) {
 	}
 	defer stop()
 
-	h, err := d.Open(p, 1)
+	h, err := openN(d, p, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,11 +329,13 @@ func workerRows(d *Dispatcher) map[string]WorkerStats {
 }
 
 // TestClusterWorkerFailureIsolated is the failure-semantics acceptance
-// test: with sessions spread over two workers, killing one mid-stream
-// fails exactly its own sessions (with an error naming the worker), the
+// test with failover disabled (ReplayBudget < 0): with sessions spread
+// over two workers, killing one mid-stream fails exactly its own
+// sessions — with a typed serve.ErrSessionLost naming the worker — the
 // frontend keeps serving and placing on the survivor, the dead worker's
 // breaker opens, and a worker rejoining at the same address is accepted
-// and used again.
+// and used again. (Failover-enabled recovery is covered in
+// failover_test.go.)
 func TestClusterWorkerFailureIsolated(t *testing.T) {
 	reg1 := suiteRegistry(t, "5")
 	reg2 := suiteRegistry(t, "5")
@@ -347,7 +355,9 @@ func TestClusterWorkerFailureIsolated(t *testing.T) {
 	defer w1.Close()
 	defer w2.Close()
 
-	d := NewDispatcher([]string{addr1, addr2}, fastOpts())
+	opts := fastOpts()
+	opts.ReplayBudget = -1 // isolated-failure semantics: no failover
+	d := NewDispatcher([]string{addr1, addr2}, opts)
 	defer d.Close()
 	waitCondition(t, "both workers connected", func() bool {
 		rows := workerRows(d)
@@ -358,17 +368,18 @@ func TestClusterWorkerFailureIsolated(t *testing.T) {
 	p, _ := frontend.Get("5")
 
 	// Least-loaded placement spreads two sessions over the two workers.
-	hA, err := d.Open(p, 2)
+	hA, err := openN(d, p, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hB, err := d.Open(p, 2)
+	hB, err := openN(d, p, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sA, sB := hA.(*remoteSession), hB.(*remoteSession)
-	if sA.w.addr == sB.w.addr {
-		t.Fatalf("both sessions placed on %s; want them spread", sA.w.addr)
+	addrA, addrB := sA.workerAddr(), sB.workerAddr()
+	if addrA == addrB {
+		t.Fatalf("both sessions placed on %s; want them spread", addrA)
 	}
 
 	feedCollect := func(h serve.SessionHandle) error {
@@ -395,7 +406,7 @@ func TestClusterWorkerFailureIsolated(t *testing.T) {
 
 	// Kill session A's worker mid-stream.
 	victim, victimName := w1, "w1"
-	if sA.w.addr == addr2 {
+	if addrA == addr2 {
 		victim, victimName = w2, "w2"
 	}
 	if _, err := hA.TryFeed(nil); err != nil {
@@ -403,13 +414,16 @@ func TestClusterWorkerFailureIsolated(t *testing.T) {
 	}
 	victim.Close()
 
-	// A's stream fails with an error naming its worker...
+	// A's stream fails with a typed ErrSessionLost naming its worker...
 	_, err = hA.Collect(10 * time.Second)
 	if err == nil {
 		t.Fatal("collect on killed worker's session succeeded")
 	}
-	if !strings.Contains(err.Error(), sA.w.addr) && !strings.Contains(err.Error(), victimName) {
-		t.Errorf("failure error %q does not name worker %s (%s)", err, victimName, sA.w.addr)
+	if !errors.Is(err, serve.ErrSessionLost) {
+		t.Errorf("failure error %q, want serve.ErrSessionLost", err)
+	}
+	if !strings.Contains(err.Error(), addrA) && !strings.Contains(err.Error(), victimName) {
+		t.Errorf("failure error %q does not name worker %s (%s)", err, victimName, addrA)
 	}
 	if _, err := hA.TryFeed(nil); err == nil || errors.Is(err, runtime.ErrQueueFull) {
 		t.Errorf("feed on failed session: got %v, want terminal error", err)
@@ -420,12 +434,12 @@ func TestClusterWorkerFailureIsolated(t *testing.T) {
 	if err := feedCollect(hB); err != nil {
 		t.Fatalf("survivor session after kill: %v", err)
 	}
-	hC, err := d.Open(p, 2)
+	hC, err := openN(d, p, 2)
 	if err != nil {
 		t.Fatalf("open after worker death: %v", err)
 	}
-	if hC.(*remoteSession).w.addr != sB.w.addr {
-		t.Errorf("new session placed on dead worker %s", hC.(*remoteSession).w.addr)
+	if got := hC.(*remoteSession).workerAddr(); got != addrB {
+		t.Errorf("new session placed on dead worker %s", got)
 	}
 	if err := feedCollect(hC); err != nil {
 		t.Fatalf("new session after kill: %v", err)
@@ -434,7 +448,7 @@ func TestClusterWorkerFailureIsolated(t *testing.T) {
 
 	// The dead worker's breaker opens after repeated reconnect failures.
 	waitCondition(t, "breaker open on dead worker", func() bool {
-		return workerRows(d)[sA.w.addr].Breaker == "open"
+		return workerRows(d)[addrA].Breaker == "open"
 	})
 
 	// Rejoin at the same address: the dispatcher reconnects and places
@@ -444,27 +458,27 @@ func TestClusterWorkerFailureIsolated(t *testing.T) {
 	w3 := NewWorker(reg3, WorkerOptions{Name: victimName + "-rejoined"})
 	var ln3 net.Listener
 	waitCondition(t, "rebind worker address", func() bool {
-		ln3, err = net.Listen("tcp", sA.w.addr)
+		ln3, err = net.Listen("tcp", addrA)
 		return err == nil
 	})
 	go w3.Serve(ln3)
 	defer w3.Close()
 	waitCondition(t, "rejoined worker connected", func() bool {
-		r := workerRows(d)[sA.w.addr]
+		r := workerRows(d)[addrA]
 		return r.State == "connected" && r.Breaker == "closed"
 	})
-	if rows := workerRows(d); rows[sA.w.addr].Reconnects == 0 {
-		t.Errorf("rejoined worker row %+v, want nonzero reconnects", rows[sA.w.addr])
+	if rows := workerRows(d); rows[addrA].Reconnects == 0 {
+		t.Errorf("rejoined worker row %+v, want nonzero reconnects", rows[addrA])
 	}
 
 	// B still holds a session on the survivor, so the least-loaded
 	// choice is the rejoined worker.
-	hD, err := d.Open(p, 2)
+	hD, err := openN(d, p, 2)
 	if err != nil {
 		t.Fatalf("open after rejoin: %v", err)
 	}
-	if got := hD.(*remoteSession).w.addr; got != sA.w.addr {
-		t.Errorf("post-rejoin session placed on %s, want rejoined %s", got, sA.w.addr)
+	if got := hD.(*remoteSession).workerAddr(); got != addrA {
+		t.Errorf("post-rejoin session placed on %s, want rejoined %s", got, addrA)
 	}
 	if err := feedCollect(hD); err != nil {
 		t.Fatalf("stream on rejoined worker: %v", err)
@@ -489,7 +503,7 @@ func TestClusterWorkerDrain(t *testing.T) {
 	}
 	defer stop()
 
-	h, err := d.Open(p, 3)
+	h, err := openN(d, p, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -552,7 +566,7 @@ func TestClusterConcurrentFeeders(t *testing.T) {
 	defer stop()
 
 	const frames, feeders = 128, 8
-	h, err := d.Open(p, 16)
+	h, err := openN(d, p, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -617,7 +631,7 @@ func TestClusterFeedReleasesPooledInputs(t *testing.T) {
 
 	in := p.Graph().Inputs()[0]
 	base := frame.Stats().Live
-	h, err := d.Open(p, 2)
+	h, err := openN(d, p, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -715,10 +729,10 @@ func TestClusterEnsureRetryAfterTimeout(t *testing.T) {
 	if err := d.WaitReady(5 * time.Second); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.Open(p, 1); err == nil || !strings.Contains(err.Error(), "timed out") {
+	if _, err := openN(d, p, 1); err == nil || !strings.Contains(err.Error(), "timed out") {
 		t.Fatalf("open with swallowed ensure: got %v, want ensure timeout", err)
 	}
-	h, err := d.Open(p, 1)
+	h, err := openN(d, p, 1)
 	if err != nil {
 		t.Fatalf("open after ensure timeout: %v", err)
 	}
@@ -751,7 +765,7 @@ func TestClusterUnsolicitedCloseDuringOpen(t *testing.T) {
 	if err := d.WaitReady(5 * time.Second); err != nil {
 		t.Fatal(err)
 	}
-	h, err := d.Open(p, 1)
+	h, err := openN(d, p, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -776,7 +790,7 @@ func TestDispatcherUnavailable(t *testing.T) {
 	}
 	d := NewDispatcher([]string{"127.0.0.1:1"}, opts)
 	defer d.Close()
-	if _, err := d.Open(p, 1); !errors.Is(err, serve.ErrUnavailable) {
+	if _, err := openN(d, p, 1); !errors.Is(err, serve.ErrUnavailable) {
 		t.Fatalf("open with no workers: got %v, want ErrUnavailable", err)
 	}
 	if err := d.WaitReady(30 * time.Millisecond); err == nil {

@@ -42,6 +42,25 @@ type DispatcherOptions struct {
 	// CloseTimeout bounds the wait for a worker to drain and
 	// acknowledge a session close (default 10s).
 	CloseTimeout time.Duration
+	// FailoverTimeout bounds one session's recovery after its worker
+	// dies: finding a surviving worker, reopening, and replaying the
+	// feed history (default 30s). A session deadline shortens it.
+	FailoverTimeout time.Duration
+	// ReplayBudget caps the bytes of explicit input windows a session
+	// retains for failover replay (default 32 MiB). Generated inputs
+	// cost nothing — the worker regenerates them from the frame index.
+	// A session past its budget stops being failoverable: its worker
+	// dying becomes a typed serve.ErrSessionLost instead of a replay.
+	// Negative disables failover entirely (PR 4 semantics).
+	ReplayBudget int64
+	// StallTimeout bounds how long a session with frames in flight may
+	// go without any progress (results or credits arriving) before the
+	// dispatcher declares its worker wedged and fails the session over
+	// (default 30s; negative disables). This is the recovery for
+	// messages lost on an otherwise-healthy connection — a dropped
+	// frame, a silently stuck worker — which connection-level health
+	// checks can never see.
+	StallTimeout time.Duration
 }
 
 func (o *DispatcherOptions) defaults() {
@@ -74,6 +93,15 @@ func (o *DispatcherOptions) defaults() {
 	if o.CloseTimeout <= 0 {
 		o.CloseTimeout = 10 * time.Second
 	}
+	if o.FailoverTimeout <= 0 {
+		o.FailoverTimeout = 30 * time.Second
+	}
+	if o.ReplayBudget == 0 {
+		o.ReplayBudget = 32 << 20
+	}
+	if o.StallTimeout == 0 {
+		o.StallTimeout = 30 * time.Second
+	}
 }
 
 // Dispatcher places sessions on cluster workers and proxies their
@@ -83,6 +111,11 @@ type Dispatcher struct {
 	opts    DispatcherOptions
 	workers []*workerRef
 	nextSID atomic.Uint64
+
+	// Failover counters, surfaced by BackendStats under /metrics.
+	sessionsFailedOver atomic.Int64
+	framesReplayed     atomic.Int64
+	shedTotal          atomic.Int64
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -125,8 +158,8 @@ func (d *Dispatcher) WaitReady(timeout time.Duration) error {
 
 // Open implements serve.Backend: place the session on the least-loaded
 // healthy worker, trying the next candidate when one refuses. With no
-// placeable worker it fails with serve.ErrUnavailable (HTTP 503).
-func (d *Dispatcher) Open(p *serve.Pipeline, maxInFlight int) (serve.SessionHandle, error) {
+// placeable worker it sheds with serve.ErrUnavailable (HTTP 503).
+func (d *Dispatcher) Open(p *serve.Pipeline, opts serve.OpenOptions) (serve.SessionHandle, error) {
 	select {
 	case <-d.closed:
 		return nil, fmt.Errorf("%w: dispatcher closed", serve.ErrUnavailable)
@@ -137,18 +170,46 @@ func (d *Dispatcher) Open(p *serve.Pipeline, maxInFlight int) (serve.SessionHand
 	for {
 		w := d.pick(tried)
 		if w == nil {
+			d.shedTotal.Add(1)
 			if lastErr != nil {
 				return nil, fmt.Errorf("%w: %v", serve.ErrUnavailable, lastErr)
 			}
 			return nil, fmt.Errorf("%w: no healthy cluster worker", serve.ErrUnavailable)
 		}
 		tried[w] = true
-		h, err := w.open(p, maxInFlight)
+		h, err := w.open(p, opts)
 		if err == nil {
 			return h, nil
 		}
 		lastErr = err
 	}
+}
+
+// Readiness implements serve.ReadinessReporter: "ok" with every worker
+// placeable, "degraded" while sessions still place but capacity is
+// reduced (workers down, draining, or breaker-open), "unavailable"
+// when nothing can place.
+func (d *Dispatcher) Readiness() serve.Readiness {
+	up := 0
+	for _, w := range d.workers {
+		if w.placeable() {
+			up++
+		}
+	}
+	total := len(d.workers)
+	switch {
+	case up == 0:
+		return serve.Readiness{
+			Status: "unavailable",
+			Detail: fmt.Sprintf("0/%d cluster workers placeable", total),
+		}
+	case up < total:
+		return serve.Readiness{
+			Status: "degraded",
+			Detail: fmt.Sprintf("%d/%d cluster workers placeable", up, total),
+		}
+	}
+	return serve.Readiness{Status: "ok"}
 }
 
 // pick returns the placeable worker with the fewest sessions, skipping
@@ -206,7 +267,12 @@ func (d *Dispatcher) BackendStats() any {
 		rows = append(rows, w.stats())
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Addr < rows[j].Addr })
-	return map[string]any{"workers": rows}
+	return map[string]any{
+		"workers":              rows,
+		"sessions_failed_over": d.sessionsFailedOver.Load(),
+		"frames_replayed":      d.framesReplayed.Load(),
+		"shed_total":           d.shedTotal.Load(),
+	}
 }
 
 // workerRef is the dispatcher's view of one worker: a managed
@@ -284,11 +350,16 @@ func (w *workerRef) dial() (*wire.Conn, *wire.Welcome, error) {
 		return nil, nil, err
 	}
 	conn := wire.NewConn(nc)
+	// Bound the handshake: a Welcome lost in transit must surface as a
+	// dial failure and a backoff retry, not a manager wedged forever on
+	// the read.
+	conn.SetReadDeadline(time.Now().Add(w.d.opts.OpenTimeout))
 	welcome, err := conn.Handshake()
 	if err != nil {
 		conn.Close()
 		return nil, nil, err
 	}
+	conn.SetReadDeadline(time.Time{})
 	return conn, welcome, nil
 }
 
@@ -312,9 +383,11 @@ func (w *workerRef) attach(conn *wire.Conn, welcome *wire.Welcome) {
 	w.lastPong.Store(time.Now().UnixNano())
 }
 
-// detach fails everything placed over the dead connection. Each
-// session's error names the worker, so a client sees exactly why its
-// stream died while unrelated sessions keep running.
+// detach hands every session placed over the dead connection to the
+// failover path (or fails it, when it cannot be replayed). The cause
+// names the worker, so a client whose session could not be recovered
+// sees exactly why its stream died while unrelated sessions keep
+// running.
 func (w *workerRef) detach(conn *wire.Conn, cause error) {
 	w.mu.Lock()
 	if w.conn != conn {
@@ -333,7 +406,7 @@ func (w *workerRef) detach(conn *wire.Conn, cause error) {
 
 	err := fmt.Errorf("cluster: worker %s at %s lost: %v", name, w.addr, cause)
 	for _, rs := range sessions {
-		rs.failSession(err)
+		rs.connLost(err)
 	}
 	for _, ch := range pending {
 		close(ch)
@@ -445,7 +518,7 @@ func (w *workerRef) readLoop(conn *wire.Conn) error {
 		case *wire.Result:
 			w.resultsRecv.Add(1)
 			if rs := w.session(m.SID); rs != nil {
-				rs.deliver(m)
+				rs.deliver(w, m)
 			} else {
 				releaseResult(m)
 			}
@@ -459,7 +532,7 @@ func (w *workerRef) readLoop(conn *wire.Conn) error {
 			delete(w.sessions, m.SID)
 			w.mu.Unlock()
 			if rs != nil {
-				rs.onClosed(m)
+				rs.onClosed(w, m)
 			}
 			if err := w.drainedHangup(); err != nil {
 				return err
@@ -483,7 +556,7 @@ func (w *workerRef) readLoop(conn *wire.Conn) error {
 			}
 			w.mu.Unlock()
 			for _, rs := range sessions {
-				rs.drainClose()
+				rs.drainClose(w)
 			}
 			if err := w.drainedHangup(); err != nil {
 				return err
@@ -518,33 +591,69 @@ func (w *workerRef) session(sid uint64) *remoteSession {
 
 // open ensures the pipeline exists on the worker, then opens a remote
 // session over the current connection.
-func (w *workerRef) open(p *serve.Pipeline, maxInFlight int) (*remoteSession, error) {
+func (w *workerRef) open(p *serve.Pipeline, opts serve.OpenOptions) (*remoteSession, error) {
+	rs := &remoteSession{
+		d:           w.d,
+		p:           p,
+		maxInFlight: opts.MaxInFlight,
+		credits:     opts.MaxInFlight,
+		results:     make(chan *runtime.StreamResult, opts.MaxInFlight+1),
+		done:        make(chan struct{}),
+	}
+	if opts.Deadline > 0 {
+		rs.deadline = time.Now().Add(opts.Deadline)
+	}
+	if w.d.opts.ReplayBudget < 0 {
+		rs.logFull = true // failover disabled by configuration
+	}
+	att, err := w.place(rs)
+	if err != nil {
+		return nil, err
+	}
+	rs.mu.Lock()
+	rs.att = att
+	rs.opened = true
+	rs.lastProgress = time.Now()
+	rs.mu.Unlock()
+	if w.d.opts.StallTimeout > 0 {
+		go rs.stallWatch()
+	}
+	return rs, nil
+}
+
+// place opens a worker-side session for rs on this worker and returns
+// the resulting attachment without installing it — the caller decides
+// when feeds may flow (immediately for a first open, only after the
+// history replay for a failover).
+func (w *workerRef) place(rs *remoteSession) (*attachment, error) {
 	w.mu.Lock()
 	conn := w.conn
-	epoch := w.epoch
-	needEnsure := !w.known[p.ID]
+	needEnsure := !w.known[rs.p.ID]
 	w.mu.Unlock()
 	if conn == nil {
 		return nil, fmt.Errorf("cluster: worker %s not connected", w.addr)
 	}
 	if needEnsure {
-		if err := w.ensurePipeline(conn, p); err != nil {
+		if err := w.ensurePipeline(conn, rs.p); err != nil {
 			return nil, err
 		}
 	}
 
+	var deadlineMs uint32
+	if !rs.deadline.IsZero() {
+		rem := time.Until(rs.deadline)
+		if rem <= 0 {
+			return nil, fmt.Errorf("cluster: session deadline exceeded before open on %s", w.addr)
+		}
+		ms := int64((rem + time.Millisecond - 1) / time.Millisecond)
+		if ms > int64(^uint32(0)) {
+			ms = int64(^uint32(0))
+		}
+		deadlineMs = uint32(ms)
+	}
+
 	sid := w.d.nextSID.Add(1)
 	reply := make(chan *wire.SessionOpened, 1)
-	rs := &remoteSession{
-		w:           w,
-		p:           p,
-		sid:         sid,
-		epoch:       epoch,
-		maxInFlight: maxInFlight,
-		credits:     maxInFlight,
-		results:     make(chan *runtime.StreamResult, maxInFlight+1),
-		done:        make(chan struct{}),
-	}
 	// Register the session before OpenSession hits the wire: any event
 	// naming this sid afterwards — an unsolicited SessionClosed, a
 	// Goaway drain — finds it in w.sessions instead of landing in an
@@ -560,7 +669,13 @@ func (w *workerRef) open(p *serve.Pipeline, maxInFlight int) (*remoteSession, er
 	w.sessions[sid] = rs
 	w.mu.Unlock()
 
-	if err := conn.Write(&wire.OpenSession{SID: sid, Pipeline: p.ID, MaxInFlight: uint32(maxInFlight)}); err != nil {
+	m := &wire.OpenSession{
+		SID:         sid,
+		Pipeline:    rs.p.ID,
+		MaxInFlight: uint32(rs.maxInFlight),
+		DeadlineMs:  deadlineMs,
+	}
+	if err := conn.Write(m); err != nil {
 		w.unregister(conn, sid)
 		conn.Close()
 		return nil, fmt.Errorf("cluster: open on %s: %w", w.addr, err)
@@ -578,7 +693,7 @@ func (w *workerRef) open(p *serve.Pipeline, maxInFlight int) (*remoteSession, er
 		w.unregister(conn, sid)
 		return nil, fmt.Errorf("cluster: open on %s timed out after %v", w.addr, w.d.opts.OpenTimeout)
 	}
-	return rs, nil
+	return &attachment{w: w, sid: sid, conn: conn}, nil
 }
 
 // unregister drops a failed open's session and pending entries. When
@@ -691,16 +806,42 @@ func releaseResult(m *wire.Result) {
 	}
 }
 
+// attachment binds a session to one worker-side session instance: the
+// connection its frames travel on and the SID namespacing them there.
+// Failover replaces the whole attachment atomically; a nil attachment
+// means the session is between workers (feeds see backpressure).
+type attachment struct {
+	w    *workerRef
+	sid  uint64
+	conn *wire.Conn
+}
+
+// logEntry is one fed frame in the session's replay history. Generated
+// frames (nil inputs) carry nothing — the worker regenerates them from
+// the frame index; explicit inputs hold one arena reference per window
+// until the session ends.
+type logEntry struct {
+	inputs []wire.NamedWindow
+}
+
 // remoteSession proxies one streaming session to a worker. It
 // implements serve.SessionHandle with the same error vocabulary as the
 // in-process runtime: ErrQueueFull when out of credits, ErrBadFrame on
 // local input validation, a "timed out" error on Collect deadlines.
+//
+// Failover model: every fed frame is appended to a replay log. When
+// the session's worker dies, the dispatcher reopens it on a surviving
+// worker and replays the entire history from seq 0 — frame generators
+// are keyed by absolute frame index and kernels may carry cross-frame
+// state, so only a full re-run reproduces byte-identical outputs.
+// Results the client already saw arrive again and are deduplicated by
+// seq (at-most-once delivery); fresh results flow as if nothing
+// happened.
 type remoteSession struct {
-	w           *workerRef
+	d           *Dispatcher
 	p           *serve.Pipeline
-	sid         uint64
-	epoch       uint64
 	maxInFlight int
+	deadline    time.Time // zero = unbounded
 
 	// sendMu orders this session's frames on the wire: TryFeed holds it
 	// from seq assignment through the connection write, so concurrent
@@ -709,22 +850,30 @@ type remoteSession struct {
 	// accepted feed.
 	sendMu sync.Mutex
 
-	mu        sync.Mutex
-	credits   int
-	fed       int64
-	completed int64 // results received from the worker
-	collected int64 // results handed to Collect callers
-	err       error
-	noFeed    error // feeds refused (worker draining); results still flow
-	ended     bool  // done closed (failure or SessionClosed)
-	closeSent bool
+	mu           sync.Mutex
+	att          *attachment // nil while detached / failing over
+	credits      int
+	lastProgress time.Time // last result/credit arrival, for the stall watchdog
+	fed          int64
+	completed    int64 // results delivered to the results channel (dedup watermark)
+	collected    int64 // results handed to Collect callers
+	log          []logEntry
+	logBytes     int64
+	logFull      bool // replay budget exceeded: no longer failoverable
+	opened       bool // initial placement acknowledged
+	failingOver  bool // a failover goroutine owns recovery right now
+	err          error
+	noFeed       error // feeds refused (worker draining); results still flow
+	ended        bool  // done closed (failure or SessionClosed)
+	closeSent    bool
 
 	results chan *runtime.StreamResult
 	done    chan struct{}
 }
 
-// failSession marks the session dead; Collect surfaces the error after
-// draining buffered results, feeds fail immediately.
+// failSession marks the session dead and frees its replay log; Collect
+// surfaces the error after draining buffered results, feeds fail
+// immediately.
 func (rs *remoteSession) failSession(err error) {
 	rs.mu.Lock()
 	if rs.ended {
@@ -735,21 +884,303 @@ func (rs *remoteSession) failSession(err error) {
 	if rs.err == nil {
 		rs.err = err
 	}
+	rs.releaseLogLocked()
 	rs.mu.Unlock()
 	close(rs.done)
+}
+
+// releaseLogLocked returns every retained replay window to the arena.
+// Caller holds rs.mu. In-flight encodes are safe: they take their own
+// reference under rs.mu before writing.
+func (rs *remoteSession) releaseLogLocked() {
+	for _, e := range rs.log {
+		for _, in := range e.inputs {
+			in.Win.Release()
+		}
+	}
+	rs.log = nil
+	rs.logBytes = 0
+}
+
+// logFeedLocked appends one fed frame to the replay history, taking
+// over the caller's window references. Caller holds rs.mu. Returns
+// false when the frame was not retained — the budget is exhausted and
+// the session just stopped being failoverable (its whole history was
+// released, since a partial history can never replay).
+func (rs *remoteSession) logFeedLocked(entry logEntry) bool {
+	if rs.logFull {
+		return false
+	}
+	var sz int64
+	for _, in := range entry.inputs {
+		sz += int64(in.Win.W) * int64(in.Win.H) * 8
+	}
+	if rs.logBytes+sz > rs.d.opts.ReplayBudget {
+		rs.logFull = true
+		rs.releaseLogLocked()
+		return false
+	}
+	rs.log = append(rs.log, entry)
+	rs.logBytes += sz
+	return true
+}
+
+// connLost reacts to the session's connection dying: recoverable
+// sessions hand off to a failover goroutine, the rest fail with a
+// typed serve.ErrSessionLost. A session whose close already fully
+// drained just completes cleanly.
+func (rs *remoteSession) connLost(cause error) {
+	rs.mu.Lock()
+	if rs.ended {
+		rs.mu.Unlock()
+		return
+	}
+	rs.att = nil
+	rs.credits = 0
+	if rs.failingOver {
+		// The running failover's writes will fail and it retries or
+		// sheds on its own deadline; a second recovery goroutine would
+		// race it.
+		rs.mu.Unlock()
+		return
+	}
+	if !rs.opened {
+		// Initial placement still in flight: open() surfaces the error
+		// and the dispatcher retries placement itself.
+		rs.mu.Unlock()
+		rs.failSession(cause)
+		return
+	}
+	if rs.closeSent && rs.completed == rs.fed {
+		// Everything fed was delivered and the close was already sent;
+		// only the SessionClosed ack died with the worker. That is a
+		// clean shutdown, not a lost session.
+		rs.mu.Unlock()
+		rs.failSession(runtime.ErrSessionClosed)
+		return
+	}
+	if rs.logFull {
+		rs.mu.Unlock()
+		rs.failSession(fmt.Errorf("%w: %v (session past its replay budget)", serve.ErrSessionLost, cause))
+		return
+	}
+	rs.failingOver = true
+	rs.mu.Unlock()
+	go rs.failover(cause)
+}
+
+// stallWatch runs for the session's lifetime and recovers it from
+// silent stalls — the failure mode connection health checks cannot
+// see: a frame lost in transit on an otherwise-healthy connection, or
+// a worker that wedged without dying. With frames in flight and no
+// progress (no result, no credit) within StallTimeout, the session
+// detaches from its worker — aborting the wedged worker-side half —
+// and fails over exactly as if the connection had died: the replay
+// resends whatever was lost. While idle it also resyncs credits to
+// the full window, healing a credit grant lost in transit that would
+// otherwise shrink the feed window forever.
+func (rs *remoteSession) stallWatch() {
+	interval := rs.d.opts.StallTimeout / 4
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rs.done:
+			return
+		case <-rs.d.closed:
+			return
+		case <-t.C:
+		}
+		rs.mu.Lock()
+		if rs.ended || rs.att == nil || rs.failingOver {
+			rs.mu.Unlock()
+			continue
+		}
+		if rs.completed >= rs.fed {
+			// Idle: the worker owes nothing, so its queue is empty and
+			// the true window is the full maxInFlight.
+			rs.lastProgress = time.Now()
+			rs.credits = rs.maxInFlight
+			rs.mu.Unlock()
+			continue
+		}
+		if time.Since(rs.lastProgress) <= rs.d.opts.StallTimeout {
+			rs.mu.Unlock()
+			continue
+		}
+		att := rs.att
+		rs.att = nil
+		rs.credits = 0
+		cause := fmt.Errorf("cluster: worker %s stalled: no progress on %d in-flight frames within %v",
+			att.w.addr, rs.fed-rs.completed, rs.d.opts.StallTimeout)
+		recoverable := !rs.logFull
+		if recoverable {
+			rs.failingOver = true
+		}
+		rs.mu.Unlock()
+		// Abort the wedged worker-side session and forget its sid; a
+		// late result or close notice for it now finds nothing. The
+		// writes happen outside rs.mu (unregister takes w.mu, which
+		// stats paths acquire before rs.mu).
+		att.conn.Write(&wire.Error{SID: att.sid, Msg: "session stalled"})
+		att.w.unregister(att.conn, att.sid)
+		if recoverable {
+			go rs.failover(cause)
+			continue
+		}
+		rs.failSession(fmt.Errorf("%w: %v (session past its replay budget)", serve.ErrSessionLost, cause))
+	}
+}
+
+// failover reopens the session on a surviving worker and replays its
+// history, retrying across workers until the failover timeout (or the
+// session deadline) expires — then sheds with a typed 503.
+func (rs *remoteSession) failover(cause error) {
+	deadline := time.Now().Add(rs.d.opts.FailoverTimeout)
+	if !rs.deadline.IsZero() && rs.deadline.Before(deadline) {
+		deadline = rs.deadline
+	}
+	lastErr := cause
+	for {
+		select {
+		case <-rs.done:
+			return
+		case <-rs.d.closed:
+			rs.failSession(fmt.Errorf("%w: dispatcher closed during failover: %v", serve.ErrSessionLost, lastErr))
+			return
+		default:
+		}
+		if time.Now().After(deadline) {
+			rs.d.shedTotal.Add(1)
+			rs.failSession(fmt.Errorf("%w: %w: session not recovered within failover window: %v",
+				serve.ErrSessionLost, serve.ErrUnavailable, lastErr))
+			return
+		}
+		w := rs.d.pick(nil)
+		if w == nil {
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		err := rs.reattach(w, deadline)
+		if err == nil {
+			rs.d.sessionsFailedOver.Add(1)
+			return
+		}
+		if errors.Is(err, errSessionEnded) {
+			return
+		}
+		lastErr = err
+	}
+}
+
+// errSessionEnded aborts a replay whose session terminated concurrently
+// (client close timeout, dispatcher shutdown).
+var errSessionEnded = errors.New("session ended during failover")
+
+// reattach opens a fresh worker-side session on w and replays the full
+// feed history from seq 0, paced by the new session's credits. Only
+// after the last historical frame is on the wire does the attachment
+// install and new feeds flow, preserving seq order. Duplicate results
+// produced by the replay are dropped in deliver.
+func (rs *remoteSession) reattach(w *workerRef, deadline time.Time) error {
+	att, err := w.place(rs)
+	if err != nil {
+		return err
+	}
+	abort := func(reason string) {
+		// Tear the half-replayed worker session down and forget it;
+		// a late SessionClosed for this sid finds nothing.
+		att.conn.Write(&wire.Error{SID: att.sid, Msg: reason})
+		w.unregister(att.conn, att.sid)
+	}
+
+	rs.mu.Lock()
+	total := int64(len(rs.log))
+	rs.credits = rs.maxInFlight
+	rs.mu.Unlock()
+
+	for seq := int64(0); seq < total; seq++ {
+		for {
+			rs.mu.Lock()
+			if rs.ended {
+				rs.mu.Unlock()
+				abort("session ended during replay")
+				return errSessionEnded
+			}
+			if rs.credits > 0 {
+				rs.credits--
+				m := &wire.Feed{SID: att.sid, Seq: seq}
+				for _, in := range rs.log[seq].inputs {
+					// Hold an encode reference so a concurrent terminal
+					// release cannot poison the samples mid-write.
+					in.Win.Retain(1)
+					m.Inputs = append(m.Inputs, in)
+				}
+				rs.mu.Unlock()
+				err := att.conn.Write(m)
+				for _, in := range m.Inputs {
+					in.Win.Release()
+				}
+				if err != nil {
+					att.conn.Close()
+					w.unregister(att.conn, att.sid)
+					return fmt.Errorf("cluster: replay to %s: %w", w.addr, err)
+				}
+				w.framesRouted.Add(1)
+				rs.d.framesReplayed.Add(1)
+				break
+			}
+			rs.mu.Unlock()
+			// Waiting on credits that can never arrive is pointless once
+			// the connection under us died; detach already unregistered
+			// the sid, so just report and let the failover loop retry.
+			w.mu.Lock()
+			connAlive := w.conn == att.conn
+			w.mu.Unlock()
+			if !connAlive {
+				return fmt.Errorf("cluster: worker %s lost mid-replay", w.addr)
+			}
+			if time.Now().After(deadline) {
+				abort("replay stalled")
+				return fmt.Errorf("cluster: replay to %s stalled at frame %d/%d", w.addr, seq, total)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	rs.mu.Lock()
+	if rs.ended {
+		rs.mu.Unlock()
+		abort("session ended during replay")
+		return errSessionEnded
+	}
+	rs.att = att
+	rs.failingOver = false
+	rs.lastProgress = time.Now()
+	closeSent := rs.closeSent
+	rs.mu.Unlock()
+	if closeSent {
+		// The client closed while we were between workers; finish the
+		// close on the new attachment, after the last replayed feed.
+		att.conn.Write(&wire.CloseSession{SID: att.sid})
+	}
+	return nil
 }
 
 // onClosed handles the worker's SessionClosed notice: a clean close
 // surfaces ErrSessionClosed, a drain surfaces the draining notice, and
 // a reported failure surfaces that error.
-func (rs *remoteSession) onClosed(m *wire.SessionClosed) {
+func (rs *remoteSession) onClosed(w *workerRef, m *wire.SessionClosed) {
 	rs.mu.Lock()
 	noFeed := rs.noFeed
 	rs.mu.Unlock()
 	var err error
 	switch {
 	case m.Err != "":
-		err = fmt.Errorf("cluster: worker %s closed session: %s", rs.w.addr, m.Err)
+		err = fmt.Errorf("cluster: worker %s closed session: %s", w.addr, m.Err)
 	case noFeed != nil:
 		err = noFeed
 	default:
@@ -762,38 +1193,59 @@ func (rs *remoteSession) onClosed(m *wire.SessionClosed) {
 // close the session so everything already fed finishes and flushes.
 // The close follows the last accepted feed on the wire, so the worker
 // sees all of them before it stops the session.
-func (rs *remoteSession) drainClose() {
+func (rs *remoteSession) drainClose(w *workerRef) {
 	rs.mu.Lock()
 	if rs.ended || rs.closeSent {
 		rs.mu.Unlock()
 		return
 	}
 	if rs.noFeed == nil {
-		rs.noFeed = fmt.Errorf("cluster: worker %s at %s is draining", rs.w.name, rs.w.addr)
+		rs.noFeed = fmt.Errorf("cluster: worker %s at %s is draining", w.name, w.addr)
 	}
 	rs.closeSent = true
+	detached := rs.att == nil
 	rs.mu.Unlock()
-	if err := rs.send(&wire.CloseSession{SID: rs.sid}); err != nil {
-		rs.failSession(fmt.Errorf("cluster: close to worker %s: %w", rs.w.addr, err))
+	if detached {
+		// Mid-failover: the replay completes and re-sends the close.
+		return
 	}
+	// A send failure means the connection died under the close; connLost
+	// owns recovery, and with closeSent set the failover (or the clean
+	// fully-drained path) finishes the close.
+	rs.send(&wire.CloseSession{})
 }
 
-// deliver queues a result for Collect. The channel is sized for the
-// credit bound, so a blocked send means the worker broke the protocol.
-func (rs *remoteSession) deliver(m *wire.Result) {
+// deliver queues a result for Collect, deduplicating failover replays:
+// completed is the watermark of results already handed over, so a
+// replayed frame below it is dropped (at-most-once) and anything past
+// it is a protocol break. The channel is sized for the credit bound,
+// so a blocked send means the worker broke the protocol.
+func (rs *remoteSession) deliver(w *workerRef, m *wire.Result) {
 	outputs := make(map[string][]frame.Window, len(m.Outputs))
 	for _, out := range m.Outputs {
 		outputs[out.Name] = out.Wins
 	}
-	res := &runtime.StreamResult{Seq: m.Seq, Outputs: outputs}
 	rs.mu.Lock()
+	if rs.ended || m.Seq < rs.completed {
+		rs.mu.Unlock()
+		serveReleaseOutputs(outputs)
+		return
+	}
+	if m.Seq > rs.completed {
+		rs.mu.Unlock()
+		serveReleaseOutputs(outputs)
+		rs.failSession(fmt.Errorf("cluster: worker %s delivered frame %d, want %d", w.addr, m.Seq, rs.completed))
+		return
+	}
 	rs.completed++
+	rs.lastProgress = time.Now()
 	rs.mu.Unlock()
+	res := &runtime.StreamResult{Seq: m.Seq, Outputs: outputs}
 	select {
 	case rs.results <- res:
 	default:
 		serveReleaseOutputs(outputs)
-		rs.failSession(fmt.Errorf("cluster: worker %s overran the result window", rs.w.addr))
+		rs.failSession(fmt.Errorf("cluster: worker %s overran the result window", w.addr))
 	}
 }
 
@@ -803,6 +1255,7 @@ func (rs *remoteSession) addCredits(n int) {
 	if rs.credits > rs.maxInFlight {
 		rs.credits = rs.maxInFlight
 	}
+	rs.lastProgress = time.Now()
 	rs.mu.Unlock()
 }
 
@@ -817,12 +1270,13 @@ func (rs *remoteSession) creditsOut() int {
 }
 
 // TryFeed validates the frame locally (same checks and error values as
-// runtime.Session), spends a credit, and ships it. Zero credits means
-// the worker still owes maxInFlight results: ErrQueueFull, exactly the
-// local backpressure signal. Ownership matches the local runtime's
-// Feed: on success the transport owns the pooled inputs (the write
-// buffered their samples, so their references release here); on error
-// the caller retains them.
+// runtime.Session), spends a credit, logs the frame for failover
+// replay, and ships it. Zero credits — or a failover in progress —
+// means ErrQueueFull, exactly the local backpressure signal.
+// Ownership matches the local runtime's Feed: on success the transport
+// owns the pooled inputs; with failover enabled they stay retained in
+// the replay log until the session ends, otherwise they release once
+// encoded.
 func (rs *remoteSession) TryFeed(inputs map[string]frame.Window) (int64, error) {
 	if err := validateInputs(rs.p, inputs); err != nil {
 		return 0, err
@@ -844,59 +1298,87 @@ func (rs *remoteSession) TryFeed(inputs map[string]frame.Window) (int64, error) 
 		rs.sendMu.Unlock()
 		return 0, err
 	}
-	// Two bounds, both ErrQueueFull: credits (the worker still owes
-	// results) and fed-minus-collected (the caller stopped collecting —
-	// the same bound a local session enforces, and what keeps buffered
-	// results within the channel's capacity).
-	if rs.credits <= 0 || rs.fed-rs.collected >= int64(rs.maxInFlight) {
+	// Three bounds, all ErrQueueFull: a failover in progress (the
+	// session has no wire until the replay lands), credits (the worker
+	// still owes results), and fed-minus-collected (the caller stopped
+	// collecting — the same bound a local session enforces, and what
+	// keeps buffered results within the channel's capacity).
+	if rs.att == nil || rs.credits <= 0 || rs.fed-rs.collected >= int64(rs.maxInFlight) {
 		rs.mu.Unlock()
 		rs.sendMu.Unlock()
 		return 0, runtime.ErrQueueFull
 	}
+	att := rs.att
 	rs.credits--
 	seq := rs.fed
 	rs.fed++
+	rs.lastProgress = time.Now()
+	m := &wire.Feed{SID: att.sid, Seq: seq}
+	var entry logEntry
+	for name, win := range inputs {
+		nw := wire.NamedWindow{Name: name, Win: win}
+		m.Inputs = append(m.Inputs, nw)
+		entry.inputs = append(entry.inputs, nw)
+	}
+	if rs.logFeedLocked(entry) {
+		// The log took over the caller's references; hold an extra
+		// encode reference per window so a concurrent terminal release
+		// cannot poison the samples mid-write.
+		for _, in := range m.Inputs {
+			in.Win.Retain(1)
+		}
+	}
 	rs.mu.Unlock()
 
-	m := &wire.Feed{SID: rs.sid, Seq: seq}
-	for name, win := range inputs {
-		m.Inputs = append(m.Inputs, wire.NamedWindow{Name: name, Win: win})
-	}
-	err := rs.sendLocked(m)
-	rs.sendMu.Unlock()
-	if err != nil {
-		rs.failSession(fmt.Errorf("cluster: feed to worker %s: %w", rs.w.addr, err))
-		return 0, rs.sessionErr()
-	}
+	err := att.conn.Write(m)
 	for _, in := range m.Inputs {
 		in.Win.Release()
 	}
-	rs.w.framesRouted.Add(1)
+	rs.sendMu.Unlock()
+	if err != nil {
+		// The connection died under the feed. The frame is in the
+		// replay log, so the session's fate rests with connLost: either
+		// a failover replays it or the session fails with a typed
+		// error. Either way this feed was accepted.
+		att.conn.Close()
+	}
+	att.w.framesRouted.Add(1)
 	return seq, nil
 }
 
+// send writes one session-scoped frame over the current attachment,
+// stamping its SID. Caller passes the message with SID zeroed.
 func (rs *remoteSession) send(m wire.Msg) error {
 	rs.sendMu.Lock()
 	defer rs.sendMu.Unlock()
-	return rs.sendLocked(m)
-}
-
-// sendLocked writes one frame over the session's connection epoch. The
-// caller holds sendMu, which is what keeps this session's frames in
-// wire order.
-func (rs *remoteSession) sendLocked(m wire.Msg) error {
-	rs.w.mu.Lock()
-	conn := rs.w.conn
-	epoch := rs.w.epoch
-	rs.w.mu.Unlock()
-	if conn == nil || epoch != rs.epoch {
+	rs.mu.Lock()
+	att := rs.att
+	rs.mu.Unlock()
+	if att == nil {
 		return errors.New("connection lost")
 	}
-	if err := conn.Write(m); err != nil {
-		conn.Close()
+	switch m := m.(type) {
+	case *wire.CloseSession:
+		m.SID = att.sid
+	case *wire.Feed:
+		m.SID = att.sid
+	}
+	if err := att.conn.Write(m); err != nil {
+		att.conn.Close()
 		return err
 	}
 	return nil
+}
+
+// workerAddr reports the address of the worker currently executing the
+// session, or "" while it is detached (failing over or failed).
+func (rs *remoteSession) workerAddr() string {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.att == nil {
+		return ""
+	}
+	return rs.att.w.addr
 }
 
 func (rs *remoteSession) sessionErr() error {
@@ -966,31 +1448,40 @@ func (rs *remoteSession) InFlight() int64 {
 // Close asks the worker to drain the session and waits for its
 // SessionClosed (bounded by CloseTimeout), then releases any buffered
 // results the caller never collected. It returns the session's failure,
-// if any — a clean shutdown returns nil.
+// if any — a clean shutdown (including one recovered by failover)
+// returns nil.
 func (rs *remoteSession) Close() error {
 	rs.mu.Lock()
 	already := rs.closeSent
 	rs.closeSent = true
 	ended := rs.ended
+	detached := rs.att == nil
 	rs.mu.Unlock()
-	if !already && !ended {
-		if err := rs.send(&wire.CloseSession{SID: rs.sid}); err != nil {
-			rs.failSession(fmt.Errorf("cluster: close to worker %s: %w", rs.w.addr, err))
-		}
+	if !already && !ended && !detached {
+		// A send failure means the connection died under the close;
+		// connLost owns recovery and the failover re-sends the close
+		// (closeSent is set). If the session is unrecoverable, connLost
+		// fails it and the wait below returns immediately.
+		rs.send(&wire.CloseSession{})
 	}
 	select {
 	case <-rs.done:
-	case <-time.After(rs.w.d.opts.CloseTimeout):
-		rs.failSession(fmt.Errorf("cluster: worker %s did not acknowledge close within %v",
-			rs.w.addr, rs.w.d.opts.CloseTimeout))
+	case <-time.After(rs.d.opts.CloseTimeout):
+		rs.failSession(fmt.Errorf("cluster: session close not acknowledged within %v",
+			rs.d.opts.CloseTimeout))
 	}
-	// Drop the session from the worker's table (already gone if the
+	// Drop the session from its worker's table (already gone if the
 	// worker reported SessionClosed or the connection died).
-	rs.w.mu.Lock()
-	if rs.w.sessions != nil {
-		delete(rs.w.sessions, rs.sid)
+	rs.mu.Lock()
+	att := rs.att
+	rs.mu.Unlock()
+	if att != nil {
+		att.w.mu.Lock()
+		if att.w.sessions != nil {
+			delete(att.w.sessions, att.sid)
+		}
+		att.w.mu.Unlock()
 	}
-	rs.w.mu.Unlock()
 	for {
 		select {
 		case res := <-rs.results:

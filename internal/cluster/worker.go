@@ -9,10 +9,14 @@
 // implementing serve.Backend with least-loaded placement, health
 // checks, reconnection, and per-worker circuit breakers.
 //
-// Failure semantics: a worker that dies mid-stream fails exactly the
-// sessions placed on it (each with an explicit error naming the
-// worker); the frontend keeps serving everything else, and the worker
-// may rejoin at the same address. See docs/cluster.md.
+// Failure semantics: when a worker dies mid-stream the dispatcher
+// fails its sessions over to surviving workers, replaying each
+// session's feed history so outputs stay byte-identical and clients
+// observe at-most-once delivery with no error. Sessions that cannot be
+// recovered (no surviving capacity, replay budget exceeded, failover
+// disabled) fail with a typed serve.ErrSessionLost naming the worker;
+// the frontend keeps serving everything else, and the worker may
+// rejoin at the same address. See docs/robustness.md.
 package cluster
 
 import (
@@ -164,13 +168,36 @@ wait:
 		}
 		select {
 		case <-ctx.Done():
-			err = fmt.Errorf("cluster: worker drain interrupted: %w", ctx.Err())
+			sessions, frames := w.abandonedWork()
+			err = fmt.Errorf("cluster: worker drain interrupted: %w (%d sessions with %d frames abandoned)",
+				ctx.Err(), sessions, frames)
 			break wait
 		case <-tick.C:
 		}
 	}
 	w.Close()
 	return err
+}
+
+// abandonedWork counts what an interrupted drain leaves behind: open
+// sessions and the frames they accepted but never flushed (queued plus
+// fed-minus-collected). bpworker -drain-timeout exits nonzero on it.
+func (w *Worker) abandonedWork() (sessions int, frames int64) {
+	w.mu.Lock()
+	conns := make([]*workerConn, 0, len(w.conns))
+	for c := range w.conns {
+		conns = append(conns, c)
+	}
+	w.mu.Unlock()
+	for _, c := range conns {
+		c.mu.Lock()
+		for _, s := range c.sessions {
+			sessions++
+			frames += s.fed.Load() - s.collected.Load() + int64(len(s.feedq))
+		}
+		c.mu.Unlock()
+	}
+	return sessions, frames
 }
 
 func (w *Worker) openSessions() int {
@@ -381,6 +408,14 @@ func (c *workerConn) open(m *wire.OpenSession) {
 	}
 	c.sessions[m.SID] = s
 	c.mu.Unlock()
+	if m.DeadlineMs > 0 {
+		// The frontend's per-session deadline travels with the open, so
+		// a stuck session (or an abandoned replay) cancels here even if
+		// the frontend never says another word.
+		s.ttl = time.AfterFunc(time.Duration(m.DeadlineMs)*time.Millisecond, func() {
+			s.beginAbort(errors.New("session deadline exceeded"), true)
+		})
+	}
 	go s.feeder()
 	go s.collector()
 	c.send(&wire.SessionOpened{SID: m.SID})
@@ -438,6 +473,7 @@ type workerSession struct {
 	failErr       atomic.Pointer[string]
 	feederDone    chan struct{}
 	collectorDone chan struct{}
+	ttl           *time.Timer // session deadline, nil when unbounded
 }
 
 func (s *workerSession) fail(err error) {
@@ -575,6 +611,9 @@ func (s *workerSession) drainAndClose(report bool) {
 	}
 	<-s.collectorDone
 
+	if s.ttl != nil {
+		s.ttl.Stop()
+	}
 	if report {
 		msg, _ := s.failed()
 		s.conn.send(&wire.SessionClosed{SID: s.sid, Completed: s.collected.Load(), Err: msg})

@@ -1,0 +1,260 @@
+package conformance
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"blockpar/internal/cluster"
+	"blockpar/internal/fault"
+	"blockpar/internal/frame"
+	"blockpar/internal/machine"
+	"blockpar/internal/runtime"
+	"blockpar/internal/serve"
+)
+
+// ChaosModes lists the fault campaigns CheckChaos runs: a mid-stream
+// worker kill (which must be invisible — failover replays the session
+// on the survivor), plus seeded wire-level corruption, frame drops,
+// and delivery delays from internal/fault.
+func ChaosModes() []string {
+	return []string{"kill", "corrupt", "drop", "delay"}
+}
+
+// chaosProfile maps a mode to its fault profile. The probabilities are
+// small so streams usually make progress between faults; "kill" uses
+// no injector at all (the fault is a whole-process death).
+func chaosProfile(mode string) (fault.Profile, error) {
+	switch mode {
+	case "kill":
+		return fault.Profile{}, nil
+	case "corrupt":
+		return fault.Profile{Corrupt: 0.02}, nil
+	case "drop":
+		return fault.Profile{Drop: 0.02}, nil
+	case "delay":
+		return fault.Profile{Delay: 0.3, DelayMax: 2 * time.Millisecond}, nil
+	case "partial":
+		return fault.Profile{Partial: 0.01}, nil
+	default:
+		return fault.Profile{}, fmt.Errorf("chaos: unknown mode %q (have %v)", mode, ChaosModes())
+	}
+}
+
+// typedChaosError reports whether a stream failure belongs to the
+// documented error vocabulary — the outcomes a client can program
+// against. Anything else (a hang, a raw I/O error, wrong bytes) is a
+// chaos finding.
+func typedChaosError(err error) bool {
+	return errors.Is(err, serve.ErrSessionLost) ||
+		errors.Is(err, serve.ErrUnavailable) ||
+		errors.Is(err, runtime.ErrSessionClosed) ||
+		strings.HasPrefix(err.Error(), "cluster:")
+}
+
+// CheckChaos streams a generated case through a two-worker cluster
+// while injecting seeded faults, and asserts the robustness contract:
+// the stream either completes byte-identical to the oracle golden or
+// fails with a typed error — never a hang, never silently wrong
+// samples — and every arena reference returns once the session and
+// cluster shut down. Mode "kill" is held to the stronger bar: a
+// surviving worker exists, so failover must make the kill invisible
+// and the stream MUST complete byte-identical.
+//
+// The injector wraps both directions — the dispatcher's dials and the
+// workers' accepted connections — so feeds, results, opens, closes,
+// and pings are all fair game. Callers must not run CheckChaos
+// concurrently with other arena users: the leak check compares
+// frame.Stats().Live against the baseline captured at entry.
+func CheckChaos(c *Case, seed uint64, mode string) error {
+	profile, err := chaosProfile(mode)
+	if err != nil {
+		return err
+	}
+	const frames = 6
+	want, err := OracleFrames(c, frames)
+	if err != nil {
+		return err
+	}
+
+	baseline := frame.Stats().Live
+	inj := fault.NewInjector(seed, profile)
+
+	// Two independent workers, each with its own registry holding the
+	// identical compiled variant (compilation is deterministic), so a
+	// failed-over session re-executes the same transformed graph.
+	var (
+		workers []*cluster.Worker
+		addrs   []string
+	)
+	defer func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		compiled, err := compileVariant(c, Variant{Name: "embedded", Machine: machine.Embedded(), Striping: true})
+		if err != nil {
+			return err
+		}
+		reg := serve.NewRegistry(machine.Embedded())
+		if _, err := reg.AddCompiled("case", "case", compiled, c.Sources); err != nil {
+			return err
+		}
+		w := cluster.NewWorker(reg, cluster.WorkerOptions{Name: fmt.Sprintf("chaos-w%d", i)})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		go w.Serve(inj.WrapListener(ln))
+		workers = append(workers, w)
+		addrs = append(addrs, ln.Addr().String())
+	}
+
+	compiled, err := compileVariant(c, Variant{Name: "embedded", Machine: machine.Embedded(), Striping: true})
+	if err != nil {
+		return err
+	}
+	frontend := serve.NewRegistry(machine.Embedded())
+	p, err := frontend.AddCompiled("case", "case", compiled, c.Sources)
+	if err != nil {
+		return err
+	}
+
+	opts := cluster.DispatcherOptions{
+		Dial: inj.WrapDial(func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		}),
+		PingInterval:    25 * time.Millisecond,
+		PingTimeout:     2 * time.Second,
+		ReconnectMin:    10 * time.Millisecond,
+		ReconnectMax:    100 * time.Millisecond,
+		OpenTimeout:     5 * time.Second,
+		CloseTimeout:    5 * time.Second,
+		FailoverTimeout: 10 * time.Second,
+		StallTimeout:    2 * time.Second, // well under the collect bound: a silent stall must fail over, not hang
+		BreakerFailures: 1024,            // chaos faults are transient; keep probing
+	}
+	d := cluster.NewDispatcher(addrs, opts)
+	defer d.Close()
+
+	// Both workers connected before the open, so least-loaded placement
+	// is deterministic: the fresh session lands on workers[0] — the one
+	// "kill" mode murders mid-stream.
+	if err := waitChaos(30*time.Second, func() bool {
+		rows := d.BackendStats().(map[string]any)["workers"].([]cluster.WorkerStats)
+		up := 0
+		for _, r := range rows {
+			if r.State == "connected" {
+				up++
+			}
+		}
+		return up == len(rows)
+	}); err != nil {
+		return fmt.Errorf("chaos: workers never connected: %w", err)
+	}
+
+	outcome := runChaosStream(d, p, c, want, mode, workers)
+	if outcome != nil {
+		if mode == "kill" {
+			return fmt.Errorf("chaos kill with a survivor must be invisible: %w", outcome)
+		}
+		if !typedChaosError(outcome) {
+			return fmt.Errorf("chaos: untyped failure: %w", outcome)
+		}
+	}
+
+	// Tear the cluster down and require every arena reference back:
+	// replay logs, in-flight encodes, buffered results, worker-side
+	// frames — whatever the faults interrupted.
+	d.Close()
+	for _, w := range workers {
+		w.Close()
+	}
+	if err := waitChaos(10*time.Second, func() bool {
+		return frame.Stats().Live <= baseline
+	}); err != nil {
+		return fmt.Errorf("chaos: arena leak: %d live references, baseline %d (mode %s seed %d)",
+			frame.Stats().Live, baseline, mode, seed)
+	}
+	return nil
+}
+
+// runChaosStream drives the session: feed/collect all frames with
+// bounded waits, comparing every delivered frame against the oracle.
+// A typed failure is returned for the caller to judge; wrong bytes and
+// hangs are returned as distinctive errors typedChaosError rejects.
+func runChaosStream(d *cluster.Dispatcher, p *serve.Pipeline, c *Case,
+	want []map[string][]frame.Window, mode string, workers []*cluster.Worker) error {
+
+	deadline := time.Now().Add(90 * time.Second)
+	h, err := d.Open(p, serve.OpenOptions{MaxInFlight: 2, Deadline: 2 * time.Minute})
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+
+	outputs := c.Graph.Outputs()
+	for f := 0; f < len(want); f++ {
+		// Bounded feed: transient backpressure (failover in progress,
+		// credits in flight) retries; deadline expiry is a hang.
+		for {
+			if _, err := h.TryFeed(nil); err == nil {
+				break
+			} else if !errors.Is(err, runtime.ErrQueueFull) {
+				return err
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("hang: feed %d stuck in backpressure past the chaos deadline", f)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if mode == "kill" && f == 1 {
+			// The frame just fed is in flight on workers[0]; its death
+			// must be invisible (failover to workers[1] replays it).
+			workers[0].Close()
+		}
+		res, err := h.Collect(30 * time.Second)
+		if err != nil {
+			if strings.Contains(err.Error(), "timed out") {
+				return fmt.Errorf("hang: collect %d timed out without a terminal session error", f)
+			}
+			return err
+		}
+		cmpErr := func() error {
+			if res.Seq != int64(f) {
+				return fmt.Errorf("chaos delivered frame %d, want %d (at-most-once broken)", res.Seq, f)
+			}
+			for _, out := range outputs {
+				name := out.Name()
+				if err := compareWindows(res.Outputs[name], want[f][name]); err != nil {
+					return fmt.Errorf("silent corruption: output %q frame %d: %w", name, f, err)
+				}
+			}
+			return nil
+		}()
+		for _, ws := range res.Outputs {
+			for _, w := range ws {
+				w.Release()
+			}
+		}
+		if cmpErr != nil {
+			return cmpErr
+		}
+	}
+	return h.Close()
+}
+
+// waitChaos polls cond until true or the timeout expires.
+func waitChaos(timeout time.Duration, cond func() bool) error {
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("condition not reached within %v", timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return nil
+}

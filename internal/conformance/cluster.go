@@ -31,7 +31,7 @@ func checkCluster(compiled *core.Compiled, sources map[string]frame.Generator,
 	}
 	defer stop()
 
-	h, err := d.Open(p, len(want))
+	h, err := d.Open(p, serve.OpenOptions{MaxInFlight: len(want)})
 	if err != nil {
 		return err
 	}

@@ -29,6 +29,9 @@ var (
 	seedFlag     = flag.Uint64("conformance.seed", 1, "first generator seed (replay a failure with -conformance.seed=N -conformance.n=1)")
 	backendsFlag = flag.String("conformance.backends", strings.Join(DefaultBackends(), ","),
 		"comma-separated execution backends to diff ("+strings.Join(Backends(), ", ")+"); the nightly sweep adds cluster")
+	chaosFlag = flag.Bool("conformance.chaos", false,
+		"run the full chaos matrix in TestChaosConformance (-conformance.n seeds x "+
+			strings.Join(ChaosModes(), ",")+"); without it a 2-seed smoke runs")
 )
 
 func flagBackends(t *testing.T) []string {
@@ -77,6 +80,60 @@ func TestDiffClusterSmoke(t *testing.T) {
 			c := Generate(seed)
 			if err := Check(c, CheckOptions{Backends: []string{"cluster"}}); err != nil {
 				t.Fatalf("case %s: %v", c.Name, err)
+			}
+		})
+	}
+}
+
+// TestChaosConformance is the robustness sweep: seeded random graphs
+// streamed through a two-worker cluster under seeded fault injection
+// (and mid-stream worker kills), asserting CheckChaos's contract —
+// byte-identical completion or a typed error, never a hang, never an
+// arena leak. Default is a 2-seed smoke over kill+corrupt; the CI
+// chaos-smoke job passes -conformance.chaos -conformance.n=25 and the
+// nightly sweep runs the full matrix at -conformance.n=100.
+//
+// Chaos cases never run in parallel: the arena-leak check compares the
+// global frame.Stats().Live gauge against a per-case baseline, which
+// a concurrent stream would wobble.
+func TestChaosConformance(t *testing.T) {
+	seeds, modes := 2, []string{"kill", "corrupt"}
+	if *chaosFlag {
+		seeds, modes = *nFlag, ChaosModes()
+	}
+	if testing.Short() && seeds > 5 {
+		seeds = 5
+	}
+	for i := 0; i < seeds; i++ {
+		seed := *seedFlag + uint64(i)
+		c := Generate(seed)
+		for _, mode := range modes {
+			t.Run(fmt.Sprintf("seed=%d/%s", seed, mode), func(t *testing.T) {
+				if err := CheckChaos(c, seed, mode); err != nil {
+					t.Fatalf("case %s: %v", c.Name, err)
+				}
+			})
+		}
+	}
+}
+
+// TestChaosSuiteApps holds the Figure 13 suite apps to the same bar:
+// a mid-stream worker kill on every paper benchmark must be invisible
+// — failover replays the session and every frame stays byte-identical
+// to the oracle.
+func TestChaosSuiteApps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite apps skipped in -short")
+	}
+	for _, id := range apps.IDs() {
+		t.Run("app-"+id, func(t *testing.T) {
+			app, err := apps.ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := &Case{Name: app.Name, Graph: app.Graph, Sources: app.Sources}
+			if err := CheckChaos(c, 1000+uint64(len(id)), "kill"); err != nil {
+				t.Fatalf("app %s: %v", id, err)
 			}
 		})
 	}

@@ -1,0 +1,234 @@
+// Package fault is a seeded, deterministic fault-injection layer for
+// the cluster's wire connections. An Injector wraps a dial function so
+// every connection it produces misbehaves according to a Profile:
+// outgoing frames can be corrupted (one flipped bit, which the wire
+// codec's CRC32C trailer must catch), dropped, delayed, truncated by a
+// partial write, stalled (a slow worker), or cut off by an abrupt
+// close. All decisions come from per-connection RNGs derived from one
+// master seed, so a chaos-run failure replays exactly from its seed.
+//
+// The injector sits below the wire codec — it sees opaque byte frames,
+// never message types — so it cannot accidentally respect the protocol
+// it is supposed to break. See docs/robustness.md for how the
+// conformance chaos mode uses it.
+package fault
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Profile sets per-write fault probabilities, each in [0,1]. The
+// checks run in field order against one uniform draw per write, so at
+// most one fault fires per write and the total fault rate is the sum
+// of the probabilities (callers keep it under 1).
+type Profile struct {
+	// Corrupt flips one bit of the outgoing frame. The wire CRC must
+	// turn this into a typed ErrCorrupt, never silently wrong samples.
+	Corrupt float64
+	// Drop discards the write while reporting success: the peer loses
+	// one whole protocol frame mid-stream.
+	Drop float64
+	// Partial writes a prefix of the frame and severs the connection,
+	// leaving the peer a truncated frame.
+	Partial float64
+	// Close severs the connection before the write: an abrupt worker
+	// or frontend death.
+	Close float64
+	// Delay sleeps a random duration up to DelayMax before the write.
+	Delay    float64
+	DelayMax time.Duration
+	// Stall holds the write for StallFor — a slow worker, long enough
+	// to trip health checks when StallFor exceeds the ping timeout.
+	Stall    float64
+	StallFor time.Duration
+}
+
+// Stats counts the faults an Injector actually delivered.
+type Stats struct {
+	Conns     int64 `json:"conns"`
+	Corrupted int64 `json:"corrupted"`
+	Dropped   int64 `json:"dropped"`
+	Partials  int64 `json:"partials"`
+	Closed    int64 `json:"closed"`
+	Delayed   int64 `json:"delayed"`
+	Stalled   int64 `json:"stalled"`
+}
+
+// Injector derives one deterministic fault stream per connection from
+// a master seed. Safe for concurrent use; each wrapped connection
+// serializes its own draws.
+type Injector struct {
+	seed    uint64
+	profile Profile
+	conns   atomic.Uint64
+
+	corrupted atomic.Int64
+	dropped   atomic.Int64
+	partials  atomic.Int64
+	closed    atomic.Int64
+	delayed   atomic.Int64
+	stalled   atomic.Int64
+}
+
+// NewInjector builds an injector delivering p's faults, seeded so the
+// n-th connection's fault sequence is a pure function of (seed, n).
+func NewInjector(seed uint64, p Profile) *Injector {
+	return &Injector{seed: seed, profile: p}
+}
+
+// WrapDial wraps a dial function so every connection it opens runs
+// through the injector.
+func (inj *Injector) WrapDial(dial func(addr string) (net.Conn, error)) func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		nc, err := dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		return inj.Wrap(nc), nil
+	}
+}
+
+// WrapListener wraps a listener so every accepted connection runs
+// through the injector — the server-side twin of WrapDial, covering
+// the result/credit direction of a wire conversation.
+func (inj *Injector) WrapListener(ln net.Listener) net.Listener {
+	return &faultListener{Listener: ln, inj: inj}
+}
+
+type faultListener struct {
+	net.Listener
+	inj *Injector
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	nc, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.inj.Wrap(nc), nil
+}
+
+// Wrap returns nc with this injector's faults applied to its writes.
+func (inj *Injector) Wrap(nc net.Conn) net.Conn {
+	n := inj.conns.Add(1)
+	return &faultConn{
+		Conn: nc,
+		inj:  inj,
+		rng:  rand.New(rand.NewSource(int64(mix(inj.seed, n)))),
+	}
+}
+
+// Stats reports the faults delivered so far.
+func (inj *Injector) Stats() Stats {
+	return Stats{
+		Conns:     int64(inj.conns.Load()),
+		Corrupted: inj.corrupted.Load(),
+		Dropped:   inj.dropped.Load(),
+		Partials:  inj.partials.Load(),
+		Closed:    inj.closed.Load(),
+		Delayed:   inj.delayed.Load(),
+		Stalled:   inj.stalled.Load(),
+	}
+}
+
+// mix is splitmix64's finalizer over the seed and connection index —
+// adjacent seeds must not produce correlated per-conn streams.
+func mix(seed, n uint64) uint64 {
+	z := seed + n*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// faultConn applies one fault stream to a connection's writes.
+type faultConn struct {
+	net.Conn
+	inj *Injector
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// decide draws once and returns the fault to apply plus any sampled
+// delay, under mu so concurrent writers see a deterministic total
+// order of draws.
+type faultKind int
+
+const (
+	faultNone faultKind = iota
+	faultCorrupt
+	faultDrop
+	faultPartial
+	faultClose
+	faultDelay
+	faultStall
+)
+
+func (c *faultConn) decide() (faultKind, int, time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := &c.inj.profile
+	u := c.rng.Float64()
+	bit := c.rng.Intn(1 << 30) // consumed every draw to keep streams aligned
+	var delay time.Duration
+	if p.DelayMax > 0 {
+		delay = time.Duration(c.rng.Int63n(int64(p.DelayMax))) + time.Millisecond
+	}
+	switch {
+	case u < p.Corrupt:
+		return faultCorrupt, bit, 0
+	case u < p.Corrupt+p.Drop:
+		return faultDrop, 0, 0
+	case u < p.Corrupt+p.Drop+p.Partial:
+		return faultPartial, 0, 0
+	case u < p.Corrupt+p.Drop+p.Partial+p.Close:
+		return faultClose, 0, 0
+	case u < p.Corrupt+p.Drop+p.Partial+p.Close+p.Delay:
+		return faultDelay, 0, delay
+	case u < p.Corrupt+p.Drop+p.Partial+p.Close+p.Delay+p.Stall:
+		return faultStall, 0, p.StallFor
+	}
+	return faultNone, 0, 0
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	kind, bit, delay := c.decide()
+	switch kind {
+	case faultCorrupt:
+		c.inj.corrupted.Add(1)
+		dup := make([]byte, len(b))
+		copy(dup, b)
+		if len(dup) > 0 {
+			i := bit % len(dup)
+			dup[i] ^= 1 << (bit % 8)
+		}
+		n, err := c.Conn.Write(dup)
+		return n, err
+	case faultDrop:
+		c.inj.dropped.Add(1)
+		return len(b), nil
+	case faultPartial:
+		c.inj.partials.Add(1)
+		n := len(b) / 2
+		if n > 0 {
+			c.Conn.Write(b[:n])
+		}
+		c.Conn.Close()
+		return n, net.ErrClosed
+	case faultClose:
+		c.inj.closed.Add(1)
+		c.Conn.Close()
+		return 0, net.ErrClosed
+	case faultDelay:
+		c.inj.delayed.Add(1)
+		time.Sleep(delay)
+	case faultStall:
+		c.inj.stalled.Add(1)
+		time.Sleep(delay)
+	}
+	return c.Conn.Write(b)
+}

@@ -1,0 +1,186 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"blockpar/internal/wire"
+)
+
+// sinkConn is a net.Conn that captures writes, for asserting exactly
+// what a fault let through.
+type sinkConn struct {
+	buf    bytes.Buffer
+	closed bool
+}
+
+func (s *sinkConn) Write(b []byte) (int, error)        { return s.buf.Write(b) }
+func (s *sinkConn) Read(b []byte) (int, error)         { return 0, net.ErrClosed }
+func (s *sinkConn) Close() error                       { s.closed = true; return nil }
+func (s *sinkConn) LocalAddr() net.Addr                { return nil }
+func (s *sinkConn) RemoteAddr() net.Addr               { return nil }
+func (s *sinkConn) SetDeadline(t time.Time) error      { return nil }
+func (s *sinkConn) SetReadDeadline(t time.Time) error  { return nil }
+func (s *sinkConn) SetWriteDeadline(t time.Time) error { return nil }
+
+func TestFaultKindsDeliver(t *testing.T) {
+	payload := []byte("block-parallel wire frame payload")
+
+	t.Run("corrupt", func(t *testing.T) {
+		sink := &sinkConn{}
+		inj := NewInjector(7, Profile{Corrupt: 1})
+		c := inj.Wrap(sink)
+		if _, err := c.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+		got := sink.buf.Bytes()
+		if len(got) != len(payload) {
+			t.Fatalf("corrupt wrote %d bytes, want %d", len(got), len(payload))
+		}
+		if bytes.Equal(got, payload) {
+			t.Fatal("corrupt fault delivered the frame unmodified")
+		}
+		diff := 0
+		for i := range got {
+			diff += bytesDiffBits(got[i], payload[i])
+		}
+		if diff != 1 {
+			t.Errorf("corrupt flipped %d bits, want exactly 1", diff)
+		}
+		if inj.Stats().Corrupted != 1 {
+			t.Errorf("stats %+v, want Corrupted=1", inj.Stats())
+		}
+	})
+
+	t.Run("drop", func(t *testing.T) {
+		sink := &sinkConn{}
+		inj := NewInjector(7, Profile{Drop: 1})
+		c := inj.Wrap(sink)
+		n, err := c.Write(payload)
+		if err != nil || n != len(payload) {
+			t.Fatalf("drop must report success, got n=%d err=%v", n, err)
+		}
+		if sink.buf.Len() != 0 {
+			t.Errorf("drop let %d bytes through", sink.buf.Len())
+		}
+		if inj.Stats().Dropped != 1 {
+			t.Errorf("stats %+v, want Dropped=1", inj.Stats())
+		}
+	})
+
+	t.Run("partial", func(t *testing.T) {
+		sink := &sinkConn{}
+		inj := NewInjector(7, Profile{Partial: 1})
+		c := inj.Wrap(sink)
+		if _, err := c.Write(payload); err == nil {
+			t.Fatal("partial write must surface an error")
+		}
+		if sink.buf.Len() == 0 || sink.buf.Len() >= len(payload) {
+			t.Errorf("partial wrote %d of %d bytes, want a strict prefix", sink.buf.Len(), len(payload))
+		}
+		if !sink.closed {
+			t.Error("partial must sever the connection")
+		}
+		if inj.Stats().Partials != 1 {
+			t.Errorf("stats %+v, want Partials=1", inj.Stats())
+		}
+	})
+
+	t.Run("close", func(t *testing.T) {
+		sink := &sinkConn{}
+		inj := NewInjector(7, Profile{Close: 1})
+		c := inj.Wrap(sink)
+		if _, err := c.Write(payload); err == nil {
+			t.Fatal("abrupt close must surface an error")
+		}
+		if sink.buf.Len() != 0 {
+			t.Errorf("close let %d bytes through", sink.buf.Len())
+		}
+		if !sink.closed {
+			t.Error("close must sever the connection")
+		}
+		if inj.Stats().Closed != 1 {
+			t.Errorf("stats %+v, want Closed=1", inj.Stats())
+		}
+	})
+
+	t.Run("delay-and-stall", func(t *testing.T) {
+		sink := &sinkConn{}
+		inj := NewInjector(7, Profile{Delay: 0.5, DelayMax: time.Millisecond, Stall: 0.5, StallFor: time.Millisecond})
+		c := inj.Wrap(sink)
+		for i := 0; i < 64; i++ {
+			if _, err := c.Write(payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := inj.Stats()
+		if st.Delayed == 0 || st.Stalled == 0 {
+			t.Errorf("stats %+v, want both delays and stalls over 64 writes", st)
+		}
+		if sink.buf.Len() != 64*len(payload) {
+			t.Errorf("delays must not lose bytes: %d, want %d", sink.buf.Len(), 64*len(payload))
+		}
+	})
+}
+
+func bytesDiffBits(a, b byte) int {
+	d, n := a^b, 0
+	for ; d != 0; d &= d - 1 {
+		n++
+	}
+	return n
+}
+
+// TestFaultDeterminism: the same seed must reproduce the same fault
+// sequence over the same operations — the property that makes a chaos
+// failure replayable — and a different seed must diverge.
+func TestFaultDeterminism(t *testing.T) {
+	run := func(seed uint64) Stats {
+		inj := NewInjector(seed, Profile{
+			Corrupt: 0.1, Drop: 0.1, Partial: 0.05, Close: 0.05,
+			Delay: 0.1, DelayMax: time.Microsecond,
+		})
+		payload := bytes.Repeat([]byte{0xAB}, 64)
+		for conn := 0; conn < 4; conn++ {
+			c := inj.Wrap(&sinkConn{})
+			for i := 0; i < 100; i++ {
+				c.Write(payload)
+			}
+		}
+		return inj.Stats()
+	}
+	a, b := run(42), run(42)
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	if c := run(43); c == a {
+		t.Fatalf("seeds 42 and 43 produced identical fault sequences: %+v", c)
+	}
+	if a.Corrupted == 0 || a.Dropped == 0 || a.Closed == 0 {
+		t.Errorf("mixed profile over 400 writes delivered no faults of some kind: %+v", a)
+	}
+}
+
+// TestFaultCorruptionIsTyped pairs the injector with the wire codec:
+// a corrupted frame must surface as wire.ErrCorrupt on the reader —
+// the CRC trailer turning silent bit rot into a typed connection
+// error — never as a decoded message with wrong bytes.
+func TestFaultCorruptionIsTyped(t *testing.T) {
+	a, b := net.Pipe()
+	inj := NewInjector(99, Profile{Corrupt: 1})
+	wc := wire.NewConn(inj.Wrap(a))
+	rc := wire.NewConn(b)
+	go wc.Write(&wire.Feed{SID: 1, Seq: 0})
+	_, err := rc.Read()
+	if err == nil {
+		t.Fatal("reader decoded a corrupted frame")
+	}
+	if !errors.Is(err, wire.ErrCorrupt) {
+		t.Fatalf("corrupted frame read error %v, want wire.ErrCorrupt", err)
+	}
+	wc.Close()
+	rc.Close()
+}

@@ -62,6 +62,10 @@ type PoolStats struct {
 	// bucket without touching the heap.
 	Gets int64 `json:"gets"`
 	Hits int64 `json:"hits"`
+	// Puts counts buffers returned by a final Release. Gets - Puts
+	// equals Live, so a Puts gauge that stops tracking Gets after a
+	// failure is the signature of a reference leak.
+	Puts int64 `json:"puts"`
 	// Live is the number of pooled buffers currently retained
 	// somewhere in a pipeline or result set.
 	Live int64 `json:"live"`
@@ -84,6 +88,7 @@ func Stats() PoolStats {
 	return PoolStats{
 		Gets:        poolStats.gets.Load(),
 		Hits:        poolStats.hits.Load(),
+		Puts:        poolStats.puts.Load(),
 		Live:        poolStats.live.Load(),
 		PooledBytes: poolStats.pooled.Load(),
 	}

@@ -13,6 +13,13 @@ import (
 // retry elsewhere instead of treating them as server errors.
 var ErrUnavailable = errors.New("serve: no execution capacity available")
 
+// ErrSessionLost tags sessions whose execution was lost mid-stream and
+// could not be recovered by failover (worker death with no surviving
+// capacity, or a session past its replay budget). It is a transient
+// infrastructure fault, not a caller mistake: the HTTP layer maps it
+// to 503 + Retry-After so clients reopen the session.
+var ErrSessionLost = errors.New("serve: session execution lost")
+
 // SessionHandle is the server's view of one streaming execution
 // instance, wherever it runs. *runtime.Session satisfies it directly
 // (in-process execution); the cluster dispatcher returns handles that
@@ -35,18 +42,46 @@ type SessionHandle interface {
 	Close() error
 }
 
+// OpenOptions parameterize one session placement.
+type OpenOptions struct {
+	// MaxInFlight bounds the session's frame queue.
+	MaxInFlight int
+	// Deadline, when positive, is a wall-clock budget for the whole
+	// session. Backends propagate it to wherever execution lands (the
+	// cluster dispatcher bounds failover with it and ships it to the
+	// worker), so a stuck session cancels cleanly instead of pinning
+	// resources forever. Zero means no deadline.
+	Deadline time.Duration
+}
+
 // Backend decides where sessions execute. The default runs them
 // in-process; the cluster dispatcher places them on remote workers.
 type Backend interface {
-	// Open starts a session for the pipeline with the given bounded
-	// frame queue. Capacity failures are tagged ErrUnavailable.
-	Open(p *Pipeline, maxInFlight int) (SessionHandle, error)
+	// Open starts a session for the pipeline. Capacity failures are
+	// tagged ErrUnavailable.
+	Open(p *Pipeline, opts OpenOptions) (SessionHandle, error)
 }
 
 // StatsReporter is implemented by backends with their own gauges (the
 // cluster dispatcher); /metrics inlines the report when present.
 type StatsReporter interface {
 	BackendStats() any
+}
+
+// Readiness summarizes whether a backend can currently place sessions.
+type Readiness struct {
+	// Status is "ok", "degraded" (capacity reduced but sessions still
+	// place, e.g. some cluster workers down or breaker-open), or
+	// "unavailable" (no placement possible).
+	Status string `json:"status"`
+	// Detail explains a non-ok status for humans.
+	Detail string `json:"detail,omitempty"`
+}
+
+// ReadinessReporter is implemented by backends that can distinguish
+// degraded from healthy capacity; /healthz/ready inlines the report.
+type ReadinessReporter interface {
+	Readiness() Readiness
 }
 
 // localBackend executes sessions in-process, preserving the original
@@ -56,9 +91,9 @@ type localBackend struct {
 	workers  int
 }
 
-func (b localBackend) Open(p *Pipeline, maxInFlight int) (SessionHandle, error) {
+func (b localBackend) Open(p *Pipeline, opts OpenOptions) (SessionHandle, error) {
 	return p.NewSession(runtime.SessionOptions{
-		MaxInFlight: maxInFlight,
+		MaxInFlight: opts.MaxInFlight,
 		Executor:    b.executor,
 		Workers:     b.workers,
 	})

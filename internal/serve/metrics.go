@@ -56,6 +56,7 @@ type metrics struct {
 	framesIn       atomic.Int64
 	framesOut      atomic.Int64
 	rejected       atomic.Int64
+	shed           atomic.Int64
 	sessionsOpened atomic.Int64
 	sessionsClosed atomic.Int64
 	panics         atomic.Int64

@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"blockpar/internal/frame"
+	"blockpar/internal/machine"
+	"blockpar/internal/runtime"
+)
+
+// sheddingBackend refuses every placement with the typed capacity
+// error, standing in for a cluster with no placeable worker.
+type sheddingBackend struct {
+	readiness Readiness
+}
+
+func (b *sheddingBackend) Open(p *Pipeline, opts OpenOptions) (SessionHandle, error) {
+	return nil, fmt.Errorf("%w: no healthy cluster worker", ErrUnavailable)
+}
+
+func (b *sheddingBackend) Readiness() Readiness { return b.readiness }
+
+// degradedBackend places sessions normally but reports reduced
+// capacity, like a cluster with some workers down.
+type degradedBackend struct {
+	localBackend
+}
+
+func (b *degradedBackend) Readiness() Readiness {
+	return Readiness{Status: "degraded", Detail: "1/2 cluster workers placeable"}
+}
+
+// TestServeRetryAfterOnShed covers the 503 shed path end to end: a
+// backend without capacity turns session opens into 503 with a
+// Retry-After header (the 429 twin lives in TestServeBackpressure429),
+// the shed counter moves, and readiness reports unavailable.
+func TestServeRetryAfterOnShed(t *testing.T) {
+	reg := NewRegistry(machine.Embedded())
+	if err := reg.AddSuite("5"); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(reg, Options{
+		Backend: &sheddingBackend{readiness: Readiness{Status: "unavailable", Detail: "0/2 cluster workers placeable"}},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, hdr, reply := doJSON(t, ts, "POST", "/sessions", map[string]any{"pipeline": "5"})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("open with no capacity: got %d, want 503 (%s)", code, reply["error"])
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("503 shed reply is missing Retry-After")
+	}
+
+	code, _, m := doJSON(t, ts, "GET", "/metrics", nil)
+	if code != http.StatusOK {
+		t.Fatalf("metrics: got %d", code)
+	}
+	var shed int64
+	if err := json.Unmarshal(m["shed_503"], &shed); err != nil {
+		t.Fatal(err)
+	}
+	if shed < 1 {
+		t.Errorf("metrics shed_503 = %d, want >= 1", shed)
+	}
+
+	code, _, rd := doJSON(t, ts, "GET", "/healthz/ready", nil)
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("readiness with no capacity: got %d, want 503", code)
+	}
+	var status string
+	if err := json.Unmarshal(rd["status"], &status); err != nil {
+		t.Fatal(err)
+	}
+	if status != "unavailable" {
+		t.Errorf("readiness status %q, want unavailable", status)
+	}
+}
+
+// stuckBackend hands out sessions that accept frames but block their
+// Close until released — a worker that will not finish draining.
+type stuckBackend struct {
+	release chan struct{}
+}
+
+func (b *stuckBackend) Open(p *Pipeline, opts OpenOptions) (SessionHandle, error) {
+	return &stuckSession{release: b.release}, nil
+}
+
+type stuckSession struct {
+	fed     int64
+	release chan struct{}
+}
+
+func (s *stuckSession) TryFeed(map[string]frame.Window) (int64, error) {
+	s.fed++
+	return s.fed - 1, nil
+}
+
+func (s *stuckSession) Collect(timeout time.Duration) (*runtime.StreamResult, error) {
+	return nil, fmt.Errorf("collect timed out after %v", timeout)
+}
+
+func (s *stuckSession) Fed() int64       { return s.fed }
+func (s *stuckSession) Completed() int64 { return 0 }
+func (s *stuckSession) InFlight() int64  { return s.fed }
+func (s *stuckSession) Close() error     { <-s.release; return nil }
+
+// TestServeDrainTimeoutAbandons pins the drain-timeout contract the
+// -drain-timeout flag relies on: when sessions cannot finish inside
+// the budget, Shutdown returns an error naming the abandoned work (so
+// bpserve exits nonzero) instead of pretending the drain was clean.
+func TestServeDrainTimeoutAbandons(t *testing.T) {
+	reg := NewRegistry(machine.Embedded())
+	if err := reg.AddSuite("5"); err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	defer close(release)
+	srv := NewServer(reg, Options{Backend: &stuckBackend{release: release}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	id := openSession(t, ts, "5", 4)
+	for i := 0; i < 2; i++ {
+		if code, _, reply := doJSON(t, ts, "POST", "/sessions/"+id+"/frames", nil); code != http.StatusAccepted {
+			t.Fatalf("feed %d: got %d (%s)", i, code, reply["error"])
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	err := srv.Shutdown(ctx)
+	if err == nil {
+		t.Fatal("drain past its budget reported a clean shutdown")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("drain-timeout error %v, want context.DeadlineExceeded in its chain", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "abandoned") || !strings.Contains(msg, "2 in-flight frames") {
+		t.Errorf("drain-timeout error %q does not name the abandoned work", msg)
+	}
+}
+
+// TestServeHealthzSplit pins the liveness/readiness contract: liveness
+// stays 200 through degradation and draining (a draining server is
+// alive), readiness answers 200 for ok and degraded but 503 once the
+// server drains.
+func TestServeHealthzSplit(t *testing.T) {
+	reg := NewRegistry(machine.Embedded())
+	if err := reg.AddSuite("5"); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(reg, Options{Backend: &degradedBackend{}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if code, _, _ := doJSON(t, ts, "GET", "/healthz/live", nil); code != http.StatusOK {
+		t.Errorf("liveness: got %d, want 200", code)
+	}
+	code, _, rd := doJSON(t, ts, "GET", "/healthz/ready", nil)
+	if code != http.StatusOK {
+		t.Errorf("degraded readiness: got %d, want 200 (load balancers must keep routing)", code)
+	}
+	var status, detail string
+	json.Unmarshal(rd["status"], &status)
+	json.Unmarshal(rd["detail"], &detail)
+	if status != "degraded" || detail == "" {
+		t.Errorf("degraded readiness reported status=%q detail=%q", status, detail)
+	}
+
+	// Sessions still place while degraded.
+	id := openSession(t, ts, "5", 2)
+	if code, _, _ := doJSON(t, ts, "DELETE", "/sessions/"+id, nil); code != http.StatusOK {
+		t.Errorf("close session: got %d, want 200", code)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if code, _, _ := doJSON(t, ts, "GET", "/healthz/live", nil); code != http.StatusOK {
+		t.Errorf("liveness while draining: got %d, want 200", code)
+	}
+	code, _, rd = doJSON(t, ts, "GET", "/healthz/ready", nil)
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("readiness while draining: got %d, want 503", code)
+	}
+	json.Unmarshal(rd["status"], &status)
+	if status != "draining" {
+		t.Errorf("draining readiness status %q, want draining", status)
+	}
+}

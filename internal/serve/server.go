@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"blockpar/internal/desc"
@@ -36,6 +37,11 @@ type Options struct {
 	// with the Executor/Workers settings above; a cluster dispatcher
 	// places them on remote bpworker processes.
 	Backend Backend
+	// SessionDeadline, when positive, bounds every session's total
+	// wall-clock lifetime. It propagates through the backend (the
+	// cluster dispatcher bounds failover with it and ships it to the
+	// worker) so stuck sessions cancel cleanly. Zero means unbounded.
+	SessionDeadline time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -83,6 +89,8 @@ func NewServer(reg *Registry, opts Options) *Server {
 		s.backend = localBackend{executor: s.opts.Executor, workers: s.opts.Workers}
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /healthz/live", s.handleLiveness)
+	s.mux.HandleFunc("GET /healthz/ready", s.handleReadiness)
 	s.mux.HandleFunc("GET /pipelines", s.handlePipelines)
 	s.mux.HandleFunc("POST /pipelines", s.handleAddPipeline)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -125,17 +133,30 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Unlock()
 
 	done := make(chan struct{})
+	var drained atomic.Int64
 	go func() {
 		defer close(done)
 		for _, sess := range sessions {
 			s.removeSession(sess)
+			drained.Add(1)
 		}
 	}()
 	select {
 	case <-done:
 		return nil
 	case <-ctx.Done():
-		return fmt.Errorf("serve: shutdown drain interrupted: %w", ctx.Err())
+		// Count what the interrupted drain leaves behind so operators
+		// (and the -drain-timeout exit code) can tell a clean timeout
+		// from abandoned work. The count walks the captured slice, not
+		// the table: removeSession drops a session from the table before
+		// its (possibly stuck) close finishes.
+		var abandoned, open int64
+		for _, sess := range sessions[drained.Load():] {
+			open++
+			abandoned += sess.rt.InFlight()
+		}
+		return fmt.Errorf("serve: shutdown drain interrupted: %w (%d sessions with %d in-flight frames abandoned)",
+			ctx.Err(), open, abandoned)
 	}
 }
 
@@ -176,6 +197,43 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"uptime_s":  time.Since(s.started).Seconds(),
 		"pipelines": len(s.reg.List()),
 		"sessions":  open,
+	})
+}
+
+// handleLiveness answers 200 whenever the process is serving requests,
+// draining included — a draining server is alive, just not accepting
+// work. Restart-on-liveness probes must point here, not at readiness.
+func (s *Server) handleLiveness(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.started).Seconds(),
+	})
+}
+
+// handleReadiness reports whether the server should receive new
+// sessions: "ok", "degraded" (capacity reduced — some cluster workers
+// down or breaker-open — but placement still possible, answered 200 so
+// load balancers keep routing), or 503 for draining/unavailable.
+func (s *Server) handleReadiness(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	open := len(s.sessions)
+	s.mu.Unlock()
+	rd := Readiness{Status: "ok"}
+	if rr, ok := s.backend.(ReadinessReporter); ok {
+		rd = rr.Readiness()
+	}
+	if closed {
+		rd = Readiness{Status: "draining", Detail: "server is draining"}
+	}
+	code := http.StatusOK
+	if rd.Status != "ok" && rd.Status != "degraded" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":   rd.Status,
+		"detail":   rd.Detail,
+		"sessions": open,
 	})
 }
 
@@ -264,6 +322,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"frames_in":       s.metrics.framesIn.Load(),
 		"frames_out":      s.metrics.framesOut.Load(),
 		"rejected_429":    s.metrics.rejected.Load(),
+		"shed_503":        s.metrics.shed.Load(),
 		"sessions_open":   open,
 		"sessions_opened": s.metrics.sessionsOpened.Load(),
 		"sessions_closed": s.metrics.sessionsClosed.Load(),
@@ -274,6 +333,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"pool": map[string]any{
 			"gets":         pool.Gets,
 			"hits":         pool.Hits,
+			"puts":         pool.Puts,
 			"hit_rate":     pool.HitRate(),
 			"buffers_live": pool.Live,
 			"pooled_bytes": pool.PooledBytes,
@@ -313,6 +373,7 @@ func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
 	if len(s.sessions) >= s.opts.MaxSessions {
 		s.mu.Unlock()
 		s.metrics.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
 		writeErr(w, http.StatusTooManyRequests,
 			fmt.Sprintf("session limit %d reached", s.opts.MaxSessions))
 		return
@@ -323,13 +384,16 @@ func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
 	s.sessions[id] = nil
 	s.mu.Unlock()
 
-	rt, err := s.backend.Open(p, maxInFlight)
+	rt, err := s.backend.Open(p, OpenOptions{
+		MaxInFlight: maxInFlight,
+		Deadline:    s.opts.SessionDeadline,
+	})
 	if err != nil {
 		s.mu.Lock()
 		delete(s.sessions, id)
 		s.mu.Unlock()
-		if errors.Is(err, ErrUnavailable) {
-			s.metrics.rejected.Add(1)
+		if errors.Is(err, ErrUnavailable) || errors.Is(err, ErrSessionLost) {
+			s.metrics.shed.Add(1)
 			w.Header().Set("Retry-After", "1")
 			writeErr(w, http.StatusServiceUnavailable, err.Error())
 			return
@@ -472,6 +536,10 @@ func (s *Server) collectAndReply(w http.ResponseWriter, r *http.Request, sess *s
 	res, lat, err := sess.collect(timeout)
 	if err != nil {
 		switch {
+		case errors.Is(err, ErrSessionLost), errors.Is(err, ErrUnavailable):
+			s.metrics.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, err.Error())
 		case errors.Is(err, runtime.ErrSessionClosed):
 			writeErr(w, http.StatusConflict, err.Error())
 		case isTimeout(err):
@@ -495,13 +563,19 @@ func (s *Server) collectAndReply(w http.ResponseWriter, r *http.Request, sess *s
 }
 
 // feedError maps a runtime feed failure onto an HTTP status: queue
-// saturation is backpressure (429), everything else a server error.
+// saturation is backpressure (429 + Retry-After), a lost or shed
+// session is transient capacity loss (503 + Retry-After), everything
+// else a caller mistake or server error.
 func (s *Server) feedError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, runtime.ErrQueueFull):
 		s.metrics.rejected.Add(1)
 		w.Header().Set("Retry-After", "1")
 		writeErr(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrSessionLost), errors.Is(err, ErrUnavailable):
+		s.metrics.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
 	case errors.Is(err, runtime.ErrBadFrame):
 		writeErr(w, http.StatusBadRequest, err.Error())
 	case errors.Is(err, runtime.ErrSessionClosed):

@@ -174,23 +174,29 @@ func (m *PipelineReady) decode(r *reader) {
 // OpenSession places a streaming session on the worker. SID is chosen
 // by the frontend and namespaces every session-scoped frame that
 // follows; MaxInFlight is the credit budget (mirroring the runtime's
-// bounded frame queue).
+// bounded frame queue). DeadlineMs, when nonzero, is a wall-clock
+// budget for the whole session: the worker aborts the session with a
+// typed error once it expires, so a stuck replay or an abandoned
+// frontend can never pin worker state forever.
 type OpenSession struct {
 	SID         uint64
 	Pipeline    string
 	MaxInFlight uint32
+	DeadlineMs  uint32
 }
 
 func (*OpenSession) Type() MsgType { return TypeOpenSession }
 func (m *OpenSession) append(b []byte) []byte {
 	b = appendU64(b, m.SID)
 	b = appendStr(b, m.Pipeline)
-	return appendU32(b, m.MaxInFlight)
+	b = appendU32(b, m.MaxInFlight)
+	return appendU32(b, m.DeadlineMs)
 }
 func (m *OpenSession) decode(r *reader) {
 	m.SID = r.u64("open sid")
 	m.Pipeline = r.str("open pipeline")
 	m.MaxInFlight = r.u32("open max-in-flight")
+	m.DeadlineMs = r.u32("open deadline-ms")
 }
 
 // SessionOpened answers OpenSession.

@@ -19,8 +19,10 @@
 //     one reference to, under the standard retain/release contract.
 //   - Version explicitly. The handshake carries a magic and a protocol
 //     version; everything after it is frames of [u32 length | u8 type
-//     | payload] with all integers big-endian and float64 samples as
-//     IEEE-754 bits.
+//     | payload | u32 crc32c] with all integers big-endian and float64
+//     samples as IEEE-754 bits. The CRC32C trailer covers type+payload,
+//     so a corrupted frame is a typed decode error (ErrCorrupt), never
+//     silently wrong samples.
 //
 // See docs/cluster.md for the full frame catalogue and the control
 // flow between frontend and worker.
@@ -37,11 +39,12 @@ import (
 )
 
 // Magic opens the Hello frame: "BPW" plus the wire format generation.
-const Magic uint32 = 0x42505701 // "BPW\x01"
+const Magic uint32 = 0x42505702 // "BPW\x02"
 
 // Version is the protocol version spoken by this build. A peer with a
-// different version is rejected at handshake.
-const Version uint16 = 1
+// different version is rejected at handshake. Version 2 added the
+// CRC32C frame trailer and the OpenSession deadline.
+const Version uint16 = 2
 
 // MaxFrame bounds a single frame's encoded size; a length prefix past
 // it is treated as corruption and kills the connection before any

@@ -114,7 +114,7 @@ func sampleMsgs() []Msg {
 		&EnsurePipeline{ID: "edges", Source: "json", Desc: []byte(`{"name":"edges"}`)},
 		&PipelineReady{ID: "edges"},
 		&PipelineReady{ID: "bad", Err: "compile failed"},
-		&OpenSession{SID: 7, Pipeline: "1", MaxInFlight: 8},
+		&OpenSession{SID: 7, Pipeline: "1", MaxInFlight: 8, DeadlineMs: 30_000},
 		&SessionOpened{SID: 7},
 		&Feed{SID: 7, Seq: 3, Inputs: []NamedWindow{
 			{Name: "in", Win: frame.FromRows([][]float64{{1, 2}, {3, 4}})},
@@ -222,6 +222,66 @@ func TestConnFraming(t *testing.T) {
 			t.Fatalf("conn delivered %s differently", want.Type())
 		}
 		releaseMsg(got)
+	}
+}
+
+// TestConnRejectsBitFlips corrupts every single byte position of an
+// encoded frame in turn and requires the reader to reject each one as
+// ErrCorrupt. Without the CRC trailer a flipped sample bit would
+// decode cleanly into silently wrong data, which the fault-injection
+// chaos mode could never distinguish from a real miscomputation.
+func TestConnRejectsBitFlips(t *testing.T) {
+	// Capture the exact bytes Write emits for one Feed frame.
+	client, server := net.Pipe()
+	cw := NewConn(client)
+	var raw []byte
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 1<<16)
+		n, _ := server.Read(buf)
+		raw = append(raw, buf[:n]...)
+	}()
+	feed := &Feed{SID: 9, Seq: 1, Inputs: []NamedWindow{
+		{Name: "in", Win: frame.FromRows([][]float64{{1, 2}, {3, 4}})},
+	}}
+	if err := cw.Write(feed); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	<-done
+	client.Close()
+	server.Close()
+	if len(raw) < 9 {
+		t.Fatalf("captured only %d bytes", len(raw))
+	}
+
+	// The intact frame must read back.
+	deliver := func(b []byte) (Msg, error) {
+		a, bconn := net.Pipe()
+		defer a.Close()
+		defer bconn.Close()
+		go func() { a.Write(b); a.Close() }()
+		return NewConn(bconn).Read()
+	}
+	if m, err := deliver(raw); err != nil {
+		t.Fatalf("intact frame rejected: %v", err)
+	} else {
+		releaseMsg(m)
+	}
+
+	// Flip one bit in every byte past the length prefix: type, payload,
+	// and the trailer itself must all be covered.
+	for i := 4; i < len(raw); i++ {
+		mut := append([]byte(nil), raw...)
+		mut[i] ^= 0x10
+		m, err := deliver(mut)
+		if err == nil {
+			releaseMsg(m)
+			t.Fatalf("bit flip at offset %d decoded cleanly", i)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bit flip at offset %d returned untyped error %v", i, err)
+		}
 	}
 }
 
