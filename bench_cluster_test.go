@@ -82,3 +82,46 @@ func BenchmarkClusterLoopback(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkPartitionedLoopback prices the placement layer: the same
+// apps streamed through one session split across a 2- and 3-worker
+// loopback fleet, with cut-edge traffic relayed through the
+// dispatcher. Against the whole-session cluster mode above, the delta
+// is partition transport: per-cut-edge frames, credits, and the
+// dispatcher relay hop. BENCH_pr6.json records a snapshot.
+func BenchmarkPartitionedLoopback(b *testing.B) {
+	const frames = 4
+	for _, id := range []string{"1", "2", "5"} {
+		for _, workers := range []int{2, 3} {
+			b.Run(fmt.Sprintf("%s/partitioned%d", id, workers), func(b *testing.B) {
+				d, _, stop, err := cluster.LoopbackFleet(workers,
+					cluster.DispatcherOptions{Partitions: workers},
+					func(i int) *cluster.Worker {
+						reg := serve.NewRegistry(machine.Embedded())
+						if err := reg.AddSuite(id); err != nil {
+							panic(err)
+						}
+						return cluster.NewWorker(reg, cluster.WorkerOptions{Name: fmt.Sprintf("w%d", i)})
+					})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer stop()
+				reg := serve.NewRegistry(machine.Embedded())
+				if err := reg.AddSuite(id); err != nil {
+					b.Fatal(err)
+				}
+				p, _ := reg.Get(id)
+				h, err := d.Open(p, serve.OpenOptions{MaxInFlight: frames})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer h.Close()
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					streamFrames(b, h, frames)
+				}
+			})
+		}
+	}
+}

@@ -8,6 +8,7 @@
 //	bpc -app SF -stage parallel -dot > sf.dot
 //	bpc -app 5 -stage buffered
 //	bpc -app 1F -analysis
+//	bpc -app SF -plan 3
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"blockpar/internal/desc"
 	"blockpar/internal/graph"
 	"blockpar/internal/machine"
+	"blockpar/internal/placement"
 	"blockpar/internal/transform"
 )
 
@@ -33,15 +35,16 @@ func main() {
 	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of a summary")
 	encode := flag.Bool("encode", false, "emit the raw application as a JSON description and exit")
 	showAnalysis := flag.Bool("analysis", false, "print the per-kernel analysis table")
+	plan := flag.Int("plan", 0, "print the cross-worker placement plan for a fleet of N workers and exit")
 	flag.Parse()
 
-	if err := run(*appID, *file, *stage, *align, *dot, *encode, *showAnalysis); err != nil {
+	if err := run(*appID, *file, *stage, *align, *dot, *encode, *showAnalysis, *plan); err != nil {
 		fmt.Fprintln(os.Stderr, "bpc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(appID, file, stage, align string, dot, encode, showAnalysis bool) error {
+func run(appID, file, stage, align string, dot, encode, showAnalysis bool, plan int) error {
 	var g *graph.Graph
 	if file != "" {
 		data, err := os.ReadFile(file)
@@ -101,6 +104,19 @@ func run(appID, file, stage, align string, dot, encode, showAnalysis bool) error
 		return fmt.Errorf("unknown stage %q", stage)
 	}
 
+	if plan > 0 {
+		r, err := analysis.Analyze(g)
+		if err != nil {
+			return err
+		}
+		m := machine.Embedded()
+		p, err := placement.PlanGraph(g, r, m, placement.EvenFleet(g, r, m, plan), 1)
+		if err != nil {
+			return err
+		}
+		fmt.Print(p.String())
+		return nil
+	}
 	if dot {
 		fmt.Print(g.Dot())
 		return nil

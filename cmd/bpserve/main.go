@@ -50,6 +50,7 @@ func main() {
 	sessionDeadline := flag.Duration("session-deadline", 0, "wall-clock budget per session, propagated to cluster workers (0 = unbounded)")
 	replayBudget := flag.Int64("replay-budget", 0, "bytes of fed frames retained per session for cluster failover replay (0 = 32MiB default, negative disables failover)")
 	stallTimeout := flag.Duration("stall-timeout", 0, "no-progress window before a cluster session fails over off a wedged worker (0 = 30s default, negative disables)")
+	partitions := flag.Int("partitions", 0, "split each cluster session across up to N workers via the placement layer (0 = whole sessions)")
 	flag.Parse()
 
 	cfg := serveConfig{
@@ -61,6 +62,7 @@ func main() {
 		sessionDeadline: *sessionDeadline,
 		replayBudget:    *replayBudget,
 		stallTimeout:    *stallTimeout,
+		partitions:      *partitions,
 	}
 	// A drain that abandons work exits nonzero so orchestration (and CI)
 	// can tell a clean drain from frames thrown away.
@@ -85,6 +87,7 @@ type serveConfig struct {
 	sessionDeadline time.Duration
 	replayBudget    int64
 	stallTimeout    time.Duration
+	partitions      int
 }
 
 func run(cfg serveConfig) error {
@@ -123,6 +126,7 @@ func run(cfg serveConfig) error {
 		d := cluster.NewDispatcher(addrs, cluster.DispatcherOptions{
 			ReplayBudget: cfg.replayBudget,
 			StallTimeout: cfg.stallTimeout,
+			Partitions:   cfg.partitions,
 		})
 		defer d.Close()
 		// Workers may still be starting; warn rather than fail, since
@@ -131,7 +135,11 @@ func run(cfg serveConfig) error {
 			fmt.Fprintf(os.Stderr, "bpserve: %v (continuing; sessions 503 until a worker connects)\n", err)
 		}
 		backend = d
-		fmt.Printf("bpserve placing sessions on %d cluster workers\n", len(addrs))
+		if cfg.partitions > 1 {
+			fmt.Printf("bpserve partitioning sessions across %d cluster workers (up to %d partitions each)\n", len(addrs), cfg.partitions)
+		} else {
+			fmt.Printf("bpserve placing sessions on %d cluster workers\n", len(addrs))
+		}
 	}
 
 	srv := serve.NewServer(reg, serve.Options{

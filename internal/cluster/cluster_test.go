@@ -82,6 +82,11 @@ func streamCluster(d *Dispatcher, p *serve.Pipeline, frames int, want map[string
 	if err != nil {
 		return fmt.Errorf("open: %w", err)
 	}
+	return streamSession(h, frames, want)
+}
+
+// streamSession drives an already-open handle and closes it.
+func streamSession(h serve.SessionHandle, frames int, want map[string][][]frame.Window) error {
 	for f := 0; f < frames; f++ {
 		if _, err := h.TryFeed(nil); err != nil {
 			h.Close()

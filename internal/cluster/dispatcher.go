@@ -11,6 +11,7 @@ import (
 
 	"blockpar/internal/frame"
 	"blockpar/internal/graph"
+	"blockpar/internal/placement"
 	"blockpar/internal/runtime"
 	"blockpar/internal/serve"
 	"blockpar/internal/wire"
@@ -61,6 +62,14 @@ type DispatcherOptions struct {
 	// frame, a silently stuck worker — which connection-level health
 	// checks can never see.
 	StallTimeout time.Duration
+	// Partitions, when 2 or more, splits each session's compiled graph
+	// across that many workers using internal/placement and co-schedules
+	// one partition per worker, with the cut edges relayed through the
+	// dispatcher (see docs/cluster.md "Partitioned sessions"). Pipelines
+	// whose placement collapses to one partition run whole, as before.
+	// Partitioned sessions are not failoverable: any partition's death
+	// ends the session with a typed serve.ErrSessionLost.
+	Partitions int
 }
 
 func (o *DispatcherOptions) defaults() {
@@ -112,6 +121,10 @@ type Dispatcher struct {
 	workers []*workerRef
 	nextSID atomic.Uint64
 
+	// plans caches one placement plan per pipeline ID (partitioned mode).
+	planMu sync.Mutex
+	plans  map[string]*placement.Plan
+
 	// Failover counters, surfaced by BackendStats under /metrics.
 	sessionsFailedOver atomic.Int64
 	framesReplayed     atomic.Int64
@@ -126,7 +139,7 @@ type Dispatcher struct {
 // cluster can place sessions.
 func NewDispatcher(addrs []string, opts DispatcherOptions) *Dispatcher {
 	opts.defaults()
-	d := &Dispatcher{opts: opts, closed: make(chan struct{})}
+	d := &Dispatcher{opts: opts, plans: make(map[string]*placement.Plan), closed: make(chan struct{})}
 	for _, addr := range addrs {
 		w := &workerRef{d: d, addr: addr}
 		d.workers = append(d.workers, w)
@@ -164,6 +177,14 @@ func (d *Dispatcher) Open(p *serve.Pipeline, opts serve.OpenOptions) (serve.Sess
 	case <-d.closed:
 		return nil, fmt.Errorf("%w: dispatcher closed", serve.ErrUnavailable)
 	default:
+	}
+	if d.opts.Partitions >= 2 {
+		h, err := d.openPartitioned(p, opts)
+		if !errors.Is(err, errPlanWhole) {
+			return h, err
+		}
+		// The placement collapsed to one partition: run the session
+		// whole on a single worker, exactly the unpartitioned path.
 	}
 	tried := make(map[*workerRef]bool)
 	var lastErr error
@@ -259,20 +280,71 @@ type WorkerStats struct {
 	Reconnects      int64  `json:"reconnects"`
 }
 
+// SessionStats is one open session's row in /metrics: the worker (or
+// workers, for a partitioned session), how many partitions execute it,
+// and the bytes its failover replay log retains.
+type SessionStats struct {
+	Pipeline    string   `json:"pipeline"`
+	Workers     []string `json:"workers"`
+	Partitions  int      `json:"partitions"`
+	ReplayBytes int64    `json:"replay_bytes"`
+}
+
 // BackendStats implements serve.StatsReporter: the per-worker gauges
-// surfaced under "cluster" in /metrics.
+// surfaced under "cluster" in /metrics, plus one row per open session.
 func (d *Dispatcher) BackendStats() any {
 	rows := make([]WorkerStats, 0, len(d.workers))
+	seen := make(map[uint64]bool)
+	var sessions []SessionStats
 	for _, w := range d.workers {
 		rows = append(rows, w.stats())
+		w.mu.Lock()
+		placed := make([]placedSession, 0, len(w.sessions))
+		for _, ps := range w.sessions {
+			placed = append(placed, ps)
+		}
+		w.mu.Unlock()
+		for _, ps := range placed {
+			row, key := ps.sessionRow()
+			if !seen[key] {
+				seen[key] = true
+				sessions = append(sessions, row)
+			}
+		}
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Addr < rows[j].Addr })
+	sort.Slice(sessions, func(i, j int) bool {
+		if sessions[i].Pipeline != sessions[j].Pipeline {
+			return sessions[i].Pipeline < sessions[j].Pipeline
+		}
+		return sessions[i].Partitions < sessions[j].Partitions
+	})
 	return map[string]any{
 		"workers":              rows,
+		"sessions":             sessions,
 		"sessions_failed_over": d.sessionsFailedOver.Load(),
 		"frames_replayed":      d.framesReplayed.Load(),
 		"shed_total":           d.shedTotal.Load(),
 	}
+}
+
+// placedSession is one session's presence on one worker connection:
+// either a whole remoteSession or one partitionHalf of a partitioned
+// session. The worker read loop routes frames through it without
+// knowing which.
+type placedSession interface {
+	deliver(w *workerRef, m *wire.Result)
+	addCredits(n int)
+	edgeFrame(w *workerRef, m *wire.EdgeFrame)
+	edgeCredit(w *workerRef, m *wire.EdgeCredit)
+	onClosed(w *workerRef, m *wire.SessionClosed)
+	failSession(err error)
+	connLost(cause error)
+	drainClose(w *workerRef)
+	creditsOut() int
+	// sessionRow reports the session's /metrics row and a key that
+	// deduplicates a partitioned session appearing on several workers.
+	sessionRow() (SessionStats, uint64)
 }
 
 // workerRef is the dispatcher's view of one worker: a managed
@@ -288,7 +360,7 @@ type workerRef struct {
 	name     string     // from Welcome
 	draining bool       // saw Goaway
 	known    map[string]bool
-	sessions map[uint64]*remoteSession
+	sessions map[uint64]placedSession
 	pending  map[uint64]chan *wire.SessionOpened
 	ensure   map[string][]chan *wire.PipelineReady
 
@@ -374,7 +446,7 @@ func (w *workerRef) attach(conn *wire.Conn, welcome *wire.Welcome) {
 	for _, id := range welcome.Pipelines {
 		w.known[id] = true
 	}
-	w.sessions = make(map[uint64]*remoteSession)
+	w.sessions = make(map[uint64]placedSession)
 	w.pending = make(map[uint64]chan *wire.SessionOpened)
 	w.ensure = make(map[string][]chan *wire.PipelineReady)
 	// A successful handshake is the breaker's probe: it closes.
@@ -544,13 +616,23 @@ func (w *workerRef) readLoop(conn *wire.Conn) error {
 			if rs := w.session(m.SID); rs != nil {
 				rs.failSession(fmt.Errorf("cluster: worker %s: %s", w.addr, m.Msg))
 			}
+		case *wire.EdgeFrame:
+			if rs := w.session(m.SID); rs != nil {
+				rs.edgeFrame(w, m)
+			} else {
+				releaseWireItems(m.Items)
+			}
+		case *wire.EdgeCredit:
+			if rs := w.session(m.SID); rs != nil {
+				rs.edgeCredit(w, m)
+			}
 		case *wire.Goaway:
 			// The worker is draining: stop placing sessions here, quiesce
 			// feeds, and close every session so its in-flight frames
 			// finish and flush before the worker exits.
 			w.mu.Lock()
 			w.draining = true
-			sessions := make([]*remoteSession, 0, len(w.sessions))
+			sessions := make([]placedSession, 0, len(w.sessions))
 			for _, rs := range w.sessions {
 				sessions = append(sessions, rs)
 			}
@@ -583,7 +665,7 @@ func (w *workerRef) drainedHangup() error {
 	return nil
 }
 
-func (w *workerRef) session(sid uint64) *remoteSession {
+func (w *workerRef) session(sid uint64) placedSession {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.sessions[sid]
@@ -612,6 +694,7 @@ func (w *workerRef) open(p *serve.Pipeline, opts serve.OpenOptions) (*remoteSess
 	}
 	rs.mu.Lock()
 	rs.att = att
+	rs.statsID = att.sid
 	rs.opened = true
 	rs.lastProgress = time.Now()
 	rs.mu.Unlock()
@@ -842,6 +925,7 @@ type remoteSession struct {
 	p           *serve.Pipeline
 	maxInFlight int
 	deadline    time.Time // zero = unbounded
+	statsID     uint64    // stable key for the /metrics sessions table
 
 	// sendMu orders this session's frames on the wire: TryFeed holds it
 	// from seq assignment through the connection write, so concurrent
@@ -1247,6 +1331,31 @@ func (rs *remoteSession) deliver(w *workerRef, m *wire.Result) {
 		serveReleaseOutputs(outputs)
 		rs.failSession(fmt.Errorf("cluster: worker %s overran the result window", w.addr))
 	}
+}
+
+// edgeFrame and edgeCredit are partition-plane frames; a whole session
+// receiving one means the worker broke the protocol.
+func (rs *remoteSession) edgeFrame(w *workerRef, m *wire.EdgeFrame) {
+	releaseWireItems(m.Items)
+	rs.failSession(fmt.Errorf("cluster: worker %s sent an edge frame to an unpartitioned session", w.addr))
+}
+
+func (rs *remoteSession) edgeCredit(w *workerRef, m *wire.EdgeCredit) {
+	rs.failSession(fmt.Errorf("cluster: worker %s sent an edge credit to an unpartitioned session", w.addr))
+}
+
+func (rs *remoteSession) sessionRow() (SessionStats, uint64) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	row := SessionStats{
+		Pipeline:    rs.p.ID,
+		Partitions:  1,
+		ReplayBytes: rs.logBytes,
+	}
+	if rs.att != nil {
+		row.Workers = []string{rs.att.w.addr}
+	}
+	return row, rs.statsID
 }
 
 func (rs *remoteSession) addCredits(n int) {

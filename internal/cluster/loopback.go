@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"net"
 	"time"
 )
@@ -27,4 +28,63 @@ func Loopback(w *Worker, dopts DispatcherOptions) (*Dispatcher, func(), error) {
 		w.Close()
 	}
 	return d, stop, nil
+}
+
+// LoopbackFleet starts n workers, each on its own loopback listener,
+// and one dispatcher connected to all of them — the harness for
+// partitioned-session tests and benchmarks. It blocks until every
+// worker is placeable (a partitioned open needs the whole fleet), so
+// callers can open sessions immediately. The returned workers allow
+// targeted kills in chaos tests; the stop function tears everything
+// down.
+func LoopbackFleet(n int, dopts DispatcherOptions, mk func(i int) *Worker) (*Dispatcher, []*Worker, func(), error) {
+	workers := make([]*Worker, n)
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	cleanup := func() {
+		for _, ln := range lns {
+			if ln != nil {
+				ln.Close()
+			}
+		}
+		for _, w := range workers {
+			if w != nil {
+				w.Close()
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		w := mk(i)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			cleanup()
+			return nil, nil, nil, err
+		}
+		workers[i], lns[i], addrs[i] = w, ln, ln.Addr().String()
+		go w.Serve(ln)
+	}
+	d := NewDispatcher(addrs, dopts)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		up := 0
+		for _, w := range d.workers {
+			if w.placeable() {
+				up++
+			}
+		}
+		if up == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			d.Close()
+			cleanup()
+			return nil, nil, nil, fmt.Errorf("cluster: %d/%d workers reachable within 5s", up, n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop := func() {
+		d.Close()
+		cleanup()
+	}
+	return d, workers, stop, nil
 }

@@ -1,0 +1,743 @@
+package cluster
+
+// Dispatcher-side partition support: openPartitioned splits one
+// session's compiled graph across the fleet using internal/placement
+// and co-schedules one partition per worker, all-or-nothing. The
+// resulting partitionedSession implements serve.SessionHandle by
+// routing each feed to the partitions owning input nodes, relaying cut
+// edge streams (and their credits) between the workers, and merging
+// per-partition results back into one in-order stream. Failure is
+// all-or-nothing too: any partition's death — worker crash, protocol
+// break, close timeout — ends the whole session with a typed
+// serve.ErrSessionLost; partitioned sessions are never failed over.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"blockpar/internal/frame"
+	"blockpar/internal/placement"
+	"blockpar/internal/runtime"
+	"blockpar/internal/serve"
+	"blockpar/internal/wire"
+)
+
+// errPlanWhole reports a placement that collapsed to one partition;
+// Open falls back to the ordinary whole-session path.
+var errPlanWhole = errors.New("placement collapsed to one partition")
+
+// plan returns the pipeline's placement for an n-way split, computing
+// it on first use. Plans are cached per (pipeline, n): a split depends
+// only on the compiled graph and the target count, and the fixed seed
+// keeps every session of a pipeline on the same split at a given
+// fleet size.
+func (d *Dispatcher) plan(p *serve.Pipeline, n int) (*placement.Plan, error) {
+	key := fmt.Sprintf("%s/%d", p.ID, n)
+	d.planMu.Lock()
+	defer d.planMu.Unlock()
+	if pl, ok := d.plans[key]; ok {
+		return pl, nil
+	}
+	g, r, m := p.Graph(), p.Analysis(), p.Machine()
+	pl, err := placement.PlanGraph(g, r, m, placement.EvenFleet(g, r, m, n), 1)
+	if err != nil {
+		return nil, err
+	}
+	d.plans[key] = pl
+	return pl, nil
+}
+
+// openPartitioned places one partition per worker, all-or-nothing: the
+// split spans as many distinct placeable workers as the fleet has
+// right now, capped at the configured partition count, and every
+// already-opened partition is torn down when any open fails. A
+// degraded fleet gets a shallower split — down to a whole session on
+// one worker — instead of a refusal.
+func (d *Dispatcher) openPartitioned(p *serve.Pipeline, opts serve.OpenOptions) (serve.SessionHandle, error) {
+	workers := d.pickDistinct(d.opts.Partitions)
+	if len(workers) < 2 {
+		return nil, errPlanWhole
+	}
+	plan, err := d.plan(p, len(workers))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	if len(plan.Partitions) < 2 {
+		return nil, errPlanWhole
+	}
+	n := len(plan.Partitions)
+	workers = workers[:n]
+
+	ps := &partitionedSession{
+		d:           d,
+		p:           p,
+		plan:        plan,
+		maxInFlight: opts.MaxInFlight,
+		inputOwner:  make(map[string]int),
+		delivered:   make([]int64, n),
+		bufs:        make([][]map[string][]frame.Window, n),
+		results:     make(chan *runtime.StreamResult, opts.MaxInFlight+1),
+		done:        make(chan struct{}),
+	}
+	partOf := make(map[string]int)
+	for i, part := range plan.Partitions {
+		for _, name := range part.Nodes {
+			partOf[name] = i
+		}
+	}
+	feedSet := make(map[int]bool)
+	for _, in := range p.Graph().Inputs() {
+		idx := partOf[in.Name()]
+		ps.inputOwner[in.Name()] = idx
+		feedSet[idx] = true
+	}
+	outSet := make(map[int]bool)
+	for _, out := range p.Graph().Outputs() {
+		outSet[partOf[out.Name()]] = true
+	}
+	for idx := range feedSet {
+		ps.feedParts = append(ps.feedParts, idx)
+	}
+	for idx := range outSet {
+		ps.outParts = append(ps.outParts, idx)
+	}
+	sort.Ints(ps.feedParts)
+	sort.Ints(ps.outParts)
+
+	for i := 0; i < n; i++ {
+		h, err := workers[i].placePartition(ps, i, opts)
+		if err != nil {
+			ps.abandonOpen()
+			d.shedTotal.Add(1)
+			return nil, fmt.Errorf("%w: partition %d on %s: %v", serve.ErrUnavailable, i, workers[i].addr, err)
+		}
+		ps.halves = append(ps.halves, h)
+	}
+	// A connection may have died while the later partitions opened,
+	// failing the session through connLost before the client ever saw
+	// it; surface that as a placement failure, not a dead handle.
+	ps.mu.Lock()
+	ended, cause := ps.ended, ps.err
+	ps.mu.Unlock()
+	if ended {
+		ps.abandonOpen()
+		d.shedTotal.Add(1)
+		return nil, fmt.Errorf("%w: partition lost during co-schedule: %v", serve.ErrUnavailable, cause)
+	}
+	ps.statsID = ps.halves[0].sid
+	for _, h := range ps.halves {
+		go h.relay()
+	}
+	return ps, nil
+}
+
+// pickDistinct returns up to n distinct placeable workers, least
+// loaded first.
+func (d *Dispatcher) pickDistinct(n int) []*workerRef {
+	var cands []*workerRef
+	for _, w := range d.workers {
+		if w.placeable() {
+			cands = append(cands, w)
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		return cands[i].sessionCount() < cands[j].sessionCount()
+	})
+	if len(cands) > n {
+		cands = cands[:n]
+	}
+	return cands
+}
+
+// placePartition opens partition idx of ps's plan on this worker,
+// registering the half before the OpenPartition frame hits the wire so
+// no event naming its sid can fall into an unregistered gap.
+func (w *workerRef) placePartition(ps *partitionedSession, idx int, opts serve.OpenOptions) (*partitionHalf, error) {
+	w.mu.Lock()
+	conn := w.conn
+	needEnsure := !w.known[ps.p.ID]
+	w.mu.Unlock()
+	if conn == nil {
+		return nil, fmt.Errorf("cluster: worker %s not connected", w.addr)
+	}
+	if needEnsure {
+		if err := w.ensurePipeline(conn, ps.p); err != nil {
+			return nil, err
+		}
+	}
+	var deadlineMs uint32
+	if opts.Deadline > 0 {
+		ms := int64((opts.Deadline + time.Millisecond - 1) / time.Millisecond)
+		if ms > int64(^uint32(0)) {
+			ms = int64(^uint32(0))
+		}
+		deadlineMs = uint32(ms)
+	}
+
+	sid := w.d.nextSID.Add(1)
+	h := &partitionHalf{ps: ps, idx: idx, w: w, sid: sid, conn: conn}
+	h.rcond = sync.NewCond(&h.rmu)
+	reply := make(chan *wire.SessionOpened, 1)
+	w.mu.Lock()
+	if w.conn != conn {
+		w.mu.Unlock()
+		return nil, fmt.Errorf("cluster: worker %s reconnected during open", w.addr)
+	}
+	w.pending[sid] = reply
+	w.sessions[sid] = h
+	w.mu.Unlock()
+
+	m := &wire.OpenPartition{
+		SID:         sid,
+		Pipeline:    ps.p.ID,
+		Partition:   uint32(idx),
+		MaxInFlight: uint32(ps.maxInFlight),
+		DeadlineMs:  deadlineMs,
+		Nodes:       ps.plan.Partitions[idx].Nodes,
+	}
+	for _, c := range ps.plan.Cuts {
+		spec := wire.EdgeSpec{
+			ID: c.ID, Credit: uint32(c.Credit),
+			FromNode: c.FromNode, FromPort: c.FromPort,
+			ToNode: c.ToNode, ToPort: c.ToPort,
+		}
+		switch idx {
+		case c.To:
+			spec.Dir = wire.EdgeIn
+		case c.From:
+			spec.Dir = wire.EdgeOut
+		default:
+			continue
+		}
+		m.Edges = append(m.Edges, spec)
+	}
+	if err := conn.Write(m); err != nil {
+		w.unregister(conn, sid)
+		conn.Close()
+		return nil, fmt.Errorf("cluster: open partition on %s: %w", w.addr, err)
+	}
+	select {
+	case r, ok := <-reply:
+		if !ok {
+			return nil, fmt.Errorf("cluster: worker %s lost during open", w.addr)
+		}
+		if r.Err != "" {
+			w.unregister(conn, sid)
+			return nil, fmt.Errorf("cluster: worker %s refused partition: %s", w.addr, r.Err)
+		}
+	case <-time.After(w.d.opts.OpenTimeout):
+		w.unregister(conn, sid)
+		return nil, fmt.Errorf("cluster: open on %s timed out after %v", w.addr, w.d.opts.OpenTimeout)
+	}
+	return h, nil
+}
+
+// partitionedSession is one session split across several workers. It
+// implements serve.SessionHandle; its per-worker presences are
+// partitionHalf values registered in each worker's session table.
+//
+// Flow control is global: TryFeed bounds fed-minus-collected by
+// MaxInFlight, exactly the local session's window. No per-partition
+// credit tracking is needed — a merged result requires every output
+// partition to have finished the frame, which requires every upstream
+// partition to have consumed it, so each worker's feed queue occupancy
+// stays within its maxInFlight+1 capacity. Cut edges pace themselves
+// with their own credit windows, relayed between the halves.
+type partitionedSession struct {
+	d           *Dispatcher
+	p           *serve.Pipeline
+	plan        *placement.Plan
+	halves      []*partitionHalf
+	maxInFlight int
+	statsID     uint64 // stable key for the /metrics sessions table
+
+	inputOwner map[string]int // input node name -> owning partition
+	feedParts  []int          // partitions owning at least one input
+	outParts   []int          // partitions owning at least one output
+
+	// sendMu orders feeds and the close on every half's wire: Seq order
+	// per partition, and the close after the last accepted feed.
+	sendMu sync.Mutex
+
+	mu        sync.Mutex
+	fed       int64
+	completed int64   // merged results delivered to the results channel
+	collected int64   // results handed to Collect callers
+	delivered []int64 // per-partition next expected result seq
+	// bufs queues each output partition's per-frame outputs until every
+	// output partition has delivered the frame; bounded by the feed
+	// window (fed - completed <= maxInFlight).
+	bufs      [][]map[string][]frame.Window
+	closedN   int
+	closeSent bool
+	noFeed    error
+	ended     bool
+	err       error
+
+	results chan *runtime.StreamResult
+	done    chan struct{}
+}
+
+// abandonOpen tears down whatever placePartition opened when the
+// co-schedule fails partway. Idempotent against a concurrent fail().
+func (ps *partitionedSession) abandonOpen() {
+	for _, h := range ps.halves {
+		h.conn.Write(&wire.Error{SID: h.sid, Msg: "partition co-schedule failed"})
+		h.w.unregister(h.conn, h.sid)
+	}
+}
+
+// terminate ends the session once: buffered partial frames are
+// released, relays stop, and done closes. With notify set (failure
+// paths) every half is also torn out of its worker's table and its
+// worker told to abort — the surviving partitions must not keep
+// running a session whose peer died.
+func (ps *partitionedSession) terminate(err error, notify bool) {
+	ps.mu.Lock()
+	if ps.ended {
+		ps.mu.Unlock()
+		return
+	}
+	ps.ended = true
+	if ps.err == nil {
+		ps.err = err
+	}
+	for i := range ps.bufs {
+		for _, outs := range ps.bufs[i] {
+			serveReleaseOutputs(outs)
+		}
+		ps.bufs[i] = nil
+	}
+	ps.mu.Unlock()
+	for _, h := range ps.halves {
+		h.stopRelay()
+		if notify {
+			h.w.unregister(h.conn, h.sid)
+			h.conn.Write(&wire.Error{SID: h.sid, Msg: "partitioned session failed"})
+		}
+	}
+	close(ps.done)
+}
+
+func (ps *partitionedSession) fail(err error) { ps.terminate(err, true) }
+
+func (ps *partitionedSession) sessionErr() error {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.err != nil {
+		return ps.err
+	}
+	return errors.New("cluster: partitioned session failed")
+}
+
+// sendClose ships CloseSession to every half, after any in-flight feed.
+func (ps *partitionedSession) sendClose() {
+	ps.sendMu.Lock()
+	defer ps.sendMu.Unlock()
+	for _, h := range ps.halves {
+		if err := h.conn.Write(&wire.CloseSession{SID: h.sid}); err != nil {
+			h.conn.Close()
+		}
+	}
+}
+
+// TryFeed routes one frame: each partition owning input nodes gets a
+// Feed carrying its subset of the explicit windows (absent inputs
+// regenerate worker-side from the frame index). The wire encodes
+// copies, so the caller's window references release here.
+func (ps *partitionedSession) TryFeed(inputs map[string]frame.Window) (int64, error) {
+	if err := validateInputs(ps.p, inputs); err != nil {
+		return 0, err
+	}
+	ps.sendMu.Lock()
+	ps.mu.Lock()
+	if ps.ended {
+		err := ps.err
+		ps.mu.Unlock()
+		ps.sendMu.Unlock()
+		if errors.Is(err, runtime.ErrSessionClosed) {
+			return 0, runtime.ErrSessionClosed
+		}
+		return 0, err
+	}
+	if ps.noFeed != nil {
+		err := ps.noFeed
+		ps.mu.Unlock()
+		ps.sendMu.Unlock()
+		return 0, err
+	}
+	if ps.fed-ps.collected >= int64(ps.maxInFlight) {
+		ps.mu.Unlock()
+		ps.sendMu.Unlock()
+		return 0, runtime.ErrQueueFull
+	}
+	seq := ps.fed
+	ps.fed++
+	ps.mu.Unlock()
+
+	for _, idx := range ps.feedParts {
+		h := ps.halves[idx]
+		m := &wire.Feed{SID: h.sid, Seq: seq}
+		for name, win := range inputs {
+			if ps.inputOwner[name] == idx {
+				m.Inputs = append(m.Inputs, wire.NamedWindow{Name: name, Win: win})
+			}
+		}
+		if err := h.conn.Write(m); err != nil {
+			// The connection died under the feed; connLost fails the
+			// session with a typed error. The feed counts as accepted.
+			h.conn.Close()
+		}
+		h.w.framesRouted.Add(1)
+	}
+	for _, win := range inputs {
+		win.Release()
+	}
+	ps.sendMu.Unlock()
+	return seq, nil
+}
+
+// Collect returns the next merged frame in order, mirroring
+// remoteSession.Collect's timeout and post-failure drain semantics.
+func (ps *partitionedSession) Collect(timeout time.Duration) (*runtime.StreamResult, error) {
+	var tc <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		tc = t.C
+	}
+	select {
+	case res := <-ps.results:
+		ps.noteCollected()
+		return res, nil
+	case <-tc:
+		return nil, fmt.Errorf("cluster: session collect timed out after %v", timeout)
+	case <-ps.done:
+		select {
+		case res := <-ps.results:
+			ps.noteCollected()
+			return res, nil
+		default:
+		}
+		return nil, ps.sessionErr()
+	}
+}
+
+func (ps *partitionedSession) noteCollected() {
+	ps.mu.Lock()
+	ps.collected++
+	ps.mu.Unlock()
+}
+
+func (ps *partitionedSession) Fed() int64 {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.fed
+}
+
+func (ps *partitionedSession) Completed() int64 {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.completed
+}
+
+func (ps *partitionedSession) InFlight() int64 {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.fed - ps.collected
+}
+
+// Close drains every partition: each worker finishes its fed frames,
+// end-of-stream propagates across the cut edges, and once all halves
+// report SessionClosed the session completes. The close timeout
+// escalates to a hard abort of every partition.
+func (ps *partitionedSession) Close() error {
+	ps.mu.Lock()
+	already := ps.closeSent
+	ps.closeSent = true
+	ended := ps.ended
+	ps.mu.Unlock()
+	if !already && !ended {
+		ps.sendClose()
+	}
+	select {
+	case <-ps.done:
+	case <-time.After(ps.d.opts.CloseTimeout):
+		ps.fail(fmt.Errorf("cluster: partitioned session close not acknowledged within %v",
+			ps.d.opts.CloseTimeout))
+	}
+	for {
+		select {
+		case res := <-ps.results:
+			serveReleaseOutputs(res.Outputs)
+		default:
+			ps.mu.Lock()
+			err := ps.err
+			ps.mu.Unlock()
+			if errors.Is(err, runtime.ErrSessionClosed) {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// partitionHalf is one partition's presence on its worker connection:
+// the placedSession the worker read loop routes through, plus the
+// relay queue carrying cut-edge traffic addressed to this partition.
+// Relays run on their own goroutine so a read loop never blocks
+// writing to a different worker's connection — two read loops relaying
+// toward each other's connections could otherwise deadlock.
+type partitionHalf struct {
+	ps   *partitionedSession
+	idx  int
+	w    *workerRef
+	sid  uint64
+	conn *wire.Conn
+
+	rmu    sync.Mutex
+	rcond  *sync.Cond
+	relayq []wire.Msg
+	rstop  bool
+}
+
+// enqueueRelay queues one already-retargeted message for this half's
+// connection, taking ownership of any edge-frame items. The queue is
+// bounded by the edges' credit windows — a producer only sends items
+// it holds credits for.
+func (h *partitionHalf) enqueueRelay(m wire.Msg) {
+	h.rmu.Lock()
+	if h.rstop {
+		h.rmu.Unlock()
+		if ef, ok := m.(*wire.EdgeFrame); ok {
+			releaseWireItems(ef.Items)
+		}
+		return
+	}
+	h.relayq = append(h.relayq, m)
+	h.rcond.Signal()
+	h.rmu.Unlock()
+}
+
+func (h *partitionHalf) stopRelay() {
+	h.rmu.Lock()
+	h.rstop = true
+	h.rcond.Broadcast()
+	h.rmu.Unlock()
+}
+
+// relay drains the queue onto the connection in order. Write failures
+// close the connection (connLost tears the session down) but keep
+// draining so every queued window returns to the arena.
+func (h *partitionHalf) relay() {
+	for {
+		h.rmu.Lock()
+		for len(h.relayq) == 0 && !h.rstop {
+			h.rcond.Wait()
+		}
+		q := h.relayq
+		h.relayq = nil
+		stop := h.rstop
+		h.rmu.Unlock()
+		for _, m := range q {
+			if !stop {
+				if err := h.conn.Write(m); err != nil {
+					h.conn.Close()
+					stop = true
+				}
+			}
+			if ef, ok := m.(*wire.EdgeFrame); ok {
+				releaseWireItems(ef.Items)
+			}
+		}
+		if stop {
+			h.rmu.Lock()
+			done := h.rstop
+			h.rmu.Unlock()
+			if done {
+				return
+			}
+			// A write failed but the session has not ended yet; keep
+			// consuming (and releasing) until stopRelay arrives.
+			h.ps.fail(fmt.Errorf("%w: relay to partition %d on %s failed",
+				serve.ErrSessionLost, h.idx, h.w.addr))
+			return
+		}
+	}
+}
+
+// deliver merges one partition's per-frame result into the global
+// stream: each output partition's local seq equals the global frame
+// seq (every frame crosses every partition), so frame k completes once
+// all output partitions have delivered k.
+func (h *partitionHalf) deliver(w *workerRef, m *wire.Result) {
+	ps := h.ps
+	outputs := make(map[string][]frame.Window, len(m.Outputs))
+	for _, out := range m.Outputs {
+		outputs[out.Name] = out.Wins
+	}
+	ps.mu.Lock()
+	if ps.ended {
+		ps.mu.Unlock()
+		serveReleaseOutputs(outputs)
+		return
+	}
+	if m.Seq != ps.delivered[h.idx] {
+		ps.mu.Unlock()
+		serveReleaseOutputs(outputs)
+		ps.fail(fmt.Errorf("cluster: worker %s delivered frame %d of partition %d, want %d",
+			w.addr, m.Seq, h.idx, ps.delivered[h.idx]))
+		return
+	}
+	ps.delivered[h.idx]++
+	ps.bufs[h.idx] = append(ps.bufs[h.idx], outputs)
+	var merged []*runtime.StreamResult
+	for {
+		ready := true
+		for _, idx := range ps.outParts {
+			if len(ps.bufs[idx]) == 0 {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			break
+		}
+		res := &runtime.StreamResult{Seq: ps.completed, Outputs: make(map[string][]frame.Window)}
+		for _, idx := range ps.outParts {
+			for name, wins := range ps.bufs[idx][0] {
+				res.Outputs[name] = wins
+			}
+			ps.bufs[idx] = ps.bufs[idx][1:]
+		}
+		ps.completed++
+		merged = append(merged, res)
+	}
+	ps.mu.Unlock()
+	for _, res := range merged {
+		select {
+		case ps.results <- res:
+		default:
+			serveReleaseOutputs(res.Outputs)
+			ps.fail(fmt.Errorf("cluster: worker %s overran the result window", w.addr))
+		}
+	}
+}
+
+// addCredits ignores per-partition feed credits: the session's global
+// fed-minus-collected window already bounds every partition's queue.
+func (h *partitionHalf) addCredits(n int) {}
+
+// edgeFrame relays cut-edge items from the producing partition to the
+// consuming one, validating the edge against the plan.
+func (h *partitionHalf) edgeFrame(w *workerRef, m *wire.EdgeFrame) {
+	ps := h.ps
+	if int(m.Edge) >= len(ps.plan.Cuts) {
+		releaseWireItems(m.Items)
+		ps.fail(fmt.Errorf("cluster: worker %s sent unknown cut edge %d", w.addr, m.Edge))
+		return
+	}
+	c := ps.plan.Cuts[m.Edge]
+	if c.From != h.idx {
+		releaseWireItems(m.Items)
+		ps.fail(fmt.Errorf("cluster: worker %s sent edge %d items from partition %d, producer is %d",
+			w.addr, m.Edge, h.idx, c.From))
+		return
+	}
+	t := ps.halves[c.To]
+	t.enqueueRelay(&wire.EdgeFrame{SID: t.sid, Edge: m.Edge, EOS: m.EOS, Items: m.Items})
+}
+
+// edgeCredit relays consumption credits back to the producing partition.
+func (h *partitionHalf) edgeCredit(w *workerRef, m *wire.EdgeCredit) {
+	ps := h.ps
+	if int(m.Edge) >= len(ps.plan.Cuts) {
+		ps.fail(fmt.Errorf("cluster: worker %s granted unknown cut edge %d", w.addr, m.Edge))
+		return
+	}
+	c := ps.plan.Cuts[m.Edge]
+	if c.To != h.idx {
+		ps.fail(fmt.Errorf("cluster: worker %s granted edge %d credits from partition %d, consumer is %d",
+			w.addr, m.Edge, h.idx, c.To))
+		return
+	}
+	t := ps.halves[c.From]
+	t.enqueueRelay(&wire.EdgeCredit{SID: t.sid, Edge: m.Edge, N: m.N})
+}
+
+// onClosed counts a partition's clean SessionClosed; the session
+// completes once every half reported. A worker-reported error fails
+// the whole session instead.
+func (h *partitionHalf) onClosed(w *workerRef, m *wire.SessionClosed) {
+	ps := h.ps
+	if m.Err != "" {
+		ps.fail(fmt.Errorf("cluster: worker %s closed partition %d: %s", w.addr, h.idx, m.Err))
+		return
+	}
+	ps.mu.Lock()
+	if ps.ended {
+		ps.mu.Unlock()
+		return
+	}
+	ps.closedN++
+	allClosed := ps.closedN == len(ps.halves)
+	noFeed := ps.noFeed
+	ps.mu.Unlock()
+	if !allClosed {
+		return
+	}
+	// Every half delivered its results on its own connection before its
+	// SessionClosed, so the merge is complete by now.
+	err := error(runtime.ErrSessionClosed)
+	if noFeed != nil {
+		err = noFeed
+	}
+	ps.terminate(err, false)
+}
+
+// failSession and connLost end the whole session: partitioned sessions
+// are not failoverable — replaying one partition cannot reconstruct the
+// in-flight cut-edge state its peers already consumed.
+func (h *partitionHalf) failSession(err error) { h.ps.fail(err) }
+
+func (h *partitionHalf) connLost(cause error) {
+	h.ps.fail(fmt.Errorf("%w: partition %d: %v", serve.ErrSessionLost, h.idx, cause))
+}
+
+// drainClose reacts to any worker's Goaway: refuse further feeds and
+// close every partition so in-flight frames finish and flush.
+func (h *partitionHalf) drainClose(w *workerRef) {
+	ps := h.ps
+	ps.mu.Lock()
+	if ps.ended || ps.closeSent {
+		ps.mu.Unlock()
+		return
+	}
+	if ps.noFeed == nil {
+		ps.noFeed = fmt.Errorf("cluster: worker %s is draining", w.addr)
+	}
+	ps.closeSent = true
+	ps.mu.Unlock()
+	ps.sendClose()
+}
+
+func (h *partitionHalf) creditsOut() int { return 0 }
+
+func (h *partitionHalf) sessionRow() (SessionStats, uint64) {
+	ps := h.ps
+	row := SessionStats{
+		Pipeline:   ps.p.ID,
+		Partitions: len(ps.halves),
+		Workers:    make([]string, 0, len(ps.halves)),
+	}
+	for _, hh := range ps.halves {
+		row.Workers = append(row.Workers, hh.w.addr)
+	}
+	return row, ps.statsID
+}
+
+var _ serve.SessionHandle = (*partitionedSession)(nil)
+var _ placedSession = (*partitionHalf)(nil)

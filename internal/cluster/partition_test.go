@@ -1,0 +1,365 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"blockpar/internal/apps"
+	"blockpar/internal/frame"
+	"blockpar/internal/machine"
+	"blockpar/internal/runtime"
+	"blockpar/internal/serve"
+)
+
+// partitionedFleet starts n empty-registry workers and a dispatcher
+// that splits every session n ways.
+func partitionedFleet(t *testing.T, n int) (*Dispatcher, []*Worker, func()) {
+	t.Helper()
+	opts := fastOpts()
+	opts.Partitions = n
+	d, workers, stop, err := LoopbackFleet(n, opts, func(i int) *Worker {
+		return NewWorker(serve.NewRegistry(machine.Embedded()), WorkerOptions{Name: fmt.Sprintf("w%d", i)})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, workers, stop
+}
+
+// TestPartitionedSuiteGoldens is the tentpole acceptance bar: every
+// Figure 13 app streamed through a partitioned session — the graph
+// split across 2 and then 3 workers, cut edges relayed through the
+// dispatcher — produces frames byte-identical to the batch runtime,
+// with poisoning and the zero-copy plane on (see poison_test.go).
+// Pipelines whose placement collapses run whole; at least one app must
+// genuinely partition or the test is vacuous.
+func TestPartitionedSuiteGoldens(t *testing.T) {
+	for _, workers := range []int{2, 3} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			frontend := suiteRegistry(t)
+			d, _, stop := partitionedFleet(t, workers)
+			defer stop()
+
+			const frames = 2
+			split := 0
+			var wg sync.WaitGroup
+			errs := make(chan error, len(apps.IDs()))
+			for _, id := range apps.IDs() {
+				app, err := apps.ByID(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := batchFrames(t, app, frames)
+				p, _ := frontend.Get(id)
+				if plan, err := d.plan(p, workers); err != nil {
+					t.Fatalf("plan %s: %v", id, err)
+				} else if len(plan.Partitions) >= 2 {
+					split++
+				}
+				wg.Add(1)
+				go func(id string) {
+					defer wg.Done()
+					if err := streamCluster(d, p, frames, want); err != nil {
+						errs <- fmt.Errorf("pipeline %s: %w", id, err)
+					}
+				}(id)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+			if split == 0 {
+				t.Error("every placement collapsed to one partition; the cut-edge path went unexercised")
+			}
+		})
+	}
+}
+
+// TestPartitionedExplicitInputs routes client-supplied windows to the
+// partition owning each input node and checks the stream against the
+// batch golden, plus the local validation error vocabulary.
+func TestPartitionedExplicitInputs(t *testing.T) {
+	frontend := suiteRegistry(t, "5")
+	p, _ := frontend.Get("5")
+	d, _, stop := partitionedFleet(t, 2)
+	defer stop()
+
+	app, err := apps.ByID("5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := p.Graph().Inputs()[0]
+	gen := app.Sources[in.Name()]
+	if gen == nil {
+		gen = frame.Gradient
+	}
+	want := batchFrames(t, app, 2)
+
+	h, err := openN(d, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	for f := int64(0); f < 2; f++ {
+		win := gen(f, in.FrameSize.W, in.FrameSize.H)
+		if _, err := h.TryFeed(map[string]frame.Window{in.Name(): win}); err != nil {
+			t.Fatalf("feed %d: %v", f, err)
+		}
+		res, err := h.Collect(30 * time.Second)
+		if err != nil {
+			t.Fatalf("collect %d: %v", f, err)
+		}
+		for name, perFrame := range want {
+			for i, w := range perFrame[f] {
+				if !res.Outputs[name][i].Equal(w) {
+					t.Fatalf("frame %d output %q window %d differs", f, name, i)
+				}
+			}
+		}
+		for _, ws := range res.Outputs {
+			for _, w := range ws {
+				w.Release()
+			}
+		}
+	}
+	if _, err := h.TryFeed(map[string]frame.Window{"nope": frame.NewWindow(1, 1)}); !errors.Is(err, runtime.ErrBadFrame) {
+		t.Errorf("unknown input: got %v, want ErrBadFrame", err)
+	}
+}
+
+// TestPartitionedBackpressure checks the global feed window: with one
+// frame in flight and maxInFlight=1, the next feed sheds ErrQueueFull
+// until the merged result is collected.
+func TestPartitionedBackpressure(t *testing.T) {
+	frontend := suiteRegistry(t, "5")
+	p, _ := frontend.Get("5")
+	d, _, stop := partitionedFleet(t, 2)
+	defer stop()
+
+	h, err := openN(d, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if _, err := h.TryFeed(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.TryFeed(nil); !errors.Is(err, runtime.ErrQueueFull) {
+		t.Fatalf("feed past maxInFlight=1: got %v, want ErrQueueFull", err)
+	}
+	res, err := h.Collect(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ws := range res.Outputs {
+		for _, w := range ws {
+			w.Release()
+		}
+	}
+	if _, err := h.TryFeed(nil); err != nil {
+		t.Fatalf("feed after collect: %v", err)
+	}
+	if res, err := h.Collect(30 * time.Second); err != nil {
+		t.Fatal(err)
+	} else {
+		for _, ws := range res.Outputs {
+			for _, w := range ws {
+				w.Release()
+			}
+		}
+	}
+}
+
+// TestPartitionedSessionStats checks the /metrics sessions table: one
+// deduplicated row per open partitioned session listing every hosting
+// worker, the partition count, and zero replay bytes (partitioned
+// sessions keep no failover log).
+func TestPartitionedSessionStats(t *testing.T) {
+	frontend := suiteRegistry(t, "5")
+	p, _ := frontend.Get("5")
+	d, _, stop := partitionedFleet(t, 2)
+	defer stop()
+
+	h, err := openN(d, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	ps, ok := h.(*partitionedSession)
+	if !ok {
+		t.Fatalf("session is %T; placement did not split pipeline 5", h)
+	}
+	rows := d.BackendStats().(map[string]any)["sessions"].([]SessionStats)
+	if len(rows) != 1 {
+		t.Fatalf("got %d session rows, want 1 (deduplicated): %+v", len(rows), rows)
+	}
+	r := rows[0]
+	if r.Pipeline != "5" || r.Partitions != len(ps.halves) || r.ReplayBytes != 0 {
+		t.Errorf("session row %+v, want pipeline 5 with %d partitions and no replay bytes", r, len(ps.halves))
+	}
+	if len(r.Workers) != len(ps.halves) {
+		t.Errorf("session row lists workers %v, want %d distinct", r.Workers, len(ps.halves))
+	}
+	seen := make(map[string]bool)
+	for _, addr := range r.Workers {
+		if seen[addr] {
+			t.Errorf("worker %s hosts two partitions of one session", addr)
+		}
+		seen[addr] = true
+	}
+}
+
+// TestPartitionedInsufficientWorkers: a 2-way split over a fleet with
+// one placeable worker degrades to a whole session on that worker
+// instead of co-locating partitions, refusing service, or hanging.
+func TestPartitionedInsufficientWorkers(t *testing.T) {
+	frontend := suiteRegistry(t, "5")
+	p, _ := frontend.Get("5")
+	app, err := apps.ByID("5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := fastOpts()
+	opts.Partitions = 2
+	worker := NewWorker(suiteRegistry(t, "5"), WorkerOptions{})
+	d, stop, err := Loopback(worker, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	h, err := openN(d, p, 2)
+	if err != nil {
+		t.Fatalf("2-way split on 1 worker: got %v, want whole-session fallback", err)
+	}
+	defer h.Close()
+	if _, ok := h.(*partitionedSession); ok {
+		t.Fatal("2-way split on 1 worker placed a partitioned session, want whole")
+	}
+	const frames = 2
+	if err := streamSession(h, frames, batchFrames(t, app, frames)); err != nil {
+		t.Fatalf("degraded whole session: %v", err)
+	}
+}
+
+// TestPartitionedChaosKill is the failure-semantics acceptance test:
+// killing either partition's worker mid-stream ends the session with a
+// typed serve.ErrSessionLost — never a hang — the surviving partition
+// aborts and drains, every arena reference returns to baseline, and
+// the dispatcher keeps serving unpartitioned work is out of scope
+// (partitioned sessions are not failed over).
+func TestPartitionedChaosKill(t *testing.T) {
+	for victim := 0; victim < 2; victim++ {
+		t.Run(fmt.Sprintf("victim=%d", victim), func(t *testing.T) {
+			frontend := suiteRegistry(t, "5")
+			p, _ := frontend.Get("5")
+			d, workers, stop := partitionedFleet(t, 2)
+			defer stop()
+
+			base := frame.Stats().Live
+			h, err := openN(d, p, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := h.(*partitionedSession); !ok {
+				t.Fatalf("session is %T; placement did not split pipeline 5", h)
+			}
+			// Stream a couple of frames to prove health, then kill with
+			// frames in flight.
+			for f := 0; f < 2; f++ {
+				if _, err := h.TryFeed(nil); err != nil {
+					t.Fatalf("feed %d: %v", f, err)
+				}
+				res, err := h.Collect(30 * time.Second)
+				if err != nil {
+					t.Fatalf("collect %d: %v", f, err)
+				}
+				for _, ws := range res.Outputs {
+					for _, w := range ws {
+						w.Release()
+					}
+				}
+			}
+			if _, err := h.TryFeed(nil); err != nil {
+				t.Fatal(err)
+			}
+			workers[victim].Close()
+
+			deadline := time.Now().Add(20 * time.Second)
+			var cerr error
+			for {
+				var res *runtime.StreamResult
+				res, cerr = h.Collect(20 * time.Second)
+				if res != nil {
+					for _, ws := range res.Outputs {
+						for _, w := range ws {
+							w.Release()
+						}
+					}
+					continue
+				}
+				if cerr != nil && !strings.Contains(cerr.Error(), "timed out") {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("collect after worker kill hung")
+				}
+			}
+			if !errors.Is(cerr, serve.ErrSessionLost) {
+				t.Errorf("collect after kill: got %v, want serve.ErrSessionLost", cerr)
+			}
+			if _, err := h.TryFeed(nil); err == nil || errors.Is(err, runtime.ErrQueueFull) {
+				t.Errorf("feed on failed session: got %v, want terminal error", err)
+			}
+			h.Close()
+			waitCondition(t, "arena references to return to baseline", func() bool {
+				return frame.Stats().Live <= base
+			})
+		})
+	}
+}
+
+// TestPartitionedClose checks a clean close drains every partition:
+// all fed frames complete, EOS crosses the cut edges, and Close
+// returns nil with the arena back at baseline.
+func TestPartitionedClose(t *testing.T) {
+	frontend := suiteRegistry(t, "5")
+	p, _ := frontend.Get("5")
+	d, _, stop := partitionedFleet(t, 2)
+	defer stop()
+
+	base := frame.Stats().Live
+	h, err := openN(d, p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 3; f++ {
+		if _, err := h.TryFeed(nil); err != nil {
+			t.Fatalf("feed %d: %v", f, err)
+		}
+	}
+	for f := int64(0); f < 3; f++ {
+		res, err := h.Collect(30 * time.Second)
+		if err != nil {
+			t.Fatalf("collect %d: %v", f, err)
+		}
+		if res.Seq != f {
+			t.Fatalf("collected frame %d, want %d", res.Seq, f)
+		}
+		for _, ws := range res.Outputs {
+			for _, w := range ws {
+				w.Release()
+			}
+		}
+	}
+	if err := h.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	waitCondition(t, "arena references to return to baseline", func() bool {
+		return frame.Stats().Live <= base
+	})
+}

@@ -1,0 +1,499 @@
+package cluster
+
+// Worker-side partition execution: a partitioned session runs one
+// member subset of a pipeline's compiled graph, with boundary shims
+// splicing its cut edges onto the wire. Inbound cut edges queue
+// decoded items for a runtime.BoundarySource and return credits as the
+// partition consumes; outbound cut edges drain a runtime.BoundarySink
+// through a batching sender paced by the peer's credits. The session
+// itself reuses the ordinary feeder/collector machinery — a partition
+// is just a session whose graph happens to have boundary nodes.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"blockpar/internal/graph"
+	"blockpar/internal/runtime"
+	"blockpar/internal/wire"
+)
+
+// edgeBatchItems caps the items per EdgeFrame so one frame never
+// approaches the wire's frame bound regardless of window size.
+const edgeBatchItems = 256
+
+// partitionAbortGrace bounds the natural drain after an abort: once
+// the cut edges are released the pipeline should run dry on its own
+// (that is what returns every arena reference); if it wedges anyway,
+// the runtime is stopped hard as a last resort.
+const partitionAbortGrace = 2 * time.Second
+
+func (c *workerConn) openPartition(m *wire.OpenPartition) {
+	if c.w.isDraining() {
+		c.send(&wire.SessionOpened{SID: m.SID, Err: "worker draining"})
+		return
+	}
+	p, ok := c.w.reg.Get(m.Pipeline)
+	if !ok {
+		c.send(&wire.SessionOpened{SID: m.SID, Err: fmt.Sprintf("unknown pipeline %q", m.Pipeline)})
+		return
+	}
+	maxInFlight := int(m.MaxInFlight)
+	if maxInFlight <= 0 || maxInFlight > 1024 {
+		c.send(&wire.SessionOpened{SID: m.SID, Err: fmt.Sprintf("max-in-flight %d out of range", m.MaxInFlight)})
+		return
+	}
+	s := &workerSession{
+		conn:          c,
+		sid:           m.SID,
+		partitioned:   true,
+		feedq:         make(chan *wire.Feed, maxInFlight+1),
+		abortc:        make(chan struct{}),
+		feederDone:    make(chan struct{}),
+		collectorDone: make(chan struct{}),
+		inEdges:       make(map[uint32]*inEdge),
+		outEdges:      make(map[uint32]*outEdge),
+	}
+	g, err := partitionGraph(p.Graph(), m, s)
+	if err != nil {
+		c.send(&wire.SessionOpened{SID: m.SID, Err: err.Error()})
+		return
+	}
+	rt, err := runtime.NewSession(g, runtime.SessionOptions{
+		MaxInFlight: maxInFlight,
+		Sources:     p.Sources(),
+		Executor:    c.w.opts.Executor,
+		Workers:     c.w.opts.Workers,
+	})
+	if err != nil {
+		c.send(&wire.SessionOpened{SID: m.SID, Err: err.Error()})
+		return
+	}
+	s.rt = rt
+	c.mu.Lock()
+	if _, dup := c.sessions[m.SID]; dup {
+		c.mu.Unlock()
+		rt.Close()
+		c.send(&wire.SessionOpened{SID: m.SID, Err: "session id already in use"})
+		return
+	}
+	c.sessions[m.SID] = s
+	c.mu.Unlock()
+	if m.DeadlineMs > 0 {
+		s.ttl = time.AfterFunc(time.Duration(m.DeadlineMs)*time.Millisecond, func() {
+			s.beginAbort(errors.New("session deadline exceeded"), true)
+		})
+	}
+	for _, oe := range s.outEdges {
+		go oe.sender()
+	}
+	go s.feeder()
+	go s.collector()
+	c.send(&wire.SessionOpened{SID: m.SID})
+}
+
+// partitionGraph builds the sub-graph a partition executes: a clone of
+// the compiled template with the cut edges replaced by boundary shims
+// and every non-member node removed. The returned graph still passes
+// graph validation — an OpenPartition that leaves a member input
+// dangling (a plan/spec mismatch) fails the session open instead of
+// executing nonsense.
+func partitionGraph(template *graph.Graph, m *wire.OpenPartition, s *workerSession) (*graph.Graph, error) {
+	g := template.Clone()
+	member := make(map[string]bool, len(m.Nodes))
+	for _, name := range m.Nodes {
+		if g.Node(name) == nil {
+			return nil, fmt.Errorf("partition names unknown node %q", name)
+		}
+		member[name] = true
+	}
+	for _, spec := range m.Edges {
+		if _, dup := s.inEdges[spec.ID]; dup {
+			return nil, fmt.Errorf("duplicate cut edge %d", spec.ID)
+		}
+		if _, dup := s.outEdges[spec.ID]; dup {
+			return nil, fmt.Errorf("duplicate cut edge %d", spec.ID)
+		}
+		if spec.Credit == 0 {
+			return nil, fmt.Errorf("cut edge %d has no credit window", spec.ID)
+		}
+		switch spec.Dir {
+		case wire.EdgeIn:
+			to := g.Node(spec.ToNode)
+			if to == nil || !member[spec.ToNode] {
+				return nil, fmt.Errorf("cut edge %d consumer %q not a member", spec.ID, spec.ToNode)
+			}
+			tp := to.Input(spec.ToPort)
+			if tp == nil {
+				return nil, fmt.Errorf("cut edge %d: %q has no input %q", spec.ID, spec.ToNode, spec.ToPort)
+			}
+			e := g.EdgeTo(tp)
+			if e == nil || e.From.Node().Name() != spec.FromNode || e.From.Name != spec.FromPort {
+				return nil, fmt.Errorf("cut edge %d does not match an edge into %s.%s",
+					spec.ID, spec.ToNode, spec.ToPort)
+			}
+			g.Disconnect(e)
+			ie := newInEdge(s, spec)
+			s.inEdges[spec.ID] = ie
+			b := graph.NewNode(fmt.Sprintf("__cut%d_src", spec.ID), graph.KindBoundary)
+			b.CreateOutput("out", e.From.Size, e.From.Step)
+			b.Behavior = &runtime.BoundarySource{Pull: ie.pull, Ack: ie.ack}
+			g.Add(b)
+			g.Connect(b, "out", to, spec.ToPort)
+			member[b.Name()] = true
+		case wire.EdgeOut:
+			from := g.Node(spec.FromNode)
+			if from == nil || !member[spec.FromNode] {
+				return nil, fmt.Errorf("cut edge %d producer %q not a member", spec.ID, spec.FromNode)
+			}
+			fp := from.Output(spec.FromPort)
+			if fp == nil {
+				return nil, fmt.Errorf("cut edge %d: %q has no output %q", spec.ID, spec.FromNode, spec.FromPort)
+			}
+			var cut *graph.Edge
+			for _, e := range g.EdgesFrom(fp) {
+				if e.To.Node().Name() == spec.ToNode && e.To.Name == spec.ToPort {
+					cut = e
+					break
+				}
+			}
+			if cut == nil {
+				return nil, fmt.Errorf("cut edge %d does not match an edge %s.%s -> %s.%s",
+					spec.ID, spec.FromNode, spec.FromPort, spec.ToNode, spec.ToPort)
+			}
+			g.Disconnect(cut)
+			oe := newOutEdge(s, spec)
+			s.outEdges[spec.ID] = oe
+			b := graph.NewNode(fmt.Sprintf("__cut%d_sink", spec.ID), graph.KindBoundary)
+			b.CreateInput("in", cut.To.Size, cut.To.Step, cut.To.Offset)
+			b.Behavior = &runtime.BoundarySink{Push: oe.push, Close: oe.eos}
+			g.Add(b)
+			g.Connect(from, spec.FromPort, b, "in")
+			member[b.Name()] = true
+		default:
+			return nil, fmt.Errorf("cut edge %d has direction %d", spec.ID, spec.Dir)
+		}
+	}
+	nodes := append([]*graph.Node(nil), g.Nodes()...)
+	for _, n := range nodes {
+		if !member[n.Name()] {
+			g.Remove(n)
+		}
+	}
+	return g, nil
+}
+
+// abortEdges releases every cut edge so the partition can drain
+// without its peers: inbound streams turn into immediate end-of-stream
+// (queued items released), outbound pushes stop blocking for credit
+// and sink their items back to the arena. Idempotent and safe to call
+// from any goroutine.
+func (s *workerSession) abortEdges() {
+	for _, ie := range s.inEdges {
+		ie.abort()
+	}
+	for _, oe := range s.outEdges {
+		oe.abort()
+	}
+}
+
+func (s *workerSession) edgeFrame(m *wire.EdgeFrame) {
+	ie := s.inEdges[m.Edge]
+	if ie == nil {
+		releaseWireItems(m.Items)
+		s.beginAbort(fmt.Errorf("edge frame for unknown cut edge %d", m.Edge), true)
+		return
+	}
+	ie.deliver(m)
+}
+
+func (s *workerSession) edgeCredit(m *wire.EdgeCredit) {
+	oe := s.outEdges[m.Edge]
+	if oe == nil {
+		s.beginAbort(fmt.Errorf("edge credit for unknown cut edge %d", m.Edge), true)
+		return
+	}
+	oe.addCredits(int(m.N))
+}
+
+func releaseWireItems(items []wire.Item) {
+	for _, it := range items {
+		if !it.IsToken {
+			it.Win.Release()
+		}
+	}
+}
+
+// inEdge is the consuming end of a cut edge: a bounded in-order item
+// queue between the wire read loop and the partition's boundary
+// source, granting credits back as items are handed downstream.
+type inEdge struct {
+	s      *workerSession
+	id     uint32
+	credit int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []graph.Item
+	eos     bool
+	aborted bool
+	pending int // consumed items not yet credited back
+}
+
+func newInEdge(s *workerSession, spec wire.EdgeSpec) *inEdge {
+	ie := &inEdge{s: s, id: spec.ID, credit: int(spec.Credit)}
+	ie.cond = sync.NewCond(&ie.mu)
+	return ie
+}
+
+// deliver queues one EdgeFrame's items. The producer holds a credit
+// per item, so the queue is bounded by the window; growth past it is a
+// protocol violation.
+func (ie *inEdge) deliver(m *wire.EdgeFrame) {
+	ie.mu.Lock()
+	if ie.aborted {
+		ie.mu.Unlock()
+		releaseWireItems(m.Items)
+		return
+	}
+	for _, it := range m.Items {
+		if it.IsToken {
+			ie.queue = append(ie.queue, graph.TokenItem(it.Tok))
+		} else {
+			ie.queue = append(ie.queue, graph.DataItem(it.Win))
+		}
+	}
+	if m.EOS {
+		ie.eos = true
+	}
+	overrun := len(ie.queue) > ie.credit
+	ie.cond.Broadcast()
+	ie.mu.Unlock()
+	if overrun {
+		ie.s.beginAbort(fmt.Errorf("cut edge %d overran its credit window", ie.id), true)
+	}
+}
+
+// pull is the BoundarySource stream: the next item in order, or false
+// at end-of-stream or abort.
+func (ie *inEdge) pull() (graph.Item, bool) {
+	ie.mu.Lock()
+	for len(ie.queue) == 0 && !ie.eos && !ie.aborted {
+		ie.cond.Wait()
+	}
+	if ie.aborted || len(ie.queue) == 0 {
+		ie.mu.Unlock()
+		return graph.Item{}, false
+	}
+	it := ie.queue[0]
+	ie.queue[0] = graph.Item{}
+	ie.queue = ie.queue[1:]
+	ie.mu.Unlock()
+	return it, true
+}
+
+// ack grants a credit for one consumed item, batched to a quarter of
+// the window so the return path is not one message per pixel.
+func (ie *inEdge) ack() {
+	ie.mu.Lock()
+	ie.pending++
+	batch := ie.credit / 4
+	if batch < 1 {
+		batch = 1
+	}
+	if ie.pending < batch || ie.aborted {
+		ie.mu.Unlock()
+		return
+	}
+	n := ie.pending
+	ie.pending = 0
+	ie.mu.Unlock()
+	ie.s.conn.send(&wire.EdgeCredit{SID: ie.s.sid, Edge: ie.id, N: uint32(n)})
+}
+
+func (ie *inEdge) abort() {
+	ie.mu.Lock()
+	if ie.aborted {
+		ie.mu.Unlock()
+		return
+	}
+	ie.aborted = true
+	queue := ie.queue
+	ie.queue = nil
+	ie.cond.Broadcast()
+	ie.mu.Unlock()
+	for _, it := range queue {
+		if !it.IsToken {
+			it.Win.Release()
+		}
+	}
+}
+
+// outEdge is the producing end of a cut edge: the boundary sink's Push
+// blocks for a credit and queues the item; a sender goroutine batches
+// whatever accumulated into EdgeFrames, so the edge naturally coalesces
+// under load without adding latency when idle.
+type outEdge struct {
+	s  *workerSession
+	id uint32
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []wire.Item
+	credits int
+	closed  bool // end-of-stream requested by the sink
+	aborted bool
+
+	// senderDone closes when the sender goroutine exits — after the
+	// end-of-stream frame is on the wire (or the edge aborted). The
+	// close path waits on it so SessionClosed never overtakes a cut
+	// edge's final frames on the connection.
+	senderDone chan struct{}
+}
+
+func newOutEdge(s *workerSession, spec wire.EdgeSpec) *outEdge {
+	oe := &outEdge{s: s, id: spec.ID, credits: int(spec.Credit), senderDone: make(chan struct{})}
+	oe.cond = sync.NewCond(&oe.mu)
+	return oe
+}
+
+// push takes ownership of the item: queued for the wire, or released
+// immediately once the edge is aborted so the partition keeps draining.
+func (oe *outEdge) push(it graph.Item) {
+	oe.mu.Lock()
+	for oe.credits <= 0 && !oe.aborted {
+		oe.cond.Wait()
+	}
+	if oe.aborted {
+		oe.mu.Unlock()
+		if !it.IsToken {
+			it.Win.Release()
+		}
+		return
+	}
+	oe.credits--
+	oe.queue = append(oe.queue, wire.Item{IsToken: it.IsToken, Win: it.Win, Tok: it.Tok})
+	oe.cond.Broadcast()
+	oe.mu.Unlock()
+}
+
+// eos marks the stream complete; the sender flushes the tail and then
+// announces end-of-stream to the peer.
+func (oe *outEdge) eos() {
+	oe.mu.Lock()
+	oe.closed = true
+	oe.cond.Broadcast()
+	oe.mu.Unlock()
+}
+
+func (oe *outEdge) addCredits(n int) {
+	oe.mu.Lock()
+	oe.credits += n
+	oe.cond.Broadcast()
+	oe.mu.Unlock()
+}
+
+func (oe *outEdge) abort() {
+	oe.mu.Lock()
+	if oe.aborted {
+		oe.mu.Unlock()
+		return
+	}
+	oe.aborted = true
+	queue := oe.queue
+	oe.queue = nil
+	oe.cond.Broadcast()
+	oe.mu.Unlock()
+	releaseWireItems(queue)
+}
+
+// sender drains the queue into EdgeFrames. Encoded windows are
+// released after the write — the wire copies their bytes.
+func (oe *outEdge) sender() {
+	defer close(oe.senderDone)
+	for {
+		oe.mu.Lock()
+		for len(oe.queue) == 0 && !oe.closed && !oe.aborted {
+			oe.cond.Wait()
+		}
+		if oe.aborted {
+			oe.mu.Unlock()
+			return
+		}
+		batch := oe.queue
+		if len(batch) > edgeBatchItems {
+			batch = batch[:edgeBatchItems]
+		}
+		oe.queue = oe.queue[len(batch):]
+		done := oe.closed && len(oe.queue) == 0
+		oe.mu.Unlock()
+		if len(batch) > 0 || done {
+			oe.s.conn.send(&wire.EdgeFrame{SID: oe.s.sid, Edge: oe.id, EOS: done, Items: batch})
+			releaseWireItems(batch)
+		}
+		if done {
+			return
+		}
+	}
+}
+
+// drainAndClosePartition is the partition variant of drainAndClose:
+// stop the feeds, then let the pipeline run dry naturally — boundary
+// sources end on peer EOS (or abort), every in-flight window flows to
+// a collector result, a sinkhole, or normal consumption, and the
+// collector exits once the runtime winds down. Only a wedged drain
+// after an abort escalates to a hard runtime stop; the graceful path
+// waits indefinitely (the dispatcher's close timeout escalates to an
+// abort from outside if the session never drains).
+func (s *workerSession) drainAndClosePartition(report bool) {
+	s.qmu.Lock()
+	if !s.closing {
+		s.closing = true
+		close(s.feedq)
+	}
+	s.qmu.Unlock()
+	<-s.feederDone
+	s.rt.Finish()
+
+	abortc := s.abortc
+	var watchdog <-chan time.Time
+	for waiting := true; waiting; {
+		select {
+		case <-s.collectorDone:
+			waiting = false
+		case <-abortc:
+			abortc = nil
+			s.abortEdges()
+			t := time.NewTimer(partitionAbortGrace)
+			defer t.Stop()
+			watchdog = t.C
+		case <-watchdog:
+			watchdog = nil
+			s.rt.Abort(errors.New("cluster: partition drain wedged"))
+		}
+	}
+	s.rt.Close()
+
+	// The collector and the edge senders are separate goroutines; wait
+	// for every sender to flush its end-of-stream frame so SessionClosed
+	// is the last thing this session puts on the wire. The dispatcher
+	// deregisters the partition on SessionClosed — an EOS frame behind
+	// it would be dropped and wedge the consuming partition's drain.
+	// Bounded: the runtime is down, so every sink has signalled
+	// end-of-stream (or the edge aborted) and the senders exit on their
+	// own.
+	for _, oe := range s.outEdges {
+		<-oe.senderDone
+	}
+
+	if s.ttl != nil {
+		s.ttl.Stop()
+	}
+	if report {
+		msg, _ := s.failed()
+		s.conn.send(&wire.SessionClosed{SID: s.sid, Completed: s.collected.Load(), Err: msg})
+	}
+	s.conn.removeSession(s.sid)
+}

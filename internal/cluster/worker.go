@@ -318,8 +318,20 @@ func (c *workerConn) readLoop() error {
 			go func(m *wire.EnsurePipeline) { c.send(c.ensure(m)) }(m)
 		case *wire.OpenSession:
 			c.open(m)
+		case *wire.OpenPartition:
+			c.openPartition(m)
 		case *wire.Feed:
 			c.feed(m)
+		case *wire.EdgeFrame:
+			if s := c.session(m.SID); s != nil && s.partitioned {
+				s.edgeFrame(m)
+			} else {
+				releaseWireItems(m.Items)
+			}
+		case *wire.EdgeCredit:
+			if s := c.session(m.SID); s != nil && s.partitioned {
+				s.edgeCredit(m)
+			}
 		case *wire.CloseSession:
 			if s := c.session(m.SID); s != nil {
 				s.beginClose()
@@ -460,6 +472,14 @@ type workerSession struct {
 	sid  uint64
 	rt   *runtime.Session
 
+	// Partitioned sessions (opened by OpenPartition) execute one member
+	// subset of the pipeline graph; their cut edges live in
+	// inEdges/outEdges and their teardown drains naturally instead of
+	// waiting on fed-vs-collected (see partition_worker.go).
+	partitioned bool
+	inEdges     map[uint32]*inEdge
+	outEdges    map[uint32]*outEdge
+
 	qmu     sync.Mutex
 	closing bool
 	feedq   chan *wire.Feed
@@ -576,14 +596,23 @@ func (s *workerSession) beginClose() {
 }
 
 // beginAbort starts the failure teardown: queued feeds are dropped and
-// the session closes as soon as the runtime lets go.
+// the session closes as soon as the runtime lets go. A partition also
+// releases its cut edges immediately — a blocked boundary push must
+// unwedge before the feeder and pipeline can drain.
 func (s *workerSession) beginAbort(err error, report bool) {
 	s.fail(err)
 	s.abortOnce.Do(func() { close(s.abortc) })
+	if s.partitioned {
+		s.abortEdges()
+	}
 	s.endOnce.Do(func() { go s.drainAndClose(report) })
 }
 
 func (s *workerSession) drainAndClose(report bool) {
+	if s.partitioned {
+		s.drainAndClosePartition(report)
+		return
+	}
 	s.qmu.Lock()
 	if !s.closing {
 		s.closing = true

@@ -73,3 +73,86 @@ func checkCluster(compiled *core.Compiled, sources map[string]frame.Generator,
 	}
 	return nil
 }
+
+// checkPartitioned streams the case through partitioned sessions: the
+// compiled graph is split by the placement layer across a 2-worker and
+// then a 3-worker fleet, with cut-edge traffic relayed through the
+// dispatcher, and every frame must still match the oracle bit for bit.
+// Small cases whose placement collapses to one partition run whole —
+// that fallback is part of the contract and stays under test.
+func checkPartitioned(compiled *core.Compiled, sources map[string]frame.Generator,
+	want []map[string][]frame.Window) error {
+
+	for _, workers := range []int{2, 3} {
+		if err := checkPartitionedFleet(compiled, sources, want, workers); err != nil {
+			return fmt.Errorf("%d workers: %w", workers, err)
+		}
+	}
+	return nil
+}
+
+func checkPartitionedFleet(compiled *core.Compiled, sources map[string]frame.Generator,
+	want []map[string][]frame.Window, workers int) error {
+
+	d, _, stop, err := cluster.LoopbackFleet(workers, cluster.DispatcherOptions{Partitions: workers},
+		func(i int) *cluster.Worker {
+			reg := serve.NewRegistry(machine.Embedded())
+			// Each worker registers the same compiled template; sessions
+			// clone it, so sharing across registries is safe.
+			if _, err := reg.AddCompiled("case", "case", compiled, sources); err != nil {
+				panic(err)
+			}
+			return cluster.NewWorker(reg, cluster.WorkerOptions{Name: fmt.Sprintf("conformance%d", i)})
+		})
+	if err != nil {
+		return err
+	}
+	defer stop()
+
+	reg := serve.NewRegistry(machine.Embedded())
+	p, err := reg.AddCompiled("case", "case", compiled, sources)
+	if err != nil {
+		return err
+	}
+	h, err := d.Open(p, serve.OpenOptions{MaxInFlight: len(want)})
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	for f := range want {
+		if _, err := h.TryFeed(nil); err != nil {
+			return fmt.Errorf("feed %d: %w", f, err)
+		}
+	}
+	outputs := compiled.Graph.Outputs()
+	for f := range want {
+		res, err := h.Collect(execTimeout)
+		if err != nil {
+			return fmt.Errorf("collect %d: %w", f, err)
+		}
+		if res.Seq != int64(f) {
+			return fmt.Errorf("collected frame %d, want %d", res.Seq, f)
+		}
+		cmpErr := func() error {
+			for _, out := range outputs {
+				name := out.Name()
+				if err := compareWindows(res.Outputs[name], want[f][name]); err != nil {
+					return fmt.Errorf("output %q frame %d: %w", name, f, err)
+				}
+			}
+			return nil
+		}()
+		for _, ws := range res.Outputs {
+			for _, w := range ws {
+				w.Release()
+			}
+		}
+		if cmpErr != nil {
+			return cmpErr
+		}
+	}
+	if err := h.Close(); err != nil {
+		return fmt.Errorf("close: %w", err)
+	}
+	return nil
+}

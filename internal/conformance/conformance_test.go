@@ -85,6 +85,25 @@ func TestDiffClusterSmoke(t *testing.T) {
 	}
 }
 
+// TestDiffPartitionedSmoke does the same for partitioned sessions: a
+// few seeds split by the placement layer across 2- and 3-worker
+// loopback fleets on every PR, so cut-edge streaming stays honest
+// between nightly sweeps. Cases whose placement collapses run whole —
+// exercising that fallback is part of the point.
+func TestDiffPartitionedSmoke(t *testing.T) {
+	const seeds = 3
+	for i := 0; i < seeds; i++ {
+		seed := *seedFlag + uint64(i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			c := Generate(seed)
+			if err := Check(c, CheckOptions{Backends: []string{"partitioned"}}); err != nil {
+				t.Fatalf("case %s: %v", c.Name, err)
+			}
+		})
+	}
+}
+
 // TestChaosConformance is the robustness sweep: seeded random graphs
 // streamed through a two-worker cluster under seeded fault injection
 // (and mid-stream worker kills), asserting CheckChaos's contract —

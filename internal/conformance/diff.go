@@ -52,9 +52,10 @@ type CheckOptions struct {
 // Backends lists every execution path the differential driver can
 // exercise: the batch goroutine runtime, the batch worker-pool
 // executor, a streaming session, the timing simulator's functional
-// stream, and a cluster session over a loopback worker.
+// stream, a cluster session over a loopback worker, and a partitioned
+// session split by the placement layer across a loopback fleet.
 func Backends() []string {
-	return []string{"batch", "workers", "session", "sim", "cluster"}
+	return []string{"batch", "workers", "session", "sim", "cluster", "partitioned"}
 }
 
 // DefaultBackends is the per-PR subset: everything except the cluster
@@ -149,6 +150,11 @@ func Check(c *Case, opts CheckOptions) error {
 		if backends["cluster"] {
 			if err := checkCluster(compiled, c.Sources, want); err != nil {
 				return fmt.Errorf("%s: cluster: %w", v.Name, err)
+			}
+		}
+		if backends["partitioned"] {
+			if err := checkPartitioned(compiled, c.Sources, want); err != nil {
+				return fmt.Errorf("%s: partitioned: %w", v.Name, err)
 			}
 		}
 	}

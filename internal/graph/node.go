@@ -58,6 +58,12 @@ const (
 	// KindFeedback breaks feedback loops and provides initial values
 	// (§III-D).
 	KindFeedback
+	// KindBoundary terminates a cut edge when a graph is partitioned
+	// across workers: a boundary source (one output, no inputs) injects
+	// the item stream arriving from the peer partition, and a boundary
+	// sink (one input, no outputs) drains the stream headed to it. Both
+	// carry a Runner behavior supplied by the transport.
+	KindBoundary
 )
 
 var nodeKindNames = map[NodeKind]string{
@@ -71,6 +77,7 @@ var nodeKindNames = map[NodeKind]string{
 	KindInset:     "inset",
 	KindPad:       "pad",
 	KindFeedback:  "feedback",
+	KindBoundary:  "boundary",
 }
 
 func (k NodeKind) String() string {

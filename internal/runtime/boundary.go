@@ -1,0 +1,78 @@
+package runtime
+
+import (
+	"blockpar/internal/graph"
+)
+
+// Boundary shims splice a partition of a compiled graph back into a
+// whole: when a placement plan cuts an edge between two workers, the
+// producing side gains a BoundarySink draining the item stream to the
+// transport and the consuming side gains a BoundarySource injecting
+// it, so each partition runs as an ordinary session with no other
+// runtime changes. The shims are transport-agnostic — the cluster
+// layer supplies the callbacks and owns credits, batching, and
+// end-of-stream signalling.
+
+// BoundarySource is the Runner behavior of a cut edge's consuming
+// endpoint (graph.KindBoundary, one output "out"): it pulls the
+// inbound item stream from the transport and forwards it downstream in
+// order, preserving data windows and control tokens alike.
+type BoundarySource struct {
+	// Pull blocks for the next inbound item; ok is false at
+	// end-of-stream or transport abort. Ownership of a data window
+	// transfers to the caller.
+	Pull func() (graph.Item, bool)
+	// Ack, if non-nil, is called after each item has been handed to the
+	// partition (the credit-grant hook).
+	Ack func()
+}
+
+// Clone returns the shim itself: shims are installed per-session on an
+// already-cloned graph, never on the shared template.
+func (b *BoundarySource) Clone() graph.Behavior { return b }
+
+// Run forwards the inbound stream until it ends.
+func (b *BoundarySource) Run(ctx graph.RunContext) error {
+	for {
+		it, ok := b.Pull()
+		if !ok {
+			return nil
+		}
+		ctx.Send("out", it)
+		if b.Ack != nil {
+			b.Ack()
+		}
+	}
+}
+
+// BoundarySink is the Runner behavior of a cut edge's producing
+// endpoint (graph.KindBoundary, one input "in"): it drains the item
+// stream headed across the cut into the transport.
+type BoundarySink struct {
+	// Push hands one item to the transport. It may block for credit
+	// backpressure; on transport abort it must release the item and
+	// return, so the partition can keep draining. Ownership of a data
+	// window transfers to the transport.
+	Push func(graph.Item)
+	// Close, if non-nil, signals end-of-stream after the last item.
+	Close func()
+}
+
+// Clone returns the shim itself (see BoundarySource.Clone).
+func (b *BoundarySink) Clone() graph.Behavior { return b }
+
+// Run drains the edge until the upstream ends.
+func (b *BoundarySink) Run(ctx graph.RunContext) error {
+	defer func() {
+		if b.Close != nil {
+			b.Close()
+		}
+	}()
+	for {
+		it, ok := ctx.Recv("in")
+		if !ok {
+			return nil
+		}
+		b.Push(it)
+	}
+}

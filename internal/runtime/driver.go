@@ -115,6 +115,7 @@ func (d *driver) configReady() bool {
 // loop drives the kernel on a blocking transport (chanEngine): fire
 // until quiescent, block for the next delivery, repeat.
 func (d *driver) loop() error {
+	defer d.releaseQueues()
 	for {
 		if err := d.step(nil); err != nil {
 			return err
@@ -125,6 +126,24 @@ func (d *driver) loop() error {
 			return d.step(nil)
 		}
 		d.push(msg.input, msg.item)
+	}
+}
+
+// releaseQueues returns every undelivered queued item to the arena.
+// Called once when the kernel retires: a complete stream leaves the
+// queues empty, but a truncated one (hard stop, or a cut edge whose
+// peer partition died mid-frame) strands items no firing will ever
+// consume.
+func (d *driver) releaseQueues() {
+	for _, q := range d.queues {
+		for q.head < len(q.items) {
+			it := q.items[q.head]
+			q.items[q.head] = graph.Item{}
+			q.head++
+			if !it.IsToken {
+				it.Win.Release()
+			}
+		}
 	}
 }
 

@@ -69,9 +69,34 @@ func (eng *chanEngine) start() chan struct{} {
 	done := make(chan struct{})
 	go func() {
 		ex.wg.Wait()
+		eng.sweep()
 		close(done)
 	}()
 	return done
+}
+
+// sweep releases items abandoned in the inboxes. A completed stream
+// leaves them empty; a truncated one (hard stop, or a partition whose
+// peer died mid-frame) strands items no consumer will ever take, and
+// their windows must go back to the arena. Runs after every node
+// goroutine has exited, so nothing is delivering concurrently.
+func (eng *chanEngine) sweep() {
+	for _, inbox := range eng.inboxes {
+	drain:
+		for {
+			select {
+			case m, ok := <-inbox:
+				if !ok {
+					break drain
+				}
+				if !m.item.IsToken {
+					m.item.Win.Release()
+				}
+			default:
+				break drain
+			}
+		}
+	}
 }
 
 // producerDone decrements the consumer's open-producer count, closing
@@ -91,6 +116,10 @@ func (eng *chanEngine) deliver(e *graph.Edge, it graph.Item) {
 	select {
 	case inbox <- inMsg{input: e.To.Name, item: it}:
 	case <-eng.ex.stop:
+		// The delivery is dropped; its window reference comes with it.
+		if !it.IsToken {
+			it.Win.Release()
+		}
 	}
 }
 

@@ -172,9 +172,27 @@ func (eng *workerEngine) start() chan struct{} {
 	done := make(chan struct{})
 	go func() {
 		ex.wg.Wait()
+		eng.sweep()
 		close(done)
 	}()
 	return done
+}
+
+// sweep releases items abandoned in the mailboxes (see
+// chanEngine.sweep). Runs after every worker and dedicated goroutine
+// has exited, so no deliveries race it.
+func (eng *workerEngine) sweep() {
+	for _, box := range eng.boxes {
+		box.mu.Lock()
+		q := box.q[box.head:]
+		box.q, box.head = nil, 0
+		box.mu.Unlock()
+		for _, m := range q {
+			if !m.item.IsToken {
+				m.item.Win.Release()
+			}
+		}
+	}
 }
 
 func (eng *workerEngine) worker() {
@@ -270,6 +288,7 @@ func (eng *workerEngine) finishTask(t *workerTask) {
 	t.finished = true
 	t.scheduled = false
 	t.box.mu.Unlock()
+	t.d.releaseQueues()
 	for _, consumer := range eng.ex.downstreamConsumers(t.node) {
 		eng.producerDone(consumer)
 	}
@@ -312,6 +331,9 @@ func (eng *workerEngine) producerDone(consumer *graph.Node) {
 
 func (eng *workerEngine) deliver(e *graph.Edge, it graph.Item) {
 	if eng.ex.stopping() {
+		if !it.IsToken {
+			it.Win.Release()
+		}
 		return
 	}
 	n := e.To.Node()
@@ -326,6 +348,9 @@ func (eng *workerEngine) deliver(e *graph.Edge, it graph.Item) {
 		}
 		if eng.ex.stopping() {
 			box.mu.Unlock()
+			if !it.IsToken {
+				it.Win.Release()
+			}
 			return
 		}
 	}

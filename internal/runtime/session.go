@@ -247,6 +247,14 @@ func (s *Session) Close() error {
 	for {
 		select {
 		case <-s.done:
+			// The feed channels are closed and the input goroutines are
+			// gone; windows still buffered there (a hard stop can leave
+			// them behind) go back to the arena.
+			for _, ch := range s.ex.feeds {
+				for w := range ch {
+					w.Release()
+				}
+			}
 			for {
 				select {
 				case <-s.ex.ready:
@@ -259,6 +267,35 @@ func (s *Session) Close() error {
 			s.collected.Add(1)
 		}
 	}
+}
+
+// Finish stops accepting frames but does not wait or drain: the
+// inputs see end-of-stream and the pipeline winds down on its own,
+// with completed results still collectable. A partition transport uses
+// it so a collector goroutine can keep draining results while the
+// partition's boundary edges flush; plain Close would race it for the
+// ready queue and discard frames. Close after Finish is still required
+// to reap the session.
+func (s *Session) Finish() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		for _, n := range s.g.Inputs() {
+			close(s.ex.feeds[n])
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Abort kills the session immediately with err: every kernel stops at
+// its next channel operation, in-flight frames are dropped, and Close
+// returns promptly. Used when a partitioned session loses a peer and
+// waiting for a natural end-of-stream could block forever.
+func (s *Session) Abort(err error) {
+	if err == nil {
+		err = ErrSessionClosed
+	}
+	s.ex.fail(err)
 }
 
 func (s *Session) failErr() error {

@@ -70,6 +70,13 @@ func (p *Pipeline) Graph() *graph.Graph { return p.graph }
 // Sources returns the pipeline's default input generators.
 func (p *Pipeline) Sources() map[string]frame.Generator { return p.sources }
 
+// Analysis returns the compile-time analysis of the template graph.
+// The placement layer reads it to cost partitions and type cut edges.
+func (p *Pipeline) Analysis() *analysis.Result { return p.analysis }
+
+// Machine returns the machine model the pipeline was compiled for.
+func (p *Pipeline) Machine() machine.Machine { return p.mach }
+
 // Descriptor returns the original JSON description for pipelines
 // registered via AddJSON, nil otherwise.
 func (p *Pipeline) Descriptor() []byte { return p.raw }

@@ -12,9 +12,11 @@ import (
 type MsgType uint8
 
 // The frame catalogue. Frontend → worker: Hello, EnsurePipeline,
-// OpenSession, Feed, CloseSession, Ping. Worker → frontend: Welcome,
-// PipelineReady, SessionOpened, Result, Credit, SessionClosed, Goaway,
-// Pong. Error flows both ways.
+// OpenSession, OpenPartition, Feed, CloseSession, Ping. Worker →
+// frontend: Welcome, PipelineReady, SessionOpened, Result, Credit,
+// SessionClosed, Goaway, Pong. Error flows both ways, and so do the
+// cut-edge streams of a partitioned session (EdgeFrame, EdgeCredit),
+// relayed between workers by the frontend.
 const (
 	TypeHello MsgType = iota + 1
 	TypeWelcome
@@ -31,6 +33,9 @@ const (
 	TypePing
 	TypePong
 	TypeGoaway
+	TypeOpenPartition
+	TypeEdgeFrame
+	TypeEdgeCredit
 )
 
 func (t MsgType) String() string {
@@ -65,6 +70,12 @@ func (t MsgType) String() string {
 		return "pong"
 	case TypeGoaway:
 		return "goaway"
+	case TypeOpenPartition:
+		return "open-partition"
+	case TypeEdgeFrame:
+		return "edge-frame"
+	case TypeEdgeCredit:
+		return "edge-credit"
 	default:
 		return "unknown"
 	}
@@ -433,6 +444,12 @@ func newMsg(t MsgType) Msg {
 		return &Pong{}
 	case TypeGoaway:
 		return &Goaway{}
+	case TypeOpenPartition:
+		return &OpenPartition{}
+	case TypeEdgeFrame:
+		return &EdgeFrame{}
+	case TypeEdgeCredit:
+		return &EdgeCredit{}
 	default:
 		return nil
 	}
@@ -473,6 +490,9 @@ func releaseMsgWindows(m Msg) {
 			}
 		}
 		m.Outputs = nil
+	case *EdgeFrame:
+		releaseItems(m.Items)
+		m.Items = nil
 	}
 }
 
@@ -489,6 +509,17 @@ func checkEncodable(m Msg) error {
 	case *Result:
 		if len(m.Outputs) > math.MaxUint16 {
 			return fmt.Errorf("wire: result carries %d outputs, max %d", len(m.Outputs), math.MaxUint16)
+		}
+	case *OpenPartition:
+		if len(m.Nodes) > math.MaxUint16 {
+			return fmt.Errorf("wire: open-partition carries %d nodes, max %d", len(m.Nodes), math.MaxUint16)
+		}
+		if len(m.Edges) > math.MaxUint16 {
+			return fmt.Errorf("wire: open-partition carries %d edges, max %d", len(m.Edges), math.MaxUint16)
+		}
+	case *EdgeFrame:
+		if len(m.Items) > math.MaxUint16 {
+			return fmt.Errorf("wire: edge-frame carries %d items, max %d", len(m.Items), math.MaxUint16)
 		}
 	}
 	return nil

@@ -43,8 +43,9 @@ const Magic uint32 = 0x42505702 // "BPW\x02"
 
 // Version is the protocol version spoken by this build. A peer with a
 // different version is rejected at handshake. Version 2 added the
-// CRC32C frame trailer and the OpenSession deadline.
-const Version uint16 = 2
+// CRC32C frame trailer and the OpenSession deadline; version 3 added
+// the partition plane (OpenPartition, EdgeFrame, EdgeCredit).
+const Version uint16 = 3
 
 // MaxFrame bounds a single frame's encoded size; a length prefix past
 // it is treated as corruption and kills the connection before any

@@ -130,6 +130,18 @@ func sampleMsgs() []Msg {
 		&Ping{Nonce: 99},
 		&Pong{Nonce: 99},
 		&Goaway{Reason: "draining"},
+		&OpenPartition{SID: 7, Pipeline: "1", Partition: 1, MaxInFlight: 8, DeadlineMs: 30_000,
+			Nodes: []string{"sobel", "thresh"},
+			Edges: []EdgeSpec{
+				{ID: 0, Dir: EdgeIn, Credit: 64, FromNode: "blur", FromPort: "out", ToNode: "sobel", ToPort: "in"},
+				{ID: 1, Dir: EdgeOut, Credit: 64, FromNode: "thresh", FromPort: "out", ToNode: "sink", ToPort: "in"},
+			}},
+		&EdgeFrame{SID: 7, Edge: 1, Items: []Item{
+			{Win: frame.FromRows([][]float64{{1, 2}, {3, 4}})},
+			{IsToken: true, Tok: token.EOL(0)},
+		}},
+		&EdgeFrame{SID: 7, Edge: 1, EOS: true},
+		&EdgeCredit{SID: 7, Edge: 1, N: 2},
 	}
 }
 
@@ -143,6 +155,8 @@ func releaseMsg(m Msg) {
 				w.Release()
 			}
 		}
+	case *EdgeFrame:
+		releaseItems(m.Items)
 	}
 }
 
@@ -191,6 +205,24 @@ func msgEqual(a, b Msg) bool {
 				if !a.Outputs[i].Wins[j].Equal(br.Outputs[i].Wins[j]) {
 					return false
 				}
+			}
+		}
+		return true
+	case *EdgeFrame:
+		be := b.(*EdgeFrame)
+		if a.SID != be.SID || a.Edge != be.Edge || a.EOS != be.EOS || len(a.Items) != len(be.Items) {
+			return false
+		}
+		for i := range a.Items {
+			if a.Items[i].IsToken != be.Items[i].IsToken {
+				return false
+			}
+			if a.Items[i].IsToken {
+				if a.Items[i].Tok != be.Items[i].Tok {
+					return false
+				}
+			} else if !a.Items[i].Win.Equal(be.Items[i].Win) {
+				return false
 			}
 		}
 		return true
@@ -338,5 +370,75 @@ func TestWriteRejectsOverflowingCounts(t *testing.T) {
 	}
 	if p, ok := m.(*Ping); !ok || p.Nonce != 5 {
 		t.Fatalf("connection delivered %#v after rejected writes", m)
+	}
+}
+
+// TestWriteRejectsOverflowingEdgeCounts mirrors
+// TestWriteRejectsOverflowingCounts for the partition-plane frames: an
+// EdgeFrame item batch or OpenPartition catalogue past the u16 count
+// must fail its own Write without poisoning the connection.
+func TestWriteRejectsOverflowingEdgeCounts(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+
+	ef := &EdgeFrame{SID: 1, Edge: 0, Items: make([]Item, 1<<16)}
+	if err := ca.Write(ef); err == nil {
+		t.Fatal("write accepted an edge frame with 65536 items")
+	}
+	op := &OpenPartition{SID: 1, Pipeline: "1", Nodes: make([]string, 1<<16)}
+	if err := ca.Write(op); err == nil {
+		t.Fatal("write accepted an open-partition with 65536 nodes")
+	}
+	op = &OpenPartition{SID: 1, Pipeline: "1", Edges: make([]EdgeSpec, 1<<16)}
+	if err := ca.Write(op); err == nil {
+		t.Fatal("write accepted an open-partition with 65536 edges")
+	}
+
+	go func() { ca.Write(&Ping{Nonce: 6}) }()
+	m, err := cb.Read()
+	if err != nil {
+		t.Fatalf("read after rejected writes: %v", err)
+	}
+	if p, ok := m.(*Ping); !ok || p.Nonce != 6 {
+		t.Fatalf("connection delivered %#v after rejected writes", m)
+	}
+}
+
+// TestEdgeFrameDecodeRejectsCorruption truncates and mutates an
+// encoded EdgeFrame and requires typed decode errors with no leaked
+// arena windows.
+func TestEdgeFrameDecodeRejectsCorruption(t *testing.T) {
+	base := frame.Stats().Live
+	ef := &EdgeFrame{SID: 3, Edge: 2, Items: []Item{
+		{Win: frame.FromRows([][]float64{{1, 2}, {3, 4}})},
+		{IsToken: true, Tok: token.EOF(1)},
+	}}
+	good := Append(nil, ef)
+	payload := good[5:]
+
+	for name, b := range map[string][]byte{
+		"empty":          {},
+		"truncated head": payload[:8],
+		"truncated item": payload[:len(payload)-5],
+		"trailing":       append(append([]byte{}, payload...), 0xee),
+	} {
+		if m, err := Decode(TypeEdgeFrame, b); err == nil {
+			releaseMsg(m)
+			t.Errorf("%s: decode accepted corrupt edge frame", name)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: error %v is not tagged ErrCorrupt", name, err)
+		}
+	}
+	// A flags byte past the defined bits is corruption, not an item.
+	bad := append([]byte(nil), payload...)
+	bad[12] = 0x7f
+	if m, err := Decode(TypeEdgeFrame, bad); err == nil {
+		releaseMsg(m)
+		t.Error("decode accepted an edge frame with unknown flags")
+	}
+	if live := frame.Stats().Live; live != base {
+		t.Fatalf("corrupt edge-frame decodes leaked %d arena windows", live-base)
 	}
 }
