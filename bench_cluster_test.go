@@ -89,6 +89,48 @@ func BenchmarkClusterLoopback(b *testing.B) {
 // dispatcher. Against the whole-session cluster mode above, the delta
 // is partition transport: per-cut-edge frames, credits, and the
 // dispatcher relay hop. BENCH_pr6.json records a snapshot.
+// BenchmarkRegisteredLoopback prices the registration plane: the same
+// apps streamed through a self-registered 2-frontend/3-worker fleet
+// placed by the consistent-hash ring (keyed sessions) versus the
+// static single-worker cluster mode above. The delta is membership
+// bookkeeping — ring lookup, admission accounting, heartbeat traffic
+// sharing the process — on top of the identical wire path.
+// BENCH_pr7.json records a snapshot.
+func BenchmarkRegisteredLoopback(b *testing.B) {
+	const frames = 4
+	for _, id := range []string{"1", "2", "5"} {
+		b.Run(fmt.Sprintf("%s/registered", id), func(b *testing.B) {
+			c, err := cluster.StartRegisteredCluster(2, 3, cluster.RegisteredClusterConfig{
+				MakeWorker: func(i int) *cluster.Worker {
+					reg := serve.NewRegistry(machine.Embedded())
+					if err := reg.AddSuite(id); err != nil {
+						panic(err)
+					}
+					return cluster.NewWorker(reg, cluster.WorkerOptions{Name: fmt.Sprintf("bw%d", i)})
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			reg := serve.NewRegistry(machine.Embedded())
+			if err := reg.AddSuite(id); err != nil {
+				b.Fatal(err)
+			}
+			p, _ := reg.Get(id)
+			h, err := c.Dispatchers[0].Open(p, serve.OpenOptions{MaxInFlight: frames, Key: "bench-" + id})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer h.Close()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				streamFrames(b, h, frames)
+			}
+		})
+	}
+}
+
 func BenchmarkPartitionedLoopback(b *testing.B) {
 	const frames = 4
 	for _, id := range []string{"1", "2", "5"} {

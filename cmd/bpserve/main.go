@@ -19,6 +19,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -29,6 +30,7 @@ import (
 	"blockpar/internal/apps"
 	"blockpar/internal/cluster"
 	"blockpar/internal/machine"
+	"blockpar/internal/registry"
 	"blockpar/internal/runtime"
 	"blockpar/internal/serve"
 )
@@ -51,6 +53,8 @@ func main() {
 	replayBudget := flag.Int64("replay-budget", 0, "bytes of fed frames retained per session for cluster failover replay (0 = 32MiB default, negative disables failover)")
 	stallTimeout := flag.Duration("stall-timeout", 0, "no-progress window before a cluster session fails over off a wedged worker (0 = 30s default, negative disables)")
 	partitions := flag.Int("partitions", 0, "split each cluster session across up to N workers via the placement layer (0 = whole sessions)")
+	registryAddr := flag.String("registry", "", "registration listen address; workers self-register (bpworker -join) instead of being listed with -cluster")
+	lease := flag.Duration("lease", 0, "membership lease granted to self-registered workers (0 = 5s default)")
 	flag.Parse()
 
 	cfg := serveConfig{
@@ -63,6 +67,8 @@ func main() {
 		replayBudget:    *replayBudget,
 		stallTimeout:    *stallTimeout,
 		partitions:      *partitions,
+		registryAddr:    *registryAddr,
+		lease:           *lease,
 	}
 	// A drain that abandons work exits nonzero so orchestration (and CI)
 	// can tell a clean drain from frames thrown away.
@@ -88,6 +94,8 @@ type serveConfig struct {
 	replayBudget    int64
 	stallTimeout    time.Duration
 	partitions      int
+	registryAddr    string
+	lease           time.Duration
 }
 
 func run(cfg serveConfig) error {
@@ -121,6 +129,37 @@ func run(cfg serveConfig) error {
 	}
 
 	var backend serve.Backend
+	switch {
+	case cfg.registryAddr != "" && clusterAddrs != "":
+		return fmt.Errorf("-registry and -cluster are mutually exclusive: membership comes from self-registration or a static list, not both")
+	case cfg.registryAddr != "" && cfg.partitions > 1:
+		// Admission control and ring placement act on whole sessions;
+		// the partitioned path keeps its static-fleet planner.
+		return fmt.Errorf("-registry does not combine with -partitions; use -cluster for partitioned fleets")
+	case cfg.registryAddr != "":
+		// Self-registered fleet: host the registration listener, follow
+		// its membership events with a ring-placing dispatcher.
+		fleet := registry.NewFleet(registry.FleetOptions{
+			Frontend: addr,
+			Lease:    cfg.lease,
+			Logf: func(format string, args ...any) {
+				fmt.Printf("bpserve: "+format+"\n", args...)
+			},
+		})
+		defer fleet.Close()
+		rln, err := net.Listen("tcp", cfg.registryAddr)
+		if err != nil {
+			return err
+		}
+		fleet.Serve(rln)
+		d := cluster.NewRegisteredDispatcher(fleet, cluster.DispatcherOptions{
+			ReplayBudget: cfg.replayBudget,
+			StallTimeout: cfg.stallTimeout,
+		})
+		defer d.Close()
+		backend = d
+		fmt.Printf("bpserve registry listening on %s (workers self-register; sessions 503 until one joins)\n", cfg.registryAddr)
+	}
 	if clusterAddrs != "" {
 		addrs := strings.Split(clusterAddrs, ",")
 		d := cluster.NewDispatcher(addrs, cluster.DispatcherOptions{

@@ -6,12 +6,21 @@
 // (suite benchmarks by ID, JSON applications from the shipped
 // descriptor). See docs/cluster.md.
 //
+// With -join, the worker registers itself with one or more frontends'
+// registration listeners instead of waiting to be listed on their
+// command line: it advertises its data-plane address, executor, PE
+// capacity (for admission control), and compiled-pipeline inventory,
+// heartbeats to keep its membership lease, and deregisters on drain so
+// frontends stop placing immediately.
+//
 // Usage:
 //
 //	bpworker -addr :9090 -apps all
 //	bpworker -addr :9091 -apps none -name gpu-box -executor workers
+//	bpworker -addr :9090 -join fe1:7070,fe2:7070 -advertise 10.0.0.7:9090 -pes 8
 //
 // Pair with: bpserve -cluster host:9090,host:9091
+// or, self-registered: bpserve -registry :7070
 package main
 
 import (
@@ -21,6 +30,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	goruntime "runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -28,6 +38,7 @@ import (
 	"blockpar/internal/apps"
 	"blockpar/internal/cluster"
 	"blockpar/internal/machine"
+	"blockpar/internal/registry"
 	"blockpar/internal/runtime"
 	"blockpar/internal/serve"
 )
@@ -40,33 +51,56 @@ func main() {
 	name := flag.String("name", "", "worker name reported to frontends (default worker-<pid>)")
 	executor := flag.String("executor", "goroutines", "session execution engine: goroutines (one per kernel) or workers (fixed pool)")
 	workers := flag.Int("workers", 0, "worker-pool size for -executor workers (0 = GOMAXPROCS)")
+	join := flag.String("join", "", "comma-separated frontend registration addresses to self-register with (bpserve -registry)")
+	advertise := flag.String("advertise", "", "data-plane address advertised to frontends (default derived from -addr; required when -addr has no reachable host)")
+	pes := flag.Int("pes", 0, "processing elements advertised for admission control; capacity = PEs x the machine PE clock (0 = NumCPU)")
 	var drain time.Duration
 	flag.DurationVar(&drain, "drain", 30*time.Second, "graceful-shutdown drain budget: in-flight sessions finish before exit")
 	flag.DurationVar(&drain, "drain-timeout", 30*time.Second, "alias for -drain")
 	flag.Parse()
 
+	cfg := workerConfig{
+		addr: *addr, appIDs: *appIDs, descFiles: descFiles, name: *name,
+		executor: runtime.ExecutorKind(*executor), workers: *workers,
+		join: *join, advertise: *advertise, pes: *pes, drain: drain,
+	}
 	// A drain that abandons work exits nonzero so orchestration (and CI)
 	// can tell a clean drain from frames thrown away.
-	if err := run(*addr, *appIDs, descFiles, *name, runtime.ExecutorKind(*executor), *workers, drain); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "bpworker:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, appIDs string, descFiles []string, name string, executor runtime.ExecutorKind, workers int, drain time.Duration) error {
-	reg := serve.NewRegistry(machine.Embedded())
-	switch appIDs {
+// workerConfig carries the parsed flags into run.
+type workerConfig struct {
+	addr      string
+	appIDs    string
+	descFiles []string
+	name      string
+	executor  runtime.ExecutorKind
+	workers   int
+	join      string
+	advertise string
+	pes       int
+	drain     time.Duration
+}
+
+func run(cfg workerConfig) error {
+	m := machine.Embedded()
+	reg := serve.NewRegistry(m)
+	switch cfg.appIDs {
 	case "none":
 	case "all", "":
 		if err := reg.AddSuite(); err != nil {
 			return err
 		}
 	default:
-		if err := reg.AddSuite(strings.Split(appIDs, ",")...); err != nil {
+		if err := reg.AddSuite(strings.Split(cfg.appIDs, ",")...); err != nil {
 			return err
 		}
 	}
-	for _, f := range descFiles {
+	for _, f := range cfg.descFiles {
 		data, err := os.ReadFile(f)
 		if err != nil {
 			return err
@@ -80,30 +114,100 @@ func run(addr, appIDs string, descFiles []string, name string, executor runtime.
 	}
 
 	w := cluster.NewWorker(reg, cluster.WorkerOptions{
-		Name:     name,
-		Executor: executor,
-		Workers:  workers,
+		Name:     cfg.name,
+		Executor: cfg.executor,
+		Workers:  cfg.workers,
 	})
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- w.Serve(ln) }()
-	fmt.Printf("bpworker %s listening on %s (%d pipelines)\n", w.Name(), addr, len(reg.List()))
+	fmt.Printf("bpworker %s listening on %s (%d pipelines)\n", w.Name(), cfg.addr, len(reg.List()))
+
+	// Self-registration: dial every frontend's registration listener,
+	// advertise identity + capacity + pipeline inventory, heartbeat to
+	// keep the lease alive.
+	var joiner *registry.Joiner
+	if cfg.join != "" {
+		advertise, err := advertiseAddr(cfg.advertise, ln.Addr())
+		if err != nil {
+			return err
+		}
+		pes := cfg.pes
+		if pes <= 0 {
+			pes = goruntime.NumCPU()
+		}
+		capacity := float64(pes) * float64(m.PE.CyclesPerSec)
+		joiner, err = registry.Join(registry.JoinConfig{
+			Frontends: strings.Split(cfg.join, ","),
+			Self: registry.Member{
+				Name:         w.Name(),
+				Addr:         advertise,
+				CyclesPerSec: capacity,
+				Executor:     string(cfg.executor),
+			},
+			Pipelines: func() []string {
+				var ids []string
+				for _, p := range reg.List() {
+					ids = append(ids, p.ID)
+				}
+				return ids
+			},
+			Load: func() (uint32, float64) {
+				return uint32(w.OpenSessions()), 0
+			},
+			Logf: func(format string, args ...any) {
+				fmt.Printf("bpworker: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("bpworker %s joining %s (advertising %s, %d PEs, %.3g cycles/s)\n",
+			w.Name(), cfg.join, advertise, pes, capacity)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
+		if joiner != nil {
+			joiner.Close()
+		}
 		return err
 	case sig := <-sigc:
 		fmt.Printf("bpworker: %v: draining sessions...\n", sig)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	// Deregister first: frontends drop this worker from placement (and
+	// cancel their reconnect loops) before the drain begins, so no new
+	// sessions race the shutdown.
+	if joiner != nil {
+		joiner.Leave("draining")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
 	return w.Shutdown(ctx)
+}
+
+// advertiseAddr resolves the data-plane address registered with
+// frontends: the -advertise override verbatim, or the listener's
+// address when it carries a reachable (non-wildcard) host.
+func advertiseAddr(override string, lnAddr net.Addr) (string, error) {
+	if override != "" {
+		return override, nil
+	}
+	host, port, err := net.SplitHostPort(lnAddr.String())
+	if err != nil {
+		return "", fmt.Errorf("cannot derive -advertise from listener %q: %w", lnAddr, err)
+	}
+	ip := net.ParseIP(host)
+	if host == "" || (ip != nil && ip.IsUnspecified()) {
+		return "", fmt.Errorf("-join needs -advertise host:port when -addr binds the wildcard address (listening on %q)", lnAddr)
+	}
+	return net.JoinHostPort(host, port), nil
 }
 
 // stringList is a repeatable string flag.

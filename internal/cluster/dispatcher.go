@@ -12,6 +12,7 @@ import (
 	"blockpar/internal/frame"
 	"blockpar/internal/graph"
 	"blockpar/internal/placement"
+	"blockpar/internal/registry"
 	"blockpar/internal/runtime"
 	"blockpar/internal/serve"
 	"blockpar/internal/wire"
@@ -118,8 +119,28 @@ func (o *DispatcherOptions) defaults() {
 // in-process executor without the HTTP layer noticing.
 type Dispatcher struct {
 	opts    DispatcherOptions
-	workers []*workerRef
 	nextSID atomic.Uint64
+
+	// Membership. Static dispatchers fix it at construction; registered
+	// dispatchers mutate it as fleet events arrive, so every reader
+	// goes through snapshot().
+	wmu     sync.RWMutex
+	workers []*workerRef
+	byName  map[string]*workerRef // member name → ref
+	ring    *registry.Ring        // non-nil in registered mode
+
+	// registered marks a dispatcher whose membership follows a
+	// registry.Fleet: placement consults the consistent-hash ring for
+	// keyed sessions, bin-packs keyless ones by analysis cycles/sec,
+	// and admission control gates opens on fleet capacity.
+	registered  bool
+	unsubscribe func()
+
+	// Admission accounting (registered mode): cycles/sec admitted by
+	// this frontend, compared against the fleet's registered capacity.
+	admitMu      sync.Mutex
+	admittedCyc  float64
+	admitRejects atomic.Int64
 
 	// plans caches one placement plan per pipeline ID (partitioned mode).
 	planMu sync.Mutex
@@ -139,13 +160,136 @@ type Dispatcher struct {
 // cluster can place sessions.
 func NewDispatcher(addrs []string, opts DispatcherOptions) *Dispatcher {
 	opts.defaults()
-	d := &Dispatcher{opts: opts, plans: make(map[string]*placement.Plan), closed: make(chan struct{})}
+	d := &Dispatcher{
+		opts:   opts,
+		byName: make(map[string]*workerRef),
+		plans:  make(map[string]*placement.Plan),
+		closed: make(chan struct{}),
+	}
 	for _, addr := range addrs {
-		w := &workerRef{d: d, addr: addr}
-		d.workers = append(d.workers, w)
-		go w.manage()
+		d.AddWorker(addr, addr, 0)
 	}
 	return d
+}
+
+// NewRegisteredDispatcher builds a dispatcher whose membership follows
+// a registry.Fleet: a worker registering adds a managed connection and
+// a ring member, a deregistration or lease expiry removes both — and
+// cancels the reconnect loop, so a drained worker is never pinged at a
+// dead address. Breakers, credits, failover, and replay all work
+// exactly as with a static list; only membership and placement differ.
+func NewRegisteredDispatcher(fleet *registry.Fleet, opts DispatcherOptions) *Dispatcher {
+	opts.defaults()
+	d := &Dispatcher{
+		opts:       opts,
+		byName:     make(map[string]*workerRef),
+		ring:       registry.NewRing(0),
+		registered: true,
+		plans:      make(map[string]*placement.Plan),
+		closed:     make(chan struct{}),
+	}
+	ch, cancel := fleet.Subscribe()
+	d.unsubscribe = cancel
+	go func() {
+		for ev := range ch {
+			switch ev.Kind {
+			case registry.EventJoin:
+				d.AddWorker(ev.Member.Name, ev.Member.Addr, ev.Member.CyclesPerSec)
+			case registry.EventLeave:
+				d.RemoveWorker(ev.Member.Name)
+			}
+		}
+	}()
+	return d
+}
+
+// snapshot returns the current worker set; safe to iterate without the
+// membership lock.
+func (d *Dispatcher) snapshot() []*workerRef {
+	d.wmu.RLock()
+	defer d.wmu.RUnlock()
+	return append([]*workerRef(nil), d.workers...)
+}
+
+// AddWorker adds a member and starts its connection manager. Adding an
+// existing member with an unchanged address refreshes nothing (the
+// manager is already running); a changed address replaces the ref.
+func (d *Dispatcher) AddWorker(member, addr string, capacityCyc float64) {
+	d.wmu.Lock()
+	if old, ok := d.byName[member]; ok {
+		if old.addr == addr {
+			old.mu.Lock()
+			old.capacity = capacityCyc
+			old.mu.Unlock()
+			d.wmu.Unlock()
+			return
+		}
+		d.removeLocked(old)
+		old.halt()
+	}
+	w := &workerRef{d: d, addr: addr, member: member, capacity: capacityCyc, stop: make(chan struct{})}
+	d.workers = append(d.workers, w)
+	d.byName[member] = w
+	if d.ring != nil {
+		d.ring.Add(member)
+	}
+	d.wmu.Unlock()
+	go w.manage()
+}
+
+// RemoveWorker drops a member from placement and cancels its reconnect
+// loop. A live connection is not torn down: in-flight sessions drain
+// through the worker's own Goaway path (or fail over when it dies),
+// but once the connection ends the manager exits instead of redialing.
+func (d *Dispatcher) RemoveWorker(member string) {
+	d.wmu.Lock()
+	w := d.byName[member]
+	if w != nil {
+		d.removeLocked(w)
+	}
+	d.wmu.Unlock()
+	if w != nil {
+		w.halt()
+	}
+}
+
+// removeLocked unlinks w from the membership structures. Caller holds
+// d.wmu.
+func (d *Dispatcher) removeLocked(w *workerRef) {
+	delete(d.byName, w.member)
+	for i, x := range d.workers {
+		if x == w {
+			d.workers = append(d.workers[:i], d.workers[i+1:]...)
+			break
+		}
+	}
+	if d.ring != nil {
+		d.ring.Remove(w.member)
+	}
+}
+
+// PlaceableWorkers reports how many members can take a session right
+// now.
+func (d *Dispatcher) PlaceableWorkers() int {
+	n := 0
+	for _, w := range d.snapshot() {
+		if w.placeable() {
+			n++
+		}
+	}
+	return n
+}
+
+// PlacementFor reports the ring's preference order for a session key —
+// every frontend sharing the fleet computes the same answer. Empty in
+// static mode.
+func (d *Dispatcher) PlacementFor(key string) []string {
+	d.wmu.RLock()
+	defer d.wmu.RUnlock()
+	if d.ring == nil {
+		return nil
+	}
+	return d.ring.LookupN(key, d.ring.Len())
 }
 
 // WaitReady blocks until at least one worker is connected, or the
@@ -153,7 +297,7 @@ func NewDispatcher(addrs []string, opts DispatcherOptions) *Dispatcher {
 func (d *Dispatcher) WaitReady(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
-		for _, w := range d.workers {
+		for _, w := range d.snapshot() {
 			if w.placeable() {
 				return nil
 			}
@@ -186,24 +330,143 @@ func (d *Dispatcher) Open(p *serve.Pipeline, opts serve.OpenOptions) (serve.Sess
 		// The placement collapsed to one partition: run the session
 		// whole on a single worker, exactly the unpartitioned path.
 	}
-	tried := make(map[*workerRef]bool)
-	var lastErr error
-	for {
-		w := d.pick(tried)
-		if w == nil {
-			d.shedTotal.Add(1)
-			if lastErr != nil {
-				return nil, fmt.Errorf("%w: %v", serve.ErrUnavailable, lastErr)
-			}
-			return nil, fmt.Errorf("%w: no healthy cluster worker", serve.ErrUnavailable)
+
+	// Admission control (registered mode): the new session's projected
+	// demand — Σ over its nodes of analysis cycles/sec — must fit in
+	// the fleet's registered capacity alongside everything this
+	// frontend already admitted. A healthy-but-full fleet rejects with
+	// the 429 retry contract, not a 503.
+	var admitted float64
+	if d.registered {
+		demand := p.CyclesPerSec
+		capacity := d.fleetCapacity()
+		if len(d.snapshot()) == 0 {
+			// An empty fleet is unavailable, not full: the 503 retry
+			// contract, matching Readiness, not the 429 one.
+			return nil, fmt.Errorf("%w: no workers registered with the fleet", serve.ErrUnavailable)
 		}
-		tried[w] = true
+		d.admitMu.Lock()
+		if demand > 0 && d.admittedCyc+demand > capacity {
+			have := capacity - d.admittedCyc
+			d.admitMu.Unlock()
+			d.admitRejects.Add(1)
+			return nil, fmt.Errorf("%w: pipeline %s needs %.3g cycles/s, fleet has %.3g of %.3g free",
+				serve.ErrOverloaded, p.ID, demand, have, capacity)
+		}
+		d.admittedCyc += demand
+		d.admitMu.Unlock()
+		admitted = demand
+	}
+
+	var lastErr error
+	for _, w := range d.candidates(p, opts) {
 		h, err := w.open(p, opts)
 		if err == nil {
+			// Hand the admission hold to the session so failSession —
+			// the single termination funnel — returns it. If the
+			// session already ended (worker died in the gap), its
+			// failSession saw admitted == 0, so the hold is still ours
+			// to release.
+			h.mu.Lock()
+			if h.ended {
+				h.mu.Unlock()
+				if admitted > 0 {
+					d.releaseAdmission(admitted)
+				}
+			} else {
+				h.admitted = admitted
+				h.mu.Unlock()
+			}
 			return h, nil
 		}
 		lastErr = err
 	}
+	if admitted > 0 {
+		d.releaseAdmission(admitted)
+	}
+	d.shedTotal.Add(1)
+	if lastErr != nil {
+		return nil, fmt.Errorf("%w: %v", serve.ErrUnavailable, lastErr)
+	}
+	return nil, fmt.Errorf("%w: no healthy cluster worker", serve.ErrUnavailable)
+}
+
+// candidates orders the placeable workers for one open. Keyed sessions
+// in registered mode walk the consistent-hash ring, so every frontend
+// sharing the fleet agrees where a key lives; keyless registered
+// sessions bin-pack by analysis cycles/sec (best fit: the busiest
+// worker the session still fits on, the paper's Section V greedy
+// multiplexing lifted from PEs to workers); everything else tries
+// least-loaded first, the static behavior.
+func (d *Dispatcher) candidates(p *serve.Pipeline, opts serve.OpenOptions) []*workerRef {
+	if d.registered && opts.Key != "" {
+		d.wmu.RLock()
+		order := d.ring.LookupN(opts.Key, d.ring.Len())
+		refs := make([]*workerRef, 0, len(order))
+		for _, name := range order {
+			if w := d.byName[name]; w != nil {
+				refs = append(refs, w)
+			}
+		}
+		d.wmu.RUnlock()
+		placeable := refs[:0]
+		for _, w := range refs {
+			if w.placeable() {
+				placeable = append(placeable, w)
+			}
+		}
+		return placeable
+	}
+
+	var cands []*workerRef
+	for _, w := range d.snapshot() {
+		if w.placeable() {
+			cands = append(cands, w)
+		}
+	}
+	if d.registered && p.CyclesPerSec > 0 {
+		demand := p.CyclesPerSec
+		sort.SliceStable(cands, func(i, j int) bool {
+			ri := cands[i].remainingCyc()
+			rj := cands[j].remainingCyc()
+			fi, fj := ri >= demand, rj >= demand
+			if fi != fj {
+				return fi // workers the session fits on come first
+			}
+			if fi {
+				return ri < rj // tightest fit first packs sessions together
+			}
+			return ri > rj // nothing fits: most headroom first
+		})
+		return cands
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		return cands[i].sessionCount() < cands[j].sessionCount()
+	})
+	return cands
+}
+
+// fleetCapacity sums the registered cycles/sec of every current
+// member. Membership — not momentary connectivity — defines capacity:
+// a worker mid-reconnect still holds its lease and its share.
+func (d *Dispatcher) fleetCapacity() float64 {
+	total := 0.0
+	for _, w := range d.snapshot() {
+		w.mu.Lock()
+		total += w.capacity
+		w.mu.Unlock()
+	}
+	return total
+}
+
+// releaseAdmission returns a session's admitted demand to the pool.
+func (d *Dispatcher) releaseAdmission(cyc float64) {
+	d.admitMu.Lock()
+	d.admittedCyc -= cyc
+	if d.admittedCyc < 0 {
+		d.admittedCyc = 0
+	}
+	d.admitMu.Unlock()
 }
 
 // Readiness implements serve.ReadinessReporter: "ok" with every worker
@@ -211,13 +474,20 @@ func (d *Dispatcher) Open(p *serve.Pipeline, opts serve.OpenOptions) (serve.Sess
 // reduced (workers down, draining, or breaker-open), "unavailable"
 // when nothing can place.
 func (d *Dispatcher) Readiness() serve.Readiness {
+	workers := d.snapshot()
 	up := 0
-	for _, w := range d.workers {
+	for _, w := range workers {
 		if w.placeable() {
 			up++
 		}
 	}
-	total := len(d.workers)
+	total := len(workers)
+	if d.registered && total == 0 {
+		return serve.Readiness{
+			Status: "unavailable",
+			Detail: "no workers registered with the fleet",
+		}
+	}
 	switch {
 	case up == 0:
 		return serve.Readiness{
@@ -238,7 +508,7 @@ func (d *Dispatcher) Readiness() serve.Readiness {
 func (d *Dispatcher) pick(tried map[*workerRef]bool) *workerRef {
 	var best *workerRef
 	bestLoad := 0
-	for _, w := range d.workers {
+	for _, w := range d.snapshot() {
 		if tried[w] || !w.placeable() {
 			continue
 		}
@@ -254,7 +524,11 @@ func (d *Dispatcher) pick(tried map[*workerRef]bool) *workerRef {
 func (d *Dispatcher) Close() error {
 	d.closeOnce.Do(func() {
 		close(d.closed)
-		for _, w := range d.workers {
+		if d.unsubscribe != nil {
+			d.unsubscribe()
+		}
+		for _, w := range d.snapshot() {
+			w.halt()
 			w.mu.Lock()
 			c := w.conn
 			w.mu.Unlock()
@@ -268,16 +542,19 @@ func (d *Dispatcher) Close() error {
 
 // WorkerStats is one worker's row in /metrics.
 type WorkerStats struct {
-	Addr            string `json:"addr"`
-	Name            string `json:"name,omitempty"`
-	State           string `json:"state"`
-	Breaker         string `json:"breaker"`
-	Draining        bool   `json:"draining,omitempty"`
-	Sessions        int    `json:"sessions"`
-	FramesRouted    int64  `json:"frames_routed"`
-	ResultsReceived int64  `json:"results_received"`
-	CreditsInFlight int    `json:"credits_in_flight"`
-	Reconnects      int64  `json:"reconnects"`
+	Addr            string  `json:"addr"`
+	Name            string  `json:"name,omitempty"`
+	Member          string  `json:"member,omitempty"`
+	State           string  `json:"state"`
+	Breaker         string  `json:"breaker"`
+	Draining        bool    `json:"draining,omitempty"`
+	Sessions        int     `json:"sessions"`
+	CapacityCyc     float64 `json:"capacity_cycles_per_sec,omitempty"`
+	DemandCyc       float64 `json:"demand_cycles_per_sec,omitempty"`
+	FramesRouted    int64   `json:"frames_routed"`
+	ResultsReceived int64   `json:"results_received"`
+	CreditsInFlight int     `json:"credits_in_flight"`
+	Reconnects      int64   `json:"reconnects"`
 }
 
 // SessionStats is one open session's row in /metrics: the worker (or
@@ -293,10 +570,11 @@ type SessionStats struct {
 // BackendStats implements serve.StatsReporter: the per-worker gauges
 // surfaced under "cluster" in /metrics, plus one row per open session.
 func (d *Dispatcher) BackendStats() any {
-	rows := make([]WorkerStats, 0, len(d.workers))
+	workers := d.snapshot()
+	rows := make([]WorkerStats, 0, len(workers))
 	seen := make(map[uint64]bool)
 	var sessions []SessionStats
-	for _, w := range d.workers {
+	for _, w := range workers {
 		rows = append(rows, w.stats())
 		w.mu.Lock()
 		placed := make([]placedSession, 0, len(w.sessions))
@@ -319,13 +597,25 @@ func (d *Dispatcher) BackendStats() any {
 		}
 		return sessions[i].Partitions < sessions[j].Partitions
 	})
-	return map[string]any{
+	out := map[string]any{
 		"workers":              rows,
 		"sessions":             sessions,
 		"sessions_failed_over": d.sessionsFailedOver.Load(),
 		"frames_replayed":      d.framesReplayed.Load(),
 		"shed_total":           d.shedTotal.Load(),
 	}
+	if d.registered {
+		d.admitMu.Lock()
+		admitted := d.admittedCyc
+		d.admitMu.Unlock()
+		out["fleet"] = map[string]any{
+			"members":                 len(workers),
+			"capacity_cycles_per_sec": d.fleetCapacity(),
+			"admitted_cycles_per_sec": admitted,
+			"admission_rejects":       d.admitRejects.Load(),
+		}
+	}
+	return out
 }
 
 // placedSession is one session's presence on one worker connection:
@@ -342,6 +632,10 @@ type placedSession interface {
 	connLost(cause error)
 	drainClose(w *workerRef)
 	creditsOut() int
+	// demandCyc is the session's analysis-priced cycles/sec demand,
+	// the bin-packing weight in registered mode. Must not block: it is
+	// called under the owning worker's lock.
+	demandCyc() float64
 	// sessionRow reports the session's /metrics row and a key that
 	// deduplicates a partitioned session appearing on several workers.
 	sessionRow() (SessionStats, uint64)
@@ -351,10 +645,18 @@ type placedSession interface {
 // connection with reconnection, health pings, and a circuit breaker,
 // plus the sessions currently placed on it.
 type workerRef struct {
-	d    *Dispatcher
-	addr string
+	d      *Dispatcher
+	addr   string
+	member string // ring identity (registration name; the address in static mode)
+
+	// stop cancels the manage loop: closed when the member deregisters
+	// (or the dispatcher closes it out of the fleet), so a removed
+	// worker's backoff never pings its dead address again.
+	stop     chan struct{}
+	stopOnce sync.Once
 
 	mu       sync.Mutex
+	capacity float64    // registered cycles/sec (0 in static mode)
 	conn     *wire.Conn // nil while disconnected
 	epoch    uint64     // bumped per successful connect
 	name     string     // from Welcome
@@ -373,15 +675,37 @@ type workerRef struct {
 	reconnects   atomic.Int64
 }
 
+// halt cancels the manage loop. Idempotent; a live connection is left
+// to finish on its own (sessions drain or fail over when it dies), but
+// no redial ever follows.
+func (w *workerRef) halt() {
+	w.stopOnce.Do(func() { close(w.stop) })
+}
+
+// halted reports whether the member was removed.
+func (w *workerRef) halted() bool {
+	select {
+	case <-w.stop:
+		return true
+	default:
+		return false
+	}
+}
+
 // manage owns the connection lifecycle: dial + handshake with
 // exponential backoff, then read until the connection dies, failing
-// that epoch's sessions and starting over.
+// that epoch's sessions and starting over. Deregistration (halt)
+// cancels the loop: a removed worker's address is never redialed —
+// previously a drained worker was pinged forever, holding its breaker
+// half-open.
 func (w *workerRef) manage() {
 	backoff := w.d.opts.ReconnectMin
 	connected := false
 	for {
 		select {
 		case <-w.d.closed:
+			return
+		case <-w.stop:
 			return
 		default:
 		}
@@ -390,6 +714,8 @@ func (w *workerRef) manage() {
 			w.recordFailure()
 			select {
 			case <-w.d.closed:
+				return
+			case <-w.stop:
 				return
 			case <-time.After(backoff):
 			}
@@ -519,11 +845,27 @@ func (w *workerRef) breakerStateLocked() string {
 }
 
 // placeable reports whether new sessions may land here: connected, not
-// draining, breaker not open.
+// draining, not removed from the fleet, breaker not open.
 func (w *workerRef) placeable() bool {
+	if w.halted() {
+		return false
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.conn != nil && !w.draining && w.breakerStateLocked() != "open"
+}
+
+// remainingCyc reports the capacity left after the analysis-priced
+// demand of every session currently placed here — the bin-packing
+// signal in registered mode.
+func (w *workerRef) remainingCyc() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rem := w.capacity
+	for _, ps := range w.sessions {
+		rem -= ps.demandCyc()
+	}
+	return rem
 }
 
 func (w *workerRef) sessionCount() int {
@@ -861,17 +1203,29 @@ func (w *workerRef) stats() WorkerStats {
 	if w.conn != nil {
 		state = "connected"
 	}
+	if w.halted() {
+		state = "removed"
+	}
 	credits := 0
+	demand := 0.0
 	for _, rs := range w.sessions {
 		credits += rs.creditsOut()
+		demand += rs.demandCyc()
+	}
+	member := w.member
+	if member == w.addr {
+		member = "" // static mode: the member column adds nothing
 	}
 	s := WorkerStats{
 		Addr:            w.addr,
 		Name:            w.name,
+		Member:          member,
 		State:           state,
 		Breaker:         w.breakerStateLocked(),
 		Draining:        w.draining,
 		Sessions:        len(w.sessions),
+		CapacityCyc:     w.capacity,
+		DemandCyc:       demand,
 		CreditsInFlight: credits,
 	}
 	w.mu.Unlock()
@@ -926,6 +1280,7 @@ type remoteSession struct {
 	maxInFlight int
 	deadline    time.Time // zero = unbounded
 	statsID     uint64    // stable key for the /metrics sessions table
+	admitted    float64   // cycles/sec held from the admission pool; returned when the session ends
 
 	// sendMu orders this session's frames on the wire: TryFeed holds it
 	// from seq assignment through the connection write, so concurrent
@@ -969,7 +1324,14 @@ func (rs *remoteSession) failSession(err error) {
 		rs.err = err
 	}
 	rs.releaseLogLocked()
+	admitted := rs.admitted
+	rs.admitted = 0
 	rs.mu.Unlock()
+	if admitted > 0 {
+		// Every session termination funnels through here exactly once
+		// (guarded by rs.ended), so the admission pool balances.
+		rs.d.releaseAdmission(admitted)
+	}
 	close(rs.done)
 }
 
@@ -1367,6 +1729,8 @@ func (rs *remoteSession) addCredits(n int) {
 	rs.lastProgress = time.Now()
 	rs.mu.Unlock()
 }
+
+func (rs *remoteSession) demandCyc() float64 { return rs.p.CyclesPerSec }
 
 func (rs *remoteSession) creditsOut() int {
 	rs.mu.Lock()

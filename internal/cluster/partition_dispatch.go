@@ -138,7 +138,7 @@ func (d *Dispatcher) openPartitioned(p *serve.Pipeline, opts serve.OpenOptions) 
 // loaded first.
 func (d *Dispatcher) pickDistinct(n int) []*workerRef {
 	var cands []*workerRef
-	for _, w := range d.workers {
+	for _, w := range d.snapshot() {
 		if w.placeable() {
 			cands = append(cands, w)
 		}
@@ -725,6 +725,11 @@ func (h *partitionHalf) drainClose(w *workerRef) {
 }
 
 func (h *partitionHalf) creditsOut() int { return 0 }
+
+// demandCyc weights each half with the whole pipeline's demand: a
+// partitioned session's kernels span workers, but the analysis prices
+// the graph as a unit and conservative packing beats overcommit.
+func (h *partitionHalf) demandCyc() float64 { return h.ps.p.CyclesPerSec }
 
 func (h *partitionHalf) sessionRow() (SessionStats, uint64) {
 	ps := h.ps

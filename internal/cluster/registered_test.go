@@ -1,0 +1,275 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"blockpar/internal/apps"
+	"blockpar/internal/serve"
+)
+
+// startRegistered brings up a registered fleet over loopback with test
+// patience intervals, registering cleanup.
+func startRegistered(t *testing.T, frontends, workers int, cfg RegisteredClusterConfig) *RegisteredCluster {
+	t.Helper()
+	if cfg.Dispatcher.PingInterval == 0 {
+		cfg.Dispatcher = fastOpts()
+	}
+	if cfg.MakeWorker == nil {
+		cfg.MakeWorker = func(i int) *Worker {
+			return NewWorker(suiteRegistry(t, "5"), WorkerOptions{Name: fmt.Sprintf("rw%d", i)})
+		}
+	}
+	c, err := StartRegisteredCluster(frontends, workers, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestRegisteredPlacementAgreement is the multi-frontend acceptance
+// check: two frontends that never talk to each other, fed only by the
+// workers' own registrations, must compute identical ring placement for
+// every session key — and a keyed session opened on either frontend
+// must land on the ring's first choice.
+func TestRegisteredPlacementAgreement(t *testing.T) {
+	c := startRegistered(t, 2, 3, RegisteredClusterConfig{})
+
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("session-%d", i)
+		a := c.Dispatchers[0].PlacementFor(key)
+		b := c.Dispatchers[1].PlacementFor(key)
+		if len(a) != 3 || len(b) != 3 {
+			t.Fatalf("key %q: placement lengths %d/%d, want 3", key, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("key %q: frontends disagree on placement: %v vs %v", key, a, b)
+			}
+		}
+	}
+
+	// A keyed open on each frontend independently lands on the ring's
+	// first choice, and the stream is byte-identical to the batch golden.
+	app, err := apps.ByID("5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frames = 4
+	want := batchFrames(t, app, frames)
+	byAddr := make(map[string]string, len(c.Workers))
+	for _, rw := range c.Workers {
+		byAddr[rw.Addr] = rw.Name
+	}
+	for fe, d := range c.Dispatchers {
+		frontend := suiteRegistry(t, "5")
+		p, _ := frontend.Get("5")
+		key := "agreement-key"
+		h, err := d.Open(p, serve.OpenOptions{MaxInFlight: frames, Key: key})
+		if err != nil {
+			t.Fatalf("frontend %d: open: %v", fe, err)
+		}
+		got := byAddr[h.(*remoteSession).workerAddr()]
+		if first := d.PlacementFor(key)[0]; got != first {
+			t.Fatalf("frontend %d: keyed session placed on %q, ring says %q", fe, got, first)
+		}
+		if err := streamSession(h, frames, want); err != nil {
+			t.Fatalf("frontend %d: %v", fe, err)
+		}
+	}
+}
+
+// TestRegisteredDrainCancelsReconnect is the regression test for the
+// reconnect-loop bug: draining a worker (Deregister, then shutdown)
+// must cancel the dispatcher's reconnect loop so the dead address is
+// never redialed — and a later rejoin under the same name starts a
+// fresh manager that places again.
+func TestRegisteredDrainCancelsReconnect(t *testing.T) {
+	var mu sync.Mutex
+	dials := make(map[string]int)
+	opts := fastOpts()
+	opts.Dial = func(addr string) (net.Conn, error) {
+		mu.Lock()
+		dials[addr]++
+		mu.Unlock()
+		return net.DialTimeout("tcp", addr, 5*time.Second)
+	}
+	c := startRegistered(t, 1, 2, RegisteredClusterConfig{Dispatcher: opts})
+	d := c.Dispatchers[0]
+
+	victim := c.Workers[0]
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := victim.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	waitCondition(t, "drained worker removed from placement", func() bool {
+		return d.PlaceableWorkers() == 1
+	})
+
+	// The reconnect loop must be gone: the dial count for the drained
+	// address stays frozen across many reconnect intervals.
+	settle := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return dials[victim.Addr]
+	}
+	// Let any in-flight dial finish first.
+	time.Sleep(5 * opts.ReconnectMax)
+	before := settle()
+	time.Sleep(20 * opts.ReconnectMax)
+	if after := settle(); after != before {
+		t.Fatalf("drained worker redialed: %d dials grew to %d after deregistration", before, after)
+	}
+
+	// Rejoin under the same name on a fresh listener: the fleet emits a
+	// join, the dispatcher starts a new manager, and sessions place on
+	// it again.
+	rejoined := NewWorker(suiteRegistry(t, "5"), WorkerOptions{Name: victim.Name})
+	if _, err := c.JoinWorker(rejoined, 1e18); err != nil {
+		t.Fatalf("rejoin: %v", err)
+	}
+	if err := c.WaitPlaceable(2, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	app, err := apps.ByID("5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frames = 4
+	want := batchFrames(t, app, frames)
+	frontend := suiteRegistry(t, "5")
+	p, _ := frontend.Get("5")
+	if err := streamCluster(d, p, frames, want); err != nil {
+		t.Fatalf("stream after rejoin: %v", err)
+	}
+}
+
+// TestRegisteredAdmissionControl verifies analysis-driven admission:
+// once the fleet's registered cycles/sec are spoken for, Open returns
+// serve.ErrOverloaded (the 429 contract) instead of oversubscribing —
+// and closing a session returns its cycles to the pool.
+func TestRegisteredAdmissionControl(t *testing.T) {
+	frontend := suiteRegistry(t, "5")
+	p, _ := frontend.Get("5")
+	if p.CyclesPerSec <= 0 {
+		t.Fatalf("pipeline 5 has no analysis demand (%v cycles/s); admission test needs one", p.CyclesPerSec)
+	}
+
+	// Capacity fits one session but not two.
+	c := startRegistered(t, 1, 1, RegisteredClusterConfig{
+		Capacity: func(int) float64 { return 1.5 * p.CyclesPerSec },
+	})
+	d := c.Dispatchers[0]
+
+	h1, err := openN(d, p, 2)
+	if err != nil {
+		t.Fatalf("first open within capacity: %v", err)
+	}
+	if _, err := openN(d, p, 2); !errors.Is(err, serve.ErrOverloaded) {
+		t.Fatalf("second open got %v, want serve.ErrOverloaded", err)
+	}
+	stats := d.BackendStats().(map[string]any)
+	fleet := stats["fleet"].(map[string]any)
+	if rejects := fleet["admission_rejects"].(int64); rejects != 1 {
+		t.Fatalf("admission_rejects = %d, want 1", rejects)
+	}
+
+	// Closing the admitted session releases its cycles; the next open
+	// succeeds.
+	if err := h1.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	h2, err := openN(d, p, 2)
+	if err != nil {
+		t.Fatalf("open after release: %v", err)
+	}
+	h2.Close()
+}
+
+// TestRegisteredFlapFailover kills a registered worker mid-stream: the
+// session fails over to a survivor with the stream byte-identical to
+// the batch golden, lease expiry drops the dead member from every
+// frontend, and a flap-rejoin restores full placement.
+func TestRegisteredFlapFailover(t *testing.T) {
+	// Goldens are compiled before the fleet exists: the compile is
+	// CPU-heavy enough to starve a sub-second lease's heartbeats under
+	// the race detector.
+	const frames = 8
+	app, err := apps.ByID("5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := batchFrames(t, app, frames)
+	wantShort := batchFrames(t, app, 4)
+	frontend := suiteRegistry(t, "5")
+	p, _ := frontend.Get("5")
+
+	c := startRegistered(t, 2, 2, RegisteredClusterConfig{Lease: 500 * time.Millisecond})
+	d := c.Dispatchers[0]
+
+	h, err := openN(d, p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 4; f++ {
+		feedRetry(t, h, nil)
+	}
+	for f := int64(0); f < 2; f++ {
+		collectCompare(t, h, f, want)
+	}
+
+	// Crash the worker under the session: no Deregister, just death.
+	addr := h.(*remoteSession).workerAddr()
+	var victim *RegisteredWorker
+	for _, rw := range c.Workers {
+		if rw.Addr == addr {
+			victim = rw
+		}
+	}
+	if victim == nil {
+		t.Fatalf("session worker %s not in harness", addr)
+	}
+	victim.Kill()
+
+	// The stream continues on the survivor, byte-identical. Collect
+	// rides along so the in-flight window stays open.
+	for f := 4; f < frames; f++ {
+		feedRetry(t, h, nil)
+		collectCompare(t, h, int64(f-2), want)
+	}
+	for f := int64(frames - 2); f < frames; f++ {
+		collectCompare(t, h, f, want)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Lease expiry evicts the dead member from every frontend — no
+	// Deregister was ever sent.
+	for fe, df := range c.Dispatchers {
+		df := df
+		waitCondition(t, fmt.Sprintf("frontend %d drops dead member", fe), func() bool {
+			return len(df.PlacementFor("any")) == 1
+		})
+	}
+
+	// Flap: rejoin under the same name, placement heals everywhere.
+	rejoined := NewWorker(suiteRegistry(t, "5"), WorkerOptions{Name: victim.Name})
+	if _, err := c.JoinWorker(rejoined, 1e18); err != nil {
+		t.Fatalf("rejoin: %v", err)
+	}
+	if err := c.WaitPlaceable(2, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := streamCluster(d, p, 4, wantShort); err != nil {
+		t.Fatalf("stream after flap: %v", err)
+	}
+}

@@ -80,6 +80,14 @@ func NewWorker(reg *serve.Registry, opts WorkerOptions) *Worker {
 // Name returns the worker's handshake identity.
 func (w *Worker) Name() string { return w.opts.Name }
 
+// Registry returns the worker's pipeline registry; joiners inventory
+// it when registering the compiled-pipeline cache with a fleet.
+func (w *Worker) Registry() *serve.Registry { return w.reg }
+
+// OpenSessions reports the worker's live session count — the heartbeat
+// load signal.
+func (w *Worker) OpenSessions() int { return w.openSessions() }
+
 // Serve accepts frontend connections on ln until the listener closes.
 // Each connection is independent: a frontend failure tears down only
 // the sessions opened over that connection.

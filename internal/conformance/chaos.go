@@ -17,10 +17,14 @@ import (
 
 // ChaosModes lists the fault campaigns CheckChaos runs: a mid-stream
 // worker kill (which must be invisible — failover replays the session
-// on the survivor), plus seeded wire-level corruption, frame drops,
-// and delivery delays from internal/fault.
+// on the survivor), seeded wire-level corruption, frame drops, and
+// delivery delays from internal/fault, plus two registration-plane
+// campaigns on a self-registered fleet: "flap" (the session's worker
+// crashes without deregistering and a replacement rejoins under the
+// same name mid-stream) and "frontend-kill" (a sibling frontend dies
+// while the stream runs on the other).
 func ChaosModes() []string {
-	return []string{"kill", "corrupt", "drop", "delay"}
+	return []string{"kill", "corrupt", "drop", "delay", "flap", "frontend-kill"}
 }
 
 // chaosProfile maps a mode to its fault profile. The probabilities are
@@ -69,6 +73,9 @@ func typedChaosError(err error) bool {
 // concurrently with other arena users: the leak check compares
 // frame.Stats().Live against the baseline captured at entry.
 func CheckChaos(c *Case, seed uint64, mode string) error {
+	if mode == "flap" || mode == "frontend-kill" {
+		return checkChaosRegistered(c, seed, mode)
+	}
 	profile, err := chaosProfile(mode)
 	if err != nil {
 		return err
@@ -215,6 +222,170 @@ func runChaosStream(d *cluster.Dispatcher, p *serve.Pipeline, c *Case,
 			// The frame just fed is in flight on workers[0]; its death
 			// must be invisible (failover to workers[1] replays it).
 			workers[0].Close()
+		}
+		res, err := h.Collect(30 * time.Second)
+		if err != nil {
+			if strings.Contains(err.Error(), "timed out") {
+				return fmt.Errorf("hang: collect %d timed out without a terminal session error", f)
+			}
+			return err
+		}
+		cmpErr := func() error {
+			if res.Seq != int64(f) {
+				return fmt.Errorf("chaos delivered frame %d, want %d (at-most-once broken)", res.Seq, f)
+			}
+			for _, out := range outputs {
+				name := out.Name()
+				if err := compareWindows(res.Outputs[name], want[f][name]); err != nil {
+					return fmt.Errorf("silent corruption: output %q frame %d: %w", name, f, err)
+				}
+			}
+			return nil
+		}()
+		for _, ws := range res.Outputs {
+			for _, w := range ws {
+				w.Release()
+			}
+		}
+		if cmpErr != nil {
+			return cmpErr
+		}
+	}
+	return h.Close()
+}
+
+// checkChaosRegistered runs the registration-plane campaigns on a
+// self-registered fleet: two frontends, two workers that dialed in and
+// registered themselves, the stream keyed so ring placement pins which
+// worker hosts it. At a seeded frame the campaign strikes —
+//
+//   - "flap": the session's worker crashes without deregistering and a
+//     replacement rejoins under the same name on a fresh address;
+//   - "frontend-kill": the sibling frontend (registration listener,
+//     dispatcher, and all) dies while the stream runs on the other —
+//
+// and in both campaigns a healthy path survives, so the bar is the
+// strong one: the stream MUST complete byte-identical to the oracle,
+// and every arena reference must return on shutdown.
+func checkChaosRegistered(c *Case, seed uint64, mode string) error {
+	const frames = 6
+	want, err := OracleFrames(c, frames)
+	if err != nil {
+		return err
+	}
+	baseline := frame.Stats().Live
+
+	mkWorker := func(name string) *cluster.Worker {
+		compiled, err := compileVariant(c, Variant{Name: "embedded", Machine: machine.Embedded(), Striping: true})
+		if err != nil {
+			panic(err)
+		}
+		reg := serve.NewRegistry(machine.Embedded())
+		if _, err := reg.AddCompiled("case", "case", compiled, c.Sources); err != nil {
+			panic(err)
+		}
+		return cluster.NewWorker(reg, cluster.WorkerOptions{Name: name})
+	}
+	fleet, err := cluster.StartRegisteredCluster(2, 2, cluster.RegisteredClusterConfig{
+		Lease: 500 * time.Millisecond,
+		Dispatcher: cluster.DispatcherOptions{
+			PingInterval:    25 * time.Millisecond,
+			PingTimeout:     2 * time.Second,
+			ReconnectMin:    10 * time.Millisecond,
+			ReconnectMax:    100 * time.Millisecond,
+			OpenTimeout:     5 * time.Second,
+			CloseTimeout:    5 * time.Second,
+			FailoverTimeout: 10 * time.Second,
+			StallTimeout:    2 * time.Second,
+			BreakerFailures: 1024,
+		},
+		MakeWorker: func(i int) *cluster.Worker { return mkWorker(fmt.Sprintf("flap-w%d", i)) },
+	})
+	if err != nil {
+		return err
+	}
+	defer fleet.Close()
+	d := fleet.Dispatchers[0]
+
+	compiled, err := compileVariant(c, Variant{Name: "embedded", Machine: machine.Embedded(), Striping: true})
+	if err != nil {
+		return err
+	}
+	frontend := serve.NewRegistry(machine.Embedded())
+	p, err := frontend.AddCompiled("case", "case", compiled, c.Sources)
+	if err != nil {
+		return err
+	}
+
+	// A keyed open pins the session to the ring's first choice, so the
+	// campaign knows exactly which worker to strike.
+	const key = "chaos"
+	host := d.PlacementFor(key)[0]
+	strike := func() error {
+		switch mode {
+		case "flap":
+			for _, rw := range fleet.Workers {
+				if rw.Name == host {
+					rw.Kill()
+					// The replacement registers under the same name on a
+					// fresh address: the flap the dispatcher must absorb
+					// as a leave+join, not a stale redial.
+					_, err := fleet.JoinWorker(mkWorker(host), 1e18)
+					return err
+				}
+			}
+			return fmt.Errorf("chaos: ring host %q not in harness", host)
+		case "frontend-kill":
+			fleet.Dispatchers[1].Close()
+			fleet.Fleets[1].Close()
+			return nil
+		}
+		return fmt.Errorf("chaos: unknown registered mode %q", mode)
+	}
+
+	if err := streamChaosRegistered(d, p, c, want, fault.At(seed, frames), strike, key); err != nil {
+		return fmt.Errorf("chaos %s with a healthy path must be invisible: %w", mode, err)
+	}
+
+	fleet.Close()
+	if err := waitChaos(10*time.Second, func() bool {
+		return frame.Stats().Live <= baseline
+	}); err != nil {
+		return fmt.Errorf("chaos: arena leak: %d live references, baseline %d (mode %s seed %d)",
+			frame.Stats().Live, baseline, mode, seed)
+	}
+	return nil
+}
+
+// streamChaosRegistered drives a keyed session, firing strike after
+// feeding frame `at`, and holds every delivered frame to the oracle.
+func streamChaosRegistered(d *cluster.Dispatcher, p *serve.Pipeline, c *Case,
+	want []map[string][]frame.Window, at int, strike func() error, key string) error {
+
+	deadline := time.Now().Add(90 * time.Second)
+	h, err := d.Open(p, serve.OpenOptions{MaxInFlight: 2, Deadline: 2 * time.Minute, Key: key})
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+
+	outputs := c.Graph.Outputs()
+	for f := 0; f < len(want); f++ {
+		for {
+			if _, err := h.TryFeed(nil); err == nil {
+				break
+			} else if !errors.Is(err, runtime.ErrQueueFull) {
+				return err
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("hang: feed %d stuck in backpressure past the chaos deadline", f)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if f == at {
+			if err := strike(); err != nil {
+				return err
+			}
 		}
 		res, err := h.Collect(30 * time.Second)
 		if err != nil {

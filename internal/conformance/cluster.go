@@ -74,6 +74,106 @@ func checkCluster(compiled *core.Compiled, sources map[string]frame.Generator,
 	return nil
 }
 
+// checkRegistered streams the case through a self-registered fleet:
+// two frontends, each with its own registration listener and
+// ring-following dispatcher, sharing three workers that dialed in and
+// registered themselves — the bpserve -registry / bpworker -join
+// topology. Both frontends must agree on keyed placement without
+// talking to each other, and the stream through either must match the
+// oracle bit for bit.
+func checkRegistered(compiled *core.Compiled, sources map[string]frame.Generator,
+	want []map[string][]frame.Window) error {
+
+	c, err := cluster.StartRegisteredCluster(2, 3, cluster.RegisteredClusterConfig{
+		MakeWorker: func(i int) *cluster.Worker {
+			reg := serve.NewRegistry(machine.Embedded())
+			// Each worker registers the same compiled template; sessions
+			// clone it, so sharing across registries is safe.
+			if _, err := reg.AddCompiled("case", "case", compiled, sources); err != nil {
+				panic(err)
+			}
+			return cluster.NewWorker(reg, cluster.WorkerOptions{Name: fmt.Sprintf("reg-w%d", i)})
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	// Placement agreement is the point of the ring: frontends that have
+	// never exchanged a byte must rank the fleet identically.
+	const key = "case"
+	a, b := c.Dispatchers[0].PlacementFor(key), c.Dispatchers[1].PlacementFor(key)
+	if len(a) != len(b) {
+		return fmt.Errorf("registered: frontends see %d vs %d ring members", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("registered: frontends disagree on placement: %v vs %v", a, b)
+		}
+	}
+
+	reg := serve.NewRegistry(machine.Embedded())
+	p, err := reg.AddCompiled("case", "case", compiled, sources)
+	if err != nil {
+		return err
+	}
+	for fe, d := range c.Dispatchers {
+		if err := streamConformance(d, p, compiled, serve.OpenOptions{MaxInFlight: len(want), Key: key}, want); err != nil {
+			return fmt.Errorf("frontend %d: %w", fe, err)
+		}
+	}
+	return nil
+}
+
+// streamConformance feeds every frame through one session on d and
+// compares each collected frame with the oracle golden.
+func streamConformance(d *cluster.Dispatcher, p *serve.Pipeline, compiled *core.Compiled,
+	opts serve.OpenOptions, want []map[string][]frame.Window) error {
+
+	h, err := d.Open(p, opts)
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	for f := range want {
+		if _, err := h.TryFeed(nil); err != nil {
+			return fmt.Errorf("feed %d: %w", f, err)
+		}
+	}
+	outputs := compiled.Graph.Outputs()
+	for f := range want {
+		res, err := h.Collect(execTimeout)
+		if err != nil {
+			return fmt.Errorf("collect %d: %w", f, err)
+		}
+		if res.Seq != int64(f) {
+			return fmt.Errorf("collected frame %d, want %d", res.Seq, f)
+		}
+		cmpErr := func() error {
+			for _, out := range outputs {
+				name := out.Name()
+				if err := compareWindows(res.Outputs[name], want[f][name]); err != nil {
+					return fmt.Errorf("output %q frame %d: %w", name, f, err)
+				}
+			}
+			return nil
+		}()
+		for _, ws := range res.Outputs {
+			for _, w := range ws {
+				w.Release()
+			}
+		}
+		if cmpErr != nil {
+			return cmpErr
+		}
+	}
+	if err := h.Close(); err != nil {
+		return fmt.Errorf("close: %w", err)
+	}
+	return nil
+}
+
 // checkPartitioned streams the case through partitioned sessions: the
 // compiled graph is split by the placement layer across a 2-worker and
 // then a 3-worker fleet, with cut-edge traffic relayed through the

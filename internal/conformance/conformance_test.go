@@ -104,6 +104,24 @@ func TestDiffPartitionedSmoke(t *testing.T) {
 	}
 }
 
+// TestDiffRegisteredSmoke does the same for the self-registered fleet:
+// a few seeds through two frontends sharing three self-registered
+// workers on every PR, so ring placement agreement and the
+// registration plane stay honest between nightly sweeps.
+func TestDiffRegisteredSmoke(t *testing.T) {
+	const seeds = 3
+	for i := 0; i < seeds; i++ {
+		seed := *seedFlag + uint64(i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			c := Generate(seed)
+			if err := Check(c, CheckOptions{Backends: []string{"registered"}}); err != nil {
+				t.Fatalf("case %s: %v", c.Name, err)
+			}
+		})
+	}
+}
+
 // TestChaosConformance is the robustness sweep: seeded random graphs
 // streamed through a two-worker cluster under seeded fault injection
 // (and mid-stream worker kills), asserting CheckChaos's contract —
@@ -139,22 +157,26 @@ func TestChaosConformance(t *testing.T) {
 // TestChaosSuiteApps holds the Figure 13 suite apps to the same bar:
 // a mid-stream worker kill on every paper benchmark must be invisible
 // — failover replays the session and every frame stays byte-identical
-// to the oracle.
+// to the oracle — and so must a registration flap on a self-registered
+// fleet (the worker crashes without deregistering and a replacement
+// rejoins under its name mid-stream).
 func TestChaosSuiteApps(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos suite apps skipped in -short")
 	}
 	for _, id := range apps.IDs() {
-		t.Run("app-"+id, func(t *testing.T) {
-			app, err := apps.ByID(id)
-			if err != nil {
-				t.Fatal(err)
-			}
-			c := &Case{Name: app.Name, Graph: app.Graph, Sources: app.Sources}
-			if err := CheckChaos(c, 1000+uint64(len(id)), "kill"); err != nil {
-				t.Fatalf("app %s: %v", id, err)
-			}
-		})
+		for _, mode := range []string{"kill", "flap"} {
+			t.Run("app-"+id+"/"+mode, func(t *testing.T) {
+				app, err := apps.ByID(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c := &Case{Name: app.Name, Graph: app.Graph, Sources: app.Sources}
+				if err := CheckChaos(c, 1000+uint64(len(id)), mode); err != nil {
+					t.Fatalf("app %s: %v", id, err)
+				}
+			})
+		}
 	}
 }
 

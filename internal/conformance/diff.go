@@ -52,10 +52,12 @@ type CheckOptions struct {
 // Backends lists every execution path the differential driver can
 // exercise: the batch goroutine runtime, the batch worker-pool
 // executor, a streaming session, the timing simulator's functional
-// stream, a cluster session over a loopback worker, and a partitioned
-// session split by the placement layer across a loopback fleet.
+// stream, a cluster session over a loopback worker, a partitioned
+// session split by the placement layer across a loopback fleet, and a
+// self-registered two-frontend fleet placed by the consistent-hash
+// ring.
 func Backends() []string {
-	return []string{"batch", "workers", "session", "sim", "cluster", "partitioned"}
+	return []string{"batch", "workers", "session", "sim", "cluster", "partitioned", "registered"}
 }
 
 // DefaultBackends is the per-PR subset: everything except the cluster
@@ -155,6 +157,11 @@ func Check(c *Case, opts CheckOptions) error {
 		if backends["partitioned"] {
 			if err := checkPartitioned(compiled, c.Sources, want); err != nil {
 				return fmt.Errorf("%s: partitioned: %w", v.Name, err)
+			}
+		}
+		if backends["registered"] {
+			if err := checkRegistered(compiled, c.Sources, want); err != nil {
+				return fmt.Errorf("%s: registered: %w", v.Name, err)
 			}
 		}
 	}

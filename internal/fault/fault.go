@@ -135,6 +135,19 @@ func (inj *Injector) Stats() Stats {
 	}
 }
 
+// At picks a deterministic event index in [1, n-1] from a seed — the
+// frame at which a chaos campaign triggers its one scheduled fault
+// (a registration flap, a frontend kill). Index 0 is excluded so the
+// stream always makes some progress before the fault, which keeps the
+// dedup watermark ahead of the replay. n below 2 pins the event to
+// frame 1.
+func At(seed uint64, n int) int {
+	if n < 3 {
+		return 1
+	}
+	return 1 + int(mix(seed, 0x0a11)%uint64(n-1))
+}
+
 // mix is splitmix64's finalizer over the seed and connection index —
 // adjacent seeds must not produce correlated per-conn streams.
 func mix(seed, n uint64) uint64 {

@@ -13,6 +13,13 @@ import (
 // retry elsewhere instead of treating them as server errors.
 var ErrUnavailable = errors.New("serve: no execution capacity available")
 
+// ErrOverloaded tags admission-control rejections: the projected
+// cycles/sec demand of open sessions plus the new one exceeds the
+// fleet's analysis-derived capacity. Unlike ErrUnavailable (nothing to
+// place on), the fleet is healthy but full — the HTTP layer maps it to
+// 429 + Retry-After, the same contract as a full frame queue.
+var ErrOverloaded = errors.New("serve: fleet capacity exhausted")
+
 // ErrSessionLost tags sessions whose execution was lost mid-stream and
 // could not be recovered by failover (worker death with no surviving
 // capacity, or a session past its replay budget). It is a transient
@@ -52,6 +59,11 @@ type OpenOptions struct {
 	// worker), so a stuck session cancels cleanly instead of pinning
 	// resources forever. Zero means no deadline.
 	Deadline time.Duration
+	// Key, when non-empty, pins placement: backends with a consistent-
+	// hash ring route equal keys to the same worker, so any frontend
+	// sharing the fleet places (or resumes) the session identically.
+	// Empty keys fall back to load-based placement.
+	Key string
 }
 
 // Backend decides where sessions execute. The default runs them

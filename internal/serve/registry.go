@@ -192,6 +192,14 @@ func (r *Registry) AddCompiled(id, name string, c *core.Compiled, sources map[st
 		mach:     r.mach,
 		Nodes:    len(c.Graph.Nodes()),
 	}
+	// Price the pipeline like AddApp does: admission control compares
+	// this projected demand against fleet capacity, so a pre-compiled
+	// pipeline must not register as free.
+	for _, n := range c.Graph.Nodes() {
+		l := c.Analysis.LoadOf(n, r.mach)
+		p.CyclesPerSec += l.CyclesPerSec
+		p.MemoryWords += l.MemWords
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.byID[id]; dup {

@@ -349,6 +349,9 @@ func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Pipeline    string `json:"pipeline"`
 		MaxInFlight int    `json:"maxInFlight"`
+		// Key pins ring placement on registered-fleet backends, so any
+		// frontend routes the same key to the same worker.
+		Key string `json:"key"`
 	}
 	if err := decodeBody(r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, err.Error())
@@ -387,11 +390,21 @@ func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
 	rt, err := s.backend.Open(p, OpenOptions{
 		MaxInFlight: maxInFlight,
 		Deadline:    s.opts.SessionDeadline,
+		Key:         req.Key,
 	})
 	if err != nil {
 		s.mu.Lock()
 		delete(s.sessions, id)
 		s.mu.Unlock()
+		if errors.Is(err, ErrOverloaded) {
+			// Admission control: the fleet is healthy but its projected
+			// cycles/sec is spoken for — same retry contract as a full
+			// frame queue.
+			s.metrics.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusTooManyRequests, err.Error())
+			return
+		}
 		if errors.Is(err, ErrUnavailable) || errors.Is(err, ErrSessionLost) {
 			s.metrics.shed.Add(1)
 			w.Header().Set("Retry-After", "1")

@@ -36,6 +36,10 @@ const (
 	TypeOpenPartition
 	TypeEdgeFrame
 	TypeEdgeCredit
+	TypeRegister
+	TypeRegisterAck
+	TypeHeartbeat
+	TypeDeregister
 )
 
 func (t MsgType) String() string {
@@ -76,6 +80,14 @@ func (t MsgType) String() string {
 		return "edge-frame"
 	case TypeEdgeCredit:
 		return "edge-credit"
+	case TypeRegister:
+		return "register"
+	case TypeRegisterAck:
+		return "register-ack"
+	case TypeHeartbeat:
+		return "heartbeat"
+	case TypeDeregister:
+		return "deregister"
 	default:
 		return "unknown"
 	}
@@ -411,6 +423,101 @@ func (*Goaway) Type() MsgType            { return TypeGoaway }
 func (m *Goaway) append(b []byte) []byte { return appendStr(b, m.Reason) }
 func (m *Goaway) decode(r *reader)       { m.Reason = r.str("goaway reason") }
 
+// Register announces a worker to a frontend's fleet registry (worker →
+// frontend, over a registration connection the worker dialed — the
+// inversion of the session plane, where the frontend dials the worker's
+// data address). Addr is the data-plane address frontends connect to
+// for sessions; CyclesPerSec is the worker's execution capacity in the
+// machine model's cycles/sec (PEs × PE clock), the unit the analysis
+// prices pipelines in, so admission control can compare fleet capacity
+// against projected pipeline load directly. Pipelines inventories the
+// worker's compiled-pipeline cache.
+type Register struct {
+	Name         string
+	Addr         string
+	CyclesPerSec float64
+	Executor     string
+	Pipelines    []string
+}
+
+func (*Register) Type() MsgType { return TypeRegister }
+func (m *Register) append(b []byte) []byte {
+	b = appendStr(b, m.Name)
+	b = appendStr(b, m.Addr)
+	b = appendF64(b, m.CyclesPerSec)
+	b = appendStr(b, m.Executor)
+	b = appendU32(b, uint32(len(m.Pipelines)))
+	for _, p := range m.Pipelines {
+		b = appendStr(b, p)
+	}
+	return b
+}
+func (m *Register) decode(r *reader) {
+	m.Name = r.str("register name")
+	m.Addr = r.str("register addr")
+	m.CyclesPerSec = r.f64("register capacity")
+	m.Executor = r.str("register executor")
+	n := int(r.u32("register pipeline count"))
+	if r.err != nil {
+		return
+	}
+	if n > maxStr {
+		r.err = corruptf("register pipeline count %d out of range", n)
+		return
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Pipelines = append(m.Pipelines, r.str("register pipeline"))
+	}
+}
+
+// RegisterAck answers Register. LeaseMs is the membership lease the
+// frontend granted: the worker must heartbeat within it or be evicted
+// from the fleet (and from every frontend's placement ring).
+type RegisterAck struct {
+	Err     string
+	LeaseMs uint32
+}
+
+func (*RegisterAck) Type() MsgType { return TypeRegisterAck }
+func (m *RegisterAck) append(b []byte) []byte {
+	b = appendStr(b, m.Err)
+	return appendU32(b, m.LeaseMs)
+}
+func (m *RegisterAck) decode(r *reader) {
+	m.Err = r.str("register-ack err")
+	m.LeaseMs = r.u32("register-ack lease-ms")
+}
+
+// Heartbeat renews a registration lease (worker → frontend) and
+// reports the worker's current load, so /metrics can show fleet
+// utilization without a second connection.
+type Heartbeat struct {
+	Sessions     uint32
+	CyclesPerSec float64 // projected load of the sessions currently placed here
+}
+
+func (*Heartbeat) Type() MsgType { return TypeHeartbeat }
+func (m *Heartbeat) append(b []byte) []byte {
+	b = appendU32(b, m.Sessions)
+	return appendF64(b, m.CyclesPerSec)
+}
+func (m *Heartbeat) decode(r *reader) {
+	m.Sessions = r.u32("heartbeat sessions")
+	m.CyclesPerSec = r.f64("heartbeat load")
+}
+
+// Deregister removes the worker from the fleet immediately (worker →
+// frontend, on graceful drain). The frontend stops placing sessions on
+// the worker and — critically — cancels its reconnect loop, so a
+// drained worker is not pinged forever at a dead address.
+type Deregister struct {
+	Reason string
+}
+
+func (*Deregister) Type() MsgType            { return TypeDeregister }
+func (m *Deregister) append(b []byte) []byte { return appendStr(b, m.Reason) }
+func (m *Deregister) decode(r *reader)       { m.Reason = r.str("deregister reason") }
+
 // newMsg returns an empty message of the given type.
 func newMsg(t MsgType) Msg {
 	switch t {
@@ -450,6 +557,14 @@ func newMsg(t MsgType) Msg {
 		return &EdgeFrame{}
 	case TypeEdgeCredit:
 		return &EdgeCredit{}
+	case TypeRegister:
+		return &Register{}
+	case TypeRegisterAck:
+		return &RegisterAck{}
+	case TypeHeartbeat:
+		return &Heartbeat{}
+	case TypeDeregister:
+		return &Deregister{}
 	default:
 		return nil
 	}

@@ -44,8 +44,10 @@ const Magic uint32 = 0x42505702 // "BPW\x02"
 // Version is the protocol version spoken by this build. A peer with a
 // different version is rejected at handshake. Version 2 added the
 // CRC32C frame trailer and the OpenSession deadline; version 3 added
-// the partition plane (OpenPartition, EdgeFrame, EdgeCredit).
-const Version uint16 = 3
+// the partition plane (OpenPartition, EdgeFrame, EdgeCredit); version 4
+// added the registration plane (Register, RegisterAck, Heartbeat,
+// Deregister).
+const Version uint16 = 4
 
 // MaxFrame bounds a single frame's encoded size; a length prefix past
 // it is treated as corruption and kills the connection before any
@@ -76,6 +78,9 @@ func appendU16(b []byte, v uint16) []byte { return binary.BigEndian.AppendUint16
 func appendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
 func appendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
 func appendI64(b []byte, v int64) []byte  { return binary.BigEndian.AppendUint64(b, uint64(v)) }
+func appendF64(b []byte, v float64) []byte {
+	return binary.BigEndian.AppendUint64(b, math.Float64bits(v))
+}
 
 func appendStr(b []byte, s string) []byte {
 	b = appendU32(b, uint32(len(s)))
@@ -148,6 +153,8 @@ func (r *reader) u64(what string) uint64 {
 }
 
 func (r *reader) i64(what string) int64 { return int64(r.u64(what)) }
+
+func (r *reader) f64(what string) float64 { return math.Float64frombits(r.u64(what)) }
 
 func (r *reader) str(what string) string {
 	n := r.u32(what)
