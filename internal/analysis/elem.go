@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"fmt"
+
+	"blockpar/internal/frame"
+	"blockpar/internal/graph"
+)
+
+// ElemResult is the element-kind view of a graph: the kind flowing out
+// of every output port and into every input port, plus the edges where
+// the arriving kind violates the consumer's declared constraints
+// (graph.ElemTyped). It is the element-type twin of Analyze's geometric
+// Result and drives transform.InsertConversions.
+type ElemResult struct {
+	Out map[*graph.Port]frame.Kind
+	In  map[*graph.Port]frame.Kind
+	// Violations lists edges whose consumer rejects the arriving kind.
+	Violations []ElemViolation
+}
+
+// ElemViolation records one edge where the flowing element kind is not
+// accepted by the consumer behavior.
+type ElemViolation struct {
+	Edge *graph.Edge
+	Have frame.Kind
+}
+
+func (v ElemViolation) String() string {
+	return fmt.Sprintf("edge %s carries %s, rejected by %s",
+		v.Edge, v.Have, v.Edge.To.Node().Name())
+}
+
+// ElemKinds propagates element kinds through the graph in topological
+// order. Application inputs are authoritative (Port.Elem on their "out"
+// port); every other node derives its output kinds from the arriving
+// ones: behaviors implementing graph.ElemTyped declare their mapping,
+// all others are elem-polymorphic pass-throughs emitting the widest
+// kind among their non-replicated data inputs. Feedback paths whose
+// source has not been visited yet default to float64, matching the
+// scalar feedback streams the runtime produces.
+func ElemKinds(g *graph.Graph) (*ElemResult, error) {
+	order, err := g.Topological()
+	if err != nil {
+		return nil, err
+	}
+	r := &ElemResult{
+		Out: make(map[*graph.Port]frame.Kind),
+		In:  make(map[*graph.Port]frame.Kind),
+	}
+	for _, n := range order {
+		// Resolve what arrives on each input.
+		dataIn := frame.F64
+		seenData := false
+		for _, p := range n.Inputs() {
+			k := frame.F64
+			if e := g.EdgeTo(p); e != nil {
+				if got, ok := r.Out[e.From]; ok {
+					k = got
+				}
+			}
+			r.In[p] = k
+			if p.Replicated {
+				continue
+			}
+			if !seenData || k.Bytes() > dataIn.Bytes() {
+				dataIn = k
+			}
+			seenData = true
+		}
+		et, _ := n.Behavior.(graph.ElemTyped)
+		for _, o := range n.Outputs() {
+			switch {
+			case n.Kind == graph.KindInput:
+				r.Out[o] = o.Elem
+			case et != nil:
+				r.Out[o] = et.ElemOut(o.Name, dataIn)
+			default:
+				r.Out[o] = dataIn
+			}
+		}
+		if et != nil {
+			for _, p := range n.Inputs() {
+				if !et.ElemAccepts(p.Name, r.In[p]) {
+					e := g.EdgeTo(p)
+					if e == nil {
+						continue
+					}
+					r.Violations = append(r.Violations, ElemViolation{Edge: e, Have: r.In[p]})
+				}
+			}
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,92 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"blockpar/internal/analysis"
+	"blockpar/internal/frame"
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+	"blockpar/internal/kernel"
+)
+
+func TestElemKindsPassThroughAndTyped(t *testing.T) {
+	g := graph.New("elem")
+	in := g.AddInput("in", geom.Sz(8, 8), geom.Sz(1, 1), geom.FInt(1))
+	in.Output("out").Elem = frame.U8
+	gain := g.Add(kernel.Gain("gain", 2))
+	out := g.AddOutput("out", geom.Sz(1, 1))
+	g.Connect(in, "out", gain, "in")
+	g.Connect(gain, "out", out, "in")
+
+	r, err := analysis.ElemKinds(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Out[in.Output("out")]; got != frame.U8 {
+		t.Errorf("input emits %s, want u8", got)
+	}
+	if got := r.In[gain.Input("in")]; got != frame.U8 {
+		t.Errorf("gain receives %s, want u8", got)
+	}
+	// Gain's arithmetic is float64 (elemToF64): it accepts the bytes but
+	// emits doubles, so the output node receives f64.
+	if got := r.Out[gain.Output("out")]; got != frame.F64 {
+		t.Errorf("gain emits %s, want f64", got)
+	}
+	if got := r.In[out.Input("in")]; got != frame.F64 {
+		t.Errorf("output receives %s, want f64", got)
+	}
+	if len(r.Violations) != 0 {
+		t.Errorf("unexpected violations: %v", r.Violations)
+	}
+}
+
+func TestElemKindsViolation(t *testing.T) {
+	g := graph.New("elem")
+	in := g.AddInput("in", geom.Sz(8, 8), geom.Sz(1, 1), geom.FInt(1))
+	in.Output("out").Elem = frame.U8
+	conv := g.Add(kernel.Convolution("conv", 3))
+	coeff := g.AddInput("coeff", geom.Sz(3, 3), geom.Sz(3, 3), geom.FInt(1))
+	out := g.AddOutput("out", geom.Sz(1, 1))
+	g.Connect(in, "out", conv, "in")
+	g.Connect(coeff, "out", conv, "coeff")
+	g.Connect(conv, "out", out, "in")
+
+	r, err := analysis.ElemKinds(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Violations) != 1 {
+		t.Fatalf("got %d violations, want 1: %v", len(r.Violations), r.Violations)
+	}
+	v := r.Violations[0]
+	if v.Edge.To != conv.Input("in") || v.Have != frame.U8 {
+		t.Errorf("unexpected violation %v", v)
+	}
+}
+
+func TestElemKindsF32Convolution(t *testing.T) {
+	g := graph.New("elem")
+	in := g.AddInput("in", geom.Sz(8, 8), geom.Sz(1, 1), geom.FInt(1))
+	in.Output("out").Elem = frame.F32
+	conv := g.Add(kernel.Convolution("conv", 3))
+	coeff := g.AddInput("coeff", geom.Sz(3, 3), geom.Sz(3, 3), geom.FInt(1))
+	out := g.AddOutput("out", geom.Sz(1, 1))
+	g.Connect(in, "out", conv, "in")
+	g.Connect(coeff, "out", conv, "coeff")
+	g.Connect(conv, "out", out, "in")
+
+	r, err := analysis.ElemKinds(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Violations) != 0 {
+		t.Fatalf("unexpected violations: %v", r.Violations)
+	}
+	// Replicated coefficient input does not widen the data kind: the
+	// f32 stream stays f32 through the convolution.
+	if got := r.Out[conv.Output("out")]; got != frame.F32 {
+		t.Errorf("conv emits %s, want f32", got)
+	}
+}

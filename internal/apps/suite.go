@@ -75,5 +75,11 @@ func Figure13Suite() []Bench {
 			W: 48, H: 32, Rate: sampleRate(SlowRate, 48, 32), Bins: 32,
 		}),
 	})
+	// Typed variants of benchmarks 1 and 4: the same graphs with u8/f32
+	// elements declared on their inputs, exercising the typed data plane.
+	benches = append(benches,
+		Bench{ID: "1u8", App: BayerU8("bayer-u8", BayerCfg{W: 64, H: 48, Rate: sampleRate(SlowRate, 64, 48)})},
+		Bench{ID: "4f32", App: MultiConvF32("multiconv-f32", MultiConvCfg{W: 48, H: 32, Rate: sampleRate(SlowRate, 48, 32), Sizes: []int{3, 5, 7}})},
+	)
 	return benches
 }

@@ -1,0 +1,117 @@
+package apps
+
+import (
+	"blockpar/internal/frame"
+)
+
+// Typed benchmark variants: the same application graphs with narrow
+// element kinds declared on their inputs, exercising the typed data
+// plane end to end — u8 frames through the Bayer demosaic (sensor
+// bytes in, sensor bytes out) and f32 frames through the convolution
+// chain (native single-precision multiply-accumulate).
+
+// quadsKind converts a golden plane to the given kind and slices it
+// into the 2×2 quads the Bayer kernel emits.
+func quadsKind(plane frame.Window, k frame.Kind) []frame.Window {
+	return splitQuads(plane.Convert(k))
+}
+
+// scalarsKind slices a plane into 1×1 windows of its own kind.
+func scalarsKind(plane frame.Window) []frame.Window {
+	out := make([]frame.Window, 0, plane.W*plane.H)
+	for y := 0; y < plane.H; y++ {
+		for x := 0; x < plane.W; x++ {
+			out = append(out, plane.Sub(x, y, 1, 1))
+		}
+	}
+	return out
+}
+
+// BayerU8 builds benchmark 1u8: RGGB demosaicing over byte samples.
+// The mosaic arrives as u8 (one byte per sample in memory and on the
+// wire), the kernel's f64 interpolation arithmetic is unchanged, and
+// the three color planes leave quantized back to u8. The golden runs
+// the f64 reference demosaic on the promoted scene and quantizes — the
+// kernel's Window.Set narrowing makes the two paths bit-identical.
+func BayerU8(name string, cfg BayerCfg) *App {
+	app := Bayer(name, cfg)
+	app.Graph.Node("Input").Output("out").Elem = frame.U8
+	src := frame.Typed(frame.U8, frame.Bayer)
+	app.Sources["Input"] = src
+	app.Golden = func(seq int64) map[string][]frame.Window {
+		img := src(seq, cfg.W, cfg.H).Convert(frame.F64)
+		r, gg, b := frame.BayerDemosaic(img)
+		return map[string][]frame.Window{
+			"R": quadsKind(r, frame.U8),
+			"G": quadsKind(gg, frame.U8),
+			"B": quadsKind(b, frame.U8),
+		}
+	}
+	return app
+}
+
+// MultiConvF32 builds benchmark 4f32: the convolution chain running
+// natively in single precision. The input is declared f32, so no
+// conversion kernels are inserted — every convolution runs its f32
+// row-batched multiply-accumulate and the stream stays four bytes per
+// sample end to end. The golden mirrors the kernel's accumulation
+// (f32 taps, f32 accumulator, taps visited in (ky,kx) order), so
+// results are byte-identical, not merely close.
+func MultiConvF32(name string, cfg MultiConvCfg) *App {
+	app := MultiConv(name, cfg)
+	if len(cfg.Sizes) == 0 {
+		cfg.Sizes = []int{3, 5}
+	}
+	app.Graph.Node("Input").Output("out").Elem = frame.F32
+	src := frame.Typed(frame.F32, frame.LCG)
+	app.Sources["Input"] = src
+
+	coeffs := make([]frame.Window, len(cfg.Sizes))
+	for i, k := range cfg.Sizes {
+		coeffs[i] = app.Sources[coeffName(i)](0, k, k)
+	}
+	app.Golden = func(seq int64) map[string][]frame.Window {
+		img := src(seq, cfg.W, cfg.H)
+		for _, c := range coeffs {
+			img = convolveRefF32(img, c)
+		}
+		return map[string][]frame.Window{"result": scalarsKind(img)}
+	}
+	return app
+}
+
+// coeffName mirrors MultiConv's coefficient input naming.
+func coeffName(i int) string {
+	return "Coeff" + string(rune('0'+i))
+}
+
+// convolveRefF32 is the single-precision reference convolution: f32
+// taps (rounded from the f64 coefficient window exactly as the kernel's
+// loadCoeff does), an f32 accumulator, and taps visited in (ky,kx)
+// order — the same arithmetic the row-batched kernel loop performs, so
+// the golden diff is bit-exact.
+func convolveRefF32(f frame.Window, coeff frame.Window) frame.Window {
+	k := coeff.W
+	ow, oh := f.W-k+1, f.H-k+1
+	flat := make([]float32, k*k)
+	for ky := 0; ky < k; ky++ {
+		for kx := 0; kx < k; kx++ {
+			flat[ky*k+kx] = float32(coeff.At(k-kx-1, k-ky-1))
+		}
+	}
+	out := frame.NewWindowKind(frame.F32, ow, oh)
+	for y := 0; y < oh; y++ {
+		dst := out.RowF32(y)
+		for x := 0; x < ow; x++ {
+			var acc float32
+			for ky := 0; ky < k; ky++ {
+				row := f.RowF32(y + ky)
+				for kx := 0; kx < k; kx++ {
+					acc += row[x+kx] * flat[ky*k+kx]
+				}
+			}
+			dst[x] = acc
+		}
+	}
+	return out
+}

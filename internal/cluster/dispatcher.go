@@ -1985,6 +1985,10 @@ func validateInputs(p *serve.Pipeline, inputs map[string]frame.Window) error {
 			return fmt.Errorf("%w: input %q is %dx%d, want %dx%d",
 				runtime.ErrBadFrame, name, w.W, w.H, n.FrameSize.W, n.FrameSize.H)
 		}
+		if want := n.Output("out").Elem; w.Kind != want {
+			return fmt.Errorf("%w: input %q carries %s samples, declared %s",
+				runtime.ErrBadFrame, name, w.Kind, want)
+		}
 	}
 	return nil
 }

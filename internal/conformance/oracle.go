@@ -43,11 +43,16 @@ type plane struct {
 func (p *plane) item(u, v int) frame.Window { return p.items[v*p.nx+u] }
 
 // assemble flattens a 1×1-item plane into one window for sliding
-// windows over it.
+// windows over it, preserving the items' element kind so typed kernels
+// see the same native samples the runtime delivers.
 func (p *plane) assemble() frame.Window {
-	w := frame.NewWindow(p.nx, p.ny)
+	k := frame.F64
+	if len(p.items) > 0 {
+		k = p.items[0].Kind
+	}
+	w := frame.NewWindowKind(k, p.nx, p.ny)
 	for i, it := range p.items {
-		w.Pix[i] = it.Pix[0]
+		w.Set(i%p.nx, i/p.nx, it.At(0, 0))
 	}
 	return w
 }

@@ -1,0 +1,78 @@
+package conformance
+
+import (
+	"testing"
+
+	"blockpar/internal/apps"
+	"blockpar/internal/frame"
+	"blockpar/internal/geom"
+)
+
+// promoted lifts a typed generator to the f64 stream the reference
+// twin feeds the oracle: the same post-quantization values, eight
+// bytes wide. Diffing against this twin isolates the typed data
+// plane — any divergence is typed kernel arithmetic, never input
+// quantization.
+func promoted(g frame.Generator) frame.Generator {
+	return func(seq int64, w, h int) frame.Window {
+		return g(seq, w, h).Convert(frame.F64)
+	}
+}
+
+func typedCase(app *apps.App) *Case {
+	return &Case{Name: app.Name, Graph: app.Graph, Sources: app.Sources}
+}
+
+// TestTypedToleranceGate holds the typed data plane to the f64 oracle:
+// the u8 Bayer pipeline must reproduce the quantized oracle
+// byte-for-byte (its interpolation arithmetic is f64 either way), and
+// the f32 convolution chain must stay within the per-kernel forward
+// error bound — a tolerance TypedTolerances derives from the actual
+// coefficient magnitudes, not a hand-tuned epsilon.
+func TestTypedToleranceGate(t *testing.T) {
+	t.Run("bayer-u8", func(t *testing.T) {
+		cfg := apps.BayerCfg{W: 16, H: 12, Rate: geom.FInt(10)}
+		typed := typedCase(apps.BayerU8("bayer-u8", cfg))
+		refApp := apps.Bayer("bayer-u8-ref", cfg)
+		refApp.Sources["Input"] = promoted(typed.Sources["Input"])
+		ref := typedCase(refApp)
+
+		tol, err := TypedTolerances(typed)
+		if err != nil {
+			t.Fatalf("tolerances: %v", err)
+		}
+		for _, out := range []string{"R", "G", "B"} {
+			if tol[out] != 0 {
+				t.Errorf("output %q: u8 path got tolerance %g, want 0 (byte-identical)", out, tol[out])
+			}
+		}
+		if err := CheckTyped(typed, ref, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("multiconv-f32", func(t *testing.T) {
+		cfg := apps.MultiConvCfg{W: 20, H: 16, Rate: geom.FInt(10), Sizes: []int{3, 5}}
+		typed := typedCase(apps.MultiConvF32("multiconv-f32", cfg))
+		refApp := apps.MultiConv("multiconv-f32-ref", cfg)
+		refApp.Sources["Input"] = promoted(typed.Sources["Input"])
+		ref := typedCase(refApp)
+
+		tol, err := TypedTolerances(typed)
+		if err != nil {
+			t.Fatalf("tolerances: %v", err)
+		}
+		// The gate must neither be vacuous (f32 accumulation does round)
+		// nor useless (the bound must stay far below signal magnitude,
+		// which reaches the tens of thousands after two convolutions).
+		if tol["result"] <= 0 {
+			t.Fatalf("f32 chain got tolerance %g, want > 0", tol["result"])
+		}
+		if tol["result"] > 10 {
+			t.Fatalf("f32 chain tolerance %g is too loose to catch real bugs", tol["result"])
+		}
+		if err := CheckTyped(typed, ref, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -63,6 +63,11 @@ func Compile(g *graph.Graph, cfg Config) (*Compiled, error) {
 			return nil, fmt.Errorf("core: pad alignment: %w", err)
 		}
 	}
+	// Conversions go in before buffers so the converted — usually
+	// narrower — stream is what gets buffered and windowed.
+	if err := transform.InsertConversions(g); err != nil {
+		return nil, fmt.Errorf("core: element conversions: %w", err)
+	}
 	if err := transform.InsertBuffers(g); err != nil {
 		return nil, fmt.Errorf("core: buffering: %w", err)
 	}
@@ -93,6 +98,14 @@ func Compile(g *graph.Graph, cfg Config) (*Compiled, error) {
 	}
 	if r.HasProblems() {
 		return nil, fmt.Errorf("core: transformed graph still has problems: %v", r.Problems[0])
+	}
+	ek, err := analysis.ElemKinds(g)
+	if err != nil {
+		return nil, fmt.Errorf("core: element-kind analysis: %w", err)
+	}
+	if len(ek.Violations) > 0 {
+		return nil, fmt.Errorf("core: transformed graph still has element-kind violations: %v",
+			ek.Violations[0])
 	}
 	return &Compiled{Graph: g, Analysis: r, Report: rep}, nil
 }

@@ -25,6 +25,7 @@ import (
 	"strings"
 	"sync"
 
+	"blockpar/internal/frame"
 	"blockpar/internal/geom"
 	"blockpar/internal/graph"
 	"blockpar/internal/kernel"
@@ -47,6 +48,9 @@ type InputDesc struct {
 	Chunk [2]int `json:"chunk"`
 	// Rate is an exact rational frame rate: "30" or "1500000/768".
 	Rate string `json:"rate"`
+	// Elem is the element kind of the samples this input produces:
+	// "u8", "f32", or "f64" (the default when omitted).
+	Elem string `json:"elem,omitempty"`
 	// TokenRates optionally declares custom-token bounds (per frame).
 	TokenRates map[string]string `json:"tokenRates,omitempty"`
 }
@@ -164,6 +168,11 @@ func Build(f *File) (g *graph.Graph, err error) {
 		}
 		n := g.AddInput(in.Name, geom.Sz(in.Frame[0], in.Frame[1]),
 			geom.Sz(in.Chunk[0], in.Chunk[1]), rate)
+		elem, err := frame.ParseKind(in.Elem)
+		if err != nil {
+			return nil, fmt.Errorf("desc: input %q: %w", in.Name, err)
+		}
+		n.Output("out").Elem = elem
 		if len(in.TokenRates) > 0 {
 			n.TokenRates = make(map[string]geom.Frac, len(in.TokenRates))
 			for tok, rs := range in.TokenRates {
@@ -422,6 +431,12 @@ func instantiateBuiltin(name, ktype, params string) (*graph.Node, error) {
 		return kernel.MotionSearch(name, v[0], v[1]), nil
 	case "accumulator":
 		return kernel.Accumulator(name), nil
+	case "convert":
+		k, err := frame.ParseKind(params)
+		if err != nil {
+			return nil, fmt.Errorf("desc: kernel %q: %w", name, err)
+		}
+		return kernel.Convert(name, k), nil
 	case "morphology":
 		v, err := ints(2)
 		if err != nil {
@@ -468,6 +483,9 @@ func Encode(g *graph.Graph) ([]byte, error) {
 				Frame: [2]int{n.FrameSize.W, n.FrameSize.H},
 				Chunk: [2]int{chunk.W, chunk.H},
 				Rate:  FormatRate(n.Rate),
+			}
+			if elem := n.Output("out").Elem; elem != frame.F64 {
+				in.Elem = elem.String()
 			}
 			if len(n.TokenRates) > 0 {
 				in.TokenRates = make(map[string]string, len(n.TokenRates))

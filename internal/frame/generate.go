@@ -57,6 +57,28 @@ func Constant(v float64) Generator {
 	}
 }
 
+// Typed adapts a generator to produce frames of the given element
+// kind. Samples are quantized through the kind's narrowing rule
+// (Window.Set), so a Typed(U8, g) source and the f64 stream obtained by
+// promoting its frames carry bit-identical values — which is what lets
+// the conformance harness diff a u8 pipeline against the f64 oracle
+// exactly: both sides see the same quantized scene.
+func Typed(k Kind, g Generator) Generator {
+	if k == F64 {
+		return g
+	}
+	return func(seq int64, w, h int) Frame {
+		src := g(seq, w, h)
+		out := NewWindowKind(k, w, h)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				out.Set(x, y, src.At(x, y))
+			}
+		}
+		return out
+	}
+}
+
 // Bayer produces a synthetic Bayer-mosaic frame in RGGB layout: each
 // pixel holds only the color channel its filter position admits,
 // derived from a smooth underlying scene so demosaicing is meaningful.

@@ -1,0 +1,85 @@
+package frame
+
+import "fmt"
+
+// Kind identifies the element type carried by a window. It is a
+// first-class property of a stream edge: sources declare the kind of
+// the samples they produce, kernels declare the kinds they consume and
+// emit, and the compiler inserts explicit conversion kernels where
+// edges disagree (transform.InsertConversions). The zero value is F64
+// so every pre-existing window literal keeps its meaning.
+//
+// Narrower kinds are what make the data plane vectorizable end to end:
+// a megabyte Bayer frame travels as one byte per sample (in memory and
+// on the cluster wire) instead of eight, and the row-batched kernel
+// loops run over dense typed spans the compiler can unroll.
+type Kind uint8
+
+const (
+	// F64 is the default element kind: IEEE-754 double, the semantic
+	// reference arithmetic every other kind is diffed against.
+	F64 Kind = iota
+	// U8 is an unsigned byte sample (sensor planes, Bayer mosaics).
+	U8
+	// F32 is an IEEE-754 single sample.
+	F32
+	kindCount // sentinel for validation
+)
+
+// Bytes returns the storage width of one sample of this kind.
+func (k Kind) Bytes() int {
+	switch k {
+	case U8:
+		return 1
+	case F32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// Valid reports whether k names a defined element kind.
+func (k Kind) Valid() bool { return k < kindCount }
+
+func (k Kind) String() string {
+	switch k {
+	case F64:
+		return "f64"
+	case U8:
+		return "u8"
+	case F32:
+		return "f32"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// ParseKind resolves the names used in descriptors and tool flags.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "", "f64", "float64":
+		return F64, nil
+	case "u8", "uint8", "byte":
+		return U8, nil
+	case "f32", "float32":
+		return F32, nil
+	}
+	return F64, fmt.Errorf("frame: unknown element kind %q", s)
+}
+
+// Widens reports whether a conversion from k to to is exact for every
+// representable value (u8 → f32/f64, f32 → f64). Non-widening
+// conversions round (to f32) or clamp-and-round (to u8) and must be
+// requested explicitly.
+func (k Kind) Widens(to Kind) bool {
+	if k == to {
+		return true
+	}
+	switch k {
+	case U8:
+		return to == F32 || to == F64
+	case F32:
+		return to == F64
+	}
+	return false
+}

@@ -2,19 +2,25 @@ package frame
 
 import (
 	"fmt"
-	"math"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
 // This file implements the pooled backing-store arena behind zero-copy
 // windows. The paper's premise (§III-B) is that a compiled graph runs
 // in fixed, pre-sized memory regions; the software data plane mirrors
 // that with a size-bucketed arena: kernels allocate window storage with
-// Alloc, the runtime releases it at the graph edge where the item is
-// consumed, and the storage cycles back for the next window of the same
-// shape. sync.Pool backs the buckets, so a missed Release degrades to
-// ordinary garbage collection instead of a leak.
+// Alloc/AllocKind, the runtime releases it at the graph edge where the
+// item is consumed, and the storage cycles back for the next window of
+// the same shape. sync.Pool backs the buckets, so a missed Release
+// degrades to ordinary garbage collection instead of a leak.
+//
+// Buckets are classed by BYTES, not samples, so a 4096-pixel u8 window
+// and a 512-sample f64 window recycle the same 4 KiB class. Every
+// bucket's storage is a []float64 (8-byte aligned by construction);
+// typed windows view it through unsafe.Slice, which keeps u8/f32 spans
+// aligned for free.
 //
 // Ownership protocol (see DESIGN.md "Memory model"):
 //
@@ -32,18 +38,26 @@ import (
 // Clone results, literals) have a nil ref and every protocol call is a
 // no-op on them, so the protocol is safe to apply uniformly.
 
-// maxBucket is the largest power-of-two class the arena recycles;
-// larger windows fall through to plain allocation.
-const maxBucket = 20 // 1<<20 floats = 8 MiB
+const (
+	// minBucketLog is the smallest byte class (8 bytes: one f64 sample,
+	// the 1×1 scalar hot path).
+	minBucketLog = 3
+	// maxBucketLog is the largest byte class the arena recycles
+	// (8 MiB); larger windows fall through to plain allocation.
+	maxBucketLog = 23
+)
 
 // Ref counts the live references to one pooled backing buffer.
 type Ref struct {
-	refs   atomic.Int32
+	refs atomic.Int32
+	// buf is the bucket's storage. It is always a []float64 — even for
+	// typed windows — so the base address is 8-aligned and any element
+	// kind can view it safely.
 	buf    []float64
 	bucket int
 }
 
-var buckets [maxBucket + 1]sync.Pool
+var buckets [maxBucketLog + 1]sync.Pool
 
 // poolStats holds the arena's monitoring counters.
 var poolStats struct {
@@ -109,7 +123,7 @@ func ResetStats() {
 var zeroCopy atomic.Bool
 
 // poison gates the debug use-after-release detector: released buffers
-// are filled with NaN so any consumer still reading them diverges
+// are filled with poison so any consumer still reading them diverges
 // loudly in the differential conformance checks instead of silently
 // reading recycled data. Tests enable it; production leaves it off.
 var poison atomic.Bool
@@ -130,31 +144,45 @@ func SetPoison(on bool) bool { return poison.Swap(on) }
 // Poisoning reports whether release-time poisoning is enabled.
 func Poisoning() bool { return poison.Load() }
 
-// bucketFor returns the smallest class holding n floats, or -1 when n
-// is out of the arena's range.
+// bucketFor returns the smallest byte class holding n bytes, or -1
+// when n is out of the arena's range.
 func bucketFor(n int) int {
-	if n < 1 || n > 1<<maxBucket {
+	if n < 1 || n > 1<<maxBucketLog {
 		return -1
 	}
-	b := 0
+	b := minBucketLog
 	for 1<<b < n {
 		b++
 	}
 	return b
 }
 
-// Alloc returns a zeroed w×h window backed by the arena. The caller
-// owns one reference; see the ownership protocol above. With zero-copy
-// disabled (or a shape outside the arena's range) it degrades to
-// NewWindow.
-func Alloc(w, h int) Window {
-	n := w * h
+// f64bytes views a float64 slice's full capacity as bytes.
+func f64bytes(f []float64) []byte {
+	if cap(f) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&f[:1][0])), cap(f)*8)
+}
+
+// Alloc returns a zeroed w×h F64 window backed by the arena. The
+// caller owns one reference; see the ownership protocol above. With
+// zero-copy disabled (or a shape outside the arena's range) it degrades
+// to NewWindow.
+func Alloc(w, h int) Window { return AllocKind(F64, w, h) }
+
+// AllocKind returns a zeroed w×h window of the given element kind,
+// backed by the arena. Buckets are shared across kinds: storage is
+// classed by byte footprint, so typed windows recycle the same buffers
+// as f64 ones.
+func AllocKind(k Kind, w, h int) Window {
+	nbytes := w * h * k.Bytes()
 	b := -1
 	if ZeroCopy() {
-		b = bucketFor(n)
+		b = bucketFor(nbytes)
 	}
 	if b < 0 {
-		return NewWindow(w, h)
+		return NewWindowKind(k, w, h)
 	}
 	poolStats.gets.Add(1)
 	poolStats.live.Add(1)
@@ -164,20 +192,25 @@ func Alloc(w, h int) Window {
 		poolStats.hits.Add(1)
 		poolStats.pooled.Add(-int64(cap(r.buf)) * 8)
 	} else {
-		r = &Ref{buf: make([]float64, 1<<b), bucket: b}
-	}
-	pix := r.buf[:n]
-	for i := range pix {
-		pix[i] = 0
+		r = &Ref{buf: make([]float64, (1<<b)/8), bucket: b}
 	}
 	r.refs.Store(1)
-	return Window{W: w, H: h, Pix: pix, ref: r}
+	win := Window{W: w, H: h, Kind: k, ref: r}
+	if k == F64 {
+		pix := r.buf[:w*h]
+		for i := range pix {
+			pix[i] = 0
+		}
+		win.Pix = pix
+	} else {
+		raw := f64bytes(r.buf)[:nbytes]
+		for i := range raw {
+			raw[i] = 0
+		}
+		win.raw = raw
+	}
+	return win
 }
-
-// poisonValue marks released storage: a quiet NaN, so a stale reader
-// propagates NaN into its output and the conformance differential
-// comparison fails instead of silently reading recycled samples.
-var poisonValue = math.NaN()
 
 // Retain adds n references to the window's pooled backing buffer so it
 // can be delivered to n additional consumers. It is a no-op for
@@ -211,9 +244,13 @@ func (w Window) Release() {
 	poolStats.live.Add(-1)
 	poolStats.puts.Add(1)
 	if poison.Load() {
-		buf := r.buf[:cap(r.buf)]
-		for i := range buf {
-			buf[i] = poisonValue
+		// 0xFF in every byte: a quiet NaN for f64/f32 rows, 255 for u8
+		// rows — any stale reader diverges loudly in the differential
+		// conformance comparison instead of silently reading recycled
+		// samples.
+		raw := f64bytes(r.buf)
+		for i := range raw {
+			raw[i] = 0xFF
 		}
 	}
 	poolStats.pooled.Add(int64(cap(r.buf)) * 8)

@@ -8,6 +8,7 @@ package frame
 import (
 	"fmt"
 	"math"
+	"unsafe"
 )
 
 // Window is a row-major 2-D block of samples. It is the value a channel
@@ -17,24 +18,38 @@ import (
 //
 // A window is either dense (rows packed back to back, Stride zero) or a
 // strided view sharing another window's storage (Stride is the parent's
-// row pitch). Views are how the zero-copy data plane avoids per-item
-// copies; consumers that index Pix directly must either require
-// IsDense or go through At/Row. Storage may additionally be pooled
-// (see Alloc); pooled windows follow the retain/release protocol
-// described in pool.go.
+// row pitch, measured in elements). Views are how the zero-copy data
+// plane avoids per-item copies; consumers that index storage directly
+// must either require IsDense or go through At/Row. Storage may
+// additionally be pooled (see Alloc); pooled windows follow the
+// retain/release protocol described in pool.go.
+//
+// The element type is a first-class property (Kind): the zero value F64
+// stores samples in Pix, while U8 and F32 windows store them at native
+// width in raw. Generic accessors (At, Set, Value) promote to float64;
+// the row-batched kernel loops use the typed spans (Row, RowU8, RowF32)
+// so the inner loops are free of per-sample conversions and bounds
+// checks the compiler cannot hoist.
 type Window struct {
 	W, H int
-	// Stride is the row pitch of Pix in samples; zero means dense
-	// (rows of exactly W samples, packed).
+	// Stride is the row pitch in elements; zero means dense (rows of
+	// exactly W elements, packed).
 	Stride int
-	Pix    []float64
+	// Kind is the element type; the zero value is F64.
+	Kind Kind
+	// Pix is the element storage of F64 windows (nil otherwise).
+	Pix []float64
+	// raw is the native-width element storage of U8 and F32 windows
+	// (nil for F64). For F32 it aliases a []float32 allocation, so
+	// 4-byte alignment holds by construction.
+	raw []byte
 
 	// ref tracks pooled backing storage; nil for plain windows.
 	ref *Ref
 }
 
-// RowStride returns the distance in Pix between vertically adjacent
-// samples.
+// RowStride returns the distance in elements between vertically
+// adjacent samples.
 func (w Window) RowStride() int {
 	if w.Stride > 0 {
 		return w.Stride
@@ -42,11 +57,10 @@ func (w Window) RowStride() int {
 	return w.W
 }
 
-// IsDense reports whether Pix is packed row-major with no gaps, i.e.
-// Pix[y*W+x] addresses sample (x, y).
+// IsDense reports whether storage is packed row-major with no gaps.
 func (w Window) IsDense() bool { return w.Stride == 0 || w.Stride == w.W }
 
-// NewWindow allocates a zeroed w×h dense window.
+// NewWindow allocates a zeroed w×h dense F64 window.
 func NewWindow(w, h int) Window {
 	if w < 0 || h < 0 {
 		panic(fmt.Sprintf("frame: invalid window size %dx%d", w, h))
@@ -54,12 +68,69 @@ func NewWindow(w, h int) Window {
 	return Window{W: w, H: h, Pix: make([]float64, w*h)}
 }
 
-// Scalar returns a 1x1 window holding v.
+// NewWindowKind allocates a zeroed w×h dense window of the given
+// element kind.
+func NewWindowKind(k Kind, w, h int) Window {
+	if w < 0 || h < 0 {
+		panic(fmt.Sprintf("frame: invalid window size %dx%d", w, h))
+	}
+	switch k {
+	case U8:
+		return Window{W: w, H: h, Kind: U8, raw: make([]byte, w*h)}
+	case F32:
+		return Window{W: w, H: h, Kind: F32, raw: f32bytes(make([]float32, w*h))}
+	default:
+		return Window{W: w, H: h, Pix: make([]float64, w*h)}
+	}
+}
+
+// f32bytes views a float32 slice as its backing bytes.
+func f32bytes(f []float32) []byte {
+	if len(f) == 0 {
+		return []byte{}
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&f[0])), len(f)*4)
+}
+
+// bytesF32 views a byte slice as float32s; the base must be 4-aligned,
+// which holds for every storage path that produces F32 windows (typed
+// allocations and the pool's 8-aligned buffers).
+func bytesF32(b []byte) []float32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+// WrapBytes wraps raw — w*h elements of kind k at native width — as a
+// dense typed window without copying. The base must be suitably
+// aligned for k (AlignedBytes and pool storage both are). F64 callers
+// should construct a Window with Pix directly instead.
+func WrapBytes(k Kind, w, h int, raw []byte) Window {
+	if k == F64 || !k.Valid() {
+		panic(fmt.Sprintf("frame: WrapBytes of %v", k))
+	}
+	if len(raw) != w*h*k.Bytes() {
+		panic(fmt.Sprintf("frame: WrapBytes %v %dx%d needs %d bytes, got %d",
+			k, w, h, w*h*k.Bytes(), len(raw)))
+	}
+	return Window{W: w, H: h, Kind: k, raw: raw}
+}
+
+// AlignedBytes returns an empty byte slice with at least the given
+// capacity whose base address is 8-byte aligned (it is backed by a
+// float64 allocation), suitable for carving typed window storage out
+// of.
+func AlignedBytes(capacity int) []byte {
+	return f64bytes(make([]float64, (capacity+7)/8))[:0]
+}
+
+// Scalar returns a 1x1 F64 window holding v.
 func Scalar(v float64) Window {
 	return Window{W: 1, H: 1, Pix: []float64{v}}
 }
 
-// FromRows builds a dense window from row-major rows; all rows must
+// FromRows builds a dense F64 window from row-major rows; all rows must
 // have the same length.
 func FromRows(rows [][]float64) Window {
 	h := len(rows)
@@ -77,69 +148,156 @@ func FromRows(rows [][]float64) Window {
 	return win
 }
 
-// At returns the sample at (x, y). It panics on out-of-range access.
+// At returns the sample at (x, y) promoted to float64. It panics on
+// out-of-range access.
 func (w Window) At(x, y int) float64 {
 	if x < 0 || x >= w.W || y < 0 || y >= w.H {
 		panic(fmt.Sprintf("frame: At(%d,%d) outside %dx%d", x, y, w.W, w.H))
 	}
-	return w.Pix[y*w.RowStride()+x]
+	i := y*w.RowStride() + x
+	switch w.Kind {
+	case U8:
+		return float64(w.raw[i])
+	case F32:
+		return float64(bytesF32(w.raw)[i])
+	default:
+		return w.Pix[i]
+	}
 }
 
-// Set stores v at (x, y). It panics on out-of-range access.
+// Set stores v at (x, y), narrowing to the window's element kind (u8
+// stores clamp to [0,255] and round half away from zero). It panics on
+// out-of-range access.
 func (w Window) Set(x, y int, v float64) {
 	if x < 0 || x >= w.W || y < 0 || y >= w.H {
 		panic(fmt.Sprintf("frame: Set(%d,%d) outside %dx%d", x, y, w.W, w.H))
 	}
-	w.Pix[y*w.RowStride()+x] = v
+	i := y*w.RowStride() + x
+	switch w.Kind {
+	case U8:
+		w.raw[i] = quantizeU8(v)
+	case F32:
+		bytesF32(w.raw)[i] = float32(v)
+	default:
+		w.Pix[i] = v
+	}
 }
 
-// Row returns the y-th row as a slice of exactly W samples, valid for
-// dense and strided windows alike.
+// quantizeU8 is the explicit narrowing rule of the data plane: clamp to
+// [0,255], round half away from zero. Conversion kernels and Set share
+// it so a narrowed stream is reproducible everywhere.
+func quantizeU8(v float64) uint8 {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 255 {
+		return 255
+	}
+	return uint8(v + 0.5)
+}
+
+// Row returns the y-th row as a span of exactly W float64 samples,
+// valid for dense and strided F64 windows alike. It panics for typed
+// windows — use RowU8/RowF32 (or At) for those.
 func (w Window) Row(y int) []float64 {
+	if w.Kind != F64 {
+		panic(fmt.Sprintf("frame: Row on %v window; use Row%s", w.Kind, w.Kind))
+	}
 	s := w.RowStride()
 	return w.Pix[y*s : y*s+w.W]
 }
 
-// Value returns the single sample of a 1x1 window.
+// RowU8 returns the y-th row of a U8 window as a span of W bytes.
+func (w Window) RowU8(y int) []byte {
+	if w.Kind != U8 {
+		panic(fmt.Sprintf("frame: RowU8 on %v window", w.Kind))
+	}
+	s := w.RowStride()
+	return w.raw[y*s : y*s+w.W]
+}
+
+// RowF32 returns the y-th row of an F32 window as a span of W floats.
+func (w Window) RowF32(y int) []float32 {
+	if w.Kind != F32 {
+		panic(fmt.Sprintf("frame: RowF32 on %v window", w.Kind))
+	}
+	s := w.RowStride()
+	return bytesF32(w.raw)[y*s : y*s+w.W]
+}
+
+// Bytes returns the y-th row's native-width storage (any kind): W
+// elements starting at the row origin. Used by the wire codec to
+// encode windows without promotion.
+func (w Window) RowBytes(y int) []byte {
+	es := w.Kind.Bytes()
+	s := w.RowStride()
+	if w.Kind == F64 {
+		row := w.Pix[y*s : y*s+w.W]
+		if len(row) == 0 {
+			return nil
+		}
+		return unsafe.Slice((*byte)(unsafe.Pointer(&row[0])), len(row)*8)
+	}
+	return w.raw[y*s*es : (y*s+w.W)*es]
+}
+
+// Value returns the single sample of a 1x1 window, promoted.
 func (w Window) Value() float64 {
 	if w.W != 1 || w.H != 1 {
 		panic(fmt.Sprintf("frame: Value() on %dx%d window", w.W, w.H))
 	}
-	return w.Pix[0]
+	return w.At(0, 0)
 }
 
-// Clone returns an independent dense, unpooled deep copy of the
-// window. Kernels use it for any input they keep across firings.
+// Clone returns an independent dense, unpooled deep copy of the window,
+// preserving its element kind. Kernels use it for any input they keep
+// across firings.
 func (w Window) Clone() Window {
-	out := Window{W: w.W, H: w.H, Pix: make([]float64, w.W*w.H)}
-	s := w.RowStride()
-	for y := 0; y < w.H; y++ {
-		copy(out.Pix[y*w.W:(y+1)*w.W], w.Pix[y*s:y*s+w.W])
-	}
+	out := NewWindowKind(w.Kind, w.W, w.H)
+	copyRows(out, w)
 	return out
 }
 
-// Dense returns a window whose Pix is packed row-major (Pix[y*W+x]);
-// the receiver itself when it already is, a compact copy otherwise.
+// copyRows copies the sample rows of src into the dense window dst;
+// both must have the same shape and kind.
+func copyRows(dst, src Window) {
+	es := src.Kind.Bytes()
+	s := src.RowStride()
+	if src.Kind == F64 {
+		for y := 0; y < src.H; y++ {
+			copy(dst.Pix[y*src.W:(y+1)*src.W], src.Pix[y*s:y*s+src.W])
+		}
+		return
+	}
+	for y := 0; y < src.H; y++ {
+		copy(dst.raw[y*src.W*es:(y+1)*src.W*es], src.raw[y*s*es:(y*s+src.W)*es])
+	}
+}
+
+// Dense returns a window whose storage is packed row-major; the
+// receiver itself when it already is, a compact copy otherwise.
 func (w Window) Dense() Window {
 	if w.IsDense() {
-		if len(w.Pix) == w.W*w.H {
+		if w.Kind == F64 {
+			if len(w.Pix) == w.W*w.H {
+				return w
+			}
+			return Window{W: w.W, H: w.H, Pix: w.Pix[:w.W*w.H], ref: w.ref}
+		}
+		es := w.Kind.Bytes()
+		if len(w.raw) == w.W*w.H*es {
 			return w
 		}
-		return Window{W: w.W, H: w.H, Pix: w.Pix[:w.W*w.H], ref: w.ref}
+		return Window{W: w.W, H: w.H, Kind: w.Kind, raw: w.raw[:w.W*w.H*es], ref: w.ref}
 	}
 	return w.Clone()
 }
 
 // Sub returns a dense copy of the sub-window of size sw×sh anchored at
-// (x, y).
+// (x, y), preserving the element kind.
 func (w Window) Sub(x, y, sw, sh int) Window {
-	out := NewWindow(sw, sh)
-	s := w.RowStride()
-	for dy := 0; dy < sh; dy++ {
-		srcOff := (y+dy)*s + x
-		copy(out.Pix[dy*sw:(dy+1)*sw], w.Pix[srcOff:srcOff+sw])
-	}
+	out := NewWindowKind(w.Kind, sw, sh)
+	copyRows(out, w.View(x, y, sw, sh))
 	return out
 }
 
@@ -158,36 +316,86 @@ func (w Window) View(x, y, vw, vh int) Window {
 	if vw == 0 || vh == 0 {
 		end = off
 	}
-	return Window{W: vw, H: vh, Stride: s, Pix: w.Pix[off:end], ref: w.ref}
+	out := Window{W: vw, H: vh, Stride: s, Kind: w.Kind, ref: w.ref}
+	if w.Kind == F64 {
+		out.Pix = w.Pix[off:end]
+	} else {
+		es := w.Kind.Bytes()
+		out.raw = w.raw[off*es : end*es]
+	}
+	return out
 }
 
-// Equal reports whether two windows have identical shape and samples.
+// Convert returns a dense, unpooled copy of the window with the given
+// element kind. Widening conversions (u8→f32/f64, f32→f64) are exact;
+// narrowing to f32 rounds to nearest, and narrowing to u8 clamps to
+// [0, 255] and rounds half away from zero (see quantizeU8).
+func (w Window) Convert(to Kind) Window {
+	if to == w.Kind {
+		return w.Clone()
+	}
+	out := NewWindowKind(to, w.W, w.H)
+	for y := 0; y < w.H; y++ {
+		for x := 0; x < w.W; x++ {
+			out.Set(x, y, w.At(x, y))
+		}
+	}
+	return out
+}
+
+// Equal reports whether two windows have identical element kind, shape,
+// and samples. Kinds are compared strictly: a u8 window never equals an
+// f64 window, even when promotion would make the samples agree — typed
+// streams diff against the f64 oracle through the conformance layer's
+// explicit tolerance gate, not through silent promotion here.
 func (w Window) Equal(o Window) bool {
-	if w.W != o.W || w.H != o.H {
+	if w.W != o.W || w.H != o.H || w.Kind != o.Kind {
 		return false
 	}
-	ws, os := w.RowStride(), o.RowStride()
-	for y := 0; y < w.H; y++ {
-		wr, or := w.Pix[y*ws:y*ws+w.W], o.Pix[y*os:y*os+w.W]
-		for x := range wr {
-			if wr[x] != or[x] {
-				return false
+	switch w.Kind {
+	case U8:
+		for y := 0; y < w.H; y++ {
+			wr, or := w.RowU8(y), o.RowU8(y)
+			for x := range wr {
+				if wr[x] != or[x] {
+					return false
+				}
+			}
+		}
+	case F32:
+		for y := 0; y < w.H; y++ {
+			wr, or := w.RowF32(y), o.RowF32(y)
+			for x := range wr {
+				if wr[x] != or[x] {
+					return false
+				}
+			}
+		}
+	default:
+		ws, os := w.RowStride(), o.RowStride()
+		for y := 0; y < w.H; y++ {
+			wr, or := w.Pix[y*ws:y*ws+w.W], o.Pix[y*os:y*os+w.W]
+			for x := range wr {
+				if wr[x] != or[x] {
+					return false
+				}
 			}
 		}
 	}
 	return true
 }
 
-// AlmostEqual reports shape equality and element-wise |a-b| <= tol.
+// AlmostEqual reports shape equality and element-wise |a-b| <= tol
+// after promotion to float64. Unlike Equal it tolerates differing
+// element kinds: it is the comparison the conformance tolerance gate
+// uses to diff typed backends against the f64 oracle.
 func (w Window) AlmostEqual(o Window, tol float64) bool {
 	if w.W != o.W || w.H != o.H {
 		return false
 	}
-	ws, os := w.RowStride(), o.RowStride()
 	for y := 0; y < w.H; y++ {
-		wr, or := w.Pix[y*ws:y*ws+w.W], o.Pix[y*os:y*os+w.W]
-		for x := range wr {
-			if math.Abs(wr[x]-or[x]) > tol {
+		for x := 0; x < w.W; x++ {
+			if math.Abs(w.At(x, y)-o.At(x, y)) > tol {
 				return false
 			}
 		}
@@ -196,6 +404,9 @@ func (w Window) AlmostEqual(o Window, tol float64) bool {
 }
 
 func (w Window) String() string {
+	if w.Kind != F64 {
+		return fmt.Sprintf("Window(%dx%d %v)", w.W, w.H, w.Kind)
+	}
 	return fmt.Sprintf("Window(%dx%d)", w.W, w.H)
 }
 

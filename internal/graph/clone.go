@@ -16,9 +16,11 @@ func CloneNode(n *Node, name string, instance int) *Node {
 	for _, p := range n.Inputs() {
 		np := c.CreateInput(p.Name, p.Size, p.Step, p.Offset)
 		np.Replicated = p.Replicated
+		np.Elem = p.Elem
 	}
 	for _, p := range n.Outputs() {
-		c.CreateOutput(p.Name, p.Size, p.Step)
+		np := c.CreateOutput(p.Name, p.Size, p.Step)
+		np.Elem = p.Elem
 	}
 	for _, m := range n.Methods() {
 		nm := c.RegisterMethod(m.Name, m.Cycles, m.Memory)

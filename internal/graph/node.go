@@ -105,6 +105,12 @@ type Port struct {
 	// Replicated marks inputs whose data is copied, not split, when the
 	// kernel is parallelized (e.g. convolution coefficients).
 	Replicated bool
+	// Elem declares the element kind of the stream this port produces.
+	// It is authoritative only on application inputs (KindInput "out"
+	// ports), where the zero value means float64; everywhere else the
+	// flowing kind is derived by propagation (analysis.ElemKinds) from
+	// the inputs and each behavior's ElemTyped constraints.
+	Elem frame.Kind
 }
 
 // Node returns the port's owning node.
@@ -449,4 +455,49 @@ type ExecContext interface {
 	// forwarding of unhandled tokens is automatic; EmitToken exists
 	// for kernels that generate custom tokens.
 	EmitToken(output string, t token.Token)
+}
+
+// ElemTyped is implemented by Behaviors with element-kind constraints
+// or conversions: kernels that require specific input kinds (a
+// convolution's float-only multiply-accumulate) or produce a kind other
+// than the one arriving (a histogram's float64 counts, a conversion
+// kernel's target kind). Behaviors that do not implement it are
+// elem-polymorphic pass-throughs: they accept any kind and emit the
+// (widest) kind of their data inputs. The contract is descriptive — the
+// declared kinds must match what the behavior actually allocates — and
+// the compiler inserts conversion kernels wherever the flowing kind is
+// not accepted.
+type ElemTyped interface {
+	// ElemAccepts reports whether the named input handles streams of
+	// kind k without conversion.
+	ElemAccepts(input string, k frame.Kind) bool
+	// ElemOut returns the kind emitted on the named output when the
+	// data inputs carry kind in.
+	ElemOut(output string, in frame.Kind) frame.Kind
+}
+
+// BatchAware is implemented by Behaviors whose listed inputs accept row
+// batches (Batch descriptors with N > 1): the executor delivers whole
+// row batches to them instead of splitting at the edge, and the kernel
+// runs one firing covering the batch's N logical invocations. A
+// behavior that accepts batches on an input must produce, per batch,
+// the exact logical output stream that N scalar firings would — the
+// conformance suite diffs the two.
+type BatchAware interface {
+	// AcceptsBatch reports whether the named input handles batches.
+	AcceptsBatch(input string) bool
+}
+
+// BatchContext is the optional ExecContext extension batch-aware
+// Invoker kernels use: contexts that can carry batches (the runtime
+// driver) implement it; the sequential oracle and test mocks need not,
+// and kernels fall back to the scalar path when the assertion fails or
+// the input's batch has N <= 1.
+type BatchContext interface {
+	// Batch returns the batch descriptor of the item consumed from the
+	// named input; the zero Batch for plain items.
+	Batch(input string) Batch
+	// EmitBatch writes one batched data item to the named output (N <= 1
+	// degrades to Emit).
+	EmitBatch(output string, w frame.Window, b Batch)
 }

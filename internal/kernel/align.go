@@ -45,6 +45,11 @@ func (b *insetBehavior) Clone() graph.Behavior {
 	return &insetBehavior{plan: b.plan}
 }
 
+// AcceptsBatch implements graph.BatchAware: an item-row span is trimmed
+// by re-slicing — the kept run leaves as a sub-span view sharing the
+// incoming storage instead of per-item traffic.
+func (b *insetBehavior) AcceptsBatch(input string) bool { return input == "in" }
+
 func (b *insetBehavior) Run(ctx graph.RunContext) error {
 	for {
 		it, ok := ctx.Recv("in")
@@ -64,18 +69,66 @@ func (b *insetBehavior) Run(ctx graph.RunContext) error {
 			}
 			continue
 		}
-		keep, rowEnd := b.plan.Keep(b.x, b.y)
-		if keep {
-			ctx.Send("out", it)
-			if rowEnd {
-				ctx.Send("out", graph.TokenItem(token.EOL(b.row)))
-				b.row++
+		n := it.BatchN()
+		if n == 1 {
+			keep, rowEnd := b.plan.Keep(b.x, b.y)
+			if keep {
+				ctx.Send("out", it)
+				if rowEnd {
+					ctx.Send("out", graph.TokenItem(token.EOL(b.row)))
+					b.row++
+				}
+			} else {
+				// Trimmed: this kernel was the item's only consumer.
+				it.Win.Release()
 			}
-		} else {
-			// Trimmed: this kernel was the item's only consumer.
-			it.Win.Release()
+			b.x++
+			continue
 		}
-		b.x++
+		b.insetSpan(ctx, it, n)
+	}
+}
+
+// insetSpan applies the trim to a span of n grid items at columns
+// [b.x, b.x+n) of item row b.y: each maximal run of kept items is
+// forwarded as one sub-span view, trimmed items are dropped with the
+// storage reference, and the regenerated end-of-line follows the item
+// that ends a kept row. Emission order matches the scalar path exactly.
+func (b *insetBehavior) insetSpan(ctx graph.RunContext, it graph.Item, n int) {
+	type run struct {
+		j0, j1 int // kept item range [j0, j1)
+		rowEnd bool
+	}
+	var runs []run
+	for j := 0; j < n; j++ {
+		keep, rowEnd := b.plan.Keep(b.x+j, b.y)
+		if !keep {
+			continue
+		}
+		if len(runs) > 0 && runs[len(runs)-1].j1 == j && !runs[len(runs)-1].rowEnd {
+			runs[len(runs)-1].j1 = j + 1
+			runs[len(runs)-1].rowEnd = rowEnd
+		} else {
+			runs = append(runs, run{j0: j, j1: j + 1, rowEnd: rowEnd})
+		}
+	}
+	b.x += n
+	if len(runs) == 0 {
+		it.Win.Release()
+		return
+	}
+	it.Win.Retain(len(runs) - 1)
+	sx, bw := int(it.B.Sx), int(it.B.Bw)
+	for _, r := range runs {
+		m := r.j1 - r.j0
+		sub := it.Win.View(r.j0*sx, 0, (m-1)*sx+bw, it.Win.H)
+		ctx.Send("out", graph.BatchItem(sub, graph.Batch{
+			N: int32(m), Sx: int32(sx), Bw: int32(bw),
+		}))
+		if r.rowEnd {
+			ctx.Send("out", graph.TokenItem(token.EOL(b.row)))
+			b.row++
+		}
 	}
 }
 
@@ -112,6 +165,9 @@ type padBehavior struct {
 	x, y    int
 	row     int64
 	topDone bool
+	// kind is the stream's element kind, latched from the first data
+	// item so inserted zero samples match (zero is exact in every kind).
+	kind frame.Kind
 }
 
 func (b *padBehavior) Clone() graph.Behavior { return &padBehavior{plan: b.plan} }
@@ -125,9 +181,13 @@ func PadPlanOf(n *graph.Node) (PadPlan, bool) {
 	return b.plan, true
 }
 
+func (b *padBehavior) zero() frame.Window {
+	return frame.AllocKind(b.kind, 1, 1)
+}
+
 func (b *padBehavior) emitZeroRow(ctx graph.RunContext) {
 	for i := 0; i < b.plan.OutW(); i++ {
-		ctx.Send("out", graph.DataItem(frame.PooledScalar(0)))
+		ctx.Send("out", graph.DataItem(b.zero()))
 	}
 	ctx.Send("out", graph.TokenItem(token.EOL(b.row)))
 	b.row++
@@ -148,7 +208,7 @@ func (b *padBehavior) Run(ctx graph.RunContext) error {
 						ctx.Node().Name(), b.x, p.InW)
 				}
 				for i := 0; i < p.R; i++ {
-					ctx.Send("out", graph.DataItem(frame.PooledScalar(0)))
+					ctx.Send("out", graph.DataItem(b.zero()))
 				}
 				ctx.Send("out", graph.TokenItem(token.EOL(b.row)))
 				b.row++
@@ -166,6 +226,7 @@ func (b *padBehavior) Run(ctx graph.RunContext) error {
 			continue
 		}
 		if !b.topDone {
+			b.kind = it.Win.Kind
 			for i := 0; i < p.T; i++ {
 				b.emitZeroRow(ctx)
 			}
@@ -173,7 +234,7 @@ func (b *padBehavior) Run(ctx graph.RunContext) error {
 		}
 		if b.x == 0 {
 			for i := 0; i < p.L; i++ {
-				ctx.Send("out", graph.DataItem(frame.PooledScalar(0)))
+				ctx.Send("out", graph.DataItem(b.zero()))
 			}
 		}
 		ctx.Send("out", it)

@@ -1,0 +1,103 @@
+package kernel
+
+import (
+	"testing"
+
+	"blockpar/internal/frame"
+	"blockpar/internal/graph"
+	"blockpar/internal/token"
+)
+
+// allocCtx is an ExecContext+BatchContext that recycles every emitted
+// window straight back to the arena. Driving a batch-aware kernel
+// through it isolates the dense row loop: after one warm-up firing
+// (which sizes the behavior's scratch buffers and fills the pool
+// bucket), steady-state firings must not touch the heap at all. This
+// is the bench-smoke gate behind the suite benchmarks for apps 1 and 4
+// — if the conv or bayer inner loops start allocating, this fails long
+// before a benchmark regression is noticed.
+type allocCtx struct {
+	in    map[string]frame.Window
+	batch map[string]graph.Batch
+}
+
+func (c *allocCtx) Input(name string) frame.Window { return c.in[name] }
+func (c *allocCtx) Token(string) token.Token       { return token.Token{} }
+func (c *allocCtx) Emit(_ string, w frame.Window)  { w.Release() }
+func (c *allocCtx) EmitToken(string, token.Token)  {}
+
+func (c *allocCtx) Batch(input string) graph.Batch { return c.batch[input] }
+func (c *allocCtx) EmitBatch(_ string, w frame.Window, _ graph.Batch) {
+	w.Release()
+}
+
+// span builds an arena-free input window of the given kind filled with
+// a deterministic ramp — plain storage, so the firing loop's only pool
+// traffic is its own outputs.
+func span(k frame.Kind, w, h int) frame.Window {
+	win := frame.NewWindowKind(k, w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			win.Set(x, y, float64((x*7+y*13)%256))
+		}
+	}
+	return win
+}
+
+func assertAllocFree(t *testing.T, what string, fire func()) {
+	t.Helper()
+	fire() // warm-up: size scratch, populate the pool bucket
+	if avg := testing.AllocsPerRun(100, fire); avg != 0 {
+		t.Errorf("%s: %.1f allocs per batched firing, want 0", what, avg)
+	}
+}
+
+// TestDenseLoopsAllocFree pins the app-1/app-4 hot paths (bayer
+// demosaic and k×k convolution row loops) at zero steady-state heap
+// allocations per batched firing.
+func TestDenseLoopsAllocFree(t *testing.T) {
+	prev := frame.SetZeroCopy(true)
+	defer frame.SetZeroCopy(prev)
+
+	const k, n = 3, 61 // 61 overlapping 3×3 windows in one row span
+
+	convFire := func(kind frame.Kind) func() {
+		node := Convolution("conv", k)
+		inv := node.Behavior.(graph.Invoker)
+		coeff := span(frame.F64, k, k)
+		in := span(kind, n+k-1, k)
+		loadCtx := &allocCtx{in: map[string]frame.Window{"coeff": coeff}}
+		if err := inv.Invoke("loadCoeff", loadCtx); err != nil {
+			t.Fatalf("loadCoeff: %v", err)
+		}
+		ctx := &allocCtx{
+			in:    map[string]frame.Window{"in": in},
+			batch: map[string]graph.Batch{"in": {N: n, Sx: 1, Bw: int32(k)}},
+		}
+		return func() {
+			if err := inv.Invoke("runConvolve", ctx); err != nil {
+				t.Fatalf("runConvolve: %v", err)
+			}
+		}
+	}
+
+	bayerFire := func(kind frame.Kind) func() {
+		node := BayerDemosaic("bayer")
+		inv := node.Behavior.(graph.Invoker)
+		in := span(kind, (n-1)*2+4, 4) // n overlapping 4×4 windows, stride 2
+		ctx := &allocCtx{
+			in:    map[string]frame.Window{"in": in},
+			batch: map[string]graph.Batch{"in": {N: n, Sx: 2, Bw: 4}},
+		}
+		return func() {
+			if err := inv.Invoke("demosaic", ctx); err != nil {
+				t.Fatalf("demosaic: %v", err)
+			}
+		}
+	}
+
+	t.Run("conv-f64", func(t *testing.T) { assertAllocFree(t, "conv f64 row loop", convFire(frame.F64)) })
+	t.Run("conv-f32", func(t *testing.T) { assertAllocFree(t, "conv f32 row loop", convFire(frame.F32)) })
+	t.Run("bayer-u8", func(t *testing.T) { assertAllocFree(t, "bayer u8 span loop", bayerFire(frame.U8)) })
+	t.Run("bayer-f64", func(t *testing.T) { assertAllocFree(t, "bayer f64 span loop", bayerFire(frame.F64)) })
+}

@@ -14,6 +14,13 @@ import (
 // 2×2 quad, which contains exactly one pixel of each Bayer parity class
 // regardless of the window's absolute position; it demonstrates the
 // model's multiple outputs with separate R, G, and B planes.
+//
+// The input accepts row batches: a span of N overlapping windows is
+// demosaiced in one firing and each color plane leaves as one 2N×2
+// batched row. Interpolation always runs in float64 (u8 samples promote
+// exactly) and narrows back through the shared quantization rule when
+// the stream's element kind is u8, so scalar and batched firings are
+// byte-identical.
 func BayerDemosaic(name string) *graph.Node {
 	n := graph.NewNode(name, graph.KindKernel)
 	n.CreateInput("in", geom.Sz(4, 4), geom.St(2, 2), geom.Off(1, 1))
@@ -26,37 +33,119 @@ func BayerDemosaic(name string) *graph.Node {
 	n.RegisterMethodOutput("demosaic", "g")
 	n.RegisterMethodOutput("demosaic", "b")
 	n.Attrs["ktype"] = "bayer"
-	n.Behavior = bayerBehavior{}
+	n.Behavior = &bayerBehavior{}
 	return n
 }
 
-type bayerBehavior struct{}
+type bayerBehavior struct {
+	// scratch holds the batch span promoted to dense float64 rows, so
+	// the interpolation runs with direct flat indexing instead of
+	// per-pixel strided At calls. Behaviors are single-threaded per
+	// node instance, so the buffer is reused across firings.
+	scratch []float64
+}
 
-func (bayerBehavior) Clone() graph.Behavior { return bayerBehavior{} }
+func (*bayerBehavior) Clone() graph.Behavior { return &bayerBehavior{} }
 
-func (bayerBehavior) Invoke(method string, ctx graph.ExecContext) error {
+// AcceptsBatch implements graph.BatchAware: windows arrive in row spans.
+func (*bayerBehavior) AcceptsBatch(input string) bool { return input == "in" }
+
+func (bb *bayerBehavior) Invoke(method string, ctx graph.ExecContext) error {
 	if method != "demosaic" {
 		return fmt.Errorf("kernel: bayer has no method %q", method)
 	}
 	in := ctx.Input("in")
+	n, sx := 1, 2
+	bc, _ := ctx.(graph.BatchContext)
+	if bc != nil {
+		if bt := bc.Batch("in"); bt.IsBatch() {
+			n, sx = int(bt.N), int(bt.Sx)
+		}
+	}
 	// The window's top-left is at even absolute coordinates (step 2,2
 	// from an even origin), so within-window position (1,1) has odd-odd
 	// absolute parity, (2,2) even-even, matching RGGB via quadParity.
-	r := frame.Alloc(2, 2)
-	g := frame.Alloc(2, 2)
-	b := frame.Alloc(2, 2)
-	for qy := 0; qy < 2; qy++ {
-		for qx := 0; qx < 2; qx++ {
-			rv, gv, bv := demosaicQuad(in, 1+qx, 1+qy)
-			r.Set(qx, qy, rv)
-			g.Set(qx, qy, gv)
-			b.Set(qx, qy, bv)
+	r := frame.AllocKind(in.Kind, 2*n, 2)
+	g := frame.AllocKind(in.Kind, 2*n, 2)
+	b := frame.AllocKind(in.Kind, 2*n, 2)
+	if sx%2 == 0 {
+		bb.demosaicSpan(in, n, sx, r, g, b)
+	} else {
+		for j := 0; j < n; j++ {
+			for qy := 0; qy < 2; qy++ {
+				for qx := 0; qx < 2; qx++ {
+					rv, gv, bv := demosaicQuad(in, j*sx+1+qx, 1+qy)
+					r.Set(j*2+qx, qy, rv)
+					g.Set(j*2+qx, qy, gv)
+					b.Set(j*2+qx, qy, bv)
+				}
+			}
 		}
 	}
-	ctx.Emit("r", r)
-	ctx.Emit("g", g)
-	ctx.Emit("b", b)
+	if n > 1 {
+		bb := graph.Batch{N: int32(n), Sx: 2, Bw: 2}
+		bc.EmitBatch("r", r, bb)
+		bc.EmitBatch("g", g, bb)
+		bc.EmitBatch("b", b, bb)
+	} else {
+		ctx.Emit("r", r)
+		ctx.Emit("g", g)
+		ctx.Emit("b", b)
+	}
 	return nil
+}
+
+// demosaicSpan is the dense row loop: the whole batch span is promoted
+// once into a flat float64 scratch, and every quad interpolates with
+// direct indexing — no strided At calls, no per-pixel closures. The
+// even batch stride keeps the parity class of each quad position fixed,
+// so the four sites unroll statically. Sums are accumulated in the same
+// order as demosaicQuad and outputs narrow through the same Set rule,
+// making the two paths bit-identical.
+func (bb *bayerBehavior) demosaicSpan(in frame.Window, n, sx int, r, g, b frame.Window) {
+	w := in.W
+	need := w * 4
+	if cap(bb.scratch) < need {
+		bb.scratch = make([]float64, need)
+	}
+	s := bb.scratch[:need]
+	for y := 0; y < 4; y++ {
+		dst := s[y*w : (y+1)*w]
+		switch in.Kind {
+		case frame.U8:
+			for x, v := range in.RowU8(y) {
+				dst[x] = float64(v)
+			}
+		case frame.F32:
+			for x, v := range in.RowF32(y) {
+				dst[x] = float64(v)
+			}
+		default:
+			copy(dst, in.Row(y))
+		}
+	}
+	for j := 0; j < n; j++ {
+		// (base+1, 1): odd-odd — blue site.
+		p := w + j*sx + 1
+		b.Set(j*2, 0, s[p])
+		g.Set(j*2, 0, (s[p-1]+s[p+1]+s[p-w]+s[p+w])/4)
+		r.Set(j*2, 0, (s[p-w-1]+s[p-w+1]+s[p+w-1]+s[p+w+1])/4)
+		// (base+2, 1): even-odd — green on the blue row.
+		p++
+		g.Set(j*2+1, 0, s[p])
+		r.Set(j*2+1, 0, (s[p-w]+s[p+w])/2)
+		b.Set(j*2+1, 0, (s[p-1]+s[p+1])/2)
+		// (base+1, 2): odd-even — green on the red row.
+		p += w - 1
+		g.Set(j*2, 1, s[p])
+		r.Set(j*2, 1, (s[p-1]+s[p+1])/2)
+		b.Set(j*2, 1, (s[p-w]+s[p+w])/2)
+		// (base+2, 2): even-even — red site.
+		p++
+		r.Set(j*2+1, 1, s[p])
+		g.Set(j*2+1, 1, (s[p-1]+s[p+1]+s[p-w]+s[p+w])/4)
+		b.Set(j*2+1, 1, (s[p-w-1]+s[p-w+1]+s[p+w-1]+s[p+w+1])/4)
+	}
 }
 
 // demosaicQuad reconstructs RGB at window position (cx, cy); the window

@@ -17,6 +17,15 @@ import (
 // end-of-frame token after the frame completes, so downstream token
 // structure always matches downstream data structure.
 //
+// The buffer accepts row batches on its input (whole sample rows as
+// one item) and emits row batches on its output (a whole row of
+// windows packed as one dense span item): it is the pivot of the
+// batched data plane, collapsing the per-sample and per-window channel
+// traffic into per-row traffic. The logical streams are unchanged —
+// the emitted span covers exactly the windows the scalar path would
+// emit, in the same order — and a scalar producer degrades to the
+// per-sample behavior sample by sample.
+//
 // Memory is sized to double-buffer the larger of input and output
 // (plan.MemoryWords), which is what makes buffers the memory-bound
 // kernels that the buffer-splitting transformation targets (§IV-C).
@@ -37,12 +46,17 @@ func Buffer(name string, plan BufferPlan) *graph.Node {
 
 type bufferBehavior struct {
 	plan BufferPlan
-	// rows is a ring of the last WinH rows of samples.
-	rows [][]float64
+	// ring holds the last WinH input rows (modular by row index) as one
+	// dense window of the stream's element kind, allocated on the first
+	// data item.
+	ring frame.Window
 	x, y int
 }
 
 func (b *bufferBehavior) Clone() graph.Behavior { return &bufferBehavior{plan: b.plan} }
+
+// AcceptsBatch implements graph.BatchAware: sample rows arrive whole.
+func (b *bufferBehavior) AcceptsBatch(input string) bool { return input == "in" }
 
 // Plan exposes the buffer parameterization to the transformer and the
 // simulator.
@@ -50,21 +64,19 @@ func (b *bufferBehavior) Plan() BufferPlan { return b.plan }
 
 func (b *bufferBehavior) reset() {
 	b.x, b.y = 0, 0
-	for i := range b.rows {
-		for j := range b.rows[i] {
-			b.rows[i][j] = 0
+	if b.ring.W > 0 {
+		raw := b.ring.RowBytes(0)[:0]
+		for y := 0; y < b.ring.H; y++ {
+			raw = b.ring.RowBytes(y)
+			for i := range raw {
+				raw[i] = 0
+			}
 		}
 	}
 }
 
 func (b *bufferBehavior) Run(ctx graph.RunContext) error {
 	p := b.plan
-	if b.rows == nil {
-		b.rows = make([][]float64, p.WinH)
-		for i := range b.rows {
-			b.rows[i] = make([]float64, p.DataW)
-		}
-	}
 	for {
 		it, ok := ctx.Recv("in")
 		if !ok {
@@ -94,29 +106,92 @@ func (b *bufferBehavior) Run(ctx graph.RunContext) error {
 			}
 			continue
 		}
-		if it.Win.W != 1 || it.Win.H != 1 {
-			return fmt.Errorf("kernel: buffer %q expects 1x1 samples, got %dx%d",
-				ctx.Node().Name(), it.Win.W, it.Win.H)
+		n := it.BatchN()
+		if it.Win.H != 1 || (n == 1 && it.Win.W != 1) || (n > 1 && it.B.Bw != 1) {
+			return fmt.Errorf("kernel: buffer %q expects 1x1 samples, got %v",
+				ctx.Node().Name(), it)
 		}
-		if b.x >= p.DataW || b.y >= p.DataH {
-			return fmt.Errorf("kernel: buffer %q overflow at (%d,%d) for %dx%d region",
-				ctx.Node().Name(), b.x, b.y, p.DataW, p.DataH)
+		if b.x+n > p.DataW || b.y >= p.DataH {
+			return fmt.Errorf("kernel: buffer %q overflow at (%d,%d)+%d for %dx%d region",
+				ctx.Node().Name(), b.x, b.y, n, p.DataW, p.DataH)
 		}
-		b.rows[b.y%p.WinH][b.x] = it.Win.Value()
+		if b.ring.W == 0 {
+			b.ring = frame.NewWindowKind(it.Win.Kind, p.DataW, p.WinH)
+		} else if b.ring.Kind != it.Win.Kind {
+			return fmt.Errorf("kernel: buffer %q element kind changed mid-stream (%v -> %v)",
+				ctx.Node().Name(), b.ring.Kind, it.Win.Kind)
+		}
+		x0 := b.x
+		b.ingest(it, n)
 		it.Win.Release()
-		emit, wx, wy, rowEnd := p.OnSample(b.x, b.y)
-		if emit {
-			win := frame.Alloc(p.WinW, p.WinH)
-			for dy := 0; dy < p.WinH; dy++ {
-				src := b.rows[(wy+dy)%p.WinH]
-				copy(win.Pix[dy*p.WinW:(dy+1)*p.WinW], src[wx:wx+p.WinW])
-			}
-			ctx.Send("out", graph.DataItem(win))
-			if rowEnd {
-				ctx.Send("out", graph.TokenItem(token.EOL(int64(wy/p.StepY))))
-			}
+		b.emitCompleted(ctx, x0, b.x)
+	}
+}
+
+// ingest copies the item's n samples into the ring row at columns
+// [b.x, b.x+n) and advances the column cursor.
+func (b *bufferBehavior) ingest(it graph.Item, n int) {
+	es := b.ring.Kind.Bytes()
+	dst := b.ring.RowBytes(b.y % b.plan.WinH)
+	if n == 1 || int(it.B.Sx) == 1 {
+		copy(dst[b.x*es:(b.x+n)*es], it.Win.RowBytes(0))
+	} else {
+		// Strided batch of 1×1 samples (does not occur on the standard
+		// producers, but the descriptor allows it).
+		for j := 0; j < n; j++ {
+			copy(dst[(b.x+j)*es:(b.x+j+1)*es], it.B.Window(it.Win, j).RowBytes(0))
 		}
-		b.x++
+	}
+	b.x += n
+}
+
+// emitCompleted emits every window whose bottom-right sample lies in
+// the just-ingested column range [x0, x1) of row b.y — as one batched
+// span item (one window degrades to a plain item) — plus the row's
+// end-of-line token when the range completes the window row. For
+// scalar ingest (x1 == x0+1) this reproduces the per-sample emission
+// of the unbatched buffer exactly.
+func (b *bufferBehavior) emitCompleted(ctx graph.RunContext, x0, x1 int) {
+	p := b.plan
+	wy := b.y - p.WinH + 1
+	if wy < 0 || wy%p.StepY != 0 || wy/p.StepY >= p.OutputRows() {
+		return
+	}
+	nwin := p.WindowsPerRow()
+	if nwin == 0 {
+		return
+	}
+	// Window wx completes at sample x = wx+WinW-1, so the completed
+	// range is step-aligned wx in [x0-WinW+1, x1-WinW], clamped to the
+	// row's window positions.
+	first := x0 - p.WinW + 1
+	if first < 0 {
+		first = 0
+	}
+	if r := first % p.StepX; r != 0 {
+		first += p.StepX - r
+	}
+	last := x1 - p.WinW
+	if m := (nwin - 1) * p.StepX; last > m {
+		last = m
+	}
+	if first > last {
+		return
+	}
+	last -= (last - first) % p.StepX
+	count := (last-first)/p.StepX + 1
+	spanW := (count-1)*p.StepX + p.WinW
+	win := frame.AllocKind(b.ring.Kind, spanW, p.WinH)
+	es := b.ring.Kind.Bytes()
+	for dy := 0; dy < p.WinH; dy++ {
+		src := b.ring.RowBytes((wy + dy) % p.WinH)
+		copy(win.RowBytes(dy), src[first*es:(first+spanW)*es])
+	}
+	ctx.Send("out", graph.BatchItem(win, graph.Batch{
+		N: int32(count), Sx: int32(p.StepX), Bw: int32(p.WinW),
+	}))
+	if last == (nwin-1)*p.StepX {
+		ctx.Send("out", graph.TokenItem(token.EOL(int64(wy/p.StepY))))
 	}
 }
 

@@ -25,6 +25,13 @@ const (
 // Figure 6: a windowed data input "in", a replicated coefficient input
 // "coeff" with its own loadCoeff method, and a 1×1 output "out". The
 // two methods share the kernel-private coefficient state.
+//
+// The data input accepts row batches: a span item carrying a whole row
+// of overlapping windows is convolved in one firing with dense
+// per-coefficient row loops (one multiply-accumulate sweep per tap over
+// a contiguous typed span), and the 1×1 results leave as one batched
+// row. Per-output accumulation order matches the scalar path exactly,
+// so scalar and batched runs are byte-identical.
 func Convolution(name string, k int) *graph.Node {
 	if k < 1 || k%2 == 0 {
 		panic(fmt.Sprintf("kernel: convolution size %d must be odd and positive", k))
@@ -50,33 +57,167 @@ func Convolution(name string, k int) *graph.Node {
 }
 
 type convBehavior struct {
-	k     int
-	coeff frame.Window
+	k int
+	// flat holds the coefficients pre-flipped into tap order:
+	// flat[ky*k+kx] multiplies input sample (kx,ky), matching the
+	// convolution's coordinate flip. flat32 is its float32 twin for the
+	// f32 data path.
+	flat   []float64
+	flat32 []float32
+	acc    []float64
+	acc32  []float32
 }
 
 func (b *convBehavior) Clone() graph.Behavior { return &convBehavior{k: b.k} }
 
+// AcceptsBatch implements graph.BatchAware: windows arrive in row spans.
+func (b *convBehavior) AcceptsBatch(input string) bool { return input == "in" }
+
+// ElemAccepts implements graph.ElemTyped: the multiply-accumulate runs
+// natively on float rows only, so integer streams get a widening
+// conversion inserted by the compiler. The replicated coefficient input
+// loads through promotion and accepts any kind.
+func (b *convBehavior) ElemAccepts(input string, k frame.Kind) bool {
+	if input != "in" {
+		return true
+	}
+	return k == frame.F64 || k == frame.F32
+}
+
+// ElemOut implements graph.ElemTyped: f32 windows produce f32 sums,
+// everything else float64.
+func (b *convBehavior) ElemOut(output string, in frame.Kind) frame.Kind {
+	if in == frame.F32 {
+		return frame.F32
+	}
+	return frame.F64
+}
+
 func (b *convBehavior) Invoke(method string, ctx graph.ExecContext) error {
 	switch method {
 	case "loadCoeff":
-		b.coeff = ctx.Input("coeff").Clone()
+		c := ctx.Input("coeff")
+		k := b.k
+		if len(b.flat) != k*k {
+			b.flat = make([]float64, k*k)
+			b.flat32 = make([]float32, k*k)
+		}
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				v := c.At(k-kx-1, k-ky-1)
+				b.flat[ky*k+kx] = v
+				b.flat32[ky*k+kx] = float32(v)
+			}
+		}
 		return nil
 	case "runConvolve":
-		in := ctx.Input("in")
-		if b.coeff.W != b.k {
+		if b.flat == nil {
 			// Coefficients not loaded yet; the runtime's configuration
 			// barrier prevents this, so reaching here is a bug.
 			return fmt.Errorf("kernel: %dx%d convolution fired before loadCoeff", b.k, b.k)
 		}
-		var acc float64
-		for y := 0; y < b.k; y++ {
-			for x := 0; x < b.k; x++ {
-				acc += in.At(x, y) * b.coeff.At(b.k-x-1, b.k-y-1)
+		in := ctx.Input("in")
+		n, sx := 1, 1
+		bc, _ := ctx.(graph.BatchContext)
+		if bc != nil {
+			if bt := bc.Batch("in"); bt.IsBatch() {
+				n, sx = int(bt.N), int(bt.Sx)
 			}
 		}
-		ctx.Emit("out", frame.PooledScalar(acc))
+		var out frame.Window
+		switch in.Kind {
+		case frame.F32:
+			out = b.convolveF32(in, n, sx)
+		default:
+			out = b.convolveF64(in, n, sx)
+		}
+		if n > 1 {
+			bc.EmitBatch("out", out, graph.Batch{N: int32(n), Sx: 1, Bw: 1})
+		} else {
+			ctx.Emit("out", out)
+		}
 		return nil
 	default:
 		return fmt.Errorf("kernel: convolution has no method %q", method)
 	}
+}
+
+// convolveF64 convolves the n overlapping k×k windows packed in the
+// span (window j starts at column j*sx) and returns their results as a
+// dense n×1 window. Accumulation visits taps in (ky,kx) order for every
+// output, the same order as the original scalar loop, so results are
+// byte-identical regardless of batching.
+func (b *convBehavior) convolveF64(in frame.Window, n, sx int) frame.Window {
+	k := b.k
+	if cap(b.acc) < n {
+		b.acc = make([]float64, n)
+	}
+	acc := b.acc[:n]
+	for j := range acc {
+		acc[j] = 0
+	}
+	if in.Kind == frame.F64 {
+		for ky := 0; ky < k; ky++ {
+			row := in.Row(ky)
+			for kx := 0; kx < k; kx++ {
+				c := b.flat[ky*k+kx]
+				if sx == 1 {
+					row2 := row[kx : kx+n]
+					for j, v := range row2 {
+						acc[j] += v * c
+					}
+				} else {
+					for j := range acc {
+						acc[j] += row[j*sx+kx] * c
+					}
+				}
+			}
+		}
+	} else {
+		// Generic strided fallback for element kinds without a dense f64
+		// row (u8 spans reaching a conv without a widening conversion).
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				c := b.flat[ky*k+kx]
+				for j := range acc {
+					acc[j] += in.At(j*sx+kx, ky) * c
+				}
+			}
+		}
+	}
+	out := frame.AllocKind(frame.F64, n, 1)
+	copy(out.Row(0), acc)
+	return out
+}
+
+// convolveF32 is the float32 twin of convolveF64: f32 taps, f32
+// accumulators, f32 results.
+func (b *convBehavior) convolveF32(in frame.Window, n, sx int) frame.Window {
+	k := b.k
+	if cap(b.acc32) < n {
+		b.acc32 = make([]float32, n)
+	}
+	acc := b.acc32[:n]
+	for j := range acc {
+		acc[j] = 0
+	}
+	for ky := 0; ky < k; ky++ {
+		row := in.RowF32(ky)
+		for kx := 0; kx < k; kx++ {
+			c := b.flat32[ky*k+kx]
+			if sx == 1 {
+				row2 := row[kx : kx+n]
+				for j, v := range row2 {
+					acc[j] += v * c
+				}
+			} else {
+				for j := range acc {
+					acc[j] += row[j*sx+kx] * c
+				}
+			}
+		}
+	}
+	out := frame.AllocKind(frame.F32, n, 1)
+	copy(out.RowF32(0), acc)
+	return out
 }

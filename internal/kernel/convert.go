@@ -1,0 +1,114 @@
+package kernel
+
+import (
+	"fmt"
+
+	"blockpar/internal/frame"
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+)
+
+// Convert builds the compiler-inserted element-kind conversion kernel:
+// a 1×1 pass-through that widens or narrows each sample to the target
+// kind. The compiler places one on any edge whose flowing element kind
+// the consumer does not accept (a u8 stream feeding a float-only
+// convolution widens; a float stream feeding a u8 sink narrows through
+// the shared round-half-away-from-zero quantization). Widening is
+// exact; narrowing is deterministic, so converted streams stay
+// reproducible across backends.
+//
+// The input accepts row batches: a whole span converts with one dense
+// typed row loop and leaves as one batched item under the same batch
+// descriptor (conversion commutes with the span's logical views).
+func Convert(name string, to frame.Kind) *graph.Node {
+	if !to.Valid() {
+		panic(fmt.Sprintf("kernel: convert to invalid element kind %d", int(to)))
+	}
+	n := graph.NewNode(name, graph.KindKernel)
+	n.CreateInput("in", geom.Sz(1, 1), geom.St(1, 1), geom.Off(0, 0))
+	n.CreateOutput("out", geom.Sz(1, 1), geom.St(1, 1))
+	n.RegisterMethod("convert", gainCycles, 1)
+	n.RegisterMethodInput("convert", "in")
+	n.RegisterMethodOutput("convert", "out")
+	n.Attrs["ktype"] = "convert"
+	n.Attrs["kparams"] = to.String()
+	n.Behavior = convertBehavior{to: to}
+	return n
+}
+
+// ConvertTarget returns the target kind of a Convert node.
+func ConvertTarget(n *graph.Node) (frame.Kind, bool) {
+	b, ok := n.Behavior.(convertBehavior)
+	if !ok {
+		return frame.F64, false
+	}
+	return b.to, true
+}
+
+type convertBehavior struct{ to frame.Kind }
+
+func (b convertBehavior) Clone() graph.Behavior { return b }
+
+// AcceptsBatch implements graph.BatchAware: spans convert whole.
+func (convertBehavior) AcceptsBatch(input string) bool { return input == "in" }
+
+// ElemAccepts implements graph.ElemTyped: any kind converts.
+func (convertBehavior) ElemAccepts(input string, k frame.Kind) bool { return true }
+
+// ElemOut implements graph.ElemTyped: the output carries the target.
+func (b convertBehavior) ElemOut(output string, in frame.Kind) frame.Kind { return b.to }
+
+func (b convertBehavior) Invoke(method string, ctx graph.ExecContext) error {
+	if method != "convert" {
+		return fmt.Errorf("kernel: convert has no method %q", method)
+	}
+	in := ctx.Input("in")
+	var bt graph.Batch
+	bc, _ := ctx.(graph.BatchContext)
+	if bc != nil {
+		bt = bc.Batch("in")
+	}
+	out := convertSpan(in, b.to)
+	if bt.IsBatch() {
+		bc.EmitBatch("out", out, bt)
+	} else {
+		ctx.Emit("out", out)
+	}
+	return nil
+}
+
+// convertSpan returns a pooled dense copy of in with elements of kind
+// to, using direct typed row loops for the common widenings and the
+// At/Set promotion rules (including u8 quantization) otherwise.
+func convertSpan(in frame.Window, to frame.Kind) frame.Window {
+	out := frame.AllocKind(to, in.W, in.H)
+	for y := 0; y < in.H; y++ {
+		switch {
+		case in.Kind == frame.U8 && to == frame.F64:
+			dst := out.Row(y)
+			for i, v := range in.RowU8(y) {
+				dst[i] = float64(v)
+			}
+		case in.Kind == frame.U8 && to == frame.F32:
+			dst := out.RowF32(y)
+			for i, v := range in.RowU8(y) {
+				dst[i] = float32(v)
+			}
+		case in.Kind == frame.F32 && to == frame.F64:
+			dst := out.Row(y)
+			for i, v := range in.RowF32(y) {
+				dst[i] = float64(v)
+			}
+		case in.Kind == frame.F64 && to == frame.F32:
+			dst := out.RowF32(y)
+			for i, v := range in.Row(y) {
+				dst[i] = float32(v)
+			}
+		default:
+			for x := 0; x < in.W; x++ {
+				out.Set(x, y, in.At(x, y))
+			}
+		}
+	}
+	return out
+}

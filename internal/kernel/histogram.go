@@ -43,6 +43,7 @@ func Histogram(name string, bins int) *graph.Node {
 }
 
 type histogramBehavior struct {
+	elemToF64
 	bins   int
 	edges  []float64
 	counts []float64
@@ -106,6 +107,7 @@ func Merge(name string, bins int) *graph.Node {
 }
 
 type mergeBehavior struct {
+	elemToF64
 	bins int
 	acc  []float64
 }

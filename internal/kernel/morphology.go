@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"cmp"
 	"fmt"
 
 	"blockpar/internal/frame"
@@ -27,7 +28,9 @@ func (op MorphOp) String() string {
 
 // Morphology builds a k×k grayscale erosion or dilation kernel — the
 // other classic windowed non-linear filters beside the median, rounding
-// out the image-processing kernel library.
+// out the image-processing kernel library. The input accepts row
+// batches: each window in a span is folded with a dense min/max sweep
+// over its typed rows, exact for every element kind.
 func Morphology(name string, k int, op MorphOp) *graph.Node {
 	if k < 1 || k%2 == 0 {
 		panic(fmt.Sprintf("kernel: morphology size %d must be odd and positive", k))
@@ -49,19 +52,54 @@ type morphBehavior struct{ op MorphOp }
 
 func (b morphBehavior) Clone() graph.Behavior { return b }
 
+// AcceptsBatch implements graph.BatchAware: windows arrive in row spans.
+func (morphBehavior) AcceptsBatch(input string) bool { return input == "in" }
+
 func (b morphBehavior) Invoke(method string, ctx graph.ExecContext) error {
 	if method != "runMorph" {
 		return fmt.Errorf("kernel: morphology has no method %q", method)
 	}
 	in := ctx.Input("in")
-	best := in.At(0, 0)
-	for y := 0; y < in.H; y++ {
-		for _, v := range in.Row(y) {
-			if (b.op == Erode && v < best) || (b.op == Dilate && v > best) {
-				best = v
-			}
+	n, sx, bw := 1, 1, in.W
+	bc, _ := ctx.(graph.BatchContext)
+	if bc != nil {
+		if bt := bc.Batch("in"); bt.IsBatch() {
+			n, sx, bw = int(bt.N), int(bt.Sx), int(bt.Bw)
 		}
 	}
-	ctx.Emit("out", frame.PooledScalar(best))
+	var out frame.Window
+	switch in.Kind {
+	case frame.U8:
+		out = morphSpan[uint8](b.op, in, n, sx, bw)
+	case frame.F32:
+		out = morphSpan[float32](b.op, in, n, sx, bw)
+	default:
+		out = morphSpan[float64](b.op, in, n, sx, bw)
+	}
+	if n > 1 {
+		bc.EmitBatch("out", out, graph.Batch{N: int32(n), Sx: 1, Bw: 1})
+	} else {
+		ctx.Emit("out", out)
+	}
 	return nil
+}
+
+// morphSpan folds each bw×H window in the span (window j starting at
+// column j*sx) to its min or max and packs the results densely.
+func morphSpan[T cmp.Ordered](op MorphOp, in frame.Window, n, sx, bw int) frame.Window {
+	out := frame.AllocKind(in.Kind, n, 1)
+	dst := typedRow[T](out, 0)
+	for j := 0; j < n; j++ {
+		x := j * sx
+		best := typedRow[T](in, 0)[x]
+		for y := 0; y < in.H; y++ {
+			for _, v := range typedRow[T](in, y)[x : x+bw] {
+				if (op == Erode && v < best) || (op == Dilate && v > best) {
+					best = v
+				}
+			}
+		}
+		dst[j] = best
+	}
+	return out
 }

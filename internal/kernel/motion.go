@@ -71,6 +71,7 @@ func DefaultMotionCost(stepCost int64, maxSteps int) graph.CostModel {
 }
 
 type motionBehavior struct {
+	elemToF64
 	k           int
 	searchRange int
 	prev        []frame.Window // previous frame's blocks in scan order
@@ -80,6 +81,10 @@ type motionBehavior struct {
 func (b *motionBehavior) Clone() graph.Behavior {
 	return &motionBehavior{k: b.k, searchRange: b.searchRange}
 }
+
+// AcceptsBatch implements graph.BatchAware: a row of blocks arrives as
+// one span and its motion vectors leave as one 2N×1 batched row.
+func (b *motionBehavior) AcceptsBatch(input string) bool { return input == "in" }
 
 func (b *motionBehavior) Invoke(method string, ctx graph.ExecContext) error {
 	switch method {
@@ -91,23 +96,45 @@ func (b *motionBehavior) Invoke(method string, ctx graph.ExecContext) error {
 	default:
 		return fmt.Errorf("kernel: motion search has no method %q", method)
 	}
-	block := ctx.Input("in").Clone()
+	in := ctx.Input("in")
+	n, sx := 1, b.k
+	bc, _ := ctx.(graph.BatchContext)
+	if bc != nil {
+		if bt := bc.Batch("in"); bt.IsBatch() {
+			n, sx = int(bt.N), int(bt.Sx)
+		}
+	}
+	mv := frame.Alloc(2*n, 1)
+	for j := 0; j < n; j++ {
+		offset, iters := b.searchBlock(in.View(j*sx, 0, b.k, b.k))
+		mv.Set(2*j, 0, offset)
+		mv.Set(2*j+1, 0, float64(iters))
+	}
+	if n > 1 {
+		bc.EmitBatch("mv", mv, graph.Batch{N: int32(n), Sx: 2, Bw: 2})
+	} else {
+		ctx.Emit("mv", mv)
+	}
+	return nil
+}
+
+// searchBlock estimates the motion of one k×k block against the
+// co-located block of the previous frame (zero if this is the first
+// frame), refining an offset estimate: a 1-D surrogate of diamond
+// search where the "offset" is a brightness shift and iterations
+// continue while the residual improves.
+func (b *motionBehavior) searchBlock(w frame.Window) (offset float64, iters int) {
+	block := w.Clone()
 	idx := len(b.cur)
 	b.cur = append(b.cur, block)
 
-	// Against the co-located block of the previous frame (zero if this
-	// is the first frame), refine an offset estimate: a 1-D surrogate
-	// of diamond search where the "offset" is a brightness shift and
-	// iterations continue while the residual improves.
 	var ref frame.Window
 	if idx < len(b.prev) {
 		ref = b.prev[idx]
 	} else {
 		ref = frame.NewWindow(b.k, b.k)
 	}
-	offset := 0.0
-	best := residual(block, ref, offset)
-	iters := 0
+	best := residual(block, ref, 0)
 	for step := 0; step < b.searchRange; step++ {
 		iters++
 		improved := false
@@ -122,19 +149,27 @@ func (b *motionBehavior) Invoke(method string, ctx graph.ExecContext) error {
 			break
 		}
 	}
-	mv := frame.Alloc(2, 1)
-	mv.Set(0, 0, offset)
-	mv.Set(1, 0, float64(iters))
-	ctx.Emit("mv", mv)
-	return nil
+	return offset, iters
 }
 
 // residual is the sum of absolute differences between block and
-// ref+shift.
+// ref+shift, accumulated row by row in scan order for every element
+// kind (mixed kinds promote per sample).
 func residual(block, ref frame.Window, shift float64) float64 {
 	var sum float64
-	for i := range block.Pix {
-		sum += math.Abs(block.Pix[i] - (ref.Pix[i] + shift))
+	if block.Kind == frame.F64 && ref.Kind == frame.F64 {
+		for y := 0; y < block.H; y++ {
+			br, rr := block.Row(y), ref.Row(y)
+			for i, v := range br {
+				sum += math.Abs(v - (rr[i] + shift))
+			}
+		}
+		return sum
+	}
+	for y := 0; y < block.H; y++ {
+		for x := 0; x < block.W; x++ {
+			sum += math.Abs(block.At(x, y) - (ref.At(x, y) + shift))
+		}
 	}
 	return sum
 }

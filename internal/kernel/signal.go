@@ -38,6 +38,7 @@ func FIR(name string, taps int) *graph.Node {
 }
 
 type firBehavior struct {
+	elemToF64
 	taps  int
 	coefs frame.Window
 }
@@ -84,7 +85,10 @@ func Upsample(name string, k int) *graph.Node {
 	return n
 }
 
-type upsampleBehavior struct{ k int }
+type upsampleBehavior struct {
+	elemToF64
+	k int
+}
 
 func (b upsampleBehavior) Clone() graph.Behavior { return b }
 
@@ -117,7 +121,7 @@ func Magnitude(name string) *graph.Node {
 	return n
 }
 
-type magnitudeBehavior struct{}
+type magnitudeBehavior struct{ elemToF64 }
 
 func (magnitudeBehavior) Clone() graph.Behavior { return magnitudeBehavior{} }
 
@@ -146,7 +150,10 @@ func Threshold(name string, t, low, high float64) *graph.Node {
 	return n
 }
 
-type thresholdBehavior struct{ t, low, high float64 }
+type thresholdBehavior struct {
+	elemToF64
+	t, low, high float64
+}
 
 func (b thresholdBehavior) Clone() graph.Behavior { return b }
 

@@ -1,0 +1,34 @@
+package kernel
+
+import (
+	"cmp"
+
+	"blockpar/internal/frame"
+)
+
+// elemToF64 is embedded by behaviors whose arithmetic runs in float64
+// and allocates float64 results regardless of the arriving element kind
+// (scalar reductions, histogram counts, motion vectors): they accept
+// any input kind — samples promote exactly through Window.At/Value —
+// and their outputs carry f64.
+type elemToF64 struct{}
+
+// ElemAccepts implements graph.ElemTyped.
+func (elemToF64) ElemAccepts(input string, k frame.Kind) bool { return true }
+
+// ElemOut implements graph.ElemTyped.
+func (elemToF64) ElemOut(output string, in frame.Kind) frame.Kind { return frame.F64 }
+
+// typedRow returns window row y as its native element slice. The type
+// parameter must match the window's kind; callers dispatch on w.Kind
+// and instantiate accordingly.
+func typedRow[T cmp.Ordered](w frame.Window, y int) []T {
+	switch w.Kind {
+	case frame.U8:
+		return any(w.RowU8(y)).([]T)
+	case frame.F32:
+		return any(w.RowF32(y)).([]T)
+	default:
+		return any(w.Row(y)).([]T)
+	}
+}

@@ -31,14 +31,28 @@ func SplitRR(name string, n int, item geom.Size) *graph.Node {
 	return node
 }
 
+// indexedNames builds the "prefix0".."prefixN-1" port-name table once,
+// so Run loops address branches without a fmt.Sprintf per item.
+func indexedNames(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s%d", prefix, i)
+	}
+	return out
+}
+
 type splitRRBehavior struct {
 	n    int
 	next int
+	outs []string
 }
 
 func (b *splitRRBehavior) Clone() graph.Behavior { return &splitRRBehavior{n: b.n} }
 
 func (b *splitRRBehavior) Run(ctx graph.RunContext) error {
+	if b.outs == nil {
+		b.outs = indexedNames("out", b.n)
+	}
 	for {
 		it, ok := ctx.Recv("in")
 		if !ok {
@@ -46,11 +60,11 @@ func (b *splitRRBehavior) Run(ctx graph.RunContext) error {
 		}
 		if it.IsToken {
 			for i := 0; i < b.n; i++ {
-				ctx.Send(fmt.Sprintf("out%d", i), it)
+				ctx.Send(b.outs[i], it)
 			}
 			continue
 		}
-		ctx.Send(fmt.Sprintf("out%d", b.next), it)
+		ctx.Send(b.outs[b.next], it)
 		b.next = (b.next + 1) % b.n
 	}
 }
@@ -80,13 +94,17 @@ func JoinRR(name string, n int, item geom.Size) *graph.Node {
 type joinRRBehavior struct {
 	n    int
 	next int
+	ins  []string
 }
 
 func (b *joinRRBehavior) Clone() graph.Behavior { return &joinRRBehavior{n: b.n} }
 
 func (b *joinRRBehavior) Run(ctx graph.RunContext) error {
+	if b.ins == nil {
+		b.ins = indexedNames("in", b.n)
+	}
 	for {
-		it, ok := ctx.Recv(fmt.Sprintf("in%d", b.next))
+		it, ok := ctx.Recv(b.ins[b.next])
 		if !ok {
 			return nil
 		}
@@ -102,7 +120,7 @@ func (b *joinRRBehavior) Run(ctx graph.RunContext) error {
 			if i == b.next {
 				continue
 			}
-			other, ok := ctx.Recv(fmt.Sprintf("in%d", i))
+			other, ok := ctx.Recv(b.ins[i])
 			if !ok {
 				return fmt.Errorf("kernel: join %q branch %d closed mid-token", ctx.Node().Name(), i)
 			}
@@ -136,11 +154,17 @@ func Replicate(name string, n int, item geom.Size) *graph.Node {
 	return node
 }
 
-type replicateBehavior struct{ n int }
+type replicateBehavior struct {
+	n    int
+	outs []string
+}
 
 func (b *replicateBehavior) Clone() graph.Behavior { return &replicateBehavior{n: b.n} }
 
 func (b *replicateBehavior) Run(ctx graph.RunContext) error {
+	if b.outs == nil {
+		b.outs = indexedNames("out", b.n)
+	}
 	for {
 		it, ok := ctx.Recv("in")
 		if !ok {
@@ -152,7 +176,7 @@ func (b *replicateBehavior) Run(ctx graph.RunContext) error {
 			it.Win.Retain(b.n - 1)
 		}
 		for i := 0; i < b.n; i++ {
-			ctx.Send(fmt.Sprintf("out%d", i), it)
+			ctx.Send(b.outs[i], it)
 		}
 	}
 }
@@ -184,13 +208,21 @@ type splitColumnsBehavior struct {
 	stripes []Stripe
 	dataW   int
 	x       int
+	outs    []string
 }
 
 func (b *splitColumnsBehavior) Clone() graph.Behavior {
 	return &splitColumnsBehavior{stripes: b.stripes, dataW: b.dataW}
 }
 
+// AcceptsBatch implements graph.BatchAware: sample rows arrive whole
+// and each stripe receives its column range as one sub-span view.
+func (b *splitColumnsBehavior) AcceptsBatch(input string) bool { return input == "in" }
+
 func (b *splitColumnsBehavior) Run(ctx graph.RunContext) error {
+	if b.outs == nil {
+		b.outs = indexedNames("out", len(b.stripes))
+	}
 	for {
 		it, ok := ctx.Recv("in")
 		if !ok {
@@ -208,30 +240,43 @@ func (b *splitColumnsBehavior) Run(ctx graph.RunContext) error {
 				b.x = 0
 			}
 			for i := range b.stripes {
-				ctx.Send(fmt.Sprintf("out%d", i), it)
+				ctx.Send(b.outs[i], it)
 			}
 			continue
 		}
-		// Every stripe containing the sample is one consumer; the held
-		// reference covers the first (or is dropped if the column maps
-		// to no stripe).
+		// The item covers sample columns [b.x, b.x+n). Every stripe whose
+		// input range overlaps gets the overlap as one view sharing the
+		// item's storage; each such view is one consumer and the held
+		// reference covers the first (or is dropped if no stripe overlaps,
+		// e.g. a sample outside every range).
+		n := it.BatchN()
 		sent := 0
 		for _, s := range b.stripes {
-			if b.x >= s.InStart && b.x < s.InEnd {
+			if b.x < s.InEnd && b.x+n > s.InStart {
 				sent++
 			}
 		}
 		if sent == 0 {
 			it.Win.Release()
-		} else {
-			it.Win.Retain(sent - 1)
+			b.x += n
+			continue
 		}
+		it.Win.Retain(sent - 1)
 		for i, s := range b.stripes {
-			if b.x >= s.InStart && b.x < s.InEnd {
-				ctx.Send(fmt.Sprintf("out%d", i), it)
+			lo, hi := max(b.x, s.InStart), min(b.x+n, s.InEnd)
+			if lo >= hi {
+				continue
 			}
+			if lo == b.x && hi == b.x+n {
+				ctx.Send(b.outs[i], it)
+				continue
+			}
+			sub := it.Win.View(lo-b.x, 0, hi-lo, it.Win.H)
+			ctx.Send(b.outs[i], graph.BatchItem(sub, graph.Batch{
+				N: int32(hi - lo), Sx: 1, Bw: 1,
+			}))
 		}
-		b.x++
+		b.x += n
 	}
 }
 
@@ -270,11 +315,17 @@ func JoinColumns(name string, counts []int, item geom.Size) *graph.Node {
 
 type joinColumnsBehavior struct {
 	counts []int
+	ins    []string
 }
 
 func (b *joinColumnsBehavior) Clone() graph.Behavior {
 	return &joinColumnsBehavior{counts: b.counts}
 }
+
+// AcceptsBatch implements graph.BatchAware: a branch's row segment may
+// arrive as one span, which is forwarded whole (the output row is the
+// concatenation of the branch segments in branch order).
+func (b *joinColumnsBehavior) AcceptsBatch(input string) bool { return true }
 
 // JoinColumnsCounts exposes the per-branch per-row item counts.
 func JoinColumnsCounts(n *graph.Node) ([]int, bool) {
@@ -286,7 +337,10 @@ func JoinColumnsCounts(n *graph.Node) ([]int, bool) {
 }
 
 func (b *joinColumnsBehavior) Run(ctx graph.RunContext) error {
-	name := func(i int) string { return fmt.Sprintf("in%d", i) }
+	if b.ins == nil {
+		b.ins = indexedNames("in", len(b.counts))
+	}
+	name := func(i int) string { return b.ins[i] }
 	var row int64
 	for {
 		// One output row: drain each branch's row segment in order.
@@ -319,8 +373,12 @@ func (b *joinColumnsBehavior) Run(ctx graph.RunContext) error {
 					return fmt.Errorf("kernel: column join %q unexpected %v on branch %d",
 						ctx.Node().Name(), it, i)
 				}
+				if got+it.BatchN() > want {
+					return fmt.Errorf("kernel: column join %q branch %d span of %d overruns row (%d of %d)",
+						ctx.Node().Name(), i, it.BatchN(), got, want)
+				}
 				ctx.Send("out", it)
-				got++
+				got += it.BatchN()
 			}
 			if got == -1 {
 				break

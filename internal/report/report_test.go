@@ -121,7 +121,7 @@ func TestFigure13Headline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 11 {
+	if len(rows) != 13 {
 		t.Fatalf("rows = %d, want 11", len(rows))
 	}
 	for _, r := range rows {

@@ -22,6 +22,10 @@ type driver struct {
 	// driver avoids a heap allocation per firing.
 	ctx invokeCtx
 
+	// tokScratch is the consumed-token buffer reused across firings,
+	// for the same reason.
+	tokScratch []token.Token
+
 	// Configuration methods (all triggers on replicated inputs) are
 	// frame-synchronized: each fires exactly once per frame, before
 	// the frame's data methods. frameIdx counts end-of-frame tokens
@@ -230,7 +234,12 @@ func (d *driver) tryFire() (bool, error) {
 }
 
 func isDataMethod(m *graph.Method) bool {
-	return len(m.DataTriggers()) > 0
+	for _, t := range m.Triggers {
+		if t.IsData() {
+			return true
+		}
+	}
+	return false
 }
 
 // methodReady reports whether every trigger input's queue head matches.
@@ -260,8 +269,9 @@ func (d *driver) methodReady(m *graph.Method) bool {
 func (d *driver) fire(m *graph.Method) error {
 	ctx := &d.ctx
 	clear(ctx.inputs)
-	var tokens []token.Token
+	tokens := d.tokScratch[:0]
 	bumpFrame := false
+	logical := int64(1)
 	for _, t := range m.Triggers {
 		it := d.pop(t.Input)
 		ctx.inputs[t.Input] = it
@@ -272,12 +282,17 @@ func (d *driver) fire(m *graph.Method) error {
 					bumpFrame = true
 				}
 			}
+		} else if n := int64(it.BatchN()); n > logical {
+			// A batched firing stands for its batch's N logical
+			// invocations (batch-aware kernels have a single data
+			// trigger, so one batch determines the count).
+			logical = n
 		}
 	}
 	if bumpFrame {
 		d.frameIdx++
 	}
-	d.ex.recordFiring(d.node.Name(), m.Name)
+	d.ex.recordFiring(d.node.Name(), m.Name, logical)
 	err := d.inv.Invoke(m.Name, ctx)
 	// The firing consumed its data inputs: release their pool
 	// references. Anything the kernel emitted from shared storage was
@@ -299,24 +314,27 @@ func (d *driver) fire(m *graph.Method) error {
 			d.ex.send(d.node.Output(out), graph.TokenItem(tok))
 		}
 	}
+	d.tokScratch = tokens
 	return nil
 }
 
+// dedupeTokens compacts ts in place, keeping first occurrences.
 func dedupeTokens(ts []token.Token) []token.Token {
-	var out []token.Token
+	n := 0
 	for _, t := range ts {
 		dup := false
-		for _, o := range out {
+		for _, o := range ts[:n] {
 			if o == t {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			out = append(out, t)
+			ts[n] = t
+			n++
 		}
 	}
-	return out
+	return ts[:n]
 }
 
 // forwardUnhandledToken handles control tokens no method consumes
@@ -351,8 +369,8 @@ func (d *driver) forwardUnhandledToken() bool {
 			if !methodDataTriggered(m, p.Name) {
 				continue
 			}
-			for _, t := range m.DataTriggers() {
-				if !d.feedbackFed[t.Input] {
+			for _, t := range m.Triggers {
+				if t.IsData() && !d.feedbackFed[t.Input] {
 					group[t.Input] = true
 				}
 			}
@@ -397,8 +415,8 @@ func (d *driver) forwardUnhandledToken() bool {
 }
 
 func methodDataTriggered(m *graph.Method, input string) bool {
-	for _, t := range m.DataTriggers() {
-		if t.Input == input {
+	for _, t := range m.Triggers {
+		if t.IsData() && t.Input == input {
 			return true
 		}
 	}
@@ -458,4 +476,33 @@ func (c *invokeCtx) EmitToken(output string, t token.Token) {
 		panic(fmt.Sprintf("runtime: node %q has no output %q", c.node.Name(), output))
 	}
 	c.ex.send(p, graph.TokenItem(t))
+}
+
+// Batch implements graph.BatchContext: the descriptor of the item
+// consumed from the named input (zero for plain items and tokens).
+func (c *invokeCtx) Batch(name string) graph.Batch {
+	it, ok := c.inputs[name]
+	if !ok || it.IsToken {
+		return graph.Batch{}
+	}
+	return it.B
+}
+
+// EmitBatch implements graph.BatchContext: emit one batched data item.
+// The same pass-through re-retain rule as Emit applies when the window
+// shares an input's pooled storage.
+func (c *invokeCtx) EmitBatch(output string, w frame.Window, b graph.Batch) {
+	p := c.node.Output(output)
+	if p == nil {
+		panic(fmt.Sprintf("runtime: node %q has no output %q", c.node.Name(), output))
+	}
+	if w.Pooled() {
+		for _, it := range c.inputs {
+			if !it.IsToken && w.SharesStorage(it.Win) {
+				w.Retain(1)
+				break
+			}
+		}
+	}
+	c.ex.send(p, graph.BatchItem(w, b))
 }

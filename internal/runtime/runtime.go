@@ -161,6 +161,12 @@ type executor struct {
 	// edgesFrom caches the per-port fan-out so the send path does not
 	// allocate.
 	edgesFrom map[*graph.Port][]*graph.Edge
+	// batchOK records, per edge, whether the consumer accepts row
+	// batches; the send path splits batches into logical view items for
+	// every edge where it is false, so non-batch-aware kernels (and the
+	// wire transport behind boundary sinks) observe the exact scalar
+	// stream they always did.
+	batchOK map[*graph.Edge]bool
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -207,7 +213,10 @@ func newExecutor(g *graph.Graph, opts Options, readyCap int) (*executor, error) 
 				maxW = in.FrameSize.W
 			}
 		}
-		opts.ChannelCap = 16 * maxW
+		// Four rows of per-sample slack per inbox. Row batching cut the
+		// physical item count per row to O(1) on batch-aware edges, so
+		// deep buffers only pay allocation and GC-scan cost.
+		opts.ChannelCap = 4 * maxW
 	}
 	if opts.Workers <= 0 {
 		opts.Workers = goruntime.GOMAXPROCS(0)
@@ -222,9 +231,14 @@ func newExecutor(g *graph.Graph, opts Options, readyCap int) (*executor, error) 
 		eofSeen:   make(map[string]int),
 		firings:   make(map[string]map[string]int64),
 	}
+	ex.batchOK = make(map[*graph.Edge]bool)
 	for _, n := range g.Nodes() {
 		for _, p := range n.Outputs() {
-			ex.edgesFrom[p] = g.EdgesFrom(p)
+			edges := g.EdgesFrom(p)
+			ex.edgesFrom[p] = edges
+			for _, e := range edges {
+				ex.batchOK[e] = acceptsBatch(e)
+			}
 		}
 	}
 	if readyCap > 0 {
@@ -297,15 +311,17 @@ func Run(g *graph.Graph, opts Options) (*Result, error) {
 	return &Result{Outputs: ex.outputs, Firings: ex.firings}, nil
 }
 
-// recordFiring counts one method invocation for consistency checks.
-func (ex *executor) recordFiring(node, method string) {
+// recordFiring counts n logical method invocations for consistency
+// checks. A batched firing covers its batch's N logical invocations, so
+// the firings-vs-analysis cross-check holds with batching on or off.
+func (ex *executor) recordFiring(node, method string, n int64) {
 	ex.fireMu.Lock()
 	m := ex.firings[node]
 	if m == nil {
 		m = make(map[string]int64)
 		ex.firings[node] = m
 	}
-	m[method]++
+	m[method] += n
 	ex.fireMu.Unlock()
 }
 
@@ -347,6 +363,18 @@ func (ex *executor) stopping() bool {
 	}
 }
 
+// acceptsBatch reports whether the edge's consumer handles batched
+// items natively: application outputs unbatch at collection, and
+// behaviors opt in per input via graph.BatchAware.
+func acceptsBatch(e *graph.Edge) bool {
+	n := e.To.Node()
+	if n.Kind == graph.KindOutput {
+		return true
+	}
+	ba, ok := n.Behavior.(graph.BatchAware)
+	return ok && ba.AcceptsBatch(e.To.Name)
+}
+
 // send delivers an item to every consumer of the given output port,
 // adding one pool reference per extra consumer (ownership protocol:
 // the caller's reference covers the first consumer). It aborts
@@ -354,11 +382,46 @@ func (ex *executor) stopping() bool {
 // back to the garbage collector, which the arena tolerates.
 func (ex *executor) send(from *graph.Port, it graph.Item) {
 	edges := ex.edgesFrom[from]
+	if !it.IsToken && it.B.IsBatch() {
+		ex.sendBatch(edges, it)
+		return
+	}
 	if !it.IsToken && len(edges) > 1 {
 		it.Win.Retain(len(edges) - 1)
 	}
 	for _, e := range edges {
 		ex.eng.deliver(e, it)
+	}
+}
+
+// sendBatch fans a row batch out: batch-accepting consumers receive the
+// one physical item; everyone else receives its N logical windows as
+// view items in stream order. Reference math: every delivered item —
+// batch or view — is one consumer-side release, so the total retained
+// is (deliveries - 1) on top of the caller's reference.
+func (ex *executor) sendBatch(edges []*graph.Edge, it graph.Item) {
+	n := int(it.B.N)
+	total := 0
+	for _, e := range edges {
+		if ex.batchOK[e] {
+			total++
+		} else {
+			total += n
+		}
+	}
+	if total == 0 {
+		it.Win.Release()
+		return
+	}
+	it.Win.Retain(total - 1)
+	for _, e := range edges {
+		if ex.batchOK[e] {
+			ex.eng.deliver(e, it)
+			continue
+		}
+		for j := 0; j < n; j++ {
+			ex.eng.deliver(e, graph.DataItem(it.B.Window(it.Win, j)))
+		}
 	}
 }
 
@@ -450,6 +513,26 @@ func (c *runCtx) Recv(input string) (graph.Item, bool) {
 // the frame has been chunked.
 func (ex *executor) emitFrame(out *graph.Port, fw, fh, cw, ch int, img frame.Window, f int64) {
 	zero := frame.ZeroCopy()
+	cols, rows := fw/cw, fh/ch
+	if zero && cols > 1 {
+		// Row-batched chunking: one physical item per chunk row instead
+		// of one per chunk. Each batch carries one reference; send
+		// retains whatever extra its fan-out (or per-edge splitting)
+		// needs, so the backing returns to the arena exactly when the
+		// last logical chunk is consumed.
+		if rows > 1 {
+			img.Retain(rows - 1)
+		}
+		row := f * int64(rows)
+		b := graph.Batch{N: int32(cols), Sx: int32(cw), Bw: int32(cw)}
+		for y := 0; y+ch <= fh; y += ch {
+			ex.send(out, graph.BatchItem(img.View(0, y, fw, ch), b))
+			ex.send(out, graph.TokenItem(token.EOL(row)))
+			row++
+		}
+		ex.send(out, graph.TokenItem(token.EOF(f)))
+		return
+	}
 	if zero {
 		if chunks := (fh / ch) * (fw / cw); chunks > 1 {
 			img.Retain(chunks - 1)
@@ -506,6 +589,22 @@ func (ex *executor) collectOutput(w frame.Window) frame.Window {
 	return placed
 }
 
+// collectBatch unbatches a row batch into per-window slab views —
+// application outputs always present the logical stream. The batch's
+// span is placed into the slab with one copy and the logical windows
+// are cut as views of that dense copy, so unbatching costs one memmove
+// per row, not one slab placement per window. Must be called with
+// outMu held.
+func (ex *executor) collectBatch(it graph.Item) []frame.Window {
+	dense := ex.slab.place(it.Win)
+	it.Win.Release()
+	out := make([]frame.Window, it.B.N)
+	for j := range out {
+		out[j] = it.B.Window(dense, j)
+	}
+	return out
+}
+
 // runOutput collects the stream and stops the run once every output
 // has seen the full frame budget.
 func (ex *executor) runOutput(n *graph.Node) error {
@@ -515,12 +614,36 @@ func (ex *executor) runOutput(n *graph.Node) error {
 			return nil
 		}
 		ex.outMu.Lock()
+		if !msg.item.IsToken && msg.item.B.IsBatch() {
+			// Unbatch in place: one slab placement for the span, one
+			// append per logical window, no intermediate slice.
+			dense := ex.slab.place(msg.item.Win)
+			msg.item.Win.Release()
+			out := ex.outputs[n.Name()]
+			for j := 0; j < int(msg.item.B.N); j++ {
+				out = append(out, graph.DataItem(msg.item.B.Window(dense, j)))
+			}
+			ex.outputs[n.Name()] = out
+			ex.outMu.Unlock()
+			continue
+		}
 		if !msg.item.IsToken {
 			msg.item.Win = ex.collectOutput(msg.item.Win)
 		}
 		ex.outputs[n.Name()] = append(ex.outputs[n.Name()], msg.item)
 		if msg.item.IsToken && msg.item.Tok.Kind == token.EndOfFrame {
 			ex.eofSeen[n.Name()]++
+			if ex.eofSeen[n.Name()] == 1 && ex.opts.Frames > 1 {
+				// The first frame fixes the per-frame item count; reserve
+				// the whole run's worth in one allocation instead of
+				// doubling through growslice for every remaining frame.
+				cur := ex.outputs[n.Name()]
+				if need := len(cur)*ex.opts.Frames + 8; cap(cur) < need {
+					grown := make([]graph.Item, len(cur), need)
+					copy(grown, cur)
+					ex.outputs[n.Name()] = grown
+				}
+			}
 			done := true
 			for _, o := range ex.g.Outputs() {
 				if ex.eofSeen[o.Name()] < ex.opts.Frames {
@@ -538,13 +661,16 @@ func (ex *executor) runOutput(n *graph.Node) error {
 	}
 }
 
-// slabAlloc packs output windows into append-only float64 blocks.
-// Blocks are never reallocated — when one fills, a fresh block starts
-// and the old one stays alive exactly as long as the result windows
-// placed in it — so placing is a copy plus slice arithmetic, with one
-// allocation per block instead of one per window.
+// slabAlloc packs output windows into append-only blocks. Blocks are
+// never reallocated — when one fills, a fresh block starts and the old
+// one stays alive exactly as long as the result windows placed in it —
+// so placing is a copy plus slice arithmetic, with one allocation per
+// block instead of one per window. F64 windows pack into a float64
+// slab; typed windows pack into a byte slab (8-aligned blocks, offsets
+// rounded to 8 so f32 views stay aligned), preserving their kind.
 type slabAlloc struct {
 	buf []float64
+	raw []byte
 }
 
 // slabBlock is the block granularity in samples (128 KiB blocks).
@@ -552,6 +678,9 @@ const slabBlock = 1 << 14
 
 // place copies w into slab storage and returns the dense copy.
 func (s *slabAlloc) place(w frame.Window) frame.Window {
+	if w.Kind != frame.F64 {
+		return s.placeTyped(w)
+	}
 	n := w.W * w.H
 	if n == 0 {
 		return frame.Window{W: w.W, H: w.H}
@@ -571,4 +700,28 @@ func (s *slabAlloc) place(w frame.Window) frame.Window {
 		copy(dst[y*w.W:(y+1)*w.W], w.Pix[y*stride:y*stride+w.W])
 	}
 	return frame.Window{W: w.W, H: w.H, Pix: dst}
+}
+
+func (s *slabAlloc) placeTyped(w frame.Window) frame.Window {
+	es := w.Kind.Bytes()
+	nb := w.W * w.H * es
+	if nb == 0 {
+		return frame.NewWindowKind(w.Kind, w.W, w.H)
+	}
+	// Round the write offset up to 8 bytes so f32 views are aligned.
+	off := (len(s.raw) + 7) &^ 7
+	if off+nb > cap(s.raw) {
+		c := slabBlock * 8
+		if nb > c {
+			c = nb
+		}
+		s.raw = frame.AlignedBytes(c)
+		off = 0
+	}
+	s.raw = s.raw[:off+nb]
+	dst := s.raw[off : off+nb : off+nb]
+	for y := 0; y < w.H; y++ {
+		copy(dst[y*w.W*es:(y+1)*w.W*es], w.RowBytes(y))
+	}
+	return frame.WrapBytes(w.Kind, w.W, w.H, dst)
 }

@@ -153,6 +153,10 @@ func (s *Session) feed(inputs map[string]frame.Window, block bool) (int64, error
 			return 0, fmt.Errorf("%w: input %q is %dx%d, want %dx%d",
 				ErrBadFrame, n.Name(), w.W, w.H, n.FrameSize.W, n.FrameSize.H)
 		}
+		if want := n.Output("out").Elem; w.Kind != want {
+			return 0, fmt.Errorf("%w: input %q carries %s samples, declared %s",
+				ErrBadFrame, n.Name(), w.Kind, want)
+		}
 		wins[i] = w
 	}
 	for i, n := range ins {
@@ -340,7 +344,11 @@ func (ex *executor) runOutputStream(n *graph.Node) error {
 		}
 		if !msg.item.IsToken {
 			ex.outMu.Lock()
-			ex.curFrame[name] = append(ex.curFrame[name], ex.collectOutput(msg.item.Win))
+			if msg.item.B.IsBatch() {
+				ex.curFrame[name] = append(ex.curFrame[name], ex.collectBatch(msg.item)...)
+			} else {
+				ex.curFrame[name] = append(ex.curFrame[name], ex.collectOutput(msg.item.Win))
+			}
 			ex.outMu.Unlock()
 			continue
 		}

@@ -456,3 +456,40 @@ func TestServeAddJSONPipeline(t *testing.T) {
 		t.Errorf("duplicate pipeline: got %d, want 400", resp.StatusCode)
 	}
 }
+
+// TestWindowJSONTypedRoundTrip pins the HTTP wire form of typed
+// windows: samples travel as exact float64 JSON numbers plus a kind
+// tag, an empty tag means f64 (legacy clients stay valid), and an
+// unknown tag is rejected.
+func TestWindowJSONTypedRoundTrip(t *testing.T) {
+	for _, k := range []frame.Kind{frame.F64, frame.U8, frame.F32} {
+		w := frame.NewWindowKind(k, 3, 2)
+		for y := 0; y < 2; y++ {
+			for x := 0; x < 3; x++ {
+				w.Set(x, y, float64(40*y+x*7))
+			}
+		}
+		j := FromWindow(w)
+		if k == frame.F64 && j.Kind != "" {
+			t.Fatalf("f64 window encoded kind %q, want empty tag", j.Kind)
+		}
+		blob, err := json.Marshal(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back WindowJSON
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Fatal(err)
+		}
+		got, err := back.ToWindow()
+		if err != nil {
+			t.Fatalf("kind %v: %v", k, err)
+		}
+		if got.Kind != k || !got.Equal(w) {
+			t.Fatalf("kind %v did not round-trip: got kind %v", k, got.Kind)
+		}
+	}
+	if _, err := (WindowJSON{W: 1, H: 1, Kind: "i16", Pix: []float64{0}}).ToWindow(); err == nil {
+		t.Fatal("unknown element kind accepted")
+	}
+}

@@ -58,23 +58,40 @@ func (s *session) collect(timeout time.Duration) (*runtime.StreamResult, time.Du
 	return res, lat, nil
 }
 
-// WindowJSON is the wire form of a frame.Window. float64 values
-// round-trip exactly through encoding/json, so streamed outputs stay
-// byte-identical to the in-process runtime results.
+// WindowJSON is the wire form of a frame.Window. Samples always travel
+// as JSON numbers decoded into float64 — exact for every kind (u8 and
+// f32 values are exactly representable as doubles) — with the element
+// kind as a tag, so streamed outputs stay byte-identical to the
+// in-process runtime results and a typed window round-trips its kind.
 type WindowJSON struct {
-	W   int       `json:"w"`
-	H   int       `json:"h"`
-	Pix []float64 `json:"pix"`
+	W int `json:"w"`
+	H int `json:"h"`
+	// Kind is the element kind ("u8", "f32"); empty means f64, keeping
+	// pre-typed clients and recorded fixtures valid.
+	Kind string    `json:"kind,omitempty"`
+	Pix  []float64 `json:"pix"`
 }
 
 // ToWindow validates the wire window and converts it.
 func (j WindowJSON) ToWindow() (frame.Window, error) {
+	k, err := frame.ParseKind(j.Kind)
+	if err != nil {
+		return frame.Window{}, err
+	}
 	if j.W < 0 || j.H < 0 || len(j.Pix) != j.W*j.H {
 		return frame.Window{}, fmt.Errorf("window %dx%d carries %d samples, want %d",
 			j.W, j.H, len(j.Pix), j.W*j.H)
 	}
-	w := frame.NewWindow(j.W, j.H)
-	copy(w.Pix, j.Pix)
+	w := frame.NewWindowKind(k, j.W, j.H)
+	if k == frame.F64 {
+		copy(w.Pix, j.Pix)
+	} else {
+		for y := 0; y < j.H; y++ {
+			for x := 0; x < j.W; x++ {
+				w.Set(x, y, j.Pix[y*j.W+x])
+			}
+		}
+	}
 	return w, nil
 }
 
@@ -82,7 +99,16 @@ func (j WindowJSON) ToWindow() (frame.Window, error) {
 // compacted first: the wire format is dense row-major.
 func FromWindow(w frame.Window) WindowJSON {
 	w = w.Dense()
-	return WindowJSON{W: w.W, H: w.H, Pix: w.Pix}
+	if w.Kind == frame.F64 {
+		return WindowJSON{W: w.W, H: w.H, Pix: w.Pix}
+	}
+	pix := make([]float64, w.W*w.H)
+	for y := 0; y < w.H; y++ {
+		for x := 0; x < w.W; x++ {
+			pix[y*w.W+x] = w.At(x, y)
+		}
+	}
+	return WindowJSON{W: w.W, H: w.H, Kind: w.Kind.String(), Pix: pix}
 }
 
 // decodeInputs converts a wire input map to runtime windows.

@@ -1,0 +1,78 @@
+package transform
+
+import (
+	"fmt"
+	"sort"
+
+	"blockpar/internal/analysis"
+	"blockpar/internal/frame"
+	"blockpar/internal/graph"
+	"blockpar/internal/kernel"
+)
+
+// InsertConversions propagates element kinds (analysis.ElemKinds) and
+// splices an explicit conversion kernel onto every edge whose consumer
+// rejects the arriving kind — the element-type analogue of buffer
+// insertion. The target kind is the narrowest kind the consumer accepts
+// that the arriving kind widens into exactly; if no exact widening
+// exists, the widest accepted kind (an explicit narrowing conversion,
+// e.g. f64 results displayed on a u8 sink).
+//
+// It must run before InsertBuffers: a conversion kernel works on 1×1
+// sample streams, and converting upstream of the buffer means the
+// buffered rows are already in the consumer's native kind.
+func InsertConversions(g *graph.Graph) error {
+	for pass := 0; pass < 4; pass++ {
+		r, err := analysis.ElemKinds(g)
+		if err != nil {
+			return err
+		}
+		if len(r.Violations) == 0 {
+			return nil
+		}
+		for _, v := range r.Violations {
+			e := v.Edge
+			et, ok := e.To.Node().Behavior.(graph.ElemTyped)
+			if !ok {
+				return fmt.Errorf("transform: violation on %s without typed consumer", e)
+			}
+			to, ok := conversionTarget(et, e.To.Name, v.Have)
+			if !ok {
+				return fmt.Errorf("transform: %s.%s accepts no element kind for arriving %s",
+					e.To.Node().Name(), e.To.Name, v.Have)
+			}
+			name := uniqueName(g, fmt.Sprintf("Convert(%s.%s:%s)",
+				e.To.Node().Name(), e.To.Name, to))
+			conv := kernel.Convert(name, to)
+			g.Add(conv)
+			from, fromPort := e.From.Node(), e.From.Name
+			toNode, toPort := e.To.Node(), e.To.Name
+			g.Disconnect(e)
+			g.Connect(from, fromPort, conv, "in")
+			g.Connect(conv, "out", toNode, toPort)
+		}
+	}
+	// Each pass strictly reduces violations (every spliced edge now
+	// carries an accepted kind), so reaching here is a bug in a
+	// behavior's ElemTyped declaration.
+	return fmt.Errorf("transform: element-kind conversions did not converge")
+}
+
+// conversionTarget picks the kind to convert an arriving stream to:
+// the narrowest accepted kind reachable by exact widening, else the
+// widest accepted kind.
+func conversionTarget(et graph.ElemTyped, input string, have frame.Kind) (frame.Kind, bool) {
+	kinds := []frame.Kind{frame.U8, frame.F32, frame.F64}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i].Bytes() < kinds[j].Bytes() })
+	for _, k := range kinds {
+		if k != have && have.Widens(k) && et.ElemAccepts(input, k) {
+			return k, true
+		}
+	}
+	for i := len(kinds) - 1; i >= 0; i-- {
+		if k := kinds[i]; k != have && et.ElemAccepts(input, k) {
+			return k, true
+		}
+	}
+	return frame.F64, false
+}

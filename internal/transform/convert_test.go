@@ -1,0 +1,75 @@
+package transform_test
+
+import (
+	"testing"
+
+	"blockpar/internal/analysis"
+	"blockpar/internal/frame"
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+	"blockpar/internal/kernel"
+	"blockpar/internal/transform"
+)
+
+func TestInsertConversionsWidensU8ForConvolution(t *testing.T) {
+	g := graph.New("convert")
+	in := g.AddInput("Input", geom.Sz(8, 8), geom.Sz(1, 1), geom.FInt(1))
+	in.Output("out").Elem = frame.U8
+	conv := g.Add(kernel.Convolution("Conv", 3))
+	coeff := g.AddInput("Coeff", geom.Sz(3, 3), geom.Sz(3, 3), geom.FInt(1))
+	out := g.AddOutput("Output", geom.Sz(1, 1))
+	g.Connect(in, "out", conv, "in")
+	g.Connect(coeff, "out", conv, "coeff")
+	g.Connect(conv, "out", out, "in")
+
+	if err := transform.InsertConversions(g); err != nil {
+		t.Fatal(err)
+	}
+	var found *graph.Node
+	for _, n := range g.Nodes() {
+		if _, ok := kernel.ConvertTarget(n); ok {
+			found = n
+		}
+	}
+	if found == nil {
+		t.Fatal("no conversion kernel inserted")
+	}
+	// u8 widens exactly into f32, the narrowest kind the convolution
+	// accepts — the byte stream should not be promoted all the way to f64.
+	if to, _ := kernel.ConvertTarget(found); to != frame.F32 {
+		t.Errorf("conversion targets %s, want f32", to)
+	}
+	e := g.EdgeTo(conv.Input("in"))
+	if e == nil || e.From.Node() != found {
+		t.Errorf("conversion not spliced in front of the convolution")
+	}
+	r, err := analysis.ElemKinds(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Violations) != 0 {
+		t.Errorf("violations remain after insertion: %v", r.Violations)
+	}
+	if got := r.Out[conv.Output("out")]; got != frame.F32 {
+		t.Errorf("convolution emits %s after conversion, want f32", got)
+	}
+}
+
+func TestInsertConversionsNoOpOnF64(t *testing.T) {
+	g := graph.New("noop")
+	in := g.AddInput("Input", geom.Sz(8, 8), geom.Sz(1, 1), geom.FInt(1))
+	conv := g.Add(kernel.Convolution("Conv", 3))
+	coeff := g.AddInput("Coeff", geom.Sz(3, 3), geom.Sz(3, 3), geom.FInt(1))
+	out := g.AddOutput("Output", geom.Sz(1, 1))
+	g.Connect(in, "out", conv, "in")
+	g.Connect(coeff, "out", conv, "coeff")
+	g.Connect(conv, "out", out, "in")
+
+	before := len(g.Nodes())
+	if err := transform.InsertConversions(g); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes()) != before {
+		t.Errorf("conversion inserted on an all-f64 graph")
+	}
+}

@@ -18,6 +18,15 @@ func FuzzWire(f *testing.F) {
 		f.Add(b[4:]) // type byte + payload
 	}
 	f.Add(AppendWindow([]byte{0}, frame.FromRows([][]float64{{1, 2}, {3, 4}})))
+	// One window seed per element kind, so the native-width sample
+	// paths (u8 raw bytes, f32 bit patterns) are all in the corpus.
+	for _, k := range []frame.Kind{frame.U8, frame.F32, frame.F64} {
+		f.Add(AppendWindow([]byte{0}, typedTestWindow(k, 3, 2)))
+	}
+	// A malformed element-kind tag on an otherwise well-formed window.
+	bad := AppendWindow([]byte{0}, typedTestWindow(frame.U8, 2, 2))
+	bad[9] = 0x7f
+	f.Add(bad)
 	f.Add([]byte{})
 	f.Add([]byte{byte(TypeFeed)})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff})

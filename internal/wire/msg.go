@@ -316,7 +316,7 @@ func (m *Result) decode(r *reader) {
 	for i := 0; i < n && r.err == nil; i++ {
 		out := NamedWindows{Name: r.str("result output name")}
 		wn := int(r.u32("result window count"))
-		if r.err == nil && (wn < 0 || wn > maxSamples) {
+		if r.err == nil && (wn < 0 || wn > maxWins) {
 			r.err = corruptf("result window count %d out of range", wn)
 		}
 		for j := 0; j < wn && r.err == nil; j++ {

@@ -46,19 +46,24 @@ const Magic uint32 = 0x42505702 // "BPW\x02"
 // CRC32C frame trailer and the OpenSession deadline; version 3 added
 // the partition plane (OpenPartition, EdgeFrame, EdgeCredit); version 4
 // added the registration plane (Register, RegisterAck, Heartbeat,
-// Deregister).
-const Version uint16 = 4
+// Deregister); version 5 tags every window with its element kind and
+// carries samples at native width (one byte per u8 sample, four per
+// f32) instead of promoting everything to float64.
+const Version uint16 = 5
 
 // MaxFrame bounds a single frame's encoded size; a length prefix past
 // it is treated as corruption and kills the connection before any
 // allocation happens.
 const MaxFrame = 1 << 28 // 256 MiB
 
-// maxDim bounds a decoded window's width and height, and maxSamples
-// the total sample count, independent of the frame length check.
+// maxDim bounds a decoded window's width and height, and maxWindowBytes
+// its total storage in bytes — the natural unit now that windows travel
+// at native element width — independent of the frame length check.
 const (
-	maxDim     = 1 << 20
-	maxSamples = 1 << 25 // 32M samples = 256 MiB of float64
+	maxDim         = 1 << 20
+	maxWindowBytes = 1 << 28 // 256 MiB, any element kind
+	// maxWins bounds per-message window counts.
+	maxWins = 1 << 25
 )
 
 // maxStr bounds any decoded string or byte blob.
@@ -193,16 +198,32 @@ func (r *reader) finish() error {
 
 // ---- window and token codec ----
 
-// AppendWindow appends a window's wire form: u32 W, u32 H, then W*H
-// float64 samples in row-major scan order. The samples are written
-// directly from the window's storage honoring its stride — a pooled or
-// strided view is encoded without an intermediate dense copy.
+// AppendWindow appends a window's wire form: u32 W, u32 H, u8 element
+// kind, then W*H samples at the kind's native width in row-major scan
+// order (u8 raw, f32 as big-endian IEEE-754 bits, f64 likewise). The
+// samples are written directly from the window's storage honoring its
+// stride — a pooled or strided view is encoded without an intermediate
+// dense copy, and a byte window moves one eighth the f64 traffic.
 func AppendWindow(b []byte, w frame.Window) []byte {
 	b = appendU32(b, uint32(w.W))
 	b = appendU32(b, uint32(w.H))
-	for y := 0; y < w.H; y++ {
-		for _, v := range w.Row(y) {
-			b = appendU64(b, math.Float64bits(v))
+	b = append(b, byte(w.Kind))
+	switch w.Kind {
+	case frame.U8:
+		for y := 0; y < w.H; y++ {
+			b = append(b, w.RowU8(y)...)
+		}
+	case frame.F32:
+		for y := 0; y < w.H; y++ {
+			for _, v := range w.RowF32(y) {
+				b = appendU32(b, math.Float32bits(v))
+			}
+		}
+	default:
+		for y := 0; y < w.H; y++ {
+			for _, v := range w.Row(y) {
+				b = appendU64(b, math.Float64bits(v))
+			}
 		}
 	}
 	return b
@@ -214,22 +235,42 @@ func AppendWindow(b []byte, w frame.Window) []byte {
 func decodeWindow(r *reader) frame.Window {
 	w := int(r.u32("window width"))
 	h := int(r.u32("window height"))
+	k := frame.Kind(r.u8("window kind"))
 	if r.err != nil {
 		return frame.Window{}
 	}
-	if w < 0 || h < 0 || w > maxDim || h > maxDim || (h > 0 && w > maxSamples/h) {
-		r.err = corruptf("window size %dx%d out of range", w, h)
+	if !k.Valid() {
+		r.err = corruptf("unknown element kind %d", k)
+		return frame.Window{}
+	}
+	eb := k.Bytes()
+	if w < 0 || h < 0 || w > maxDim || h > maxDim || (h > 0 && w > maxWindowBytes/eb/h) {
+		r.err = corruptf("window size %dx%d (%s) out of range", w, h, k)
 		return frame.Window{}
 	}
 	// Bound before allocating: the remaining payload must actually
-	// carry W*H samples.
-	if need := w * h * 8; r.off+need > len(r.b) {
+	// carry W*H native-width samples.
+	if need := w * h * eb; r.off+need > len(r.b) {
 		r.fail("window samples")
 		return frame.Window{}
 	}
-	win := frame.Alloc(w, h)
-	for i := range win.Pix {
-		win.Pix[i] = math.Float64frombits(r.u64("window sample"))
+	win := frame.AllocKind(k, w, h)
+	switch k {
+	case frame.U8:
+		for y := 0; y < h; y++ {
+			copy(win.RowU8(y), r.take(w, "window sample"))
+		}
+	case frame.F32:
+		for y := 0; y < h; y++ {
+			row := win.RowF32(y)
+			for i := range row {
+				row[i] = math.Float32frombits(r.u32("window sample"))
+			}
+		}
+	default:
+		for i := range win.Pix {
+			win.Pix[i] = math.Float64frombits(r.u64("window sample"))
+		}
 	}
 	return win
 }

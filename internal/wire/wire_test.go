@@ -448,3 +448,58 @@ func TestEdgeFrameDecodeRejectsCorruption(t *testing.T) {
 		t.Fatalf("corrupt edge-frame decodes leaked %d arena windows", live-base)
 	}
 }
+
+// typedTestWindow builds a kind-typed window with a deterministic ramp.
+func typedTestWindow(k frame.Kind, w, h int) frame.Window {
+	win := frame.NewWindowKind(k, w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			win.Set(x, y, float64((y*w+x)%251))
+		}
+	}
+	return win
+}
+
+func TestWindowTypedRoundTrip(t *testing.T) {
+	for _, k := range []frame.Kind{frame.U8, frame.F32, frame.F64} {
+		w := typedTestWindow(k, 5, 3)
+		b := AppendWindow(nil, w)
+		// Native width on the wire: header (u32 W, u32 H, u8 kind) plus
+		// one sample per element at the kind's storage width.
+		if want := 9 + 5*3*k.Bytes(); len(b) != want {
+			t.Errorf("%s window encodes to %d bytes, want %d", k, len(b), want)
+		}
+		got, err := DecodeWindow(b)
+		if err != nil {
+			t.Fatalf("decode %s window: %v", k, err)
+		}
+		if got.Kind != k {
+			t.Errorf("decoded kind %s, want %s", got.Kind, k)
+		}
+		if !got.Equal(w) {
+			t.Errorf("%s round trip changed samples", k)
+		}
+		got.Release()
+
+		// A strided typed view encodes identically to its dense clone.
+		view := w.View(1, 1, 3, 2)
+		dense := view.Clone()
+		if vb, db := AppendWindow(nil, view), AppendWindow(nil, dense); string(vb) != string(db) {
+			t.Errorf("%s strided view encodes differently from dense copy", k)
+		}
+		dense.Release()
+	}
+}
+
+func TestWindowDecodeRejectsMalformedKind(t *testing.T) {
+	good := AppendWindow(nil, typedTestWindow(frame.U8, 2, 2))
+	for kind := byte(3); kind != 0; kind += 61 {
+		bad := append([]byte{}, good...)
+		bad[8] = kind
+		if _, err := DecodeWindow(bad); err == nil {
+			t.Fatalf("decode accepted element kind %d", kind)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("kind %d: error %v is not tagged ErrCorrupt", kind, err)
+		}
+	}
+}
