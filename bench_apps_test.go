@@ -23,7 +23,7 @@ import (
 )
 
 func BenchmarkSuiteApps(b *testing.B) {
-	for _, id := range []string{"1", "2", "4", "5", "1u8", "4f32"} {
+	for _, id := range []string{"1", "2", "4", "5", "1u8", "4f32", "MC", "WC"} {
 		app, err := apps.ByID(id)
 		if err != nil {
 			b.Fatal(err)

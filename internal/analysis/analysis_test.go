@@ -3,6 +3,7 @@ package analysis
 import (
 	"testing"
 
+	"blockpar/internal/conn"
 	"blockpar/internal/geom"
 	"blockpar/internal/graph"
 	"blockpar/internal/kernel"
@@ -233,6 +234,104 @@ func TestSplitJoinItemAccounting(t *testing.T) {
 	jo := r.Out[join.Output("out")]
 	if jo.ItemsPerFrame() != 36 {
 		t.Errorf("join out items = %d, want 36", jo.ItemsPerFrame())
+	}
+	// A matched split/join pair restores the pre-split 2-D structure.
+	if jo.Flat || jo.Items != geom.Sz(W, H) {
+		t.Errorf("join out = %+v; want non-flat %v grid", jo, geom.Sz(W, H))
+	}
+}
+
+// TestJoinRRAfterScatterStaysFlat pins the latent round-robin
+// assumption fixed while generalizing split/join: a plain RR join
+// collecting branches dealt by a *strided* scatter receives the items
+// in a permuted order, so the join must not reassemble the scatter
+// source's 2-D grid (consumer index != arrival order).
+func TestJoinRRAfterScatterStaysFlat(t *testing.T) {
+	const W, H = 8, 2
+	build := func(strided bool) *graph.Graph {
+		g := graph.New("sg-rr")
+		in := g.AddInput("Input", geom.Sz(W, H), geom.Sz(1, 1), geom.FInt(10))
+		var split *graph.Node
+		if strided {
+			split = g.Add(kernel.Scatter("Deal", conn.Schedule{Ways: 2, Stride: 2}, geom.Sz(1, 1)))
+		} else {
+			split = g.Add(kernel.SplitRR("Deal", 2, geom.Sz(1, 1)))
+		}
+		join := g.Add(kernel.JoinRR("Join", 2, geom.Sz(1, 1)))
+		out := g.AddOutput("Output", geom.Sz(1, 1))
+		g.Connect(in, "out", split, "in")
+		for i := 0; i < 2; i++ {
+			k := g.Add(kernel.Gain("Gain"+string(rune('0'+i)), 2))
+			g.Connect(split, "out"+string(rune('0'+i)), k, "in")
+			g.Connect(k, "out", join, "in"+string(rune('0'+i)))
+		}
+		g.Connect(join, "out", out, "in")
+		return g
+	}
+
+	g := build(true)
+	r, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jo := r.Out[g.Node("Join").Output("out")]
+	if !jo.Flat {
+		t.Errorf("RR join after strided scatter reconstructed %+v; want flat", jo)
+	}
+	if jo.ItemsPerFrame() != W*H {
+		t.Errorf("join out items = %d, want %d", jo.ItemsPerFrame(), W*H)
+	}
+
+	// Control: the same shape with the compiler's round-robin split does
+	// restore the grid.
+	g = build(false)
+	r, err = Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jo = r.Out[g.Node("Join").Output("out")]
+	if jo.Flat || jo.Items != geom.Sz(W, H) {
+		t.Errorf("RR join after RR split = %+v; want non-flat %v grid", jo, geom.Sz(W, H))
+	}
+}
+
+// TestJoinRRBranchCountMismatchStaysFlat covers the second half of the
+// same fix: a total-item-count match alone does not prove the join is
+// the split's inverse. Here in0 traces to a 4-way split (9 of 36 items)
+// while in1 carries 27 items from elsewhere — totals match the split's
+// source exactly, but only two of its four branches reach this join, so
+// reconstructing the 9x4 grid would be wrong.
+func TestJoinRRBranchCountMismatchStaysFlat(t *testing.T) {
+	const W, H = 9, 4
+	g := graph.New("rr-mismatch")
+	in := g.AddInput("Input", geom.Sz(W, H), geom.Sz(1, 1), geom.FInt(10))
+	side := g.AddInput("Side", geom.Sz(27, 1), geom.Sz(1, 1), geom.FInt(10))
+	split := g.Add(kernel.SplitRR("Split", 4, geom.Sz(1, 1)))
+	join := g.Add(kernel.JoinRR("Join", 2, geom.Sz(1, 1)))
+	out := g.AddOutput("Output", geom.Sz(1, 1))
+	g.Connect(in, "out", split, "in")
+	gain0 := g.Add(kernel.Gain("Gain0", 2))
+	g.Connect(split, "out0", gain0, "in")
+	g.Connect(gain0, "out", join, "in0")
+	gain1 := g.Add(kernel.Gain("Gain1", 2))
+	g.Connect(side, "out", gain1, "in")
+	g.Connect(gain1, "out", join, "in1")
+	for i := 1; i < 4; i++ {
+		o := g.AddOutput("Spill"+string(rune('0'+i)), geom.Sz(1, 1))
+		g.Connect(split, "out"+string(rune('0'+i)), o, "in")
+	}
+	g.Connect(join, "out", out, "in")
+
+	r, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jo := r.Out[join.Output("out")]
+	if jo.ItemsPerFrame() != W*H {
+		t.Fatalf("join out items = %d, want %d", jo.ItemsPerFrame(), W*H)
+	}
+	if !jo.Flat {
+		t.Errorf("join reconstructed %+v from a 4-way split via 2 inputs; want flat", jo)
 	}
 }
 

@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"fmt"
+
+	"blockpar/internal/conn"
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+)
+
+// visitScatter applies the generalized-connection rate equations to a
+// programmer-level strided scatter: the arriving item grid is dealt
+// across the branches on the schedule. When every input row splits into
+// whole schedule cycles, each branch keeps a rectangular row structure
+// (nx/ways × ny items) and the end-of-line tokens the runtime broadcasts
+// land on cycle boundaries; otherwise the branch streams are modeled as
+// flat totals and the divisibility violation is reported for the
+// programmer to fix.
+func (a *analyzer) visitScatter(n *graph.Node, sched conn.Schedule) {
+	in := a.arriving(n)
+	info := in["in"]
+	inPort := n.Input("in")
+	outs := n.Outputs()
+
+	// The scatter consumes whole items of its declared size; a raw
+	// sample stream needs a chunking buffer first, exactly like any
+	// windowed consumer (the step equals the size, so the buffer is
+	// non-overlapping).
+	switch {
+	case info.ItemSize == inPort.Size:
+		// Item-aligned.
+	case info.ItemSize == geom.Sz(1, 1) && inPort.Size != geom.Sz(1, 1):
+		a.problem(Problem{
+			Kind: NeedsBuffer, Node: n, Method: "scatter",
+			Edge: a.g.EdgeTo(inPort),
+			Note: fmt.Sprintf("chunk %v%v over %v samples", inPort.Size, inPort.Step, info.Region),
+		})
+		nx, ny := geom.Iterations(info.Region, inPort.Size, inPort.Step)
+		info.Items = geom.Sz(nx, ny)
+		info.ItemSize = inPort.Size
+	default:
+		a.problem(Problem{
+			Kind: Incompatible, Node: n, Method: "scatter",
+			Edge: a.g.EdgeTo(inPort),
+			Note: fmt.Sprintf("items of %v cannot feed scatter of %v", info.ItemSize, inPort.Size),
+		})
+		return
+	}
+
+	var writeWords int64
+	rectangular := !info.Flat && sched.DividesRow(info.Items.W)
+	if !info.Flat && !rectangular {
+		a.problem(Problem{
+			Kind: Misaligned, Node: n, Method: "scatter",
+			Note: fmt.Sprintf("row of %d items does not divide into %d-way stride-%d cycles",
+				info.Items.W, sched.Ways, sched.Stride),
+		})
+	}
+	if rectangular {
+		bw := info.Items.W / sched.Ways
+		for _, op := range outs {
+			branch := PortInfo{
+				Region:   geom.Sz(bw*info.ItemSize.W, info.Items.H*info.ItemSize.H),
+				Items:    geom.Sz(bw, info.Items.H),
+				ItemSize: info.ItemSize,
+				Inset:    info.Inset,
+				Rate:     info.Rate,
+			}
+			a.r.Out[op] = branch
+			writeWords += branch.WordsPerFrame()
+		}
+	} else {
+		counts := sched.Counts(info.ItemsPerFrame())
+		for i, op := range outs {
+			branch := PortInfo{
+				Region:   geom.Sz(int(counts[i])*info.ItemSize.W, info.ItemSize.H),
+				Items:    geom.Sz(int(counts[i]), 1),
+				ItemSize: info.ItemSize,
+				Inset:    info.Inset,
+				Rate:     info.Rate,
+				Flat:     true,
+			}
+			a.r.Out[op] = branch
+			writeWords += branch.WordsPerFrame()
+		}
+	}
+
+	m := n.Methods()[0]
+	samples := info.ItemsPerFrame()
+	a.r.Nodes[n] = NodeInfo{
+		IterX: int64(info.Items.W), IterY: int64(info.Items.H),
+		Rate: info.Rate,
+		Methods: map[string]MethodInfo{m.Name: {
+			IterX: int64(info.Items.W), IterY: int64(info.Items.H),
+			Rate:      info.Rate,
+			ReadWords: info.WordsPerFrame(), WriteWords: writeWords,
+		}},
+		CyclesPerFrame:     samples * m.Cycles,
+		ReadWordsPerFrame:  info.WordsPerFrame(),
+		WriteWordsPerFrame: writeWords,
+		MemoryWords:        n.Memory(),
+	}
+}
+
+// visitGather merges the branch streams of a strided gather. The output
+// is defined purely by the gather's own schedule — an interleave of the
+// branches, stride items at a time — so it stays correct even when the
+// upstream scatter used a different schedule (the result is then a
+// well-defined permutation, not a silent reconstruction of the original
+// order). When the branches carry equal rectangular grids whose rows
+// divide by the stride, the merged stream keeps a rectangular structure
+// of (ways·bw) × ny items; otherwise it is modeled flat.
+func (a *analyzer) visitGather(n *graph.Node, sched conn.Schedule) {
+	in := a.arriving(n)
+	out := n.Output("out")
+
+	var totalItems, readWords int64
+	var rate geom.Frac
+	itemSize := out.Size
+	inset := geom.Offset{}
+	first := PortInfo{}
+	rectangular := true
+	for i, p := range n.Inputs() {
+		info := in[p.Name]
+		readWords += info.WordsPerFrame()
+		totalItems += info.ItemsPerFrame()
+		if i == 0 {
+			first = info
+			rate = info.Rate
+			inset = info.Inset
+			itemSize = info.ItemSize
+		}
+		if info.Flat || info.Items != first.Items || info.ItemSize != first.ItemSize {
+			rectangular = false
+		}
+		if !info.Rate.Equal(rate) && !info.Rate.IsZero() && !rate.IsZero() {
+			a.problem(Problem{
+				Kind: RateMismatch, Node: n, Method: "gather",
+				Note: fmt.Sprintf("branch rates differ: %v vs %v", rate, info.Rate),
+			})
+		}
+		if info.ItemSize != itemSize {
+			a.problem(Problem{
+				Kind: Misaligned, Node: n, Method: "gather",
+				Note: fmt.Sprintf("branch item sizes differ: %v vs %v", itemSize, info.ItemSize),
+			})
+			rectangular = false
+		}
+	}
+	if rectangular && first.Items.W%sched.Stride != 0 {
+		a.problem(Problem{
+			Kind: Misaligned, Node: n, Method: "gather",
+			Note: fmt.Sprintf("branch row of %d items does not divide by stride %d",
+				first.Items.W, sched.Stride),
+		})
+		rectangular = false
+	}
+
+	var region geom.Size
+	if rectangular {
+		items := geom.Sz(first.Items.W*sched.Ways, first.Items.H)
+		region = geom.Sz(items.W*itemSize.W, items.H*itemSize.H)
+		a.r.Out[out] = PortInfo{
+			Region: region, Items: items,
+			ItemSize: itemSize, Inset: inset, Rate: rate,
+		}
+	} else {
+		region = geom.Sz(int(totalItems)*itemSize.W, itemSize.H)
+		a.r.Out[out] = PortInfo{
+			Region: region, Items: geom.Sz(int(totalItems), 1),
+			ItemSize: itemSize, Inset: inset, Rate: rate,
+			Flat: true,
+		}
+	}
+
+	m := n.Methods()[0]
+	writeWords := totalItems * int64(itemSize.Area())
+	a.r.Nodes[n] = NodeInfo{
+		IterX: totalItems, IterY: 1,
+		Rate: rate,
+		Methods: map[string]MethodInfo{m.Name: {
+			IterX: totalItems, IterY: 1, Rate: rate,
+			ReadWords: readWords, WriteWords: writeWords,
+		}},
+		CyclesPerFrame:     totalItems * m.Cycles,
+		ReadWordsPerFrame:  readWords,
+		WriteWordsPerFrame: writeWords,
+		MemoryWords:        n.Memory(),
+	}
+}

@@ -8,28 +8,35 @@ import (
 
 // visitBuffer applies the buffer rule: the region flows through
 // unchanged (the consumer's window determines its own halo), but the
-// chunking becomes one item per window position.
+// chunking becomes one item per window position. A windowed-sharing
+// buffer (several outputs over one ring) produces the identical stream
+// on every output; the write words scale with the fan-out but the
+// memory does not — that is the point of sharing.
 func (a *analyzer) visitBuffer(n *graph.Node) {
 	in := a.arriving(n)
 	info := in["in"]
-	out := n.Output("out")
-	nx, ny := geom.Iterations(info.Region, out.Size, out.Step)
+	outs := n.Outputs()
+	nx, ny := geom.Iterations(info.Region, outs[0].Size, outs[0].Step)
 	outInfo := PortInfo{
 		Region:   info.Region,
 		Items:    geom.Sz(nx, ny),
-		ItemSize: out.Size,
+		ItemSize: outs[0].Size,
 		Inset:    info.Inset,
 		Rate:     info.Rate,
 	}
-	a.r.Out[out] = outInfo
+	var writeWords int64
+	for _, out := range outs {
+		a.r.Out[out] = outInfo
+		writeWords += outInfo.WordsPerFrame()
+	}
 
 	samples := info.ItemsPerFrame()
-	m := n.Method("buffer")
+	m := n.Methods()[0]
 	mi := MethodInfo{
 		IterX: int64(info.Items.W), IterY: int64(info.Items.H),
 		Rate:       info.Rate,
 		ReadWords:  info.WordsPerFrame(),
-		WriteWords: outInfo.WordsPerFrame(),
+		WriteWords: writeWords,
 	}
 	a.r.Nodes[n] = NodeInfo{
 		IterX: mi.IterX, IterY: mi.IterY,
@@ -42,10 +49,14 @@ func (a *analyzer) visitBuffer(n *graph.Node) {
 	}
 }
 
-// visitSplit handles both round-robin splits (items divided evenly
-// across branches) and column splits (per-stripe sample regions with
-// replicated overlap).
+// visitSplit handles round-robin splits (items divided evenly across
+// branches), column splits (per-stripe sample regions with replicated
+// overlap), and programmer-level strided scatters.
 func (a *analyzer) visitSplit(n *graph.Node) {
+	if sched, ok := kernel.ScatterSched(n); ok {
+		a.visitScatter(n, sched)
+		return
+	}
 	in := a.arriving(n)
 	info := in["in"]
 	outs := n.Outputs()
@@ -104,6 +115,10 @@ func (a *analyzer) visitSplit(n *graph.Node) {
 
 // visitJoin merges branch streams back into one.
 func (a *analyzer) visitJoin(n *graph.Node) {
+	if sched, ok := kernel.GatherSched(n); ok {
+		a.visitGather(n, sched)
+		return
+	}
 	in := a.arriving(n)
 	out := n.Output("out")
 
@@ -150,7 +165,12 @@ func (a *analyzer) visitJoin(n *graph.Node) {
 		// one to one (equal item counts in and out), the joined stream
 		// keeps the pre-split 2-D structure; modeling it as a single
 		// flat row would mispredict every windowed consumer downstream.
-		if src, ok := a.rrSourceInfo(n); ok && !src.Flat &&
+		// The reconstruction is only sound when the split's distribution
+		// schedule matches the join's collection schedule — equal branch
+		// counts for the compiler's round-robin pair; a total-count match
+		// alone does not imply the items come back in the original order.
+		if src, split, ok := a.rrSourceInfo(n); ok && !src.Flat &&
+			len(split.Outputs()) == len(n.Inputs()) &&
 			int64(src.Items.W)*int64(src.Items.H) == totalItems {
 			region = geom.Sz(src.Items.W*itemSize.W, src.Items.H*itemSize.H)
 			a.r.Out[out] = PortInfo{
@@ -185,12 +205,15 @@ func (a *analyzer) visitJoin(n *graph.Node) {
 
 // rrSourceInfo finds the stream that entered the round-robin split
 // paired with a join (join.in_i ← parallel instance ← split.out_i) and
-// returns the split's arriving info — the structure the joined stream
-// reassembles when the branches preserve item counts.
-func (a *analyzer) rrSourceInfo(n *graph.Node) (PortInfo, bool) {
+// returns the split's arriving info and the split node itself — the
+// structure the joined stream reassembles when the branches preserve
+// item counts and the two schedules agree. Column splits and
+// programmer-level scatters (their own strided schedule, analyzed by
+// visitScatter) are excluded.
+func (a *analyzer) rrSourceInfo(n *graph.Node) (PortInfo, *graph.Node, bool) {
 	e := a.g.EdgeTo(n.Input("in0"))
 	if e == nil {
-		return PortInfo{}, false
+		return PortInfo{}, nil, false
 	}
 	inst := e.From.Node()
 	for _, p := range inst.Inputs() {
@@ -205,10 +228,13 @@ func (a *analyzer) rrSourceInfo(n *graph.Node) (PortInfo, bool) {
 		if _, striped := kernel.SplitColumnsStripes(split); striped {
 			continue
 		}
+		if _, scattered := kernel.ScatterSched(split); scattered {
+			continue
+		}
 		info, ok := a.r.In[split.Input("in")]
-		return info, ok
+		return info, split, ok
 	}
-	return PortInfo{}, false
+	return PortInfo{}, nil, false
 }
 
 // visitReplicate broadcasts the input stream to every branch.

@@ -11,7 +11,7 @@ import (
 
 func TestSuiteHasElevenBenchmarks(t *testing.T) {
 	suite := Figure13Suite()
-	want := []string{"1", "1F", "2", "2F", "3", "4", "SS", "BS", "SF", "BF", "5", "1u8", "4f32"}
+	want := []string{"1", "1F", "2", "2F", "3", "4", "SS", "BS", "SF", "BF", "5", "1u8", "4f32", "MC", "WC"}
 	if len(suite) != len(want) {
 		t.Fatalf("suite has %d benchmarks, want %d", len(suite), len(want))
 	}
@@ -93,10 +93,10 @@ func TestByID(t *testing.T) {
 	if _, err := ByID("nope"); err == nil {
 		t.Error("unknown id accepted")
 	}
-	if got := len(IDs()); got != 13 {
+	if got := len(IDs()); got != 15 {
 		t.Errorf("IDs() returned %d entries", got)
 	}
-	if got := len(Names()); got != 13 {
+	if got := len(Names()); got != 15 {
 		t.Errorf("Names() returned %d entries", got)
 	}
 }

@@ -1,0 +1,243 @@
+package apps
+
+import (
+	"fmt"
+
+	"blockpar/internal/conn"
+	"blockpar/internal/frame"
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+	"blockpar/internal/kernel"
+)
+
+// The generalized-connection benchmark family: a wideband channelizer
+// built on scatter-gather and a multi-camera analytics pipeline built
+// on broadcast and windowed sharing. Together they exercise every
+// connection family end to end — schedule math, share lowering,
+// co-location, and the zero-copy broadcast fan-out.
+
+// interleave merges equal-size branch planes item-by-item on the
+// schedule, mirroring the gather kernel's own output definition:
+// position GlobalIndex(b, l) of each row takes branch b's l-th item.
+func interleave(sched conn.Schedule, branches []frame.Window) frame.Window {
+	first := branches[0]
+	out := frame.NewWindow(first.W*sched.Ways, first.H)
+	for y := 0; y < first.H; y++ {
+		for b, pl := range branches {
+			for l := 0; l < first.W; l++ {
+				out.Set(int(sched.GlobalIndex(b, int64(l))), y, pl.At(l, y))
+			}
+		}
+	}
+	return out
+}
+
+// ChannelizerCfg parameterizes the wideband channelizer benchmark.
+type ChannelizerCfg struct {
+	// W is samples per row, H rows per frame. W must divide into
+	// Taps-sample chunks and the chunk rows into Ways·Stride cycles.
+	W, H int
+	Rate geom.Frac
+	// Ways/Stride is the scatter-gather schedule (default 3/2).
+	Ways, Stride int
+	// Taps is the per-band FIR length and the channelizer's chunk size
+	// (default 5).
+	Taps int
+}
+
+// Channelizer builds benchmark WC: a wideband input stream chunked into
+// Taps-sample blocks, dealt across Ways band branches on a strided
+// schedule, filtered per band (FIR + band gain), and recombined by an
+// equal-schedule gather so the output restores stream order exactly.
+// One taps input feeds every band through a declared broadcast
+// connection — the zero-copy fan-out that may span partitions.
+func Channelizer(name string, cfg ChannelizerCfg) *App {
+	if cfg.Ways == 0 {
+		cfg.Ways = 3
+	}
+	if cfg.Stride == 0 {
+		cfg.Stride = 2
+	}
+	if cfg.Taps == 0 {
+		cfg.Taps = 5
+	}
+	sched := conn.Schedule{Ways: cfg.Ways, Stride: cfg.Stride}
+	if cfg.W%cfg.Taps != 0 || !sched.DividesRow(cfg.W/cfg.Taps) {
+		panic(fmt.Sprintf("apps: channelizer row of %d samples does not chunk into %d-sample blocks over %d-way stride-%d cycles",
+			cfg.W, cfg.Taps, cfg.Ways, cfg.Stride))
+	}
+
+	taps := frame.LCG(31, cfg.Taps, 1)
+	for i := range taps.Pix {
+		taps.Pix[i] /= 256
+	}
+	gains := make([]float64, cfg.Ways)
+	for b := range gains {
+		gains[b] = 0.5 + 0.75*float64(b)
+	}
+
+	g := graph.New(name)
+	in := g.AddInput("Input", geom.Sz(cfg.W, cfg.H), geom.Sz(1, 1), cfg.Rate)
+	tapsIn := g.AddInput("Taps", geom.Sz(cfg.Taps, 1), geom.Sz(cfg.Taps, 1), cfg.Rate)
+	sc := g.Add(kernel.Scatter("Deal", sched, geom.Sz(cfg.Taps, 1)))
+	ga := g.Add(kernel.Gather("Recombine", sched, geom.Sz(1, 1)))
+	out := g.AddOutput("result", geom.Sz(1, 1))
+
+	g.Connect(in, "out", sc, "in")
+	tapsPorts := make([]*graph.Port, cfg.Ways)
+	for b := 0; b < cfg.Ways; b++ {
+		fir := g.Add(kernel.FIR(fmt.Sprintf("Band%d FIR", b), cfg.Taps))
+		gain := g.Add(kernel.Gain(fmt.Sprintf("Band%d Gain", b), gains[b]))
+		g.Connect(sc, fmt.Sprintf("out%d", b), fir, "in")
+		g.Connect(tapsIn, "out", fir, "taps")
+		g.Connect(fir, "out", gain, "in")
+		g.Connect(gain, "out", ga, fmt.Sprintf("in%d", b))
+		tapsPorts[b] = fir.Input("taps")
+	}
+	g.Connect(ga, "out", out, "in")
+	g.AddConn("taps", conn.Broadcast, tapsIn.Output("out"), tapsPorts)
+
+	return &App{
+		Name:  name,
+		Graph: g,
+		Sources: map[string]frame.Generator{
+			"Input": frame.LCG,
+			"Taps":  fixedWin(taps),
+		},
+		Golden: func(seq int64) map[string][]frame.Window {
+			img := frame.LCG(seq, cfg.W, cfg.H)
+			nx := cfg.W / cfg.Taps
+			plane := frame.NewWindow(nx, cfg.H)
+			for y := 0; y < cfg.H; y++ {
+				for j := 0; j < nx; j++ {
+					var acc float64
+					for i := 0; i < cfg.Taps; i++ {
+						// The FIR kernel indexes its taps reversed.
+						acc += img.At(j*cfg.Taps+i, y) * taps.At(cfg.Taps-i-1, 0)
+					}
+					// Scatter deals chunk j to branch BranchOf(j); the
+					// equal-schedule gather puts it back at position j.
+					plane.Set(j, y, acc*gains[sched.BranchOf(int64(j))])
+				}
+			}
+			return map[string][]frame.Window{"result": scalarsOf(plane)}
+		},
+	}
+}
+
+// MultiCamCfg parameterizes the multi-camera analytics benchmark.
+type MultiCamCfg struct {
+	// W, H are each camera's mosaic dimensions (even, and (W-2)/2 must
+	// stay ≥ 3 so the shared 3×3 window fits).
+	W, H int
+	Rate geom.Frac
+	// T is the motion threshold (default 100).
+	T float64
+}
+
+// MultiCam builds benchmark MC: two camera front-ends (Bayer demosaic,
+// per-plane 2× decimation) whose green planes each feed a 3×3 median
+// and a 3×3 convolution through a declared windowed-sharing connection
+// — the compiler lowers the pair onto one shared ring per camera, and
+// placement keeps each ring with its readers. One coefficient input
+// serves both cameras' convolutions through a broadcast connection, and
+// two stride-1 gathers interleave the cameras' motion and chroma
+// streams into the application outputs.
+func MultiCam(name string, cfg MultiCamCfg) *App {
+	if cfg.W%2 != 0 || cfg.H%2 != 0 {
+		panic("apps: MultiCam mosaic dimensions must be even")
+	}
+	if (cfg.W-2)/2 < 3 || (cfg.H-2)/2 < 3 {
+		panic("apps: MultiCam mosaic too small for the shared 3x3 window")
+	}
+	if cfg.T == 0 {
+		cfg.T = 100
+	}
+	coeff := frame.LCG(13, 3, 3)
+	for i := range coeff.Pix {
+		coeff.Pix[i] /= 256
+	}
+	merge := conn.Schedule{Ways: 2, Stride: 1}
+
+	g := graph.New(name)
+	coeffIn := g.AddInput("3x3 Coeff", geom.Sz(3, 3), geom.Sz(3, 3), cfg.Rate)
+	motionGa := g.Add(kernel.Gather("Motion Merge", merge, geom.Sz(1, 1)))
+	chromaGa := g.Add(kernel.Gather("Chroma Merge", merge, geom.Sz(1, 1)))
+	motionOut := g.AddOutput("motion", geom.Sz(1, 1))
+	chromaOut := g.AddOutput("chroma", geom.Sz(1, 1))
+
+	coeffPorts := make([]*graph.Port, 2)
+	for c := 0; c < 2; c++ {
+		cam := g.AddInput(fmt.Sprintf("Cam%d", c), geom.Sz(cfg.W, cfg.H), geom.Sz(1, 1), cfg.Rate)
+		dm := g.Add(kernel.BayerDemosaic(fmt.Sprintf("Demosaic%d", c)))
+		downR := g.Add(kernel.Downsample(fmt.Sprintf("DownR%d", c), 2))
+		downG := g.Add(kernel.Downsample(fmt.Sprintf("DownG%d", c), 2))
+		downB := g.Add(kernel.Downsample(fmt.Sprintf("DownB%d", c), 2))
+		chroma := g.Add(kernel.Subtract(fmt.Sprintf("Chroma%d", c)))
+		med := g.Add(kernel.Median(fmt.Sprintf("Median%d", c), 3))
+		conv := g.Add(kernel.Convolution(fmt.Sprintf("Conv%d", c), 3))
+		diff := g.Add(kernel.Subtract(fmt.Sprintf("Diff%d", c)))
+		thresh := g.Add(kernel.Threshold(fmt.Sprintf("Thresh%d", c), cfg.T, 0, 1))
+
+		g.Connect(cam, "out", dm, "in")
+		g.Connect(dm, "r", downR, "in")
+		g.Connect(dm, "g", downG, "in")
+		g.Connect(dm, "b", downB, "in")
+		g.Connect(downR, "out", chroma, "in0")
+		g.Connect(downB, "out", chroma, "in1")
+		g.Connect(downG, "out", med, "in")
+		g.Connect(downG, "out", conv, "in")
+		g.Connect(coeffIn, "out", conv, "coeff")
+		g.Connect(med, "out", diff, "in0")
+		g.Connect(conv, "out", diff, "in1")
+		g.Connect(diff, "out", thresh, "in")
+		g.Connect(thresh, "out", motionGa, fmt.Sprintf("in%d", c))
+		g.Connect(chroma, "out", chromaGa, fmt.Sprintf("in%d", c))
+
+		g.AddConn(fmt.Sprintf("gwin%d", c), conn.Share, downG.Output("out"),
+			[]*graph.Port{med.Input("in"), conv.Input("in")})
+		coeffPorts[c] = conv.Input("coeff")
+	}
+	g.Connect(motionGa, "out", motionOut, "in")
+	g.Connect(chromaGa, "out", chromaOut, "in")
+	g.AddConn("coeff", conn.Broadcast, coeffIn.Output("out"), coeffPorts)
+
+	camGen := func(c int) frame.Generator {
+		return func(seq int64, w, h int) frame.Window {
+			return frame.Bayer(2*seq+int64(c), w, h)
+		}
+	}
+	return &App{
+		Name:  name,
+		Graph: g,
+		Sources: map[string]frame.Generator{
+			"Cam0":      camGen(0),
+			"Cam1":      camGen(1),
+			"3x3 Coeff": fixedWin(coeff),
+		},
+		Golden: func(seq int64) map[string][]frame.Window {
+			motion := make([]frame.Window, 2)
+			chroma := make([]frame.Window, 2)
+			for c := 0; c < 2; c++ {
+				img := camGen(c)(seq, cfg.W, cfg.H)
+				r, gg, b := frame.BayerDemosaic(img)
+				downR := frame.Downsample(r, 2)
+				downG := frame.Downsample(gg, 2)
+				downB := frame.Downsample(b, 2)
+				chroma[c] = frame.Subtract(downR, downB)
+				diff := frame.Subtract(frame.Median(downG, 3), frame.Convolve(downG, coeff))
+				th := frame.NewWindow(diff.W, diff.H)
+				for i, v := range diff.Pix {
+					if v >= cfg.T {
+						th.Pix[i] = 1
+					}
+				}
+				motion[c] = th
+			}
+			return map[string][]frame.Window{
+				"motion": scalarsOf(interleave(merge, motion)),
+				"chroma": scalarsOf(interleave(merge, chroma)),
+			}
+		},
+	}
+}

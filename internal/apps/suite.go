@@ -81,5 +81,12 @@ func Figure13Suite() []Bench {
 		Bench{ID: "1u8", App: BayerU8("bayer-u8", BayerCfg{W: 64, H: 48, Rate: sampleRate(SlowRate, 64, 48)})},
 		Bench{ID: "4f32", App: MultiConvF32("multiconv-f32", MultiConvCfg{W: 48, H: 32, Rate: sampleRate(SlowRate, 48, 32), Sizes: []int{3, 5, 7}})},
 	)
+	// The generalized-connection family: multi-camera analytics
+	// (broadcast + windowed sharing) and a wideband channelizer
+	// (scatter-gather), exercising every connection family end to end.
+	benches = append(benches,
+		Bench{ID: "MC", App: MultiCam("multicam", MultiCamCfg{W: 20, H: 12, Rate: sampleRate(SlowRate, 20, 12)})},
+		Bench{ID: "WC", App: Channelizer("channelizer", ChannelizerCfg{W: 240, H: 4, Rate: sampleRate(SlowRate, 240, 4)})},
+	)
 	return benches
 }

@@ -262,7 +262,12 @@ func (ie *inEdge) deliver(m *wire.EdgeFrame) {
 		if it.IsToken {
 			ie.queue = append(ie.queue, graph.TokenItem(it.Tok))
 		} else {
-			ie.queue = append(ie.queue, graph.DataItem(it.Win))
+			// The wire decoder validated the batch descriptor against the
+			// window (protocol v6), so it re-enters the runtime as-is.
+			ie.queue = append(ie.queue, graph.Item{
+				Win: it.Win,
+				B:   graph.Batch{N: it.B.N, Sx: it.B.Sx, Bw: it.B.Bw},
+			})
 		}
 	}
 	if m.EOS {
@@ -374,7 +379,10 @@ func (oe *outEdge) push(it graph.Item) {
 		return
 	}
 	oe.credits--
-	oe.queue = append(oe.queue, wire.Item{IsToken: it.IsToken, Win: it.Win, Tok: it.Tok})
+	oe.queue = append(oe.queue, wire.Item{
+		IsToken: it.IsToken, Win: it.Win, Tok: it.Tok,
+		B: wire.Batch{N: it.B.N, Sx: it.B.Sx, Bw: it.B.Bw},
+	})
 	oe.cond.Broadcast()
 	oe.mu.Unlock()
 }

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 
 	"blockpar/internal/analysis"
+	"blockpar/internal/conn"
 	"blockpar/internal/frame"
 	"blockpar/internal/geom"
 	"blockpar/internal/graph"
@@ -38,16 +39,25 @@ type Case struct {
 // disagree (exercising trim alignment), replicated inputs (convolution
 // coefficients, FIR taps, histogram bins), control-token-triggered
 // methods (histogram/merge on end-of-frame), multi-output kernels
-// (Bayer), fan-out taps, downsample/upsample tails, and random
-// data-dependency edges. All graphs are feedback-free DAGs.
+// (Bayer), fan-out taps, downsample/upsample tails, random
+// data-dependency edges, and the generalized-connection shapes of
+// GenerateConn (strided scatter-gather chains, broadcast fan-outs,
+// shared-window pairs). All graphs are feedback-free DAGs.
 func Generate(seed uint64) *Case {
 	rng := rand.New(rand.NewSource(int64(seed)))
 	b := &builder{
 		rng:     rng,
 		sources: make(map[string]frame.Generator),
 	}
-	if rng.Intn(8) == 0 {
+	switch rng.Intn(12) {
+	case 0:
 		return b.bayerCase(seed)
+	case 1:
+		return b.scatterGatherCase(seed)
+	case 2:
+		return b.broadcastCase(seed)
+	case 3:
+		return b.shareCase(seed)
 	}
 
 	w := 8 + rng.Intn(17) // 8..24
@@ -337,6 +347,155 @@ func (b *builder) bayerCase(seed uint64) *Case {
 		out := b.g.AddOutput(plane, geom.Sz(2, 2))
 		b.g.Connect(bay, plane, out, "in")
 	}
+	b.capRates()
+	return &Case{Seed: seed, Name: b.g.Name, Graph: b.g, Sources: b.sources}
+}
+
+// GenerateConn builds a random generalized-connection case: a strided
+// scatter-gather chain, a broadcast fan-out, or a shared-window
+// consumer pair. The per-PR conn-smoke run draws from this space
+// directly; Generate also lands here for a slice of its seeds.
+func GenerateConn(seed uint64) *Case {
+	rng := rand.New(rand.NewSource(int64(seed) ^ 0x636f6e6e)) // "conn"
+	b := &builder{rng: rng, sources: make(map[string]frame.Generator)}
+	switch rng.Intn(3) {
+	case 0:
+		return b.scatterGatherCase(seed)
+	case 1:
+		return b.broadcastCase(seed)
+	default:
+		return b.shareCase(seed)
+	}
+}
+
+// scatterGatherCase deals a stream across distinct per-branch kernels
+// on a strided schedule and recombines it. The gather's stride is drawn
+// independently of the scatter's, so mismatched-schedule permutations
+// are part of the covered space.
+func (b *builder) scatterGatherCase(seed uint64) *Case {
+	rng := b.rng
+	ways := 2 + rng.Intn(2)         // 2..3
+	stride := 1 + rng.Intn(2)       // 1..2
+	cycles := 2 + rng.Intn(3)       // row = 2..4 whole cycles
+	w := ways * stride * cycles * 2 // even cycles keep stride-1 gathers aligned too
+	h := 4 + rng.Intn(5)            // 4..8
+	gstride := []int{1, stride}[rng.Intn(2)]
+
+	b.g = graph.New(fmt.Sprintf("gen-%d", seed))
+	samples := []int64{24_000, 48_000}[rng.Intn(2)]
+	b.in = b.g.AddInput("Input", geom.Sz(w, h), geom.Sz(1, 1),
+		geom.F(samples, int64(w*h)))
+	b.sources["Input"] = pickGen(rng)
+
+	sc := b.g.Add(kernel.Scatter(b.name("Deal"), conn.Schedule{Ways: ways, Stride: stride}, geom.Sz(1, 1)))
+	ga := b.g.Add(kernel.Gather(b.name("Merge"), conn.Schedule{Ways: ways, Stride: gstride}, geom.Sz(1, 1)))
+	b.g.Connect(b.in, "out", sc, "in")
+	for i := 0; i < ways; i++ {
+		var n *graph.Node
+		if rng.Intn(2) == 0 {
+			n = kernel.Gain(b.name("Gain"), []float64{0.25, 0.5, 1.5, 2}[rng.Intn(4)])
+		} else {
+			n = kernel.Threshold(b.name("Threshold"), float64(rng.Intn(200)), 0, 255)
+		}
+		b.g.Add(n)
+		b.g.Connect(sc, fmt.Sprintf("out%d", i), n, "in")
+		b.g.Connect(n, "out", ga, fmt.Sprintf("in%d", i))
+	}
+	out := b.g.AddOutput("result", geom.Sz(1, 1))
+	b.g.Connect(ga, "out", out, "in")
+	b.capRates()
+	return &Case{Seed: seed, Name: b.g.Name, Graph: b.g, Sources: b.sources}
+}
+
+// broadcastCase fans one stream out to several distinct pointwise
+// consumers through a declared broadcast connection, each observed by
+// its own output — the zero-copy fan-out that may span partitions.
+func (b *builder) broadcastCase(seed uint64) *Case {
+	rng := b.rng
+	w := 8 + rng.Intn(9) // 8..16
+	h := 6 + rng.Intn(5) // 6..10
+	b.g = graph.New(fmt.Sprintf("gen-%d", seed))
+	samples := []int64{24_000, 48_000}[rng.Intn(2)]
+	b.in = b.g.AddInput("Input", geom.Sz(w, h), geom.Sz(1, 1),
+		geom.F(samples, int64(w*h)))
+	b.sources["Input"] = pickGen(rng)
+	b.head, b.headPort, b.rw, b.rh = b.in, "out", w, h
+	if rng.Intn(2) == 0 {
+		b.gain()
+	}
+
+	src, srcPort := b.head, b.headPort
+	fan := 2 + rng.Intn(2) // 2..3
+	tos := make([]*graph.Port, fan)
+	for i := 0; i < fan; i++ {
+		var n *graph.Node
+		if rng.Intn(2) == 0 {
+			n = kernel.Gain(b.name("Gain"), []float64{0.25, 0.5, 1.5, 2}[rng.Intn(4)])
+		} else {
+			n = kernel.Threshold(b.name("Threshold"), float64(rng.Intn(200)), 0, 255)
+		}
+		b.g.Add(n)
+		b.g.Connect(src, srcPort, n, "in")
+		tos[i] = n.Input("in")
+		out := b.g.AddOutput(fmt.Sprintf("out%d", i), geom.Sz(1, 1))
+		b.g.Connect(n, "out", out, "in")
+	}
+	b.g.AddConn("bcast", conn.Broadcast, src.Output(srcPort), tos)
+	b.capRates()
+	return &Case{Seed: seed, Name: b.g.Name, Graph: b.g, Sources: b.sources}
+}
+
+// shareCase feeds two windowed consumers with identical 3×3 sliding
+// geometry from one stream under a declared share connection, so the
+// compiler lowers the pair onto a single shared ring, then rejoins
+// their outputs pointwise.
+func (b *builder) shareCase(seed uint64) *Case {
+	rng := b.rng
+	w := 10 + rng.Intn(7) // 10..16
+	h := 8 + rng.Intn(5)  // 8..12
+	b.g = graph.New(fmt.Sprintf("gen-%d", seed))
+	samples := []int64{24_000, 48_000}[rng.Intn(2)]
+	b.in = b.g.AddInput("Input", geom.Sz(w, h), geom.Sz(1, 1),
+		geom.F(samples, int64(w*h)))
+	b.sources["Input"] = pickGen(rng)
+	b.head, b.headPort, b.rw, b.rh = b.in, "out", w, h
+	if rng.Intn(2) == 0 {
+		b.gain()
+	}
+	src, srcPort := b.head, b.headPort
+
+	mk3 := []func() *graph.Node{
+		func() *graph.Node { return kernel.Median(b.name("Median3"), 3) },
+		func() *graph.Node {
+			n := kernel.Convolution(b.name("Conv3"), 3)
+			coeffName := b.name("Coeff")
+			coeffIn := b.g.AddInput(coeffName, geom.Sz(3, 3), geom.Sz(3, 3), b.in.Rate)
+			b.sources[coeffName] = fixedGen(frame.LCG(b.rng.Int63n(1000), 3, 3))
+			b.g.Add(n)
+			b.g.Connect(coeffIn, "out", n, "coeff")
+			return n
+		},
+		func() *graph.Node { return kernel.Morphology(b.name("Morph"), 3, kernel.MorphOp(b.rng.Intn(2))) },
+	}
+	first := rng.Intn(len(mk3))
+	second := (first + 1 + rng.Intn(len(mk3)-1)) % len(mk3)
+	pair := make([]*graph.Node, 2)
+	for i, pick := range []int{first, second} {
+		n := mk3[pick]()
+		if b.g.Node(n.Name()) == nil {
+			b.g.Add(n)
+		}
+		b.g.Connect(src, srcPort, n, "in")
+		pair[i] = n
+	}
+	b.g.AddConn("shared3", conn.Share, src.Output(srcPort),
+		[]*graph.Port{pair[0].Input("in"), pair[1].Input("in")})
+
+	join := b.g.Add(kernel.Subtract(b.name("Subtract")))
+	b.g.Connect(pair[0], "out", join, "in0")
+	b.g.Connect(pair[1], "out", join, "in1")
+	out := b.g.AddOutput("result", geom.Sz(1, 1))
+	b.g.Connect(join, "out", out, "in")
 	b.capRates()
 	return &Case{Seed: seed, Name: b.g.Name, Graph: b.g, Sources: b.sources}
 }

@@ -43,6 +43,9 @@ func CheckInvariants(c *core.Compiled) error {
 }
 
 func checkBufferSizing(c *core.Compiled, n *graph.Node) error {
+	if _, _, ok := kernel.SharePlanOf(n); ok {
+		return checkShareSizing(c, n)
+	}
 	plan, ok := kernel.BufferPlanOf(n)
 	if !ok {
 		return fmt.Errorf("buffer %q carries no plan", n.Name())
@@ -71,6 +74,51 @@ func checkBufferSizing(c *core.Compiled, n *graph.Node) error {
 	in := c.Analysis.In[n.Input("in")]
 	if !in.Flat && (in.Region.W > plan.DataW || in.Region.H > plan.DataH) {
 		return fmt.Errorf("buffer %q plan covers %dx%d samples but %v arrive",
+			n.Name(), plan.DataW, plan.DataH, in.Region)
+	}
+	return nil
+}
+
+// checkShareSizing verifies the windowed-sharing buffer invariants: the
+// ring is double-buffered ONCE regardless of how many consumers read it
+// (that is the point of the share lowering — N consumers, one ring),
+// every consumer-facing output carries the identical plan geometry, and
+// the declared fan-out matches the port count.
+func checkShareSizing(c *core.Compiled, n *graph.Node) error {
+	plan, ways, _ := kernel.SharePlanOf(n)
+	m := n.Method("share")
+	if m == nil {
+		return fmt.Errorf("share buffer %q has no share method", n.Name())
+	}
+	outs := n.Outputs()
+	if len(outs) != ways {
+		return fmt.Errorf("share buffer %q declares %d ways but has %d outputs", n.Name(), ways, len(outs))
+	}
+	if ways < 2 {
+		return fmt.Errorf("share buffer %q has %d ways, want at least 2", n.Name(), ways)
+	}
+	wantMem := int64(2 * plan.DataW * plan.WinH)
+	if plan.MemoryWords() != wantMem {
+		return fmt.Errorf("share buffer %q plan memory %d words, want double-buffered 2·%d·%d = %d",
+			n.Name(), plan.MemoryWords(), plan.DataW, plan.WinH, wantMem)
+	}
+	if m.Memory != wantMem {
+		return fmt.Errorf("share buffer %q declares %d memory words, want one double-buffered ring %d",
+			n.Name(), m.Memory, wantMem)
+	}
+	for i, out := range outs {
+		if want := fmt.Sprintf("out%d", i); out.Name != want {
+			return fmt.Errorf("share buffer %q output %d named %q, want %q", n.Name(), i, out.Name, want)
+		}
+		if out.Size.W != plan.WinW || out.Size.H != plan.WinH ||
+			out.Step.X != plan.StepX || out.Step.Y != plan.StepY {
+			return fmt.Errorf("share buffer %q output %q %v%v disagrees with plan %s",
+				n.Name(), out.Name, out.Size, out.Step, plan.Label())
+		}
+	}
+	in := c.Analysis.In[n.Input("in")]
+	if !in.Flat && (in.Region.W > plan.DataW || in.Region.H > plan.DataH) {
+		return fmt.Errorf("share buffer %q plan covers %dx%d samples but %v arrive",
 			n.Name(), plan.DataW, plan.DataH, in.Region)
 	}
 	return nil
@@ -123,6 +171,25 @@ func checkInsetAgreement(c *core.Compiled, n *graph.Node) error {
 // column-order joining silently scramble data if the fan-out is wired
 // out of order.
 func checkDistributionOrder(g *graph.Graph, n *graph.Node) error {
+	// A programmer-declared scatter deals work to *different* downstream
+	// kernels on its schedule — its branches are not parallel instances
+	// of one base, so only the wiring shape is checked: ordered output
+	// names, exactly one consumer per branch, declared ways respected.
+	if sched, ok := kernel.ScatterSched(n); ok {
+		if len(n.Outputs()) != sched.Ways {
+			return fmt.Errorf("scatter %q declares %d ways but has %d outputs",
+				n.Name(), sched.Ways, len(n.Outputs()))
+		}
+		for i, p := range n.Outputs() {
+			if want := fmt.Sprintf("out%d", i); p.Name != want {
+				return fmt.Errorf("scatter %q output %d named %q, want %q", n.Name(), i, p.Name, want)
+			}
+			if edges := g.EdgesFrom(p); len(edges) != 1 {
+				return fmt.Errorf("scatter %q output %q has %d consumers, want 1", n.Name(), p.Name, len(edges))
+			}
+		}
+		return nil
+	}
 	base := ""
 	for i, p := range n.Outputs() {
 		want := fmt.Sprintf("out%d", i)
@@ -161,6 +228,24 @@ func checkDistributionOrder(g *graph.Graph, n *graph.Node) error {
 // checkCollectionOrder verifies that a join kernel's in_i port is fed
 // by parallel instance i of a single base kernel.
 func checkCollectionOrder(g *graph.Graph, n *graph.Node) error {
+	// A programmer-declared gather interleaves *different* upstream
+	// branches by its own schedule — no instance/base relationship to
+	// enforce, only the wiring shape.
+	if sched, ok := kernel.GatherSched(n); ok {
+		if len(n.Inputs()) != sched.Ways {
+			return fmt.Errorf("gather %q declares %d ways but has %d inputs",
+				n.Name(), sched.Ways, len(n.Inputs()))
+		}
+		for i, p := range n.Inputs() {
+			if want := fmt.Sprintf("in%d", i); p.Name != want {
+				return fmt.Errorf("gather %q input %d named %q, want %q", n.Name(), i, p.Name, want)
+			}
+			if g.EdgeTo(p) == nil {
+				return fmt.Errorf("gather %q input %q unconnected", n.Name(), p.Name)
+			}
+		}
+		return nil
+	}
 	base := ""
 	for i, p := range n.Inputs() {
 		want := fmt.Sprintf("in%d", i)

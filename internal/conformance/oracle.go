@@ -3,9 +3,11 @@ package conformance
 import (
 	"fmt"
 
+	"blockpar/internal/conn"
 	"blockpar/internal/frame"
 	"blockpar/internal/geom"
 	"blockpar/internal/graph"
+	"blockpar/internal/kernel"
 	"blockpar/internal/token"
 )
 
@@ -101,6 +103,22 @@ func (o *Oracle) Frame(seq int64) (map[string][]frame.Window, error) {
 			if err := o.evalKernel(n, seq, planes); err != nil {
 				return nil, err
 			}
+		case graph.KindSplit:
+			if sched, ok := kernel.ScatterSched(n); ok {
+				if err := o.evalScatter(n, sched, planes); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			return nil, fmt.Errorf("conformance: oracle wants an untransformed graph, found %s node %q", n.Kind, n.Name())
+		case graph.KindJoin:
+			if sched, ok := kernel.GatherSched(n); ok {
+				if err := o.evalGather(n, sched, planes); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			return nil, fmt.Errorf("conformance: oracle wants an untransformed graph, found %s node %q", n.Kind, n.Name())
 		default:
 			return nil, fmt.Errorf("conformance: oracle wants an untransformed graph, found %s node %q", n.Kind, n.Name())
 		}
@@ -129,6 +147,115 @@ func (o *Oracle) evalInput(n *graph.Node, seq int64, planes map[*graph.Port]*pla
 		}
 	}
 	planes[out] = pl
+	return nil
+}
+
+// evalScatter deals the arriving item grid across the branches on the
+// schedule: item j of each row goes to branch (j/stride) mod ways. A raw
+// 1×1-sample plane is first chunked into the scatter's declared item
+// size (the compiled graph gets a non-overlapping buffer for this; the
+// oracle chunks directly). Rows must divide into whole schedule cycles —
+// the analysis reports the violation as a Misaligned problem, so the
+// oracle only ever sees conforming graphs and errors otherwise.
+func (o *Oracle) evalScatter(n *graph.Node, sched conn.Schedule, planes map[*graph.Port]*plane) error {
+	in := n.Input("in")
+	e := o.g.EdgeTo(in)
+	if e == nil {
+		return fmt.Errorf("conformance: scatter input %s unconnected", in)
+	}
+	pl := planes[e.From]
+	if pl == nil {
+		return fmt.Errorf("conformance: no plane for %s", e.From)
+	}
+	switch {
+	case pl.itemW == in.Size.W && pl.itemH == in.Size.H:
+		// Item-aligned.
+	case pl.itemW == 1 && pl.itemH == 1 && (in.Size.W != 1 || in.Size.H != 1):
+		// Chunk the raw plane into non-overlapping scatter items.
+		whole := pl.assemble()
+		if pl.nx%in.Size.W != 0 || pl.ny%in.Size.H != 0 {
+			return fmt.Errorf("conformance: scatter %q: %dx%d samples not divisible into %v items",
+				n.Name(), pl.nx, pl.ny, in.Size)
+		}
+		chunked := &plane{
+			nx: pl.nx / in.Size.W, ny: pl.ny / in.Size.H,
+			itemW: in.Size.W, itemH: in.Size.H,
+			ox: pl.ox, oy: pl.oy,
+		}
+		for y := 0; y+in.Size.H <= pl.ny; y += in.Size.H {
+			for x := 0; x+in.Size.W <= pl.nx; x += in.Size.W {
+				chunked.items = append(chunked.items, whole.Sub(x, y, in.Size.W, in.Size.H))
+			}
+		}
+		pl = chunked
+	default:
+		return fmt.Errorf("conformance: scatter %q: %v items cannot feed %v scatter",
+			n.Name(), geom.Sz(pl.itemW, pl.itemH), in.Size)
+	}
+	if !sched.DividesRow(pl.nx) {
+		return fmt.Errorf("conformance: scatter %q: row of %d items does not divide into %d-way stride-%d cycles",
+			n.Name(), pl.nx, sched.Ways, sched.Stride)
+	}
+	bw := pl.nx / sched.Ways
+	for b, op := range n.Outputs() {
+		branch := &plane{
+			nx: bw, ny: pl.ny,
+			itemW: pl.itemW, itemH: pl.itemH,
+			ox: pl.ox, oy: pl.oy,
+		}
+		for v := 0; v < pl.ny; v++ {
+			for l := 0; l < bw; l++ {
+				branch.items = append(branch.items, pl.item(int(sched.GlobalIndex(b, int64(l))), v))
+			}
+		}
+		planes[op] = branch
+	}
+	return nil
+}
+
+// evalGather interleaves the branch planes by the gather's own schedule:
+// output item j of each row comes from branch (j/stride) mod ways. The
+// output is defined purely by this schedule, so a gather paired with a
+// differently-scheduled scatter yields a well-defined permutation — the
+// same one the runtime produces.
+func (o *Oracle) evalGather(n *graph.Node, sched conn.Schedule, planes map[*graph.Port]*plane) error {
+	branches := make([]*plane, len(n.Inputs()))
+	for i, p := range n.Inputs() {
+		e := o.g.EdgeTo(p)
+		if e == nil {
+			return fmt.Errorf("conformance: gather input %s unconnected", p)
+		}
+		pl := planes[e.From]
+		if pl == nil {
+			return fmt.Errorf("conformance: no plane for %s", e.From)
+		}
+		branches[i] = pl
+		first := branches[0]
+		if pl.nx != first.nx || pl.ny != first.ny || pl.itemW != first.itemW || pl.itemH != first.itemH {
+			return fmt.Errorf("conformance: gather %q: branch %d carries %dx%d items of %v, branch 0 carries %dx%d of %v",
+				n.Name(), i, pl.nx, pl.ny, geom.Sz(pl.itemW, pl.itemH),
+				first.nx, first.ny, geom.Sz(first.itemW, first.itemH))
+		}
+	}
+	first := branches[0]
+	if first.nx%sched.Stride != 0 {
+		return fmt.Errorf("conformance: gather %q: branch row of %d items does not divide by stride %d",
+			n.Name(), first.nx, sched.Stride)
+	}
+	out := &plane{
+		nx: first.nx * sched.Ways, ny: first.ny,
+		itemW: first.itemW, itemH: first.itemH,
+		ox: first.ox, oy: first.oy,
+	}
+	out.items = make([]frame.Window, out.nx*out.ny)
+	for v := 0; v < out.ny; v++ {
+		for b, pl := range branches {
+			for l := 0; l < pl.nx; l++ {
+				out.items[v*out.nx+int(sched.GlobalIndex(b, int64(l)))] = pl.item(l, v)
+			}
+		}
+	}
+	planes[n.Output("out")] = out
 	return nil
 }
 

@@ -1,0 +1,130 @@
+// Package conn defines the generalized connection families that extend
+// the paper's point-to-point FIFO dialect (Liu, Barford & Bhattacharyya,
+// "Generalized Graph Connections for Dataflow Modeling of DSP
+// Applications"): broadcast (one producer, N consumers, one arena
+// reference each), scatter-gather (a strided round-robin distribution to
+// N branches with an order-preserving collection), and windowed sharing
+// (N consumers reading overlapping sliding views of one shared ring).
+//
+// The package holds the connection-family vocabulary and the strided
+// distribution schedule shared by the kernel behaviors, the static
+// analysis, the conformance oracle, and the descriptor front-end, so all
+// four agree on one definition of which item goes to which branch.
+package conn
+
+import "fmt"
+
+// Family classifies a generalized connection.
+type Family int
+
+const (
+	// Broadcast fans one output port out to N consumer inputs; every
+	// consumer sees the whole stream (zero copies — one retained arena
+	// reference per consumer).
+	Broadcast Family = iota
+	// Scatter distributes a stream across N branches on a strided
+	// round-robin schedule (stride 1 is the classic round-robin split).
+	Scatter
+	// Gather collects N branch streams back into one on the same strided
+	// schedule; paired with an equal-schedule scatter it restores the
+	// original stream order.
+	Gather
+	// Share gives N windowed consumers overlapping sliding views of one
+	// shared ring buffer instead of a private buffer each.
+	Share
+)
+
+var familyNames = map[Family]string{
+	Broadcast: "broadcast",
+	Scatter:   "scatter",
+	Gather:    "gather",
+	Share:     "share",
+}
+
+func (f Family) String() string {
+	if s, ok := familyNames[f]; ok {
+		return s
+	}
+	return fmt.Sprintf("Family(%d)", int(f))
+}
+
+// ParseFamily maps a descriptor-level family name back to its Family.
+func ParseFamily(s string) (Family, error) {
+	for f, name := range familyNames {
+		if name == s {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("conn: unknown connection family %q", s)
+}
+
+// Bounds on descriptor-supplied schedules, matching the desc front-end's
+// other resource limits.
+const (
+	MaxWays   = 64
+	MaxStride = 4096
+)
+
+// Schedule is a strided round-robin distribution: items are dealt to
+// branch 0, 0, ... (Stride times), then branch 1, and so on, wrapping
+// after Ways branches. Stride 1 degenerates to the plain round-robin
+// schedule of the compiler's split/join pair.
+type Schedule struct {
+	Ways   int
+	Stride int
+}
+
+// Validate checks the schedule against the front-end bounds.
+func (s Schedule) Validate() error {
+	if s.Ways < 1 || s.Ways > MaxWays {
+		return fmt.Errorf("conn: ways %d out of range [1,%d]", s.Ways, MaxWays)
+	}
+	if s.Stride < 1 || s.Stride > MaxStride {
+		return fmt.Errorf("conn: stride %d out of range [1,%d]", s.Stride, MaxStride)
+	}
+	return nil
+}
+
+// Cycle returns the schedule period: Ways·Stride items.
+func (s Schedule) Cycle() int { return s.Ways * s.Stride }
+
+// BranchOf returns which branch receives the j-th item of the stream.
+func (s Schedule) BranchOf(j int64) int {
+	return int((j / int64(s.Stride)) % int64(s.Ways))
+}
+
+// GlobalIndex is the inverse of BranchOf's bookkeeping: the stream
+// position of a branch's local-th item.
+func (s Schedule) GlobalIndex(branch int, local int64) int64 {
+	c := local / int64(s.Stride)
+	r := local % int64(s.Stride)
+	return c*int64(s.Cycle()) + int64(branch*s.Stride) + r
+}
+
+// Counts returns how many of total items each branch receives.
+func (s Schedule) Counts(total int64) []int64 {
+	counts := make([]int64, s.Ways)
+	cycle := int64(s.Cycle())
+	full := total / cycle
+	rem := total % cycle
+	for b := range counts {
+		counts[b] = full * int64(s.Stride)
+		extra := rem - int64(b*s.Stride)
+		if extra > int64(s.Stride) {
+			extra = int64(s.Stride)
+		}
+		if extra > 0 {
+			counts[b] += extra
+		}
+	}
+	return counts
+}
+
+// DividesRow reports whether a row of nx items splits into whole
+// schedule cycles, i.e. every branch receives exactly nx/Ways items per
+// row and the end-of-line token lands on a cycle boundary at every
+// branch. The static analysis requires this of scatter inputs so branch
+// streams keep a rectangular row structure.
+func (s Schedule) DividesRow(nx int) bool {
+	return nx > 0 && nx%s.Cycle() == 0
+}

@@ -1,0 +1,93 @@
+package conn
+
+import "testing"
+
+func TestScheduleRoundTrip(t *testing.T) {
+	for _, s := range []Schedule{{1, 1}, {2, 1}, {3, 2}, {4, 5}, {7, 3}} {
+		locals := make([]int64, s.Ways)
+		for j := int64(0); j < int64(8*s.Cycle()); j++ {
+			b := s.BranchOf(j)
+			if b < 0 || b >= s.Ways {
+				t.Fatalf("%+v: BranchOf(%d) = %d out of range", s, j, b)
+			}
+			if got := s.GlobalIndex(b, locals[b]); got != j {
+				t.Fatalf("%+v: GlobalIndex(%d, %d) = %d, want %d", s, b, locals[b], got, j)
+			}
+			locals[b]++
+		}
+	}
+}
+
+func TestScheduleCounts(t *testing.T) {
+	for _, tc := range []struct {
+		s     Schedule
+		total int64
+		want  []int64
+	}{
+		{Schedule{2, 1}, 5, []int64{3, 2}},
+		{Schedule{3, 2}, 12, []int64{4, 4, 4}},
+		{Schedule{3, 2}, 7, []int64{3, 2, 2}},
+		{Schedule{3, 2}, 9, []int64{4, 3, 2}},
+		{Schedule{4, 1}, 0, []int64{0, 0, 0, 0}},
+	} {
+		got := tc.s.Counts(tc.total)
+		if len(got) != len(tc.want) {
+			t.Fatalf("%+v.Counts(%d) = %v, want %v", tc.s, tc.total, got, tc.want)
+		}
+		var sum int64
+		for i := range got {
+			sum += got[i]
+			if got[i] != tc.want[i] {
+				t.Errorf("%+v.Counts(%d) = %v, want %v", tc.s, tc.total, got, tc.want)
+				break
+			}
+		}
+		if sum != tc.total {
+			t.Errorf("%+v.Counts(%d) sums to %d", tc.s, tc.total, sum)
+		}
+	}
+}
+
+func TestScheduleCountsMatchBranchOf(t *testing.T) {
+	for _, s := range []Schedule{{2, 3}, {5, 2}, {3, 1}} {
+		for total := int64(0); total < int64(4*s.Cycle()); total++ {
+			counts := make([]int64, s.Ways)
+			for j := int64(0); j < total; j++ {
+				counts[s.BranchOf(j)]++
+			}
+			got := s.Counts(total)
+			for b := range counts {
+				if counts[b] != got[b] {
+					t.Fatalf("%+v total %d: Counts = %v, enumeration = %v", s, total, got, counts)
+				}
+			}
+		}
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	if err := (Schedule{2, 3}).Validate(); err != nil {
+		t.Errorf("valid schedule rejected: %v", err)
+	}
+	for _, s := range []Schedule{{0, 1}, {1, 0}, {MaxWays + 1, 1}, {1, MaxStride + 1}, {-1, 1}} {
+		if err := s.Validate(); err == nil {
+			t.Errorf("schedule %+v accepted, want error", s)
+		}
+	}
+}
+
+func TestDividesRow(t *testing.T) {
+	s := Schedule{3, 2}
+	if !s.DividesRow(48) || s.DividesRow(47) || s.DividesRow(0) {
+		t.Errorf("DividesRow(48/47/0) = %v/%v/%v, want true/false/false",
+			s.DividesRow(48), s.DividesRow(47), s.DividesRow(0))
+	}
+}
+
+func TestFamilyString(t *testing.T) {
+	for f, want := range map[Family]string{Broadcast: "broadcast", Scatter: "scatter", Gather: "gather", Share: "share"} {
+		if f.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(f), f.String(), want)
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"strings"
 	"sync"
 
+	"blockpar/internal/conn"
 	"blockpar/internal/frame"
 	"blockpar/internal/geom"
 	"blockpar/internal/graph"
@@ -38,6 +39,7 @@ type File struct {
 	Outputs []OutputDesc `json:"outputs"`
 	Kernels []KernelDesc `json:"kernels"`
 	Edges   []EdgeDesc   `json:"edges"`
+	Conns   []ConnDesc   `json:"conns,omitempty"`
 	Deps    []DepDesc    `json:"deps,omitempty"`
 }
 
@@ -80,6 +82,20 @@ type EdgeDesc struct {
 type DepDesc struct {
 	From string `json:"from"`
 	To   string `json:"to"`
+}
+
+// ConnDesc declares a generalized connection group over edges that must
+// already appear in the edges section: family "broadcast" marks a
+// zero-copy fan-out (consumers may land on different partitions),
+// family "share" asks the compiler to lower the consumers' window
+// buffers onto one shared ring (consumers are then co-located).
+// Scatter-gather is expressed as kernels ("scatter"/"gather" types),
+// not as a connection record — the schedule lives on the kernel.
+type ConnDesc struct {
+	Name   string   `json:"name"`
+	Family string   `json:"family"`
+	From   string   `json:"from"`
+	To     []string `json:"to"`
 }
 
 // ParseRate parses "30" or "1500000/768" into an exact rational.
@@ -227,6 +243,44 @@ func Build(f *File) (g *graph.Graph, err error) {
 			return nil, fmt.Errorf("desc: input %s already connected", e.To)
 		}
 		g.Connect(from, fp, to, tp)
+	}
+	connNames := make(map[string]bool)
+	for _, c := range f.Conns {
+		if c.Name == "" {
+			return nil, fmt.Errorf("desc: connection needs a name")
+		}
+		if connNames[c.Name] {
+			return nil, fmt.Errorf("desc: duplicate connection name %q", c.Name)
+		}
+		connNames[c.Name] = true
+		fam, err := conn.ParseFamily(c.Family)
+		if err != nil {
+			return nil, fmt.Errorf("desc: connection %q: %w", c.Name, err)
+		}
+		fn, fp, err := splitRef(c.From)
+		if err != nil {
+			return nil, fmt.Errorf("desc: connection %q: %w", c.Name, err)
+		}
+		from := g.Node(fn)
+		if from == nil || from.Output(fp) == nil {
+			return nil, fmt.Errorf("desc: connection %q: no output port %q", c.Name, c.From)
+		}
+		tos := make([]*graph.Port, len(c.To))
+		for i, ref := range c.To {
+			tn, tp, err := splitRef(ref)
+			if err != nil {
+				return nil, fmt.Errorf("desc: connection %q: %w", c.Name, err)
+			}
+			to := g.Node(tn)
+			if to == nil || to.Input(tp) == nil {
+				return nil, fmt.Errorf("desc: connection %q: no input port %q", c.Name, ref)
+			}
+			tos[i] = to.Input(tp)
+		}
+		// AddConn enforces the remaining structure (family, edge
+		// membership, distinct consumers) and panics on violations; the
+		// recover above converts those to errors for wire-borne files.
+		g.AddConn(c.Name, fam, from.Output(fp), tos)
 	}
 	for _, d := range f.Deps {
 		from, to := g.Node(d.From), g.Node(d.To)
@@ -437,6 +491,29 @@ func instantiateBuiltin(name, ktype, params string) (*graph.Node, error) {
 			return nil, fmt.Errorf("desc: kernel %q: %w", name, err)
 		}
 		return kernel.Convert(name, k), nil
+	case "scatter", "gather":
+		v, err := ints(4)
+		if err != nil {
+			return nil, err
+		}
+		if err := boundInt(name, "ways", v[0], 2, conn.MaxWays); err != nil {
+			return nil, err
+		}
+		if err := boundInt(name, "stride", v[1], 1, conn.MaxStride); err != nil {
+			return nil, err
+		}
+		if err := boundInt(name, "item width", v[2], 1, maxBinsParam); err != nil {
+			return nil, err
+		}
+		if err := boundInt(name, "item height", v[3], 1, maxBinsParam); err != nil {
+			return nil, err
+		}
+		sched := conn.Schedule{Ways: v[0], Stride: v[1]}
+		item := geom.Sz(v[2], v[3])
+		if ktype == "scatter" {
+			return kernel.Scatter(name, sched, item), nil
+		}
+		return kernel.Gather(name, sched, item), nil
 	case "morphology":
 		v, err := ints(2)
 		if err != nil {
@@ -507,6 +584,17 @@ func Encode(g *graph.Graph) ([]byte, error) {
 			f.Kernels = append(f.Kernels, KernelDesc{
 				Name: n.Name(), Type: ktype, Params: n.Attrs["kparams"],
 			})
+		case graph.KindSplit, graph.KindJoin:
+			// Programmer-level scatter/gather kernels carry ktype like any
+			// library kernel; compiler-inserted splits and joins do not.
+			ktype := n.Attrs["ktype"]
+			if ktype == "" {
+				return nil, fmt.Errorf("desc: cannot encode compiler kernel %q (%s); encode before compiling",
+					n.Name(), n.Kind)
+			}
+			f.Kernels = append(f.Kernels, KernelDesc{
+				Name: n.Name(), Type: ktype, Params: n.Attrs["kparams"],
+			})
 		default:
 			return nil, fmt.Errorf("desc: cannot encode compiler kernel %q (%s); encode before compiling",
 				n.Name(), n.Kind)
@@ -517,6 +605,17 @@ func Encode(g *graph.Graph) ([]byte, error) {
 			From: e.From.Node().Name() + "." + e.From.Name,
 			To:   e.To.Node().Name() + "." + e.To.Name,
 		})
+	}
+	for _, c := range g.Conns() {
+		cd := ConnDesc{
+			Name:   c.Name,
+			Family: c.Family.String(),
+			From:   c.From.Node().Name() + "." + c.From.Name,
+		}
+		for _, p := range c.To {
+			cd.To = append(cd.To, p.Node().Name()+"."+p.Name)
+		}
+		f.Conns = append(f.Conns, cd)
 	}
 	for _, d := range g.Deps() {
 		f.Deps = append(f.Deps, DepDesc{From: d.From.Name(), To: d.To.Name()})

@@ -92,6 +92,62 @@ func TestRoundTripImagePipeline(t *testing.T) {
 	}
 }
 
+// TestRoundTripConnApps round-trips the generalized-connection
+// benchmarks: scatter/gather kernels re-instantiate from their ktype
+// params, conn records survive Encode→Parse, and the re-parsed graphs
+// compute byte-identical outputs.
+func TestRoundTripConnApps(t *testing.T) {
+	cases := []*apps.App{
+		apps.Channelizer("roundtrip-wc", apps.ChannelizerCfg{W: 240, H: 4, Rate: geom.F(400_000, 960)}),
+		apps.MultiCam("roundtrip-mc", apps.MultiCamCfg{W: 20, H: 12, Rate: geom.F(400_000, 240)}),
+	}
+	for _, app := range cases {
+		t.Run(app.Name, func(t *testing.T) {
+			data, err := Encode(app.Graph)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g2, err := Parse(data)
+			if err != nil {
+				t.Fatalf("re-parse failed: %v\n%s", err, data)
+			}
+			if len(g2.Nodes()) != len(app.Graph.Nodes()) || len(g2.Edges()) != len(app.Graph.Edges()) {
+				t.Fatalf("round trip changed shape: %d/%d nodes, %d/%d edges",
+					len(g2.Nodes()), len(app.Graph.Nodes()), len(g2.Edges()), len(app.Graph.Edges()))
+			}
+			if len(g2.Conns()) != len(app.Graph.Conns()) {
+				t.Fatalf("round trip changed conns: %d, want %d",
+					len(g2.Conns()), len(app.Graph.Conns()))
+			}
+			for i, c := range g2.Conns() {
+				want := app.Graph.Conns()[i]
+				if c.Name != want.Name || c.Family != want.Family || len(c.To) != len(want.To) {
+					t.Fatalf("conn %d = %s %v ways %d, want %s %v ways %d",
+						i, c.Name, c.Family, len(c.To), want.Name, want.Family, len(want.To))
+				}
+			}
+			if _, err := core.Compile(g2, core.DefaultConfig()); err != nil {
+				t.Fatal(err)
+			}
+			res, err := runtime.Run(g2, runtime.Options{Frames: 1, Sources: app.Sources})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, want := range app.Golden(0) {
+				got := res.DataWindows(name)
+				if len(got) != len(want) {
+					t.Fatalf("output %q: %d windows, want %d", name, len(got), len(want))
+				}
+				for i := range want {
+					if !got[i].Equal(want[i]) {
+						t.Fatalf("output %q window %d differs after round trip", name, i)
+					}
+				}
+			}
+		})
+	}
+}
+
 func TestEncodeRejectsCompiledGraphs(t *testing.T) {
 	app := apps.HistogramApp("enc", apps.HistCfg{W: 8, H: 8, Rate: geom.FInt(10), Bins: 4})
 	if _, err := core.Compile(app.Graph, core.DefaultConfig()); err != nil {

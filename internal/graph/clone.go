@@ -68,5 +68,6 @@ func (g *Graph) Clone() *Graph {
 	for _, d := range g.deps {
 		c.AddDep(c.Node(d.From.Name()), c.Node(d.To.Name()))
 	}
+	g.cloneConns(c)
 	return c
 }

@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"fmt"
+
+	"blockpar/internal/conn"
+)
+
+// Conn is a declared generalized connection (broadcast or windowed
+// share): one producer output fanning out to several consumer inputs as
+// a named group. The record is front-end metadata layered over the
+// ordinary stream edges — the data plane is the edges themselves — and
+// exists so the compiler can lower a share group onto one shared ring,
+// reports can render the families distinctly, and the descriptor codec
+// can round-trip the declaration. Scatter/gather connections need no
+// record: they are first-class kernels (KindSplit/KindJoin) carrying
+// their schedule in the behavior.
+type Conn struct {
+	Name   string
+	Family conn.Family
+	From   *Port
+	To     []*Port
+}
+
+// AddConn registers a declared connection group. The producer and every
+// consumer must already be connected by stream edges (AddConn after
+// Connect); consumers must be distinct.
+func (g *Graph) AddConn(name string, family conn.Family, from *Port, to []*Port) *Conn {
+	if family != conn.Broadcast && family != conn.Share {
+		panic(fmt.Sprintf("graph: connection %q: family %v is not a declared-group family", name, family))
+	}
+	if from == nil || from.Dir != Out {
+		panic(fmt.Sprintf("graph: connection %q needs a producer output port", name))
+	}
+	if len(to) < 2 {
+		panic(fmt.Sprintf("graph: connection %q needs at least two consumers", name))
+	}
+	if g.nodesByName[from.node.Name()] != from.node {
+		panic(fmt.Sprintf("graph: connection %q: producer %s not in graph", name, from))
+	}
+	seen := make(map[*Port]bool, len(to))
+	for _, p := range to {
+		if p == nil || p.Dir != In {
+			panic(fmt.Sprintf("graph: connection %q needs consumer input ports", name))
+		}
+		if seen[p] {
+			panic(fmt.Sprintf("graph: connection %q lists consumer %s twice", name, p))
+		}
+		seen[p] = true
+		e := g.EdgeTo(p)
+		if e == nil || e.From != from {
+			panic(fmt.Sprintf("graph: connection %q: consumer %s is not fed by %s", name, p, from))
+		}
+	}
+	for _, c := range g.conns {
+		if c.Name == name {
+			panic(fmt.Sprintf("graph: duplicate connection name %q", name))
+		}
+	}
+	c := &Conn{Name: name, Family: family, From: from, To: append([]*Port(nil), to...)}
+	g.conns = append(g.conns, c)
+	return c
+}
+
+// Conns returns the declared connection groups in insertion order.
+func (g *Graph) Conns() []*Conn { return g.conns }
+
+// ConnOfEdge returns the declared connection an edge belongs to, or nil.
+func (g *Graph) ConnOfEdge(e *Edge) *Conn {
+	for _, c := range g.conns {
+		if c.From != e.From {
+			continue
+		}
+		for _, p := range c.To {
+			if p == e.To {
+				return c
+			}
+		}
+	}
+	return nil
+}
+
+// RemoveConn drops a declared connection record (used by transforms
+// that lower the group onto runtime primitives).
+func (g *Graph) RemoveConn(c *Conn) {
+	conns := g.conns[:0]
+	for _, o := range g.conns {
+		if o != c {
+			conns = append(conns, o)
+		}
+	}
+	g.conns = conns
+}
+
+// pruneConns drops connection records touching a removed node and any
+// group left with fewer than two consumers.
+func (g *Graph) pruneConns(n *Node) {
+	conns := g.conns[:0]
+	for _, c := range g.conns {
+		if c.From.node == n {
+			continue
+		}
+		to := c.To[:0]
+		for _, p := range c.To {
+			if p.node != n {
+				to = append(to, p)
+			}
+		}
+		c.To = to
+		if len(c.To) >= 2 {
+			conns = append(conns, c)
+		}
+	}
+	g.conns = conns
+}
+
+// cloneConns remaps the declared connections onto a cloned graph.
+func (g *Graph) cloneConns(c *Graph) {
+	for _, cc := range g.conns {
+		from := c.Node(cc.From.node.Name()).Output(cc.From.Name)
+		to := make([]*Port, len(cc.To))
+		for i, p := range cc.To {
+			to[i] = c.Node(p.node.Name()).Input(p.Name)
+		}
+		c.conns = append(c.conns, &Conn{Name: cc.Name, Family: cc.Family, From: from, To: to})
+	}
+}

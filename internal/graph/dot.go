@@ -4,26 +4,41 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"blockpar/internal/conn"
 )
 
 // Dot renders the application graph in Graphviz DOT format, using the
 // paper's visual conventions: parallelograms for buffers, diamonds for
 // split/join, inverted houses for inset/pad, dashed edges for
-// replicated inputs, and dotted edges for data dependencies.
+// replicated inputs, and dotted edges for data dependencies. The
+// generalized-connection families get distinct styles: scatter and
+// gather kernels are filled trapezia, shared ring buffers are filled
+// parallelograms, and the member edges of declared broadcast/share
+// groups are colored and labeled with the group name.
 func (g *Graph) Dot() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
 	b.WriteString("  rankdir=LR;\n  node [fontsize=10];\n")
 
 	for _, n := range g.nodes {
-		shape, style := "box", "rounded"
+		shape, style, color := "box", "rounded", ""
 		switch n.Kind {
 		case KindInput, KindOutput:
 			shape, style = "oval", "solid"
 		case KindBuffer:
 			shape, style = "parallelogram", "solid"
+			if n.Attrs["share"] != "" {
+				style, color = "filled", "plum"
+			}
 		case KindSplit, KindJoin:
 			shape, style = "diamond", "filled"
+			switch n.Attrs["conn"] {
+			case "scatter":
+				shape, color = "trapezium", "lightblue"
+			case "gather":
+				shape, color = "invtrapezium", "lightsalmon"
+			}
 		case KindReplicate:
 			shape, style = "diamond", "solid"
 		case KindInset, KindPad:
@@ -35,13 +50,37 @@ func (g *Graph) Dot() string {
 		if extra := n.Attrs["label"]; extra != "" {
 			label += "\\n" + extra
 		}
-		fmt.Fprintf(&b, "  %q [shape=%s, style=%q, label=%q];\n", n.Name(), shape, style, label)
+		attrs := fmt.Sprintf("shape=%s, style=%q, label=%q", shape, style, label)
+		if color != "" {
+			attrs += fmt.Sprintf(", fillcolor=%q", color)
+		}
+		fmt.Fprintf(&b, "  %q [%s];\n", n.Name(), attrs)
+	}
+
+	// Declared connection groups color their member edges: blue for
+	// broadcast fan-outs, purple for shared-window groups.
+	type connMark struct{ color, label string }
+	connEdges := make(map[*Port]connMark)
+	for _, c := range g.conns {
+		color := "blue"
+		if c.Family == conn.Share {
+			color = "purple"
+		}
+		for _, to := range c.To {
+			connEdges[to] = connMark{color: color, label: c.Family.String() + " " + c.Name}
+		}
 	}
 
 	for _, e := range g.edges {
 		attrs := []string{fmt.Sprintf("label=%q", e.From.Name+"->"+e.To.Name)}
 		if e.To.Replicated {
 			attrs = append(attrs, "style=dashed")
+		}
+		if m, ok := connEdges[e.To]; ok {
+			attrs = append(attrs,
+				fmt.Sprintf("color=%q", m.color),
+				fmt.Sprintf("fontcolor=%q", m.color),
+				fmt.Sprintf("headlabel=%q", m.label))
 		}
 		fmt.Fprintf(&b, "  %q -> %q [%s];\n", e.From.node.Name(), e.To.node.Name(), strings.Join(attrs, ", "))
 	}

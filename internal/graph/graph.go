@@ -33,6 +33,7 @@ type Graph struct {
 	nodesByName map[string]*Node
 	edges       []*Edge
 	deps        []*DepEdge
+	conns       []*Conn
 }
 
 // New creates an empty application graph.
@@ -93,6 +94,7 @@ func (g *Graph) Remove(n *Node) {
 		}
 	}
 	g.deps = deps
+	g.pruneConns(n)
 }
 
 // Rename changes a node's name, keeping the index consistent.

@@ -80,6 +80,21 @@ func (g *Graph) Validate() error {
 		}
 	}
 
+	// Declared connection groups must reference graph nodes. Their edges
+	// may have been rewired by transformations (a lowered share group, a
+	// spliced conversion kernel), so edge membership is not re-checked
+	// here — AddConn enforces it at declaration time.
+	for _, c := range g.conns {
+		if g.nodesByName[c.From.node.Name()] != c.From.node {
+			report("connection %q: producer %s references foreign node", c.Name, c.From)
+		}
+		for _, p := range c.To {
+			if g.nodesByName[p.node.Name()] != p.node {
+				report("connection %q: consumer %s references foreign node", c.Name, p)
+			}
+		}
+	}
+
 	if err := g.checkAcyclic(); err != nil {
 		errs = append(errs, err)
 	}

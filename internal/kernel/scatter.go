@@ -1,0 +1,168 @@
+package kernel
+
+import (
+	"fmt"
+
+	"blockpar/internal/conn"
+	"blockpar/internal/geom"
+	"blockpar/internal/graph"
+)
+
+// Scatter builds the programmer-level strided distribution kernel of the
+// generalized-connection subsystem: data items are dealt to out0..outN-1
+// on a strided round-robin schedule (stride items per branch per turn),
+// generalizing the compiler's round-robin split. Control tokens are
+// broadcast to every branch so each branch keeps a consistent view of
+// line/frame structure. Unlike the compiler-inserted SplitRR, a
+// scatter's branches feed distinct downstream kernels (per-band or
+// per-detector chains), so none of the instance-order wiring invariants
+// of parallelization apply to it.
+func Scatter(name string, sched conn.Schedule, item geom.Size) *graph.Node {
+	if err := sched.Validate(); err != nil {
+		panic("kernel: " + err.Error())
+	}
+	node := graph.NewNode(name, graph.KindSplit)
+	node.CreateInput("in", item, geom.St(item.W, item.H), geom.Off(0, 0))
+	node.RegisterMethod("scatter", fsmPerItem, 2)
+	node.RegisterMethodInput("scatter", "in")
+	for i := 0; i < sched.Ways; i++ {
+		out := fmt.Sprintf("out%d", i)
+		node.CreateOutput(out, item, geom.St(item.W, item.H))
+		node.RegisterMethodOutput("scatter", out)
+	}
+	node.Attrs["label"] = fmt.Sprintf("scatter ×%d /%d", sched.Ways, sched.Stride)
+	node.Attrs["conn"] = conn.Scatter.String()
+	node.Attrs["ktype"] = "scatter"
+	node.Attrs["kparams"] = fmt.Sprintf("%d,%d,%d,%d", sched.Ways, sched.Stride, item.W, item.H)
+	node.Behavior = &scatterBehavior{sched: sched}
+	return node
+}
+
+type scatterBehavior struct {
+	sched conn.Schedule
+	outs  []string
+	b, k  int // current branch and items dealt to it this turn
+}
+
+func (s *scatterBehavior) Clone() graph.Behavior { return &scatterBehavior{sched: s.sched} }
+
+func (s *scatterBehavior) Run(ctx graph.RunContext) error {
+	if s.outs == nil {
+		s.outs = indexedNames("out", s.sched.Ways)
+	}
+	for {
+		it, ok := ctx.Recv("in")
+		if !ok {
+			return nil
+		}
+		if it.IsToken {
+			for i := range s.outs {
+				ctx.Send(s.outs[i], it)
+			}
+			continue
+		}
+		ctx.Send(s.outs[s.b], it)
+		if s.k++; s.k == s.sched.Stride {
+			s.k = 0
+			s.b = (s.b + 1) % s.sched.Ways
+		}
+	}
+}
+
+// ScatterSched returns the schedule of a Scatter node, distinguishing
+// programmer-level scatters from the compiler's SplitRR/SplitColumns.
+func ScatterSched(n *graph.Node) (conn.Schedule, bool) {
+	b, ok := n.Behavior.(*scatterBehavior)
+	if !ok {
+		return conn.Schedule{}, false
+	}
+	return b.sched, true
+}
+
+// Gather builds the collection kernel matching Scatter: data is drained
+// stride items at a time from in0, in1, ... on the same schedule, so a
+// gather whose schedule equals the paired scatter's restores the
+// original stream order exactly. A control token is forwarded once after
+// it has been received at the head of every branch (the scatter
+// broadcast its copies at one stream position, and the static analysis
+// pins those positions to schedule-cycle boundaries).
+func Gather(name string, sched conn.Schedule, item geom.Size) *graph.Node {
+	if err := sched.Validate(); err != nil {
+		panic("kernel: " + err.Error())
+	}
+	node := graph.NewNode(name, graph.KindJoin)
+	node.CreateOutput("out", item, geom.St(item.W, item.H))
+	node.RegisterMethod("gather", fsmPerItem, 2)
+	node.RegisterMethodOutput("gather", "out")
+	for i := 0; i < sched.Ways; i++ {
+		in := fmt.Sprintf("in%d", i)
+		node.CreateInput(in, item, geom.St(item.W, item.H), geom.Off(0, 0))
+		node.RegisterMethodInput("gather", in)
+	}
+	node.Attrs["label"] = fmt.Sprintf("gather ×%d /%d", sched.Ways, sched.Stride)
+	node.Attrs["conn"] = conn.Gather.String()
+	node.Attrs["ktype"] = "gather"
+	node.Attrs["kparams"] = fmt.Sprintf("%d,%d,%d,%d", sched.Ways, sched.Stride, item.W, item.H)
+	node.Behavior = &gatherBehavior{sched: sched}
+	return node
+}
+
+type gatherBehavior struct {
+	sched conn.Schedule
+	ins   []string
+	b, k  int
+}
+
+func (g *gatherBehavior) Clone() graph.Behavior { return &gatherBehavior{sched: g.sched} }
+
+func (g *gatherBehavior) Run(ctx graph.RunContext) error {
+	if g.ins == nil {
+		g.ins = indexedNames("in", g.sched.Ways)
+	}
+	for {
+		it, ok := ctx.Recv(g.ins[g.b])
+		if !ok {
+			return nil
+		}
+		if !it.IsToken {
+			ctx.Send("out", it)
+			if g.k++; g.k == g.sched.Stride {
+				g.k = 0
+				g.b = (g.b + 1) % g.sched.Ways
+			}
+			continue
+		}
+		// A token at the head of the current branch must sit at a
+		// schedule-cycle boundary (otherwise the stream entering the
+		// scatter violated the row-divisibility rule) and every other
+		// branch's next item must be the same token.
+		if g.k != 0 {
+			return fmt.Errorf("kernel: gather %q token %v inside a stride run (%d of %d)",
+				ctx.Node().Name(), it.Tok, g.k, g.sched.Stride)
+		}
+		for i := range g.ins {
+			if i == g.b {
+				continue
+			}
+			other, ok := ctx.Recv(g.ins[i])
+			if !ok {
+				return fmt.Errorf("kernel: gather %q branch %d closed mid-token", ctx.Node().Name(), i)
+			}
+			if !other.IsToken || other.Tok != it.Tok {
+				return fmt.Errorf("kernel: gather %q token skew: branch %d has %v, expected %v",
+					ctx.Node().Name(), i, other, it.Tok)
+			}
+		}
+		ctx.Send("out", it)
+	}
+}
+
+// GatherSched returns the schedule of a Gather node, distinguishing
+// programmer-level gathers from the compiler's JoinRR/JoinColumns.
+func GatherSched(n *graph.Node) (conn.Schedule, bool) {
+	b, ok := n.Behavior.(*gatherBehavior)
+	if !ok {
+		return conn.Schedule{}, false
+	}
+	return b.sched, true
+}

@@ -154,6 +154,21 @@ func newFleetState(g *graph.Graph, r *analysis.Result, m machine.Machine, target
 	for _, d := range g.Deps() {
 		union(idx[d.From], idx[d.To])
 	}
+	// Windowed-sharing groups: a share buffer and its readers exchange
+	// arena references into one ring, which cannot cross a wire cut, so
+	// every node tagged with one share group lands on one target.
+	shareRoot := make(map[string]int)
+	for i, n := range nodes {
+		name := n.Attrs["share"]
+		if name == "" {
+			continue
+		}
+		if r, ok := shareRoot[name]; ok {
+			union(r, i)
+		} else {
+			shareRoot[name] = i
+		}
+	}
 	// Fixpoint: collapsing dependence edges can fuse nodes from distant
 	// stream ranks into one group, which in turn can close new cycles
 	// at the group level (A→B and B→A through different members). Any

@@ -198,6 +198,22 @@ func (p *Plan) Validate(g *graph.Graph, r *analysis.Result) error {
 				d.From.Name(), d.To.Name())
 		}
 	}
+	// Windowed-sharing groups pass arena references into one ring; a cut
+	// through the group would hand a worker a reference to memory it does
+	// not hold. Broadcast fan-out, by contrast, may span partitions: each
+	// cut consumer gets its own relayed item stream.
+	sharePart := make(map[string]int)
+	for _, n := range g.Nodes() {
+		name := n.Attrs["share"]
+		if name == "" {
+			continue
+		}
+		if prev, ok := sharePart[name]; ok && prev != nodePart[n.Name()] {
+			return fmt.Errorf("placement: share group %q split across partitions %d and %d (node %q)",
+				name, prev, nodePart[n.Name()], n.Name())
+		}
+		sharePart[name] = nodePart[n.Name()]
+	}
 
 	// Index the plan's cuts and check each against the graph and the
 	// analysis: a cut with no typing information cannot become a wire

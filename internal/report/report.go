@@ -38,10 +38,36 @@ type MappingResult struct {
 
 // Row is one benchmark's Figure 13 entry.
 type Row struct {
-	ID       string
-	Name     string
+	ID   string
+	Name string
+	// Conns lists the generalized-connection families the benchmark
+	// uses (e.g. "broadcast,share" or "scatter-gather"), empty for the
+	// point-to-point suite.
+	Conns    string
 	OneToOne MappingResult
 	Greedy   MappingResult
+}
+
+// connFamilies summarizes which generalized-connection families a
+// programmer-level graph uses, for the figure annotations.
+func connFamilies(g *graph.Graph) string {
+	var fams []string
+	seen := make(map[string]bool)
+	add := func(s string) {
+		if !seen[s] {
+			seen[s] = true
+			fams = append(fams, s)
+		}
+	}
+	for _, c := range g.Conns() {
+		add(c.Family.String())
+	}
+	for _, n := range g.Nodes() {
+		if c := n.Attrs["conn"]; c == "scatter" || c == "gather" {
+			add("scatter-gather")
+		}
+	}
+	return strings.Join(fams, ",")
 }
 
 // Improvement is the greedy-over-1:1 utilization factor.
@@ -55,7 +81,7 @@ func (r Row) Improvement() float64 {
 // RunBenchmark compiles, maps, and simulates one application under both
 // mappings.
 func RunBenchmark(app *apps.App, m machine.Machine, frames int) (Row, error) {
-	row := Row{Name: app.Name}
+	row := Row{Name: app.Name, Conns: connFamilies(app.Graph)}
 	c, err := core.Compile(app.Graph, core.Config{
 		Machine: m, Parallelize: true, BufferStriping: true,
 	})
@@ -132,8 +158,12 @@ func RenderFigure13(rows []Row) string {
 		"gain")
 	b.WriteString(strings.Repeat("-", 132) + "\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-4s %-16s | %s | %s | %4.2fx\n",
-			r.ID, r.Name, fmtMapping(r.OneToOne), fmtMapping(r.Greedy), r.Improvement())
+		tag := ""
+		if r.Conns != "" {
+			tag = "  [" + r.Conns + "]"
+		}
+		fmt.Fprintf(&b, "%-4s %-16s | %s | %s | %4.2fx%s\n",
+			r.ID, r.Name, fmtMapping(r.OneToOne), fmtMapping(r.Greedy), r.Improvement(), tag)
 	}
 	fmt.Fprintf(&b, "\naverage utilization improvement (greedy over 1:1): %.2fx (paper: 1.5x)\n",
 		AverageImprovement(rows))

@@ -121,8 +121,8 @@ func TestFigure13Headline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 13 {
-		t.Fatalf("rows = %d, want 11", len(rows))
+	if len(rows) != 15 {
+		t.Fatalf("rows = %d, want 15", len(rows))
 	}
 	for _, r := range rows {
 		if !r.OneToOne.RealTimeMet || !r.Greedy.RealTimeMet {

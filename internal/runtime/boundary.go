@@ -61,6 +61,11 @@ type BoundarySink struct {
 // Clone returns the shim itself (see BoundarySource.Clone).
 func (b *BoundarySink) Clone() graph.Behavior { return b }
 
+// AcceptsBatch implements graph.BatchAware: since wire protocol v6 a
+// row batch crosses the cut as one item carrying its descriptor, so the
+// producing partition never unbatches at the boundary.
+func (b *BoundarySink) AcceptsBatch(input string) bool { return true }
+
 // Run drains the edge until the upstream ends.
 func (b *BoundarySink) Run(ctx graph.RunContext) error {
 	defer func() {

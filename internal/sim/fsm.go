@@ -72,6 +72,72 @@ func (a *bufferAuto) next(qs map[string]*queue) *firing {
 
 func (a *bufferAuto) commit(*firing) { a.x, a.y = a.pendX, a.pendY }
 
+// shareAuto is the count-only twin of the shared ring buffer: one
+// window emission per step position, delivered to every consumer
+// output (each consumer receives a reference to the same span, so the
+// firing count per output equals the private-buffer case while the
+// memory stays one ring).
+type shareAuto struct {
+	node *graph.Node
+	plan kernel.BufferPlan
+	ways int
+	x, y int
+
+	pendX, pendY int
+}
+
+func (a *shareAuto) next(qs map[string]*queue) *firing {
+	it, ok := qs["in"].head()
+	if !ok {
+		return nil
+	}
+	a.pendX, a.pendY = a.x, a.y
+	f := &firing{
+		consume: map[string]int{"in": 1},
+		produce: make(map[string][]item),
+		cycles:  fsmCycles,
+	}
+	outs := make([]string, a.ways)
+	for i := range outs {
+		outs[i] = fmt.Sprintf("out%d", i)
+	}
+	if it.isTok {
+		switch it.tok.Kind {
+		case token.EndOfLine:
+			f.label = "eol"
+			a.pendX, a.pendY = 0, a.y+1
+		case token.EndOfFrame:
+			f.label = "eof"
+			for _, out := range outs {
+				f.produce[out] = append(f.produce[out], tokenItem(it.tok))
+			}
+			a.pendX, a.pendY = 0, 0
+		default:
+			f.label = "tok"
+			for _, out := range outs {
+				f.produce[out] = append(f.produce[out], it)
+			}
+		}
+		return f
+	}
+	f.label = "sample"
+	emit, _, wy, rowEnd := a.plan.OnSample(a.x, a.y)
+	if emit {
+		for _, out := range outs {
+			f.produce[out] = append(f.produce[out],
+				dataItem(int64(a.plan.WinW)*int64(a.plan.WinH)))
+			if rowEnd {
+				f.produce[out] = append(f.produce[out],
+					tokenItem(token.EOL(int64(wy/a.plan.StepY))))
+			}
+		}
+	}
+	a.pendX = a.x + 1
+	return f
+}
+
+func (a *shareAuto) commit(*firing) { a.x, a.y = a.pendX, a.pendY }
+
 // splitRRAuto distributes data round-robin, broadcasts tokens.
 type splitRRAuto struct {
 	node     *graph.Node
@@ -470,6 +536,9 @@ func (a *feedbackAuto) commit(*firing) { a.emitted = true }
 func newAutomaton(n *graph.Node) (automaton, error) {
 	switch n.Kind {
 	case graph.KindBuffer:
+		if plan, ways, ok := kernel.SharePlanOf(n); ok {
+			return &shareAuto{node: n, plan: plan, ways: ways}, nil
+		}
 		return newBufferAuto(n)
 	case graph.KindSplit:
 		if stripes, ok := kernel.SplitColumnsStripes(n); ok {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"blockpar/internal/analysis"
+	"blockpar/internal/conn"
 	"blockpar/internal/graph"
 	"blockpar/internal/kernel"
 )
@@ -19,40 +20,130 @@ import (
 // image-processing example. Buffers directly fed by application inputs
 // are marked NoMultiplex (Figure 12: "the initial input buffers are not
 // multiplexed because they may block the input").
+//
+// Edges belonging to a declared windowed-sharing connection whose
+// consumers need the identical window plan are lowered together onto
+// one ShareBuffer: a single ring serves every consumer, each completed
+// window travels as one retained arena reference per consumer, and the
+// group is tagged for co-location so a placement plan cannot cut the
+// shared ring away from its readers. Share groups whose consumers
+// disagree on the plan fall back to private buffers per edge.
 func InsertBuffers(g *graph.Graph) error {
 	r, err := analysis.Analyze(g)
 	if err != nil {
 		return err
 	}
 	probs := r.ProblemsOfKind(analysis.NeedsBuffer)
+
+	byConn := make(map[*graph.Conn][]analysis.Problem)
+	var singles []analysis.Problem
 	for _, p := range probs {
-		e := p.Edge
-		if e == nil {
+		if p.Edge == nil {
 			return fmt.Errorf("transform: needs-buffer problem without edge at %s", p.Node.Name())
 		}
-		info := r.Out[e.From]
-		consumer := e.To
-		if info.ItemSize.W != 1 || info.ItemSize.H != 1 {
-			return fmt.Errorf("transform: cannot buffer %s: items are %v, not raw samples",
-				e, info.ItemSize)
+		if c := g.ConnOfEdge(p.Edge); c != nil && c.Family == conn.Share {
+			byConn[c] = append(byConn[c], p)
+			continue
 		}
-		plan := kernel.BufferPlan{
-			DataW: info.Region.W, DataH: info.Region.H,
-			WinW: consumer.Size.W, WinH: consumer.Size.H,
-			StepX: consumer.Step.X, StepY: consumer.Step.Y,
-		}
-		name := uniqueName(g, fmt.Sprintf("Buffer(%s.%s)", consumer.Node().Name(), consumer.Name))
-		buf := kernel.Buffer(name, plan)
-		if e.From.Node().Kind == graph.KindInput {
-			buf.NoMultiplex = true
-		}
-		g.Add(buf)
-		from := e.From.Node()
-		to := consumer.Node()
-		g.Disconnect(e)
-		g.Connect(from, e.From.Name, buf, "in")
-		g.Connect(buf, "out", to, consumer.Name)
+		singles = append(singles, p)
 	}
+
+	for _, c := range append([]*graph.Conn(nil), g.Conns()...) {
+		group := byConn[c]
+		if len(group) == 0 {
+			continue
+		}
+		if !shareable(c, group) {
+			singles = append(singles, group...)
+			continue
+		}
+		if err := lowerShare(g, r, c, group); err != nil {
+			return err
+		}
+	}
+
+	for _, p := range singles {
+		if err := insertBuffer(g, r, p.Edge); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// insertBuffer splices one private buffer onto a needs-buffer edge.
+func insertBuffer(g *graph.Graph, r *analysis.Result, e *graph.Edge) error {
+	info := r.Out[e.From]
+	consumer := e.To
+	if info.ItemSize.W != 1 || info.ItemSize.H != 1 {
+		return fmt.Errorf("transform: cannot buffer %s: items are %v, not raw samples",
+			e, info.ItemSize)
+	}
+	plan := kernel.BufferPlan{
+		DataW: info.Region.W, DataH: info.Region.H,
+		WinW: consumer.Size.W, WinH: consumer.Size.H,
+		StepX: consumer.Step.X, StepY: consumer.Step.Y,
+	}
+	name := uniqueName(g, fmt.Sprintf("Buffer(%s.%s)", consumer.Node().Name(), consumer.Name))
+	buf := kernel.Buffer(name, plan)
+	if e.From.Node().Kind == graph.KindInput {
+		buf.NoMultiplex = true
+	}
+	g.Add(buf)
+	from := e.From.Node()
+	to := consumer.Node()
+	g.Disconnect(e)
+	g.Connect(from, e.From.Name, buf, "in")
+	g.Connect(buf, "out", to, consumer.Name)
+	return nil
+}
+
+// shareable reports whether a share group's needs-buffer edges can be
+// lowered onto one ring: every declared consumer needs buffering and all
+// of them ask for the same window parameterization.
+func shareable(c *graph.Conn, group []analysis.Problem) bool {
+	if len(group) != len(c.To) {
+		return false
+	}
+	first := c.To[0]
+	for _, p := range c.To[1:] {
+		if p.Size != first.Size || p.Step != first.Step {
+			return false
+		}
+	}
+	return true
+}
+
+// lowerShare replaces a share group's edges with one ShareBuffer whose
+// out_i feeds the group's i-th declared consumer, and tags the ring and
+// every consumer with the group name for mapping/placement co-location.
+func lowerShare(g *graph.Graph, r *analysis.Result, c *graph.Conn, group []analysis.Problem) error {
+	info := r.Out[c.From]
+	if info.ItemSize.W != 1 || info.ItemSize.H != 1 {
+		return fmt.Errorf("transform: cannot share-buffer connection %q: items are %v, not raw samples",
+			c.Name, info.ItemSize)
+	}
+	first := c.To[0]
+	plan := kernel.BufferPlan{
+		DataW: info.Region.W, DataH: info.Region.H,
+		WinW: first.Size.W, WinH: first.Size.H,
+		StepX: first.Step.X, StepY: first.Step.Y,
+	}
+	name := uniqueName(g, fmt.Sprintf("Share(%s)", c.Name))
+	buf := kernel.ShareBuffer(name, plan, len(c.To))
+	if c.From.Node().Kind == graph.KindInput {
+		buf.NoMultiplex = true
+	}
+	g.Add(buf)
+	buf.Attrs["share"] = c.Name
+	for _, p := range group {
+		g.Disconnect(p.Edge)
+	}
+	g.Connect(c.From.Node(), c.From.Name, buf, "in")
+	for i, to := range c.To {
+		g.Connect(buf, fmt.Sprintf("out%d", i), to.Node(), to.Name)
+		to.Node().Attrs["share"] = c.Name
+	}
+	g.RemoveConn(c)
 	return nil
 }
 
@@ -72,6 +163,18 @@ func RefreshBufferPlans(g *graph.Graph) error {
 	}
 	for _, n := range g.Nodes() {
 		if n.Kind != graph.KindBuffer {
+			continue
+		}
+		if plan, ways, ok := kernel.SharePlanOf(n); ok {
+			info := r.In[n.Input("in")]
+			if info.Flat || (info.Region.W == plan.DataW && info.Region.H == plan.DataH) {
+				continue
+			}
+			plan.DataW, plan.DataH = info.Region.W, info.Region.H
+			fresh := kernel.ShareBuffer(n.Name(), plan, ways)
+			n.Behavior = fresh.Behavior
+			n.Method("share").Memory = plan.MemoryWords()
+			n.Attrs["label"] = fresh.Attrs["label"]
 			continue
 		}
 		plan, ok := kernel.BufferPlanOf(n)

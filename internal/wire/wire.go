@@ -48,8 +48,11 @@ const Magic uint32 = 0x42505702 // "BPW\x02"
 // added the registration plane (Register, RegisterAck, Heartbeat,
 // Deregister); version 5 tags every window with its element kind and
 // carries samples at native width (one byte per u8 sample, four per
-// f32) instead of promoting everything to float64.
-const Version uint16 = 5
+// f32) instead of promoting everything to float64; version 6 lets an
+// edge item carry a row-batch descriptor (item tag 2), so a whole row
+// of logical windows crosses a partition cut as one window plus three
+// integers instead of N separate windows.
+const Version uint16 = 6
 
 // MaxFrame bounds a single frame's encoded size; a length prefix past
 // it is treated as corruption and kills the connection before any
@@ -324,19 +327,43 @@ func DecodeToken(b []byte) (token.Token, error) {
 
 // Item is the wire form of one in-band channel item: a data window or
 // a control token, mirroring graph.Item. The session plane today moves
-// whole frames (Feed) and grouped results (Result); Item is the unit a
-// future cross-node channel split transports.
+// whole frames (Feed) and grouped results (Result); Item is the unit
+// the partition plane's EdgeFrame transports.
 type Item struct {
 	IsToken bool
 	Win     frame.Window
 	Tok     token.Token
+	// B is the row-batch descriptor (protocol v6). The zero value means
+	// a plain single-window item.
+	B Batch
 }
 
-// AppendItem appends an item: u8 tag (0 data, 1 token) and the body.
+// Batch mirrors graph.Batch on the wire: the carried window packs N
+// logical Bw-wide windows, each starting Sx element columns after the
+// previous one.
+type Batch struct {
+	N, Sx, Bw int32
+}
+
+// IsBatch reports whether the descriptor packs more than one window.
+func (b Batch) IsBatch() bool { return b.N > 1 }
+
+// spanW is the window width a batch of this shape must occupy.
+func (b Batch) spanW() int { return int(b.N-1)*int(b.Sx) + int(b.Bw) }
+
+// AppendItem appends an item: u8 tag (0 data, 1 token, 2 batched data)
+// and the body.
 func AppendItem(b []byte, it Item) []byte {
 	if it.IsToken {
 		b = append(b, 1)
 		return AppendToken(b, it.Tok)
+	}
+	if it.B.IsBatch() {
+		b = append(b, 2)
+		b = appendU32(b, uint32(it.B.N))
+		b = appendU32(b, uint32(it.B.Sx))
+		b = appendU32(b, uint32(it.B.Bw))
+		return AppendWindow(b, it.Win)
 	}
 	b = append(b, 0)
 	return AppendWindow(b, it.Win)
@@ -362,6 +389,30 @@ func decodeItem(r *reader) Item {
 		return Item{Win: decodeWindow(r)}
 	case 1:
 		return Item{IsToken: true, Tok: decodeToken(r)}
+	case 2:
+		b := Batch{
+			N:  int32(r.u32("batch n")),
+			Sx: int32(r.u32("batch sx")),
+			Bw: int32(r.u32("batch bw")),
+		}
+		if r.err == nil {
+			if b.N < 2 || int64(b.N) > maxWins {
+				r.err = corruptf("batch of %d windows", b.N)
+				return Item{}
+			}
+			if b.Sx < 1 || b.Bw < 1 || int64(b.Sx) > maxDim || int64(b.Bw) > maxDim {
+				r.err = corruptf("batch geometry %dx step %d", b.Bw, b.Sx)
+				return Item{}
+			}
+		}
+		w := decodeWindow(r)
+		if r.err == nil && w.W != b.spanW() {
+			w.Release()
+			r.err = corruptf("batch of %d %d-wide windows step %d needs a %d-wide window, got %dx%d",
+				b.N, b.Bw, b.Sx, b.spanW(), w.W, w.H)
+			return Item{}
+		}
+		return Item{Win: w, B: b}
 	default:
 		r.err = corruptf("unknown item tag %d", tag)
 		return Item{}

@@ -83,6 +83,8 @@ func TestItemRoundTrip(t *testing.T) {
 	items := []Item{
 		{Win: frame.Scalar(1.5)},
 		{IsToken: true, Tok: token.EOF(2)},
+		{Win: frame.FromRows([][]float64{{1, 2, 3, 4, 5}}), B: Batch{N: 2, Sx: 2, Bw: 3}},
+		{Win: frame.FromRows([][]float64{{1, 2, 3, 4, 5, 6}}), B: Batch{N: 3, Sx: 2, Bw: 2}},
 	}
 	for _, it := range items {
 		got, err := DecodeItem(AppendItem(nil, it))
@@ -100,9 +102,39 @@ func TestItemRoundTrip(t *testing.T) {
 			if !got.Win.Equal(it.Win) {
 				t.Errorf("window changed")
 			}
+			if got.B != it.B {
+				t.Errorf("batch descriptor changed: %+v -> %+v", it.B, got.B)
+			}
 			got.Win.Release()
 		}
 	}
+}
+
+// TestItemBatchCorrupt exercises the v6 batch descriptor's bounds: a
+// degenerate count, a zero step, and a descriptor whose span disagrees
+// with the carried window must all fail as corruption without leaking
+// pooled windows.
+func TestItemBatchCorrupt(t *testing.T) {
+	ok := AppendItem(nil, Item{
+		Win: frame.FromRows([][]float64{{1, 2, 3, 4, 5}}), B: Batch{N: 2, Sx: 2, Bw: 3},
+	})
+	corrupt := func(mutate func(b []byte)) {
+		t.Helper()
+		b := append([]byte(nil), ok...)
+		mutate(b)
+		live := frame.Stats().Live
+		if _, err := DecodeItem(b); err == nil {
+			t.Errorf("decode accepted corrupt batch item %x", b)
+		}
+		if got := frame.Stats().Live; got != live {
+			t.Errorf("corrupt decode leaked %d pooled windows", got-live)
+		}
+	}
+	// Layout after the tag byte: N, Sx, Bw as big-endian u32.
+	corrupt(func(b []byte) { b[4] = 1 })  // N = 1: not a batch
+	corrupt(func(b []byte) { b[8] = 0 })  // Sx = 0
+	corrupt(func(b []byte) { b[12] = 0 }) // Bw = 0
+	corrupt(func(b []byte) { b[12] = 4 }) // span 6 != window width 5
 }
 
 // sampleMsgs is one instance of every frame type, shared by the
@@ -139,6 +171,8 @@ func sampleMsgs() []Msg {
 		&EdgeFrame{SID: 7, Edge: 1, Items: []Item{
 			{Win: frame.FromRows([][]float64{{1, 2}, {3, 4}})},
 			{IsToken: true, Tok: token.EOL(0)},
+			// A v6 row batch: 3 overlapping 3-wide windows, step 2.
+			{Win: frame.FromRows([][]float64{{1, 2, 3, 4, 5, 6, 7}}), B: Batch{N: 3, Sx: 2, Bw: 3}},
 		}},
 		&EdgeFrame{SID: 7, Edge: 1, EOS: true},
 		&EdgeCredit{SID: 7, Edge: 1, N: 2},
@@ -227,7 +261,7 @@ func msgEqual(a, b Msg) bool {
 				if a.Items[i].Tok != be.Items[i].Tok {
 					return false
 				}
-			} else if !a.Items[i].Win.Equal(be.Items[i].Win) {
+			} else if !a.Items[i].Win.Equal(be.Items[i].Win) || a.Items[i].B != be.Items[i].B {
 				return false
 			}
 		}
