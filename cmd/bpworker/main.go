@@ -10,8 +10,9 @@
 // registration listeners instead of waiting to be listed on their
 // command line: it advertises its data-plane address, executor, PE
 // capacity (for admission control), and compiled-pipeline inventory,
-// heartbeats to keep its membership lease, and deregisters on drain so
-// frontends stop placing immediately.
+// heartbeats to keep its membership lease, announces drains in those
+// heartbeats so frontends live-migrate its sessions to survivors, and
+// deregisters once empty so placement drops it immediately.
 //
 // Usage:
 //
@@ -181,15 +182,23 @@ func run(cfg workerConfig) error {
 		fmt.Printf("bpworker: %v: draining sessions...\n", sig)
 	}
 
-	// Deregister first: frontends drop this worker from placement (and
-	// cancel their reconnect loops) before the drain begins, so no new
-	// sessions race the shutdown.
+	// Announce the drain first: the flagged heartbeat makes frontends
+	// stop placing here and live-migrate resident sessions to survivors
+	// while this worker keeps serving them. Shutdown's Goaway then
+	// catches any frontend that missed the heartbeat (or static-list
+	// frontends, which have no registration channel) and waits for the
+	// last session to leave; only after the worker is empty does Leave
+	// drop the membership.
 	if joiner != nil {
-		joiner.Leave("draining")
+		joiner.SetDraining()
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
-	return w.Shutdown(ctx)
+	err = w.Shutdown(ctx)
+	if joiner != nil {
+		joiner.Leave("drained")
+	}
+	return err
 }
 
 // advertiseAddr resolves the data-plane address registered with

@@ -68,8 +68,11 @@ type DispatcherOptions struct {
 	// one partition per worker, with the cut edges relayed through the
 	// dispatcher (see docs/cluster.md "Partitioned sessions"). Pipelines
 	// whose placement collapses to one partition run whole, as before.
-	// Partitioned sessions are not failoverable: any partition's death
-	// ends the session with a typed serve.ErrSessionLost.
+	// Partitioned sessions recover per partition: within ReplayBudget,
+	// one partition's death re-plans just that partition onto a survivor
+	// and replays its inputs, invisibly to the client. Past the budget —
+	// or on a second failure mid-recovery — the session ends with a
+	// typed serve.ErrSessionLost.
 	Partitions int
 }
 
@@ -147,9 +150,11 @@ type Dispatcher struct {
 	plans  map[string]*placement.Plan
 
 	// Failover counters, surfaced by BackendStats under /metrics.
-	sessionsFailedOver atomic.Int64
-	framesReplayed     atomic.Int64
-	shedTotal          atomic.Int64
+	sessionsFailedOver   atomic.Int64
+	partitionsFailedOver atomic.Int64
+	sessionsMigrated     atomic.Int64
+	framesReplayed       atomic.Int64
+	shedTotal            atomic.Int64
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -197,6 +202,11 @@ func NewRegisteredDispatcher(fleet *registry.Fleet, opts DispatcherOptions) *Dis
 				d.AddWorker(ev.Member.Name, ev.Member.Addr, ev.Member.CyclesPerSec)
 			case registry.EventLeave:
 				d.RemoveWorker(ev.Member.Name)
+			case registry.EventDrain:
+				// The worker announced planned maintenance in a heartbeat:
+				// stop placing here and migrate its sessions off before
+				// its Goaway lands.
+				d.DrainWorker(ev.Member.Name)
 			}
 		}
 	}()
@@ -251,6 +261,33 @@ func (d *Dispatcher) RemoveWorker(member string) {
 	if w != nil {
 		w.halt()
 	}
+}
+
+// DrainWorker quiesces one worker from the frontend side: no further
+// placements land on it and every resident session migrates to a
+// survivor (falling back to a quiesce-and-close when it cannot). The
+// worker process itself keeps running — this is the frontend half of a
+// planned drain, reached from a draining heartbeat in registered mode,
+// the worker's own Goaway, or the /drain-worker admin endpoint. In
+// static mode the member name is the worker's address.
+func (d *Dispatcher) DrainWorker(member string) error {
+	d.wmu.RLock()
+	w := d.byName[member]
+	d.wmu.RUnlock()
+	if w == nil {
+		return fmt.Errorf("cluster: unknown worker %q", member)
+	}
+	w.mu.Lock()
+	w.draining = true
+	sessions := make([]placedSession, 0, len(w.sessions))
+	for _, rs := range w.sessions {
+		sessions = append(sessions, rs)
+	}
+	w.mu.Unlock()
+	for _, rs := range sessions {
+		rs.drainClose(w)
+	}
+	return nil
 }
 
 // removeLocked unlinks w from the membership structures. Caller holds
@@ -598,11 +635,13 @@ func (d *Dispatcher) BackendStats() any {
 		return sessions[i].Partitions < sessions[j].Partitions
 	})
 	out := map[string]any{
-		"workers":              rows,
-		"sessions":             sessions,
-		"sessions_failed_over": d.sessionsFailedOver.Load(),
-		"frames_replayed":      d.framesReplayed.Load(),
-		"shed_total":           d.shedTotal.Load(),
+		"workers":                rows,
+		"sessions":               sessions,
+		"sessions_failed_over":   d.sessionsFailedOver.Load(),
+		"partitions_failed_over": d.partitionsFailedOver.Load(),
+		"sessions_migrated":      d.sessionsMigrated.Load(),
+		"frames_replayed":        d.framesReplayed.Load(),
+		"shed_total":             d.shedTotal.Load(),
 	}
 	if d.registered {
 		d.admitMu.Lock()
@@ -719,10 +758,10 @@ func (w *workerRef) manage() {
 				return
 			case <-time.After(backoff):
 			}
-			backoff *= 2
-			if backoff > w.d.opts.ReconnectMax {
-				backoff = w.d.opts.ReconnectMax
-			}
+			// Decorrelated jitter: frontends that lost the same worker at
+			// the same instant spread their redials instead of thundering
+			// back in lockstep.
+			backoff = registry.JitterBackoff(backoff, w.d.opts.ReconnectMin, w.d.opts.ReconnectMax)
 			continue
 		}
 		if connected {
@@ -969,9 +1008,10 @@ func (w *workerRef) readLoop(conn *wire.Conn) error {
 				rs.edgeCredit(w, m)
 			}
 		case *wire.Goaway:
-			// The worker is draining: stop placing sessions here, quiesce
-			// feeds, and close every session so its in-flight frames
-			// finish and flush before the worker exits.
+			// The worker is draining: stop placing sessions here and move
+			// every resident session to a survivor (falling back to a
+			// quiesce-and-close when migration is impossible) before the
+			// worker exits.
 			w.mu.Lock()
 			w.draining = true
 			sessions := make([]placedSession, 0, len(w.sessions))
@@ -1412,7 +1452,7 @@ func (rs *remoteSession) connLost(cause error) {
 	}
 	rs.failingOver = true
 	rs.mu.Unlock()
-	go rs.failover(cause)
+	go rs.failover(cause, false)
 }
 
 // stallWatch runs for the session's lifetime and recovers it from
@@ -1474,7 +1514,7 @@ func (rs *remoteSession) stallWatch() {
 		att.conn.Write(&wire.Error{SID: att.sid, Msg: "session stalled"})
 		att.w.unregister(att.conn, att.sid)
 		if recoverable {
-			go rs.failover(cause)
+			go rs.failover(cause, false)
 			continue
 		}
 		rs.failSession(fmt.Errorf("%w: %v (session past its replay budget)", serve.ErrSessionLost, cause))
@@ -1483,8 +1523,10 @@ func (rs *remoteSession) stallWatch() {
 
 // failover reopens the session on a surviving worker and replays its
 // history, retrying across workers until the failover timeout (or the
-// session deadline) expires — then sheds with a typed 503.
-func (rs *remoteSession) failover(cause error) {
+// session deadline) expires — then sheds with a typed 503. migration
+// marks a planned move off a draining worker, counted separately from
+// crash recovery in /metrics.
+func (rs *remoteSession) failover(cause error, migration bool) {
 	deadline := time.Now().Add(rs.d.opts.FailoverTimeout)
 	if !rs.deadline.IsZero() && rs.deadline.Before(deadline) {
 		deadline = rs.deadline
@@ -1512,7 +1554,11 @@ func (rs *remoteSession) failover(cause error) {
 		}
 		err := rs.reattach(w, deadline)
 		if err == nil {
-			rs.d.sessionsFailedOver.Add(1)
+			if migration {
+				rs.d.sessionsMigrated.Add(1)
+			} else {
+				rs.d.sessionsFailedOver.Add(1)
+			}
 			return
 		}
 		if errors.Is(err, errSessionEnded) {
@@ -1635,13 +1681,52 @@ func (rs *remoteSession) onClosed(w *workerRef, m *wire.SessionClosed) {
 	rs.failSession(err)
 }
 
-// drainClose reacts to the worker's Goaway: refuse further feeds, then
-// close the session so everything already fed finishes and flushes.
-// The close follows the last accepted feed on the wire, so the worker
-// sees all of them before it stops the session.
+// drainClose reacts to the worker draining. The preferred path is a
+// live migration: abort the resident instance and reuse the ordinary
+// failover machinery — reopen on a survivor, replay the feed history,
+// dedup the results — so the client's stream continues uninterrupted.
+// When the session cannot migrate (replay budget spent, a failover
+// already running, no surviving worker, or the placement never
+// attached) it falls back to the pre-v7 quiesce-and-close: refuse
+// further feeds, then close so everything already fed flushes.
 func (rs *remoteSession) drainClose(w *workerRef) {
 	rs.mu.Lock()
 	if rs.ended || rs.closeSent {
+		rs.mu.Unlock()
+		return
+	}
+	migratable := rs.att != nil && !rs.failingOver && !rs.logFull && rs.opened
+	rs.mu.Unlock()
+	// pick touches worker locks that order before rs.mu, so probe for a
+	// destination outside the session lock and re-validate after.
+	if migratable && rs.d.pick(nil) != nil {
+		rs.mu.Lock()
+		if !rs.ended && !rs.closeSent && rs.att != nil && !rs.failingOver && !rs.logFull {
+			att := rs.att
+			rs.att = nil
+			rs.credits = 0
+			rs.failingOver = true
+			rs.mu.Unlock()
+			// Abort the resident instance outside rs.mu (unregister takes
+			// w.mu, which stats paths acquire before rs.mu); the replay
+			// regenerates anything it had in flight.
+			att.conn.Write(&wire.Error{SID: att.sid, Msg: "session migrating off draining worker"})
+			att.w.unregister(att.conn, att.sid)
+			go rs.failover(fmt.Errorf("cluster: worker %s at %s draining", w.name, w.addr), true)
+			return
+		}
+		rs.mu.Unlock()
+	}
+	rs.mu.Lock()
+	if rs.ended || rs.closeSent {
+		rs.mu.Unlock()
+		return
+	}
+	if rs.failingOver {
+		// A failover (possibly this very migration, when the drain
+		// heartbeat races the worker's own Goaway) is already moving the
+		// session; it reattaches to a non-draining worker, so closing
+		// here would only end the client's stream early.
 		rs.mu.Unlock()
 		return
 	}
@@ -1652,7 +1737,8 @@ func (rs *remoteSession) drainClose(w *workerRef) {
 	detached := rs.att == nil
 	rs.mu.Unlock()
 	if detached {
-		// Mid-failover: the replay completes and re-sends the close.
+		// Initial placement or a torn-down attachment: nothing to close
+		// on this worker.
 		return
 	}
 	// A send failure means the connection died under the close; connLost

@@ -6,10 +6,16 @@ package cluster
 // resulting partitionedSession implements serve.SessionHandle by
 // routing each feed to the partitions owning input nodes, relaying cut
 // edge streams (and their credits) between the workers, and merging
-// per-partition results back into one in-order stream. Failure is
-// all-or-nothing too: any partition's death — worker crash, protocol
-// break, close timeout — ends the whole session with a typed
-// serve.ErrSessionLost; partitioned sessions are never failed over.
+// per-partition results back into one in-order stream.
+//
+// Placement is all-or-nothing but failure no longer is: the session
+// logs its feeds and every cut edge's item stream against the replay
+// budget and tracks per-edge delivery/credit watermarks, so when one
+// partition's worker dies (or drains) only that partition is re-planned
+// onto a survivor and replayed — see partition_recover.go. The session
+// ends with a typed serve.ErrSessionLost only when the budget is
+// exhausted, a second partition dies mid-recovery, or no replacement
+// worker appears within the failover window.
 
 import (
 	"errors"
@@ -79,8 +85,13 @@ func (d *Dispatcher) openPartitioned(p *serve.Pipeline, opts serve.OpenOptions) 
 		inputOwner:  make(map[string]int),
 		delivered:   make([]int64, n),
 		bufs:        make([][]map[string][]frame.Window, n),
+		cuts:        make([]cutEdgeState, len(plan.Cuts)),
+		logFull:     d.opts.ReplayBudget < 0,
 		results:     make(chan *runtime.StreamResult, opts.MaxInFlight+1),
 		done:        make(chan struct{}),
+	}
+	if opts.Deadline > 0 {
+		ps.deadline = time.Now().Add(opts.Deadline)
 	}
 	partOf := make(map[string]int)
 	for i, part := range plan.Partitions {
@@ -250,9 +261,9 @@ type partitionedSession struct {
 	d           *Dispatcher
 	p           *serve.Pipeline
 	plan        *placement.Plan
-	halves      []*partitionHalf
 	maxInFlight int
-	statsID     uint64 // stable key for the /metrics sessions table
+	statsID     uint64    // stable key for the /metrics sessions table
+	deadline    time.Time // absolute session deadline; zero = unbounded
 
 	inputOwner map[string]int // input node name -> owning partition
 	feedParts  []int          // partitions owning at least one input
@@ -262,7 +273,10 @@ type partitionedSession struct {
 	// per partition, and the close after the last accepted feed.
 	sendMu sync.Mutex
 
-	mu        sync.Mutex
+	mu sync.Mutex
+	// halves[i] is partition i's current worker presence; recovery swaps
+	// an entry in place, so reads outside openPartitioned take ps.mu.
+	halves    []*partitionHalf
 	fed       int64
 	completed int64   // merged results delivered to the results channel
 	collected int64   // results handed to Collect callers
@@ -277,8 +291,39 @@ type partitionedSession struct {
 	ended     bool
 	err       error
 
+	// Partition recovery state. feedLog holds every accepted feed (entry
+	// index == seq); cuts holds each cut edge's item log and watermarks.
+	// Both charge logBytes against the dispatcher's ReplayBudget; when it
+	// overflows, logFull releases everything and the session reverts to
+	// the pre-v7 behavior (any partition death is fatal).
+	feedLog       []logEntry
+	cuts          []cutEdgeState
+	logBytes      int64
+	logFull       bool
+	recovering    bool // a partition is being reopened; feeds are paused
+	recoveringIdx int
+
 	results chan *runtime.StreamResult
 	done    chan struct{}
+}
+
+// cutEdgeState is the frontend's view of one cut edge, guarded by
+// ps.mu. The watermarks make per-partition replay possible: sent counts
+// items delivered toward the edge's CURRENT consumer instance, acked
+// counts credits relayed toward the producer (after swallowing), and
+// rawAcks counts every credit the consumer ever returned. While the
+// consumer recovers, buffering parks live items in the log instead of
+// relaying them, and swallow absorbs the replayed instance's
+// re-acknowledgements of items the producer was already credited for.
+type cutEdgeState struct {
+	log       []wire.Item // full item history, in order (log retains windows)
+	sent      uint64
+	acked     uint64
+	rawAcks   uint64
+	swallow   uint64
+	buffering bool
+	eosLogged bool // producer ended the stream at len(log)
+	eosSent   bool // EOS delivered to the current consumer instance
 }
 
 // abandonOpen tears down whatever placePartition opened when the
@@ -311,8 +356,10 @@ func (ps *partitionedSession) terminate(err error, notify bool) {
 		}
 		ps.bufs[i] = nil
 	}
+	ps.releaseLogsLocked()
+	halves := append([]*partitionHalf(nil), ps.halves...)
 	ps.mu.Unlock()
-	for _, h := range ps.halves {
+	for _, h := range halves {
 		h.stopRelay()
 		if notify {
 			h.w.unregister(h.conn, h.sid)
@@ -320,6 +367,76 @@ func (ps *partitionedSession) terminate(err error, notify bool) {
 		}
 	}
 	close(ps.done)
+}
+
+// logFeedLocked appends one accepted feed to the replay log, taking
+// over the caller's window references on success. Caller holds ps.mu.
+func (ps *partitionedSession) logFeedLocked(inputs map[string]frame.Window) bool {
+	if ps.logFull {
+		return false
+	}
+	var entry logEntry
+	var sz int64
+	for name, win := range inputs {
+		sz += int64(win.W) * int64(win.H) * 8
+		entry.inputs = append(entry.inputs, wire.NamedWindow{Name: name, Win: win})
+	}
+	if ps.logBytes+sz > ps.d.opts.ReplayBudget {
+		ps.logFullLocked()
+		return false
+	}
+	ps.feedLog = append(ps.feedLog, entry)
+	ps.logBytes += sz
+	return true
+}
+
+// logEdgeItemsLocked appends one edge frame's items to the edge's
+// replay log, retaining each data window for the log's reference.
+// Caller holds ps.mu.
+func (ps *partitionedSession) logEdgeItemsLocked(es *cutEdgeState, items []wire.Item) bool {
+	if ps.logFull {
+		return false
+	}
+	var sz int64
+	for _, it := range items {
+		if !it.IsToken {
+			sz += int64(it.Win.W) * int64(it.Win.H) * 8
+		}
+	}
+	if ps.logBytes+sz > ps.d.opts.ReplayBudget {
+		ps.logFullLocked()
+		return false
+	}
+	for _, it := range items {
+		if !it.IsToken {
+			it.Win.Retain(1)
+		}
+	}
+	es.log = append(es.log, items...)
+	ps.logBytes += sz
+	return true
+}
+
+// logFullLocked abandons recoverability: a partial history can never
+// replay byte-identically, so every retained window goes back to the
+// arena at once rather than pinning the budget for nothing.
+func (ps *partitionedSession) logFullLocked() {
+	ps.logFull = true
+	ps.releaseLogsLocked()
+}
+
+func (ps *partitionedSession) releaseLogsLocked() {
+	for _, e := range ps.feedLog {
+		for _, in := range e.inputs {
+			in.Win.Release()
+		}
+	}
+	ps.feedLog = nil
+	for i := range ps.cuts {
+		releaseWireItems(ps.cuts[i].log)
+		ps.cuts[i].log = nil
+	}
+	ps.logBytes = 0
 }
 
 func (ps *partitionedSession) fail(err error) { ps.terminate(err, true) }
@@ -333,11 +450,23 @@ func (ps *partitionedSession) sessionErr() error {
 	return errors.New("cluster: partitioned session failed")
 }
 
-// sendClose ships CloseSession to every half, after any in-flight feed.
+// sendClose ships CloseSession to every half, after any in-flight
+// feed. A partition mid-recovery is skipped: reopenOn delivers its
+// close once the replay lands (closeSent stays set so it knows to).
 func (ps *partitionedSession) sendClose() {
 	ps.sendMu.Lock()
 	defer ps.sendMu.Unlock()
-	for _, h := range ps.halves {
+	ps.mu.Lock()
+	halves := append([]*partitionHalf(nil), ps.halves...)
+	skip := -1
+	if ps.recovering {
+		skip = ps.recoveringIdx
+	}
+	ps.mu.Unlock()
+	for i, h := range halves {
+		if i == skip {
+			continue
+		}
 		if err := h.conn.Write(&wire.CloseSession{SID: h.sid}); err != nil {
 			h.conn.Close()
 		}
@@ -369,17 +498,28 @@ func (ps *partitionedSession) TryFeed(inputs map[string]frame.Window) (int64, er
 		ps.sendMu.Unlock()
 		return 0, err
 	}
-	if ps.fed-ps.collected >= int64(ps.maxInFlight) {
+	// A recovery in progress pauses the feed plane: the replay snapshot
+	// freezes at ps.fed, and the client sees ordinary backpressure.
+	if ps.fed-ps.collected >= int64(ps.maxInFlight) || ps.recovering {
 		ps.mu.Unlock()
 		ps.sendMu.Unlock()
 		return 0, runtime.ErrQueueFull
 	}
 	seq := ps.fed
 	ps.fed++
+	// The replay log takes over the caller's references; retain one per
+	// window for the wire writes below. When the log is full the writes
+	// consume the caller's references directly, as before.
+	if ps.logFeedLocked(inputs) {
+		for _, win := range inputs {
+			win.Retain(1)
+		}
+	}
+	halves := append([]*partitionHalf(nil), ps.halves...)
 	ps.mu.Unlock()
 
 	for _, idx := range ps.feedParts {
-		h := ps.halves[idx]
+		h := halves[idx]
 		m := &wire.Feed{SID: h.sid, Seq: seq}
 		for name, win := range inputs {
 			if ps.inputOwner[name] == idx {
@@ -387,8 +527,9 @@ func (ps *partitionedSession) TryFeed(inputs map[string]frame.Window) (int64, er
 			}
 		}
 		if err := h.conn.Write(m); err != nil {
-			// The connection died under the feed; connLost fails the
-			// session with a typed error. The feed counts as accepted.
+			// The connection died under the feed; connLost recovers the
+			// partition (or fails the session) and the replay re-delivers
+			// this frame. The feed counts as accepted either way.
 			h.conn.Close()
 		}
 		h.w.framesRouted.Add(1)
@@ -498,6 +639,10 @@ type partitionHalf struct {
 	sid  uint64
 	conn *wire.Conn
 
+	// credits counts feed credits returned by THIS worker instance,
+	// guarded by ps.mu; replayFeeds paces the feed history against it.
+	credits int64
+
 	rmu    sync.Mutex
 	rcond  *sync.Cond
 	relayq []wire.Msg
@@ -529,10 +674,13 @@ func (h *partitionHalf) stopRelay() {
 	h.rmu.Unlock()
 }
 
-// relay drains the queue onto the connection in order. Write failures
-// close the connection (connLost tears the session down) but keep
-// draining so every queued window returns to the arena.
+// relay drains the queue onto the connection in order. A write failure
+// closes the connection — connLost decides whether that means a
+// partition recovery or the end of the session — and the loop keeps
+// consuming (and releasing) queued messages until stopRelay arrives, so
+// every queued window returns to the arena.
 func (h *partitionHalf) relay() {
+	broken := false
 	for {
 		h.rmu.Lock()
 		for len(h.relayq) == 0 && !h.rstop {
@@ -543,10 +691,10 @@ func (h *partitionHalf) relay() {
 		stop := h.rstop
 		h.rmu.Unlock()
 		for _, m := range q {
-			if !stop {
+			if !broken {
 				if err := h.conn.Write(m); err != nil {
 					h.conn.Close()
-					stop = true
+					broken = true
 				}
 			}
 			if ef, ok := m.(*wire.EdgeFrame); ok {
@@ -554,16 +702,6 @@ func (h *partitionHalf) relay() {
 			}
 		}
 		if stop {
-			h.rmu.Lock()
-			done := h.rstop
-			h.rmu.Unlock()
-			if done {
-				return
-			}
-			// A write failed but the session has not ended yet; keep
-			// consuming (and releasing) until stopRelay arrives.
-			h.ps.fail(fmt.Errorf("%w: relay to partition %d on %s failed",
-				serve.ErrSessionLost, h.idx, h.w.addr))
 			return
 		}
 	}
@@ -581,6 +719,15 @@ func (h *partitionHalf) deliver(w *workerRef, m *wire.Result) {
 	}
 	ps.mu.Lock()
 	if ps.ended {
+		ps.mu.Unlock()
+		serveReleaseOutputs(outputs)
+		return
+	}
+	if m.Seq < ps.delivered[h.idx] {
+		// A reopened partition re-produces the stream from the start;
+		// the worker suppresses results below its resume watermark, but
+		// a racing result that crossed the wire before the old conn died
+		// can still land here twice. At-most-once: drop it.
 		ps.mu.Unlock()
 		serveReleaseOutputs(outputs)
 		return
@@ -627,12 +774,23 @@ func (h *partitionHalf) deliver(w *workerRef, m *wire.Result) {
 	}
 }
 
-// addCredits ignores per-partition feed credits: the session's global
-// fed-minus-collected window already bounds every partition's queue.
-func (h *partitionHalf) addCredits(n int) {}
+// addCredits counts per-partition feed credits. The session's global
+// fed-minus-collected window bounds live flow control on its own, but
+// recovery replays a partition's feed history paced by exactly these
+// credits — each new instance starts at zero, so the counter reflects
+// only what the current instance has accepted.
+func (h *partitionHalf) addCredits(n int) {
+	ps := h.ps
+	ps.mu.Lock()
+	h.credits += int64(n)
+	ps.mu.Unlock()
+}
 
 // edgeFrame relays cut-edge items from the producing partition to the
-// consuming one, validating the edge against the plan.
+// consuming one, logging them for replay and maintaining the edge's
+// delivery watermark. While the consumer is mid-recovery the items only
+// land in the log — its replay goroutine delivers from there, so a
+// direct relay would duplicate the stream.
 func (h *partitionHalf) edgeFrame(w *workerRef, m *wire.EdgeFrame) {
 	ps := h.ps
 	if int(m.Edge) >= len(ps.plan.Cuts) {
@@ -647,11 +805,56 @@ func (h *partitionHalf) edgeFrame(w *workerRef, m *wire.EdgeFrame) {
 			w.addr, m.Edge, h.idx, c.From))
 		return
 	}
+	ps.mu.Lock()
+	if ps.ended || len(ps.halves) != len(ps.plan.Partitions) || ps.halves[h.idx] != h {
+		ps.mu.Unlock()
+		releaseWireItems(m.Items)
+		return
+	}
+	es := &ps.cuts[m.Edge]
+	logged := ps.logEdgeItemsLocked(es, m.Items)
+	recovering := ps.recovering
+	if m.EOS {
+		es.eosLogged = true
+		if es.eosSent {
+			// A reopened producer replays its stream tail; the consumer
+			// already heard end-of-stream from the dead instance's relay.
+			m.EOS = false
+		}
+	}
+	if es.buffering {
+		ps.mu.Unlock()
+		releaseWireItems(m.Items)
+		if !logged && recovering {
+			ps.fail(fmt.Errorf("%w: replay budget exhausted during partition recovery",
+				serve.ErrSessionLost))
+		}
+		return
+	}
+	es.sent += uint64(len(m.Items))
+	if m.EOS {
+		es.eosSent = true
+	}
 	t := ps.halves[c.To]
+	ps.mu.Unlock()
+	if !logged && recovering {
+		releaseWireItems(m.Items)
+		ps.fail(fmt.Errorf("%w: replay budget exhausted during partition recovery",
+			serve.ErrSessionLost))
+		return
+	}
+	if len(m.Items) == 0 && !m.EOS {
+		return // a fully-deduplicated end-of-stream repeat
+	}
 	t.enqueueRelay(&wire.EdgeFrame{SID: t.sid, Edge: m.Edge, EOS: m.EOS, Items: m.Items})
 }
 
-// edgeCredit relays consumption credits back to the producing partition.
+// edgeCredit accounts consumption credits and relays them toward the
+// producing partition. Credits re-acknowledging replayed items are
+// swallowed — the producer was credited for those before its consumer
+// died — and credits addressed to a dead producer's stopped relay queue
+// drop harmlessly: acked is the source of truth, and the reopen
+// forwards the delta the new instance missed.
 func (h *partitionHalf) edgeCredit(w *workerRef, m *wire.EdgeCredit) {
 	ps := h.ps
 	if int(m.Edge) >= len(ps.plan.Cuts) {
@@ -664,8 +867,27 @@ func (h *partitionHalf) edgeCredit(w *workerRef, m *wire.EdgeCredit) {
 			w.addr, m.Edge, h.idx, c.To))
 		return
 	}
+	ps.mu.Lock()
+	if ps.ended || len(ps.halves) != len(ps.plan.Partitions) || ps.halves[h.idx] != h {
+		ps.mu.Unlock()
+		return
+	}
+	es := &ps.cuts[m.Edge]
+	es.rawAcks += uint64(m.N)
+	n := uint64(m.N)
+	if s := es.swallow; s > 0 {
+		if s > n {
+			s = n
+		}
+		es.swallow -= s
+		n -= s
+	}
+	es.acked += n
 	t := ps.halves[c.From]
-	t.enqueueRelay(&wire.EdgeCredit{SID: t.sid, Edge: m.Edge, N: m.N})
+	ps.mu.Unlock()
+	if n > 0 {
+		t.enqueueRelay(&wire.EdgeCredit{SID: t.sid, Edge: m.Edge, N: uint32(n)})
+	}
 }
 
 // onClosed counts a partition's clean SessionClosed; the session
@@ -698,31 +920,10 @@ func (h *partitionHalf) onClosed(w *workerRef, m *wire.SessionClosed) {
 	ps.terminate(err, false)
 }
 
-// failSession and connLost end the whole session: partitioned sessions
-// are not failoverable — replaying one partition cannot reconstruct the
-// in-flight cut-edge state its peers already consumed.
+// failSession ends the whole session: a worker-reported execution
+// error is deterministic, so replaying the partition elsewhere would
+// only fail again.
 func (h *partitionHalf) failSession(err error) { h.ps.fail(err) }
-
-func (h *partitionHalf) connLost(cause error) {
-	h.ps.fail(fmt.Errorf("%w: partition %d: %v", serve.ErrSessionLost, h.idx, cause))
-}
-
-// drainClose reacts to any worker's Goaway: refuse further feeds and
-// close every partition so in-flight frames finish and flush.
-func (h *partitionHalf) drainClose(w *workerRef) {
-	ps := h.ps
-	ps.mu.Lock()
-	if ps.ended || ps.closeSent {
-		ps.mu.Unlock()
-		return
-	}
-	if ps.noFeed == nil {
-		ps.noFeed = fmt.Errorf("cluster: worker %s is draining", w.addr)
-	}
-	ps.closeSent = true
-	ps.mu.Unlock()
-	ps.sendClose()
-}
 
 func (h *partitionHalf) creditsOut() int { return 0 }
 
@@ -733,14 +934,17 @@ func (h *partitionHalf) demandCyc() float64 { return h.ps.p.CyclesPerSec }
 
 func (h *partitionHalf) sessionRow() (SessionStats, uint64) {
 	ps := h.ps
+	ps.mu.Lock()
 	row := SessionStats{
-		Pipeline:   ps.p.ID,
-		Partitions: len(ps.halves),
-		Workers:    make([]string, 0, len(ps.halves)),
+		Pipeline:    ps.p.ID,
+		Partitions:  len(ps.halves),
+		Workers:     make([]string, 0, len(ps.halves)),
+		ReplayBytes: ps.logBytes,
 	}
 	for _, hh := range ps.halves {
 		row.Workers = append(row.Workers, hh.w.addr)
 	}
+	ps.mu.Unlock()
 	return row, ps.statsID
 }
 

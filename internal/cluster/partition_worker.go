@@ -31,6 +31,31 @@ const edgeBatchItems = 256
 const partitionAbortGrace = 2 * time.Second
 
 func (c *workerConn) openPartition(m *wire.OpenPartition) {
+	c.openPartitionResume(m, 0, nil)
+}
+
+// reopenPartition resumes a partition whose previous worker died or
+// drained (protocol v7): the same open path, plus resume watermarks —
+// the runtime re-executes the stream from frame zero to rebuild its
+// deterministic state, while the boundary shims and collector suppress
+// the prefix the rest of the fleet already saw.
+func (c *workerConn) reopenPartition(m *wire.ReopenPartition) {
+	resume := make(map[uint32]wire.EdgeResume, len(m.Resume))
+	for _, er := range m.Resume {
+		resume[er.Edge] = er
+	}
+	c.openPartitionResume(&wire.OpenPartition{
+		SID:         m.SID,
+		Pipeline:    m.Pipeline,
+		Partition:   m.Partition,
+		MaxInFlight: m.MaxInFlight,
+		DeadlineMs:  m.DeadlineMs,
+		Nodes:       m.Nodes,
+		Edges:       m.Edges,
+	}, m.ResumeResults, resume)
+}
+
+func (c *workerConn) openPartitionResume(m *wire.OpenPartition, resumeResults int64, resume map[uint32]wire.EdgeResume) {
 	if c.w.isDraining() {
 		c.send(&wire.SessionOpened{SID: m.SID, Err: "worker draining"})
 		return
@@ -49,6 +74,7 @@ func (c *workerConn) openPartition(m *wire.OpenPartition) {
 		conn:          c,
 		sid:           m.SID,
 		partitioned:   true,
+		resumeResults: resumeResults,
 		feedq:         make(chan *wire.Feed, maxInFlight+1),
 		abortc:        make(chan struct{}),
 		feederDone:    make(chan struct{}),
@@ -56,10 +82,24 @@ func (c *workerConn) openPartition(m *wire.OpenPartition) {
 		inEdges:       make(map[uint32]*inEdge),
 		outEdges:      make(map[uint32]*outEdge),
 	}
-	g, err := partitionGraph(p.Graph(), m, s)
+	g, err := partitionGraph(p.Graph(), m, s, resume)
 	if err != nil {
 		c.send(&wire.SessionOpened{SID: m.SID, Err: err.Error()})
 		return
+	}
+	// A partition with no graph outputs never produces results, so the
+	// ordinary result-driven credit return would starve the frontend's
+	// feed window. Grant the credit at feed acceptance instead — the
+	// bound (frames resident in the feed queue plus the runtime) is the
+	// same one MaxInFlight already enforces.
+	s.creditFeeds = len(g.Outputs()) == 0
+	for id, er := range resume {
+		oe := s.outEdges[id]
+		if oe == nil {
+			c.send(&wire.SessionOpened{SID: m.SID, Err: fmt.Sprintf("resume mark for unknown out edge %d", id)})
+			return
+		}
+		oe.skip = er.SkipItems
 	}
 	rt, err := runtime.NewSession(g, runtime.SessionOptions{
 		MaxInFlight: maxInFlight,
@@ -100,7 +140,7 @@ func (c *workerConn) openPartition(m *wire.OpenPartition) {
 // graph validation — an OpenPartition that leaves a member input
 // dangling (a plan/spec mismatch) fails the session open instead of
 // executing nonsense.
-func partitionGraph(template *graph.Graph, m *wire.OpenPartition, s *workerSession) (*graph.Graph, error) {
+func partitionGraph(template *graph.Graph, m *wire.OpenPartition, s *workerSession, resume map[uint32]wire.EdgeResume) (*graph.Graph, error) {
 	g := template.Clone()
 	member := make(map[string]bool, len(m.Nodes))
 	for _, name := range m.Nodes {
@@ -117,7 +157,13 @@ func partitionGraph(template *graph.Graph, m *wire.OpenPartition, s *workerSessi
 			return nil, fmt.Errorf("duplicate cut edge %d", spec.ID)
 		}
 		if spec.Credit == 0 {
-			return nil, fmt.Errorf("cut edge %d has no credit window", spec.ID)
+			// A reopened outbound edge may legitimately start with zero
+			// credits: the dead instance had the peer's whole window in
+			// flight, so the new one waits for returns before producing.
+			_, resumed := resume[spec.ID]
+			if !resumed || spec.Dir != wire.EdgeOut {
+				return nil, fmt.Errorf("cut edge %d has no credit window", spec.ID)
+			}
 		}
 		switch spec.Dir {
 		case wire.EdgeIn:
@@ -301,6 +347,16 @@ func (ie *inEdge) pull() (graph.Item, bool) {
 
 // ack grants a credit for one consumed item, batched to a quarter of
 // the window so the return path is not one message per pixel.
+//
+// The flush points MUST be a deterministic function of the consumption
+// count alone (every batch-th ack, nothing else): the frontend's
+// partition recovery swallows exactly the credits the dead instance had
+// flushed before re-crediting the producer, and a reopened instance
+// replaying the same stream reaches the same flush boundaries — so the
+// swallow debt always drains to zero. A timing-dependent flush (e.g.
+// on queue drain) would let the old instance flush further than its
+// replacement ever does at the same consumption point, wedging the
+// recovery.
 func (ie *inEdge) ack() {
 	ie.mu.Lock()
 	ie.pending++
@@ -350,6 +406,11 @@ type outEdge struct {
 	credits int
 	closed  bool // end-of-stream requested by the sink
 	aborted bool
+	// skip discards the first N produced items after a reopen: the dead
+	// instance already shipped them, so re-emitting would duplicate the
+	// consumer's stream. Skipped items consume no credits — the initial
+	// credit window already accounts for the in-flight suffix.
+	skip uint64
 
 	// senderDone closes when the sender goroutine exits — after the
 	// end-of-stream frame is on the wire (or the edge aborted). The
@@ -368,6 +429,14 @@ func newOutEdge(s *workerSession, spec wire.EdgeSpec) *outEdge {
 // immediately once the edge is aborted so the partition keeps draining.
 func (oe *outEdge) push(it graph.Item) {
 	oe.mu.Lock()
+	if oe.skip > 0 {
+		oe.skip--
+		oe.mu.Unlock()
+		if !it.IsToken {
+			it.Win.Release()
+		}
+		return
+	}
 	for oe.credits <= 0 && !oe.aborted {
 		oe.cond.Wait()
 	}

@@ -328,6 +328,8 @@ func (c *workerConn) readLoop() error {
 			c.open(m)
 		case *wire.OpenPartition:
 			c.openPartition(m)
+		case *wire.ReopenPartition:
+			c.reopenPartition(m)
 		case *wire.Feed:
 			c.feed(m)
 		case *wire.EdgeFrame:
@@ -487,6 +489,14 @@ type workerSession struct {
 	partitioned bool
 	inEdges     map[uint32]*inEdge
 	outEdges    map[uint32]*outEdge
+	// resumeResults is the reopen watermark: results below it were
+	// already delivered by the dead instance, so the collector grants
+	// their feed credits without re-sending the result.
+	resumeResults int64
+	// creditFeeds makes the feeder grant a credit per accepted frame:
+	// set for partitions whose sub-graph has no output nodes, which
+	// otherwise never run the collector's result-driven credit return.
+	creditFeeds bool
 
 	qmu     sync.Mutex
 	closing bool
@@ -554,6 +564,9 @@ func (s *workerSession) feeder() {
 				return
 			}
 			s.fed.Add(1)
+			if s.creditFeeds {
+				s.conn.send(&wire.Credit{SID: s.sid, N: 1})
+			}
 		}
 	}
 }
@@ -591,7 +604,9 @@ func (s *workerSession) collector() {
 			return
 		}
 		s.collected.Add(1)
-		s.conn.send(encodeResult(s.sid, res))
+		if res.Seq >= s.resumeResults {
+			s.conn.send(encodeResult(s.sid, res))
+		}
 		s.conn.send(&wire.Credit{SID: s.sid, N: 1})
 	}
 }

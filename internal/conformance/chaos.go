@@ -1,6 +1,7 @@
 package conformance
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -17,14 +18,18 @@ import (
 
 // ChaosModes lists the fault campaigns CheckChaos runs: a mid-stream
 // worker kill (which must be invisible — failover replays the session
-// on the survivor), seeded wire-level corruption, frame drops, and
-// delivery delays from internal/fault, plus two registration-plane
-// campaigns on a self-registered fleet: "flap" (the session's worker
-// crashes without deregistering and a replacement rejoins under the
-// same name mid-stream) and "frontend-kill" (a sibling frontend dies
-// while the stream runs on the other).
+// on the survivor), a mid-stream kill of one partition of a session
+// split across a 3-worker fleet (per-partition recovery must make that
+// invisible too), a graceful drain of the session's worker (live
+// migration, zero client-visible errors AND a clean worker exit),
+// seeded wire-level corruption, frame drops, and delivery delays from
+// internal/fault, plus two registration-plane campaigns on a
+// self-registered fleet: "flap" (the session's worker crashes without
+// deregistering and a replacement rejoins under the same name
+// mid-stream) and "frontend-kill" (a sibling frontend dies while the
+// stream runs on the other).
 func ChaosModes() []string {
-	return []string{"kill", "corrupt", "drop", "delay", "flap", "frontend-kill"}
+	return []string{"kill", "partition-kill", "drain", "corrupt", "drop", "delay", "flap", "frontend-kill"}
 }
 
 // chaosProfile maps a mode to its fault profile. The probabilities are
@@ -32,7 +37,7 @@ func ChaosModes() []string {
 // no injector at all (the fault is a whole-process death).
 func chaosProfile(mode string) (fault.Profile, error) {
 	switch mode {
-	case "kill":
+	case "kill", "partition-kill", "drain":
 		return fault.Profile{}, nil
 	case "corrupt":
 		return fault.Profile{Corrupt: 0.02}, nil
@@ -89,9 +94,16 @@ func CheckChaos(c *Case, seed uint64, mode string) error {
 	baseline := frame.Stats().Live
 	inj := fault.NewInjector(seed, profile)
 
-	// Two independent workers, each with its own registry holding the
+	// Independent workers, each with its own registry holding the
 	// identical compiled variant (compilation is deterministic), so a
 	// failed-over session re-executes the same transformed graph.
+	// "partition-kill" runs three and splits the session two ways, so a
+	// spare survives the strike; the other modes run two whole-session
+	// workers.
+	nworkers := 2
+	if mode == "partition-kill" {
+		nworkers = 3
+	}
 	var (
 		workers []*cluster.Worker
 		addrs   []string
@@ -101,7 +113,7 @@ func CheckChaos(c *Case, seed uint64, mode string) error {
 			w.Close()
 		}
 	}()
-	for i := 0; i < 2; i++ {
+	for i := 0; i < nworkers; i++ {
 		compiled, err := compileVariant(c, Variant{Name: "embedded", Machine: machine.Embedded(), Striping: true})
 		if err != nil {
 			return err
@@ -144,6 +156,9 @@ func CheckChaos(c *Case, seed uint64, mode string) error {
 		StallTimeout:    2 * time.Second, // well under the collect bound: a silent stall must fail over, not hang
 		BreakerFailures: 1024,            // chaos faults are transient; keep probing
 	}
+	if mode == "partition-kill" {
+		opts.Partitions = 2
+	}
 	d := cluster.NewDispatcher(addrs, opts)
 	defer d.Close()
 
@@ -163,13 +178,77 @@ func CheckChaos(c *Case, seed uint64, mode string) error {
 		return fmt.Errorf("chaos: workers never connected: %w", err)
 	}
 
-	outcome := runChaosStream(d, p, c, want, mode, workers)
-	if outcome != nil {
-		if mode == "kill" {
-			return fmt.Errorf("chaos kill with a survivor must be invisible: %w", outcome)
+	// The strike fires after frame 1 is fed, with that frame in flight.
+	// "kill" murders the (deterministically least-loaded) first worker;
+	// "partition-kill" and "drain" look the victim up in the session's
+	// /metrics row, since placement order over 3 workers is theirs to
+	// choose.
+	sessionHost := func() (int, error) {
+		rows := d.BackendStats().(map[string]any)["sessions"].([]cluster.SessionStats)
+		if len(rows) == 0 || len(rows[0].Workers) == 0 {
+			return 0, fmt.Errorf("chaos: no open session row to strike")
 		}
-		if !typedChaosError(outcome) {
-			return fmt.Errorf("chaos: untyped failure: %w", outcome)
+		target := rows[0].Workers[0]
+		for i, a := range addrs {
+			if a == target {
+				return i, nil
+			}
+		}
+		return 0, fmt.Errorf("chaos: session host %q not in harness", target)
+	}
+	drainDone := make(chan error, 1)
+	var strike func() error
+	switch mode {
+	case "kill":
+		strike = func() error { workers[0].Close(); return nil }
+	case "partition-kill":
+		strike = func() error {
+			i, err := sessionHost()
+			if err != nil {
+				return err
+			}
+			workers[i].Close()
+			return nil
+		}
+	case "drain":
+		strike = func() error {
+			i, err := sessionHost()
+			if err != nil {
+				return err
+			}
+			w := workers[i]
+			go func() {
+				ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+				defer cancel()
+				drainDone <- w.Shutdown(ctx)
+			}()
+			return nil
+		}
+	}
+
+	outcome := runChaosStream(d, p, c, want, strike)
+	if outcome != nil {
+		switch mode {
+		case "kill", "partition-kill":
+			return fmt.Errorf("chaos %s with a survivor must be invisible: %w", mode, outcome)
+		case "drain":
+			return fmt.Errorf("chaos drain must be invisible: %w", outcome)
+		default:
+			if !typedChaosError(outcome) {
+				return fmt.Errorf("chaos: untyped failure: %w", outcome)
+			}
+		}
+	}
+	if mode == "drain" {
+		// The migration emptied the worker, so its graceful shutdown must
+		// also have completed cleanly — no frames abandoned.
+		select {
+		case err := <-drainDone:
+			if err != nil {
+				return fmt.Errorf("chaos: drained worker abandoned work: %w", err)
+			}
+		case <-time.After(time.Minute):
+			return fmt.Errorf("chaos: worker drain never completed")
 		}
 	}
 
@@ -190,11 +269,12 @@ func CheckChaos(c *Case, seed uint64, mode string) error {
 }
 
 // runChaosStream drives the session: feed/collect all frames with
-// bounded waits, comparing every delivered frame against the oracle.
-// A typed failure is returned for the caller to judge; wrong bytes and
+// bounded waits, comparing every delivered frame against the oracle,
+// firing strike (if any) with frame 1 freshly fed and in flight. A
+// typed failure is returned for the caller to judge; wrong bytes and
 // hangs are returned as distinctive errors typedChaosError rejects.
 func runChaosStream(d *cluster.Dispatcher, p *serve.Pipeline, c *Case,
-	want []map[string][]frame.Window, mode string, workers []*cluster.Worker) error {
+	want []map[string][]frame.Window, strike func() error) error {
 
 	deadline := time.Now().Add(90 * time.Second)
 	h, err := d.Open(p, serve.OpenOptions{MaxInFlight: 2, Deadline: 2 * time.Minute})
@@ -218,10 +298,12 @@ func runChaosStream(d *cluster.Dispatcher, p *serve.Pipeline, c *Case,
 			}
 			time.Sleep(2 * time.Millisecond)
 		}
-		if mode == "kill" && f == 1 {
-			// The frame just fed is in flight on workers[0]; its death
-			// must be invisible (failover to workers[1] replays it).
-			workers[0].Close()
+		if strike != nil && f == 1 {
+			// The frame just fed is in flight on the victim; the strike
+			// must be invisible (recovery replays it on a survivor).
+			if err := strike(); err != nil {
+				return err
+			}
 		}
 		res, err := h.Collect(30 * time.Second)
 		if err != nil {

@@ -62,7 +62,7 @@ func TestDiffRandomGraphs(t *testing.T) {
 			t.Parallel()
 			c := Generate(seed)
 			if err := Check(c, CheckOptions{Backends: backends}); err != nil {
-				t.Fatalf("case %s: %v", c.Name, err)
+				t.Fatalf("case %s [seed=%d]: %v\nreplay: go test ./internal/conformance -conformance.seed=%d -conformance.n=1", c.Name, seed, err, seed)
 			}
 		})
 	}
@@ -79,7 +79,7 @@ func TestDiffClusterSmoke(t *testing.T) {
 			t.Parallel()
 			c := Generate(seed)
 			if err := Check(c, CheckOptions{Backends: []string{"cluster"}}); err != nil {
-				t.Fatalf("case %s: %v", c.Name, err)
+				t.Fatalf("case %s [seed=%d backend=cluster]: %v", c.Name, seed, err)
 			}
 		})
 	}
@@ -98,7 +98,7 @@ func TestDiffPartitionedSmoke(t *testing.T) {
 			t.Parallel()
 			c := Generate(seed)
 			if err := Check(c, CheckOptions{Backends: []string{"partitioned"}}); err != nil {
-				t.Fatalf("case %s: %v", c.Name, err)
+				t.Fatalf("case %s [seed=%d backend=partitioned]: %v", c.Name, seed, err)
 			}
 		})
 	}
@@ -116,7 +116,7 @@ func TestDiffRegisteredSmoke(t *testing.T) {
 			t.Parallel()
 			c := Generate(seed)
 			if err := Check(c, CheckOptions{Backends: []string{"registered"}}); err != nil {
-				t.Fatalf("case %s: %v", c.Name, err)
+				t.Fatalf("case %s [seed=%d backend=registered]: %v", c.Name, seed, err)
 			}
 		})
 	}
@@ -147,7 +147,8 @@ func TestChaosConformance(t *testing.T) {
 		for _, mode := range modes {
 			t.Run(fmt.Sprintf("seed=%d/%s", seed, mode), func(t *testing.T) {
 				if err := CheckChaos(c, seed, mode); err != nil {
-					t.Fatalf("case %s: %v", c.Name, err)
+					t.Fatalf("case %s [seed=%d mode=%s backend=embedded]: %v\nreplay: go test ./internal/conformance -run TestChaosConformance -conformance.chaos -conformance.seed=%d -conformance.n=1",
+						c.Name, seed, mode, err, seed)
 				}
 			})
 		}
@@ -157,23 +158,25 @@ func TestChaosConformance(t *testing.T) {
 // TestChaosSuiteApps holds the Figure 13 suite apps to the same bar:
 // a mid-stream worker kill on every paper benchmark must be invisible
 // — failover replays the session and every frame stays byte-identical
-// to the oracle — and so must a registration flap on a self-registered
-// fleet (the worker crashes without deregistering and a replacement
-// rejoins under its name mid-stream).
+// to the oracle — and likewise a kill of one partition of the session
+// split across a 3-worker fleet, and a registration flap on a
+// self-registered fleet (the worker crashes without deregistering and
+// a replacement rejoins under its name mid-stream).
 func TestChaosSuiteApps(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos suite apps skipped in -short")
 	}
 	for _, id := range apps.IDs() {
-		for _, mode := range []string{"kill", "flap"} {
+		for _, mode := range []string{"kill", "partition-kill", "flap"} {
 			t.Run("app-"+id+"/"+mode, func(t *testing.T) {
 				app, err := apps.ByID(id)
 				if err != nil {
 					t.Fatal(err)
 				}
 				c := &Case{Name: app.Name, Graph: app.Graph, Sources: app.Sources}
-				if err := CheckChaos(c, 1000+uint64(len(id)), mode); err != nil {
-					t.Fatalf("app %s: %v", id, err)
+				seed := 1000 + uint64(len(id))
+				if err := CheckChaos(c, seed, mode); err != nil {
+					t.Fatalf("app %s [seed=%d mode=%s backend=embedded]: %v", id, seed, mode, err)
 				}
 			})
 		}

@@ -1,0 +1,32 @@
+package registry
+
+import (
+	"math/rand"
+	"time"
+)
+
+// JitterBackoff returns the next retry delay using decorrelated jitter
+// ("Exponential Backoff and Jitter", AWS Architecture Blog): a draw
+// uniform in [min, 3×previous), capped at max. Compared with plain
+// doubling, a fleet of peers that lost the same endpoint at the same
+// instant spreads its retries across the window instead of hammering
+// the endpoint in synchronized waves — while keeping the same expected
+// growth toward max. The stdlib global source is used; retry spacing
+// needs no seeding guarantees.
+func JitterBackoff(prev, min, max time.Duration) time.Duration {
+	if min <= 0 {
+		min = time.Millisecond
+	}
+	if max < min {
+		max = min
+	}
+	if prev < min {
+		prev = min
+	}
+	span := 3*prev - min
+	next := min + time.Duration(rand.Int63n(int64(span)))
+	if next > max {
+		next = max
+	}
+	return next
+}

@@ -20,6 +20,10 @@ type Member struct {
 	// Last heartbeat-reported load; zero until the first heartbeat.
 	Sessions         uint32
 	LoadCyclesPerSec float64
+
+	// Draining marks a worker that announced planned maintenance:
+	// placement skips it and frontends migrate its sessions off.
+	Draining bool
 }
 
 // EventKind tags a membership event.
@@ -30,6 +34,10 @@ const (
 	EventJoin EventKind = iota + 1
 	// EventLeave announces a deregistered, evicted, or replaced member.
 	EventLeave
+	// EventDrain announces a member that began draining for planned
+	// maintenance: stop placing there and migrate its sessions off. The
+	// member stays in the fleet until it deregisters or its lease lapses.
+	EventDrain
 )
 
 func (k EventKind) String() string {
@@ -38,6 +46,8 @@ func (k EventKind) String() string {
 		return "join"
 	case EventLeave:
 		return "leave"
+	case EventDrain:
+		return "drain"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(k))
 	}
@@ -169,10 +179,12 @@ func (f *Fleet) Register(m Member) error {
 	return nil
 }
 
-// Heartbeat renews a member's lease and records its reported load.
-// It reports false when the member is unknown (lease already expired),
+// Heartbeat renews a member's lease and records its reported load and
+// drain intent; the false→true drain transition publishes an
+// EventDrain so frontends migrate the member's sessions off. It
+// reports false when the member is unknown (lease already expired),
 // which tells the worker to re-register.
-func (f *Fleet) Heartbeat(name string, sessions uint32, load float64) bool {
+func (f *Fleet) Heartbeat(name string, sessions uint32, load float64, draining bool) bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	fm, ok := f.members[name]
@@ -182,6 +194,11 @@ func (f *Fleet) Heartbeat(name string, sessions uint32, load float64) bool {
 	fm.expires = time.Now().Add(f.opts.Lease)
 	fm.Sessions = sessions
 	fm.LoadCyclesPerSec = load
+	if draining && !fm.Draining {
+		fm.Draining = true
+		f.opts.Logf("registry: %s draining for maintenance", name)
+		f.publishLocked(Event{Kind: EventDrain, Member: fm.Member})
+	}
 	return true
 }
 
@@ -375,7 +392,7 @@ func (f *Fleet) handleConn(conn *wire.Conn) {
 				conn.Write(&wire.Error{Msg: "heartbeat before register"})
 				return
 			}
-			if !f.Heartbeat(name, msg.Sessions, msg.CyclesPerSec) {
+			if !f.Heartbeat(name, msg.Sessions, msg.CyclesPerSec, msg.Draining) {
 				// Lease expired while the connection stayed up (e.g. a
 				// long stall): make the worker re-register.
 				conn.Write(&wire.Error{Msg: "membership lease expired, re-register"})

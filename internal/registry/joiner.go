@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"blockpar/internal/wire"
@@ -42,6 +43,10 @@ type JoinConfig struct {
 // lost. Leave sends a graceful Deregister everywhere before stopping.
 type Joiner struct {
 	cfg JoinConfig
+
+	// draining, once set, rides every heartbeat so frontends stop
+	// placing sessions here and migrate resident ones off.
+	draining atomic.Bool
 
 	mu    sync.Mutex
 	conns map[string]*wire.Conn // live registration conn per frontend
@@ -99,6 +104,30 @@ func (j *Joiner) Leave(reason string) {
 	j.Close()
 }
 
+// SetDraining announces planned maintenance: every subsequent
+// heartbeat carries the draining flag, telling frontends to stop
+// placing sessions here and migrate resident ones to survivors before
+// the worker's Goaway lands. One immediate heartbeat goes out on each
+// live registration so the fleet reacts before the next scheduled
+// beat.
+func (j *Joiner) SetDraining() {
+	j.draining.Store(true)
+	var sessions uint32
+	var load float64
+	if j.cfg.Load != nil {
+		sessions, load = j.cfg.Load()
+	}
+	j.mu.Lock()
+	conns := make([]*wire.Conn, 0, len(j.conns))
+	for _, c := range j.conns {
+		conns = append(conns, c)
+	}
+	j.mu.Unlock()
+	for _, c := range conns {
+		c.Write(&wire.Heartbeat{Sessions: sessions, CyclesPerSec: load, Draining: true})
+	}
+}
+
 // Close stops all loops without deregistering; frontends see the
 // conn drop and let the lease expire.
 func (j *Joiner) Close() {
@@ -130,10 +159,10 @@ func (j *Joiner) loop(frontend string) {
 			return
 		case <-time.After(backoff):
 		}
-		backoff *= 2
-		if backoff > j.cfg.RetryMax {
-			backoff = j.cfg.RetryMax
-		}
+		// Decorrelated jitter: a fleet of workers that lost the same
+		// frontend at the same instant spreads its re-registrations
+		// instead of thundering back in lockstep.
+		backoff = JitterBackoff(backoff, j.cfg.RetryMin, j.cfg.RetryMax)
 	}
 }
 
@@ -186,6 +215,18 @@ func (j *Joiner) session(frontend string) error {
 	j.mu.Lock()
 	j.conns[frontend] = conn
 	j.mu.Unlock()
+	// A drain announced while this frontend was unreachable must not
+	// wait out a third of the lease: flag it on a beat right away.
+	if j.draining.Load() {
+		var sessions uint32
+		var load float64
+		if j.cfg.Load != nil {
+			sessions, load = j.cfg.Load()
+		}
+		if err := conn.Write(&wire.Heartbeat{Sessions: sessions, CyclesPerSec: load, Draining: true}); err != nil {
+			return err
+		}
+	}
 	defer func() {
 		j.mu.Lock()
 		if j.conns[frontend] == conn {
@@ -227,7 +268,11 @@ func (j *Joiner) session(frontend string) error {
 			if j.cfg.Load != nil {
 				sessions, load = j.cfg.Load()
 			}
-			if err := conn.Write(&wire.Heartbeat{Sessions: sessions, CyclesPerSec: load}); err != nil {
+			if err := conn.Write(&wire.Heartbeat{
+				Sessions:     sessions,
+				CyclesPerSec: load,
+				Draining:     j.draining.Load(),
+			}); err != nil {
 				return err
 			}
 		}

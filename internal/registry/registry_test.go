@@ -200,7 +200,7 @@ func TestFleetLeaseExpiry(t *testing.T) {
 	// Heartbeats keep it alive well past the lease...
 	deadline := time.Now().Add(200 * time.Millisecond)
 	for time.Now().Before(deadline) {
-		if !f.Heartbeat("w0", 1, 5e5) {
+		if !f.Heartbeat("w0", 1, 5e5, false) {
 			t.Fatal("heartbeat rejected while member should be alive")
 		}
 		time.Sleep(10 * time.Millisecond)
@@ -209,7 +209,7 @@ func TestFleetLeaseExpiry(t *testing.T) {
 	if ev := waitEvent(t, ch); ev.Kind != EventLeave || ev.Member.Name != "w0" {
 		t.Fatalf("want lease-expiry leave, got %v %s", ev.Kind, ev.Member.Name)
 	}
-	if f.Heartbeat("w0", 1, 5e5) {
+	if f.Heartbeat("w0", 1, 5e5, false) {
 		t.Fatal("heartbeat after eviction must report unknown member")
 	}
 }
@@ -331,5 +331,119 @@ func TestJoinerRedialsAfterConnLoss(t *testing.T) {
 	f2.Serve(ln2)
 	if ev := waitEvent(t, ch2); ev.Kind != EventJoin || ev.Member.Name != "w0" {
 		t.Fatalf("want re-registration join on new fleet, got %v %s", ev.Kind, ev.Member.Name)
+	}
+}
+
+// TestFleetDrainEvent: the false→true drain transition in a heartbeat
+// publishes exactly one EventDrain — repeats renew the lease silently —
+// and the member stays listed (still serving) with Draining set.
+func TestFleetDrainEvent(t *testing.T) {
+	f := NewFleet(FleetOptions{Frontend: "fe0", Logf: t.Logf})
+	defer f.Close()
+	if err := f.Register(member("w0")); err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel := f.Subscribe()
+	defer cancel()
+	waitEvent(t, ch) // snapshot join
+
+	if !f.Heartbeat("w0", 3, 5e5, true) {
+		t.Fatal("draining heartbeat rejected")
+	}
+	if ev := waitEvent(t, ch); ev.Kind != EventDrain || ev.Member.Name != "w0" {
+		t.Fatalf("want drain event for w0, got %v %s", ev.Kind, ev.Member.Name)
+	}
+	if ms := f.Members(); len(ms) != 1 || !ms[0].Draining {
+		t.Fatalf("draining member must stay listed with Draining set, got %+v", ms)
+	}
+	// Repeated draining heartbeats must not re-announce.
+	f.Heartbeat("w0", 3, 5e5, true)
+	f.Heartbeat("w0", 3, 5e5, true)
+	f.Deregister("w0", "drained")
+	if ev := waitEvent(t, ch); ev.Kind != EventLeave {
+		t.Fatalf("want the leave next (no duplicate drain events), got %v", ev.Kind)
+	}
+}
+
+// TestJoinerSetDraining drives the drain announcement over the wire:
+// SetDraining sends a flagged heartbeat immediately (not waiting out
+// the heartbeat interval), and the frontend's subscribers see the
+// drain event while the member remains registered.
+func TestJoinerSetDraining(t *testing.T) {
+	f := NewFleet(FleetOptions{Frontend: "fe0", Lease: time.Minute, Logf: t.Logf})
+	defer f.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Serve(ln)
+	ch, cancel := f.Subscribe()
+	defer cancel()
+
+	j, err := Join(JoinConfig{
+		Frontends: []string{ln.Addr().String()},
+		Self:      Member{Name: "w0", Addr: "127.0.0.1:7777", CyclesPerSec: 1e8},
+		Load:      func() (uint32, float64) { return 1, 0 },
+		RetryMin:  10 * time.Millisecond,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if ev := waitEvent(t, ch); ev.Kind != EventJoin {
+		t.Fatalf("want join, got %v", ev.Kind)
+	}
+	// The join event fires when the fleet processes Register; wait for
+	// the joiner's side of the conn too, so SetDraining has a live
+	// registration to flag immediately.
+	connected := time.Now().Add(5 * time.Second)
+	for {
+		j.mu.Lock()
+		n := len(j.conns)
+		j.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(connected) {
+			t.Fatal("joiner never recorded its registration conn")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	j.SetDraining()
+	if ev := waitEvent(t, ch); ev.Kind != EventDrain || ev.Member.Name != "w0" {
+		t.Fatalf("want drain event for w0, got %v %s", ev.Kind, ev.Member.Name)
+	}
+	if ms := f.Members(); len(ms) != 1 {
+		t.Fatalf("draining worker deregistered too early: %+v", ms)
+	}
+	j.Leave("drained")
+	if ev := waitEvent(t, ch); ev.Kind != EventLeave {
+		t.Fatalf("want leave after drain completes, got %v", ev.Kind)
+	}
+}
+
+// TestJitterBackoff pins the decorrelated-jitter contract: every draw
+// lands in [min, max], growth from a small prev can reach 3×prev, and
+// degenerate inputs (prev below min, max below min) stay sane.
+func TestJitterBackoff(t *testing.T) {
+	const min, max = 10 * time.Millisecond, 300 * time.Millisecond
+	prev := min
+	for i := 0; i < 1000; i++ {
+		next := JitterBackoff(prev, min, max)
+		if next < min || next > max {
+			t.Fatalf("draw %d: %v outside [%v, %v] (prev %v)", i, next, min, max, prev)
+		}
+		if next >= 3*prev && next != max {
+			t.Fatalf("draw %d: %v >= 3x prev %v without hitting the cap", i, next, prev)
+		}
+		prev = next
+	}
+	if got := JitterBackoff(0, min, max); got < min || got > max {
+		t.Fatalf("prev below min: got %v", got)
+	}
+	if got := JitterBackoff(time.Second, min, 5*time.Millisecond); got != min {
+		t.Fatalf("max below min must clamp to min: got %v", got)
 	}
 }

@@ -202,3 +202,59 @@ func TestServeHealthzSplit(t *testing.T) {
 		t.Errorf("draining readiness status %q, want draining", status)
 	}
 }
+
+// drainableBackend records DrainWorker calls, standing in for the
+// cluster dispatcher behind the /drain-worker admin endpoint.
+type drainableBackend struct {
+	localBackend
+	drained []string
+}
+
+func (b *drainableBackend) DrainWorker(name string) error {
+	if strings.HasPrefix(name, "unknown") {
+		return fmt.Errorf("cluster: unknown worker %q", name)
+	}
+	b.drained = append(b.drained, name)
+	return nil
+}
+
+// TestServeDrainWorkerEndpoint covers the admin drain path: a
+// drain-capable backend quiesces the named worker (200), unknown
+// workers 404, a missing parameter 400s, and a backend without
+// migration support answers 501.
+func TestServeDrainWorkerEndpoint(t *testing.T) {
+	reg := NewRegistry(machine.Embedded())
+	if err := reg.AddSuite("5"); err != nil {
+		t.Fatal(err)
+	}
+	b := &drainableBackend{}
+	srv := NewServer(reg, Options{Backend: b})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, _, reply := doJSON(t, ts, "POST", "/drain-worker?worker=10.0.0.7:9090", nil)
+	if code != http.StatusOK {
+		t.Fatalf("drain known worker: got %d (%s)", code, reply["error"])
+	}
+	var name string
+	if err := json.Unmarshal(reply["draining"], &name); err != nil || name != "10.0.0.7:9090" {
+		t.Fatalf("drain reply %v, want draining=10.0.0.7:9090", reply)
+	}
+	if len(b.drained) != 1 || b.drained[0] != "10.0.0.7:9090" {
+		t.Fatalf("backend saw drains %v, want exactly the named worker", b.drained)
+	}
+
+	if code, _, _ := doJSON(t, ts, "POST", "/drain-worker?worker=unknown:1", nil); code != http.StatusNotFound {
+		t.Errorf("drain unknown worker: got %d, want 404", code)
+	}
+	if code, _, _ := doJSON(t, ts, "POST", "/drain-worker", nil); code != http.StatusBadRequest {
+		t.Errorf("drain without worker parameter: got %d, want 400", code)
+	}
+
+	local := NewServer(reg, Options{})
+	lts := httptest.NewServer(local.Handler())
+	defer lts.Close()
+	if code, _, _ := doJSON(t, lts, "POST", "/drain-worker?worker=x", nil); code != http.StatusNotImplemented {
+		t.Errorf("drain on a local backend: got %d, want 501", code)
+	}
+}

@@ -100,7 +100,37 @@ func NewServer(reg *Registry, opts Options) *Server {
 	s.mux.HandleFunc("POST /sessions/{id}/frames", s.handleFeed)
 	s.mux.HandleFunc("POST /sessions/{id}/collect", s.handleCollect)
 	s.mux.HandleFunc("POST /sessions/{id}/process", s.handleProcess)
+	s.mux.HandleFunc("POST /drain-worker", s.handleDrainWorker)
 	return s
+}
+
+// WorkerDrainer is implemented by backends that can migrate one
+// worker's sessions to survivors on demand — the cluster dispatcher.
+// The /drain-worker admin endpoint routes through it.
+type WorkerDrainer interface {
+	DrainWorker(name string) error
+}
+
+// handleDrainWorker quiesces one cluster worker: no further placements
+// land on it and its resident sessions live-migrate to survivors. The
+// worker name comes from the "worker" query or form parameter (the
+// worker's address in static-list mode).
+func (s *Server) handleDrainWorker(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.backend.(WorkerDrainer)
+	if !ok {
+		writeErr(w, http.StatusNotImplemented, "backend cannot drain workers")
+		return
+	}
+	name := r.FormValue("worker")
+	if name == "" {
+		writeErr(w, http.StatusBadRequest, "missing worker parameter")
+		return
+	}
+	if err := d.DrainWorker(name); err != nil {
+		writeErr(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"draining": name})
 }
 
 // Handler returns the server's HTTP handler with panic recovery: a

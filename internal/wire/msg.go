@@ -40,6 +40,7 @@ const (
 	TypeRegisterAck
 	TypeHeartbeat
 	TypeDeregister
+	TypeReopenPartition
 )
 
 func (t MsgType) String() string {
@@ -88,6 +89,8 @@ func (t MsgType) String() string {
 		return "heartbeat"
 	case TypeDeregister:
 		return "deregister"
+	case TypeReopenPartition:
+		return "reopen-partition"
 	default:
 		return "unknown"
 	}
@@ -490,20 +493,35 @@ func (m *RegisterAck) decode(r *reader) {
 
 // Heartbeat renews a registration lease (worker → frontend) and
 // reports the worker's current load, so /metrics can show fleet
-// utilization without a second connection.
+// utilization without a second connection. Draining (protocol v7)
+// announces planned maintenance: the frontend stops placing new
+// sessions on the worker and migrates resident ones off it, while the
+// lease keeps renewing until the drain completes.
 type Heartbeat struct {
 	Sessions     uint32
 	CyclesPerSec float64 // projected load of the sessions currently placed here
+	Draining     bool
 }
 
 func (*Heartbeat) Type() MsgType { return TypeHeartbeat }
 func (m *Heartbeat) append(b []byte) []byte {
 	b = appendU32(b, m.Sessions)
-	return appendF64(b, m.CyclesPerSec)
+	b = appendF64(b, m.CyclesPerSec)
+	var flags byte
+	if m.Draining {
+		flags = 1
+	}
+	return append(b, flags)
 }
 func (m *Heartbeat) decode(r *reader) {
 	m.Sessions = r.u32("heartbeat sessions")
 	m.CyclesPerSec = r.f64("heartbeat load")
+	flags := r.u8("heartbeat flags")
+	if r.err == nil && flags > 1 {
+		r.err = corruptf("heartbeat flags %#x out of range", flags)
+		return
+	}
+	m.Draining = flags == 1
 }
 
 // Deregister removes the worker from the fleet immediately (worker →
@@ -565,6 +583,8 @@ func newMsg(t MsgType) Msg {
 		return &Heartbeat{}
 	case TypeDeregister:
 		return &Deregister{}
+	case TypeReopenPartition:
+		return &ReopenPartition{}
 	default:
 		return nil
 	}
@@ -631,6 +651,16 @@ func checkEncodable(m Msg) error {
 		}
 		if len(m.Edges) > math.MaxUint16 {
 			return fmt.Errorf("wire: open-partition carries %d edges, max %d", len(m.Edges), math.MaxUint16)
+		}
+	case *ReopenPartition:
+		if len(m.Nodes) > math.MaxUint16 {
+			return fmt.Errorf("wire: reopen-partition carries %d nodes, max %d", len(m.Nodes), math.MaxUint16)
+		}
+		if len(m.Edges) > math.MaxUint16 {
+			return fmt.Errorf("wire: reopen-partition carries %d edges, max %d", len(m.Edges), math.MaxUint16)
+		}
+		if len(m.Resume) > math.MaxUint16 {
+			return fmt.Errorf("wire: reopen-partition carries %d resume marks, max %d", len(m.Resume), math.MaxUint16)
 		}
 	case *EdgeFrame:
 		if len(m.Items) > math.MaxUint16 {

@@ -97,6 +97,107 @@ func (m *OpenPartition) decode(r *reader) {
 	}
 }
 
+// EdgeResume is one outbound cut edge's resume watermark inside a
+// ReopenPartition: SkipItems is the number of items the dead instance
+// already shipped (and the frontend already relayed to the consumer),
+// so the new instance re-produces the stream from the start and
+// discards that prefix without consuming credits. Inbound edges need
+// no worker-side watermark — the frontend replays their logged items
+// and swallows the already-relayed credit returns itself, because the
+// replay is paced by exactly those credits.
+type EdgeResume struct {
+	Edge      uint32
+	SkipItems uint64
+}
+
+// ReopenPartition (protocol v7) resumes one partition of a live
+// partitioned session on a new worker after its previous worker died
+// or drained. The open fields mirror OpenPartition; ResumeResults is
+// the session's result-delivery watermark (results below it were
+// already delivered to the client and are suppressed, though their
+// feed credits still flow so replay stays paced), and Resume carries
+// the per-cut-edge skip watermarks.
+type ReopenPartition struct {
+	SID           uint64
+	Pipeline      string
+	Partition     uint32
+	MaxInFlight   uint32
+	DeadlineMs    uint32
+	ResumeResults int64
+	Nodes         []string
+	Edges         []EdgeSpec
+	Resume        []EdgeResume
+}
+
+func (*ReopenPartition) Type() MsgType { return TypeReopenPartition }
+func (m *ReopenPartition) append(b []byte) []byte {
+	b = appendU64(b, m.SID)
+	b = appendStr(b, m.Pipeline)
+	b = appendU32(b, m.Partition)
+	b = appendU32(b, m.MaxInFlight)
+	b = appendU32(b, m.DeadlineMs)
+	b = appendI64(b, m.ResumeResults)
+	b = appendU16(b, uint16(len(m.Nodes)))
+	for _, n := range m.Nodes {
+		b = appendStr(b, n)
+	}
+	b = appendU16(b, uint16(len(m.Edges)))
+	for _, e := range m.Edges {
+		b = appendU32(b, e.ID)
+		b = append(b, e.Dir)
+		b = appendU32(b, e.Credit)
+		b = appendStr(b, e.FromNode)
+		b = appendStr(b, e.FromPort)
+		b = appendStr(b, e.ToNode)
+		b = appendStr(b, e.ToPort)
+	}
+	b = appendU16(b, uint16(len(m.Resume)))
+	for _, er := range m.Resume {
+		b = appendU32(b, er.Edge)
+		b = appendU64(b, er.SkipItems)
+	}
+	return b
+}
+func (m *ReopenPartition) decode(r *reader) {
+	m.SID = r.u64("reopen-partition sid")
+	m.Pipeline = r.str("reopen-partition pipeline")
+	m.Partition = r.u32("reopen-partition index")
+	m.MaxInFlight = r.u32("reopen-partition max-in-flight")
+	m.DeadlineMs = r.u32("reopen-partition deadline-ms")
+	m.ResumeResults = r.i64("reopen-partition resume-results")
+	if r.err == nil && m.ResumeResults < 0 {
+		r.err = corruptf("reopen-partition resume-results %d negative", m.ResumeResults)
+		return
+	}
+	nn := int(r.u16("reopen-partition node count"))
+	for i := 0; i < nn && r.err == nil; i++ {
+		m.Nodes = append(m.Nodes, r.str("reopen-partition node"))
+	}
+	en := int(r.u16("reopen-partition edge count"))
+	for i := 0; i < en && r.err == nil; i++ {
+		e := EdgeSpec{
+			ID:     r.u32("edge id"),
+			Dir:    r.u8("edge dir"),
+			Credit: r.u32("edge credit"),
+		}
+		e.FromNode = r.str("edge from node")
+		e.FromPort = r.str("edge from port")
+		e.ToNode = r.str("edge to node")
+		e.ToPort = r.str("edge to port")
+		if r.err == nil && e.Dir != EdgeIn && e.Dir != EdgeOut {
+			r.err = corruptf("edge dir %d out of range", e.Dir)
+		}
+		m.Edges = append(m.Edges, e)
+	}
+	rn := int(r.u16("reopen-partition resume count"))
+	for i := 0; i < rn && r.err == nil; i++ {
+		m.Resume = append(m.Resume, EdgeResume{
+			Edge:      r.u32("resume edge"),
+			SkipItems: r.u64("resume skip-items"),
+		})
+	}
+}
+
 // EdgeFrame moves items across one cut edge: a batch of in-order
 // channel items (data windows or control tokens) and, on the final
 // frame, the end-of-stream flag. The sender must hold one credit per

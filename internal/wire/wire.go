@@ -51,8 +51,11 @@ const Magic uint32 = 0x42505702 // "BPW\x02"
 // f32) instead of promoting everything to float64; version 6 lets an
 // edge item carry a row-batch descriptor (item tag 2), so a whole row
 // of logical windows crosses a partition cut as one window plus three
-// integers instead of N separate windows.
-const Version uint16 = 6
+// integers instead of N separate windows; version 7 adds partitioned
+// failover (ReopenPartition resumes one partition on a survivor with
+// per-edge skip watermarks) and a drain-intent bit on Heartbeat so a
+// worker can announce planned maintenance before it leaves the fleet.
+const Version uint16 = 7
 
 // MaxFrame bounds a single frame's encoded size; a length prefix past
 // it is treated as corruption and kills the connection before any

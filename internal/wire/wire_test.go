@@ -181,7 +181,18 @@ func sampleMsgs() []Msg {
 		&RegisterAck{LeaseMs: 5_000},
 		&RegisterAck{Err: "name already registered"},
 		&Heartbeat{Sessions: 3, CyclesPerSec: 1.5e6},
+		&Heartbeat{Sessions: 1, CyclesPerSec: 4e5, Draining: true},
 		&Deregister{Reason: "draining"},
+		&ReopenPartition{SID: 7, Pipeline: "1", Partition: 1, MaxInFlight: 8, DeadlineMs: 30_000,
+			ResumeResults: 12,
+			Nodes:         []string{"sobel", "thresh"},
+			Edges: []EdgeSpec{
+				{ID: 0, Dir: EdgeIn, Credit: 64, FromNode: "blur", FromPort: "out", ToNode: "sobel", ToPort: "in"},
+				{ID: 1, Dir: EdgeOut, Credit: 61, FromNode: "thresh", FromPort: "out", ToNode: "sink", ToPort: "in"},
+			},
+			Resume: []EdgeResume{
+				{Edge: 1, SkipItems: 43},
+			}},
 	}
 }
 
